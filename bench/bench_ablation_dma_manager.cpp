@@ -1,0 +1,68 @@
+// Ablation E6: classic vs improved (VEOS 1.3.2-4dma) privileged DMA manager.
+//
+// Paper Sec. III-D: the improved manager "uses bulk virtual to physical
+// translations overlapping descriptor generation and DMA transfers" and
+// lifts large-buffer bandwidth to >= 10.2 GiB/s; the classic manager
+// translates serially with the transfer.
+#include <cstdio>
+
+#include "bench/support/bench_common.hpp"
+#include "sim/engine.hpp"
+#include "sim/vh_memory.hpp"
+#include "veos/veos.hpp"
+
+namespace {
+
+using namespace aurora;
+
+double veo_write_bw(sim::dma_manager_mode mode, sim::page_size vh_pages,
+                    std::uint64_t n) {
+    sim::platform_config cfg = sim::platform_config::a300_8();
+    cfg.dma_mode = mode;
+    sim::platform plat(std::move(cfg));
+    veos::veos_system sys(plat);
+    double gib = 0.0;
+    plat.sim().spawn("VH.bench", [&] {
+        sim::vh_allocation host(plat.vh_pages(), n, vh_pages);
+        veos::ve_process& proc = sys.daemon(0).create_process();
+        const std::uint64_t ve_buf = proc.ve_alloc(n, sim::page_size::huge_64m);
+        const sim::time_ns t0 = sim::now();
+        sys.daemon(0).dma().write_to_ve(proc, ve_buf, host.data(), n, 0);
+        gib = bandwidth_gib_s(n, sim::now() - t0);
+        sys.daemon(0).destroy_process(proc);
+    });
+    plat.sim().run();
+    return gib;
+}
+
+std::string fmt(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f GiB/s", v);
+    return buf;
+}
+
+} // namespace
+
+int main() {
+    bench::print_header(
+        "Ablation E6 — VEOS DMA manager: classic vs improved 1.3.2-4dma",
+        "veo_write_mem bandwidth (VH => VE), by manager and VH page size");
+
+    aurora::text_table t({"Transfer size", "classic + 4 KiB", "classic + 2 MiB",
+                          "4dma + 4 KiB", "4dma + 2 MiB"});
+    for (std::uint64_t n = 8 * MiB; n <= 256 * MiB; n *= 4) {
+        t.add_row({format_bytes(n),
+                   fmt(veo_write_bw(sim::dma_manager_mode::classic,
+                                    sim::page_size::small_4k, n)),
+                   fmt(veo_write_bw(sim::dma_manager_mode::classic,
+                                    sim::page_size::huge_2m, n)),
+                   fmt(veo_write_bw(sim::dma_manager_mode::improved_4dma,
+                                    sim::page_size::small_4k, n)),
+                   fmt(veo_write_bw(sim::dma_manager_mode::improved_4dma,
+                                    sim::page_size::huge_2m, n))});
+    }
+    bench::emit(t);
+    std::printf("\nPaper expectation: the improved manager + huge pages reach\n"
+                "and exceed 11 GB/s (10.2 GiB/s) for buffers of a few MiB+.\n");
+    return 0;
+}

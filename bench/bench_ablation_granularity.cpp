@@ -1,0 +1,95 @@
+// Ablation E11: offload granularity — when does offloading pay off?
+//
+// Paper Sec. V-B: "Offloading only pays off as reduced time to solution, if
+// the gain ... exceeds the offload overhead. ... Lower overhead means that
+// more code of an application becomes a feasible target for offloading, and
+// offloads can become more fine-grained as well."
+//
+// We model an application with a fixed total amount of vectorisable work,
+// split into ever smaller kernels, each offloaded individually. On the VE the
+// work runs 2150/998 ~ 2.2x faster than on the host (Table I), but every
+// offload pays the protocol overhead — the crossover granularity differs by
+// 70x between the two backends, which is the paper's core argument.
+#include <cstdio>
+
+#include "bench/support/bench_common.hpp"
+#include "offload/offload.hpp"
+
+namespace {
+
+using namespace aurora;
+namespace off = ham::offload;
+
+/// `flops` of vectorised work on whatever device executes it.
+void work_kernel(double flops) {
+    off::compute_hint(flops, 0.0);
+}
+
+/// Total time to run `pieces` kernels of (total_flops/pieces) each.
+double offloaded_makespan(off::backend_kind kind, double total_flops,
+                          int pieces) {
+    sim::platform plat(sim::platform_config::a300_8());
+    off::runtime_options opt;
+    opt.backend = kind;
+    double t = 0.0;
+    off::run(plat, opt, [&] {
+        off::sync(1, ham::f2f<&work_kernel>(1.0)); // warm-up
+        const sim::time_ns t0 = sim::now();
+        for (int i = 0; i < pieces; ++i) {
+            off::sync(1, ham::f2f<&work_kernel>(total_flops / pieces));
+        }
+        t = double(sim::now() - t0);
+    });
+    return t;
+}
+
+double host_makespan(double total_flops) {
+    sim::platform plat(sim::platform_config::a300_8());
+    off::runtime_options opt;
+    opt.backend = off::backend_kind::vedma;
+    double t = 0.0;
+    off::run(plat, opt, [&] {
+        const sim::time_ns t0 = sim::now();
+        work_kernel(total_flops); // runs on the VH (no target context)
+        t = double(sim::now() - t0);
+    });
+    return t;
+}
+
+std::string ms(double ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+    return buf;
+}
+
+} // namespace
+
+int main() {
+    bench::print_header(
+        "Ablation E11 — offload granularity vs backend overhead (Sec. V-B)",
+        "Fixed 10 GFLOP of vectorisable work split into N offloaded kernels");
+
+    constexpr double total_flops = 10e9; // ~10 ms on the VH, ~4.7 ms on a VE
+    const double host = host_makespan(total_flops);
+
+    aurora::text_table t({"Kernels", "Work/kernel", "HAM/VEO", "HAM/VE-DMA",
+                          "host only", "VEO wins?", "VE-DMA wins?"});
+    for (const int pieces : {1, 8, 64, 512, 4096}) {
+        const double veo = offloaded_makespan(off::backend_kind::veo,
+                                              total_flops, pieces);
+        const double dma = offloaded_makespan(off::backend_kind::vedma,
+                                              total_flops, pieces);
+        char wbuf[32];
+        std::snprintf(wbuf, sizeof(wbuf), "%.1f us",
+                      total_flops / pieces / 2150.4 / 1000.0);
+        t.add_row({std::to_string(pieces), wbuf, ms(veo), ms(dma), ms(host),
+                   veo < host ? "yes" : "no", dma < host ? "yes" : "no"});
+    }
+    bench::emit(t);
+    std::printf(
+        "\nReading: with 70x lower offload overhead, the DMA protocol keeps\n"
+        "offloading profitable at kernel granularities where the VEO backend\n"
+        "already loses to host-only execution — \"more code of an application\n"
+        "becomes a feasible target for offloading\" (Sec. V-B).\n");
+    return 0;
+}

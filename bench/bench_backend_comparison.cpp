@@ -1,0 +1,64 @@
+// Framework overview: empty-offload cost of every HAM-Offload backend.
+//
+// Extends the paper's Fig. 9 with the framework's generic backends (Fig. 1):
+// the in-process loopback (lower bound of the runtime itself) and the TCP/IP
+// backend (what a portable network path costs), bracketing the two
+// SX-Aurora-specific protocols.
+#include <cstdio>
+
+#include "bench/support/bench_common.hpp"
+#include "offload/offload.hpp"
+
+namespace {
+
+using namespace aurora;
+namespace off = ham::offload;
+
+void empty_kernel() {}
+
+double offload_cost(off::backend_kind kind, int reps) {
+    sim::platform plat(sim::platform_config::a300_8());
+    off::runtime_options opt;
+    opt.backend = kind;
+    double per_call = 0.0;
+    off::run(plat, opt, [&] {
+        for (int i = 0; i < 10; ++i) off::sync(1, ham::f2f<&empty_kernel>());
+        const sim::time_ns t0 = sim::now();
+        for (int i = 0; i < reps; ++i) off::sync(1, ham::f2f<&empty_kernel>());
+        per_call = double(sim::now() - t0) / reps;
+    });
+    return per_call;
+}
+
+} // namespace
+
+int main() {
+    bench::print_header(
+        "Backend comparison — empty-offload cost across all backends (Fig. 1)",
+        "Loopback and TCP bracket the two SX-Aurora protocols of the paper");
+
+    const int n = bench::reps();
+    struct row {
+        const char* name;
+        off::backend_kind kind;
+        const char* note;
+    };
+    const row rows[] = {
+        {"loopback (in-process)", off::backend_kind::loopback,
+         "runtime software floor"},
+        {"VE-DMA (Sec. IV-B)", off::backend_kind::vedma, "paper: 6.1 us"},
+        {"TCP/IP (generic)", off::backend_kind::tcp,
+         "interoperability baseline"},
+        {"VEO (Sec. III-D)", off::backend_kind::veo, "paper: 432 us"},
+    };
+
+    aurora::text_table t({"Backend", "Time/offload", "Note"});
+    for (const row& r : rows) {
+        t.add_row({r.name, bench::us(offload_cost(r.kind, n)), r.note});
+    }
+    bench::emit(t);
+    std::printf("\nThe specialised DMA protocol beats even a local TCP hop; the\n"
+                "VEO-transfer path is the slowest despite being SX-Aurora\n"
+                "specific — exactly the gap the paper's Sec. IV closes.\n");
+    return 0;
+}

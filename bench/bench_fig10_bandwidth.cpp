@@ -1,0 +1,220 @@
+// Reproduction of paper Fig. 10: "Bandwidth comparison for copying different
+// amounts of data between VH and VE".
+//
+// Four panels: {VH=>VE, VE=>VH} x {small (<= 1 KiB), large (<= 256 MiB)} for
+// the three transfer methods:
+//   * VEO Read/Write — VH-initiated privileged DMA (Sec. III-D),
+//   * VE User DMA    — VE-initiated user DMA (Sec. IV-B),
+//   * VE SHM/LHM     — word-wise load/store host memory instructions
+//                      (measured only up to 4 MiB, as in the paper).
+//
+// Paper shape expectations: user DMA is always fastest and near peak from
+// ~1 MiB; VEO ramps slowly and peaks only at ~64 MiB; SHM/LHM are flat and
+// tiny (0.06 / 0.01 GiB/s), but SHM beats user DMA for very small VE=>VH
+// payloads.
+#include <cstdio>
+#include <vector>
+
+#include "bench/support/ascii_chart.hpp"
+#include "bench/support/bench_common.hpp"
+#include "sim/engine.hpp"
+#include "sim/vh_memory.hpp"
+#include "vedma/dmaatb.hpp"
+#include "vedma/lhm_shm.hpp"
+#include "vedma/userdma.hpp"
+#include "veo/veo_api.hpp"
+#include "veos/native.hpp"
+
+namespace {
+
+using namespace aurora;
+
+constexpr std::uint64_t max_size = 256 * MiB;
+constexpr std::uint64_t lhm_shm_cap = 4 * MiB; // as in the paper
+
+struct series_point {
+    std::uint64_t size;
+    double veo_gib = 0.0;
+    double dma_gib = 0.0;
+    double shm_lhm_gib = -1.0; // <0: not measured
+};
+
+struct sweep_result {
+    std::vector<series_point> to_ve;   // VH => VE
+    std::vector<series_point> to_vh;   // VE => VH
+};
+
+std::vector<std::uint64_t> sizes() {
+    std::vector<std::uint64_t> s;
+    for (std::uint64_t n = 8; n <= max_size; n *= 2) {
+        s.push_back(n);
+    }
+    return s;
+}
+
+sweep_result run_sweep() {
+    sweep_result out;
+    sim::platform plat(sim::platform_config::a300_8());
+    veos::veos_system sys(plat);
+    const int reps = bench::transfer_reps();
+
+    plat.sim().spawn("VH.bench", [&] {
+        // --- VH-side buffer on huge pages ("important to use huge pages of
+        // at least 2 MiB", Sec. V-B).
+        sim::vh_allocation host(plat.vh_pages(), max_size,
+                                sim::page_size::huge_2m);
+
+        // --- VEO setup: process + VE buffer.
+        veos::ve_process& proc = sys.daemon(0).create_process();
+        const std::uint64_t ve_buf =
+            proc.ve_alloc(max_size, sim::page_size::huge_64m);
+        veos::dma_manager& pdma = sys.daemon(0).dma();
+
+        auto time_of = [&](auto&& fn) {
+            const sim::time_ns t0 = sim::now();
+            for (int r = 0; r < reps; ++r) {
+                fn();
+            }
+            return double(sim::now() - t0) / reps;
+        };
+
+        for (const std::uint64_t n : sizes()) {
+            series_point up{n}, down{n};
+            // VEO write (VH => VE) and read (VE => VH).
+            up.veo_gib = double(n) / double(GiB) /
+                         (time_of([&] {
+                              pdma.write_to_ve(proc, ve_buf, host.data(), n, 0);
+                          }) /
+                          1e9);
+            down.veo_gib = double(n) / double(GiB) /
+                           (time_of([&] {
+                                pdma.read_from_ve(proc, ve_buf, host.data(), n, 0);
+                            }) /
+                            1e9);
+            out.to_ve.push_back(up);
+            out.to_vh.push_back(down);
+        }
+
+        // --- VE-initiated methods: run natively on the VE.
+        veos::run_native(proc, [&] {
+            vedma::dmaatb atb(proc);
+            vedma::user_dma_engine dma(atb);
+            const std::uint64_t host_vehva =
+                atb.register_vh(host.data(), max_size, 0);
+            const std::uint64_t ve_vehva = atb.register_ve(ve_buf, max_size);
+
+            auto ve_time_of = [&](auto&& fn) {
+                const sim::time_ns t0 = sim::now();
+                for (int r = 0; r < reps; ++r) {
+                    fn();
+                }
+                return double(sim::now() - t0) / reps;
+            };
+
+            std::vector<std::byte> scratch(lhm_shm_cap);
+            std::size_t idx = 0;
+            for (const std::uint64_t n : sizes()) {
+                // User DMA both directions.
+                out.to_ve[idx].dma_gib =
+                    double(n) / double(GiB) /
+                    (ve_time_of([&] { dma.dma_sync(ve_vehva, host_vehva, n); }) /
+                     1e9);
+                out.to_vh[idx].dma_gib =
+                    double(n) / double(GiB) /
+                    (ve_time_of([&] { dma.dma_sync(host_vehva, ve_vehva, n); }) /
+                     1e9);
+                // LHM (VH => VE direction) and SHM (VE => VH), word-wise.
+                if (n <= lhm_shm_cap) {
+                    out.to_ve[idx].shm_lhm_gib =
+                        double(n) / double(GiB) /
+                        (ve_time_of([&] {
+                             vedma::lhm_load(atb, host_vehva, scratch.data(), n);
+                         }) /
+                         1e9);
+                    out.to_vh[idx].shm_lhm_gib =
+                        double(n) / double(GiB) /
+                        (ve_time_of([&] {
+                             vedma::shm_store(atb, host_vehva, scratch.data(), n);
+                         }) /
+                         1e9);
+                }
+                ++idx;
+            }
+        });
+        sys.daemon(0).destroy_process(proc);
+    });
+    plat.sim().run();
+    return out;
+}
+
+std::string gib(double v) {
+    if (v < 0) {
+        return "-";
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), v < 0.1 ? "%.4f" : "%.2f", v);
+    return buf;
+}
+
+void print_panel(const char* title, const std::vector<series_point>& series,
+                 bool small_panel, const char* third_series_name) {
+    std::printf("%s\n", title);
+    aurora::text_table t(
+        {"Size", "VEO Read/Write [GiB/s]", "VE User DMA [GiB/s]",
+         std::string(third_series_name) + " [GiB/s]"});
+    for (const auto& p : series) {
+        const bool in_panel = small_panel ? p.size <= 1024 : p.size > 1024;
+        if (!in_panel) {
+            continue;
+        }
+        t.add_row({aurora::format_bytes(p.size), gib(p.veo_gib), gib(p.dma_gib),
+                   gib(p.shm_lhm_gib)});
+    }
+    aurora::bench::emit(t);
+    std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+    bench::print_header("Fig. 10 — VH <-> VE copy bandwidth vs transfer size",
+                        "Three methods, both directions; SHM/LHM capped at 4 MiB "
+                        "(as in the paper)");
+
+    const sweep_result r = run_sweep();
+
+    print_panel("Panel 1: VH => VE, small transfers (paper top-left)", r.to_ve,
+                true, "VE LHM");
+    print_panel("Panel 2: VH => VE, large transfers (paper top-right)", r.to_ve,
+                false, "VE LHM");
+    print_panel("Panel 3: VE => VH, small transfers (paper bottom-left)", r.to_vh,
+                true, "VE SHM");
+    print_panel("Panel 4: VE => VH, large transfers (paper bottom-right)", r.to_vh,
+                false, "VE SHM");
+
+    // Render the panels as charts too (the paper's Fig. 10 is a figure).
+    auto chart_of = [](const std::vector<series_point>& pts, const char* third) {
+        std::vector<bench::chart_series> series(3);
+        series[0] = {"VEO Read/Write", 'v', {}};
+        series[1] = {"VE User DMA", 'd', {}};
+        series[2] = {third, 's', {}};
+        for (const auto& p : pts) {
+            series[0].points.emplace_back(double(p.size), p.veo_gib);
+            series[1].points.emplace_back(double(p.size), p.dma_gib);
+            if (p.shm_lhm_gib >= 0) {
+                series[2].points.emplace_back(double(p.size), p.shm_lhm_gib);
+            }
+        }
+        return bench::ascii_loglog_chart(series, 64, 16, "bytes", "GiB/s");
+    };
+    std::printf("Chart: VH => VE (full size range)\n%s\n",
+                chart_of(r.to_ve, "VE LHM").c_str());
+    std::printf("Chart: VE => VH (full size range)\n%s\n",
+                chart_of(r.to_vh, "VE SHM").c_str());
+
+    std::printf("Paper reference peaks (Table IV):\n"
+                "  VEO Read/Write : 9.9 (VH=>VE) / 10.4 (VE=>VH) GiB/s\n"
+                "  VE User DMA    : 10.6 / 11.1 GiB/s\n"
+                "  VE SHM/LHM     : 0.01 (LHM) / 0.06 (SHM) GiB/s\n");
+    return 0;
+}

@@ -1,0 +1,110 @@
+// Reproduction of paper Fig. 9: "Function Offload Cost, VH to local VE".
+//
+// Measures the time to offload an empty kernel — the minimal cost paid by
+// every offload — with the three methods the paper compares:
+//   * VEO            — a native veo_call_async/veo_call_wait_result pair,
+//   * HAM-Offload (VEO backend)   — Sec. III-D protocol,
+//   * HAM-Offload (VE-DMA backend) — Sec. IV-B protocol.
+//
+// Paper reference values: ~80 us, ~432 us (5.4x native VEO), 6.1 us; the DMA
+// protocol is 13.1x faster than native VEO and 70.8x faster than the VEO
+// backend.
+#include <cstdio>
+
+#include "bench/support/bench_common.hpp"
+#include "offload/offload.hpp"
+#include "veo/veo_api.hpp"
+
+namespace {
+
+using namespace aurora;
+namespace off = ham::offload;
+
+void empty_kernel() {}
+
+/// Spawn a bare VH process (native-VEO measurement needs no HAM runtime).
+void raw_vh_run(sim::platform& plat, std::function<void()> body) {
+    plat.sim().spawn("VH.bench", std::move(body));
+    plat.sim().run();
+}
+
+/// Native VEO offload of an empty function (the paper's reference series).
+double measure_native_veo(int reps) {
+    sim::platform plat(sim::platform_config::a300_8());
+    veos::veos_system sys(plat);
+
+    veos::program_image img("libbench.so");
+    img.add_symbol("empty",
+                   [](veos::ve_call_context&) -> std::uint64_t { return 0; });
+    sys.install_image(img);
+
+    double per_call = 0.0;
+    raw_vh_run(plat, [&] {
+        veo::proc_guard h(sys, 0);
+        const std::uint64_t lib = veo::veo_load_library(h.get(), "libbench.so");
+        const std::uint64_t sym = veo::veo_get_sym(h.get(), lib, "empty");
+        veo::veo_thr_ctxt* ctx = veo::veo_context_open(h.get());
+
+        auto one = [&] {
+            std::uint64_t ret = 0;
+            (void)veo::veo_call_wait_result(
+                ctx, veo::veo_call_async(ctx, sym, nullptr), &ret);
+        };
+        for (int i = 0; i < 10; ++i) one(); // warm-up, as in the paper
+        const sim::time_ns t0 = sim::now();
+        for (int i = 0; i < reps; ++i) one();
+        per_call = double(sim::now() - t0) / reps;
+    });
+    return per_call;
+}
+
+/// HAM-Offload cost with the given backend.
+double measure_ham(off::backend_kind kind, int reps) {
+    sim::platform plat(sim::platform_config::a300_8());
+    off::runtime_options opt;
+    opt.backend = kind;
+    double per_call = 0.0;
+    off::run(plat, opt, [&] {
+        for (int i = 0; i < 10; ++i) {
+            off::sync(1, ham::f2f<&empty_kernel>()); // warm-up
+        }
+        const sim::time_ns t0 = sim::now();
+        for (int i = 0; i < reps; ++i) {
+            off::sync(1, ham::f2f<&empty_kernel>());
+        }
+        per_call = double(sim::now() - t0) / reps;
+    });
+    return per_call;
+}
+
+} // namespace
+
+int main() {
+    bench::print_header(
+        "Fig. 9 — Function Offload Cost, VH to local VE",
+        "Empty-kernel offload: native VEO vs HAM-Offload over VEO vs VE-DMA");
+
+    const int n = bench::reps();
+    const double veo_native = measure_native_veo(n);
+    const double ham_veo = measure_ham(off::backend_kind::veo, n);
+    const double ham_dma = measure_ham(off::backend_kind::vedma, n);
+
+    aurora::text_table t({"Method", "Time/offload", "Paper", "vs VEO",
+                          "Paper ratio"});
+    t.add_row({"VEO (native offload)", bench::us(veo_native), "80 us", "1.0x",
+               "1.0x"});
+    t.add_row({"HAM-Offload (VEO backend)", bench::us(ham_veo), "432 us",
+               bench::ratio(ham_veo, veo_native), "5.4x"});
+    t.add_row({"HAM-Offload (VE-DMA backend)", bench::us(ham_dma), "6.1 us",
+               bench::ratio(ham_dma, veo_native), "0.076x"});
+    bench::emit(t);
+
+    std::printf("\nSpeed-ups (paper Sec. V-A):\n");
+    std::printf("  VE-DMA vs native VEO : %5.1fx   (paper: 13.1x)\n",
+                veo_native / ham_dma);
+    std::printf("  VE-DMA vs VEO backend: %5.1fx   (paper: 70.8x)\n",
+                ham_veo / ham_dma);
+    std::printf("  VEO backend vs native: %5.1fx   (paper:  5.4x)\n",
+                ham_veo / veo_native);
+    return 0;
+}

@@ -1,0 +1,109 @@
+// E10: real-time microbenchmarks of the HAM core (google-benchmark).
+//
+// Unlike the platform benches (virtual time), these measure the *actual* CPU
+// cost of the framework's hot paths on the machine running the reproduction:
+// the O(1) handler translation of Fig. 6, message serialisation, and
+// cross-image execution. They substantiate the paper's claim that HAM's
+// address translation is constant-time and cheap.
+#include <benchmark/benchmark.h>
+
+#include "ham/execution_context.hpp"
+#include "ham/functor.hpp"
+#include "ham/handler_registry.hpp"
+#include "ham/migratable.hpp"
+#include "ham/msg.hpp"
+
+namespace {
+
+int bench_fn(int a, int b) {
+    return a + b;
+}
+HAM_REGISTER_FUNCTION(bench_fn);
+
+double bench_fn3(double a, double b, double c) {
+    return a * b + c;
+}
+
+const ham::handler_registry& host_reg() {
+    static const ham::handler_registry reg =
+        ham::handler_registry::build({.address_base = 0x400000, .layout_seed = 0});
+    return reg;
+}
+
+const ham::handler_registry& target_reg() {
+    static const ham::handler_registry reg = ham::handler_registry::build(
+        {.address_base = 0x7E0000000000, .layout_seed = 0xFEED});
+    return reg;
+}
+
+void BM_KeyToAddressTranslation(benchmark::State& state) {
+    const auto& reg = host_reg();
+    ham::handler_key key = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(reg.address_of_key(key));
+        key = ham::handler_key((key + 1) % reg.handler_count());
+    }
+}
+BENCHMARK(BM_KeyToAddressTranslation);
+
+void BM_AddressToKeyTranslation(benchmark::State& state) {
+    const auto& reg = host_reg();
+    const std::uint64_t addr = reg.address_of_key(0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(reg.key_of_address(addr));
+    }
+}
+BENCHMARK(BM_AddressToKeyTranslation);
+
+void BM_MessageSerialisation(benchmark::State& state) {
+    alignas(16) std::byte buf[256];
+    const auto functor = ham::f2f<&bench_fn>(1, 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ham::write_message(host_reg(), buf, sizeof(buf), functor));
+    }
+}
+BENCHMARK(BM_MessageSerialisation);
+
+void BM_CrossImageExecution(benchmark::State& state) {
+    alignas(16) std::byte buf[256];
+    (void)ham::write_message(host_reg(), buf, sizeof(buf),
+                             ham::f2f<&bench_fn>(20, 22));
+    int result = 0;
+    std::size_t size = 0;
+    for (auto _ : state) {
+        ham::execute_message(target_reg(), buf, &result, sizeof(result), &size);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_CrossImageExecution);
+
+void BM_DynamicF2FEncoding(benchmark::State& state) {
+    ham::execution_context::scope scope(host_reg());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ham::f2f(&bench_fn, 1, 2));
+    }
+}
+BENCHMARK(BM_DynamicF2FEncoding);
+
+void BM_StaticF2FThreeArgs(benchmark::State& state) {
+    alignas(16) std::byte buf[256];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ham::write_message(
+            host_reg(), buf, sizeof(buf), ham::f2f<&bench_fn3>(1.0, 2.0, 3.0)));
+    }
+}
+BENCHMARK(BM_StaticF2FThreeArgs);
+
+void BM_MigratableStringPack(benchmark::State& state) {
+    const std::string s(std::size_t(state.range(0)), 'x');
+    for (auto _ : state) {
+        ham::migratable<std::string> m(s);
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_MigratableStringPack)->Arg(16)->Arg(64)->Arg(240);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// System characterisation: offload throughput scaling across the A300-8's
+// eight Vector Engines.
+//
+// The paper evaluates a single VH->VE pair; this bench extends the same
+// empty-kernel measurement to the full machine: one runtime drives 1..8 VEs
+// with round-robin async offloads (per-VE in-flight window), reporting the
+// aggregate offload rate. With the VE-DMA protocol all host-side costs are
+// local, so the host can keep several engines busy; with the VEO protocol the
+// ~400 us of host-side privileged-DMA work per offload serialises everything.
+#include <cstdio>
+#include <vector>
+
+#include "bench/support/bench_common.hpp"
+#include "offload/offload.hpp"
+
+namespace {
+
+using namespace aurora;
+namespace off = ham::offload;
+
+void empty_kernel() {}
+
+/// Aggregate offloads/second over `num_ves` engines.
+double offload_rate(off::backend_kind kind, int num_ves, int per_ve) {
+    sim::platform plat(sim::platform_config::a300_8());
+    off::runtime_options opt;
+    opt.backend = kind;
+    opt.targets.clear();
+    for (int i = 0; i < num_ves; ++i) {
+        opt.targets.push_back(i);
+    }
+    double rate = 0.0;
+    off::run(plat, opt, [&] {
+        for (off::node_t n = 1; n <= num_ves; ++n) {
+            off::sync(n, ham::f2f<&empty_kernel>()); // warm-up
+        }
+        const sim::time_ns t0 = sim::now();
+        std::vector<off::future<void>> inflight;
+        for (int round = 0; round < per_ve; ++round) {
+            inflight.clear();
+            for (off::node_t n = 1; n <= num_ves; ++n) {
+                inflight.push_back(off::async(n, ham::f2f<&empty_kernel>()));
+            }
+            for (auto& f : inflight) {
+                f.get();
+            }
+        }
+        const double seconds = double(sim::now() - t0) / 1e9;
+        rate = double(per_ve) * num_ves / seconds;
+    });
+    return rate;
+}
+
+std::string k_per_s(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f k/s", v / 1000.0);
+    return buf;
+}
+
+} // namespace
+
+int main() {
+    bench::print_header(
+        "Scaling — aggregate empty-offload rate over 1..8 Vector Engines",
+        "Round-robin async offloads, one in flight per VE");
+
+    const int per_ve = bench::reps();
+    aurora::text_table t({"VEs", "HAM/VEO rate", "HAM/VE-DMA rate",
+                          "VE-DMA scaling"});
+    double dma1 = 0.0;
+    for (const int ves : {1, 2, 4, 8}) {
+        const double veo = offload_rate(off::backend_kind::veo, ves, per_ve);
+        const double dma = offload_rate(off::backend_kind::vedma, ves, per_ve);
+        if (ves == 1) {
+            dma1 = dma;
+        }
+        t.add_row({std::to_string(ves), k_per_s(veo), k_per_s(dma),
+                   bench::ratio(dma, dma1)});
+    }
+    bench::emit(t);
+    std::printf(
+        "\nReading: the DMA protocol's host-side work is a few local memory\n"
+        "operations per offload, so aggregate rate grows with engine count\n"
+        "until the round-trip latency window fills; the VEO protocol is bound\n"
+        "by ~400 us of host-side work per offload regardless of VE count.\n");
+    return 0;
+}

@@ -1,0 +1,108 @@
+// Reproduction of paper Table IV: "Max. PCIe bandwidths between Vector Host
+// (VH) and Vector Engine (VE) using different transfer methods".
+//
+// Takes the maximum over the Fig. 10 size sweep per method and direction.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/support/bench_common.hpp"
+#include "sim/engine.hpp"
+#include "sim/vh_memory.hpp"
+#include "vedma/dmaatb.hpp"
+#include "vedma/lhm_shm.hpp"
+#include "vedma/userdma.hpp"
+#include "veos/native.hpp"
+#include "veos/veos.hpp"
+
+namespace {
+
+using namespace aurora;
+
+struct peaks {
+    double veo_up = 0, veo_down = 0;
+    double dma_up = 0, dma_down = 0;
+    double lhm_up = 0, shm_down = 0;
+};
+
+peaks measure() {
+    peaks p;
+    sim::platform plat(sim::platform_config::a300_8());
+    veos::veos_system sys(plat);
+    constexpr std::uint64_t max_size = 256 * MiB;
+
+    plat.sim().spawn("VH.bench", [&] {
+        sim::vh_allocation host(plat.vh_pages(), max_size,
+                                sim::page_size::huge_2m);
+        veos::ve_process& proc = sys.daemon(0).create_process();
+        const std::uint64_t ve_buf =
+            proc.ve_alloc(max_size, sim::page_size::huge_64m);
+        veos::dma_manager& pdma = sys.daemon(0).dma();
+
+        auto bw = [&](std::uint64_t n, auto&& fn) {
+            const sim::time_ns t0 = sim::now();
+            fn();
+            return bandwidth_gib_s(n, sim::now() - t0);
+        };
+
+        for (std::uint64_t n = 1 * MiB; n <= max_size; n *= 2) {
+            p.veo_up = std::max(p.veo_up, bw(n, [&] {
+                                    pdma.write_to_ve(proc, ve_buf, host.data(), n, 0);
+                                }));
+            p.veo_down = std::max(p.veo_down, bw(n, [&] {
+                                      pdma.read_from_ve(proc, ve_buf, host.data(),
+                                                        n, 0);
+                                  }));
+        }
+
+        veos::run_native(proc, [&] {
+            vedma::dmaatb atb(proc);
+            vedma::user_dma_engine dma(atb);
+            const std::uint64_t hh = atb.register_vh(host.data(), max_size, 0);
+            const std::uint64_t vv = atb.register_ve(ve_buf, max_size);
+            std::vector<std::byte> scratch(4 * MiB);
+
+            for (std::uint64_t n = 1 * MiB; n <= max_size; n *= 2) {
+                p.dma_up = std::max(p.dma_up, bw(n, [&] { dma.dma_sync(vv, hh, n); }));
+                p.dma_down =
+                    std::max(p.dma_down, bw(n, [&] { dma.dma_sync(hh, vv, n); }));
+            }
+            for (std::uint64_t n = 1 * MiB; n <= 4 * MiB; n *= 2) {
+                p.lhm_up = std::max(p.lhm_up, bw(n, [&] {
+                                        vedma::lhm_load(atb, hh, scratch.data(), n);
+                                    }));
+                p.shm_down = std::max(p.shm_down, bw(n, [&] {
+                                          vedma::shm_store(atb, hh, scratch.data(),
+                                                           n);
+                                      }));
+            }
+        });
+        sys.daemon(0).destroy_process(proc);
+    });
+    plat.sim().run();
+    return p;
+}
+
+std::string fmt(double v, int decimals) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), decimals == 2 ? "%.2f GiB/s" : "%.1f GiB/s", v);
+    return buf;
+}
+
+} // namespace
+
+int main() {
+    bench::print_header("Table IV — Max. PCIe bandwidths between VH and VE",
+                        "Maximum over the Fig. 10 sweep per method/direction");
+    const peaks p = measure();
+
+    aurora::text_table t({"Transfer Method", "VH => VE", "Paper", "VE => VH",
+                          "Paper "});
+    t.add_row({"VEO Read/Write", fmt(p.veo_up, 1), "9.9 GiB/s", fmt(p.veo_down, 1),
+               "10.4 GiB/s"});
+    t.add_row({"VE User DMA", fmt(p.dma_up, 1), "10.6 GiB/s", fmt(p.dma_down, 1),
+               "11.1 GiB/s"});
+    t.add_row({"VE SHM/LHM", fmt(p.lhm_up, 2), "0.01 GiB/s", fmt(p.shm_down, 2),
+               "0.06 GiB/s"});
+    bench::emit(t);
+    return 0;
+}

@@ -1,0 +1,83 @@
+// Minimal ASCII log-log chart renderer for the bench harness: makes the
+// reproduced *figures* visible in a terminal next to their data tables.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace aurora::bench {
+
+/// A named series of (x, y) points; y <= 0 points are skipped.
+struct chart_series {
+    std::string name;
+    char glyph = '*';
+    std::vector<std::pair<double, double>> points;
+};
+
+/// Render series on a log-log grid of `width` x `height` characters.
+inline std::string ascii_loglog_chart(const std::vector<chart_series>& series,
+                                      int width = 64, int height = 16,
+                                      const char* x_label = "size",
+                                      const char* y_label = "GiB/s") {
+    double xmin = 1e300, xmax = 0, ymin = 1e300, ymax = 0;
+    for (const auto& s : series) {
+        for (const auto& [x, y] : s.points) {
+            if (x <= 0 || y <= 0) {
+                continue;
+            }
+            xmin = std::min(xmin, x);
+            xmax = std::max(xmax, x);
+            ymin = std::min(ymin, y);
+            ymax = std::max(ymax, y);
+        }
+    }
+    if (xmax <= 0 || ymax <= 0) {
+        return "(no data)\n";
+    }
+    const double lx0 = std::log2(xmin), lx1 = std::log2(xmax);
+    const double ly0 = std::log10(ymin), ly1 = std::log10(ymax);
+
+    std::vector<std::string> grid(std::size_t(height),
+                                  std::string(std::size_t(width), ' '));
+    for (const auto& s : series) {
+        for (const auto& [x, y] : s.points) {
+            if (x <= 0 || y <= 0) {
+                continue;
+            }
+            const int cx = lx1 > lx0
+                               ? int((std::log2(x) - lx0) / (lx1 - lx0) * (width - 1))
+                               : 0;
+            const int cy =
+                ly1 > ly0
+                    ? int((std::log10(y) - ly0) / (ly1 - ly0) * (height - 1))
+                    : 0;
+            grid[std::size_t(height - 1 - cy)][std::size_t(cx)] = s.glyph;
+        }
+    }
+
+    std::string out;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%8.3g |", ymax);
+    out += std::string(buf) + grid[0] + "\n";
+    for (int r = 1; r + 1 < height; ++r) {
+        out += "         |" + grid[std::size_t(r)] + "\n";
+    }
+    std::snprintf(buf, sizeof(buf), "%8.3g |", ymin);
+    out += std::string(buf) + grid[std::size_t(height - 1)] + "\n";
+    out += "         +" + std::string(std::size_t(width), '-') + "\n";
+    std::snprintf(buf, sizeof(buf), "%10.3g", xmin);
+    out += std::string(buf) + std::string(std::size_t(width - 12), ' ');
+    std::snprintf(buf, sizeof(buf), "%.3g", xmax);
+    out += buf;
+    out += std::string("  [") + x_label + ", log2] vs [" + y_label + ", log10]\n";
+    for (const auto& s : series) {
+        out += "           ";
+        out += s.glyph;
+        out += " = " + s.name + "\n";
+    }
+    return out;
+}
+
+} // namespace aurora::bench

@@ -1,0 +1,75 @@
+// Shared benchmark-harness helpers.
+//
+// Every bench binary prints a header mirroring the paper's Table III system
+// description, runs its measurement on the simulated platform (virtual time,
+// deterministic), and emits rows comparable side-by-side with the paper's
+// reported numbers. Repetition counts are configurable via HAM_AURORA_REPS —
+// the simulator is deterministic, so the paper's 1e6 repetitions (used there
+// to fight measurement noise) are unnecessary.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/platform.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace aurora::bench {
+
+/// Repetitions for offload-cost measurements.
+inline int reps(int fallback = 50) {
+    return static_cast<int>(env_int_or("HAM_AURORA_REPS", fallback));
+}
+
+/// Repetitions for bandwidth measurements per size.
+inline int transfer_reps(int fallback = 3) {
+    return static_cast<int>(env_int_or("HAM_AURORA_TRANSFER_REPS", fallback));
+}
+
+inline bool csv_output() {
+    return env_flag("HAM_AURORA_CSV", false);
+}
+
+inline void print_header(const std::string& title, const std::string& what) {
+    sim::platform plat(sim::platform_config::a300_8());
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("%s\n", what.c_str());
+    std::printf("--------------------------------------------------------------\n");
+    std::printf("%s", plat.description().c_str());
+    std::printf("Timing      : virtual (deterministic cost model), "
+                "averages over %d reps\n",
+                reps());
+    std::printf("==============================================================\n\n");
+}
+
+inline void emit(const text_table& table) {
+    if (csv_output()) {
+        std::printf("%s", table.csv().c_str());
+    } else {
+        std::printf("%s", table.str().c_str());
+    }
+}
+
+/// "x.xx us" with two decimals (bench tables).
+inline std::string us(double ns) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1000.0);
+    return buf;
+}
+
+inline std::string ratio(double a, double b) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1fx", a / b);
+    return buf;
+}
+
+inline std::string gib_s(double bytes, double ns) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f", bytes / double(GiB) / (ns / 1e9));
+    return buf;
+}
+
+} // namespace aurora::bench

@@ -1,0 +1,149 @@
+// FETI-style domain-decomposition iteration with offloaded dense kernels.
+//
+//   build/examples/feti_solver [num_ves] [iterations]
+//
+// Models the use case the paper highlights in its related work (Maly et al.:
+// Xeon Phi acceleration of domain decomposition iterations via heterogeneous
+// active messages): each subdomain owns a dense local "Schur complement"
+// operator; every solver iteration applies all subdomain operators to the
+// current interface vector — many medium-sized dense matrix-vector kernels,
+// offloaded with one subdomain per Vector Engine slot and load-balanced with
+// the host. The iteration is a plain Richardson scheme on a diagonally
+// dominant system, so convergence is provable and verifiable.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "offload/offload.hpp"
+
+namespace off = ham::offload;
+using off::buffer_ptr;
+
+namespace {
+
+constexpr std::size_t iface = 64; // interface unknowns per subdomain
+
+/// y = S * x for this subdomain's dense operator (both VE-resident);
+/// returns the local residual contribution ||x - y||^2.
+double apply_schur(buffer_ptr<double> s_op, buffer_ptr<double> x,
+                   buffer_ptr<double> y, std::size_t n) {
+    std::vector<double> S(n * n), vx(n), vy(n, 0.0);
+    s_op.read_block(0, S.data(), n * n);
+    x.read_block(0, vx.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            acc += S[i * n + j] * vx[j];
+        }
+        vy[i] = acc;
+    }
+    y.write_block(0, vy.data(), n);
+    double r = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        r += (vx[i] - vy[i]) * (vx[i] - vy[i]);
+    }
+    off::compute_hint(2.0 * double(n) * double(n), 8.0 * double(n) * double(n));
+    return r;
+}
+HAM_REGISTER_FUNCTION(apply_schur);
+
+/// Build a contraction operator: row-stochastic-ish with spectral radius < 1.
+std::vector<double> make_operator(std::size_t n, unsigned seed) {
+    std::vector<double> S(n * n);
+    std::uint64_t state = seed * 2654435761u + 12345;
+    auto rnd = [&state]() {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return double(state >> 40) / double(1 << 24);
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        double row = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            S[i * n + j] = rnd() / double(n);
+            row += S[i * n + j];
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+            S[i * n + j] *= 0.9 / row; // contraction: row sums = 0.9
+        }
+    }
+    return S;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const int num_ves = argc > 1 ? std::atoi(argv[1]) : 4;
+    const int iterations = argc > 2 ? std::atoi(argv[2]) : 25;
+
+    off::runtime_options opt;
+    opt.backend = off::backend_kind::vedma;
+    opt.targets.clear();
+    for (int i = 0; i < num_ves; ++i) {
+        opt.targets.push_back(i);
+    }
+
+    aurora::sim::platform plat(aurora::sim::platform_config::a300_8());
+    return off::run(plat, opt, [&]() -> int {
+        namespace sim = aurora::sim;
+        const std::size_t domains = off::num_nodes() - 1;
+
+        struct subdomain {
+            buffer_ptr<double> S, x, y;
+        };
+        std::vector<subdomain> subs(domains);
+        std::vector<std::vector<double>> hosts_x(domains,
+                                                 std::vector<double>(iface, 1.0));
+        for (std::size_t d = 0; d < domains; ++d) {
+            const off::node_t node = off::node_t(d + 1);
+            subs[d].S = off::allocate<double>(node, iface * iface);
+            subs[d].x = off::allocate<double>(node, iface);
+            subs[d].y = off::allocate<double>(node, iface);
+            const auto S = make_operator(iface, unsigned(d + 1));
+            off::put(S.data(), subs[d].S, S.size()).get();
+            off::put(hosts_x[d].data(), subs[d].x, iface).get();
+        }
+
+        const sim::time_ns t0 = sim::now();
+        double residual = 0.0;
+        for (int it = 0; it < iterations; ++it) {
+            // Fan the subdomain operators out asynchronously…
+            std::vector<off::future<double>> parts;
+            parts.reserve(domains);
+            for (std::size_t d = 0; d < domains; ++d) {
+                parts.push_back(
+                    off::async(off::node_t(d + 1),
+                               ham::f2f(&apply_schur, subs[d].S, subs[d].x,
+                                        subs[d].y, iface)));
+            }
+            // …and reduce the residual when they land.
+            residual = 0.0;
+            for (auto& p : parts) {
+                residual += p.get();
+            }
+            // Richardson update x <- S x happens on the VE already (y holds
+            // S x); swap the roles of x and y for the next iteration.
+            for (auto& s : subs) {
+                std::swap(s.x, s.y);
+            }
+        }
+        const sim::time_ns elapsed = sim::now() - t0;
+
+        // With a 0.9-contraction, ||x_k|| ~ 0.9^k: the residual must have
+        // fallen by orders of magnitude.
+        const bool converged = residual < 1e-1 * double(domains);
+        std::printf("feti_solver: %zu subdomains, %d iterations of S*x\n",
+                    domains, iterations);
+        std::printf("  final residual sum : %.3e  (%s)\n", residual,
+                    converged ? "converged" : "NOT converged");
+        std::printf("  time per iteration : %s\n",
+                    aurora::format_ns(elapsed / iterations).c_str());
+        std::printf("  offloads issued    : %d\n", iterations * int(domains));
+
+        for (auto& s : subs) {
+            off::free(s.S);
+            off::free(s.x);
+            off::free(s.y);
+        }
+        return converged ? 0 : 1;
+    });
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Plot the Fig. 10 reproduction from the bench's CSV output.
+
+Usage:
+    HAM_AURORA_CSV=1 build/bench/bench_fig10_bandwidth > fig10.csv.txt
+    python3 scripts/plot_fig10.py fig10.csv.txt fig10.png
+
+Recreates the paper's 2x2 panel layout (directions x size ranges) with
+log-log axes. Requires matplotlib; degrades to a textual summary without it.
+"""
+import sys
+
+
+def parse(path):
+    """Extract the four panels' CSV tables from the bench output."""
+    panels = {}
+    current = None
+    for line in open(path):
+        line = line.strip()
+        if line.startswith("Panel"):
+            current = line
+            panels[current] = []
+        elif current and line.startswith("Size,"):
+            continue
+        elif current and "," in line and line[0].isdigit():
+            cells = line.split(",")
+            size_txt = cells[0]
+            panels[current].append((parse_size(size_txt), *[
+                float(c) if c != "-" else None for c in cells[1:]
+            ]))
+        elif current and not line:
+            current = None
+    return panels
+
+
+def parse_size(txt):
+    units = {"B": 1, "KiB": 1024, "MiB": 1024 ** 2, "GiB": 1024 ** 3}
+    num, unit = txt.split()
+    return float(num) * units[unit]
+
+
+def main():
+    src = sys.argv[1] if len(sys.argv) > 1 else "fig10.csv.txt"
+    dst = sys.argv[2] if len(sys.argv) > 2 else "fig10.png"
+    panels = parse(src)
+    if not panels:
+        print("no panel data found — run the bench with HAM_AURORA_CSV=1")
+        return 1
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib unavailable; textual summary:")
+        for name, rows in panels.items():
+            print(f"  {name}: {len(rows)} points, "
+                  f"peak VEO {max(r[1] for r in rows):.2f} GiB/s, "
+                  f"peak DMA {max(r[2] for r in rows):.2f} GiB/s")
+        return 0
+
+    fig, axes = plt.subplots(2, 2, figsize=(11, 7), sharey="row")
+    series = ["VEO Read/Write", "VE User DMA", "VE SHM/LHM"]
+    for ax, (name, rows) in zip(axes.flat, panels.items()):
+        xs = [r[0] for r in rows]
+        for idx, label in enumerate(series, start=1):
+            ys = [r[idx] for r in rows]
+            pts = [(x, y) for x, y in zip(xs, ys) if y is not None]
+            if pts:
+                ax.plot(*zip(*pts), marker="o", markersize=3, label=label)
+        ax.set_xscale("log", base=2)
+        ax.set_yscale("log")
+        ax.set_title(name.split("(")[0].strip(), fontsize=9)
+        ax.set_xlabel("transfer size [B]")
+        ax.set_ylabel("bandwidth [GiB/s]")
+        ax.grid(True, which="both", alpha=0.3)
+    axes[0][0].legend(fontsize=8)
+    fig.suptitle("Fig. 10 reproduction — VH/VE copy bandwidth by method")
+    fig.tight_layout()
+    fig.savefig(dst, dpi=140)
+    print(f"wrote {dst}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

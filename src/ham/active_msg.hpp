@@ -1,0 +1,66 @@
+// Active messages: messages that contain actions (paper Sec. I-A).
+//
+// active_msg<Functor> packages a callable (typically built with f2f()) behind
+// a handler key. The C++ type system generates one handler per message type
+// (active_msg<F>::raw_execute), and static initialisation registers it in the
+// process-wide catalog — the template-meta-programming pipeline the paper
+// describes: "It uses the C++ type system and template meta-programming to
+// automatically generate handler functions for every message."
+#pragma once
+
+#include <cstring>
+#include <type_traits>
+
+#include "ham/catalog.hpp"
+#include "ham/types.hpp"
+#include "util/check.hpp"
+
+namespace ham {
+
+/// Result placeholder for void-returning functors.
+struct void_result {};
+
+template <typename Functor>
+struct active_msg {
+    using result_type = std::invoke_result_t<Functor>;
+    using stored_result =
+        std::conditional_t<std::is_void_v<result_type>, void_result, result_type>;
+
+    static_assert(std::is_trivially_copyable_v<Functor>,
+                  "active message functors travel as raw bytes between "
+                  "heterogeneous binaries; wrap non-trivial state in "
+                  "ham::migratable<T>");
+    static_assert(std::is_void_v<result_type> ||
+                      std::is_trivially_copyable_v<result_type>,
+                  "offload results travel as raw bytes; return a trivially "
+                  "copyable type or a ham::migratable<T>");
+
+    handler_key key = invalid_handler_key; ///< globally valid message type id
+    Functor functor;
+
+    /// The generated message handler: typeless receive-buffer bytes back into
+    /// the type-safe world (paper Sec. III-E).
+    static void raw_execute(void* msg, void* result, std::size_t result_cap,
+                            std::size_t* result_size) {
+        auto* self = static_cast<active_msg*>(msg);
+        if constexpr (std::is_void_v<result_type>) {
+            self->functor();
+            if (result_size != nullptr) {
+                *result_size = 0;
+            }
+        } else {
+            result_type r = self->functor();
+            AURORA_CHECK_MSG(result != nullptr && sizeof(r) <= result_cap,
+                             "result buffer too small for offload result");
+            std::memcpy(result, &r, sizeof(r));
+            if (result_size != nullptr) {
+                *result_size = sizeof(r);
+            }
+        }
+    }
+
+    /// The catalog index of this message type (forces static registration).
+    static std::size_t catalog_index() { return detail::auto_register<active_msg>::index; }
+};
+
+} // namespace ham

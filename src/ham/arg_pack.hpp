@@ -1,0 +1,49 @@
+// A trivially copyable tuple substitute for active-message argument storage.
+//
+// std::tuple is not trivially copyable in common standard libraries, but HAM
+// functors must be memcpy-safe to travel between heterogeneous binaries —
+// arg_pack is a plain aggregate, so it is trivially copyable whenever its
+// element types are.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace ham {
+
+template <typename... Ts>
+struct arg_pack;
+
+template <>
+struct arg_pack<> {};
+
+template <typename T, typename... Rest>
+struct arg_pack<T, Rest...> {
+    T head;
+    arg_pack<Rest...> tail;
+};
+
+/// Build an arg_pack from values (by-value semantics, like message capture).
+inline arg_pack<> make_arg_pack() {
+    return {};
+}
+
+template <typename T, typename... Rest>
+arg_pack<std::decay_t<T>, std::decay_t<Rest>...> make_arg_pack(T&& v, Rest&&... rest) {
+    return {std::forward<T>(v), make_arg_pack(std::forward<Rest>(rest)...)};
+}
+
+/// Invoke `fn` with the pack's elements in order.
+template <typename Fn, typename... Unpacked>
+decltype(auto) apply_pack(Fn&& fn, const arg_pack<>&, Unpacked&&... unpacked) {
+    return std::forward<Fn>(fn)(std::forward<Unpacked>(unpacked)...);
+}
+
+template <typename Fn, typename T, typename... Rest, typename... Unpacked>
+decltype(auto) apply_pack(Fn&& fn, const arg_pack<T, Rest...>& pack,
+                          Unpacked&&... unpacked) {
+    return apply_pack(std::forward<Fn>(fn), pack.tail,
+                      std::forward<Unpacked>(unpacked)..., pack.head);
+}
+
+} // namespace ham

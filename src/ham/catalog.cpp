@@ -1,0 +1,25 @@
+#include "ham/catalog.hpp"
+
+namespace ham {
+
+message_catalog& message_catalog::instance() {
+    static message_catalog cat;
+    return cat;
+}
+
+std::size_t message_catalog::add(msg_type_info info) {
+    entries_.push_back(std::move(info));
+    return entries_.size() - 1;
+}
+
+function_catalog& function_catalog::instance() {
+    static function_catalog cat;
+    return cat;
+}
+
+std::size_t function_catalog::add(function_info info) {
+    entries_.push_back(std::move(info));
+    return entries_.size() - 1;
+}
+
+} // namespace ham

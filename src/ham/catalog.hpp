@@ -1,0 +1,93 @@
+// Process-wide catalogs of message types and offloadable functions.
+//
+// In a real HAM binary, C++ static initialisation collects every active
+// message type's (typeid name, handler address) pair before main() runs; the
+// same program built for the other architecture collects the same *names*
+// with different *addresses* (paper Sec. III-E). The catalogs below are that
+// collection point. Per-binary handler_registry instances are then derived
+// from the catalogs — in the simulation, once per program image, each with
+// its own synthetic address space (see handler_registry.hpp).
+#pragma once
+
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "ham/types.hpp"
+
+namespace ham {
+
+/// One registered active message type.
+struct msg_type_info {
+    std::string type_name; ///< typeid(...).name() — comparable across binaries
+    raw_handler handler;   ///< local handler address of *this* process
+};
+
+/// One registered offloadable function (for runtime-pointer f2f()).
+struct function_info {
+    std::string name; ///< registration name (HAM_REGISTER_FUNCTION)
+    void* pointer;    ///< local address of *this* process
+};
+
+/// Global collection of all active message types of the program.
+class message_catalog {
+public:
+    static message_catalog& instance();
+
+    /// Register a type; returns its catalog index (stable for the process).
+    std::size_t add(msg_type_info info);
+
+    [[nodiscard]] const std::vector<msg_type_info>& entries() const {
+        return entries_;
+    }
+
+private:
+    std::vector<msg_type_info> entries_;
+};
+
+/// Global collection of all functions registered for pointer-based f2f().
+class function_catalog {
+public:
+    static function_catalog& instance();
+
+    std::size_t add(function_info info);
+
+    [[nodiscard]] const std::vector<function_info>& entries() const {
+        return entries_;
+    }
+
+private:
+    std::vector<function_info> entries_;
+};
+
+namespace detail {
+
+/// Static-initialisation hook: naming auto_register<Msg>::index anywhere
+/// guarantees the type lands in the catalog before main().
+template <typename Msg>
+struct auto_register {
+    static const std::size_t index;
+};
+
+template <typename Msg>
+const std::size_t auto_register<Msg>::index = message_catalog::instance().add(
+    {typeid(Msg).name(), &Msg::raw_execute});
+
+/// Function registration hook used by the HAM_REGISTER_FUNCTION macro.
+struct function_registrar {
+    function_registrar(const char* name, void* pointer) {
+        index = function_catalog::instance().add({name, pointer});
+    }
+    std::size_t index;
+};
+
+} // namespace detail
+} // namespace ham
+
+/// Register `fn` for use with the runtime-pointer form of f2f(). Place at
+/// namespace scope in exactly one translation unit, e.g.
+///   HAM_REGISTER_FUNCTION(inner_product);
+#define HAM_REGISTER_FUNCTION(fn)                                             \
+    static const ::ham::detail::function_registrar ham_fnreg_##fn {           \
+        #fn, reinterpret_cast<void*>(&fn)                                     \
+    }

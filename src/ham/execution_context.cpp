@@ -1,0 +1,7 @@
+#include "ham/execution_context.hpp"
+
+namespace ham {
+
+thread_local const handler_registry* execution_context::current_ = nullptr;
+
+} // namespace ham

@@ -1,0 +1,45 @@
+// The "current binary" of the executing thread.
+//
+// Real HAM binaries have exactly one handler table each; the simulation runs
+// both program images in one process, so library code needs to know which
+// image's translation tables apply: the VH image on the host process's
+// thread, the VE image on the VE process's thread. The offload runtime
+// installs the right registry per simulated process (each simulated process
+// is its own OS thread, so a thread_local models this exactly).
+#pragma once
+
+#include "ham/handler_registry.hpp"
+#include "util/check.hpp"
+
+namespace ham {
+
+class execution_context {
+public:
+    /// The registry of the image this thread is "executing in".
+    [[nodiscard]] static const handler_registry& registry() {
+        AURORA_CHECK_MSG(current_ != nullptr,
+                         "no HAM execution context installed on this thread");
+        return *current_;
+    }
+
+    [[nodiscard]] static bool installed() noexcept { return current_ != nullptr; }
+
+    /// RAII installation of an image registry for the current thread.
+    class scope {
+    public:
+        explicit scope(const handler_registry& reg) : previous_(current_) {
+            current_ = &reg;
+        }
+        ~scope() { current_ = previous_; }
+        scope(const scope&) = delete;
+        scope& operator=(const scope&) = delete;
+
+    private:
+        const handler_registry* previous_;
+    };
+
+private:
+    static thread_local const handler_registry* current_;
+};
+
+} // namespace ham

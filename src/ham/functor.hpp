@@ -1,0 +1,79 @@
+// f2f — function to functor conversion (paper Table II).
+//
+// Two forms are provided:
+//
+//   1. Compile-time form:   f2f<&inner_product>(a, b, n)
+//      The function is a non-type template parameter, so its address is
+//      baked into each binary's instantiation of the handler — no lookup at
+//      all, inherently safe across heterogeneous binaries.
+//
+//   2. Runtime-pointer form (the paper's Fig. 2 syntax):
+//                           f2f(&inner_product, a, b, n)
+//      The local function pointer is translated to a globally valid function
+//      key through the sender image's translation table and back to a local
+//      pointer in the receiver image (the same sorted-name scheme as message
+//      handlers, Fig. 6). The function must be registered once with
+//      HAM_REGISTER_FUNCTION(inner_product).
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "ham/arg_pack.hpp"
+#include "ham/execution_context.hpp"
+#include "ham/types.hpp"
+
+namespace ham {
+
+/// Functor produced by the compile-time form.
+template <auto Fn, typename... Pars>
+struct static_functor {
+    using result_type = decltype(Fn(std::declval<Pars>()...));
+
+    arg_pack<Pars...> args;
+
+    result_type operator()() const {
+        return apply_pack([](const auto&... a) { return Fn(a...); }, args);
+    }
+};
+
+/// Functor produced by the runtime-pointer form: carries the globally valid
+/// function key; the receiver translates it back to its local pointer.
+template <typename R, typename... Pars>
+struct dynamic_functor {
+    using result_type = R;
+    using fn_ptr = R (*)(Pars...);
+
+    function_key fkey = invalid_function_key;
+    arg_pack<std::decay_t<Pars>...> args;
+
+    R operator()() const {
+        // Key -> local address in the *executing* image (Fig. 6 transfer step
+        // already happened; this is the receiver-side translation).
+        auto* fn = reinterpret_cast<fn_ptr>(
+            execution_context::registry().function_of_key(fkey));
+        return apply_pack(fn, args);
+    }
+};
+
+/// Compile-time form: f2f<&fn>(args...).
+template <auto Fn, typename... Args>
+[[nodiscard]] auto f2f(Args&&... args) {
+    using functor = static_functor<Fn, std::decay_t<Args>...>;
+    return functor{make_arg_pack(std::forward<Args>(args)...)};
+}
+
+/// Runtime-pointer form: f2f(&fn, args...) — the paper's Fig. 2 syntax.
+/// Requires HAM_REGISTER_FUNCTION(fn) and an installed execution context.
+template <typename R, typename... Pars, typename... Args>
+[[nodiscard]] auto f2f(R (*fn)(Pars...), Args&&... args) {
+    static_assert(sizeof...(Pars) == sizeof...(Args),
+                  "f2f: argument count does not match the function signature");
+    const function_key key = execution_context::registry().key_of_function(
+        reinterpret_cast<const void*>(fn));
+    return dynamic_functor<R, Pars...>{
+        key, make_arg_pack(static_cast<std::decay_t<Pars>>(
+                 std::forward<Args>(args))...)};
+}
+
+} // namespace ham

@@ -1,0 +1,158 @@
+#include "ham/handler_registry.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace ham {
+
+namespace {
+
+/// Deterministic Fisher-Yates with a splitmix64 stream: emulates the
+/// different code layout of the other architecture's binary.
+std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+template <typename T>
+void shuffle_with_seed(std::vector<T>& v, std::uint64_t seed) {
+    if (seed == 0 || v.size() < 2) {
+        return;
+    }
+    std::uint64_t state = seed;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+        const std::size_t j = splitmix64(state) % (i + 1);
+        std::swap(v[i], v[j]);
+    }
+}
+
+} // namespace
+
+handler_registry handler_registry::build(const options& opt) {
+    handler_registry reg;
+    reg.address_base_ = opt.address_base;
+
+    const auto& msg_entries = message_catalog::instance().entries();
+    const auto& fn_entries = function_catalog::instance().entries();
+
+    // 1. "Static initialisation": collect handlers in this image's layout
+    //    order, assigning each its local code address.
+    std::vector<std::size_t> layout(msg_entries.size());
+    std::iota(layout.begin(), layout.end(), 0);
+    shuffle_with_seed(layout, opt.layout_seed);
+
+    reg.by_layout_.reserve(msg_entries.size());
+    std::vector<handler_key> key_by_catalog(msg_entries.size(), invalid_handler_key);
+    std::vector<std::size_t> catalog_of_layout(msg_entries.size());
+    for (std::size_t pos = 0; pos < layout.size(); ++pos) {
+        const msg_type_info& info = msg_entries[layout[pos]];
+        reg.by_layout_.push_back(handler_entry{
+            .name = info.type_name,
+            .handler = info.handler,
+            .local_address = opt.address_base + pos * address_stride,
+            .key = invalid_handler_key,
+        });
+        catalog_of_layout[pos] = layout[pos];
+    }
+
+    // 2. "Runtime init": sort the collected names lexicographically — the
+    //    order is identical in every binary — and use the sorted position as
+    //    the globally valid handler key (paper Sec. III-E).
+    std::vector<std::size_t> order(reg.by_layout_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return reg.by_layout_[a].name < reg.by_layout_[b].name;
+    });
+
+    reg.by_key_.resize(order.size());
+    std::uint64_t fp = 0xcbf29ce484222325ULL; // FNV-1a over the sorted names
+    for (std::size_t key = 0; key < order.size(); ++key) {
+        handler_entry& e = reg.by_layout_[order[key]];
+        e.key = static_cast<handler_key>(key);
+        reg.by_key_[key] = &e;
+        key_by_catalog[catalog_of_layout[order[key]]] = e.key;
+        for (const char c : e.name) {
+            fp = (fp ^ std::uint64_t(std::uint8_t(c))) * 0x100000001b3ULL;
+        }
+        fp = (fp ^ 0x1F) * 0x100000001b3ULL; // name separator
+    }
+    reg.fingerprint_ = fp;
+    reg.key_by_catalog_index_ = std::move(key_by_catalog);
+
+    // 3. Function address translation tables: same scheme, the registered
+    //    *names* sort identically in every image while the local pointers
+    //    belong to this image.
+    std::vector<std::size_t> fn_order(fn_entries.size());
+    std::iota(fn_order.begin(), fn_order.end(), 0);
+    // Duplicate names can occur (the same function registered from several
+    // translation units); tie-break on catalog order so every image agrees.
+    std::sort(fn_order.begin(), fn_order.end(), [&](std::size_t a, std::size_t b) {
+        if (fn_entries[a].name != fn_entries[b].name) {
+            return fn_entries[a].name < fn_entries[b].name;
+        }
+        return a < b;
+    });
+    reg.fn_by_key_.reserve(fn_entries.size());
+    for (std::size_t key = 0; key < fn_order.size(); ++key) {
+        const function_info& fi = fn_entries[fn_order[key]];
+        reg.fn_by_key_.push_back(fi.pointer);
+        reg.fn_keys_.emplace(fi.pointer, static_cast<function_key>(key));
+    }
+    return reg;
+}
+
+std::uint64_t handler_registry::address_of_key(handler_key key) const {
+    AURORA_CHECK_MSG(key < by_key_.size(), "unknown handler key " << key);
+    return by_key_[key]->local_address;
+}
+
+handler_key handler_registry::key_of_address(std::uint64_t address) const {
+    AURORA_CHECK_MSG(address >= address_base_, "address below this image's code base");
+    const std::uint64_t pos = (address - address_base_) / address_stride;
+    AURORA_CHECK_MSG(pos < by_layout_.size() &&
+                         by_layout_[pos].local_address == address,
+                     "no handler at address 0x" << std::hex << address);
+    return by_layout_[pos].key;
+}
+
+handler_key handler_registry::key_of_catalog_index(std::size_t catalog_index) const {
+    AURORA_CHECK_MSG(catalog_index < key_by_catalog_index_.size(),
+                     "message type registered after registry construction");
+    return key_by_catalog_index_[catalog_index];
+}
+
+void handler_registry::execute(handler_key key, void* msg, void* result,
+                               std::size_t result_cap,
+                               std::size_t* result_size) const {
+    AURORA_CHECK_MSG(key < by_key_.size(), "unknown handler key " << key);
+    // Key -> local address -> handler: the receive path of Fig. 6.
+    const std::uint64_t address = by_key_[key]->local_address;
+    const handler_key back = key_of_address(address);
+    AURORA_CHECK(back == key);
+    by_key_[key]->handler(msg, result, result_cap, result_size);
+}
+
+const std::string& handler_registry::name_of_key(handler_key key) const {
+    AURORA_CHECK_MSG(key < by_key_.size(), "unknown handler key " << key);
+    return by_key_[key]->name;
+}
+
+function_key handler_registry::key_of_function(const void* pointer) const {
+    auto it = fn_keys_.find(pointer);
+    AURORA_CHECK_MSG(it != fn_keys_.end(),
+                     "function not registered — add HAM_REGISTER_FUNCTION(fn) "
+                     "or use the f2f<&fn>(...) form");
+    return it->second;
+}
+
+void* handler_registry::function_of_key(function_key key) const {
+    AURORA_CHECK_MSG(key < fn_by_key_.size(), "unknown function key " << key);
+    return fn_by_key_[key];
+}
+
+} // namespace ham

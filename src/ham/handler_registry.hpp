@@ -1,0 +1,116 @@
+// Per-binary handler tables and the cross-binary address translation
+// (paper Fig. 6).
+//
+// Each binary of a HAM program collects its message handlers in its own
+// address space. Sorting the collected typeid names lexicographically yields
+// the same order in every binary without communication; the sorted index is
+// the globally valid *handler key*, translated to/from local addresses in
+// O(1).
+//
+// In the simulation, the two "binaries" (VH executable and VE library) are
+// program images inside one process. Each image builds its own
+// handler_registry from the global catalogs with
+//   * a distinct synthetic code base address, and
+//   * a distinct registration order (seeded shuffle),
+// so local handler "addresses" genuinely differ between images and nothing
+// can accidentally work by address coincidence — execution only succeeds
+// through key translation, exactly as on real heterogeneous binaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ham/catalog.hpp"
+#include "ham/types.hpp"
+
+namespace ham {
+
+class handler_registry {
+public:
+    struct options {
+        /// Synthetic code base of this image (handler "addresses" start here).
+        std::uint64_t address_base = 0x400000;
+        /// Shuffle seed emulating a different code layout; 0 keeps catalog
+        /// order (the host image conventionally uses 0).
+        std::uint64_t layout_seed = 0;
+    };
+
+    /// Build this image's tables from the process-wide catalogs.
+    /// Mirrors what static initialisation + runtime init do in a real binary.
+    static handler_registry build(const options& opt);
+
+    // --- message handler translation (Fig. 6) -------------------------------
+
+    [[nodiscard]] std::size_t handler_count() const noexcept {
+        return by_key_.size();
+    }
+
+    /// Globally valid key -> local handler address. O(1).
+    [[nodiscard]] std::uint64_t address_of_key(handler_key key) const;
+
+    /// Local handler address -> globally valid key. O(1).
+    [[nodiscard]] handler_key key_of_address(std::uint64_t address) const;
+
+    /// Sender-side: key for a message type by its catalog index. O(1).
+    [[nodiscard]] handler_key key_of_catalog_index(std::size_t catalog_index) const;
+
+    /// Sender-side: key for message type `Msg`. O(1).
+    template <typename Msg>
+    [[nodiscard]] handler_key key_for() const {
+        return key_of_catalog_index(detail::auto_register<Msg>::index);
+    }
+
+    /// Receiver-side: execute the message for `key` via the local handler
+    /// (lookup + indirect call — "the generic handler", Fig. 6).
+    void execute(handler_key key, void* msg, void* result, std::size_t result_cap,
+                 std::size_t* result_size) const;
+
+    /// The typeid name behind a key (diagnostics).
+    [[nodiscard]] const std::string& name_of_key(handler_key key) const;
+
+    /// Fingerprint of the sorted type-name table. Identical across binaries
+    /// iff their compilers produced the same (lexicographically ordered) set
+    /// of type names — the ABI-compatibility precondition of Sec. III-E
+    /// ("requires the used C++ compilers to have a compatible ABI"). The
+    /// backends exchange it during setup and refuse mismatched binaries.
+    [[nodiscard]] std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+
+    // --- function address translation (runtime-pointer f2f) -----------------
+
+    [[nodiscard]] std::size_t function_count() const noexcept {
+        return fn_by_key_.size();
+    }
+
+    /// Local function pointer -> globally valid function key.
+    [[nodiscard]] function_key key_of_function(const void* pointer) const;
+
+    /// Globally valid function key -> this image's local function pointer.
+    [[nodiscard]] void* function_of_key(function_key key) const;
+
+private:
+    struct handler_entry {
+        std::string name;
+        raw_handler handler;
+        std::uint64_t local_address;
+        handler_key key;
+    };
+
+    std::uint64_t address_base_ = 0;
+    std::uint64_t fingerprint_ = 0;
+    // Indexed by key (sorted-name order):
+    std::vector<const handler_entry*> by_key_;
+    // Indexed by layout position ((local_address - base) / stride):
+    std::vector<handler_entry> by_layout_;
+    // catalog index -> key (sender-side O(1) lookup):
+    std::vector<handler_key> key_by_catalog_index_;
+
+    // Function translation:
+    std::vector<void*> fn_by_key_;                       // key -> local pointer
+    std::unordered_map<const void*, function_key> fn_keys_; // pointer -> key
+
+    static constexpr std::uint64_t address_stride = 16; // synthetic code spacing
+};
+
+} // namespace ham

@@ -1,0 +1,124 @@
+// migratable<T> — the serialisation type wrapper (paper Sec. I-A: "A special
+// type wrapper provides hooks to transparently do serialisation and
+// de-serialisation of (complex) data types if necessary").
+//
+// Active message payloads must be trivially copyable to travel between
+// heterogeneous binaries; migratable<T, Capacity> packs a complex T into a
+// fixed inline buffer at construction and unpacks on access, making itself
+// trivially copyable. The packing hooks are a customisation point
+// (ham::serializer<T>) with stock implementations for trivially copyable
+// types, std::string, and std::vector of trivially copyable elements.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ham {
+
+/// Customisation point: pack/unpack T through a byte buffer.
+template <typename T, typename Enable = void>
+struct serializer {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "provide a ham::serializer<T> specialisation for this type");
+
+    static std::size_t pack(const T& value, std::byte* buf, std::size_t cap) {
+        AURORA_CHECK_MSG(sizeof(T) <= cap, "migratable capacity too small");
+        std::memcpy(buf, &value, sizeof(T));
+        return sizeof(T);
+    }
+    static T unpack(const std::byte* buf, std::size_t size) {
+        AURORA_CHECK(size == sizeof(T));
+        T value;
+        std::memcpy(&value, buf, sizeof(T));
+        return value;
+    }
+};
+
+template <>
+struct serializer<std::string> {
+    static std::size_t pack(const std::string& s, std::byte* buf, std::size_t cap) {
+        AURORA_CHECK_MSG(s.size() <= cap,
+                         "string of " << s.size() << " B exceeds migratable capacity "
+                                      << cap);
+        std::memcpy(buf, s.data(), s.size());
+        return s.size();
+    }
+    static std::string unpack(const std::byte* buf, std::size_t size) {
+        return {reinterpret_cast<const char*>(buf), size};
+    }
+};
+
+template <typename A, typename B>
+struct serializer<std::pair<A, B>,
+                  std::enable_if_t<!std::is_trivially_copyable_v<std::pair<A, B>>>> {
+    static std::size_t pack(const std::pair<A, B>& p, std::byte* buf,
+                            std::size_t cap) {
+        AURORA_CHECK(cap >= sizeof(std::size_t));
+        std::size_t first_size = serializer<A>::pack(
+            p.first, buf + sizeof(std::size_t), cap - sizeof(std::size_t));
+        std::memcpy(buf, &first_size, sizeof(first_size));
+        const std::size_t used = sizeof(std::size_t) + first_size;
+        return used + serializer<B>::pack(p.second, buf + used, cap - used);
+    }
+    static std::pair<A, B> unpack(const std::byte* buf, std::size_t size) {
+        std::size_t first_size = 0;
+        std::memcpy(&first_size, buf, sizeof(first_size));
+        AURORA_CHECK(sizeof(std::size_t) + first_size <= size);
+        A a = serializer<A>::unpack(buf + sizeof(std::size_t), first_size);
+        const std::size_t used = sizeof(std::size_t) + first_size;
+        B b = serializer<B>::unpack(buf + used, size - used);
+        return {std::move(a), std::move(b)};
+    }
+};
+
+template <typename E>
+struct serializer<std::vector<E>, std::enable_if_t<std::is_trivially_copyable_v<E>>> {
+    static std::size_t pack(const std::vector<E>& v, std::byte* buf, std::size_t cap) {
+        const std::size_t bytes = v.size() * sizeof(E);
+        AURORA_CHECK_MSG(bytes <= cap, "vector of " << bytes
+                                                    << " B exceeds migratable capacity "
+                                                    << cap);
+        std::memcpy(buf, v.data(), bytes);
+        return bytes;
+    }
+    static std::vector<E> unpack(const std::byte* buf, std::size_t size) {
+        AURORA_CHECK(size % sizeof(E) == 0);
+        std::vector<E> v(size / sizeof(E));
+        std::memcpy(v.data(), buf, size);
+        return v;
+    }
+};
+
+/// Trivially copyable carrier of a (possibly complex) T.
+template <typename T, std::size_t Capacity = 256>
+class migratable {
+public:
+    migratable() = default;
+
+    migratable(const T& value) { // NOLINT(google-explicit-constructor)
+        size_ = serializer<T>::pack(value, buf_, Capacity);
+    }
+
+    [[nodiscard]] T get() const { return serializer<T>::unpack(buf_, size_); }
+
+    operator T() const { return get(); } // NOLINT(google-explicit-constructor)
+
+    [[nodiscard]] std::size_t packed_size() const noexcept { return size_; }
+    [[nodiscard]] static constexpr std::size_t capacity() noexcept {
+        return Capacity;
+    }
+
+private:
+    std::size_t size_ = 0;
+    alignas(8) std::byte buf_[Capacity]{};
+};
+
+static_assert(std::is_trivially_copyable_v<migratable<std::string>>);
+
+} // namespace ham

@@ -1,0 +1,48 @@
+// Sender/receiver helpers: functor -> message bytes -> execution.
+//
+// write_message() is the sender side (the "Create Message + key" step of
+// Fig. 6); execute_message() is the receiver side (generic handler: key ->
+// local handler address -> call). The transfer in between is the job of a
+// communication backend.
+#pragma once
+
+#include <cstring>
+
+#include "ham/active_msg.hpp"
+#include "ham/handler_registry.hpp"
+
+namespace ham {
+
+/// Serialise `functor` as an active message into `buf` using the *sender*
+/// image's translation tables. Returns the message size in bytes.
+template <typename Functor>
+std::size_t write_message(const handler_registry& sender, void* buf,
+                          std::size_t cap, const Functor& functor) {
+    using msg_t = active_msg<Functor>;
+    AURORA_CHECK_MSG(sizeof(msg_t) <= cap,
+                     "active message of " << sizeof(msg_t)
+                                          << " B exceeds the message buffer ("
+                                          << cap << " B)");
+    msg_t m{};
+    m.key = sender.key_of_catalog_index(msg_t::catalog_index());
+    m.functor = functor;
+    std::memcpy(buf, &m, sizeof(m));
+    return sizeof(m);
+}
+
+/// Peek the handler key of a serialised message.
+[[nodiscard]] inline handler_key peek_key(const void* buf) {
+    handler_key key;
+    std::memcpy(&key, buf, sizeof(key));
+    return key;
+}
+
+/// Execute the serialised message in `buf` via the *receiver* image's tables.
+/// Result bytes (if any) are placed in `result`.
+inline void execute_message(const handler_registry& receiver, void* buf,
+                            void* result, std::size_t result_cap,
+                            std::size_t* result_size) {
+    receiver.execute(peek_key(buf), buf, result, result_cap, result_size);
+}
+
+} // namespace ham

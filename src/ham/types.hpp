@@ -1,0 +1,36 @@
+// Fundamental HAM types: handler keys and the raw handler ABI.
+//
+// A handler key is the globally valid reference of a message type: the index
+// of its typeid name in the lexicographically sorted per-binary handler table
+// (paper Fig. 6). Keys are identical across heterogeneous binaries of the
+// same program; local handler addresses are not.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace ham {
+
+/// Globally valid message-type reference (index in the sorted handler table).
+using handler_key = std::uint32_t;
+
+inline constexpr handler_key invalid_handler_key =
+    std::numeric_limits<handler_key>::max();
+
+/// Globally valid function reference (for runtime-pointer f2f, see functor.hpp).
+using function_key = std::uint32_t;
+
+inline constexpr function_key invalid_function_key =
+    std::numeric_limits<function_key>::max();
+
+/// The uniform message-handler ABI every active message type instantiates:
+/// execute the message stored at `msg`, placing up to `result_cap` result
+/// bytes at `result` and the actual size in `*result_size`.
+using raw_handler = void (*)(void* msg, void* result, std::size_t result_cap,
+                             std::size_t* result_size);
+
+/// Default upper bound for one active message (header + functor + arguments).
+inline constexpr std::size_t default_max_msg_size = 4096;
+
+} // namespace ham

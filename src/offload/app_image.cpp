@@ -1,0 +1,418 @@
+#include "offload/app_image.hpp"
+
+#include <cstring>
+#include <variant>
+
+#include "offload/protocol.hpp"
+#include "offload/target_loop.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+#include "vedma/dmaatb.hpp"
+#include "vedma/lhm_shm.hpp"
+#include "vedma/sysv_shm.hpp"
+#include "vedma/userdma.hpp"
+#include "veos/ve_process.hpp"
+
+namespace ham::offload {
+
+namespace {
+
+constexpr std::uint64_t round_up8(std::uint64_t v) {
+    return (v + 7) & ~std::uint64_t{7};
+}
+
+// --- per-process configuration stored by the setup C-API ---------------------
+
+struct veo_target_cfg {
+    std::uint64_t comm_addr = 0;
+    protocol::comm_layout layout{};
+    node_t node = 0;
+};
+
+struct vedma_target_cfg {
+    const aurora::vedma::shm_registry* shms = nullptr;
+    int shm_key = 0;
+    protocol::comm_layout layout{};
+    node_t node = 0;
+    bool shm_small_results = false;
+    std::uint32_t shm_result_threshold = 0;
+    int staging_shm_key = 0; ///< 0 = DMA data path disabled
+    std::uint64_t staging_chunk_bytes = 0;
+};
+
+using target_cfg = std::variant<veo_target_cfg, vedma_target_cfg>;
+
+// --- target memory over the VE process's simulated HBM2 ----------------------
+
+class ve_target_memory final : public target_memory {
+public:
+    explicit ve_target_memory(aurora::veos::ve_process& proc) : proc_(proc) {}
+    void read(std::uint64_t addr, void* dst, std::uint64_t len) override {
+        proc_.mem().read(addr, dst, len);
+    }
+    void write(std::uint64_t addr, const void* src, std::uint64_t len) override {
+        proc_.mem().write(addr, src, len);
+    }
+
+private:
+    aurora::veos::ve_process& proc_;
+};
+
+// --- VE side of the VEO protocol (Fig. 5) ------------------------------------
+
+class veo_ve_channel final : public target_channel {
+public:
+    veo_ve_channel(aurora::veos::ve_process& proc, const veo_target_cfg& cfg)
+        : proc_(proc),
+          cfg_(cfg),
+          recv_gen_(cfg.layout.recv.slots, 0),
+          send_gen_(cfg.layout.send.slots, 0) {}
+
+    protocol::flag_word recv_next(std::vector<std::byte>& buf) override {
+        const auto& cm = proc_.plat().costs();
+        const auto& lay = cfg_.layout;
+        protocol::flag_word flag;
+        // "Every time the runtime on the VE runs idle ... it polls the
+        // notification flag of the next receive buffer" (Sec. III-D). Local
+        // memory probes — the cheap side of this protocol.
+        for (;;) {
+            sim::advance(cm.local_poll_ns);
+            flag = protocol::decode_flag(proc_.mem().load_u64(
+                cfg_.comm_addr + lay.recv_base() + lay.recv.flag_offset(next_)));
+            if (flag.present() && flag.gen == protocol::next_gen(recv_gen_[next_])) {
+                break;
+            }
+        }
+        recv_gen_[next_] = flag.gen;
+        buf.resize(flag.len);
+        if (flag.len > 0) {
+            proc_.mem().read(cfg_.comm_addr + lay.recv_base() +
+                                 lay.recv.buffer_offset(next_),
+                             buf.data(), flag.len);
+            sim::advance(sim::transfer_ns(flag.len, cm.ve_memcpy_gib));
+        }
+        next_ = (next_ + 1) % lay.recv.slots;
+        return flag;
+    }
+
+    void send_result(std::uint32_t result_slot, const void* bytes,
+                     std::size_t len) override {
+        const auto& cm = proc_.plat().costs();
+        const auto& lay = cfg_.layout;
+        AURORA_CHECK(result_slot < lay.send.slots);
+        AURORA_CHECK(len <= lay.send.msg_size);
+        // Result message into the send buffer, then the flag (both local).
+        proc_.mem().write(cfg_.comm_addr + lay.send_base() +
+                              lay.send.buffer_offset(result_slot),
+                          bytes, len);
+        sim::advance(sim::transfer_ns(len, cm.ve_memcpy_gib) + cm.local_poll_ns);
+        send_gen_[result_slot] = protocol::next_gen(send_gen_[result_slot]);
+        protocol::flag_word flag;
+        flag.kind = protocol::msg_kind::user;
+        flag.gen = send_gen_[result_slot];
+        flag.result_slot_plus1 = static_cast<std::uint16_t>(result_slot + 1);
+        flag.len = static_cast<std::uint32_t>(len);
+        proc_.mem().store_u64(cfg_.comm_addr + lay.send_base() +
+                                  lay.send.flag_offset(result_slot),
+                              protocol::encode_flag(flag));
+    }
+
+private:
+    aurora::veos::ve_process& proc_;
+    veo_target_cfg cfg_;
+    std::uint32_t next_ = 0;
+    std::vector<std::uint8_t> recv_gen_;
+    std::vector<std::uint8_t> send_gen_;
+};
+
+// --- VE side of the DMA protocol (Fig. 8) -------------------------------------
+
+class vedma_ve_channel final : public target_channel {
+public:
+    vedma_ve_channel(aurora::veos::ve_process& proc, const vedma_target_cfg& cfg)
+        : proc_(proc),
+          cfg_(cfg),
+          atb_(proc),
+          dma_(atb_),
+          recv_gen_(cfg.layout.recv.slots, 0),
+          send_gen_(cfg.layout.send.slots, 0) {
+        // The "rather complex setup process" of Sec. IV-A: attach the host's
+        // SysV segment, register it in the DMAATB, and register local staging
+        // memory so the user DMA engine can reach both ends.
+        AURORA_CHECK(cfg_.shms != nullptr);
+        comm_vehva_ = atb_.attach_shm(*cfg_.shms, cfg_.shm_key);
+
+        const std::uint64_t stage_bytes =
+            round_up8(cfg_.layout.recv.msg_size) +
+            round_up8(sizeof(protocol::result_header) + cfg_.layout.send.msg_size);
+        stage_vaddr_ = proc_.ve_alloc(stage_bytes);
+        stage_vehva_ = atb_.register_ve(stage_vaddr_, stage_bytes);
+        stage_result_off_ = round_up8(cfg_.layout.recv.msg_size);
+
+        // Optional bulk-data path: attach the host staging segment and set up
+        // a VE-side staging chunk for user-DMA data movement.
+        if (cfg_.staging_shm_key != 0) {
+            data_host_vehva_ = atb_.attach_shm(*cfg_.shms, cfg_.staging_shm_key);
+            data_stage_vaddr_ = proc_.ve_alloc(cfg_.staging_chunk_bytes);
+            data_stage_vehva_ =
+                atb_.register_ve(data_stage_vaddr_, cfg_.staging_chunk_bytes);
+        }
+    }
+
+    ~vedma_ve_channel() override {
+        if (cfg_.staging_shm_key != 0) {
+            atb_.unregister(data_stage_vehva_);
+            atb_.unregister(data_host_vehva_);
+            proc_.ve_free(data_stage_vaddr_);
+        }
+        atb_.unregister(stage_vehva_);
+        atb_.unregister(comm_vehva_);
+        proc_.ve_free(stage_vaddr_);
+    }
+
+    protocol::flag_word recv_next(std::vector<std::byte>& buf) override {
+        const auto& lay = cfg_.layout;
+        for (;;) {
+            protocol::flag_word flag;
+            // "The VE now needs to actively fetch its messages" (Sec. IV-B):
+            // poll the flag in *host* memory via LHM — one PCIe round trip
+            // each.
+            for (;;) {
+                const std::uint64_t raw = aurora::vedma::lhm_load64(
+                    atb_,
+                    comm_vehva_ + lay.recv_base() + lay.recv.flag_offset(next_));
+                flag = protocol::decode_flag(raw);
+                if (flag.present() &&
+                    flag.gen == protocol::next_gen(recv_gen_[next_])) {
+                    break;
+                }
+            }
+            recv_gen_[next_] = flag.gen;
+            buf.resize(flag.len);
+            if (flag.len > 0) {
+                // The flag carried the length: fetch the exact message via DMA.
+                dma_.dma_sync(stage_vehva_,
+                              comm_vehva_ + lay.recv_base() +
+                                  lay.recv.buffer_offset(next_),
+                              round_up8(flag.len));
+                proc_.mem().read(stage_vaddr_, buf.data(), flag.len);
+            }
+            const std::uint32_t slot = next_;
+            next_ = (next_ + 1) % lay.recv.slots;
+
+            // Bulk-data control messages are handled inside the channel; the
+            // message loop only ever sees user/terminate messages.
+            if (flag.kind == protocol::msg_kind::data_put ||
+                flag.kind == protocol::msg_kind::data_get) {
+                handle_data(flag, buf, slot);
+                continue;
+            }
+            return flag;
+        }
+    }
+
+    void send_result(std::uint32_t result_slot, const void* bytes,
+                     std::size_t len) override {
+        const auto& lay = cfg_.layout;
+        AURORA_CHECK(result_slot < lay.send.slots);
+        AURORA_CHECK(len <= lay.send.msg_size + sizeof(protocol::result_header));
+        const std::uint64_t dst =
+            comm_vehva_ + lay.send_base() + lay.send.buffer_offset(result_slot);
+
+        if (cfg_.shm_small_results && len <= cfg_.shm_result_threshold) {
+            // Extension (Sec. V-B): small VE->VH payloads are faster through
+            // SHM posted stores than through a DMA transfer.
+            alignas(8) std::byte word_buf[8];
+            const std::uint64_t whole = len / 8 * 8;
+            aurora::vedma::shm_store(atb_, dst, bytes, whole);
+            if (len % 8 != 0) {
+                std::memset(word_buf, 0, sizeof(word_buf));
+                std::memcpy(word_buf, static_cast<const std::byte*>(bytes) + whole,
+                            len % 8);
+                aurora::vedma::shm_store64(
+                    atb_, dst + whole,
+                    *reinterpret_cast<const std::uint64_t*>(word_buf));
+            }
+        } else {
+            proc_.mem().write(stage_vaddr_ + stage_result_off_, bytes, len);
+            dma_.dma_sync(dst, stage_vehva_ + stage_result_off_, round_up8(len));
+        }
+
+        send_gen_[result_slot] = protocol::next_gen(send_gen_[result_slot]);
+        protocol::flag_word flag;
+        flag.kind = protocol::msg_kind::user;
+        flag.gen = send_gen_[result_slot];
+        flag.result_slot_plus1 = static_cast<std::uint16_t>(result_slot + 1);
+        flag.len = static_cast<std::uint32_t>(len);
+        // Notify through a single SHM word store.
+        aurora::vedma::shm_store64(
+            atb_, comm_vehva_ + lay.send_base() + lay.send.flag_offset(result_slot),
+            protocol::encode_flag(flag));
+    }
+
+private:
+    /// Execute one data_put/data_get control message (extension): move a
+    /// staged chunk with the user DMA engine and acknowledge through the
+    /// regular result path.
+    void handle_data(const protocol::flag_word& flag,
+                     const std::vector<std::byte>& buf, std::uint32_t slot) {
+        AURORA_CHECK_MSG(cfg_.staging_shm_key != 0,
+                         "data message without a configured staging path");
+        AURORA_CHECK(buf.size() >= sizeof(protocol::data_msg));
+        protocol::data_msg m;
+        std::memcpy(&m, buf.data(), sizeof(m));
+        AURORA_CHECK(m.len <= cfg_.staging_chunk_bytes);
+        const auto& cm = proc_.plat().costs();
+
+        if (flag.kind == protocol::msg_kind::data_put) {
+            // Host staging -> VE staging (user DMA) -> user buffer (HBM2).
+            dma_.dma_sync(data_stage_vehva_, data_host_vehva_ + m.staging_off,
+                          round_up8(m.len));
+            std::vector<std::byte> tmp(m.len);
+            proc_.mem().read(data_stage_vaddr_, tmp.data(), m.len);
+            proc_.mem().write(m.target_addr, tmp.data(), m.len);
+            sim::advance(sim::transfer_ns(m.len, cm.ve_memcpy_gib));
+        } else {
+            // User buffer -> VE staging -> host staging (user DMA).
+            std::vector<std::byte> tmp(m.len);
+            proc_.mem().read(m.target_addr, tmp.data(), m.len);
+            proc_.mem().write(data_stage_vaddr_, tmp.data(), m.len);
+            sim::advance(sim::transfer_ns(m.len, cm.ve_memcpy_gib));
+            dma_.dma_sync(data_host_vehva_ + m.staging_off, data_stage_vehva_,
+                          round_up8(m.len));
+        }
+        const protocol::result_header ack{};
+        send_result(slot, &ack, sizeof(ack));
+    }
+
+    aurora::veos::ve_process& proc_;
+    vedma_target_cfg cfg_;
+    aurora::vedma::dmaatb atb_;
+    aurora::vedma::user_dma_engine dma_;
+    std::uint64_t comm_vehva_ = 0;
+    std::uint64_t stage_vaddr_ = 0;
+    std::uint64_t stage_vehva_ = 0;
+    std::uint64_t stage_result_off_ = 0;
+    std::uint64_t data_host_vehva_ = 0;
+    std::uint64_t data_stage_vaddr_ = 0;
+    std::uint64_t data_stage_vehva_ = 0;
+    std::uint32_t next_ = 0;
+    std::vector<std::uint8_t> recv_gen_;
+    std::vector<std::uint8_t> send_gen_;
+};
+
+// --- the C-API and ham_main ----------------------------------------------------
+
+protocol::comm_layout layout_from(std::uint64_t slots, std::uint64_t msg_size) {
+    protocol::comm_layout lay;
+    lay.recv.slots = static_cast<std::uint32_t>(slots);
+    lay.recv.msg_size = static_cast<std::uint32_t>(msg_size);
+    lay.send.slots = static_cast<std::uint32_t>(slots);
+    // Result slots carry [result_header][payload].
+    lay.send.msg_size =
+        static_cast<std::uint32_t>(msg_size + sizeof(protocol::result_header));
+    return lay;
+}
+
+/// ABI guard (Sec. III-E): compare the host binary's type-table fingerprint
+/// against this image's. 0 = compatible, 1 = mismatch.
+std::uint64_t check_abi(std::uint64_t host_fingerprint) {
+    const ham::handler_registry probe =
+        ham::handler_registry::build(ve_image_options());
+    return probe.fingerprint() == host_fingerprint ? 0 : 1;
+}
+
+std::uint64_t c_api_setup_veo(aurora::veos::ve_call_context& ctx) {
+    veo_target_cfg cfg;
+    cfg.comm_addr = ctx.arg_u64(0);
+    cfg.layout = layout_from(ctx.arg_u64(1), ctx.arg_u64(2));
+    cfg.node = static_cast<node_t>(ctx.arg_i64(3));
+    if (ctx.arg_count() > 4 && check_abi(ctx.arg_u64(4)) != 0) {
+        return 1;
+    }
+    ctx.proc().user_state() = target_cfg(cfg);
+    return 0;
+}
+
+std::uint64_t c_api_setup_vedma(aurora::veos::ve_call_context& ctx) {
+    vedma_target_cfg cfg;
+    // Simulation glue: the registry pointer stands in for the kernel's SysV
+    // namespace the real shmget/shmat would consult.
+    cfg.shms =
+        reinterpret_cast<const aurora::vedma::shm_registry*>(ctx.arg_u64(0));
+    cfg.shm_key = static_cast<int>(ctx.arg_i64(1));
+    cfg.layout = layout_from(ctx.arg_u64(2), ctx.arg_u64(3));
+    cfg.node = static_cast<node_t>(ctx.arg_i64(4));
+    cfg.shm_small_results = ctx.arg_u64(5) != 0;
+    cfg.shm_result_threshold = static_cast<std::uint32_t>(ctx.arg_u64(6));
+    if (ctx.arg_count() > 7) {
+        cfg.staging_shm_key = static_cast<int>(ctx.arg_i64(7));
+        cfg.staging_chunk_bytes = ctx.arg_u64(8);
+    }
+    if (ctx.arg_count() > 9 && check_abi(ctx.arg_u64(9)) != 0) {
+        return 1;
+    }
+    ctx.proc().user_state() = target_cfg(cfg);
+    return 0;
+}
+
+std::uint64_t c_api_ham_main(aurora::veos::ve_call_context& ctx) {
+    aurora::veos::ve_process& proc = ctx.proc();
+    auto* cfg = std::any_cast<target_cfg>(&proc.user_state());
+    AURORA_CHECK_MSG(cfg != nullptr,
+                     "ham_main called before the communication setup C-API");
+
+    // The VE binary builds its own translation tables at startup (Fig. 6).
+    const ham::handler_registry registry =
+        ham::handler_registry::build(ve_image_options());
+
+    ve_target_memory memory(proc);
+    const node_t node = std::holds_alternative<veo_target_cfg>(*cfg)
+                            ? std::get<veo_target_cfg>(*cfg).node
+                            : std::get<vedma_target_cfg>(*cfg).node;
+    target_context tctx(node, target_context::device::ve, &memory,
+                        &proc.plat().costs());
+
+    target_loop_config loop_cfg;
+    loop_cfg.registry = &registry;
+    loop_cfg.context = &tctx;
+    loop_cfg.costs = &proc.plat().costs();
+
+    if (const auto* veo_cfg = std::get_if<veo_target_cfg>(cfg)) {
+        loop_cfg.msg_size = veo_cfg->layout.recv.msg_size;
+        veo_ve_channel channel(proc, *veo_cfg);
+        run_target_loop(loop_cfg, channel);
+    } else {
+        const auto& dma_cfg = std::get<vedma_target_cfg>(*cfg);
+        loop_cfg.msg_size = dma_cfg.layout.recv.msg_size;
+        vedma_ve_channel channel(proc, dma_cfg);
+        run_target_loop(loop_cfg, channel);
+    }
+    return 0;
+}
+
+} // namespace
+
+const aurora::veos::program_image& ham_app_image() {
+    static const aurora::veos::program_image image = [] {
+        aurora::veos::program_image img(app_image_name);
+        img.add_symbol(sym_setup_veo, c_api_setup_veo);
+        img.add_symbol(sym_setup_vedma, c_api_setup_vedma);
+        img.add_symbol(sym_ham_main, c_api_ham_main);
+        return img;
+    }();
+    return image;
+}
+
+ham::handler_registry::options host_image_options() {
+    // Conventional x86 text-segment base; catalog order (GCC layout).
+    return {.address_base = 0x400000, .layout_seed = 0};
+}
+
+ham::handler_registry::options ve_image_options() {
+    // A distinct synthetic code base and a shuffled layout stand in for the
+    // NCC-built VE binary: identical type names, different local addresses.
+    return {.address_base = 0x7E0000000000, .layout_seed = 0x5EEDABCD1234ULL};
+}
+
+} // namespace ham::offload

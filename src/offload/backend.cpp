@@ -1,0 +1,15 @@
+#include "offload/backend.hpp"
+
+#include "util/check.hpp"
+
+namespace ham::offload {
+
+void backend::stage_put(std::uint32_t, const void*, std::uint64_t) {
+    AURORA_CHECK_MSG(false, "this backend has no DMA data path");
+}
+
+void backend::stage_get(std::uint32_t, void*, std::uint64_t) {
+    AURORA_CHECK_MSG(false, "this backend has no DMA data path");
+}
+
+} // namespace ham::offload

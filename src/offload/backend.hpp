@@ -1,0 +1,68 @@
+// Abstract communication backend, host side (paper Fig. 1, bottom layer).
+//
+// One backend instance connects the host runtime to one offload target. The
+// interface mirrors what the protocols of Figs. 5 and 8 need:
+//   * slot-based message send with piggybacked result-slot assignment,
+//   * per-slot result polling/collection,
+//   * bulk data transfers and target memory management (Table II put/get/
+//     allocate/free).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "offload/protocol.hpp"
+#include "offload/types.hpp"
+
+namespace ham::offload {
+
+class backend {
+public:
+    virtual ~backend() = default;
+
+    /// Number of message slots per direction.
+    [[nodiscard]] virtual std::uint32_t slot_count() const = 0;
+
+    /// Send one message of `kind` into `slot`; the result (or ack) arrives in
+    /// the same slot index of the opposite region.
+    virtual void send_message(std::uint32_t slot, const void* msg, std::size_t len,
+                              protocol::msg_kind kind) = 0;
+
+    /// Non-blocking result probe for `slot`. On success fills `out` with the
+    /// result payload (header + bytes) and clears the slot.
+    virtual bool test_result(std::uint32_t slot, std::vector<std::byte>& out) = 0;
+
+    /// Cost the host pays for one fruitless poll iteration (backend-specific:
+    /// an expensive VEO read vs. a local memory probe).
+    virtual void poll_pause() = 0;
+
+    // --- bulk data path (Table II) -------------------------------------------
+    [[nodiscard]] virtual std::uint64_t allocate_bytes(std::uint64_t len) = 0;
+    virtual void free_bytes(std::uint64_t addr) = 0;
+    virtual void put_bytes(const void* src, std::uint64_t dst_addr,
+                           std::uint64_t len) = 0;
+    virtual void get_bytes(std::uint64_t src_addr, void* dst, std::uint64_t len) = 0;
+
+    [[nodiscard]] virtual node_descriptor descriptor() const = 0;
+
+    /// Final teardown after the terminate message was acknowledged.
+    virtual void shutdown() = 0;
+
+    // --- optional VE-DMA bulk-data path (extension beyond the paper) ---------
+    // When supported (and enabled), the runtime routes put()/get() through
+    // data_put/data_get control messages: the host stages chunks in shared
+    // memory and the VE moves them with its user DMA engine, pipelining host
+    // staging copies with VE-side transfers.
+
+    [[nodiscard]] virtual bool has_dma_data_path() const { return false; }
+    /// Number of independent staging chunks (pipeline depth).
+    [[nodiscard]] virtual std::uint32_t staging_chunk_count() const { return 0; }
+    /// Capacity of one staging chunk in bytes.
+    [[nodiscard]] virtual std::uint64_t staging_chunk_bytes() const { return 0; }
+    /// Host side: copy a chunk into staging slot `chunk` (timed).
+    virtual void stage_put(std::uint32_t chunk, const void* src, std::uint64_t len);
+    /// Host side: copy a completed get-chunk out of staging slot `chunk`.
+    virtual void stage_get(std::uint32_t chunk, void* dst, std::uint64_t len);
+};
+
+} // namespace ham::offload

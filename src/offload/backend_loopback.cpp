@@ -1,0 +1,164 @@
+#include "offload/backend_loopback.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace ham::offload {
+
+/// State shared between the host-side backend and the target process.
+struct backend_loopback::shared_state {
+    explicit shared_state(sim::simulation& sim, std::uint32_t slots)
+        : inbox(sim), results(slots) {}
+
+    sim::sim_queue<std::pair<protocol::flag_word, std::vector<std::byte>>> inbox;
+    std::vector<std::vector<std::byte>> results; ///< empty = no result pending
+};
+
+/// Target-side channel over the shared queues.
+class backend_loopback::channel final : public target_channel {
+public:
+    channel(shared_state& s, const sim::cost_model& cm) : s_(s), cm_(cm) {}
+
+    protocol::flag_word recv_next(std::vector<std::byte>& buf) override {
+        auto [flag, bytes] = s_.inbox.pop();
+        buf = std::move(bytes);
+        return flag;
+    }
+
+    void send_result(std::uint32_t result_slot, const void* bytes,
+                     std::size_t len) override {
+        AURORA_CHECK(result_slot < s_.results.size());
+        AURORA_CHECK_MSG(s_.results[result_slot].empty(),
+                         "result slot " << result_slot << " still occupied");
+        // A small modeled delivery latency keeps result arrival ordered
+        // after the send in virtual time.
+        sim::advance(cm_.local_poll_ns);
+        auto& out = s_.results[result_slot];
+        out.resize(len);
+        std::memcpy(out.data(), bytes, len);
+    }
+
+private:
+    shared_state& s_;
+    const sim::cost_model& cm_;
+};
+
+/// Heap-backed target memory: addresses are real pointers.
+class backend_loopback::heap_memory final : public target_memory {
+public:
+    void read(std::uint64_t addr, void* dst, std::uint64_t len) override {
+        std::memcpy(dst, reinterpret_cast<const void*>(addr), len);
+    }
+    void write(std::uint64_t addr, const void* src, std::uint64_t len) override {
+        std::memcpy(reinterpret_cast<void*>(addr), src, len);
+    }
+};
+
+backend_loopback::backend_loopback(sim::simulation& sim,
+                                   const ham::handler_registry& target_reg,
+                                   const sim::cost_model& costs,
+                                   const runtime_options& opt, node_t node)
+    : sim_(sim),
+      costs_(costs),
+      node_(node),
+      slots_(opt.msg_slots),
+      msg_size_(opt.msg_size),
+      shared_(std::make_shared<shared_state>(sim, opt.msg_slots)) {
+    // The target process owns its channel/context/memory objects so they
+    // outlive this backend teardown order safely.
+    auto shared = shared_;
+    const auto* cm = &costs_;
+    const auto* reg = &target_reg;
+    const auto msg_size = msg_size_;
+    const node_t n = node_;
+    target_proc_ = &sim_.spawn(
+        "loopback-target-" + std::to_string(node), [shared, cm, reg, msg_size, n] {
+            heap_memory mem;
+            target_context ctx(n, target_context::device::vh, &mem, cm);
+            channel ch(*shared, *cm);
+            target_loop_config cfg;
+            cfg.registry = reg;
+            cfg.context = &ctx;
+            cfg.costs = cm;
+            cfg.msg_size = msg_size;
+            run_target_loop(cfg, ch);
+        });
+}
+
+backend_loopback::~backend_loopback() = default;
+
+void backend_loopback::send_message(std::uint32_t slot, const void* msg,
+                                    std::size_t len, protocol::msg_kind kind) {
+    AURORA_CHECK(slot < slots_);
+    AURORA_CHECK_MSG(len <= msg_size_, "message exceeds slot capacity");
+    AURORA_CHECK_MSG(kind == protocol::msg_kind::user ||
+                         kind == protocol::msg_kind::terminate,
+                     "loopback backend has no DMA data path");
+    protocol::flag_word flag;
+    flag.kind = kind;
+    flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
+    flag.len = static_cast<std::uint32_t>(len);
+    std::vector<std::byte> bytes(len);
+    std::memcpy(bytes.data(), msg, len);
+    sim::advance(costs_.local_poll_ns); // queue handoff
+    shared_->inbox.push({flag, std::move(bytes)});
+}
+
+bool backend_loopback::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
+    AURORA_CHECK(slot < slots_);
+    auto& r = shared_->results[slot];
+    if (r.empty()) {
+        return false;
+    }
+    out = std::move(r);
+    r.clear();
+    return true;
+}
+
+void backend_loopback::poll_pause() {
+    sim::advance(costs_.local_poll_ns);
+}
+
+std::uint64_t backend_loopback::allocate_bytes(std::uint64_t len) {
+    AURORA_CHECK(len > 0);
+    auto block = std::make_unique<std::byte[]>(len);
+    std::memset(block.get(), 0, len);
+    const auto addr = reinterpret_cast<std::uint64_t>(block.get());
+    heap_.emplace(addr, std::move(block));
+    return addr;
+}
+
+void backend_loopback::free_bytes(std::uint64_t addr) {
+    AURORA_CHECK_MSG(heap_.erase(addr) == 1, "free of unknown loopback buffer");
+}
+
+void backend_loopback::put_bytes(const void* src, std::uint64_t dst_addr,
+                                 std::uint64_t len) {
+    sim::advance(sim::transfer_ns(len, costs_.vh_memcpy_gib));
+    std::memcpy(reinterpret_cast<void*>(dst_addr), src, len);
+}
+
+void backend_loopback::get_bytes(std::uint64_t src_addr, void* dst,
+                                 std::uint64_t len) {
+    sim::advance(sim::transfer_ns(len, costs_.vh_memcpy_gib));
+    std::memcpy(dst, reinterpret_cast<const void*>(src_addr), len);
+}
+
+node_descriptor backend_loopback::descriptor() const {
+    node_descriptor d;
+    d.name = "loopback-" + std::to_string(node_);
+    d.device_type = "in-process loopback";
+    d.node = node_;
+    d.ve_id = -1;
+    return d;
+}
+
+void backend_loopback::shutdown() {
+    if (target_proc_ != nullptr) {
+        sim::join(*target_proc_);
+        target_proc_ = nullptr;
+    }
+}
+
+} // namespace ham::offload

@@ -1,0 +1,191 @@
+#include "offload/backend_tcp.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace ham::offload {
+
+namespace {
+/// A message travelling over the modeled socket.
+struct tcp_packet {
+    protocol::flag_word flag;
+    std::vector<std::byte> bytes;
+    sim::time_ns deliver_at = 0; ///< earliest receive time (stack latency)
+};
+} // namespace
+
+struct backend_tcp::shared_state {
+    explicit shared_state(sim::simulation& sim, std::uint32_t slots)
+        : inbox(sim), results(slots) {}
+
+    sim::sim_queue<tcp_packet> inbox;
+    struct result_slot {
+        std::vector<std::byte> bytes;
+        sim::time_ns deliver_at = 0;
+    };
+    std::vector<result_slot> results;
+};
+
+class backend_tcp::channel final : public target_channel {
+public:
+    channel(shared_state& s, const sim::cost_model& cm) : s_(s), cm_(cm) {}
+
+    protocol::flag_word recv_next(std::vector<std::byte>& buf) override {
+        tcp_packet p = s_.inbox.pop();
+        // Honour the network latency: the packet is readable only after its
+        // delivery timestamp, and the read itself costs a syscall.
+        sim::sleep_until(p.deliver_at);
+        sim::advance(cm_.tcp_per_msg_ns);
+        buf = std::move(p.bytes);
+        return p.flag;
+    }
+
+    void send_result(std::uint32_t result_slot, const void* bytes,
+                     std::size_t len) override {
+        AURORA_CHECK(result_slot < s_.results.size());
+        AURORA_CHECK_MSG(s_.results[result_slot].bytes.empty(),
+                         "TCP result slot still occupied");
+        sim::advance(cm_.tcp_per_msg_ns +
+                     sim::transfer_ns(len, cm_.tcp_bandwidth_gib));
+        auto& out = s_.results[result_slot];
+        out.bytes.resize(len);
+        std::memcpy(out.bytes.data(), bytes, len);
+        out.deliver_at = sim::now() + cm_.tcp_half_rtt_ns;
+    }
+
+private:
+    shared_state& s_;
+    const sim::cost_model& cm_;
+};
+
+class backend_tcp::heap_memory final : public target_memory {
+public:
+    void read(std::uint64_t addr, void* dst, std::uint64_t len) override {
+        std::memcpy(dst, reinterpret_cast<const void*>(addr), len);
+    }
+    void write(std::uint64_t addr, const void* src, std::uint64_t len) override {
+        std::memcpy(reinterpret_cast<void*>(addr), src, len);
+    }
+};
+
+backend_tcp::backend_tcp(sim::simulation& sim,
+                         const ham::handler_registry& target_reg,
+                         const sim::cost_model& costs, const runtime_options& opt,
+                         node_t node)
+    : sim_(sim),
+      costs_(costs),
+      node_(node),
+      slots_(opt.msg_slots),
+      msg_size_(opt.msg_size),
+      shared_(std::make_shared<shared_state>(sim, opt.msg_slots)) {
+    auto shared = shared_;
+    const auto* cm = &costs_;
+    const auto* reg = &target_reg;
+    const auto msg_size = msg_size_;
+    const node_t n = node_;
+    target_proc_ = &sim_.spawn(
+        "tcp-target-" + std::to_string(node), [shared, cm, reg, msg_size, n] {
+            heap_memory mem;
+            target_context ctx(n, target_context::device::vh, &mem, cm);
+            channel ch(*shared, *cm);
+            target_loop_config cfg;
+            cfg.registry = reg;
+            cfg.context = &ctx;
+            cfg.costs = cm;
+            cfg.msg_size = msg_size;
+            run_target_loop(cfg, ch);
+        });
+}
+
+backend_tcp::~backend_tcp() = default;
+
+sim::time_ns backend_tcp::send_hop(std::uint64_t bytes) {
+    // Sender pays the syscall/framing cost and the serialisation time; the
+    // payload surfaces at the peer half an RTT later.
+    sim::advance(costs_.tcp_per_msg_ns +
+                 sim::transfer_ns(bytes, costs_.tcp_bandwidth_gib));
+    return sim::now() + costs_.tcp_half_rtt_ns;
+}
+
+void backend_tcp::send_message(std::uint32_t slot, const void* msg, std::size_t len,
+                               protocol::msg_kind kind) {
+    AURORA_CHECK(slot < slots_);
+    AURORA_CHECK_MSG(len <= msg_size_, "message exceeds slot capacity");
+    AURORA_CHECK_MSG(kind == protocol::msg_kind::user ||
+                         kind == protocol::msg_kind::terminate,
+                     "the TCP backend has no DMA data path");
+    tcp_packet p;
+    p.flag.kind = kind;
+    p.flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
+    p.flag.len = static_cast<std::uint32_t>(len);
+    p.bytes.resize(len);
+    if (len > 0) {
+        std::memcpy(p.bytes.data(), msg, len);
+    }
+    p.deliver_at = send_hop(len);
+    shared_->inbox.push(std::move(p));
+}
+
+bool backend_tcp::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
+    AURORA_CHECK(slot < slots_);
+    auto& r = shared_->results[slot];
+    // A poll is a non-blocking socket read: one syscall.
+    sim::advance(costs_.tcp_per_msg_ns);
+    if (r.bytes.empty() || sim::now() < r.deliver_at) {
+        return false; // nothing on the wire yet
+    }
+    out = std::move(r.bytes);
+    r.bytes.clear();
+    return true;
+}
+
+void backend_tcp::poll_pause() {
+    sim::advance(costs_.local_poll_ns);
+}
+
+std::uint64_t backend_tcp::allocate_bytes(std::uint64_t len) {
+    AURORA_CHECK(len > 0);
+    auto block = std::make_unique<std::byte[]>(len);
+    std::memset(block.get(), 0, len);
+    const auto addr = reinterpret_cast<std::uint64_t>(block.get());
+    heap_.emplace(addr, std::move(block));
+    return addr;
+}
+
+void backend_tcp::free_bytes(std::uint64_t addr) {
+    AURORA_CHECK_MSG(heap_.erase(addr) == 1, "free of unknown TCP-target buffer");
+}
+
+void backend_tcp::put_bytes(const void* src, std::uint64_t dst_addr,
+                            std::uint64_t len) {
+    // Stream the payload over the socket (send + latency to visibility).
+    const sim::time_ns arrives = send_hop(len);
+    sim::sleep_until(arrives); // synchronous put: wait for the peer-side write
+    std::memcpy(reinterpret_cast<void*>(dst_addr), src, len);
+}
+
+void backend_tcp::get_bytes(std::uint64_t src_addr, void* dst, std::uint64_t len) {
+    // Request out, payload back: a full round trip plus streaming time.
+    sim::advance(2 * costs_.tcp_per_msg_ns + 2 * costs_.tcp_half_rtt_ns +
+                 sim::transfer_ns(len, costs_.tcp_bandwidth_gib));
+    std::memcpy(dst, reinterpret_cast<const void*>(src_addr), len);
+}
+
+node_descriptor backend_tcp::descriptor() const {
+    node_descriptor d;
+    d.name = "tcp-" + std::to_string(node_);
+    d.device_type = "generic TCP/IP peer";
+    d.node = node_;
+    d.ve_id = -1;
+    return d;
+}
+
+void backend_tcp::shutdown() {
+    if (target_proc_ != nullptr) {
+        sim::join(*target_proc_);
+        target_proc_ = nullptr;
+    }
+}
+
+} // namespace ham::offload

@@ -1,0 +1,67 @@
+// Generic TCP/IP backend (paper Fig. 1, Sec. I-A and III-A).
+//
+// HAM-Offload's most generic backend "focuses on interoperability rather
+// than performance" — it connects host and target through the operating
+// system's TCP stack. The paper explains why it is unsuitable for the
+// SX-Aurora (the VE has no native OS: every socket operation would
+// reverse-offload a syscall, on top of TCP's protocol overhead); this
+// implementation models the generic case — a target process reachable
+// through a local TCP connection — and serves as the reference point for
+// "what the specialised protocols buy you".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "ham/handler_registry.hpp"
+#include "offload/backend.hpp"
+#include "offload/options.hpp"
+#include "offload/target_loop.hpp"
+#include "sim/engine.hpp"
+#include "sim/event.hpp"
+
+namespace ham::offload {
+
+class backend_tcp final : public backend {
+public:
+    backend_tcp(sim::simulation& sim, const ham::handler_registry& target_reg,
+                const sim::cost_model& costs, const runtime_options& opt,
+                node_t node);
+    ~backend_tcp() override;
+
+    [[nodiscard]] std::uint32_t slot_count() const override { return slots_; }
+    void send_message(std::uint32_t slot, const void* msg, std::size_t len,
+                      protocol::msg_kind kind) override;
+    bool test_result(std::uint32_t slot, std::vector<std::byte>& out) override;
+    void poll_pause() override;
+
+    [[nodiscard]] std::uint64_t allocate_bytes(std::uint64_t len) override;
+    void free_bytes(std::uint64_t addr) override;
+    void put_bytes(const void* src, std::uint64_t dst_addr,
+                   std::uint64_t len) override;
+    void get_bytes(std::uint64_t src_addr, void* dst, std::uint64_t len) override;
+
+    [[nodiscard]] node_descriptor descriptor() const override;
+    void shutdown() override;
+
+private:
+    struct shared_state;
+    class channel;
+    class heap_memory;
+
+    /// Model one message hop over the socket: sender-side cost now, delivery
+    /// timestamp returned for the receiver to honour.
+    [[nodiscard]] sim::time_ns send_hop(std::uint64_t bytes);
+
+    sim::simulation& sim_;
+    const sim::cost_model& costs_;
+    node_t node_;
+    std::uint32_t slots_;
+    std::uint32_t msg_size_;
+    std::shared_ptr<shared_state> shared_;
+    std::map<std::uint64_t, std::unique_ptr<std::byte[]>> heap_;
+    sim::process* target_proc_ = nullptr;
+};
+
+} // namespace ham::offload

@@ -1,0 +1,202 @@
+#include "offload/backend_vedma.hpp"
+
+#include <cstring>
+
+#include "offload/app_image.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace ham::offload {
+
+using namespace aurora::veo;
+
+namespace {
+
+protocol::comm_layout make_layout(const runtime_options& opt) {
+    protocol::comm_layout lay;
+    lay.recv.slots = opt.msg_slots;
+    lay.recv.msg_size = opt.msg_size;
+    lay.send.slots = opt.msg_slots;
+    lay.send.msg_size =
+        opt.msg_size + static_cast<std::uint32_t>(sizeof(protocol::result_header));
+    return lay;
+}
+
+constexpr int ham_shm_key = 0x48414D;         // "HAM"
+constexpr int ham_staging_shm_key = 0x48414E; // "HAN"
+
+} // namespace
+
+backend_vedma::backend_vedma(aurora::veos::veos_system& sys, int ve_id, node_t node,
+                             const runtime_options& opt)
+    : sys_(sys),
+      ve_id_(ve_id),
+      node_(node),
+      opt_(opt),
+      layout_(make_layout(opt)),
+      shms_(sys.plat()),
+      send_gen_(opt.msg_slots, 0),
+      result_gen_(opt.msg_slots, 0) {
+    AURORA_CHECK_MSG(opt.msg_size % 8 == 0,
+                     "vedma backend requires 8-byte aligned message sizes");
+
+    // Fig. 7: the VH sets up a SysV shared memory segment (huge pages) that
+    // holds *all* communication buffers and flags.
+    seg_ = &shms_.create(ham_shm_key, layout_.total_bytes(),
+                         sys.plat().config().default_vh_page, opt.vh_socket);
+    if (opt_.vedma_dma_data_path) {
+        AURORA_CHECK_MSG(opt_.vedma_staging_chunk_bytes % 8 == 0 &&
+                             opt_.vedma_staging_chunks > 0,
+                         "bad VE-DMA staging geometry");
+        staging_seg_ = &shms_.create(
+            ham_staging_shm_key,
+            opt_.vedma_staging_chunk_bytes * opt_.vedma_staging_chunks,
+            sys.plat().config().default_vh_page, opt.vh_socket);
+    }
+
+    // Deployment still uses VEO (Fig. 4): process, library, setup, ham_main.
+    proc_ = veo_proc_create(sys_, ve_id_, opt.vh_socket);
+    AURORA_CHECK_MSG(proc_ != nullptr, "veo_proc_create failed for VE " << ve_id_);
+    const std::uint64_t lib = veo_load_library(proc_, app_image_name);
+    AURORA_CHECK_MSG(lib != 0, "failed to load " << app_image_name);
+    ctx_ = veo_context_open(proc_);
+
+    const std::uint64_t sym_setup = veo_get_sym(proc_, lib, sym_setup_vedma);
+    AURORA_CHECK(sym_setup != 0);
+    veo_args* args = veo_args_alloc();
+    args->set_u64(0, reinterpret_cast<std::uint64_t>(&shms_));
+    args->set_i64(1, ham_shm_key);
+    args->set_u64(2, layout_.recv.slots);
+    args->set_u64(3, layout_.recv.msg_size);
+    args->set_i64(4, node_);
+    args->set_u64(5, opt.vedma_shm_small_results ? 1 : 0);
+    args->set_u64(6, opt.vedma_shm_result_threshold);
+    args->set_i64(7, opt_.vedma_dma_data_path ? ham_staging_shm_key : 0);
+    args->set_u64(8, opt_.vedma_staging_chunk_bytes);
+    args->set_u64(9, ham::handler_registry::build(
+                         host_image_options()).fingerprint());
+    std::uint64_t ret = 0;
+    const std::uint64_t req = veo_call_async(ctx_, sym_setup, args);
+    AURORA_CHECK(veo_call_wait_result(ctx_, req, &ret) == VEO_COMMAND_OK);
+    AURORA_CHECK_MSG(ret == 0,
+                     "heterogeneous binaries have incompatible HAM type tables "
+                     "(ABI mismatch, paper Sec. III-E)");
+    veo_args_free(args);
+
+    const std::uint64_t sym_main = veo_get_sym(proc_, lib, sym_ham_main);
+    AURORA_CHECK(sym_main != 0);
+    main_req_ = veo_call_async(ctx_, sym_main, nullptr);
+}
+
+backend_vedma::~backend_vedma() = default;
+
+void backend_vedma::send_message(std::uint32_t slot, const void* msg,
+                                 std::size_t len, protocol::msg_kind kind) {
+    const auto& cm = sys_.plat().costs();
+    AURORA_CHECK(slot < layout_.recv.slots);
+    AURORA_CHECK_MSG(len <= layout_.recv.msg_size, "message exceeds slot capacity");
+    // All host-side operations are local memory accesses (Sec. IV-B): copy
+    // the message into the shared segment, then publish the flag.
+    if (len > 0) {
+        std::memcpy(region(layout_.recv.buffer_offset(slot)), msg, len);
+        sim::advance(sim::transfer_ns(len, cm.vh_memcpy_gib));
+    }
+    send_gen_[slot] = protocol::next_gen(send_gen_[slot]);
+    protocol::flag_word flag;
+    flag.kind = kind;
+    flag.gen = send_gen_[slot];
+    flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
+    flag.len = static_cast<std::uint32_t>(len);
+    const std::uint64_t raw = protocol::encode_flag(flag);
+    sim::advance(cm.local_poll_ns); // store + fence
+    std::memcpy(region(layout_.recv.flag_offset(slot)), &raw, sizeof(raw));
+}
+
+bool backend_vedma::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
+    const auto& cm = sys_.plat().costs();
+    AURORA_CHECK(slot < layout_.send.slots);
+    // "The VH is now the passive receiver who finds its message already in
+    // its local memory as soon as the flag is set by the VE" (Sec. IV-B).
+    sim::advance(cm.local_poll_ns);
+    std::uint64_t raw = 0;
+    std::memcpy(&raw, region(layout_.send_base() + layout_.send.flag_offset(slot)),
+                sizeof(raw));
+    const protocol::flag_word flag = protocol::decode_flag(raw);
+    if (!flag.present() || flag.gen != protocol::next_gen(result_gen_[slot])) {
+        return false;
+    }
+    result_gen_[slot] = flag.gen;
+    out.resize(flag.len);
+    if (flag.len > 0) {
+        std::memcpy(out.data(),
+                    region(layout_.send_base() + layout_.send.buffer_offset(slot)),
+                    flag.len);
+        sim::advance(sim::transfer_ns(flag.len, cm.vh_memcpy_gib));
+    }
+    return true;
+}
+
+void backend_vedma::poll_pause() {
+    sim::advance(sys_.plat().costs().local_poll_ns);
+}
+
+std::uint64_t backend_vedma::allocate_bytes(std::uint64_t len) {
+    std::uint64_t addr = 0;
+    AURORA_CHECK(veo_alloc_mem(proc_, &addr, len) == 0);
+    return addr;
+}
+
+void backend_vedma::free_bytes(std::uint64_t addr) {
+    AURORA_CHECK(veo_free_mem(proc_, addr) == 0);
+}
+
+void backend_vedma::put_bytes(const void* src, std::uint64_t dst_addr,
+                              std::uint64_t len) {
+    AURORA_CHECK(veo_write_mem(proc_, dst_addr, src, len) == 0);
+}
+
+void backend_vedma::get_bytes(std::uint64_t src_addr, void* dst,
+                              std::uint64_t len) {
+    AURORA_CHECK(veo_read_mem(proc_, dst, src_addr, len) == 0);
+}
+
+node_descriptor backend_vedma::descriptor() const {
+    node_descriptor d;
+    d.name = "VE" + std::to_string(ve_id_);
+    d.device_type = "NEC VE Type 10B (VE-DMA backend)";
+    d.node = node_;
+    d.ve_id = ve_id_;
+    return d;
+}
+
+void backend_vedma::stage_put(std::uint32_t chunk, const void* src,
+                              std::uint64_t len) {
+    AURORA_CHECK(staging_seg_ != nullptr && chunk < opt_.vedma_staging_chunks);
+    AURORA_CHECK(len <= opt_.vedma_staging_chunk_bytes);
+    sim::advance(sim::transfer_ns(len, sys_.plat().costs().vh_memcpy_gib));
+    std::memcpy(staging_seg_->addr + chunk * opt_.vedma_staging_chunk_bytes, src,
+                len);
+}
+
+void backend_vedma::stage_get(std::uint32_t chunk, void* dst, std::uint64_t len) {
+    AURORA_CHECK(staging_seg_ != nullptr && chunk < opt_.vedma_staging_chunks);
+    AURORA_CHECK(len <= opt_.vedma_staging_chunk_bytes);
+    sim::advance(sim::transfer_ns(len, sys_.plat().costs().vh_memcpy_gib));
+    std::memcpy(dst, staging_seg_->addr + chunk * opt_.vedma_staging_chunk_bytes,
+                len);
+}
+
+void backend_vedma::shutdown() {
+    std::uint64_t ret = 0;
+    AURORA_CHECK(veo_call_wait_result(ctx_, main_req_, &ret) == VEO_COMMAND_OK);
+    veo_proc_destroy(proc_);
+    proc_ = nullptr;
+    shms_.destroy(ham_shm_key);
+    if (staging_seg_ != nullptr) {
+        shms_.destroy(ham_staging_shm_key);
+        staging_seg_ = nullptr;
+    }
+    seg_ = nullptr;
+}
+
+} // namespace ham::offload

@@ -1,0 +1,162 @@
+#include "offload/backend_veo.hpp"
+
+#include <cstring>
+
+#include "offload/app_image.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace ham::offload {
+
+using namespace aurora::veo;
+
+namespace {
+protocol::comm_layout make_layout(const runtime_options& opt) {
+    protocol::comm_layout lay;
+    lay.recv.slots = opt.msg_slots;
+    lay.recv.msg_size = opt.msg_size;
+    lay.send.slots = opt.msg_slots;
+    lay.send.msg_size =
+        opt.msg_size + static_cast<std::uint32_t>(sizeof(protocol::result_header));
+    return lay;
+}
+} // namespace
+
+backend_veo::backend_veo(aurora::veos::veos_system& sys, int ve_id, node_t node,
+                         const runtime_options& opt)
+    : sys_(sys),
+      ve_id_(ve_id),
+      node_(node),
+      layout_(make_layout(opt)),
+      send_gen_(opt.msg_slots, 0),
+      result_gen_(opt.msg_slots, 0) {
+    // Deployment per Fig. 4: create the VE process, load the application
+    // library, communicate the buffer addresses via the C-API, run ham_main.
+    proc_ = veo_proc_create(sys_, ve_id_, opt.vh_socket);
+    AURORA_CHECK_MSG(proc_ != nullptr, "veo_proc_create failed for VE " << ve_id_);
+    const std::uint64_t lib = veo_load_library(proc_, app_image_name);
+    AURORA_CHECK_MSG(lib != 0, "failed to load " << app_image_name);
+    ctx_ = veo_context_open(proc_);
+
+    // All communication buffers live in VE memory and are set up and managed
+    // by the host (Sec. III-D) — flags start out zeroed (fresh memory).
+    AURORA_CHECK(veo_alloc_mem(proc_, &comm_addr_, layout_.total_bytes()) == 0);
+
+    const std::uint64_t sym_setup = veo_get_sym(proc_, lib, sym_setup_veo);
+    AURORA_CHECK(sym_setup != 0);
+    veo_args* args = veo_args_alloc();
+    args->set_u64(0, comm_addr_);
+    args->set_u64(1, layout_.recv.slots);
+    args->set_u64(2, layout_.recv.msg_size);
+    args->set_i64(3, node_);
+    args->set_u64(4, ham::handler_registry::build(
+                         host_image_options()).fingerprint());
+    std::uint64_t ret = 0;
+    const std::uint64_t req = veo_call_async(ctx_, sym_setup, args);
+    AURORA_CHECK(veo_call_wait_result(ctx_, req, &ret) == VEO_COMMAND_OK);
+    AURORA_CHECK_MSG(ret == 0,
+                     "heterogeneous binaries have incompatible HAM type tables "
+                     "(ABI mismatch, paper Sec. III-E)");
+    veo_args_free(args);
+
+    // Start the HAM-Offload runtime on the VE; it returns only after the
+    // terminate message (Sec. III-C).
+    const std::uint64_t sym_main = veo_get_sym(proc_, lib, sym_ham_main);
+    AURORA_CHECK(sym_main != 0);
+    main_req_ = veo_call_async(ctx_, sym_main, nullptr);
+    AURORA_CHECK(main_req_ != VEO_REQUEST_ID_INVALID);
+}
+
+backend_veo::~backend_veo() = default;
+
+void backend_veo::send_message(std::uint32_t slot, const void* msg, std::size_t len,
+                               protocol::msg_kind kind) {
+    AURORA_CHECK(slot < layout_.recv.slots);
+    AURORA_CHECK_MSG(len <= layout_.recv.msg_size, "message exceeds slot capacity");
+    AURORA_CHECK_MSG(kind == protocol::msg_kind::user ||
+                         kind == protocol::msg_kind::terminate,
+                     "the VEO backend has no DMA data path");
+    // Fig. 5: write the message into the receive buffer on the VE, then
+    // signal completion by setting the corresponding flag — two privileged-
+    // DMA writes.
+    if (len > 0) {
+        veo_write_mem(proc_, comm_addr_ + layout_.recv.buffer_offset(slot), msg,
+                      len);
+    }
+    send_gen_[slot] = protocol::next_gen(send_gen_[slot]);
+    protocol::flag_word flag;
+    flag.kind = kind;
+    flag.gen = send_gen_[slot];
+    flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
+    flag.len = static_cast<std::uint32_t>(len);
+    const std::uint64_t raw = protocol::encode_flag(flag);
+    veo_write_mem(proc_, comm_addr_ + layout_.recv.flag_offset(slot), &raw,
+                  sizeof(raw));
+}
+
+bool backend_veo::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
+    AURORA_CHECK(slot < layout_.send.slots);
+    // Poll the result flag (one expensive veo_read_mem)…
+    std::uint64_t raw = 0;
+    veo_read_mem(proc_, &raw,
+                 comm_addr_ + layout_.send_base() + layout_.send.flag_offset(slot),
+                 sizeof(raw));
+    const protocol::flag_word flag = protocol::decode_flag(raw);
+    if (!flag.present() || flag.gen != protocol::next_gen(result_gen_[slot])) {
+        return false;
+    }
+    result_gen_[slot] = flag.gen;
+    // …then fetch the result message (a second veo_read_mem).
+    out.resize(flag.len);
+    if (flag.len > 0) {
+        veo_read_mem(proc_, out.data(),
+                     comm_addr_ + layout_.send_base() +
+                         layout_.send.buffer_offset(slot),
+                     flag.len);
+    }
+    return true;
+}
+
+void backend_veo::poll_pause() {
+    // The veo_read_mem in test_result dominates; only loop bookkeeping here.
+    sim::advance(sys_.plat().costs().local_poll_ns);
+}
+
+std::uint64_t backend_veo::allocate_bytes(std::uint64_t len) {
+    std::uint64_t addr = 0;
+    AURORA_CHECK(veo_alloc_mem(proc_, &addr, len) == 0);
+    return addr;
+}
+
+void backend_veo::free_bytes(std::uint64_t addr) {
+    AURORA_CHECK(veo_free_mem(proc_, addr) == 0);
+}
+
+void backend_veo::put_bytes(const void* src, std::uint64_t dst_addr,
+                            std::uint64_t len) {
+    AURORA_CHECK(veo_write_mem(proc_, dst_addr, src, len) == 0);
+}
+
+void backend_veo::get_bytes(std::uint64_t src_addr, void* dst, std::uint64_t len) {
+    AURORA_CHECK(veo_read_mem(proc_, dst, src_addr, len) == 0);
+}
+
+node_descriptor backend_veo::descriptor() const {
+    node_descriptor d;
+    d.name = "VE" + std::to_string(ve_id_);
+    d.device_type = "NEC VE Type 10B (VEO backend)";
+    d.node = node_;
+    d.ve_id = ve_id_;
+    return d;
+}
+
+void backend_veo::shutdown() {
+    // The terminate result was already collected; ham_main returns now.
+    std::uint64_t ret = 0;
+    AURORA_CHECK(veo_call_wait_result(ctx_, main_req_, &ret) == VEO_COMMAND_OK);
+    veo_free_mem(proc_, comm_addr_);
+    veo_proc_destroy(proc_);
+    proc_ = nullptr;
+}
+
+} // namespace ham::offload

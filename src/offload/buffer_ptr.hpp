@@ -1,0 +1,100 @@
+// buffer_ptr<T> — pointer to target memory (paper Table II).
+//
+// Carries the target node alongside the address. On the host it is an opaque
+// handle for put/get/copy and for passing into offloaded functors; inside
+// offloaded code it dereferences through the installed target_context, which
+// routes accesses into the executing node's (simulated) memory.
+#pragma once
+
+#include <cstdint>
+
+#include "offload/target.hpp"
+#include "util/check.hpp"
+
+namespace ham::offload {
+
+template <typename T>
+class buffer_ptr {
+public:
+    using value_type = T;
+
+    buffer_ptr() = default;
+    buffer_ptr(std::uint64_t addr, node_t node) : addr_(addr), node_(node) {}
+
+    [[nodiscard]] std::uint64_t addr() const noexcept { return addr_; }
+    [[nodiscard]] node_t node() const noexcept { return node_; }
+    [[nodiscard]] bool valid() const noexcept { return addr_ != 0; }
+
+    /// Pointer arithmetic in elements (like T*).
+    [[nodiscard]] buffer_ptr operator+(std::uint64_t elements) const {
+        return buffer_ptr(addr_ + elements * sizeof(T), node_);
+    }
+
+    friend bool operator==(const buffer_ptr&, const buffer_ptr&) = default;
+
+    // --- element access from offloaded code ---------------------------------
+
+    /// Proxy enabling both `x = p[i]` and `p[i] = x`.
+    class reference {
+    public:
+        reference(buffer_ptr p, std::uint64_t index) : p_(p), i_(index) {}
+
+        operator T() const { // NOLINT(google-explicit-constructor)
+            T v;
+            p_.read_block(i_, &v, 1);
+            return v;
+        }
+        reference& operator=(const T& v) {
+            p_.write_block(i_, &v, 1);
+            return *this;
+        }
+        reference& operator+=(const T& v) { return *this = T(*this) + v; }
+
+    private:
+        buffer_ptr p_;
+        std::uint64_t i_;
+    };
+
+    [[nodiscard]] T operator[](std::uint64_t i) const {
+        T v;
+        read_block(i, &v, 1);
+        return v;
+    }
+    [[nodiscard]] reference operator[](std::uint64_t i) {
+        return reference(*this, i);
+    }
+
+    /// Bulk read of `count` elements starting at element `offset` — the
+    /// efficient access path for kernels.
+    void read_block(std::uint64_t offset, T* dst, std::uint64_t count) const {
+        memory_for_access().read(addr_ + offset * sizeof(T), dst,
+                                 count * sizeof(T));
+    }
+
+    /// Bulk write of `count` elements starting at element `offset`.
+    void write_block(std::uint64_t offset, const T* src, std::uint64_t count) {
+        memory_for_access().write(addr_ + offset * sizeof(T), src,
+                                  count * sizeof(T));
+    }
+
+private:
+    [[nodiscard]] target_memory& memory_for_access() const {
+        target_context* ctx = target_context::current();
+        AURORA_CHECK_MSG(ctx != nullptr && ctx->memory() != nullptr,
+                         "buffer_ptr dereferenced outside offloaded code — use "
+                         "offload::put/get on the host");
+        AURORA_CHECK_MSG(ctx->node() == node_,
+                         "buffer_ptr of node " << node_
+                                               << " dereferenced while executing on node "
+                                               << ctx->node());
+        return *ctx->memory();
+    }
+
+    std::uint64_t addr_ = 0;
+    node_t node_ = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<buffer_ptr<double>>,
+              "buffer_ptr must travel inside active messages");
+
+} // namespace ham::offload

@@ -1,0 +1,161 @@
+// future<T> — lazy synchronisation with an asynchronous offload (Table II).
+//
+// Provides non-blocking test() and blocking get(). Futures are produced by
+// offload::async() (remote results, collected through the runtime) and by
+// data-transfer operations (immediately-ready futures).
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "offload/protocol.hpp"
+#include "offload/types.hpp"
+#include "util/check.hpp"
+
+namespace ham::offload {
+
+namespace detail {
+
+/// Implemented by the runtime: per-slot result collection.
+class result_source {
+public:
+    virtual ~result_source() = default;
+    /// Non-blocking: true when the result for `ticket` arrived; fills `out`
+    /// with [result_header][payload].
+    virtual bool try_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,
+                             std::vector<std::byte>& out) = 0;
+    /// Blocking variant.
+    virtual void wait_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,
+                              std::vector<std::byte>& out) = 0;
+};
+
+} // namespace detail
+
+/// Thrown by future<T>::get() when the offloaded code raised an exception on
+/// the target.
+class offload_error : public std::runtime_error {
+public:
+    explicit offload_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+template <typename T>
+class future {
+    static_assert(std::is_void_v<T> || std::is_trivially_copyable_v<T>,
+                  "offload results travel as raw bytes");
+
+    struct empty {};
+    using storage = std::conditional_t<std::is_void_v<T>, empty, T>;
+
+    struct state {
+        detail::result_source* src = nullptr;
+        node_t node = 0;
+        std::uint64_t ticket = 0;
+        std::uint32_t slot = 0;
+        bool ready = false;
+        bool failed = false;
+        std::string error_text;
+        storage value{};
+    };
+
+public:
+    future() = default;
+
+    /// A future waiting on a remote result.
+    static future remote(detail::result_source& src, node_t node,
+                         std::uint64_t ticket, std::uint32_t slot) {
+        future f;
+        f.s_ = std::make_shared<state>();
+        f.s_->src = &src;
+        f.s_->node = node;
+        f.s_->ticket = ticket;
+        f.s_->slot = slot;
+        return f;
+    }
+
+    /// An already-satisfied future (e.g. a completed synchronous transfer).
+    template <typename U = T>
+    static future ready(U&& value)
+        requires(!std::is_void_v<T>)
+    {
+        future f;
+        f.s_ = std::make_shared<state>();
+        f.s_->ready = true;
+        f.s_->value = std::forward<U>(value);
+        return f;
+    }
+    static future ready()
+        requires(std::is_void_v<T>)
+    {
+        future f;
+        f.s_ = std::make_shared<state>();
+        f.s_->ready = true;
+        return f;
+    }
+
+    [[nodiscard]] bool valid() const noexcept { return s_ != nullptr; }
+
+    /// Non-blocking readiness probe.
+    [[nodiscard]] bool test() {
+        AURORA_CHECK_MSG(valid(), "test() on an invalid future");
+        if (s_->ready) {
+            return true;
+        }
+        std::vector<std::byte> bytes;
+        if (!s_->src->try_collect(s_->node, s_->ticket, s_->slot, bytes)) {
+            return false;
+        }
+        absorb(bytes);
+        return true;
+    }
+
+    /// Blocking accessor; rethrows target-side failures as offload_error.
+    T get() {
+        AURORA_CHECK_MSG(valid(), "get() on an invalid future");
+        if (!s_->ready) {
+            std::vector<std::byte> bytes;
+            s_->src->wait_collect(s_->node, s_->ticket, s_->slot, bytes);
+            absorb(bytes);
+        }
+        if (s_->failed) {
+            std::string what = "offloaded function raised an exception on node " +
+                               std::to_string(s_->node);
+            if (!s_->error_text.empty()) {
+                what += ": " + s_->error_text;
+            }
+            throw offload_error(what);
+        }
+        if constexpr (!std::is_void_v<T>) {
+            return s_->value;
+        }
+    }
+
+private:
+    void absorb(const std::vector<std::byte>& bytes) {
+        AURORA_CHECK(bytes.size() >= sizeof(protocol::result_header));
+        protocol::result_header h;
+        std::memcpy(&h, bytes.data(), sizeof(h));
+        s_->failed = h.status != 0;
+        if (s_->failed && bytes.size() > sizeof(h)) {
+            // Failed results carry the target exception's what() text.
+            s_->error_text.assign(
+                reinterpret_cast<const char*>(bytes.data() + sizeof(h)),
+                bytes.size() - sizeof(h));
+        }
+        if constexpr (!std::is_void_v<T>) {
+            if (!s_->failed) {
+                AURORA_CHECK_MSG(bytes.size() >= sizeof(h) + sizeof(T),
+                                 "offload result smaller than the expected type");
+                std::memcpy(&s_->value, bytes.data() + sizeof(h), sizeof(T));
+            }
+        }
+        s_->ready = true;
+    }
+
+    std::shared_ptr<state> s_;
+};
+
+} // namespace ham::offload

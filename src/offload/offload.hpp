@@ -1,0 +1,170 @@
+// HAM-Offload public API (paper Table II).
+//
+// Include this single header in application code:
+//
+//   double inner_product(buffer_ptr<double> a, buffer_ptr<double> b, size_t n);
+//   HAM_REGISTER_FUNCTION(inner_product);
+//
+//   int main() {
+//     aurora::sim::platform plat{aurora::sim::platform_config::a300_8()};
+//     return ham::offload::run(plat, {}, [] {
+//       node_t target = 1;
+//       auto a = offload::allocate<double>(target, n);
+//       offload::put(host_a.data(), a, n);
+//       auto f = offload::async(target, f2f(&inner_product, a, b, n));
+//       double r = f.get();
+//     });
+//   }
+//
+// All functions operate on the runtime installed for the calling (simulated
+// VH) process by offload::run().
+#pragma once
+
+#include <cstring>
+
+#include "ham/functor.hpp"
+#include "ham/migratable.hpp"
+#include "ham/msg.hpp"
+#include "offload/buffer_ptr.hpp"
+#include "offload/future.hpp"
+#include "offload/options.hpp"
+#include "offload/run.hpp"
+#include "offload/runtime.hpp"
+#include "offload/types.hpp"
+
+namespace ham::offload {
+
+namespace detail {
+
+[[nodiscard]] inline runtime& rt() {
+    runtime* r = runtime::current();
+    AURORA_CHECK_MSG(r != nullptr,
+                     "HAM-Offload API used outside offload::run()");
+    return *r;
+}
+
+/// Execute a functor locally (offload to this_node()).
+template <typename Functor>
+auto execute_local(Functor f) {
+    using R = typename std::invoke_result_t<Functor>;
+    if constexpr (std::is_void_v<R>) {
+        f();
+        return future<void>::ready();
+    } else {
+        return future<R>::ready(f());
+    }
+}
+
+} // namespace detail
+
+/// Result type of offloading functor F.
+template <typename Functor>
+using offload_result_t = std::invoke_result_t<Functor>;
+
+/// Performs an asynchronous offload of `f` to node `n`; returns a future.
+template <typename Functor>
+[[nodiscard]] auto async(node_t n, Functor f)
+    -> future<offload_result_t<Functor>> {
+    runtime& r = detail::rt();
+    if (n == r.this_node()) {
+        return detail::execute_local(std::move(f));
+    }
+    // Serialise the functor as an active message using the host image's
+    // translation tables (Fig. 6, left side), then hand it to the backend.
+    alignas(16) std::byte buf[ham::default_max_msg_size];
+    sim::advance(r.costs().ham_msg_construct_ns);
+    const std::size_t len = ham::write_message(
+        r.host_registry(), buf,
+        std::min<std::size_t>(sizeof(buf), r.options().msg_size), f);
+    const runtime::sent_message sent = r.send_message(n, buf, len);
+    return future<offload_result_t<Functor>>::remote(r, n, sent.ticket, sent.slot);
+}
+
+/// Performs a synchronous offload of `f` to node `n`.
+template <typename Functor>
+auto sync(node_t n, Functor f) -> offload_result_t<Functor> {
+    return async(n, std::move(f)).get();
+}
+
+/// Allocates memory for `count` elements of T on offload target `n`.
+template <typename T>
+[[nodiscard]] buffer_ptr<T> allocate(node_t n, std::size_t count) {
+    AURORA_CHECK_MSG(count > 0, "zero-size offload allocation");
+    return buffer_ptr<T>(detail::rt().allocate_raw(n, count * sizeof(T)), n);
+}
+
+/// Frees memory previously allocated on an offload target.
+template <typename T>
+void free(buffer_ptr<T> p) {
+    detail::rt().free_raw(p.node(), p.addr());
+}
+
+/// Writes `count` elements from host memory at `src` into target memory.
+template <typename T>
+future<void> put(const T* src, buffer_ptr<T> dst, std::size_t count) {
+    detail::rt().put_raw(dst.node(), src, dst.addr(), count * sizeof(T));
+    return future<void>::ready();
+}
+
+/// Reads `count` elements from target memory into host memory at `dst`.
+template <typename T>
+future<void> get(buffer_ptr<T> src, T* dst, std::size_t count) {
+    detail::rt().get_raw(src.node(), src.addr(), dst, count * sizeof(T));
+    return future<void>::ready();
+}
+
+/// Direct copy between two offload targets, orchestrated by the host
+/// (Table II). Same-node copies are offloaded as a local kernel; cross-node
+/// copies bounce through host memory.
+template <typename T>
+future<void> copy(buffer_ptr<T> src, buffer_ptr<T> dst, std::size_t count);
+
+/// Blocks until every future in `futures` is satisfied (via test(), so
+/// target-side exceptions are deferred to the individual get() calls).
+template <typename T>
+void wait_all(std::vector<future<T>>& futures) {
+    for (auto& f : futures) {
+        while (!f.test()) {
+        }
+    }
+}
+
+/// Returns the number of processes of the running application.
+[[nodiscard]] inline std::size_t num_nodes() {
+    return detail::rt().num_nodes();
+}
+
+/// Returns the address of the current process.
+[[nodiscard]] inline node_t this_node() {
+    return detail::rt().this_node();
+}
+
+/// Returns the descriptor of node `n`.
+[[nodiscard]] inline node_descriptor get_node_descriptor(node_t n) {
+    return detail::rt().descriptor(n);
+}
+
+namespace detail {
+
+/// Target-local memmove kernel used by same-node copy().
+template <typename T>
+void copy_kernel(buffer_ptr<T> src, buffer_ptr<T> dst, std::size_t count) {
+    std::vector<T> tmp(count);
+    src.read_block(0, tmp.data(), count);
+    dst.write_block(0, tmp.data(), count);
+}
+
+} // namespace detail
+
+template <typename T>
+future<void> copy(buffer_ptr<T> src, buffer_ptr<T> dst, std::size_t count) {
+    if (src.node() == dst.node()) {
+        return async(src.node(), ham::f2f<&detail::copy_kernel<T>>(src, dst, count));
+    }
+    std::vector<T> bounce(count);
+    get(src, bounce.data(), count).get();
+    put(bounce.data(), dst, count).get();
+    return future<void>::ready();
+}
+
+} // namespace ham::offload

@@ -1,0 +1,48 @@
+// Runtime configuration of a HAM-Offload application.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ham/types.hpp"
+
+namespace ham::offload {
+
+/// Which communication backend connects host and targets.
+enum class backend_kind {
+    /// In-process loopback channel (testing / host-only development).
+    loopback,
+    /// Generic TCP/IP channel (paper Fig. 1): interoperability over
+    /// performance; the reference point the specialised protocols beat.
+    tcp,
+    /// Paper Sec. III-D: one-sided protocol driven by the VH through VEO
+    /// read/write operations; buffers live in VE memory.
+    veo,
+    /// Paper Sec. IV-B: one-sided protocol driven by the VE through user DMA
+    /// and LHM/SHM instructions; buffers live in VH shared memory.
+    vedma,
+};
+
+struct runtime_options {
+    backend_kind backend = backend_kind::vedma;
+    /// VE cards to use as offload targets (node i+1 -> targets[i]).
+    std::vector<int> targets = {0};
+    /// VH socket the host process runs on (socket 1 pays the UPI penalty).
+    int vh_socket = 0;
+    /// Message slots per direction and per-slot payload capacity.
+    std::uint32_t msg_slots = 8;
+    std::uint32_t msg_size = ham::default_max_msg_size;
+    /// Optional extension beyond the paper: the vedma backend sends small
+    /// results via SHM stores instead of user DMA (Sec. V-B observes SHM
+    /// beats DMA for small VE->VH payloads and says it "could be exploited").
+    bool vedma_shm_small_results = false;
+    std::uint32_t vedma_shm_result_threshold = 256;
+    /// Optional extension beyond the paper: route put()/get() through the VE
+    /// user-DMA engine with pipelined staging instead of VEO read/write
+    /// (the direction the paper's conclusion sketches for future VEO).
+    bool vedma_dma_data_path = false;
+    std::uint32_t vedma_staging_chunks = 4;
+    std::uint64_t vedma_staging_chunk_bytes = 2 * 1024 * 1024;
+};
+
+} // namespace ham::offload

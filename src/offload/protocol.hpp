@@ -1,0 +1,114 @@
+// Wire-level protocol encoding shared by the communication backends.
+//
+// Both protocols (paper Figs. 5 and 8) pair fixed-size message buffers with
+// 64-bit notification flags. The flag word piggybacks everything the peer
+// needs — "the information which buffer to receive from next, and where to
+// send the result is piggybacked through the flags and offload messages"
+// (Sec. III-D):
+//
+//   bits  0..7   control: 0 = empty, 1 = user message, 2 = terminate
+//   bits  8..15  generation (wrap-around counter distinguishing a fresh
+//                message from the stale flag left by the slot's previous use)
+//   bits 16..31  result slot index + 1 (0 when not applicable; result flags
+//                echo the request's slot)
+//   bits 32..63  payload length in bytes
+//
+// Encoding the length in the flag lets the DMA backend fetch the exact
+// message with a single LHM of the flag followed by one user-DMA transfer.
+#pragma once
+
+#include <cstdint>
+
+namespace ham::offload::protocol {
+
+enum class msg_kind : std::uint8_t {
+    empty = 0,
+    user = 1,
+    terminate = 2,
+    /// Extension (beyond the paper): bulk-data control messages routing
+    /// put()/get() through the VE user-DMA engine via staging buffers,
+    /// handled transparently inside the vedma channel.
+    data_put = 3,
+    data_get = 4,
+};
+
+/// Payload of a data_put/data_get control message.
+struct data_msg {
+    std::uint64_t target_addr = 0; ///< VE virtual address of the user buffer
+    std::uint64_t staging_off = 0; ///< offset into the host staging segment
+    std::uint64_t len = 0;         ///< chunk length in bytes
+};
+
+struct flag_word {
+    msg_kind kind = msg_kind::empty;
+    std::uint8_t gen = 0;
+    std::uint16_t result_slot_plus1 = 0;
+    std::uint32_t len = 0;
+
+    [[nodiscard]] bool present() const noexcept { return kind != msg_kind::empty; }
+};
+
+[[nodiscard]] constexpr std::uint64_t encode_flag(flag_word f) {
+    return std::uint64_t(static_cast<std::uint8_t>(f.kind)) |
+           (std::uint64_t(f.gen) << 8) | (std::uint64_t(f.result_slot_plus1) << 16) |
+           (std::uint64_t(f.len) << 32);
+}
+
+[[nodiscard]] constexpr flag_word decode_flag(std::uint64_t raw) {
+    flag_word f;
+    f.kind = static_cast<msg_kind>(raw & 0xFF);
+    f.gen = static_cast<std::uint8_t>((raw >> 8) & 0xFF);
+    f.result_slot_plus1 = static_cast<std::uint16_t>((raw >> 16) & 0xFFFF);
+    f.len = static_cast<std::uint32_t>(raw >> 32);
+    return f;
+}
+
+/// Successive generation value for a slot (0 is reserved for "never used").
+[[nodiscard]] constexpr std::uint8_t next_gen(std::uint8_t g) {
+    return g == 255 ? std::uint8_t{1} : std::uint8_t(g + 1);
+}
+
+/// Result message header preceding the result payload in a send buffer.
+struct result_header {
+    std::uint64_t status = 0; ///< 0 = ok, 1 = target exception
+};
+
+/// Geometry of one direction's communication region:
+/// [ flags: slots * 8 B ][ buffers: slots * msg_size ].
+struct region_layout {
+    std::uint32_t slots = 0;
+    std::uint32_t msg_size = 0;
+
+    [[nodiscard]] constexpr std::uint64_t flags_bytes() const {
+        return std::uint64_t(slots) * 8;
+    }
+    [[nodiscard]] constexpr std::uint64_t buffers_bytes() const {
+        return std::uint64_t(slots) * msg_size;
+    }
+    [[nodiscard]] constexpr std::uint64_t total_bytes() const {
+        return flags_bytes() + buffers_bytes();
+    }
+    [[nodiscard]] constexpr std::uint64_t flag_offset(std::uint32_t slot) const {
+        return std::uint64_t(slot) * 8;
+    }
+    [[nodiscard]] constexpr std::uint64_t buffer_offset(std::uint32_t slot) const {
+        return flags_bytes() + std::uint64_t(slot) * msg_size;
+    }
+};
+
+/// Full communication area: a receive region (host -> target messages) then a
+/// send region (target -> host results).
+struct comm_layout {
+    region_layout recv; ///< offload messages, written by the host
+    region_layout send; ///< result messages, written by the target
+
+    [[nodiscard]] constexpr std::uint64_t recv_base() const { return 0; }
+    [[nodiscard]] constexpr std::uint64_t send_base() const {
+        return recv.total_bytes();
+    }
+    [[nodiscard]] constexpr std::uint64_t total_bytes() const {
+        return recv.total_bytes() + send.total_bytes();
+    }
+};
+
+} // namespace ham::offload::protocol

@@ -1,0 +1,93 @@
+// offload::run — application entry point on the simulated platform.
+//
+// Spawns the VH process, boots VEOS, installs the application image, builds
+// the host image's HAM registry, constructs the runtime (which deploys the
+// VE processes per Fig. 4), installs the execution/runtime contexts, executes
+// the host main function, and tears everything down.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "offload/options.hpp"
+#include "sim/platform.hpp"
+
+namespace aurora::veos {
+class veos_system;
+}
+
+namespace ham::offload {
+
+/// Tracks one spawned application; read `exit_code()` after the simulation
+/// ran to completion.
+class app_handle {
+public:
+    [[nodiscard]] bool finished() const noexcept { return finished_; }
+    [[nodiscard]] int exit_code() const noexcept { return exit_code_; }
+
+private:
+    friend class app_launcher;
+    bool finished_ = false;
+    int exit_code_ = -1;
+};
+
+/// Spawns HAM-Offload applications onto one shared platform, so several
+/// host processes (each with its own runtime and targets) coexist — e.g.
+/// two applications driving different Vector Engines, or sharing one VE
+/// through separate VE processes. Call launch() any number of times, then
+/// plat.sim().run().
+class app_launcher {
+public:
+    explicit app_launcher(aurora::sim::platform& plat);
+    ~app_launcher();
+    app_launcher(const app_launcher&) = delete;
+    app_launcher& operator=(const app_launcher&) = delete;
+
+    /// Spawn one application (does not run the simulation).
+    app_handle& launch(const runtime_options& opt, std::function<int()> host_main,
+                       const std::string& name = "VH.app");
+
+    template <typename F>
+    app_handle& launch_void(const runtime_options& opt, F&& host_main,
+                            const std::string& name = "VH.app") {
+        auto fn = std::forward<F>(host_main);
+        return launch(opt, [fn]() -> int {
+            fn();
+            return 0;
+        }, name);
+    }
+
+    [[nodiscard]] aurora::veos::veos_system& system() noexcept { return *sys_; }
+
+private:
+    aurora::sim::platform& plat_;
+    std::unique_ptr<aurora::veos::veos_system> sys_;
+    std::vector<std::unique_ptr<app_handle>> apps_;
+};
+
+namespace detail {
+/// Non-template core; host_main's return value becomes run()'s result.
+int run_impl(aurora::sim::platform& plat, const runtime_options& opt,
+             const std::function<int()>& host_main);
+} // namespace detail
+
+/// Run `host_main` as the host process of a HAM-Offload application on
+/// `plat`. Returns host_main's return value (0 for void mains); rethrows its
+/// exceptions.
+template <typename F>
+int run(aurora::sim::platform& plat, const runtime_options& opt, F&& host_main) {
+    if constexpr (std::is_void_v<std::invoke_result_t<F&>>) {
+        auto fn = std::forward<F>(host_main);
+        return detail::run_impl(plat, opt, [&fn]() -> int {
+            fn();
+            return 0;
+        });
+    } else {
+        auto fn = std::forward<F>(host_main);
+        return detail::run_impl(plat, opt, [&fn]() -> int { return fn(); });
+    }
+}
+
+} // namespace ham::offload

@@ -1,0 +1,334 @@
+#include "offload/runtime.hpp"
+
+#include <cstring>
+
+#include "offload/app_image.hpp"
+#include "offload/backend_loopback.hpp"
+#include "offload/backend_tcp.hpp"
+#include "offload/backend_vedma.hpp"
+#include "offload/backend_veo.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "util/check.hpp"
+#include "veos/veos.hpp"
+
+namespace ham::offload {
+
+thread_local runtime* runtime::current_ = nullptr;
+
+namespace {
+
+/// The loopback targets share one "other binary" image registry.
+const ham::handler_registry& loopback_target_registry() {
+    static const ham::handler_registry reg = ham::handler_registry::build(
+        {.address_base = 0x5B0000000000, .layout_seed = 0x10053ACCULL});
+    return reg;
+}
+
+} // namespace
+
+runtime::runtime(sim::simulation& sim, aurora::veos::veos_system* sys,
+                 const ham::handler_registry& host_reg, runtime_options opt)
+    : sim_(sim), sys_(sys), host_reg_(host_reg), opt_(std::move(opt)) {
+    AURORA_CHECK_MSG(sim::in_simulation(),
+                     "the HAM-Offload runtime must run on a simulated VH process");
+    AURORA_CHECK_MSG(opt_.backend == backend_kind::loopback ||
+                         opt_.backend == backend_kind::tcp || sys_ != nullptr,
+                     "VEO/VE-DMA backends need a veos_system");
+    AURORA_CHECK_MSG(!opt_.targets.empty(), "runtime_options.targets is empty");
+    AURORA_CHECK_MSG(opt_.msg_slots >= 1 && opt_.msg_slots <= 0xFFFE,
+                     "msg_slots must be in [1, 65534]");
+    AURORA_CHECK_MSG(opt_.msg_size >= 256 && opt_.msg_size % 8 == 0,
+                     "msg_size must be >= 256 and 8-byte aligned");
+    if (sys_ != nullptr && opt_.backend != backend_kind::loopback &&
+        opt_.backend != backend_kind::tcp) {
+        for (const int t : opt_.targets) {
+            AURORA_CHECK_MSG(t >= 0 && t < sys_->num_ve(),
+                             "target VE " << t << " does not exist (machine has "
+                                          << sys_->num_ve() << " VEs)");
+        }
+    }
+    costs_ = sys_ != nullptr ? sys_->plat().costs() : sim::cost_model{};
+
+    node_t node = 1;
+    for (const int target : opt_.targets) {
+        auto state = std::make_unique<target_state>();
+        switch (opt_.backend) {
+            case backend_kind::loopback:
+                state->be = std::make_unique<backend_loopback>(
+                    sim_, loopback_target_registry(), costs_, opt_, node);
+                break;
+            case backend_kind::tcp:
+                state->be = std::make_unique<backend_tcp>(
+                    sim_, loopback_target_registry(), costs_, opt_, node);
+                break;
+            case backend_kind::veo:
+                state->be =
+                    std::make_unique<backend_veo>(*sys_, target, node, opt_);
+                break;
+            case backend_kind::vedma:
+                state->be =
+                    std::make_unique<backend_vedma>(*sys_, target, node, opt_);
+                break;
+        }
+        state->slot_ticket.assign(state->be->slot_count(), 0);
+        targets_.push_back(std::move(state));
+        ++node;
+    }
+}
+
+runtime::~runtime() {
+    try {
+        shutdown();
+    } catch (const sim::simulation_aborted&) {
+        // unwinding an aborted simulation — nothing more to do
+    }
+}
+
+void runtime::shutdown() {
+    if (shut_down_) {
+        return;
+    }
+    shut_down_ = true;
+    // Terminate every target: a control message through the regular slot
+    // discipline, acknowledged by a result message.
+    for (std::size_t i = 0; i < targets_.size(); ++i) {
+        target_state& t = *targets_[i];
+        const std::uint32_t slot = acquire_slot(t);
+        t.be->send_message(slot, nullptr, 0, protocol::msg_kind::terminate);
+        const std::uint64_t ticket = t.next_ticket++;
+        t.slot_ticket[slot] = ticket;
+        std::vector<std::byte> ack;
+        wait_collect(static_cast<node_t>(i + 1), ticket, slot, ack);
+        t.be->shutdown();
+    }
+}
+
+runtime::target_state& runtime::state_for(node_t node) {
+    AURORA_CHECK_MSG(node >= 1 && std::size_t(node) <= targets_.size(),
+                     "node " << node << " is not an offload target (have "
+                             << targets_.size() << " targets)");
+    return *targets_[std::size_t(node - 1)];
+}
+
+backend& runtime::backend_for(node_t node) {
+    return *state_for(node).be;
+}
+
+node_descriptor runtime::descriptor(node_t node) const {
+    if (node == 0) {
+        node_descriptor d;
+        d.name = "host";
+        d.device_type = "Intel Xeon Gold 6126 (VH)";
+        d.node = 0;
+        d.ve_id = -1;
+        return d;
+    }
+    AURORA_CHECK_MSG(node >= 1 && std::size_t(node) <= targets_.size(),
+                     "no node " << node);
+    return targets_[std::size_t(node - 1)]->be->descriptor();
+}
+
+bool runtime::harvest_slot(target_state& t, std::uint32_t slot) {
+    if (t.slot_ticket[slot] == 0) {
+        return false;
+    }
+    std::vector<std::byte> bytes;
+    if (!t.be->test_result(slot, bytes)) {
+        return false;
+    }
+    t.arrived.emplace(t.slot_ticket[slot], std::move(bytes));
+    t.slot_ticket[slot] = 0;
+    return true;
+}
+
+std::uint32_t runtime::acquire_slot(target_state& t) {
+    // Strict round-robin: the target polls its receive slots in order, so the
+    // host must fill them in the same order (Sec. III-D: the host does all
+    // buffer bookkeeping).
+    const std::uint32_t slot = t.rr;
+    while (t.slot_ticket[slot] != 0) {
+        if (harvest_slot(t, slot)) {
+            break;
+        }
+        t.be->poll_pause();
+    }
+    t.rr = (t.rr + 1) % t.be->slot_count();
+    return slot;
+}
+
+const runtime::target_statistics& runtime::statistics(node_t node) {
+    return state_for(node).stats;
+}
+
+runtime::sent_message runtime::send_message(node_t node, const void* msg,
+                                            std::size_t len) {
+    target_state& t = state_for(node);
+    const std::uint32_t slot = acquire_slot(t);
+    t.be->send_message(slot, msg, len, protocol::msg_kind::user);
+    const std::uint64_t ticket = t.next_ticket++;
+    t.slot_ticket[slot] = ticket;
+    ++t.stats.messages_sent;
+    AURORA_TRACE("offload", "send msg " << len << " B -> node " << node
+                                        << " slot " << slot << " ticket "
+                                        << ticket);
+    return {ticket, slot};
+}
+
+bool runtime::try_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,
+                          std::vector<std::byte>& out) {
+    sim::advance(costs_.ham_future_check_ns);
+    target_state& t = state_for(node);
+    if (auto it = t.arrived.find(ticket); it != t.arrived.end()) {
+        out = std::move(it->second);
+        t.arrived.erase(it);
+        ++t.stats.results_received;
+        return true;
+    }
+    if (t.slot_ticket[slot] == ticket && harvest_slot(t, slot)) {
+        auto it = t.arrived.find(ticket);
+        AURORA_CHECK(it != t.arrived.end());
+        out = std::move(it->second);
+        t.arrived.erase(it);
+        ++t.stats.results_received;
+        AURORA_TRACE("offload", "result " << out.size() << " B <- node " << node
+                                          << " ticket " << ticket);
+        return true;
+    }
+    // The only valid remaining state: the request is still outstanding in its
+    // slot. Anything else means the result was consumed twice.
+    AURORA_CHECK_MSG(t.slot_ticket[slot] == ticket,
+                     "future references a result that was already consumed");
+    return false;
+}
+
+void runtime::wait_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,
+                           std::vector<std::byte>& out) {
+    target_state& t = state_for(node);
+    while (!try_collect(node, ticket, slot, out)) {
+        t.be->poll_pause();
+    }
+}
+
+std::uint64_t runtime::allocate_raw(node_t node, std::uint64_t bytes) {
+    if (node == this_node()) {
+        // Host allocation: buffer_ptr on node 0 wraps a real pointer.
+        auto block = std::make_unique<std::byte[]>(bytes);
+        std::memset(block.get(), 0, bytes);
+        const auto addr = reinterpret_cast<std::uint64_t>(block.get());
+        host_heap_.emplace(addr, std::move(block));
+        return addr;
+    }
+    return state_for(node).be->allocate_bytes(bytes);
+}
+
+void runtime::free_raw(node_t node, std::uint64_t addr) {
+    if (node == this_node()) {
+        AURORA_CHECK_MSG(host_heap_.erase(addr) == 1,
+                         "free of unknown host buffer");
+        return;
+    }
+    state_for(node).be->free_bytes(addr);
+}
+
+void runtime::put_raw(node_t node, const void* src, std::uint64_t dst_addr,
+                      std::uint64_t len) {
+    if (node == this_node()) {
+        sim::advance(sim::transfer_ns(len, costs_.vh_memcpy_gib));
+        std::memcpy(reinterpret_cast<void*>(dst_addr), src, len);
+        return;
+    }
+    target_state& t = state_for(node);
+    t.stats.bytes_put += len;
+    if (t.be->has_dma_data_path() && len > 0) {
+        pipelined_transfer(node, const_cast<void*>(src), dst_addr, len,
+                           /*is_put=*/true);
+        return;
+    }
+    t.be->put_bytes(src, dst_addr, len);
+}
+
+void runtime::get_raw(node_t node, std::uint64_t src_addr, void* dst,
+                      std::uint64_t len) {
+    if (node == this_node()) {
+        sim::advance(sim::transfer_ns(len, costs_.vh_memcpy_gib));
+        std::memcpy(dst, reinterpret_cast<const void*>(src_addr), len);
+        return;
+    }
+    target_state& t = state_for(node);
+    t.stats.bytes_got += len;
+    if (t.be->has_dma_data_path() && len > 0) {
+        pipelined_transfer(node, dst, src_addr, len, /*is_put=*/false);
+        return;
+    }
+    t.be->get_bytes(src_addr, dst, len);
+}
+
+void runtime::pipelined_transfer(node_t node, void* host_buf,
+                                 std::uint64_t target_addr, std::uint64_t len,
+                                 bool is_put) {
+    // Extension data path: chunk the transfer through the backend's staging
+    // window, pipelining host staging copies with VE-side user-DMA moves.
+    target_state& t = state_for(node);
+    backend& be = *t.be;
+    const std::uint64_t chunk = be.staging_chunk_bytes();
+    const std::uint32_t window = be.staging_chunk_count();
+    AURORA_CHECK(chunk > 0 && window > 0);
+
+    struct pending {
+        bool active = false;
+        std::uint64_t ticket = 0;
+        std::uint32_t slot = 0;
+        std::uint64_t host_off = 0;
+        std::uint64_t chunk_len = 0;
+    };
+    std::vector<pending> inflight(window);
+    auto* bytes = static_cast<std::byte*>(host_buf);
+
+    auto retire = [&](pending& p) {
+        std::vector<std::byte> ack;
+        wait_collect(node, p.ticket, p.slot, ack);
+        if (!is_put) {
+            be.stage_get(std::uint32_t(&p - inflight.data()), bytes + p.host_off,
+                         p.chunk_len);
+        }
+        p.active = false;
+    };
+
+    std::uint64_t off = 0;
+    std::uint32_t w = 0;
+    while (off < len) {
+        const std::uint64_t clen = std::min(chunk, len - off);
+        pending& p = inflight[w];
+        if (p.active) {
+            retire(p);
+        }
+        if (is_put) {
+            be.stage_put(w, bytes + off, clen);
+        }
+        protocol::data_msg m;
+        m.target_addr = target_addr + off;
+        m.staging_off = std::uint64_t(w) * chunk;
+        m.len = clen;
+        const std::uint32_t slot = acquire_slot(t);
+        t.be->send_message(slot, &m, sizeof(m),
+                           is_put ? protocol::msg_kind::data_put
+                                  : protocol::msg_kind::data_get);
+        p.ticket = t.next_ticket++;
+        t.slot_ticket[slot] = p.ticket;
+        p.slot = slot;
+        p.host_off = off;
+        p.chunk_len = clen;
+        p.active = true;
+        ++t.stats.data_chunks;
+        off += clen;
+        w = (w + 1) % window;
+    }
+    for (pending& p : inflight) {
+        if (p.active) {
+            retire(p);
+        }
+    }
+}
+
+} // namespace ham::offload

@@ -1,0 +1,132 @@
+// The host-side HAM-Offload runtime.
+//
+// Owns one communication backend per offload target, manages the finite
+// message slots (the host does all buffer bookkeeping — paper Sec. III-D),
+// correlates results with futures via tickets, and provides the raw
+// operations the typed Table II API wraps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ham/handler_registry.hpp"
+#include "offload/backend.hpp"
+#include "offload/future.hpp"
+#include "offload/options.hpp"
+#include "offload/types.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/engine.hpp"
+
+namespace aurora::veos {
+class veos_system;
+}
+
+namespace ham::offload {
+
+class runtime : public detail::result_source {
+public:
+    /// Construct the runtime and connect all configured targets. `sys` may be
+    /// null only for a pure-loopback configuration. Must run on the simulated
+    /// VH process (of `sim`).
+    runtime(sim::simulation& sim, aurora::veos::veos_system* sys,
+            const ham::handler_registry& host_reg, runtime_options opt);
+    ~runtime() override;
+    runtime(const runtime&) = delete;
+    runtime& operator=(const runtime&) = delete;
+
+    /// The runtime of the calling thread (installed via scope).
+    [[nodiscard]] static runtime* current() noexcept { return current_; }
+
+    class scope {
+    public:
+        explicit scope(runtime& rt) : previous_(current_) { current_ = &rt; }
+        ~scope() { current_ = previous_; }
+        scope(const scope&) = delete;
+        scope& operator=(const scope&) = delete;
+
+    private:
+        runtime* previous_;
+    };
+
+    [[nodiscard]] const ham::handler_registry& host_registry() const noexcept {
+        return host_reg_;
+    }
+    [[nodiscard]] const runtime_options& options() const noexcept { return opt_; }
+    [[nodiscard]] const sim::cost_model& costs() const noexcept { return costs_; }
+
+    // --- node queries (Table II) ---------------------------------------------
+    [[nodiscard]] std::size_t num_nodes() const noexcept {
+        return targets_.size() + 1;
+    }
+    [[nodiscard]] node_t this_node() const noexcept { return 0; }
+    [[nodiscard]] node_descriptor descriptor(node_t node) const;
+
+    // --- statistics -------------------------------------------------------------
+    struct target_statistics {
+        std::uint64_t messages_sent = 0;   ///< user offload messages
+        std::uint64_t results_received = 0;
+        std::uint64_t bytes_put = 0;
+        std::uint64_t bytes_got = 0;
+        std::uint64_t data_chunks = 0;     ///< extension data-path chunks
+    };
+    [[nodiscard]] const target_statistics& statistics(node_t node);
+
+    // --- messaging -------------------------------------------------------------
+    struct sent_message {
+        std::uint64_t ticket = 0;
+        std::uint32_t slot = 0;
+    };
+
+    /// Send one serialised active message; blocks while every slot has an
+    /// uncollected result (buffering arrivals in the meantime).
+    sent_message send_message(node_t node, const void* msg, std::size_t len);
+
+    bool try_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,
+                     std::vector<std::byte>& out) override;
+    void wait_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,
+                      std::vector<std::byte>& out) override;
+
+    // --- memory (Table II allocate/free/put/get) --------------------------------
+    [[nodiscard]] std::uint64_t allocate_raw(node_t node, std::uint64_t bytes);
+    void free_raw(node_t node, std::uint64_t addr);
+    void put_raw(node_t node, const void* src, std::uint64_t dst_addr,
+                 std::uint64_t len);
+    void get_raw(node_t node, std::uint64_t src_addr, void* dst, std::uint64_t len);
+
+    [[nodiscard]] backend& backend_for(node_t node);
+
+private:
+    struct target_state {
+        std::unique_ptr<backend> be;
+        std::vector<std::uint64_t> slot_ticket; ///< 0 = slot free
+        std::map<std::uint64_t, std::vector<std::byte>> arrived;
+        std::uint64_t next_ticket = 1;
+        std::uint32_t rr = 0; ///< round-robin send cursor
+        target_statistics stats;
+    };
+
+    target_state& state_for(node_t node);
+    /// Host-side (node 0) allocations: plain heap blocks.
+    std::map<std::uint64_t, std::unique_ptr<std::byte[]>> host_heap_;
+    /// Chunked put/get through the backend's staging window (extension).
+    void pipelined_transfer(node_t node, void* host_buf, std::uint64_t target_addr,
+                            std::uint64_t len, bool is_put);
+    /// Probe one slot's backend result; buffer an arrival under its ticket.
+    bool harvest_slot(target_state& t, std::uint32_t slot);
+    std::uint32_t acquire_slot(target_state& t);
+    void shutdown();
+
+    static thread_local runtime* current_;
+
+    sim::simulation& sim_;
+    aurora::veos::veos_system* sys_;
+    const ham::handler_registry& host_reg_;
+    runtime_options opt_;
+    sim::cost_model costs_;
+    std::vector<std::unique_ptr<target_state>> targets_;
+    bool shut_down_ = false;
+};
+
+} // namespace ham::offload

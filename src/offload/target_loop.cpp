@@ -1,0 +1,70 @@
+#include "offload/target_loop.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "ham/execution_context.hpp"
+#include "ham/msg.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace ham::offload {
+
+void run_target_loop(const target_loop_config& cfg, target_channel& channel) {
+    AURORA_CHECK(cfg.registry != nullptr && cfg.context != nullptr &&
+                 cfg.costs != nullptr);
+    const sim::cost_model& cm = *cfg.costs;
+
+    // This thread now executes "inside the target binary".
+    ham::execution_context::scope image_scope(*cfg.registry);
+    target_context::scope ctx_scope(*cfg.context);
+
+    std::vector<std::byte> msg;
+    std::vector<std::byte> result(sizeof(protocol::result_header) + cfg.msg_size);
+
+    for (;;) {
+        const protocol::flag_word flag = channel.recv_next(msg);
+        AURORA_CHECK(flag.present());
+        AURORA_CHECK_MSG(flag.result_slot_plus1 != 0,
+                         "offload message without a result slot");
+        const std::uint32_t result_slot = flag.result_slot_plus1 - 1u;
+        sim::advance(cm.ham_runtime_iteration_ns);
+
+        protocol::result_header header{};
+        std::size_t payload_size = 0;
+
+        if (flag.kind == protocol::msg_kind::terminate) {
+            std::memcpy(result.data(), &header, sizeof(header));
+            sim::advance(cm.ham_msg_construct_ns);
+            channel.send_result(result_slot, result.data(), sizeof(header));
+            break;
+        }
+
+        // Generic handler: key lookup -> local handler -> typed execution.
+        sim::advance(cm.ham_msg_dispatch_ns);
+        try {
+            ham::execute_message(*cfg.registry, msg.data(),
+                                 result.data() + sizeof(header),
+                                 result.size() - sizeof(header), &payload_size);
+        } catch (const sim::simulation_aborted&) {
+            throw;
+        } catch (const std::exception& e) {
+            // Reported to the future as offload_error; the what() text rides
+            // in the result payload so the host sees the original diagnosis.
+            header.status = 1;
+            const std::size_t cap = result.size() - sizeof(header);
+            payload_size = std::min(cap, std::strlen(e.what()));
+            std::memcpy(result.data() + sizeof(header), e.what(), payload_size);
+        } catch (...) {
+            header.status = 1;
+            payload_size = 0;
+        }
+
+        std::memcpy(result.data(), &header, sizeof(header));
+        sim::advance(cm.ham_msg_construct_ns); // result message construction
+        channel.send_result(result_slot, result.data(),
+                            sizeof(header) + payload_size);
+    }
+}
+
+} // namespace ham::offload

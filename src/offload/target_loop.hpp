@@ -1,0 +1,46 @@
+// The offload target's message-processing loop (paper Sec. III-C: "the
+// HAM-Offload runtime takes over and starts processing active messages").
+//
+// The loop is protocol-agnostic: a target_channel supplies the next message
+// (each backend implements its own polling/fetching per Figs. 5 and 8) and
+// carries results back. The loop executes messages through the *target*
+// image's handler registry and answers every message — including the
+// terminate control message — with a result message.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ham/handler_registry.hpp"
+#include "offload/protocol.hpp"
+#include "offload/target.hpp"
+#include "sim/cost_model.hpp"
+
+namespace ham::offload {
+
+/// Target-side view of a communication backend.
+class target_channel {
+public:
+    virtual ~target_channel() = default;
+
+    /// Block until the next offload message arrives (slots are consumed in
+    /// round-robin order, matching the host's strict send order). Fills
+    /// `buf` with the payload and returns the decoded notification flag.
+    virtual protocol::flag_word recv_next(std::vector<std::byte>& buf) = 0;
+
+    /// Deliver a result message ([result_header][payload]) into `result_slot`.
+    virtual void send_result(std::uint32_t result_slot, const void* bytes,
+                             std::size_t len) = 0;
+};
+
+struct target_loop_config {
+    const ham::handler_registry* registry = nullptr; ///< the target image's tables
+    target_context* context = nullptr;               ///< memory + device model
+    const sim::cost_model* costs = nullptr;          ///< framework cost model
+    std::uint32_t msg_size = 4096;                   ///< per-slot capacity
+};
+
+/// Run until the terminate control message is processed.
+void run_target_loop(const target_loop_config& cfg, target_channel& channel);
+
+} // namespace ham::offload

@@ -1,0 +1,27 @@
+// HAM-Offload fundamental types (paper Table II).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aurora::sim {}
+
+namespace ham::offload {
+
+/// Shorthand for the platform-simulation namespace used throughout the
+/// offload layer.
+namespace sim = ::aurora::sim;
+
+/// Address type of a process: an offload host or target. Node 0 is the host
+/// process itself; nodes 1..num_nodes()-1 are offload targets.
+using node_t = int;
+
+/// Information on a node (paper Table II: "e.g. name or device-type").
+struct node_descriptor {
+    std::string name;        ///< e.g. "host", "VE0"
+    std::string device_type; ///< e.g. "Intel Xeon Gold 6126 (VH)", "NEC VE Type 10B"
+    node_t node = 0;
+    int ve_id = -1;          ///< -1 for the host
+};
+
+} // namespace ham::offload

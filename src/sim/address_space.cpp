@@ -1,0 +1,64 @@
+#include "sim/address_space.hpp"
+
+#include "util/check.hpp"
+
+namespace aurora::sim {
+
+void address_space::map(const vm_mapping& m) {
+    AURORA_CHECK(m.length > 0);
+    // Check overlap with the mapping at or after m.vaddr…
+    auto next = maps_.lower_bound(m.vaddr);
+    if (next != maps_.end()) {
+        AURORA_CHECK_MSG(m.vaddr + m.length <= next->first,
+                         "mapping overlaps existing mapping");
+    }
+    // …and with the one before it.
+    if (next != maps_.begin()) {
+        auto prev = std::prev(next);
+        AURORA_CHECK_MSG(prev->first + prev->second.length <= m.vaddr,
+                         "mapping overlaps existing mapping");
+    }
+    maps_.emplace(m.vaddr, m);
+}
+
+vm_mapping address_space::unmap(std::uint64_t vaddr) {
+    auto it = maps_.find(vaddr);
+    AURORA_CHECK_MSG(it != maps_.end(), "unmap of unmapped address " << vaddr);
+    vm_mapping m = it->second;
+    maps_.erase(it);
+    return m;
+}
+
+const vm_mapping* address_space::find(std::uint64_t vaddr) const {
+    auto it = maps_.upper_bound(vaddr);
+    if (it == maps_.begin()) {
+        return nullptr;
+    }
+    --it;
+    const vm_mapping& m = it->second;
+    if (vaddr < m.vaddr + m.length) {
+        return &m;
+    }
+    return nullptr;
+}
+
+std::optional<std::uint64_t> address_space::translate(std::uint64_t vaddr) const {
+    const vm_mapping* m = find(vaddr);
+    if (m == nullptr) {
+        return std::nullopt;
+    }
+    return m->paddr + (vaddr - m->vaddr);
+}
+
+std::uint64_t address_space::translate_range(std::uint64_t vaddr,
+                                             std::uint64_t length) const {
+    const vm_mapping* m = find(vaddr);
+    AURORA_CHECK_MSG(m != nullptr, "VE memory fault: unmapped address 0x"
+                                       << std::hex << vaddr);
+    AURORA_CHECK_MSG(vaddr + length <= m->vaddr + m->length,
+                     "VE memory fault: access crosses mapping end at 0x"
+                         << std::hex << vaddr << " + " << std::dec << length);
+    return m->paddr + (vaddr - m->vaddr);
+}
+
+} // namespace aurora::sim

@@ -1,0 +1,81 @@
+// VE process virtual address space.
+//
+// Each mapping associates a contiguous virtual range with a contiguous
+// physical range and a page size. The VEOS privileged DMA manager translates
+// virtual addresses page by page (paper Sec. III-D); the per-page walk cost is
+// what huge pages amortise.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "sim/cost_model.hpp"
+#include "sim/phys_memory.hpp"
+
+namespace aurora::sim {
+
+/// One virtual->physical mapping.
+struct vm_mapping {
+    std::uint64_t vaddr = 0;
+    std::uint64_t paddr = 0;
+    std::uint64_t length = 0;
+    page_size pages = page_size::ve_64k;
+};
+
+/// Sorted collection of non-overlapping mappings plus translation helpers.
+class address_space {
+public:
+    /// Install a mapping; ranges must not overlap an existing mapping.
+    void map(const vm_mapping& m);
+
+    /// Remove the mapping starting exactly at `vaddr`; returns it.
+    vm_mapping unmap(std::uint64_t vaddr);
+
+    /// Translate one virtual address; nullopt when unmapped.
+    [[nodiscard]] std::optional<std::uint64_t> translate(std::uint64_t vaddr) const;
+
+    /// Translate a range that must lie entirely within one mapping; throws
+    /// aurora::check_error on faults (the simulated SIGSEGV).
+    [[nodiscard]] std::uint64_t translate_range(std::uint64_t vaddr,
+                                                std::uint64_t length) const;
+
+    /// The mapping containing `vaddr`, if any.
+    [[nodiscard]] const vm_mapping* find(std::uint64_t vaddr) const;
+
+    [[nodiscard]] std::size_t mapping_count() const noexcept { return maps_.size(); }
+
+    /// All live mappings, keyed by virtual start (teardown enumeration).
+    [[nodiscard]] const std::map<std::uint64_t, vm_mapping>& mappings() const {
+        return maps_;
+    }
+
+private:
+    std::map<std::uint64_t, vm_mapping> maps_; // keyed by vaddr
+};
+
+/// Convenience accessor pairing an address space with its physical memory:
+/// functional reads/writes through virtual addresses (no timing).
+class memory_view {
+public:
+    memory_view(const address_space& as, phys_memory& mem) : as_(&as), mem_(&mem) {}
+
+    void read(std::uint64_t vaddr, void* dst, std::uint64_t n) const {
+        mem_->read(as_->translate_range(vaddr, n), dst, n);
+    }
+    void write(std::uint64_t vaddr, const void* src, std::uint64_t n) {
+        mem_->write(as_->translate_range(vaddr, n), src, n);
+    }
+    [[nodiscard]] std::uint64_t load_u64(std::uint64_t vaddr) const {
+        return mem_->load_u64(as_->translate_range(vaddr, 8));
+    }
+    void store_u64(std::uint64_t vaddr, std::uint64_t v) {
+        mem_->store_u64(as_->translate_range(vaddr, 8), v);
+    }
+
+private:
+    const address_space* as_;
+    phys_memory* mem_;
+};
+
+} // namespace aurora::sim

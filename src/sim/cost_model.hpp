@@ -1,0 +1,210 @@
+// Calibrated cost model for the simulated NEC SX-Aurora TSUBASA A300-8.
+//
+// Every constant is tied to a measurement or statement in the paper
+// (Noack/Focht/Steinke 2019, "Heterogeneous Active Messages for Offloading on
+// the NEC SX-Aurora TSUBASA") — see the per-field comments. The calibration
+// test (tests/sim/cost_calibration_test.cpp) asserts that the end-to-end
+// numbers the model produces match the paper's headline results:
+//
+//   Fig. 9   native VEO offload      ~80 us
+//            HAM-Offload over VEO    ~432 us   (5.4x native VEO)
+//            HAM-Offload over VE-DMA ~6.1 us   (13.1x faster than native VEO)
+//   Table IV VEO read/write peak      9.9 / 10.4 GiB/s  (VH=>VE / VE=>VH)
+//            VE user DMA peak        10.6 / 11.1 GiB/s
+//            SHM / LHM               0.01 / 0.06 GiB/s
+//
+// Known tensions between the paper's secondary claims are documented in
+// EXPERIMENTS.md (e.g. the SHM-vs-DMA crossover size).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "util/units.hpp"
+
+namespace aurora::sim {
+
+/// Page sizes supported by the simulated VH/VE memory management.
+enum class page_size : std::uint64_t {
+    small_4k = 4 * KiB,   ///< default VH page
+    ve_64k = 64 * KiB,    ///< VE base page size
+    huge_2m = 2 * MiB,    ///< huge page ("at least 2 MiB", paper SecV-B)
+    huge_64m = 64 * MiB,  ///< VE huge page
+};
+
+constexpr std::uint64_t page_bytes(page_size ps) {
+    return static_cast<std::uint64_t>(ps);
+}
+
+/// Strategy of the VEOS privileged DMA manager (paper Sec. III-D):
+/// `classic` translates virtual to physical addresses on the fly, serially
+/// with the transfer; `improved_4dma` (VEOS 1.3.2-4dma) performs bulk
+/// translations overlapping descriptor generation and DMA transfers.
+enum class dma_manager_mode {
+    classic,
+    improved_4dma,
+};
+
+/// All latency/bandwidth constants of the simulated platform.
+/// Defaults reproduce the paper's testbed (Tables I and III).
+struct cost_model {
+    // --- PCIe Gen3 x16 link and topology (Fig. 3) ---------------------------
+    /// One-way PCIe latency VH socket 0 <-> VE through one switch; the paper
+    /// quotes 1.2 us PCIe round-trip time (Sec. V-A, citing [4]).
+    duration_ns pcie_one_way_ns = 600;
+    /// Extra one-way latency when crossing the UPI socket interconnect.
+    /// A single hop is cheap; the paper's "adds up to 1 us" (Sec. V-A) is the
+    /// accumulation over all PCIe operations of one DMA-protocol offload
+    /// (LHM polls, two DMA transfers, SHM stores — ~7 affected operations).
+    duration_ns upi_one_way_ns = 70;
+    /// Theoretical max payload bandwidth of the PCIe Gen3 x16 link after
+    /// protocol overhead: 13.4 GiB/s (91% of 14.7 GiB/s, Sec. V).
+    double pcie_effective_peak_gib = 13.4;
+
+    // --- VE user DMA (Sec. IV-A/B) ------------------------------------------
+    /// VE-side cost to build a DMA descriptor and ring the doorbell.
+    duration_ns ve_dma_post_ns = 400;
+    /// DMA engine start-up + first-byte PCIe latency (per transfer). Also
+    /// places the LHM-vs-DMA crossover at 1-2 words and the SHM-vs-DMA
+    /// crossover near 128 B (Sec. V-B).
+    duration_ns ve_dma_latency_ns = 1'200;
+    /// Sustained user-DMA link rate, VH=>VE direction (DMA read from host).
+    /// Calibrated so the 256 MiB point reports 10.6 GiB/s (Table IV).
+    double ve_dma_read_gib = 10.62;
+    /// Sustained user-DMA link rate, VE=>VH direction (DMA write to host).
+    /// Calibrated to 11.1 GiB/s peak (Table IV).
+    double ve_dma_write_gib = 11.13;
+    /// Completion-poll granularity of ve_dma_wait on the VE.
+    duration_ns ve_dma_poll_ns = 100;
+    /// Per-descriptor cost when a strided (2D) transfer chains descriptors.
+    duration_ns ve_dma_desc_chain_ns = 40;
+
+    // --- LHM/SHM instructions (Sec. IV-A) -----------------------------------
+    /// One LHM (Load Host Memory) of a 64-bit word: a PCIe read round trip.
+    /// Sustained: 8 B / 745 ns = 0.0100 GiB/s — exactly Table IV's LHM rate.
+    /// Keeps LHM faster than user DMA for single words only (the paper says
+    /// "one or two"; see EXPERIMENTS.md).
+    duration_ns lhm_word_ns = 745;
+    /// One SHM (Store Host Memory) of a 64-bit word: posted PCIe write,
+    /// pipelined. Sustained: 8 B / 125 ns ~= 0.06 GiB/s (Table IV).
+    duration_ns shm_word_ns = 125;
+
+    // --- VEOS privileged DMA: veo_read_mem / veo_write_mem (Sec. III-D) -----
+    /// Fixed software cost of one veo_write_mem: the request traverses the
+    /// VH pseudo-process, the VEOS daemon and the kernel modules ("three
+    /// components which have to communicate with each other").
+    duration_ns veo_write_base_ns = 95'000;
+    /// Fixed software cost of one veo_read_mem (slightly worse than writes
+    /// in deployed VEO versions).
+    duration_ns veo_read_base_ns = 105'000;
+    /// Link rate of privileged DMA, VH=>VE: calibrated to a 9.9 GiB/s
+    /// plateau at 64-256 MiB (Table IV).
+    double veo_write_link_gib = 9.95;
+    /// Link rate of privileged DMA, VE=>VH: calibrated to 10.4 GiB/s.
+    double veo_read_link_gib = 10.46;
+    /// On-the-fly virtual->physical translation cost per page, by page size.
+    /// Dominates without huge pages ("it is important to use huge pages of
+    /// at least 2 MiB", Sec. V-B).
+    duration_ns veos_translate_4k_ns = 800;
+    duration_ns veos_translate_64k_ns = 900;
+    duration_ns veos_translate_2m_ns = 3'000;
+    duration_ns veos_translate_64m_ns = 8'000;
+    /// Pipeline fill cost of the improved (4dma) manager before translation
+    /// and transfer overlap.
+    duration_ns veos_4dma_pipeline_fill_ns = 4'000;
+
+    // --- VEO function calls (native offload reference, Fig. 9) --------------
+    /// veo_args setup + command submission into the VE request queue.
+    duration_ns veo_call_submit_ns = 14'000;
+    /// VE-side command loop wake-up and invocation.
+    duration_ns veo_call_dispatch_ns = 10'000;
+    /// Completion/exception path VE => VEOS => pseudo process => caller.
+    duration_ns veo_call_completion_ns = 55'000;
+    /// veo_proc_create: VE reset, firmware load, VEOS process setup.
+    duration_ns veo_proc_create_ns = 120'000'000;
+    /// veo_load_library: transfer + dynamic linking on the VE.
+    duration_ns veo_load_library_ns = 9'000'000;
+    /// veo_get_sym symbol lookup via VEOS.
+    duration_ns veo_get_sym_ns = 25'000;
+    /// veo_alloc_mem / veo_free_mem round trip through VEOS.
+    duration_ns veo_alloc_mem_ns = 30'000;
+    /// veo_context_open: spawns the VE-side worker for a context.
+    duration_ns veo_context_open_ns = 250'000;
+
+    // --- Reverse offloading (VHcall) & syscall offloading --------------------
+    /// VE system call executed by the VH pseudo process (Sec. I-B).
+    duration_ns ve_syscall_ns = 12'000;
+    /// VHcall invocation overhead on top of the syscall path.
+    duration_ns vhcall_ns = 15'000;
+
+    // --- DMAATB / VEHVA management (Sec. IV-A) -------------------------------
+    /// Registering one memory segment in the DMAATB (a syscall to VEOS).
+    duration_ns dmaatb_register_ns = 40'000;
+    duration_ns dmaatb_unregister_ns = 20'000;
+    /// SysV shm segment creation/attach on the VH.
+    duration_ns sysv_shm_setup_ns = 60'000;
+
+    // --- Generic TCP/IP backend (paper Fig. 1 / Sec. I-A) ---------------------
+    /// Half round trip of a local TCP connection (kernel network stack).
+    duration_ns tcp_half_rtt_ns = 25'000;
+    /// Per-message software cost: syscalls, copies, protocol framing.
+    duration_ns tcp_per_msg_ns = 8'000;
+    /// Streaming bandwidth of the loopback TCP path.
+    double tcp_bandwidth_gib = 2.5;
+
+    // --- Local memory (Table I) ----------------------------------------------
+    /// VH DDR4 copy bandwidth (for staging copies on the host).
+    double vh_memcpy_gib = 11.0;
+    /// VE HBM2 copy bandwidth.
+    double ve_memcpy_gib = 300.0;
+    /// Cost of one local flag probe in a polling loop (cache hit + loop).
+    duration_ns local_poll_ns = 100;
+
+    // --- HAM / HAM-Offload framework software costs --------------------------
+    /// Constructing an active message (functor placement + header).
+    duration_ns ham_msg_construct_ns = 400;
+    /// Handler-key lookup + indirect call on the receiver (O(1), Fig. 6).
+    duration_ns ham_msg_dispatch_ns = 550;
+    /// Message-loop bookkeeping per processed message (buffer management).
+    duration_ns ham_runtime_iteration_ns = 800;
+    /// future<T> synchronisation bookkeeping per check.
+    duration_ns ham_future_check_ns = 300;
+
+    // --- Compute throughput (Table I) ----------------------------------------
+    double vh_peak_gflops = 998.4;   ///< Xeon Gold 6126, per socket
+    double ve_peak_gflops = 2150.4;  ///< VE Type 10B
+    double vh_mem_bw_gb = 128.0;     ///< GB/s
+    double ve_mem_bw_gb = 1228.8;    ///< GB/s
+    /// Scalar (non-vectorised) execution penalty of the VE relative to the
+    /// VH (Sec. I: "rather slow scalar execution mode").
+    double ve_scalar_slowdown = 3.0;
+};
+
+/// Time to move `bytes` at `gib_per_s` (GiB/s), in whole nanoseconds.
+constexpr duration_ns transfer_ns(std::uint64_t bytes, double gib_per_s) {
+    if (bytes == 0 || gib_per_s <= 0.0) {
+        return 0;
+    }
+    const double seconds = static_cast<double>(bytes) /
+                           (gib_per_s * static_cast<double>(GiB));
+    return static_cast<duration_ns>(seconds * 1e9 + 0.5);
+}
+
+/// Number of pages covering `bytes` at page size `ps`.
+constexpr std::uint64_t pages_for(std::uint64_t bytes, page_size ps) {
+    const std::uint64_t p = page_bytes(ps);
+    return (bytes + p - 1) / p;
+}
+
+/// Per-page translation cost of the VEOS DMA manager.
+constexpr duration_ns veos_translate_page_ns(const cost_model& cm, page_size ps) {
+    switch (ps) {
+        case page_size::small_4k: return cm.veos_translate_4k_ns;
+        case page_size::ve_64k: return cm.veos_translate_64k_ns;
+        case page_size::huge_2m: return cm.veos_translate_2m_ns;
+        case page_size::huge_64m: return cm.veos_translate_64m_ns;
+    }
+    return cm.veos_translate_4k_ns;
+}
+
+} // namespace aurora::sim

@@ -1,0 +1,107 @@
+// Blocking synchronisation primitives for simulated processes.
+//
+// Because the engine runs exactly one process at a time, shared user state
+// needs no locking; these primitives exist only to *block* a process until
+// another one makes progress, carrying virtual time across the wake-up
+// (a waiter resumes at max(its clock, the signaller's clock)).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace aurora::sim {
+
+/// Manual-reset latch. set() wakes all current waiters; once set, wait()
+/// returns immediately (advancing the waiter's clock to the set time if that
+/// is later).
+class event {
+public:
+    explicit event(simulation& sim) : sim_(sim) {}
+    event(const event&) = delete;
+    event& operator=(const event&) = delete;
+
+    /// Mark the event set at the calling process's current time.
+    void set();
+
+    /// Clear the event (subsequent wait() blocks again).
+    void reset() { set_ = false; }
+
+    [[nodiscard]] bool is_set() const noexcept { return set_; }
+
+    /// Block until the event is set.
+    void wait();
+
+private:
+    simulation& sim_;
+    bool set_ = false;
+    time_ns set_time_ = 0;
+    std::vector<process*> waiters_;
+};
+
+/// Condition-variable analogue: wait(pred) re-checks the predicate after
+/// every notify_all(). Mutators of the guarded state must call notify_all()
+/// or waiters sleep forever (the engine then reports a deadlock).
+class condition {
+public:
+    explicit condition(simulation& sim) : sim_(sim) {}
+    condition(const condition&) = delete;
+    condition& operator=(const condition&) = delete;
+
+    template <typename Pred>
+    void wait(Pred pred) {
+        while (!pred()) {
+            wait_notification();
+        }
+    }
+
+    /// Wake all waiters so they re-evaluate their predicates.
+    void notify_all();
+
+private:
+    void wait_notification();
+
+    simulation& sim_;
+    std::vector<process*> waiters_;
+};
+
+/// Unbounded FIFO queue between simulated processes; pop() blocks.
+template <typename T>
+class sim_queue {
+public:
+    explicit sim_queue(simulation& sim) : cond_(sim) {}
+
+    void push(T item) {
+        items_.push_back(std::move(item));
+        cond_.notify_all();
+    }
+
+    /// Blocking pop; returns the oldest item.
+    T pop() {
+        cond_.wait([&] { return !items_.empty(); });
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    /// Non-blocking pop.
+    bool try_pop(T& out) {
+        if (items_.empty()) {
+            return false;
+        }
+        out = std::move(items_.front());
+        items_.pop_front();
+        return true;
+    }
+
+    [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+
+private:
+    condition cond_;
+    std::deque<T> items_;
+};
+
+} // namespace aurora::sim

@@ -1,0 +1,54 @@
+// PCIe/UPI topology of the NEC SX-Aurora TSUBASA A300-8 (paper Fig. 3):
+// two Xeon sockets, each driving one PCIe switch with four Vector Engines.
+// Offloading from the "wrong" socket crosses the UPI interconnect, which the
+// paper measures as adding up to 1 us to the DMA offload round trip.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cost_model.hpp"
+#include "util/check.hpp"
+
+namespace aurora::sim {
+
+struct pcie_topology {
+    int num_sockets = 2;
+    int num_ve = 8;
+    int ves_per_switch = 4;
+
+    /// PCIe switch the VE hangs off (VE0-3 -> switch 0, VE4-7 -> switch 1).
+    [[nodiscard]] int switch_of_ve(int ve) const {
+        AURORA_CHECK(ve >= 0 && ve < num_ve);
+        return ve / ves_per_switch;
+    }
+
+    /// Socket directly attached to a switch (switch i -> socket i on A300-8).
+    [[nodiscard]] int socket_of_switch(int sw) const {
+        AURORA_CHECK(sw >= 0 && sw < num_sockets);
+        return sw;
+    }
+
+    /// True when a transfer between `socket` and `ve` crosses the UPI link.
+    [[nodiscard]] bool crosses_upi(int socket, int ve) const {
+        AURORA_CHECK(socket >= 0 && socket < num_sockets);
+        return socket_of_switch(switch_of_ve(ve)) != socket;
+    }
+
+    /// One-way small-transfer latency between a VH socket and a VE.
+    [[nodiscard]] duration_ns one_way_latency(const cost_model& cm, int socket,
+                                              int ve) const {
+        duration_ns t = cm.pcie_one_way_ns;
+        if (crosses_upi(socket, ve)) {
+            t += cm.upi_one_way_ns;
+        }
+        return t;
+    }
+
+    /// Round-trip latency (the paper's 1.2 us PCIe RTT for the local VE).
+    [[nodiscard]] duration_ns round_trip_latency(const cost_model& cm, int socket,
+                                                 int ve) const {
+        return 2 * one_way_latency(cm, socket, ve);
+    }
+};
+
+} // namespace aurora::sim

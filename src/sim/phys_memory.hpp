@@ -1,0 +1,55 @@
+// Sparse simulated physical memory.
+//
+// A VE card carries 48 GiB of HBM2; allocating that eagerly per simulated
+// device is wasteful, so backing storage is materialised in 64 KiB chunks on
+// first write. Reads from untouched memory return zeros (like fresh pages).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace aurora::sim {
+
+/// Byte-addressable simulated memory of `size` bytes, physically addressed
+/// from 0. Functional only — timing is modeled by the callers.
+class phys_memory {
+public:
+    phys_memory(std::string name, std::uint64_t size);
+
+    [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Copy `n` bytes out of simulated memory at `addr` into `dst`.
+    void read(std::uint64_t addr, void* dst, std::uint64_t n) const;
+
+    /// Copy `n` bytes from `src` into simulated memory at `addr`.
+    void write(std::uint64_t addr, const void* src, std::uint64_t n);
+
+    /// Zero-fill [addr, addr+n).
+    void fill_zero(std::uint64_t addr, std::uint64_t n);
+
+    /// Load/store of a single 64-bit word (used by flag operations).
+    [[nodiscard]] std::uint64_t load_u64(std::uint64_t addr) const;
+    void store_u64(std::uint64_t addr, std::uint64_t value);
+
+    /// Number of backing chunks currently materialised (for tests).
+    [[nodiscard]] std::size_t resident_chunks() const noexcept {
+        return chunks_.size();
+    }
+
+    static constexpr std::uint64_t chunk_size = 64 * 1024;
+
+private:
+    [[nodiscard]] std::byte* chunk_for_write(std::uint64_t chunk_index);
+    [[nodiscard]] const std::byte* chunk_for_read(std::uint64_t chunk_index) const;
+    void check_range(std::uint64_t addr, std::uint64_t n) const;
+
+    std::string name_;
+    std::uint64_t size_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<std::byte[]>> chunks_;
+};
+
+} // namespace aurora::sim

@@ -1,0 +1,65 @@
+#include "sim/platform.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace aurora::sim {
+
+platform_config platform_config::a300_8() {
+    platform_config cfg;
+    cfg.topology = pcie_topology{};       // 2 sockets, 2 switches, 8 VEs
+    cfg.ve_memory_bytes = 48 * GiB;       // Table I
+    cfg.ve_cores = 8;                     // Table I
+    cfg.dma_mode = dma_manager_mode::improved_4dma; // Table III: VEOS 1.3.2-4dma
+    cfg.default_vh_page = page_size::huge_2m;
+    return cfg;
+}
+
+platform_config platform_config::test_machine() {
+    platform_config cfg = a300_8();
+    cfg.topology.num_ve = 1;
+    cfg.topology.num_sockets = 1;
+    cfg.topology.ves_per_switch = 1;
+    cfg.ve_memory_bytes = 1 * GiB;
+    return cfg;
+}
+
+ve_device::ve_device(int id, std::uint64_t memory_bytes, int cores)
+    : id_(id), cores_(cores), hbm_("VE" + std::to_string(id) + ".HBM2", memory_bytes) {}
+
+platform::platform(platform_config config) : config_(std::move(config)) {
+    AURORA_CHECK(config_.topology.num_ve >= 1);
+    ves_.reserve(static_cast<std::size_t>(config_.topology.num_ve));
+    for (int i = 0; i < config_.topology.num_ve; ++i) {
+        ves_.push_back(std::make_unique<ve_device>(i, config_.ve_memory_bytes,
+                                                   config_.ve_cores));
+    }
+}
+
+ve_device& platform::ve(int id) {
+    AURORA_CHECK_MSG(id >= 0 && id < num_ve(),
+                     "VE index " << id << " out of range (have " << num_ve() << ")");
+    return *ves_[static_cast<std::size_t>(id)];
+}
+
+std::string platform::description() const {
+    std::ostringstream os;
+    os << "Simulated NEC SX-Aurora TSUBASA A300-8\n"
+       << "  VH CPUs     : " << config_.topology.num_sockets
+       << "x Intel Xeon Gold 6126 (12 cores, 2.6 GHz, AVX-512) [modeled]\n"
+       << "  VE cards    : " << config_.topology.num_ve
+       << "x NEC VE Type 10B, " << format_bytes(config_.ve_memory_bytes)
+       << " HBM2, " << config_.ve_cores << " cores, 1.4 GHz [modeled]\n"
+       << "  PCIe        : Gen3 x16 per VE, "
+       << config_.topology.ves_per_switch << " VEs per switch\n"
+       << "  VEOS        : 1.3.2"
+       << (config_.dma_mode == dma_manager_mode::improved_4dma ? "-4dma (improved DMA manager)"
+                                                               : " (classic DMA manager)")
+       << " [modeled]\n"
+       << "  VH pages    : "
+       << format_bytes(page_bytes(config_.default_vh_page)) << " (default)\n";
+    return os.str();
+}
+
+} // namespace aurora::sim

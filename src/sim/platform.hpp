@@ -1,0 +1,84 @@
+// The simulated NEC SX-Aurora TSUBASA machine: hardware only.
+//
+// A platform bundles the DES engine, the cost model, the PCIe topology, the
+// Vector Engine cards (with their HBM2 memories) and the host-side page
+// registry. Operating-system behaviour (VEOS) and APIs (VEO, user DMA) are
+// layered on top in src/veos, src/veo and src/vedma.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/pcie.hpp"
+#include "sim/phys_memory.hpp"
+#include "sim/vh_memory.hpp"
+
+namespace aurora::sim {
+
+/// Static description of the machine to simulate.
+struct platform_config {
+    cost_model costs{};
+    pcie_topology topology{};
+    std::uint64_t ve_memory_bytes = 48 * GiB; ///< HBM2 per VE (Table I)
+    int ve_cores = 8;                         ///< cores per VE (Table I)
+    dma_manager_mode dma_mode = dma_manager_mode::improved_4dma; ///< VEOS 1.3.2-4dma
+    /// Page size used for VH-side communication buffers unless callers
+    /// override it (the paper requires >= 2 MiB huge pages for peak rates).
+    page_size default_vh_page = page_size::huge_2m;
+
+    /// The benchmark system of the paper (Tables I and III, Fig. 3).
+    static platform_config a300_8();
+
+    /// A small single-VE machine for fast unit tests.
+    static platform_config test_machine();
+};
+
+/// One Vector Engine card: identity + HBM2 physical memory.
+class ve_device {
+public:
+    ve_device(int id, std::uint64_t memory_bytes, int cores);
+
+    [[nodiscard]] int id() const noexcept { return id_; }
+    [[nodiscard]] int cores() const noexcept { return cores_; }
+    [[nodiscard]] phys_memory& hbm() noexcept { return hbm_; }
+    [[nodiscard]] const phys_memory& hbm() const noexcept { return hbm_; }
+
+private:
+    int id_;
+    int cores_;
+    phys_memory hbm_;
+};
+
+/// The assembled machine.
+class platform {
+public:
+    explicit platform(platform_config config);
+    platform(const platform&) = delete;
+    platform& operator=(const platform&) = delete;
+
+    [[nodiscard]] simulation& sim() noexcept { return sim_; }
+    [[nodiscard]] const platform_config& config() const noexcept { return config_; }
+    [[nodiscard]] const cost_model& costs() const noexcept { return config_.costs; }
+    [[nodiscard]] const pcie_topology& topology() const noexcept {
+        return config_.topology;
+    }
+
+    [[nodiscard]] int num_ve() const noexcept { return int(ves_.size()); }
+    [[nodiscard]] ve_device& ve(int id);
+    [[nodiscard]] vh_page_registry& vh_pages() noexcept { return vh_pages_; }
+
+    /// Human-readable configuration block (printed by bench headers,
+    /// mirroring the paper's Table III).
+    [[nodiscard]] std::string description() const;
+
+private:
+    platform_config config_;
+    simulation sim_;
+    std::vector<std::unique_ptr<ve_device>> ves_;
+    vh_page_registry vh_pages_;
+};
+
+} // namespace aurora::sim

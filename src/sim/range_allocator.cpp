@@ -1,0 +1,85 @@
+#include "sim/range_allocator.hpp"
+
+#include "util/check.hpp"
+
+namespace aurora::sim {
+
+namespace {
+
+constexpr bool is_pow2(std::uint64_t v) {
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
+    return (v + a - 1) & ~(a - 1);
+}
+
+} // namespace
+
+range_allocator::range_allocator(std::uint64_t base, std::uint64_t size)
+    : base_(base), size_(size), bytes_free_(size) {
+    AURORA_CHECK(size > 0);
+    free_.emplace(base, size);
+}
+
+std::optional<std::uint64_t> range_allocator::allocate(std::uint64_t size,
+                                                       std::uint64_t alignment) {
+    AURORA_CHECK_MSG(size > 0, "zero-size allocation");
+    AURORA_CHECK_MSG(is_pow2(alignment), "alignment must be a power of two");
+
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+        const std::uint64_t start = it->first;
+        const std::uint64_t len = it->second;
+        const std::uint64_t aligned = align_up(start, alignment);
+        const std::uint64_t pad = aligned - start;
+        if (pad >= len || len - pad < size) {
+            continue;
+        }
+        // Split [start, start+len) into [start, aligned) + alloc + tail.
+        free_.erase(it);
+        if (pad > 0) {
+            free_.emplace(start, pad);
+        }
+        const std::uint64_t tail = len - pad - size;
+        if (tail > 0) {
+            free_.emplace(aligned + size, tail);
+        }
+        allocated_.emplace(aligned, size);
+        bytes_free_ -= size;
+        return aligned;
+    }
+    return std::nullopt;
+}
+
+void range_allocator::free(std::uint64_t start) {
+    auto it = allocated_.find(start);
+    AURORA_CHECK_MSG(it != allocated_.end(),
+                     "free of unallocated range at " << start);
+    std::uint64_t len = it->second;
+    allocated_.erase(it);
+    bytes_free_ += len;
+
+    // Coalesce with the following free range.
+    auto next = free_.lower_bound(start);
+    if (next != free_.end() && next->first == start + len) {
+        len += next->second;
+        free_.erase(next);
+    }
+    // Coalesce with the preceding free range.
+    auto prev = free_.lower_bound(start);
+    if (prev != free_.begin()) {
+        --prev;
+        if (prev->first + prev->second == start) {
+            prev->second += len;
+            return;
+        }
+    }
+    free_.emplace(start, len);
+}
+
+std::uint64_t range_allocator::allocation_size(std::uint64_t start) const noexcept {
+    auto it = allocated_.find(start);
+    return it == allocated_.end() ? 0 : it->second;
+}
+
+} // namespace aurora::sim

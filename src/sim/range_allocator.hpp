@@ -1,0 +1,51 @@
+// First-fit range allocator with free-list coalescing. Used for VE physical
+// memory and VE virtual address ranges.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace aurora::sim {
+
+/// Allocates [start, start+size) ranges out of a fixed arena.
+/// All sizes/alignments in bytes; alignment must be a power of two.
+class range_allocator {
+public:
+    range_allocator(std::uint64_t base, std::uint64_t size);
+
+    /// Allocate `size` bytes aligned to `alignment`; nullopt when exhausted.
+    std::optional<std::uint64_t> allocate(std::uint64_t size, std::uint64_t alignment);
+
+    /// Free a range previously returned by allocate() (exact start required).
+    void free(std::uint64_t start);
+
+    [[nodiscard]] std::uint64_t bytes_free() const noexcept { return bytes_free_; }
+    [[nodiscard]] std::uint64_t bytes_used() const noexcept {
+        return size_ - bytes_free_;
+    }
+    [[nodiscard]] std::uint64_t base() const noexcept { return base_; }
+    [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+
+    /// Number of disjoint free ranges (fragmentation indicator, for tests).
+    [[nodiscard]] std::size_t free_range_count() const noexcept {
+        return free_.size();
+    }
+
+    /// True if `start` is the beginning of a live allocation.
+    [[nodiscard]] bool is_allocated(std::uint64_t start) const noexcept {
+        return allocated_.contains(start);
+    }
+
+    /// Size of the live allocation starting at `start` (0 if none).
+    [[nodiscard]] std::uint64_t allocation_size(std::uint64_t start) const noexcept;
+
+private:
+    std::uint64_t base_;
+    std::uint64_t size_;
+    std::uint64_t bytes_free_;
+    std::map<std::uint64_t, std::uint64_t> free_;      // start -> length
+    std::map<std::uint64_t, std::uint64_t> allocated_; // start -> length
+};
+
+} // namespace aurora::sim

@@ -1,0 +1,43 @@
+// Virtual time for the SX-Aurora platform simulator.
+//
+// All latencies and timestamps are integer nanoseconds of *virtual* time.
+// Virtual time only advances through modeled costs (see cost_model.hpp), so
+// benchmark results are deterministic and independent of the machine running
+// the simulation.
+#pragma once
+
+#include <cstdint>
+
+namespace aurora::sim {
+
+/// A point in virtual time, in nanoseconds since simulation start.
+using time_ns = std::int64_t;
+
+/// A span of virtual time, in nanoseconds.
+using duration_ns = std::int64_t;
+
+namespace literals {
+
+constexpr duration_ns operator""_ns(unsigned long long v) {
+    return static_cast<duration_ns>(v);
+}
+constexpr duration_ns operator""_us(unsigned long long v) {
+    return static_cast<duration_ns>(v * 1000ULL);
+}
+constexpr duration_ns operator""_ms(unsigned long long v) {
+    return static_cast<duration_ns>(v * 1000000ULL);
+}
+constexpr duration_ns operator""_s(unsigned long long v) {
+    return static_cast<duration_ns>(v * 1000000000ULL);
+}
+/// Fractional microseconds, e.g. `1.2_us` (rounded to whole nanoseconds).
+constexpr duration_ns operator""_us(long double v) {
+    return static_cast<duration_ns>(v * 1000.0L + 0.5L);
+}
+constexpr duration_ns operator""_ms(long double v) {
+    return static_cast<duration_ns>(v * 1000000.0L + 0.5L);
+}
+
+} // namespace literals
+
+} // namespace aurora::sim

@@ -1,0 +1,54 @@
+// Lightweight event tracing for the simulator and the offload stack.
+//
+// Enabled with HAM_AURORA_TRACE=1 (stderr). Each line carries the virtual
+// timestamp and the emitting simulated process:
+//
+//   [  123456 ns] VH.host          veo       | veo_write_mem 4096 B -> VE0
+//
+// Tracing is off by default and costs one branch per call site.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "util/env.hpp"
+
+namespace aurora::sim {
+
+class trace {
+public:
+    /// Global switch, latched from HAM_AURORA_TRACE on first use.
+    [[nodiscard]] static bool enabled() {
+        static const bool on = env_flag("HAM_AURORA_TRACE", false);
+        return on;
+    }
+
+    /// Emit one trace line (no-op unless enabled).
+    static void emit(const char* category, const std::string& message) {
+        if (!enabled()) {
+            return;
+        }
+        const char* who = "-";
+        time_ns t = 0;
+        if (in_simulation()) {
+            who = self().name().c_str();
+            t = now();
+        }
+        std::fprintf(stderr, "[%10lld ns] %-16s %-9s | %s\n",
+                     static_cast<long long>(t), who, category, message.c_str());
+    }
+};
+
+} // namespace aurora::sim
+
+/// Trace with stream syntax: AURORA_TRACE("veo", "write " << n << " B").
+#define AURORA_TRACE(category, expr)                                           \
+    do {                                                                       \
+        if (::aurora::sim::trace::enabled()) {                                 \
+            std::ostringstream aurora_trace_os_;                               \
+            aurora_trace_os_ << expr; /* NOLINT */                             \
+            ::aurora::sim::trace::emit(category, aurora_trace_os_.str());      \
+        }                                                                      \
+    } while (false)

@@ -1,0 +1,61 @@
+// Lightweight runtime checking for the ham_aurora libraries.
+//
+// AURORA_CHECK      — always-on invariant check; throws aurora::check_error.
+// AURORA_ASSERT     — debug-only check (compiled out with NDEBUG).
+// aurora::unreachable() — marks impossible control flow.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aurora {
+
+/// Thrown when an AURORA_CHECK condition fails. Carries file/line context.
+class check_error : public std::logic_error {
+public:
+    explicit check_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+    std::ostringstream os;
+    os << file << ':' << line << ": check failed: " << expr;
+    if (!msg.empty()) {
+        os << " — " << msg;
+    }
+    throw check_error(os.str());
+}
+
+} // namespace detail
+
+[[noreturn]] inline void unreachable(const char* what = "unreachable code reached") {
+    throw check_error(what);
+}
+
+} // namespace aurora
+
+#define AURORA_CHECK(expr)                                                         \
+    do {                                                                           \
+        if (!(expr)) {                                                             \
+            ::aurora::detail::check_failed(#expr, __FILE__, __LINE__, {});         \
+        }                                                                          \
+    } while (false)
+
+#define AURORA_CHECK_MSG(expr, msg)                                                \
+    do {                                                                           \
+        if (!(expr)) {                                                             \
+            std::ostringstream aurora_check_os_;                                   \
+            aurora_check_os_ << msg; /* NOLINT */                                  \
+            ::aurora::detail::check_failed(#expr, __FILE__, __LINE__,              \
+                                           aurora_check_os_.str());                \
+        }                                                                          \
+    } while (false)
+
+#ifdef NDEBUG
+#define AURORA_ASSERT(expr) ((void)0)
+#else
+#define AURORA_ASSERT(expr) AURORA_CHECK(expr)
+#endif

@@ -1,0 +1,37 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace aurora {
+
+std::optional<std::string> env_string(const char* name) {
+    const char* v = std::getenv(name);
+    if (v == nullptr) return std::nullopt;
+    return std::string(v);
+}
+
+std::optional<std::int64_t> env_int(const char* name) {
+    auto s = env_string(name);
+    if (!s || s->empty()) return std::nullopt;
+    char* end = nullptr;
+    const long long v = std::strtoll(s->c_str(), &end, 0);
+    if (end == nullptr || *end != '\0') return std::nullopt;
+    return static_cast<std::int64_t>(v);
+}
+
+std::int64_t env_int_or(const char* name, std::int64_t fallback) {
+    return env_int(name).value_or(fallback);
+}
+
+bool env_flag(const char* name, bool fallback) {
+    auto s = env_string(name);
+    if (!s) return fallback;
+    std::string lower = *s;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return lower == "1" || lower == "true" || lower == "yes" || lower == "on";
+}
+
+} // namespace aurora

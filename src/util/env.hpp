@@ -1,0 +1,24 @@
+// Environment-variable configuration helpers. Benches and the simulator use
+// HAM_AURORA_* variables for rep counts and tracing so the paper's sweeps can
+// be reproduced at different fidelities without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace aurora {
+
+/// Raw environment lookup; empty optional when unset.
+std::optional<std::string> env_string(const char* name);
+
+/// Integer environment lookup; empty optional when unset or unparseable.
+std::optional<std::int64_t> env_int(const char* name);
+
+/// Integer environment lookup with default.
+std::int64_t env_int_or(const char* name, std::int64_t fallback);
+
+/// Boolean lookup: "1", "true", "yes", "on" (case-insensitive) are true.
+bool env_flag(const char* name, bool fallback = false);
+
+} // namespace aurora

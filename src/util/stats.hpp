@@ -1,0 +1,76 @@
+// Running statistics over samples (used by the benchmark harness to report
+// the averages the paper's evaluation section shows).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace aurora {
+
+/// Accumulates samples and provides mean / min / max / percentiles.
+/// Stores all samples; intended for bench-scale sample counts.
+class sample_stats {
+public:
+    void add(double v) {
+        samples_.push_back(v);
+        sorted_ = false;
+    }
+
+    [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+    [[nodiscard]] double mean() const {
+        AURORA_CHECK(!samples_.empty());
+        double sum = 0.0;
+        for (double v : samples_) sum += v;
+        return sum / double(samples_.size());
+    }
+
+    [[nodiscard]] double min() const {
+        AURORA_CHECK(!samples_.empty());
+        return *std::min_element(samples_.begin(), samples_.end());
+    }
+
+    [[nodiscard]] double max() const {
+        AURORA_CHECK(!samples_.empty());
+        return *std::max_element(samples_.begin(), samples_.end());
+    }
+
+    /// Percentile in [0, 100] using nearest-rank on the sorted samples.
+    [[nodiscard]] double percentile(double p) const {
+        AURORA_CHECK(!samples_.empty());
+        AURORA_CHECK(p >= 0.0 && p <= 100.0);
+        ensure_sorted();
+        const auto n = sorted_samples_.size();
+        auto rank = static_cast<std::size_t>(p / 100.0 * double(n - 1) + 0.5);
+        rank = std::min(rank, n - 1);
+        return sorted_samples_[rank];
+    }
+
+    [[nodiscard]] double median() const { return percentile(50.0); }
+
+    void clear() {
+        samples_.clear();
+        sorted_samples_.clear();
+        sorted_ = false;
+    }
+
+private:
+    void ensure_sorted() const {
+        if (!sorted_) {
+            sorted_samples_ = samples_;
+            std::sort(sorted_samples_.begin(), sorted_samples_.end());
+            sorted_ = true;
+        }
+    }
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_samples_;
+    mutable bool sorted_ = false;
+};
+
+} // namespace aurora

@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace aurora {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+    if (s.empty()) return false;
+    // Accept digits, '.', '-', '+', and a short unit suffix ("6.1 us").
+    return std::isdigit(static_cast<unsigned char>(s.front())) != 0 ||
+           s.front() == '-' || s.front() == '+';
+}
+
+} // namespace
+
+text_table::text_table(std::vector<std::string> header) : header_(std::move(header)) {
+    AURORA_CHECK(!header_.empty());
+}
+
+void text_table::add_row(std::vector<std::string> row) {
+    AURORA_CHECK_MSG(row.size() == header_.size(),
+                     "row has " << row.size() << " cells, header has " << header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string text_table::str() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            const auto pad = widths[c] - row[c].size();
+            os << "  ";
+            if (looks_numeric(row[c]) && c > 0) {
+                os << std::string(pad, ' ') << row[c];
+            } else {
+                os << row[c] << std::string(pad, ' ');
+            }
+        }
+        os << '\n';
+    };
+
+    emit_row(header_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    os << "  " << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emit_row(row);
+    return os.str();
+}
+
+std::string text_table::csv() const {
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c != 0) os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+} // namespace aurora

@@ -1,0 +1,29 @@
+// Plain-text table rendering for the benchmark harness. Every bench prints
+// rows mirroring the corresponding paper table/figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aurora {
+
+/// Simple left/right-aligned text table with a header row.
+class text_table {
+public:
+    explicit text_table(std::vector<std::string> header);
+
+    /// Append one row; must have the same number of columns as the header.
+    void add_row(std::vector<std::string> row);
+
+    /// Render with aligned columns; numeric-looking cells right-aligned.
+    [[nodiscard]] std::string str() const;
+
+    /// Render as CSV (no alignment, comma-separated, header first).
+    [[nodiscard]] std::string csv() const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace aurora

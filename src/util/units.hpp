@@ -1,0 +1,33 @@
+// Byte-size and duration units used throughout the reproduction.
+//
+// The paper is careful about its units (Table I footnote): GiB = 2^30 byte,
+// GB = 10^9 byte. We keep the same distinction; bandwidths in the evaluation
+// are reported in GiB/s as the paper does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aurora {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+inline constexpr std::uint64_t KB = 1000ULL;
+inline constexpr std::uint64_t MB = 1000ULL * KB;
+inline constexpr std::uint64_t GB = 1000ULL * MB;
+
+/// Format a byte count with a binary suffix, e.g. "4 KiB", "1.5 MiB".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Format a nanosecond duration with an adaptive unit, e.g. "6.1 us".
+std::string format_ns(std::int64_t ns);
+
+/// Format a bandwidth (bytes, nanoseconds) as "X.XX GiB/s".
+std::string format_bandwidth(std::uint64_t bytes, std::int64_t ns);
+
+/// Bandwidth in GiB/s for `bytes` moved in `ns` nanoseconds.
+double bandwidth_gib_s(std::uint64_t bytes, std::int64_t ns);
+
+} // namespace aurora

@@ -1,0 +1,104 @@
+#include "vedma/dmaatb.hpp"
+
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace aurora::vedma {
+
+namespace {
+/// VEHVA window base (distinct from the VE heap for easy diagnostics).
+constexpr std::uint64_t vehva_base = 0x800000000000ULL;
+
+void check_on_ve(veos::ve_process& proc) {
+    AURORA_CHECK_MSG(sim::in_simulation() &&
+                         proc.sim_process() == &sim::self(),
+                     "DMAATB operations are VE-initiated: call from the VE process");
+}
+} // namespace
+
+dmaatb::dmaatb(veos::ve_process& proc)
+    : proc_(proc), vehva_alloc_(vehva_base, 1ULL << 40) {}
+
+std::uint64_t dmaatb::install(std::uint64_t len, dma_resolution base,
+                              sim::duration_ns cost) {
+    AURORA_CHECK_MSG(entries_.size() < max_entries,
+                     "DMAATB exhausted: the VE's translation buffer holds at "
+                     "most " << max_entries << " registrations");
+    auto vehva = vehva_alloc_.allocate(len, 8);
+    AURORA_CHECK_MSG(vehva.has_value(), "VEHVA space exhausted");
+    // Registration is a syscall executed by VEOS on the host.
+    proc_.syscall(cost);
+    entries_.emplace(*vehva, entry{*vehva, len, base});
+    return *vehva;
+}
+
+std::uint64_t dmaatb::register_vh(std::byte* ptr, std::uint64_t len, int socket) {
+    check_on_ve(proc_);
+    AURORA_CHECK(ptr != nullptr && len > 0);
+    dma_resolution r;
+    r.k = dma_resolution::kind::vh;
+    r.vh_ptr = ptr;
+    r.vh_socket = socket;
+    return install(len, r, proc_.plat().costs().dmaatb_register_ns);
+}
+
+std::uint64_t dmaatb::attach_shm(const shm_registry& shms, int key) {
+    check_on_ve(proc_);
+    const shm_segment* seg = shms.find(key);
+    AURORA_CHECK_MSG(seg != nullptr, "VE attach of unknown shm key " << key);
+    dma_resolution r;
+    r.k = dma_resolution::kind::vh;
+    r.vh_ptr = seg->addr;
+    r.vh_socket = seg->socket;
+    return install(seg->len, r, proc_.plat().costs().dmaatb_register_ns);
+}
+
+std::uint64_t dmaatb::register_ve(std::uint64_t ve_vaddr, std::uint64_t len) {
+    check_on_ve(proc_);
+    AURORA_CHECK(len > 0);
+    // The whole range must be mapped; translation pins it physically.
+    const std::uint64_t paddr = proc_.aspace().translate_range(ve_vaddr, len);
+    dma_resolution r;
+    r.k = dma_resolution::kind::ve;
+    r.ve_paddr = paddr;
+    return install(len, r, proc_.plat().costs().dmaatb_register_ns);
+}
+
+void dmaatb::unregister(std::uint64_t vehva) {
+    check_on_ve(proc_);
+    auto it = entries_.find(vehva);
+    AURORA_CHECK_MSG(it != entries_.end(), "unregister of unknown VEHVA");
+    proc_.syscall(proc_.plat().costs().dmaatb_unregister_ns);
+    entries_.erase(it);
+    vehva_alloc_.free(vehva);
+}
+
+const dmaatb::entry* dmaatb::find(std::uint64_t vehva) const {
+    auto it = entries_.upper_bound(vehva);
+    if (it == entries_.begin()) {
+        return nullptr;
+    }
+    --it;
+    if (vehva < it->second.vehva + it->second.len) {
+        return &it->second;
+    }
+    return nullptr;
+}
+
+dma_resolution dmaatb::resolve(std::uint64_t vehva, std::uint64_t len) const {
+    const entry* e = find(vehva);
+    AURORA_CHECK_MSG(e != nullptr, "DMA exception: VEHVA 0x" << std::hex << vehva
+                                                             << " not registered");
+    AURORA_CHECK_MSG(vehva + len <= e->vehva + e->len,
+                     "DMA exception: access crosses DMAATB entry");
+    const std::uint64_t off = vehva - e->vehva;
+    dma_resolution r = e->base;
+    if (r.k == dma_resolution::kind::vh) {
+        r.vh_ptr += off;
+    } else {
+        r.ve_paddr += off;
+    }
+    return r;
+}
+
+} // namespace aurora::vedma

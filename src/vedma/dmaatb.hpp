@@ -1,0 +1,73 @@
+// DMAATB — the DMA Address Translation Buffer of a VE process.
+//
+// The VE has no IOMMU: before VE code may touch VH memory (or use the user
+// DMA engine on its own memory), the ranges must be registered in the DMAATB
+// and mapped into the VE process address space as VEHVA (VE Host Virtual
+// Address), paper Sec. I-B / IV-A. Registration is a system call handled by
+// VEOS, so it is timed on the VE's clock via the syscall-offloading path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "sim/range_allocator.hpp"
+#include "vedma/sysv_shm.hpp"
+#include "veos/ve_process.hpp"
+
+namespace aurora::vedma {
+
+/// What a VEHVA range resolves to.
+struct dma_resolution {
+    enum class kind { vh, ve };
+    kind k = kind::vh;
+    std::byte* vh_ptr = nullptr;      ///< kind::vh — host pointer
+    int vh_socket = 0;                ///< kind::vh — NUMA socket of the pages
+    std::uint64_t ve_paddr = 0;       ///< kind::ve — physical HBM2 address
+};
+
+class dmaatb {
+public:
+    /// Hardware entry budget: the real DMAATB is a small on-chip table.
+    static constexpr std::size_t max_entries = 256;
+
+    explicit dmaatb(veos::ve_process& proc);
+    dmaatb(const dmaatb&) = delete;
+    dmaatb& operator=(const dmaatb&) = delete;
+
+    /// Register VH memory; returns its VEHVA. Must run on the VE process
+    /// (registration is VE-initiated, like the rest of Sec. IV).
+    std::uint64_t register_vh(std::byte* ptr, std::uint64_t len, int socket);
+
+    /// Attach a SysV shm segment by key and register it; returns its VEHVA.
+    std::uint64_t attach_shm(const shm_registry& shms, int key);
+
+    /// Register a range of the VE's own memory (by VE virtual address).
+    std::uint64_t register_ve(std::uint64_t ve_vaddr, std::uint64_t len);
+
+    /// Drop a registration.
+    void unregister(std::uint64_t vehva);
+
+    /// Resolve [vehva, vehva+len) to its target; throws on unregistered or
+    /// range-crossing access (the simulated DMA exception).
+    [[nodiscard]] dma_resolution resolve(std::uint64_t vehva, std::uint64_t len) const;
+
+    [[nodiscard]] std::size_t entry_count() const noexcept { return entries_.size(); }
+    [[nodiscard]] veos::ve_process& proc() noexcept { return proc_; }
+
+private:
+    struct entry {
+        std::uint64_t vehva;
+        std::uint64_t len;
+        dma_resolution base; ///< resolution of the range start
+    };
+
+    std::uint64_t install(std::uint64_t len, dma_resolution base,
+                          sim::duration_ns cost);
+    [[nodiscard]] const entry* find(std::uint64_t vehva) const;
+
+    veos::ve_process& proc_;
+    sim::range_allocator vehva_alloc_;
+    std::map<std::uint64_t, entry> entries_;
+};
+
+} // namespace aurora::vedma

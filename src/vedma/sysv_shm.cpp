@@ -1,0 +1,40 @@
+#include "vedma/sysv_shm.hpp"
+
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace aurora::vedma {
+
+const shm_segment& shm_registry::create(int key, std::uint64_t len,
+                                        sim::page_size pages, int socket) {
+    AURORA_CHECK(sim::in_simulation());
+    AURORA_CHECK_MSG(!segs_.contains(key), "shm key " << key << " already exists");
+    AURORA_CHECK(len > 0);
+    AURORA_CHECK(socket >= 0 && socket < plat_.topology().num_sockets);
+
+    sim::advance(plat_.costs().sysv_shm_setup_ns);
+
+    entry e;
+    e.storage = std::make_unique<sim::vh_allocation>(plat_.vh_pages(), len, pages);
+    e.seg = shm_segment{.key = key,
+                        .len = len,
+                        .socket = socket,
+                        .pages = pages,
+                        .addr = e.storage->data()};
+    auto [it, ok] = segs_.emplace(key, std::move(e));
+    AURORA_CHECK(ok);
+    return it->second.seg;
+}
+
+const shm_segment* shm_registry::find(int key) const {
+    auto it = segs_.find(key);
+    return it == segs_.end() ? nullptr : &it->second.seg;
+}
+
+void shm_registry::destroy(int key) {
+    auto it = segs_.find(key);
+    AURORA_CHECK_MSG(it != segs_.end(), "destroy of unknown shm key " << key);
+    segs_.erase(it);
+}
+
+} // namespace aurora::vedma

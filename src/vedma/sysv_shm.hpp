@@ -1,0 +1,56 @@
+// SystemV shared-memory segments on the Vector Host.
+//
+// The DMA-based protocol (paper Sec. IV-A, Fig. 7) places all communication
+// buffers in a SysV shm segment of the VH process; the VE later attaches the
+// segment by key and registers it in its DMAATB. Segments are backed by huge
+// pages in the paper's setup (required for DMAATB registration of host
+// memory on the real machine).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "sim/platform.hpp"
+#include "sim/vh_memory.hpp"
+
+namespace aurora::vedma {
+
+/// One shared segment: host storage + attributes.
+struct shm_segment {
+    int key = 0;
+    std::uint64_t len = 0;
+    int socket = 0;              ///< NUMA socket holding the pages
+    sim::page_size pages = sim::page_size::huge_2m;
+    std::byte* addr = nullptr;   ///< VH-side mapping
+};
+
+/// Kernel-side registry of SysV segments (one per platform).
+class shm_registry {
+public:
+    explicit shm_registry(sim::platform& plat) : plat_(plat) {}
+    shm_registry(const shm_registry&) = delete;
+    shm_registry& operator=(const shm_registry&) = delete;
+
+    /// shmget(IPC_CREAT)+shmat combined. Timed (runs on the VH process).
+    const shm_segment& create(int key, std::uint64_t len, sim::page_size pages,
+                              int socket);
+
+    /// Lookup by key (the VE side uses this to attach). nullptr when absent.
+    [[nodiscard]] const shm_segment* find(int key) const;
+
+    /// shmdt + IPC_RMID.
+    void destroy(int key);
+
+    [[nodiscard]] std::size_t segment_count() const noexcept { return segs_.size(); }
+
+private:
+    struct entry {
+        shm_segment seg;
+        std::unique_ptr<sim::vh_allocation> storage;
+    };
+    sim::platform& plat_;
+    std::map<int, entry> segs_;
+};
+
+} // namespace aurora::vedma

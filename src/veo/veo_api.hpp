@@ -1,0 +1,184 @@
+// Vector Engine Offloading (VEO) API.
+//
+// Mirrors NEC's open-source libveo — the low-level offloading layer the paper
+// builds its first HAM-Offload backend on (Sec. III). The surface follows the
+// real C API (veo_proc_create, veo_load_library, veo_get_sym, veo_args_*,
+// veo_call_async / veo_call_wait_result, veo_{alloc,free,read,write}_mem)
+// with two deliberate deviations for the simulated platform:
+//   * veo_proc_create takes the veos_system explicitly (the real library
+//     reaches VEOS through global kernel state);
+//   * library names resolve against the system's image repository instead of
+//     the filesystem.
+// All calls must be issued from a simulated VH process; each charges its
+// calibrated cost to that process's virtual clock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "veos/veos.hpp"
+
+namespace aurora::veo {
+
+// Result codes (as in <ve_offload.h>).
+inline constexpr int VEO_COMMAND_OK = 0;
+inline constexpr int VEO_COMMAND_EXCEPTION = 1;
+inline constexpr int VEO_COMMAND_ERROR = 2;
+inline constexpr int VEO_COMMAND_UNFINISHED = 3;
+inline constexpr std::uint64_t VEO_REQUEST_ID_INVALID = ~std::uint64_t{0};
+
+/// Direction intent for stack-passed arguments.
+enum veo_args_intent {
+    VEO_INTENT_IN = 0,
+    VEO_INTENT_OUT = 1,
+    VEO_INTENT_INOUT = 2,
+};
+
+/// Argument pack for one VE function call (opaque in the real API).
+class veo_args {
+public:
+    void set_u64(int argnum, std::uint64_t value);
+    void set_i64(int argnum, std::int64_t value);
+    void set_u32(int argnum, std::uint32_t value);
+    void set_i32(int argnum, std::int32_t value);
+    void set_double(int argnum, double value);
+    void set_float(int argnum, float value);
+    /// Pass `len` bytes via the VE stack; the argument register receives the
+    /// VE address of the copy. OUT/INOUT buffers are written back when the
+    /// call result is collected. `buf` must stay valid until then.
+    void set_stack(int argnum, veo_args_intent intent, void* buf, std::size_t len);
+    void clear();
+
+    [[nodiscard]] std::size_t num_args() const noexcept { return regs_.size(); }
+
+private:
+    friend struct veo_thr_ctxt;
+    std::vector<std::uint64_t> regs_;
+    struct stack_slot {
+        int argnum;
+        veo_args_intent intent;
+        void* user_buf;
+        std::size_t len;
+    };
+    std::vector<stack_slot> stack_;
+    void ensure(int argnum);
+};
+
+struct veo_proc_handle;
+
+/// A VEO context: a submission channel to the VE process.
+struct veo_thr_ctxt {
+    veo_proc_handle* proc = nullptr;
+
+    /// Submit an asynchronous call; returns a request id.
+    std::uint64_t call_async(std::uint64_t sym, const veo_args& args);
+    /// Blocking wait; fills *retval; returns a VEO_COMMAND_* code.
+    int wait_result(std::uint64_t req_id, std::uint64_t* retval);
+    /// Non-blocking probe; VEO_COMMAND_UNFINISHED when still running.
+    int peek_result(std::uint64_t req_id, std::uint64_t* retval);
+
+private:
+    friend struct veo_proc_handle;
+    struct pending {
+        std::vector<veo_args::stack_slot> out_slots;
+    };
+    std::map<std::uint64_t, pending> pending_;
+    int finish_result(std::uint64_t req_id, veos::ve_completion&& c,
+                      std::uint64_t* retval);
+};
+
+/// Handle of one VE process created through VEO.
+struct veo_proc_handle {
+    veos::veos_system* sys = nullptr;
+    veos::ve_process* proc = nullptr;
+    int venode = -1;
+    int socket = 0; ///< VH socket the calling process runs on (Fig. 3)
+
+    std::vector<std::unique_ptr<veo_thr_ctxt>> contexts;
+};
+
+// --- process & library management -------------------------------------------
+
+/// Create a VE process on `venode`. `socket` selects the VH socket of the
+/// caller (socket 1 pays the UPI penalty, paper Sec. V-A).
+veo_proc_handle* veo_proc_create(veos::veos_system& sys, int venode, int socket = 0);
+
+/// Tear down the VE process and release the handle.
+int veo_proc_destroy(veo_proc_handle* h);
+
+/// Load a VE library (image name resolved via the veos_system repository).
+/// Returns the non-zero library handle, or 0 on failure.
+std::uint64_t veo_load_library(veo_proc_handle* h, const char* libname);
+
+/// Resolve a symbol; returns the non-zero symbol handle, or 0.
+std::uint64_t veo_get_sym(veo_proc_handle* h, std::uint64_t libhandle,
+                          const char* symname);
+
+// --- contexts -----------------------------------------------------------------
+
+veo_thr_ctxt* veo_context_open(veo_proc_handle* h);
+int veo_context_close(veo_thr_ctxt* c);
+
+// --- argument packs -----------------------------------------------------------
+
+veo_args* veo_args_alloc();
+void veo_args_free(veo_args* a);
+
+// --- calls ---------------------------------------------------------------------
+
+std::uint64_t veo_call_async(veo_thr_ctxt* c, std::uint64_t sym, veo_args* args);
+int veo_call_wait_result(veo_thr_ctxt* c, std::uint64_t req_id, std::uint64_t* retval);
+int veo_call_peek_result(veo_thr_ctxt* c, std::uint64_t req_id, std::uint64_t* retval);
+/// Synchronous convenience: submit and wait in one call.
+int veo_call_sync(veo_thr_ctxt* c, std::uint64_t sym, veo_args* args,
+                  std::uint64_t* retval);
+
+// --- memory --------------------------------------------------------------------
+
+int veo_alloc_mem(veo_proc_handle* h, std::uint64_t* addr, std::size_t len);
+int veo_free_mem(veo_proc_handle* h, std::uint64_t addr);
+/// Privileged-DMA transfers (paper Sec. III-D): synchronous, initiated from
+/// the VH, translated on the fly inside the VEOS DMA manager.
+int veo_read_mem(veo_proc_handle* h, void* dst, std::uint64_t src, std::size_t len);
+int veo_write_mem(veo_proc_handle* h, std::uint64_t dst, const void* src,
+                  std::size_t len);
+/// Asynchronous transfer variants (as in libveo). The simulation executes
+/// the privileged-DMA transfer at submission time and the request id
+/// completes immediately; the caller-visible semantics (submit, overlap
+/// other work, wait on the id) are preserved.
+std::uint64_t veo_async_read_mem(veo_thr_ctxt* c, void* dst, std::uint64_t src,
+                                 std::size_t len);
+std::uint64_t veo_async_write_mem(veo_thr_ctxt* c, std::uint64_t dst,
+                                  const void* src, std::size_t len);
+
+// --- VHcall (reverse offload, paper Sec. I-B) -----------------------------------
+
+/// Register a VH handler callable from the VE via ve_process::vhcall().
+int veo_register_vh_handler(veo_proc_handle* h, const std::string& name,
+                            veos::ve_process::vh_function fn);
+
+/// RAII convenience wrapper around veo_proc_create/destroy for C++ users.
+class proc_guard {
+public:
+    proc_guard(veos::veos_system& sys, int venode, int socket = 0)
+        : h_(veo_proc_create(sys, venode, socket)) {}
+    ~proc_guard() {
+        if (h_ != nullptr) {
+            veo_proc_destroy(h_);
+        }
+    }
+    proc_guard(const proc_guard&) = delete;
+    proc_guard& operator=(const proc_guard&) = delete;
+
+    [[nodiscard]] veo_proc_handle* get() const noexcept { return h_; }
+    [[nodiscard]] veo_proc_handle* operator->() const noexcept { return h_; }
+    [[nodiscard]] explicit operator bool() const noexcept { return h_ != nullptr; }
+
+private:
+    veo_proc_handle* h_;
+};
+
+} // namespace aurora::veo

@@ -1,0 +1,40 @@
+// VEO command-queue entries exchanged between the VH pseudo-process and the
+// VE program's request loop (paper Sec. I-B / III-C).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aurora::veos {
+
+/// Direction intent of a stack-passed argument (mirrors VEO_INTENT_*).
+enum class stack_intent { in, out, inout };
+
+/// One stack-passed argument: a byte blob copied to VE stack memory before
+/// the call; OUT/INOUT blobs are copied back afterwards.
+struct stack_arg {
+    std::size_t reg_index = 0;     ///< which register receives the VE address
+    stack_intent intent = stack_intent::in;
+    std::vector<std::byte> bytes;  ///< payload (also receives copy-back)
+};
+
+/// A request travelling VH -> VE.
+struct ve_command {
+    enum class kind { call, quit };
+
+    kind k = kind::call;
+    std::uint64_t req_id = 0;
+    std::uint64_t sym = 0;                  ///< symbol handle from veo_get_sym
+    std::vector<std::uint64_t> regs;        ///< register arguments
+    std::vector<stack_arg> stack_args;      ///< stack-passed buffers
+};
+
+/// Result of a completed command, stored until the VH collects it.
+struct ve_completion {
+    std::uint64_t retval = 0;
+    bool exception = false;                  ///< VE function threw
+    std::vector<stack_arg> returned_stack;   ///< OUT/INOUT blobs after the call
+};
+
+} // namespace aurora::veos

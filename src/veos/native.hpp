@@ -1,0 +1,37 @@
+// Native execution on a VE process.
+//
+// The SX-Aurora's recommended usage model is running code natively on the
+// Vector Engine (paper Sec. I). This helper executes a callable on a VE
+// process's own simulated thread — used by benchmarks that measure
+// VE-initiated primitives (user DMA, LHM/SHM) and by anything else that
+// needs "native VE code" without the full VEO deployment dance.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+
+#include "veos/ve_process.hpp"
+
+namespace aurora::veos {
+
+/// Run `body` on `proc`'s VE thread via its request loop; blocks the calling
+/// (VH) process until completion. Throws if the body raised.
+inline void run_native(ve_process& proc, std::function<void()> body) {
+    program_image img("native-body");
+    img.add_symbol("body", [b = std::move(body)](ve_call_context&) -> std::uint64_t {
+        b();
+        return 0;
+    });
+    const std::uint64_t lib = proc.load_library(img);
+    const std::uint64_t sym = proc.resolve_symbol(lib, "body");
+    ve_command cmd;
+    cmd.req_id = proc.next_req_id();
+    cmd.sym = sym;
+    proc.queue().push(cmd);
+    const ve_completion done = proc.wait_completion(cmd.req_id);
+    if (done.exception) {
+        throw std::runtime_error("run_native: VE body raised an exception");
+    }
+}
+
+} // namespace aurora::veos

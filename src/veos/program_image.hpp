@@ -1,0 +1,93 @@
+// A VE "program image": what the NEC toolchain would produce for the Vector
+// Engine (a shared library built by NCC from the same sources as the host
+// binary, paper Sec. III-C).
+//
+// In the simulation an image is a named symbol table mapping C-function names
+// to callables executed on the VE's simulated process. Images are registered
+// with the veos_system under a library name; veo_load_library() resolves that
+// name exactly like dlopen() would resolve a .so path on the real platform.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace aurora::veos {
+
+class ve_process;
+
+/// Call context handed to a VE function invoked through VEO: the register
+/// arguments (up to 8 on the real machine) and the owning process.
+class ve_call_context {
+public:
+    ve_call_context(ve_process& proc, std::vector<std::uint64_t> regs)
+        : proc_(proc), regs_(std::move(regs)) {}
+
+    [[nodiscard]] ve_process& proc() const noexcept { return proc_; }
+
+    [[nodiscard]] std::size_t arg_count() const noexcept { return regs_.size(); }
+
+    [[nodiscard]] std::uint64_t arg_u64(std::size_t i) const {
+        AURORA_CHECK_MSG(i < regs_.size(), "VE call argument " << i << " missing");
+        return regs_[i];
+    }
+
+    [[nodiscard]] std::int64_t arg_i64(std::size_t i) const {
+        return static_cast<std::int64_t>(arg_u64(i));
+    }
+
+    [[nodiscard]] double arg_double(std::size_t i) const {
+        const std::uint64_t bits = arg_u64(i);
+        double d;
+        static_assert(sizeof(d) == sizeof(bits));
+        __builtin_memcpy(&d, &bits, sizeof(d));
+        return d;
+    }
+
+private:
+    ve_process& proc_;
+    std::vector<std::uint64_t> regs_;
+};
+
+/// A function callable through the VEO offload mechanism ("C-functions with
+/// basic argument and return types", paper Sec. III-C).
+using ve_function = std::function<std::uint64_t(ve_call_context&)>;
+
+/// Symbol table of one VE library.
+class program_image {
+public:
+    explicit program_image(std::string name) : name_(std::move(name)) {}
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Register a function under its C symbol name.
+    void add_symbol(std::string symbol, ve_function fn) {
+        AURORA_CHECK_MSG(!symbols_.contains(symbol),
+                         "duplicate symbol '" << symbol << "' in image " << name_);
+        AURORA_CHECK(fn != nullptr);
+        symbols_.emplace(std::move(symbol), std::move(fn));
+    }
+
+    /// Look up a symbol; nullptr when absent (mirrors dlsym).
+    [[nodiscard]] const ve_function* find(const std::string& symbol) const {
+        auto it = symbols_.find(symbol);
+        return it == symbols_.end() ? nullptr : &it->second;
+    }
+
+    [[nodiscard]] std::size_t symbol_count() const noexcept { return symbols_.size(); }
+
+    /// Opaque per-image context (e.g. the HAM handler registry representing
+    /// this binary's address space); owned by whoever builds the image.
+    std::any user_context;
+
+private:
+    std::string name_;
+    std::map<std::string, ve_function> symbols_;
+};
+
+} // namespace aurora::veos

@@ -1,0 +1,195 @@
+#include "veos/ve_process.hpp"
+
+#include "util/check.hpp"
+#include "veos/veos.hpp"
+
+namespace aurora::veos {
+
+namespace {
+/// Base of the VE process heap in its virtual address space (arbitrary but
+/// recognisable; matches the style of real VE address layouts).
+constexpr std::uint64_t ve_heap_base = 0x600000000000ULL;
+} // namespace
+
+ve_process::ve_process(veos_daemon& daemon, sim::platform& plat, int ve_id, int pid)
+    : daemon_(daemon),
+      plat_(plat),
+      ve_id_(ve_id),
+      pid_(pid),
+      vaddr_alloc_(ve_heap_base, 1ULL << 40),
+      queue_(std::make_unique<sim::sim_queue<ve_command>>(plat.sim())),
+      completion_cond_(std::make_unique<sim::condition>(plat.sim())) {}
+
+sim::memory_view ve_process::mem() noexcept {
+    return sim::memory_view(aspace_, plat_.ve(ve_id_).hbm());
+}
+
+std::uint64_t ve_process::ve_alloc(std::uint64_t bytes, sim::page_size ps) {
+    AURORA_CHECK_MSG(bytes > 0, "ve_alloc of zero bytes");
+    const std::uint64_t page = sim::page_bytes(ps);
+    const std::uint64_t padded = (bytes + page - 1) / page * page;
+    // Physical pages come from the per-VE manager inside VEOS: all processes
+    // of one card share the 48 GiB of HBM2.
+    auto paddr = daemon_.phys_memory_manager().allocate(padded, page);
+    AURORA_CHECK_MSG(paddr.has_value(), "VE" << ve_id_ << " out of HBM2 memory ("
+                                             << padded << " B requested)");
+    auto vaddr = vaddr_alloc_.allocate(padded, page);
+    AURORA_CHECK(vaddr.has_value());
+    aspace_.map({.vaddr = *vaddr, .paddr = *paddr, .length = padded, .pages = ps});
+    bytes_allocated_ += padded;
+    return *vaddr;
+}
+
+void ve_process::ve_free(std::uint64_t vaddr) {
+    const sim::vm_mapping m = aspace_.unmap(vaddr);
+    daemon_.phys_memory_manager().free(m.paddr);
+    vaddr_alloc_.free(m.vaddr);
+    bytes_allocated_ -= m.length;
+}
+
+void ve_process::release_all_memory() {
+    while (!aspace_.mappings().empty()) {
+        ve_free(aspace_.mappings().begin()->first);
+    }
+}
+
+std::uint64_t ve_process::load_library(const program_image& image) {
+    libraries_.push_back(&image);
+    return libraries_.size(); // handles are 1-based
+}
+
+const program_image* ve_process::library(std::uint64_t handle) const {
+    if (handle == 0 || handle > libraries_.size()) {
+        return nullptr;
+    }
+    return libraries_[handle - 1];
+}
+
+std::uint64_t ve_process::resolve_symbol(std::uint64_t lib_handle,
+                                         const std::string& name) {
+    const program_image* img = library(lib_handle);
+    if (img == nullptr) {
+        return 0;
+    }
+    const ve_function* fn = img->find(name);
+    if (fn == nullptr) {
+        return 0;
+    }
+    symbols_.emplace_back(img, fn);
+    return symbols_.size(); // handles are 1-based
+}
+
+const ve_function* ve_process::function_for(std::uint64_t sym_handle) const {
+    if (sym_handle == 0 || sym_handle > symbols_.size()) {
+        return nullptr;
+    }
+    return symbols_[sym_handle - 1].second;
+}
+
+void ve_process::post_completion(std::uint64_t req_id, ve_completion c) {
+    completions_.emplace(req_id, std::move(c));
+    completion_cond_->notify_all();
+}
+
+ve_completion ve_process::wait_completion(std::uint64_t req_id) {
+    completion_cond_->wait([&] { return completions_.contains(req_id); });
+    auto it = completions_.find(req_id);
+    ve_completion c = std::move(it->second);
+    completions_.erase(it);
+    return c;
+}
+
+bool ve_process::try_collect_completion(std::uint64_t req_id, ve_completion& out) {
+    auto it = completions_.find(req_id);
+    if (it == completions_.end()) {
+        return false;
+    }
+    out = std::move(it->second);
+    completions_.erase(it);
+    return true;
+}
+
+void ve_process::syscall(sim::duration_ns extra) {
+    sim::advance(plat_.costs().ve_syscall_ns + extra);
+}
+
+void ve_process::register_vhcall(const std::string& name, vh_function fn) {
+    AURORA_CHECK(fn != nullptr);
+    AURORA_CHECK_MSG(!vhcall_handlers_.contains(name),
+                     "duplicate VHcall handler '" << name << "'");
+    vhcall_handlers_.emplace(name, std::move(fn));
+}
+
+std::uint64_t ve_process::vhcall(const std::string& name,
+                                 const std::vector<std::byte>& in,
+                                 std::vector<std::byte>& out) {
+    auto it = vhcall_handlers_.find(name);
+    AURORA_CHECK_MSG(it != vhcall_handlers_.end(),
+                     "VHcall to unregistered handler '" << name << "'");
+    // Synchronous, syscall-semantics reverse offload: the VE blocks while the
+    // pseudo-process executes the handler on the VH.
+    sim::advance(plat_.costs().vhcall_ns);
+    return it->second(in, out);
+}
+
+void ve_process::execute_call(ve_command& cmd) {
+    const ve_function* fn = function_for(cmd.sym);
+    ve_completion done;
+    if (fn == nullptr) {
+        done.exception = true;
+        post_completion(cmd.req_id, std::move(done));
+        return;
+    }
+
+    // Materialise stack arguments into VE scratch memory, aliasing their VE
+    // addresses into the register slots.
+    std::vector<std::uint64_t> scratch;
+    for (stack_arg& sa : cmd.stack_args) {
+        const std::uint64_t bytes = sa.bytes.empty() ? 8 : sa.bytes.size();
+        const std::uint64_t va = ve_alloc(bytes);
+        if (sa.intent != stack_intent::out && !sa.bytes.empty()) {
+            mem().write(va, sa.bytes.data(), sa.bytes.size());
+        }
+        AURORA_CHECK(sa.reg_index < cmd.regs.size());
+        cmd.regs[sa.reg_index] = va;
+        scratch.push_back(va);
+    }
+
+    ve_call_context ctx(*this, cmd.regs);
+    try {
+        done.retval = (*fn)(ctx);
+    } catch (const sim::simulation_aborted&) {
+        throw;
+    } catch (...) {
+        done.exception = true; // the real VE would raise a HW exception
+    }
+
+    // Copy OUT/INOUT stack blobs back and release scratch memory.
+    for (std::size_t i = 0; i < cmd.stack_args.size(); ++i) {
+        stack_arg& sa = cmd.stack_args[i];
+        if (sa.intent != stack_intent::in && !sa.bytes.empty()) {
+            mem().read(scratch[i], sa.bytes.data(), sa.bytes.size());
+            done.returned_stack.push_back(sa);
+        }
+    }
+    for (std::uint64_t va : scratch) {
+        ve_free(va);
+    }
+    post_completion(cmd.req_id, std::move(done));
+}
+
+void ve_process::request_loop() {
+    const auto& cm = plat_.costs();
+    for (;;) {
+        ve_command cmd = queue_->pop();
+        if (cmd.k == ve_command::kind::quit) {
+            break;
+        }
+        // Command dispatch: request-queue wake-up and argument unpacking.
+        sim::advance(cm.veo_call_dispatch_ns);
+        execute_call(cmd);
+    }
+    exited_ = true;
+}
+
+} // namespace aurora::veos

@@ -1,0 +1,130 @@
+// A simulated VE process.
+//
+// On the real machine a VE process is the program running on the Vector
+// Engine plus its VH-side pseudo-process that executes system calls (paper
+// Sec. I-B). Here it bundles:
+//   * the VE virtual address space and memory allocators (managed by VEOS),
+//   * the loaded program images (libraries) and their symbol handles,
+//   * the VEO command queue + completion storage, and
+//   * the DES process executing the VE-side request loop.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/address_space.hpp"
+#include "sim/engine.hpp"
+#include "sim/event.hpp"
+#include "sim/platform.hpp"
+#include "sim/range_allocator.hpp"
+#include "veos/command.hpp"
+#include "veos/program_image.hpp"
+
+namespace aurora::veos {
+
+class veos_daemon;
+
+class ve_process {
+public:
+    ve_process(veos_daemon& daemon, sim::platform& plat, int ve_id, int pid);
+    ve_process(const ve_process&) = delete;
+    ve_process& operator=(const ve_process&) = delete;
+
+    [[nodiscard]] int ve_id() const noexcept { return ve_id_; }
+    [[nodiscard]] int pid() const noexcept { return pid_; }
+    /// Cores exclusively reserved for this process (0 = time-shared).
+    [[nodiscard]] int reserved_cores() const noexcept { return reserved_cores_; }
+    void set_reserved_cores(int cores) noexcept { reserved_cores_ = cores; }
+    [[nodiscard]] veos_daemon& daemon() noexcept { return daemon_; }
+    [[nodiscard]] sim::platform& plat() noexcept { return plat_; }
+
+    // --- memory management (performed by VEOS on behalf of the process) ----
+    /// Allocate VE virtual memory backed by HBM2; returns the VE address.
+    [[nodiscard]] std::uint64_t ve_alloc(std::uint64_t bytes,
+                                         sim::page_size ps = sim::page_size::ve_64k);
+    void ve_free(std::uint64_t vaddr);
+
+    [[nodiscard]] sim::address_space& aspace() noexcept { return aspace_; }
+    /// Untimed functional access to this process's memory (VE-local access).
+    [[nodiscard]] sim::memory_view mem() noexcept;
+    [[nodiscard]] std::uint64_t bytes_allocated() const noexcept {
+        return bytes_allocated_;
+    }
+    /// Release every remaining mapping (process teardown; called by VEOS).
+    void release_all_memory();
+
+    // --- program loading -----------------------------------------------------
+    /// Load an image; returns the non-zero library handle.
+    std::uint64_t load_library(const program_image& image);
+    [[nodiscard]] const program_image* library(std::uint64_t handle) const;
+    /// Resolve a symbol to a non-zero symbol handle (0 when missing).
+    std::uint64_t resolve_symbol(std::uint64_t lib_handle, const std::string& name);
+    [[nodiscard]] const ve_function* function_for(std::uint64_t sym_handle) const;
+
+    // --- command queue (VEO request path) ------------------------------------
+    [[nodiscard]] sim::sim_queue<ve_command>& queue() noexcept { return *queue_; }
+    /// Post a completion (called by the VE loop) and wake waiters.
+    void post_completion(std::uint64_t req_id, ve_completion c);
+    /// Blocking collect from the VH side; untimed (callers add the modeled
+    /// completion-path cost).
+    ve_completion wait_completion(std::uint64_t req_id);
+    /// Non-blocking probe; true when the completion was collected.
+    bool try_collect_completion(std::uint64_t req_id, ve_completion& out);
+    [[nodiscard]] std::uint64_t next_req_id() noexcept { return ++req_id_counter_; }
+
+    // --- lifecycle ------------------------------------------------------------
+    /// The VE-side request loop; runs as the process's DES body.
+    void request_loop();
+    [[nodiscard]] sim::process* sim_process() noexcept { return sim_proc_; }
+    void set_sim_process(sim::process* p) noexcept { sim_proc_ = p; }
+    [[nodiscard]] bool exited() const noexcept { return exited_; }
+
+    /// Per-process library state (the simulation's stand-in for globals in
+    /// the VE binary, e.g. the HAM-Offload communication configuration the
+    /// C-API functions store before ham_main runs).
+    [[nodiscard]] std::any& user_state() noexcept { return user_state_; }
+
+    /// Reverse offloading: charge the cost of one VE system call executed by
+    /// the VH-side pseudo-process (paper Sec. I-B). Must run on the VE's DES
+    /// process.
+    void syscall(sim::duration_ns extra = 0);
+
+    // --- VHcall (reverse offload of user code, paper Sec. I-B) ---------------
+    /// Handler executed on the VH in the pseudo-process's context.
+    using vh_function = std::function<std::uint64_t(const std::vector<std::byte>& in,
+                                                    std::vector<std::byte>& out)>;
+    /// Register a VH-side handler (done by the VH before/while the VE runs).
+    void register_vhcall(const std::string& name, vh_function fn);
+    /// Invoke a VH handler synchronously with syscall semantics. Must run on
+    /// the VE's DES process; charges the VHcall round-trip cost.
+    std::uint64_t vhcall(const std::string& name, const std::vector<std::byte>& in,
+                         std::vector<std::byte>& out);
+
+private:
+    void execute_call(ve_command& cmd);
+
+    veos_daemon& daemon_;
+    sim::platform& plat_;
+    int ve_id_;
+    int pid_;
+    sim::address_space aspace_;
+    sim::range_allocator vaddr_alloc_;
+    std::uint64_t bytes_allocated_ = 0;
+    std::vector<const program_image*> libraries_;
+    std::vector<std::pair<const program_image*, const ve_function*>> symbols_;
+    std::unique_ptr<sim::sim_queue<ve_command>> queue_;
+    std::unique_ptr<sim::condition> completion_cond_;
+    std::map<std::uint64_t, ve_completion> completions_;
+    std::uint64_t req_id_counter_ = 0;
+    sim::process* sim_proc_ = nullptr;
+    bool exited_ = false;
+    int reserved_cores_ = 0;
+    std::map<std::string, vh_function> vhcall_handlers_;
+    std::any user_state_;
+};
+
+} // namespace aurora::veos

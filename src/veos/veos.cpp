@@ -1,0 +1,77 @@
+#include "veos/veos.hpp"
+
+#include "util/check.hpp"
+
+namespace aurora::veos {
+
+veos_daemon::veos_daemon(sim::platform& plat, int ve_id)
+    : plat_(plat),
+      ve_id_(ve_id),
+      dma_(plat, ve_id, plat.config().dma_mode),
+      phys_alloc_(0, plat.ve(ve_id).hbm().size()) {}
+
+ve_process& veos_daemon::create_process(int cores) {
+    AURORA_CHECK_MSG(cores >= 0, "negative core reservation");
+    AURORA_CHECK_MSG(reserved_cores_ + cores <= plat_.ve(ve_id_).cores(),
+                     "VE" << ve_id_ << ": core reservation of " << cores
+                          << " exceeds the " << plat_.ve(ve_id_).cores()
+                          << "-core device (" << reserved_cores_
+                          << " already reserved)");
+    auto proc = std::make_unique<ve_process>(*this, plat_, ve_id_, next_pid_++);
+    proc->set_reserved_cores(cores);
+    reserved_cores_ += cores;
+    ve_process& ref = *proc;
+    processes_.push_back(std::move(proc));
+    sim::process& sp = plat_.sim().spawn(
+        "VE" + std::to_string(ve_id_) + ".pid" + std::to_string(ref.pid()),
+        [&ref] { ref.request_loop(); });
+    ref.set_sim_process(&sp);
+    return ref;
+}
+
+void veos_daemon::destroy_process(ve_process& proc) {
+    AURORA_CHECK_MSG(!proc.exited(), "destroy of an already-exited VE process");
+    ve_command quit;
+    quit.k = ve_command::kind::quit;
+    proc.queue().push(quit);
+    if (proc.sim_process() != nullptr) {
+        sim::join(*proc.sim_process());
+    }
+    reserved_cores_ -= proc.reserved_cores();
+    proc.release_all_memory();
+}
+
+std::size_t veos_daemon::live_process_count() const {
+    std::size_t n = 0;
+    for (const auto& p : processes_) {
+        if (!p->exited()) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+veos_system::veos_system(sim::platform& plat) : plat_(plat) {
+    for (int i = 0; i < plat.num_ve(); ++i) {
+        daemons_.push_back(std::make_unique<veos_daemon>(plat, i));
+    }
+}
+
+veos_daemon& veos_system::daemon(int ve_id) {
+    AURORA_CHECK_MSG(ve_id >= 0 && ve_id < num_ve(),
+                     "no VEOS daemon for VE " << ve_id);
+    return *daemons_[static_cast<std::size_t>(ve_id)];
+}
+
+void veos_system::install_image(const program_image& image) {
+    AURORA_CHECK_MSG(!images_.contains(image.name()),
+                     "image '" << image.name() << "' already installed");
+    images_.emplace(image.name(), &image);
+}
+
+const program_image* veos_system::find_image(const std::string& name) const {
+    auto it = images_.find(name);
+    return it == images_.end() ? nullptr : it->second;
+}
+
+} // namespace aurora::veos

@@ -1,0 +1,87 @@
+// VEOS: the Vector Engine Operating System, offloaded to the host.
+//
+// "Each VE has its own instance of VEOS" (paper Sec. I-B): a veos_daemon per
+// card handles process and memory management and owns the privileged DMA
+// manager. The veos_system bundles the per-VE daemons for one platform and
+// acts as the repository of installable VE program images (the simulation's
+// analogue of .so files on the filesystem).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/platform.hpp"
+#include "sim/range_allocator.hpp"
+#include "veos/dma_manager.hpp"
+#include "veos/program_image.hpp"
+#include "veos/ve_process.hpp"
+
+namespace aurora::veos {
+
+/// Per-VE VEOS instance: process lifecycle + privileged DMA.
+class veos_daemon {
+public:
+    veos_daemon(sim::platform& plat, int ve_id);
+    veos_daemon(const veos_daemon&) = delete;
+    veos_daemon& operator=(const veos_daemon&) = delete;
+
+    [[nodiscard]] int ve_id() const noexcept { return ve_id_; }
+    [[nodiscard]] dma_manager& dma() noexcept { return dma_; }
+
+    /// Create a VE process and start its request loop as a DES process.
+    /// Untimed — veo_proc_create() charges the (large) modeled cost.
+    /// `cores` > 0 reserves that many VE cores exclusively (VEOS performs the
+    /// scheduling/partitioning, paper Sec. I-B); 0 means time-shared.
+    ve_process& create_process(int cores = 0);
+
+    /// Ask a process's request loop to exit; returns once the loop drained
+    /// (the quit command queues behind in-flight requests, like the real
+    /// VEO teardown).
+    void destroy_process(ve_process& proc);
+
+    [[nodiscard]] std::size_t live_process_count() const;
+
+    /// Cores currently reserved by live processes.
+    [[nodiscard]] int reserved_cores() const noexcept { return reserved_cores_; }
+
+    /// The VE's physical-memory manager — one per card, shared by all of its
+    /// processes (VEOS owns memory management, paper Sec. I-B).
+    [[nodiscard]] sim::range_allocator& phys_memory_manager() noexcept {
+        return phys_alloc_;
+    }
+
+private:
+    sim::platform& plat_;
+    int ve_id_;
+    dma_manager dma_;
+    std::vector<std::unique_ptr<ve_process>> processes_;
+    sim::range_allocator phys_alloc_;
+    int next_pid_ = 1;
+    int reserved_cores_ = 0;
+};
+
+/// All VEOS daemons of one machine plus the VE program-image repository.
+class veos_system {
+public:
+    explicit veos_system(sim::platform& plat);
+    veos_system(const veos_system&) = delete;
+    veos_system& operator=(const veos_system&) = delete;
+
+    [[nodiscard]] sim::platform& plat() noexcept { return plat_; }
+    [[nodiscard]] veos_daemon& daemon(int ve_id);
+    [[nodiscard]] int num_ve() const noexcept { return int(daemons_.size()); }
+
+    /// Install an image under its name (like placing a .so on disk).
+    /// The image must outlive the system.
+    void install_image(const program_image& image);
+    [[nodiscard]] const program_image* find_image(const std::string& name) const;
+
+private:
+    sim::platform& plat_;
+    std::vector<std::unique_ptr<veos_daemon>> daemons_;
+    std::map<std::string, const program_image*> images_;
+};
+
+} // namespace aurora::veos

@@ -1,0 +1,173 @@
+// Calibration gate: the simulated platform must reproduce the paper's
+// headline measurements end-to-end. If one of these fails after a cost-model
+// change, the benches no longer reproduce the paper — fix the model, not the
+// test.
+//
+// Paper targets (Noack/Focht/Steinke 2019):
+//   Fig. 9   : native VEO ~80 us; HAM/VEO ~432 us; HAM/VE-DMA 6.1 us
+//              ratios: 5.4x, 13.1x, 70.8x
+//   Table IV : VEO 9.9/10.4, user DMA 10.6/11.1, LHM/SHM 0.01/0.06 GiB/s
+//   Sec. V-A : PCIe RTT 1.2 us; second socket adds <= 1 us
+#include <gtest/gtest.h>
+
+#include "offload/offload.hpp"
+#include "sim/vh_memory.hpp"
+#include "vedma/dmaatb.hpp"
+#include "vedma/lhm_shm.hpp"
+#include "vedma/userdma.hpp"
+#include "veo/veo_api.hpp"
+#include "veos/native.hpp"
+
+namespace ham::offload {
+namespace {
+
+void empty_kernel() {}
+
+double offload_cost(backend_kind kind, int socket = 0) {
+    aurora::sim::platform plat(aurora::sim::platform_config::a300_8());
+    runtime_options opt;
+    opt.backend = kind;
+    opt.vh_socket = socket;
+    double per_call = 0.0;
+    run(plat, opt, [&] {
+        for (int i = 0; i < 10; ++i) sync(1, ham::f2f<&empty_kernel>());
+        const sim::time_ns t0 = sim::now();
+        constexpr int reps = 50;
+        for (int i = 0; i < reps; ++i) sync(1, ham::f2f<&empty_kernel>());
+        per_call = double(sim::now() - t0) / reps;
+    });
+    return per_call;
+}
+
+double native_veo_cost() {
+    aurora::sim::platform plat(aurora::sim::platform_config::a300_8());
+    aurora::veos::veos_system sys(plat);
+    aurora::veos::program_image img("libcal.so");
+    img.add_symbol("empty",
+                   [](aurora::veos::ve_call_context&) -> std::uint64_t { return 0; });
+    sys.install_image(img);
+    double per_call = 0.0;
+    plat.sim().spawn("VH.cal", [&] {
+        aurora::veo::proc_guard h(sys, 0);
+        const auto lib = aurora::veo::veo_load_library(h.get(), "libcal.so");
+        const auto sym = aurora::veo::veo_get_sym(h.get(), lib, "empty");
+        auto* ctx = aurora::veo::veo_context_open(h.get());
+        auto one = [&] {
+            std::uint64_t ret = 0;
+            (void)aurora::veo::veo_call_wait_result(
+                ctx, aurora::veo::veo_call_async(ctx, sym, nullptr), &ret);
+        };
+        for (int i = 0; i < 10; ++i) one();
+        const sim::time_ns t0 = sim::now();
+        for (int i = 0; i < 50; ++i) one();
+        per_call = double(sim::now() - t0) / 50;
+    });
+    plat.sim().run();
+    return per_call;
+}
+
+TEST(Calibration, Fig9NativeVeoAround80us) {
+    EXPECT_NEAR(native_veo_cost(), 80'000.0, 4'000.0);
+}
+
+TEST(Calibration, Fig9HamVeoAround432us) {
+    EXPECT_NEAR(offload_cost(backend_kind::veo), 432'000.0, 22'000.0);
+}
+
+TEST(Calibration, Fig9HamDmaAround6_1us) {
+    EXPECT_NEAR(offload_cost(backend_kind::vedma), 6'100.0, 310.0);
+}
+
+TEST(Calibration, Fig9Ratios) {
+    const double veo_native = native_veo_cost();
+    const double ham_veo = offload_cost(backend_kind::veo);
+    const double ham_dma = offload_cost(backend_kind::vedma);
+    EXPECT_NEAR(ham_veo / veo_native, 5.4, 0.3);     // paper: 5.4x
+    EXPECT_NEAR(veo_native / ham_dma, 13.1, 1.0);    // paper: 13.1x
+    EXPECT_NEAR(ham_veo / ham_dma, 70.8, 5.0);       // paper: 70.8x
+}
+
+TEST(Calibration, SecondSocketAddsAtMostOneMicrosecond) {
+    const double local = offload_cost(backend_kind::vedma, 0);
+    const double remote = offload_cost(backend_kind::vedma, 1);
+    EXPECT_GT(remote, local);
+    EXPECT_LE(remote - local, 1'000.0);
+}
+
+TEST(Calibration, PcieRoundTrip1_2us) {
+    aurora::sim::pcie_topology topo;
+    aurora::sim::cost_model cm;
+    EXPECT_EQ(topo.round_trip_latency(cm, 0, 0), 1'200);
+}
+
+struct table4 {
+    double veo_up, veo_down, dma_up, dma_down, lhm_up, shm_down;
+};
+
+table4 measure_table4() {
+    table4 r{};
+    aurora::sim::platform plat(aurora::sim::platform_config::a300_8());
+    aurora::veos::veos_system sys(plat);
+    constexpr std::uint64_t n = 256 * aurora::MiB;
+    plat.sim().spawn("VH.cal", [&] {
+        aurora::sim::vh_allocation host(plat.vh_pages(), n,
+                                        aurora::sim::page_size::huge_2m);
+        auto& proc = sys.daemon(0).create_process();
+        const std::uint64_t ve_buf =
+            proc.ve_alloc(n, aurora::sim::page_size::huge_64m);
+        auto& pdma = sys.daemon(0).dma();
+
+        auto bw = [&](std::uint64_t len, auto&& fn) {
+            const sim::time_ns t0 = sim::now();
+            fn();
+            return aurora::bandwidth_gib_s(len, sim::now() - t0);
+        };
+        r.veo_up = bw(n, [&] { pdma.write_to_ve(proc, ve_buf, host.data(), n, 0); });
+        r.veo_down =
+            bw(n, [&] { pdma.read_from_ve(proc, ve_buf, host.data(), n, 0); });
+
+        aurora::veos::run_native(proc, [&] {
+            aurora::vedma::dmaatb atb(proc);
+            aurora::vedma::user_dma_engine dma(atb);
+            const auto hh = atb.register_vh(host.data(), n, 0);
+            const auto vv = atb.register_ve(ve_buf, n);
+            r.dma_up = bw(n, [&] { dma.dma_sync(vv, hh, n); });
+            r.dma_down = bw(n, [&] { dma.dma_sync(hh, vv, n); });
+            std::vector<std::byte> scratch(4 * aurora::MiB);
+            r.lhm_up = bw(4 * aurora::MiB, [&] {
+                aurora::vedma::lhm_load(atb, hh, scratch.data(), 4 * aurora::MiB);
+            });
+            r.shm_down = bw(4 * aurora::MiB, [&] {
+                aurora::vedma::shm_store(atb, hh, scratch.data(), 4 * aurora::MiB);
+            });
+        });
+        sys.daemon(0).destroy_process(proc);
+    });
+    plat.sim().run();
+    return r;
+}
+
+TEST(Calibration, Table4PeakBandwidths) {
+    const table4 r = measure_table4();
+    EXPECT_NEAR(r.veo_up, 9.9, 0.15);
+    EXPECT_NEAR(r.veo_down, 10.4, 0.15);
+    EXPECT_NEAR(r.dma_up, 10.6, 0.15);
+    EXPECT_NEAR(r.dma_down, 11.1, 0.15);
+    EXPECT_NEAR(r.lhm_up, 0.01, 0.003);
+    EXPECT_NEAR(r.shm_down, 0.06, 0.005);
+}
+
+TEST(Calibration, OrderingInvariants) {
+    // Qualitative orderings that must hold whatever the exact constants are.
+    const table4 r = measure_table4();
+    EXPECT_GT(r.dma_up, r.veo_up);     // "VE user DMA is always faster than VEO"
+    EXPECT_GT(r.dma_down, r.veo_down);
+    EXPECT_GT(r.veo_down, r.veo_up);   // VE=>VH is the faster direction
+    EXPECT_GT(r.dma_down, r.dma_up);
+    EXPECT_GT(r.shm_down, r.lhm_up);   // SHM stores beat LHM loads
+    aurora::sim::cost_model cm;
+    EXPECT_LT(r.dma_down, cm.pcie_effective_peak_gib); // below the PCIe ceiling
+}
+
+} // namespace
+} // namespace ham::offload

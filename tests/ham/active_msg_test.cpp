@@ -1,0 +1,129 @@
+#include "ham/active_msg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ham/handler_registry.hpp"
+#include "ham/msg.hpp"
+#include "util/check.hpp"
+
+namespace ham {
+namespace {
+
+struct add_functor {
+    int a;
+    int b;
+    int operator()() const { return a + b; }
+};
+
+struct void_functor {
+    int* counter; // host-pointer payload is fine for these in-process tests
+    void operator()() const { ++*counter; }
+};
+
+struct throwing_functor {
+    int operator()() const { throw std::runtime_error("boom"); }
+};
+
+struct big_result_functor {
+    struct payload {
+        double values[8];
+    };
+    payload operator()() const {
+        payload p{};
+        for (int i = 0; i < 8; ++i) p.values[i] = i * 1.5;
+        return p;
+    }
+};
+
+handler_registry make_reg() {
+    return handler_registry::build({.address_base = 0x400000, .layout_seed = 0});
+}
+
+TEST(ActiveMsg, ExecuteProducesResult) {
+    const auto reg = make_reg();
+    alignas(16) std::byte buf[256];
+    (void)write_message(reg, buf, sizeof(buf), add_functor{20, 22});
+    int out = 0;
+    std::size_t out_size = 0;
+    execute_message(reg, buf, &out, sizeof(out), &out_size);
+    EXPECT_EQ(out, 42);
+    EXPECT_EQ(out_size, sizeof(int));
+}
+
+TEST(ActiveMsg, VoidResultHasZeroSize) {
+    const auto reg = make_reg();
+    int counter = 0;
+    alignas(16) std::byte buf[256];
+    (void)write_message(reg, buf, sizeof(buf), void_functor{&counter});
+    std::size_t out_size = 99;
+    execute_message(reg, buf, nullptr, 0, &out_size);
+    EXPECT_EQ(counter, 1);
+    EXPECT_EQ(out_size, 0u);
+}
+
+TEST(ActiveMsg, MessageSizeIsHeaderPlusFunctor) {
+    const auto reg = make_reg();
+    alignas(16) std::byte buf[256];
+    const std::size_t len = write_message(reg, buf, sizeof(buf), add_functor{1, 2});
+    EXPECT_EQ(len, sizeof(active_msg<add_functor>));
+    EXPECT_GE(len, sizeof(handler_key) + sizeof(add_functor));
+}
+
+TEST(ActiveMsg, BufferTooSmallThrows) {
+    const auto reg = make_reg();
+    std::byte buf[4];
+    EXPECT_THROW((void)write_message(reg, buf, sizeof(buf), add_functor{1, 2}),
+                 aurora::check_error);
+}
+
+TEST(ActiveMsg, ResultBufferTooSmallThrows) {
+    const auto reg = make_reg();
+    alignas(16) std::byte buf[256];
+    (void)write_message(reg, buf, sizeof(buf), add_functor{1, 2});
+    int out;
+    std::size_t out_size = 0;
+    EXPECT_THROW(execute_message(reg, buf, &out, 2, &out_size),
+                 aurora::check_error);
+}
+
+TEST(ActiveMsg, ExceptionsPropagate) {
+    const auto reg = make_reg();
+    alignas(16) std::byte buf[256];
+    (void)write_message(reg, buf, sizeof(buf), throwing_functor{});
+    int out;
+    std::size_t out_size = 0;
+    EXPECT_THROW(execute_message(reg, buf, &out, sizeof(out), &out_size),
+                 std::runtime_error);
+}
+
+TEST(ActiveMsg, LargeTriviallyCopyableResult) {
+    const auto reg = make_reg();
+    alignas(16) std::byte buf[256];
+    (void)write_message(reg, buf, sizeof(buf), big_result_functor{});
+    big_result_functor::payload out{};
+    std::size_t out_size = 0;
+    execute_message(reg, buf, &out, sizeof(out), &out_size);
+    EXPECT_EQ(out_size, sizeof(out));
+    EXPECT_DOUBLE_EQ(out.values[7], 10.5);
+}
+
+TEST(ActiveMsg, PeekKeyMatchesRegistry) {
+    const auto reg = make_reg();
+    alignas(16) std::byte buf[256];
+    (void)write_message(reg, buf, sizeof(buf), add_functor{0, 0});
+    const handler_key key = peek_key(buf);
+    EXPECT_EQ(key,
+              reg.key_of_catalog_index(active_msg<add_functor>::catalog_index()));
+}
+
+TEST(ActiveMsg, DistinctTypesGetDistinctKeys) {
+    const auto reg = make_reg();
+    const auto ka =
+        reg.key_of_catalog_index(active_msg<add_functor>::catalog_index());
+    const auto kb =
+        reg.key_of_catalog_index(active_msg<void_functor>::catalog_index());
+    EXPECT_NE(ka, kb);
+}
+
+} // namespace
+} // namespace ham

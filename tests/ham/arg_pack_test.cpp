@@ -1,0 +1,98 @@
+// arg_pack: the trivially copyable tuple substitute carrying functor
+// arguments inside active messages.
+#include "ham/arg_pack.hpp"
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ham/functor.hpp"
+#include "ham/migratable.hpp"
+
+namespace ham {
+namespace {
+
+TEST(ArgPack, EmptyPack) {
+    auto p = make_arg_pack();
+    static_assert(std::is_trivially_copyable_v<decltype(p)>);
+    int called = 0;
+    apply_pack([&] { ++called; }, p);
+    EXPECT_EQ(called, 1);
+}
+
+TEST(ArgPack, OrderPreserved) {
+    auto p = make_arg_pack(1, 2.5, 'x');
+    const std::string s =
+        apply_pack([](int a, double b, char c) {
+            return std::to_string(a) + "/" + std::to_string(b) + "/" + c;
+        }, p);
+    EXPECT_EQ(s.substr(0, 2), "1/");
+    EXPECT_EQ(s.back(), 'x');
+}
+
+TEST(ArgPack, TriviallyCopyableWhenElementsAre) {
+    static_assert(std::is_trivially_copyable_v<arg_pack<int, double, char>>);
+    static_assert(
+        std::is_trivially_copyable_v<arg_pack<migratable<std::string>>>);
+}
+
+TEST(ArgPack, ByteWiseCopyPreservesValues) {
+    auto p = make_arg_pack(std::uint64_t{42}, 3.25f);
+    alignas(alignof(decltype(p))) std::byte raw[sizeof(p)];
+    std::memcpy(raw, &p, sizeof(p));
+    decltype(p) q;
+    std::memcpy(&q, raw, sizeof(q));
+    apply_pack([](std::uint64_t a, float b) {
+        EXPECT_EQ(a, 42u);
+        EXPECT_FLOAT_EQ(b, 3.25f);
+    }, q);
+}
+
+TEST(ArgPack, DecayOfReferencesAndArrays) {
+    int x = 7;
+    int& ref = x;
+    auto p = make_arg_pack(ref); // captured by value
+    x = 99;
+    apply_pack([](int v) { EXPECT_EQ(v, 7); }, p);
+}
+
+// --- f2f arity sweep ---------------------------------------------------------
+
+int fn0() { return 10; }
+int fn1(int a) { return a; }
+int fn2(int a, int b) { return a + b; }
+int fn3(int a, int b, int c) { return a + b + c; }
+int fn4(int a, int b, int c, int d) { return a + b + c + d; }
+int fn6(int a, int b, int c, int d, int e, int f) {
+    return a + b + c + d + e + f;
+}
+
+TEST(F2FArity, ZeroThroughSixArguments) {
+    EXPECT_EQ(f2f<&fn0>()(), 10);
+    EXPECT_EQ(f2f<&fn1>(1)(), 1);
+    EXPECT_EQ(f2f<&fn2>(1, 2)(), 3);
+    EXPECT_EQ(f2f<&fn3>(1, 2, 3)(), 6);
+    EXPECT_EQ(f2f<&fn4>(1, 2, 3, 4)(), 10);
+    EXPECT_EQ(f2f<&fn6>(1, 2, 3, 4, 5, 6)(), 21);
+}
+
+TEST(F2FArity, ImplicitConversionsAtBinding) {
+    // short/char arguments convert into the int parameters at binding time.
+    const short s = 3;
+    const char c = 4;
+    EXPECT_EQ(f2f<&fn2>(s, c)(), 7);
+}
+
+double scaled(double base, migratable<std::string> tag) {
+    return base * double(tag.get().size());
+}
+
+TEST(F2FArity, MigratableArgumentsCompose) {
+    auto f = f2f<&scaled>(2.0, migratable<std::string>(std::string("abcd")));
+    static_assert(std::is_trivially_copyable_v<decltype(f)>);
+    EXPECT_DOUBLE_EQ(f(), 8.0);
+}
+
+} // namespace
+} // namespace ham

@@ -1,0 +1,121 @@
+#include "ham/functor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ham/active_msg.hpp"
+#include "ham/msg.hpp"
+#include "util/check.hpp"
+
+namespace ham {
+namespace {
+
+double scale(double x, double factor) {
+    return x * factor;
+}
+int negate(int v) {
+    return -v;
+}
+void bump(int* p) {
+    ++*p;
+}
+HAM_REGISTER_FUNCTION(scale);
+HAM_REGISTER_FUNCTION(negate);
+
+handler_registry host_like() {
+    return handler_registry::build({.address_base = 0x400000, .layout_seed = 0});
+}
+handler_registry target_like() {
+    return handler_registry::build(
+        {.address_base = 0x7E0000000000, .layout_seed = 0xABCDEF});
+}
+
+TEST(StaticF2F, InvokesBoundFunction) {
+    auto f = f2f<&scale>(3.0, 4.0);
+    EXPECT_DOUBLE_EQ(f(), 12.0);
+}
+
+TEST(StaticF2F, VoidFunction) {
+    int counter = 0;
+    auto f = f2f<&bump>(&counter);
+    f();
+    EXPECT_EQ(counter, 1);
+}
+
+TEST(StaticF2F, IsTriviallyCopyable) {
+    auto f = f2f<&scale>(1.0, 2.0);
+    static_assert(std::is_trivially_copyable_v<decltype(f)>);
+}
+
+TEST(StaticF2F, TravelsThroughActiveMessage) {
+    const auto host = host_like();
+    const auto target = target_like();
+    alignas(16) std::byte buf[256];
+    (void)write_message(host, buf, sizeof(buf), f2f<&scale>(6.0, 7.0));
+    double out = 0;
+    std::size_t out_size = 0;
+    execute_message(target, buf, &out, sizeof(out), &out_size);
+    EXPECT_DOUBLE_EQ(out, 42.0);
+}
+
+TEST(DynamicF2F, RequiresExecutionContext) {
+    EXPECT_THROW((void)f2f(&scale, 1.0, 2.0), aurora::check_error);
+}
+
+TEST(DynamicF2F, InvokesThroughTranslation) {
+    const auto host = host_like();
+    execution_context::scope s(host);
+    auto f = f2f(&scale, 5.0, 2.0);
+    EXPECT_DOUBLE_EQ(f(), 10.0);
+}
+
+TEST(DynamicF2F, CrossImageExecution) {
+    const auto host = host_like();
+    const auto target = target_like();
+
+    alignas(16) std::byte buf[256];
+    {
+        // Sender encodes the function pointer to a key in the host image…
+        execution_context::scope sender(host);
+        (void)write_message(host, buf, sizeof(buf), f2f(&negate, 21));
+    }
+    // …and the receiver translates the key back through *its* image.
+    int out = 0;
+    std::size_t out_size = 0;
+    {
+        execution_context::scope receiver(target);
+        execute_message(target, buf, &out, sizeof(out), &out_size);
+    }
+    EXPECT_EQ(out, -21);
+}
+
+TEST(DynamicF2F, UnregisteredFunctionThrows) {
+    const auto host = host_like();
+    execution_context::scope s(host);
+    // Function-local statics cannot be pre-registered.
+    static auto local_fn = +[](int v) { return v; };
+    EXPECT_THROW((void)f2f(local_fn, 1), aurora::check_error);
+}
+
+TEST(DynamicF2F, ArgumentConversionFollowsSignature) {
+    const auto host = host_like();
+    execution_context::scope s(host);
+    // int literal converts to the double parameter.
+    auto f = f2f(&scale, 2, 3.5f);
+    EXPECT_DOUBLE_EQ(f(), 7.0);
+}
+
+TEST(DynamicF2F, MessageTypeSharedBySignature) {
+    // Two different functions with the same signature produce the same
+    // message type; the function identity travels in the key.
+    auto fa = f2f<&scale>(1.0, 1.0);
+    using msg_scale = active_msg<decltype(fa)>;
+    const auto host = host_like();
+    execution_context::scope s(host);
+    auto f1 = f2f(&negate, 1);
+    auto f2 = f2f(&negate, 2);
+    static_assert(std::is_same_v<decltype(f1), decltype(f2)>);
+    (void)msg_scale::catalog_index();
+}
+
+} // namespace
+} // namespace ham

@@ -1,0 +1,114 @@
+#include "ham/migratable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace ham {
+namespace {
+
+TEST(Migratable, TrivialTypePassThrough) {
+    migratable<int> m(42);
+    EXPECT_EQ(m.get(), 42);
+    EXPECT_EQ(static_cast<int>(m), 42);
+    EXPECT_EQ(m.packed_size(), sizeof(int));
+}
+
+TEST(Migratable, StructPassThrough) {
+    struct point {
+        double x, y;
+    };
+    migratable<point> m(point{1.5, -2.5});
+    const point p = m.get();
+    EXPECT_DOUBLE_EQ(p.x, 1.5);
+    EXPECT_DOUBLE_EQ(p.y, -2.5);
+}
+
+TEST(Migratable, StringRoundTrip) {
+    migratable<std::string> m(std::string("hello aurora"));
+    EXPECT_EQ(m.get(), "hello aurora");
+    EXPECT_EQ(m.packed_size(), 12u);
+}
+
+TEST(Migratable, EmptyString) {
+    migratable<std::string> m(std::string{});
+    EXPECT_EQ(m.get(), "");
+    EXPECT_EQ(m.packed_size(), 0u);
+}
+
+TEST(Migratable, StringWithEmbeddedNulls) {
+    std::string s("a\0b", 3);
+    migratable<std::string> m(s);
+    EXPECT_EQ(m.get(), s);
+}
+
+TEST(Migratable, StringTooLargeThrows) {
+    const std::string big(300, 'x');
+    EXPECT_THROW((migratable<std::string, 256>(big)), aurora::check_error);
+    // A larger capacity accommodates it.
+    migratable<std::string, 512> ok(big);
+    EXPECT_EQ(ok.get(), big);
+}
+
+TEST(Migratable, VectorRoundTrip) {
+    std::vector<double> v{1.0, 2.0, 3.0};
+    migratable<std::vector<double>> m(v);
+    EXPECT_EQ(m.get(), v);
+}
+
+TEST(Migratable, EmptyVector) {
+    migratable<std::vector<int>> m(std::vector<int>{});
+    EXPECT_TRUE(m.get().empty());
+}
+
+TEST(Migratable, VectorCapacityEnforced) {
+    std::vector<std::uint64_t> v(100, 7); // 800 B
+    EXPECT_THROW((migratable<std::vector<std::uint64_t>, 256>(v)),
+                 aurora::check_error);
+}
+
+TEST(Migratable, TriviallyCopyableItself) {
+    static_assert(std::is_trivially_copyable_v<migratable<std::string>>);
+    static_assert(std::is_trivially_copyable_v<migratable<std::vector<int>>>);
+    // Byte-wise copies preserve the payload (what message transport does).
+    migratable<std::string> a(std::string("move me"));
+    alignas(alignof(migratable<std::string>)) std::byte raw[sizeof(a)];
+    std::memcpy(raw, &a, sizeof(a));
+    migratable<std::string> b;
+    std::memcpy(&b, raw, sizeof(b));
+    EXPECT_EQ(b.get(), "move me");
+}
+
+TEST(Migratable, DefaultConstructedUnpacksDefault) {
+    migratable<std::string> m;
+    EXPECT_EQ(m.get(), "");
+}
+
+TEST(Migratable, PairOfComplexTypes) {
+    using payload = std::pair<std::string, std::vector<int>>;
+    payload p{"label", {1, 2, 3}};
+    migratable<payload> m(p);
+    const payload out = m.get();
+    EXPECT_EQ(out.first, "label");
+    EXPECT_EQ(out.second, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Migratable, PairCapacityEnforced) {
+    using payload = std::pair<std::string, std::string>;
+    payload p{std::string(200, 'a'), std::string(200, 'b')};
+    EXPECT_THROW((migratable<payload, 256>(p)), aurora::check_error);
+    migratable<payload, 512> ok(p);
+    EXPECT_EQ(ok.get().second, std::string(200, 'b'));
+}
+
+TEST(Migratable, NestedPair) {
+    using inner = std::pair<std::string, std::string>;
+    using outer = std::pair<inner, std::vector<double>>;
+    outer o{{"x", "y"}, {1.5, 2.5}};
+    migratable<outer, 512> m(o);
+    EXPECT_EQ(m.get().first.second, "y");
+    EXPECT_EQ(m.get().second[1], 2.5);
+}
+
+} // namespace
+} // namespace ham

@@ -1,0 +1,170 @@
+// Tests of the cross-binary handler/function translation (paper Fig. 6).
+#include "ham/handler_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ham/active_msg.hpp"
+#include "ham/execution_context.hpp"
+#include "ham/functor.hpp"
+#include "ham/msg.hpp"
+#include "util/check.hpp"
+
+namespace ham {
+namespace {
+
+// A couple of distinct message types to populate the catalog.
+struct probe_functor_a {
+    int x;
+    int operator()() const { return x + 1; }
+};
+struct probe_functor_b {
+    double y;
+    double operator()() const { return y * 2.0; }
+};
+using msg_a = active_msg<probe_functor_a>;
+using msg_b = active_msg<probe_functor_b>;
+
+int reg_test_fn_one(int v) {
+    return v * 3;
+}
+int reg_test_fn_two(int v) {
+    return v - 7;
+}
+HAM_REGISTER_FUNCTION(reg_test_fn_one);
+HAM_REGISTER_FUNCTION(reg_test_fn_two);
+
+handler_registry host_like() {
+    return handler_registry::build({.address_base = 0x400000, .layout_seed = 0});
+}
+handler_registry target_like() {
+    return handler_registry::build(
+        {.address_base = 0x7E0000000000, .layout_seed = 0xDECAFBAD});
+}
+
+TEST(HandlerRegistry, CatalogNotEmpty) {
+    // Force instantiation of the message types.
+    (void)msg_a::catalog_index();
+    (void)msg_b::catalog_index();
+    EXPECT_GE(message_catalog::instance().entries().size(), 2u);
+}
+
+TEST(HandlerRegistry, SameKeyCountInBothImages) {
+    const auto host = host_like();
+    const auto target = target_like();
+    EXPECT_EQ(host.handler_count(), target.handler_count());
+    EXPECT_GT(host.handler_count(), 0u);
+}
+
+TEST(HandlerRegistry, KeysAgreeAcrossImagesDespiteDifferentLayouts) {
+    const auto host = host_like();
+    const auto target = target_like();
+    // For every key, both images must name the same message type — the
+    // lexicographic sort of typeid names makes keys globally valid.
+    for (handler_key k = 0; k < host.handler_count(); ++k) {
+        EXPECT_EQ(host.name_of_key(k), target.name_of_key(k)) << "key " << k;
+    }
+}
+
+TEST(HandlerRegistry, LocalAddressesDifferBetweenImages) {
+    const auto host = host_like();
+    const auto target = target_like();
+    const handler_key k = host.key_of_catalog_index(msg_a::catalog_index());
+    EXPECT_NE(host.address_of_key(k), target.address_of_key(k));
+}
+
+TEST(HandlerRegistry, AddressKeyRoundTrip) {
+    const auto reg = target_like();
+    for (handler_key k = 0; k < reg.handler_count(); ++k) {
+        const std::uint64_t addr = reg.address_of_key(k);
+        EXPECT_EQ(reg.key_of_address(addr), k);
+    }
+}
+
+TEST(HandlerRegistry, UnknownKeyThrows) {
+    const auto reg = host_like();
+    EXPECT_THROW((void)reg.address_of_key(handler_key(reg.handler_count())),
+                 aurora::check_error);
+    EXPECT_THROW((void)reg.name_of_key(invalid_handler_key), aurora::check_error);
+}
+
+TEST(HandlerRegistry, BogusAddressThrows) {
+    const auto reg = host_like();
+    EXPECT_THROW((void)reg.key_of_address(0x123), aurora::check_error);
+    EXPECT_THROW((void)reg.key_of_address(0x400000 + 3), aurora::check_error);
+}
+
+TEST(HandlerRegistry, KeysAreSortedByName) {
+    const auto reg = host_like();
+    for (handler_key k = 1; k < reg.handler_count(); ++k) {
+        EXPECT_LT(reg.name_of_key(k - 1), reg.name_of_key(k));
+    }
+}
+
+TEST(HandlerRegistry, MessageWrittenByHostExecutesInTargetImage) {
+    const auto host = host_like();
+    const auto target = target_like();
+
+    alignas(16) std::byte buf[512];
+    const std::size_t len = ham::write_message(host, buf, sizeof(buf),
+                                               probe_functor_a{41});
+    ASSERT_GT(len, 0u);
+
+    int result = 0;
+    std::size_t result_size = 0;
+    execute_message(target, buf, &result, sizeof(result), &result_size);
+    EXPECT_EQ(result_size, sizeof(int));
+    EXPECT_EQ(result, 42);
+}
+
+TEST(HandlerRegistry, FunctionKeysAgreeAcrossImages) {
+    const auto host = host_like();
+    const auto target = target_like();
+    ASSERT_GE(host.function_count(), 2u);
+    const auto k1 =
+        host.key_of_function(reinterpret_cast<const void*>(&reg_test_fn_one));
+    // Both images resolve the key to a pointer; in the simulation both images
+    // contain the same code, so the pointers are equal — the important
+    // property is that the *translation* agrees.
+    EXPECT_EQ(target.function_of_key(k1),
+              reinterpret_cast<void*>(&reg_test_fn_one));
+}
+
+TEST(HandlerRegistry, UnregisteredFunctionThrows) {
+    const auto host = host_like();
+    // A function that exists but was never registered.
+    auto unregistered = +[](int v) { return v; };
+    EXPECT_THROW((void)host.key_of_function(reinterpret_cast<const void*>(
+                     unregistered)),
+                 aurora::check_error);
+}
+
+TEST(HandlerRegistry, FunctionKeyOutOfRangeThrows) {
+    const auto host = host_like();
+    EXPECT_THROW((void)host.function_of_key(
+                     function_key(host.function_count())),
+                 aurora::check_error);
+}
+
+TEST(ExecutionContext, ScopeInstallsAndRestores) {
+    const auto host = host_like();
+    EXPECT_FALSE(execution_context::installed());
+    {
+        execution_context::scope s(host);
+        EXPECT_TRUE(execution_context::installed());
+        EXPECT_EQ(&execution_context::registry(), &host);
+        {
+            const auto target = target_like();
+            execution_context::scope inner(target);
+            EXPECT_EQ(&execution_context::registry(), &target);
+        }
+        EXPECT_EQ(&execution_context::registry(), &host);
+    }
+    EXPECT_FALSE(execution_context::installed());
+}
+
+TEST(ExecutionContext, RegistryWithoutScopeThrows) {
+    EXPECT_THROW((void)execution_context::registry(), aurora::check_error);
+}
+
+} // namespace
+} // namespace ham

@@ -1,0 +1,254 @@
+// Table II API tests over the loopback backend.
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "offload/offload.hpp"
+#include "tests/offload/test_kernels.hpp"
+#include "util/check.hpp"
+
+namespace ham::offload {
+namespace {
+
+namespace tk = testkernels;
+
+using tk::add;
+HAM_REGISTER_FUNCTION(add);
+
+runtime_options loopback_opts() {
+    runtime_options opt;
+    opt.backend = backend_kind::loopback;
+    return opt;
+}
+
+void run_lb(const std::function<void()>& body,
+            runtime_options opt = loopback_opts()) {
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    ASSERT_EQ(run(plat, opt, body), 0);
+}
+
+TEST(OffloadApi, SyncOffloadStaticF2F) {
+    run_lb([] {
+        const int r = sync(1, ham::f2f<&tk::add>(40, 2));
+        EXPECT_EQ(r, 42);
+    });
+}
+
+TEST(OffloadApi, SyncOffloadDynamicF2F) {
+    run_lb([] {
+        const int r = sync(1, ham::f2f(&tk::add, 1, 2));
+        EXPECT_EQ(r, 3);
+    });
+}
+
+TEST(OffloadApi, AsyncReturnsFuture) {
+    run_lb([] {
+        auto f = async(1, ham::f2f<&tk::add>(20, 22));
+        EXPECT_TRUE(f.valid());
+        EXPECT_EQ(f.get(), 42);
+    });
+}
+
+TEST(OffloadApi, FutureTestEventuallyTrue) {
+    run_lb([] {
+        auto f = async(1, ham::f2f<&tk::add>(5, 5));
+        // Poll until ready; the loopback target needs virtual time to run.
+        int rounds = 0;
+        while (!f.test() && rounds < 100000) {
+            ++rounds;
+        }
+        EXPECT_EQ(f.get(), 10);
+    });
+}
+
+TEST(OffloadApi, VoidOffload) {
+    run_lb([] {
+        auto f = async(1, ham::f2f<&tk::empty_kernel>());
+        EXPECT_NO_THROW(f.get());
+    });
+}
+
+TEST(OffloadApi, OffloadToSelfExecutesLocally) {
+    run_lb([] {
+        EXPECT_EQ(sync(0, ham::f2f<&tk::add>(2, 3)), 5);
+        auto f = async(0, ham::f2f<&tk::add>(1, 1));
+        EXPECT_TRUE(f.test());
+        EXPECT_EQ(f.get(), 2);
+    });
+}
+
+TEST(OffloadApi, AllocatePutGetFree) {
+    run_lb([] {
+        std::vector<std::int64_t> host{1, 2, 3, 4, 5};
+        auto buf = allocate<std::int64_t>(1, host.size());
+        EXPECT_TRUE(buf.valid());
+        EXPECT_EQ(buf.node(), 1);
+        put(host.data(), buf, host.size()).get();
+
+        std::vector<std::int64_t> back(host.size(), 0);
+        get(buf, back.data(), back.size()).get();
+        EXPECT_EQ(host, back);
+        free(buf);
+    });
+}
+
+TEST(OffloadApi, KernelReadsTargetBuffer) {
+    run_lb([] {
+        std::vector<std::int64_t> host(100);
+        std::iota(host.begin(), host.end(), 1);
+        auto buf = allocate<std::int64_t>(1, host.size());
+        put(host.data(), buf, host.size()).get();
+        const std::int64_t total =
+            sync(1, ham::f2f<&tk::sum_buffer>(buf, host.size()));
+        EXPECT_EQ(total, 5050);
+        free(buf);
+    });
+}
+
+TEST(OffloadApi, KernelWritesTargetBuffer) {
+    run_lb([] {
+        auto buf = allocate<std::int64_t>(1, 10);
+        sync(1, ham::f2f<&tk::fill_buffer>(buf, std::uint64_t{10},
+                                           std::int64_t{100}));
+        std::vector<std::int64_t> back(10);
+        get(buf, back.data(), back.size()).get();
+        for (int i = 0; i < 10; ++i) EXPECT_EQ(back[std::size_t(i)], 100 + i);
+        free(buf);
+    });
+}
+
+TEST(OffloadApi, InnerProductMatchesPaperExample) {
+    // The paper's Fig. 2 program, condensed.
+    run_lb([] {
+        constexpr std::size_t n = 1024;
+        std::vector<double> a(n), b(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            a[i] = double(i);
+            b[i] = 2.0;
+        }
+        const node_t target = 1;
+        auto a_t = allocate<double>(target, n);
+        auto b_t = allocate<double>(target, n);
+        put(a.data(), a_t, n).get();
+        put(b.data(), b_t, n).get();
+        auto result = async(target, ham::f2f<&tk::inner_product>(a_t, b_t, n));
+        const double expected = std::inner_product(a.begin(), a.end(), b.begin(), 0.0);
+        EXPECT_DOUBLE_EQ(result.get(), expected);
+        free(a_t);
+        free(b_t);
+    });
+}
+
+TEST(OffloadApi, CopySameNode) {
+    run_lb([] {
+        std::vector<std::int64_t> host{7, 8, 9};
+        auto src = allocate<std::int64_t>(1, 3);
+        auto dst = allocate<std::int64_t>(1, 3);
+        put(host.data(), src, 3).get();
+        copy(src, dst, 3).get();
+        std::vector<std::int64_t> back(3);
+        get(dst, back.data(), 3).get();
+        EXPECT_EQ(back, host);
+        free(src);
+        free(dst);
+    });
+}
+
+TEST(OffloadApi, CopyCrossNode) {
+    runtime_options opt = loopback_opts();
+    opt.targets = {0, 0}; // two loopback targets
+    run_lb(
+        [] {
+            ASSERT_EQ(num_nodes(), 3u);
+            std::vector<std::int64_t> host{4, 5, 6};
+            auto src = allocate<std::int64_t>(1, 3);
+            auto dst = allocate<std::int64_t>(2, 3);
+            put(host.data(), src, 3).get();
+            copy(src, dst, 3).get();
+            std::vector<std::int64_t> back(3);
+            get(dst, back.data(), 3).get();
+            EXPECT_EQ(back, host);
+            free(src);
+            free(dst);
+        },
+        opt);
+}
+
+TEST(OffloadApi, TargetExceptionSurfacesAsOffloadError) {
+    run_lb([] {
+        auto f = async(1, ham::f2f<&tk::failing_kernel>());
+        EXPECT_THROW((void)f.get(), offload_error);
+    });
+}
+
+TEST(OffloadApi, MigratableStringArgument) {
+    run_lb([] {
+        ham::migratable<std::string> s(std::string("twelve chars"));
+        EXPECT_EQ(sync(1, ham::f2f<&tk::string_length>(s)), 12u);
+    });
+}
+
+TEST(OffloadApi, NodeQueries) {
+    run_lb([] {
+        EXPECT_EQ(this_node(), 0);
+        EXPECT_EQ(num_nodes(), 2u);
+        const node_descriptor host = get_node_descriptor(0);
+        EXPECT_EQ(host.name, "host");
+        const node_descriptor t = get_node_descriptor(1);
+        EXPECT_EQ(t.node, 1);
+        EXPECT_NE(t.device_type, "");
+        EXPECT_THROW((void)get_node_descriptor(2), aurora::check_error);
+    });
+}
+
+TEST(OffloadApi, ManyOutstandingOffloadsWrapSlots) {
+    // More in-flight offloads than slots forces harvesting + slot reuse.
+    run_lb([] {
+        std::vector<future<int>> futures;
+        for (int i = 0; i < 50; ++i) {
+            futures.push_back(async(1, ham::f2f<&tk::add>(i, 1000)));
+        }
+        for (int i = 0; i < 50; ++i) {
+            EXPECT_EQ(futures[std::size_t(i)].get(), 1000 + i);
+        }
+    });
+}
+
+TEST(OffloadApi, ResultsCollectableInAnyOrder) {
+    run_lb([] {
+        auto f1 = async(1, ham::f2f<&tk::add>(1, 0));
+        auto f2 = async(1, ham::f2f<&tk::add>(2, 0));
+        auto f3 = async(1, ham::f2f<&tk::add>(3, 0));
+        EXPECT_EQ(f3.get(), 3);
+        EXPECT_EQ(f1.get(), 1);
+        EXPECT_EQ(f2.get(), 2);
+    });
+}
+
+TEST(OffloadApi, InvalidNodeThrows) {
+    run_lb([] {
+        EXPECT_THROW((void)allocate<int>(5, 10), aurora::check_error);
+        EXPECT_THROW((void)sync(9, ham::f2f<&tk::add>(1, 2)),
+                     aurora::check_error);
+    });
+}
+
+TEST(OffloadApi, ApiOutsideRunThrows) {
+    EXPECT_THROW((void)num_nodes(), aurora::check_error);
+}
+
+TEST(OffloadApi, HostMainReturnValuePropagates) {
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    runtime_options opt = loopback_opts();
+    EXPECT_EQ(run(plat, opt, []() -> int { return 17; }), 17);
+}
+
+TEST(OffloadApi, HostMainExceptionPropagates) {
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    runtime_options opt = loopback_opts();
+    EXPECT_THROW(run(plat, opt, [] { throw std::logic_error("host bug"); }),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace ham::offload

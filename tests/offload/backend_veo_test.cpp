@@ -1,0 +1,147 @@
+// End-to-end tests of the VEO-based protocol (paper Sec. III-D, Fig. 5).
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "offload/offload.hpp"
+#include "tests/offload/test_kernels.hpp"
+
+namespace ham::offload {
+namespace {
+
+namespace tk = testkernels;
+
+runtime_options veo_opts() {
+    runtime_options opt;
+    opt.backend = backend_kind::veo;
+    opt.targets = {0};
+    return opt;
+}
+
+void run_veo(const std::function<void()>& body,
+             runtime_options opt = veo_opts(),
+             aurora::sim::platform_config cfg =
+                 aurora::sim::platform_config::test_machine()) {
+    aurora::sim::platform plat(std::move(cfg));
+    ASSERT_EQ(run(plat, opt, body), 0);
+}
+
+TEST(BackendVeo, SyncOffload) {
+    run_veo([] { EXPECT_EQ(sync(1, ham::f2f<&tk::add>(40, 2)), 42); });
+}
+
+TEST(BackendVeo, AsyncOffloadSequence) {
+    run_veo([] {
+        std::vector<future<int>> fs;
+        for (int i = 0; i < 10; ++i) {
+            fs.push_back(async(1, ham::f2f<&tk::add>(i, i)));
+        }
+        for (int i = 0; i < 10; ++i) {
+            EXPECT_EQ(fs[std::size_t(i)].get(), 2 * i);
+        }
+    });
+}
+
+TEST(BackendVeo, PutGetThroughPrivilegedDma) {
+    run_veo([] {
+        std::vector<double> host(4096);
+        std::iota(host.begin(), host.end(), 0.5);
+        auto buf = allocate<double>(1, host.size());
+        put(host.data(), buf, host.size()).get();
+        std::vector<double> back(host.size());
+        get(buf, back.data(), back.size()).get();
+        EXPECT_EQ(host, back);
+        free(buf);
+    });
+}
+
+TEST(BackendVeo, KernelTouchesVeMemory) {
+    run_veo([] {
+        auto buf = allocate<std::int64_t>(1, 64);
+        sync(1, ham::f2f<&tk::fill_buffer>(buf, std::uint64_t{64},
+                                           std::int64_t{7}));
+        const std::int64_t total =
+            sync(1, ham::f2f<&tk::sum_buffer>(buf, std::uint64_t{64}));
+        // sum_{i=0}^{63} (7 + i) = 64*7 + 63*64/2
+        EXPECT_EQ(total, 64 * 7 + 63 * 64 / 2);
+        free(buf);
+    });
+}
+
+TEST(BackendVeo, EmptyOffloadCostMatchesFig9) {
+    // Fig. 9: HAM-Offload over VEO costs ~432 us per empty offload (5.4x the
+    // native VEO call).
+    run_veo([] {
+        // Warm up (first offload includes cold paths).
+        sync(1, ham::f2f<&tk::empty_kernel>());
+        const aurora::sim::time_ns before = aurora::sim::now();
+        constexpr int reps = 20;
+        for (int i = 0; i < reps; ++i) {
+            sync(1, ham::f2f<&tk::empty_kernel>());
+        }
+        const double per_offload =
+            double(aurora::sim::now() - before) / reps;
+        EXPECT_NEAR(per_offload, 432'000.0, 45'000.0);
+    });
+}
+
+TEST(BackendVeo, TargetExceptionPropagates) {
+    run_veo([] {
+        auto f = async(1, ham::f2f<&tk::failing_kernel>());
+        EXPECT_THROW((void)f.get(), offload_error);
+    });
+}
+
+TEST(BackendVeo, DescriptorIdentifiesVe) {
+    run_veo([] {
+        const node_descriptor d = get_node_descriptor(1);
+        EXPECT_EQ(d.name, "VE0");
+        EXPECT_NE(d.device_type.find("VEO"), std::string::npos);
+        EXPECT_EQ(d.ve_id, 0);
+    });
+}
+
+TEST(BackendVeo, InnerProductOnVe) {
+    run_veo([] {
+        constexpr std::size_t n = 512;
+        std::vector<double> a(n, 1.5), b(n, 2.0);
+        auto a_t = allocate<double>(1, n);
+        auto b_t = allocate<double>(1, n);
+        put(a.data(), a_t, n).get();
+        put(b.data(), b_t, n).get();
+        EXPECT_DOUBLE_EQ(sync(1, ham::f2f<&tk::inner_product>(a_t, b_t, n)),
+                         1.5 * 2.0 * n);
+        free(a_t);
+        free(b_t);
+    });
+}
+
+TEST(BackendVeo, SlotWrapAroundManyMessages) {
+    runtime_options opt = veo_opts();
+    opt.msg_slots = 4;
+    run_veo(
+        [] {
+            for (int i = 0; i < 25; ++i) {
+                EXPECT_EQ(sync(1, ham::f2f<&tk::add>(i, 100)), 100 + i);
+            }
+        },
+        opt);
+}
+
+TEST(BackendVeo, MultipleVeTargets) {
+    runtime_options opt = veo_opts();
+    opt.targets = {0, 3, 7};
+    run_veo(
+        [] {
+            EXPECT_EQ(num_nodes(), 4u);
+            for (node_t n = 1; n <= 3; ++n) {
+                EXPECT_EQ(sync(n, ham::f2f<&tk::add>(int(n), 10)), 10 + n);
+            }
+            EXPECT_EQ(get_node_descriptor(2).name, "VE3");
+            EXPECT_EQ(get_node_descriptor(3).name, "VE7");
+        },
+        opt, aurora::sim::platform_config::a300_8());
+}
+
+} // namespace
+} // namespace ham::offload

@@ -1,0 +1,95 @@
+// Node 0 (the host itself) as a first-class node of the Table II API.
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "offload/offload.hpp"
+#include "tests/offload/test_kernels.hpp"
+
+namespace ham::offload {
+namespace {
+
+namespace tk = testkernels;
+
+void run_lb(const std::function<void()>& body) {
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    runtime_options opt;
+    opt.backend = backend_kind::vedma;
+    ASSERT_EQ(run(plat, opt, body), 0);
+}
+
+TEST(HostNode, AllocatePutGetFree) {
+    run_lb([] {
+        std::vector<double> v{1.5, 2.5, 3.5};
+        auto buf = allocate<double>(0, v.size());
+        EXPECT_EQ(buf.node(), 0);
+        put(v.data(), buf, v.size()).get();
+        std::vector<double> back(v.size());
+        get(buf, back.data(), back.size()).get();
+        EXPECT_EQ(back, v);
+        free(buf);
+    });
+}
+
+TEST(HostNode, HostBufferZeroInitialised) {
+    run_lb([] {
+        auto buf = allocate<std::int64_t>(0, 16);
+        std::vector<std::int64_t> back(16, -1);
+        get(buf, back.data(), back.size()).get();
+        for (auto x : back) EXPECT_EQ(x, 0);
+        free(buf);
+    });
+}
+
+TEST(HostNode, DirectDereferenceOnHost) {
+    // buffer_ptr on node 0 dereferences through the host context installed
+    // by offload::run().
+    run_lb([] {
+        auto buf = allocate<std::int64_t>(0, 4);
+        buf[0] = 10;
+        buf[3] = 40;
+        EXPECT_EQ(std::int64_t(buf[0]), 10);
+        EXPECT_EQ(std::int64_t(buf[3]), 40);
+        free(buf);
+    });
+}
+
+TEST(HostNode, SelfOffloadKernelUsesHostBuffer) {
+    run_lb([] {
+        auto buf = allocate<std::int64_t>(0, 50);
+        std::vector<std::int64_t> v(50);
+        std::iota(v.begin(), v.end(), 1);
+        put(v.data(), buf, v.size()).get();
+        // sync to node 0 executes locally with the host memory context.
+        const std::int64_t total =
+            sync(0, ham::f2f<&tk::sum_buffer>(buf, std::uint64_t{50}));
+        EXPECT_EQ(total, 50 * 51 / 2);
+        free(buf);
+    });
+}
+
+TEST(HostNode, CopyHostToTargetAndBack) {
+    run_lb([] {
+        std::vector<std::int64_t> v{9, 8, 7};
+        auto h = allocate<std::int64_t>(0, 3);
+        auto t = allocate<std::int64_t>(1, 3);
+        put(v.data(), h, 3).get();
+        copy(h, t, 3).get();
+        std::vector<std::int64_t> back(3);
+        get(t, back.data(), 3).get();
+        EXPECT_EQ(back, v);
+        free(h);
+        free(t);
+    });
+}
+
+TEST(HostNode, DoubleFreeRejected) {
+    run_lb([] {
+        auto buf = allocate<int>(0, 4);
+        free(buf);
+        EXPECT_THROW(free(buf), aurora::check_error);
+    });
+}
+
+} // namespace
+} // namespace ham::offload

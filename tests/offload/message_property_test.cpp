@@ -1,0 +1,150 @@
+// Property tests over message payload sizes, slot geometries and error
+// propagation, across all backends.
+#include <array>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "offload/offload.hpp"
+#include "tests/offload/test_kernels.hpp"
+
+namespace ham::offload {
+namespace {
+
+namespace tk = testkernels;
+
+/// A functor whose serialised size is dominated by an N-byte payload; the
+/// kernel checksums the payload so corruption cannot hide.
+template <std::size_t N>
+struct payload_functor {
+    std::array<std::uint8_t, N> payload;
+    std::uint64_t operator()() const {
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < N; ++i) {
+            sum = sum * 31 + payload[i];
+        }
+        return sum;
+    }
+};
+
+template <std::size_t N>
+std::uint64_t expected_checksum() {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < N; ++i) {
+        sum = sum * 31 + std::uint8_t(i * 7 + 1);
+    }
+    return sum;
+}
+
+template <std::size_t N>
+void roundtrip_payload(backend_kind kind) {
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    runtime_options opt;
+    opt.backend = kind;
+    run(plat, opt, [] {
+        payload_functor<N> f{};
+        for (std::size_t i = 0; i < N; ++i) {
+            f.payload[i] = std::uint8_t(i * 7 + 1);
+        }
+        EXPECT_EQ(sync(1, f), expected_checksum<N>());
+    });
+}
+
+class PayloadSizes : public ::testing::TestWithParam<backend_kind> {};
+
+TEST_P(PayloadSizes, TinyPayload) {
+    roundtrip_payload<8>(GetParam());
+}
+TEST_P(PayloadSizes, CacheLinePayload) {
+    roundtrip_payload<64>(GetParam());
+}
+TEST_P(PayloadSizes, OddPayload) {
+    roundtrip_payload<345>(GetParam());
+}
+TEST_P(PayloadSizes, KilobytePayload) {
+    roundtrip_payload<1024>(GetParam());
+}
+TEST_P(PayloadSizes, NearSlotCapacityPayload) {
+    // msg_size defaults to 4096; header + functor must still fit.
+    roundtrip_payload<3900>(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, PayloadSizes,
+                         ::testing::Values(backend_kind::loopback,
+                                           backend_kind::veo,
+                                           backend_kind::vedma),
+                         [](const auto& param_info) {
+                             switch (param_info.param) {
+                                 case backend_kind::loopback: return "loopback";
+                                 case backend_kind::veo: return "veo";
+                                 default: return "vedma";
+                             }
+                         });
+
+TEST(MessageLimits, OversizedMessageRejectedAtSend) {
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    runtime_options opt;
+    opt.backend = backend_kind::loopback;
+    run(plat, opt, [] {
+        payload_functor<6000> f{}; // > default_max_msg_size
+        EXPECT_THROW((void)async(1, f), aurora::check_error);
+    });
+}
+
+TEST(MessageLimits, CustomMsgSizeAllowsBiggerFunctors) {
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    runtime_options opt;
+    opt.backend = backend_kind::vedma;
+    opt.msg_size = 16384;
+    run(plat, opt, [] {
+        // Still bounded by the ham::default_max_msg_size stack buffer in
+        // async(); a 3900-byte payload exercises a custom slot size.
+        payload_functor<3900> f{};
+        for (std::size_t i = 0; i < 3900; ++i) {
+            f.payload[i] = std::uint8_t(i * 7 + 1);
+        }
+        EXPECT_EQ(sync(1, f), expected_checksum<3900>());
+    });
+}
+
+struct custom_error : std::runtime_error {
+    custom_error() : std::runtime_error("sensor out of range: 42") {}
+};
+
+int throwing_with_message() {
+    throw custom_error{};
+}
+
+TEST(ErrorPropagation, TargetExceptionTextReachesHost) {
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    runtime_options opt;
+    opt.backend = backend_kind::vedma;
+    run(plat, opt, [] {
+        auto f = async(1, ham::f2f<&throwing_with_message>());
+        try {
+            (void)f.get();
+            FAIL() << "expected offload_error";
+        } catch (const offload_error& e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("node 1"), std::string::npos);
+            EXPECT_NE(what.find("sensor out of range: 42"), std::string::npos);
+        }
+    });
+}
+
+TEST(ErrorPropagation, SubsequentOffloadsUnaffectedByFailure) {
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    runtime_options opt;
+    opt.backend = backend_kind::vedma;
+    run(plat, opt, [] {
+        auto bad = async(1, ham::f2f<&tk::failing_kernel>());
+        EXPECT_THROW((void)bad.get(), offload_error);
+        // The slot is recycled cleanly; normal traffic continues.
+        for (int i = 0; i < 10; ++i) {
+            EXPECT_EQ(sync(1, ham::f2f<&tk::add>(i, 5)), 5 + i);
+        }
+    });
+}
+
+} // namespace
+} // namespace ham::offload

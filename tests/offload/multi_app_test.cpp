@@ -1,0 +1,128 @@
+// Several HAM-Offload applications sharing one simulated machine.
+#include <gtest/gtest.h>
+
+#include "offload/offload.hpp"
+#include "tests/offload/test_kernels.hpp"
+
+namespace ham::offload {
+namespace {
+
+namespace tk = testkernels;
+
+TEST(MultiApp, TwoAppsOnDifferentVes) {
+    aurora::sim::platform plat(aurora::sim::platform_config::a300_8());
+    app_launcher launcher(plat);
+
+    runtime_options a_opt;
+    a_opt.backend = backend_kind::vedma;
+    a_opt.targets = {0};
+    app_handle& a = launcher.launch_void(a_opt, [] {
+        for (int i = 0; i < 20; ++i) {
+            ASSERT_EQ(sync(1, ham::f2f<&tk::add>(i, 100)), 100 + i);
+        }
+    }, "VH.appA");
+
+    runtime_options b_opt;
+    b_opt.backend = backend_kind::veo;
+    b_opt.targets = {5};
+    app_handle& b = launcher.launch_void(b_opt, [] {
+        for (int i = 0; i < 5; ++i) {
+            ASSERT_EQ(sync(1, ham::f2f<&tk::add>(i, 200)), 200 + i);
+        }
+    }, "VH.appB");
+
+    plat.sim().run();
+    EXPECT_TRUE(a.finished());
+    EXPECT_TRUE(b.finished());
+    EXPECT_EQ(a.exit_code(), 0);
+    EXPECT_EQ(b.exit_code(), 0);
+}
+
+TEST(MultiApp, TwoAppsShareOneVe) {
+    // Two applications, two VE processes, one physical Vector Engine.
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    app_launcher launcher(plat);
+
+    runtime_options opt;
+    opt.backend = backend_kind::vedma;
+    opt.targets = {0};
+
+    std::int64_t sum_a = 0, sum_b = 0;
+    app_handle& a = launcher.launch_void(opt, [&] {
+        auto buf = allocate<std::int64_t>(1, 64);
+        sync(1, ham::f2f<&tk::fill_buffer>(buf, std::uint64_t{64},
+                                           std::int64_t{1}));
+        sum_a = sync(1, ham::f2f<&tk::sum_buffer>(buf, std::uint64_t{64}));
+        free(buf);
+    }, "VH.appA");
+    app_handle& b = launcher.launch_void(opt, [&] {
+        auto buf = allocate<std::int64_t>(1, 64);
+        sync(1, ham::f2f<&tk::fill_buffer>(buf, std::uint64_t{64},
+                                           std::int64_t{1000}));
+        sum_b = sync(1, ham::f2f<&tk::sum_buffer>(buf, std::uint64_t{64}));
+        free(buf);
+    }, "VH.appB");
+
+    plat.sim().run();
+    EXPECT_EQ(a.exit_code(), 0);
+    EXPECT_EQ(b.exit_code(), 0);
+    // Each app's buffer lives in its own VE process; no cross-talk.
+    EXPECT_EQ(sum_a, 64 * 1 + 63 * 64 / 2);
+    EXPECT_EQ(sum_b, 64 * 1000 + 63 * 64 / 2);
+}
+
+TEST(MultiApp, ManyConcurrentApps) {
+    aurora::sim::platform plat(aurora::sim::platform_config::a300_8());
+    app_launcher launcher(plat);
+    std::vector<app_handle*> handles;
+    for (int app = 0; app < 6; ++app) {
+        runtime_options opt;
+        opt.backend = app % 2 == 0 ? backend_kind::vedma : backend_kind::veo;
+        opt.targets = {app}; // each app drives its own VE
+        handles.push_back(&launcher.launch_void(opt, [app] {
+            for (int i = 0; i < 8; ++i) {
+                ASSERT_EQ(sync(1, ham::f2f<&tk::add>(i, app * 10)),
+                          app * 10 + i);
+            }
+        }, "VH.app" + std::to_string(app)));
+    }
+    plat.sim().run();
+    for (auto* h : handles) {
+        EXPECT_TRUE(h->finished());
+        EXPECT_EQ(h->exit_code(), 0);
+    }
+}
+
+TEST(MultiApp, AppsProgressConcurrentlyInVirtualTime) {
+    // With one VE each and overlapping lifetimes, the total virtual makespan
+    // must be far below the sum of the apps' individual makespans.
+    auto solo_time = [] {
+        aurora::sim::platform plat(aurora::sim::platform_config::a300_8());
+        runtime_options opt;
+        opt.backend = backend_kind::veo; // slow protocol: visible makespan
+        aurora::sim::time_ns end = 0;
+        run(plat, opt, [&] {
+            for (int i = 0; i < 10; ++i) sync(1, ham::f2f<&tk::add>(i, 1));
+            end = aurora::sim::now();
+        });
+        return end;
+    };
+    const auto one = solo_time();
+
+    aurora::sim::platform plat(aurora::sim::platform_config::a300_8());
+    app_launcher launcher(plat);
+    for (int app = 0; app < 4; ++app) {
+        runtime_options opt;
+        opt.backend = backend_kind::veo;
+        opt.targets = {app};
+        launcher.launch_void(opt, [] {
+            for (int i = 0; i < 10; ++i) sync(1, ham::f2f<&tk::add>(i, 1));
+        }, "VH.app" + std::to_string(app));
+    }
+    plat.sim().run();
+    // Four overlapped apps finish in well under 4x one app's time.
+    EXPECT_LT(plat.sim().now(), 2 * one);
+}
+
+} // namespace
+} // namespace ham::offload

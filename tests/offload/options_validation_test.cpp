@@ -1,0 +1,68 @@
+// Runtime-option validation: misconfigurations fail fast with clear errors.
+#include <gtest/gtest.h>
+
+#include "offload/offload.hpp"
+#include "tests/offload/test_kernels.hpp"
+
+namespace ham::offload {
+namespace {
+
+void expect_run_rejects(runtime_options opt, const char* needle) {
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    try {
+        run(plat, opt, [] {});
+        FAIL() << "expected rejection: " << needle;
+    } catch (const aurora::check_error& e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(OptionsValidation, EmptyTargetsRejected) {
+    runtime_options opt;
+    opt.targets.clear();
+    expect_run_rejects(opt, "targets is empty");
+}
+
+TEST(OptionsValidation, ZeroSlotsRejected) {
+    runtime_options opt;
+    opt.msg_slots = 0;
+    expect_run_rejects(opt, "msg_slots");
+}
+
+TEST(OptionsValidation, TinyMsgSizeRejected) {
+    runtime_options opt;
+    opt.msg_size = 64;
+    expect_run_rejects(opt, "msg_size");
+}
+
+TEST(OptionsValidation, MisalignedMsgSizeRejected) {
+    runtime_options opt;
+    opt.msg_size = 1001;
+    expect_run_rejects(opt, "msg_size");
+}
+
+TEST(OptionsValidation, NonexistentVeRejected) {
+    runtime_options opt;
+    opt.targets = {3}; // test machine has a single VE
+    expect_run_rejects(opt, "does not exist");
+}
+
+TEST(OptionsValidation, BadSocketRejected) {
+    runtime_options opt;
+    opt.vh_socket = 5; // test machine has one socket
+    expect_run_rejects(opt, "socket");
+}
+
+TEST(OptionsValidation, MinimalValidConfigurationWorks) {
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    runtime_options opt;
+    opt.msg_slots = 1;
+    opt.msg_size = 256;
+    EXPECT_EQ(run(plat, opt, [] {
+        EXPECT_EQ(sync(1, ham::f2f<&testkernels::add>(1, 2)), 3);
+    }), 0);
+}
+
+} // namespace
+} // namespace ham::offload

@@ -1,0 +1,131 @@
+// Property-style and stress tests of the runtime across all backends.
+#include <numeric>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "offload/offload.hpp"
+#include "tests/offload/test_kernels.hpp"
+
+namespace ham::offload {
+namespace {
+
+namespace tk = testkernels;
+
+struct stress_params {
+    backend_kind kind;
+    std::uint32_t slots;
+    const char* name;
+};
+
+class RuntimeStress : public ::testing::TestWithParam<stress_params> {};
+
+TEST_P(RuntimeStress, RandomisedOffloadSequence) {
+    const stress_params p = GetParam();
+    runtime_options opt;
+    opt.backend = p.kind;
+    opt.msg_slots = p.slots;
+
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    ASSERT_EQ(run(plat, opt, [&] {
+        std::mt19937 rng(2026);
+        std::vector<std::pair<future<int>, int>> pending;
+        int completed = 0;
+        for (int step = 0; step < 200; ++step) {
+            const bool do_send = pending.empty() || (rng() % 3 != 0);
+            if (do_send) {
+                const int a = int(rng() % 1000);
+                const int b = int(rng() % 1000);
+                pending.emplace_back(async(1, ham::f2f<&tk::add>(a, b)), a + b);
+            } else {
+                const std::size_t idx = rng() % pending.size();
+                EXPECT_EQ(pending[idx].first.get(), pending[idx].second);
+                pending.erase(pending.begin() + std::ptrdiff_t(idx));
+                ++completed;
+            }
+        }
+        for (auto& [f, expected] : pending) {
+            EXPECT_EQ(f.get(), expected);
+            ++completed;
+        }
+        EXPECT_GT(completed, 100);
+    }), 0);
+}
+
+TEST_P(RuntimeStress, DeterministicVirtualTime) {
+    const stress_params p = GetParam();
+    auto run_once = [&]() -> aurora::sim::time_ns {
+        runtime_options opt;
+        opt.backend = p.kind;
+        opt.msg_slots = p.slots;
+        aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+        aurora::sim::time_ns end_time = 0;
+        run(plat, opt, [&] {
+            for (int i = 0; i < 10; ++i) {
+                sync(1, ham::f2f<&tk::add>(i, i));
+            }
+            end_time = aurora::sim::now();
+        });
+        return end_time;
+    };
+    const auto t1 = run_once();
+    const auto t2 = run_once();
+    EXPECT_EQ(t1, t2);
+    EXPECT_GT(t1, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, RuntimeStress,
+    ::testing::Values(stress_params{backend_kind::loopback, 8, "loopback"},
+                      stress_params{backend_kind::loopback, 2, "loopback_tiny"},
+                      stress_params{backend_kind::veo, 8, "veo"},
+                      stress_params{backend_kind::veo, 2, "veo_tiny"},
+                      stress_params{backend_kind::vedma, 8, "vedma"},
+                      stress_params{backend_kind::vedma, 2, "vedma_tiny"}),
+    [](const ::testing::TestParamInfo<stress_params>& param_info) {
+        return param_info.param.name;
+    });
+
+/// The increment-counter property deserves a real kernel.
+namespace {
+void increment_cell(buffer_ptr<std::int64_t> cell) {
+    cell[0] += 1;
+}
+} // namespace
+
+class ExactlyOnce : public ::testing::TestWithParam<stress_params> {};
+
+TEST_P(ExactlyOnce, CounterMatchesOffloadCount) {
+    const stress_params p = GetParam();
+    runtime_options opt;
+    opt.backend = p.kind;
+    opt.msg_slots = p.slots;
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    ASSERT_EQ(run(plat, opt, [&] {
+        auto cell = allocate<std::int64_t>(1, 1);
+        const std::int64_t zero = 0;
+        put(&zero, cell, 1).get();
+        constexpr int n = 30;
+        std::vector<future<void>> fs;
+        for (int i = 0; i < n; ++i) {
+            fs.push_back(async(1, ham::f2f<&increment_cell>(cell)));
+        }
+        for (auto& f : fs) f.get();
+        std::int64_t v = 0;
+        get(cell, &v, 1).get();
+        EXPECT_EQ(v, n);
+        free(cell);
+    }), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, ExactlyOnce,
+    ::testing::Values(stress_params{backend_kind::loopback, 4, "loopback"},
+                      stress_params{backend_kind::veo, 4, "veo"},
+                      stress_params{backend_kind::vedma, 4, "vedma"}),
+    [](const ::testing::TestParamInfo<stress_params>& param_info) {
+        return param_info.param.name;
+    });
+
+} // namespace
+} // namespace ham::offload

@@ -1,0 +1,138 @@
+// Full-system soak: a long randomised scenario mixing every public API
+// operation across multiple VEs and both paper backends, verified against
+// shadow state. One fixed seed => fully deterministic.
+#include <map>
+#include <numeric>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "offload/offload.hpp"
+#include "tests/offload/test_kernels.hpp"
+
+namespace ham::offload {
+namespace {
+
+namespace tk = testkernels;
+
+struct shadow_buffer {
+    buffer_ptr<std::int64_t> ptr;
+    std::vector<std::int64_t> contents; // host-side truth
+};
+
+class Soak : public ::testing::TestWithParam<backend_kind> {};
+
+TEST_P(Soak, RandomisedMixedWorkload) {
+    runtime_options opt;
+    opt.backend = GetParam();
+    opt.targets = {0, 1};
+    opt.msg_slots = 4;
+
+    aurora::sim::platform plat(aurora::sim::platform_config::a300_8());
+    ASSERT_EQ(run(plat, opt, [] {
+        std::mt19937_64 rng(0x50CC);
+        std::vector<std::vector<shadow_buffer>> buffers(num_nodes());
+        std::vector<std::pair<future<std::int64_t>, std::int64_t>> pending;
+        int ops = 0, verified_gets = 0, verified_sums = 0;
+
+        auto rand_node = [&] { return node_t(1 + rng() % (num_nodes() - 1)); };
+
+        for (int step = 0; step < 400; ++step) {
+            switch (rng() % 6) {
+                case 0: { // allocate + put
+                    const node_t n = rand_node();
+                    const std::size_t count = 1 + rng() % 300;
+                    shadow_buffer sb;
+                    sb.ptr = allocate<std::int64_t>(n, count);
+                    sb.contents.resize(count);
+                    for (auto& v : sb.contents) {
+                        v = std::int64_t(rng());
+                    }
+                    put(sb.contents.data(), sb.ptr, count).get();
+                    buffers[std::size_t(n)].push_back(std::move(sb));
+                    break;
+                }
+                case 1: { // get + verify
+                    const node_t n = rand_node();
+                    auto& list = buffers[std::size_t(n)];
+                    if (list.empty()) break;
+                    const auto& sb = list[rng() % list.size()];
+                    std::vector<std::int64_t> back(sb.contents.size());
+                    get(sb.ptr, back.data(), back.size()).get();
+                    ASSERT_EQ(back, sb.contents) << "step " << step;
+                    ++verified_gets;
+                    break;
+                }
+                case 2: { // offload a sum kernel over a live buffer
+                    const node_t n = rand_node();
+                    auto& list = buffers[std::size_t(n)];
+                    if (list.empty()) break;
+                    const auto& sb = list[rng() % list.size()];
+                    const std::int64_t expected = std::accumulate(
+                        sb.contents.begin(), sb.contents.end(), std::int64_t{0});
+                    pending.emplace_back(
+                        async(n, ham::f2f<&tk::sum_buffer>(
+                                     sb.ptr, std::uint64_t(sb.contents.size()))),
+                        expected);
+                    break;
+                }
+                case 3: { // collect one pending result
+                    if (pending.empty()) break;
+                    const std::size_t idx = rng() % pending.size();
+                    ASSERT_EQ(pending[idx].first.get(), pending[idx].second)
+                        << "step " << step;
+                    pending.erase(pending.begin() + std::ptrdiff_t(idx));
+                    ++verified_sums;
+                    break;
+                }
+                case 4: { // fill a buffer on the target, update the shadow
+                    const node_t n = rand_node();
+                    auto& list = buffers[std::size_t(n)];
+                    if (list.empty()) break;
+                    auto& sb = list[rng() % list.size()];
+                    const std::int64_t base = std::int64_t(rng() % 1000);
+                    sync(n, ham::f2f<&tk::fill_buffer>(
+                                sb.ptr, std::uint64_t(sb.contents.size()), base));
+                    for (std::size_t i = 0; i < sb.contents.size(); ++i) {
+                        sb.contents[i] = base + std::int64_t(i);
+                    }
+                    break;
+                }
+                default: { // free a buffer (collect its pending sums first)
+                    const node_t n = rand_node();
+                    auto& list = buffers[std::size_t(n)];
+                    if (list.empty() || !pending.empty()) break;
+                    const std::size_t idx = rng() % list.size();
+                    free(list[idx].ptr);
+                    list.erase(list.begin() + std::ptrdiff_t(idx));
+                    break;
+                }
+            }
+            ++ops;
+        }
+        for (auto& [f, expected] : pending) {
+            ASSERT_EQ(f.get(), expected);
+            ++verified_sums;
+        }
+        for (auto& list : buffers) {
+            for (auto& sb : list) {
+                free(sb.ptr);
+            }
+        }
+        EXPECT_EQ(ops, 400);
+        EXPECT_GT(verified_gets, 20);
+        EXPECT_GT(verified_sums, 20);
+    }), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, Soak,
+                         ::testing::Values(backend_kind::veo,
+                                           backend_kind::vedma),
+                         [](const auto& param_info) {
+                             return param_info.param == backend_kind::veo
+                                        ? "veo"
+                                        : "vedma";
+                         });
+
+} // namespace
+} // namespace ham::offload

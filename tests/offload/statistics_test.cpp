@@ -1,0 +1,80 @@
+// Runtime statistics accounting.
+#include <gtest/gtest.h>
+
+#include "offload/offload.hpp"
+#include "tests/offload/test_kernels.hpp"
+
+namespace ham::offload {
+namespace {
+
+namespace tk = testkernels;
+
+TEST(Statistics, CountsMessagesAndResults) {
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    runtime_options opt;
+    opt.backend = backend_kind::vedma;
+    run(plat, opt, [] {
+        runtime& rt = *runtime::current();
+        for (int i = 0; i < 5; ++i) {
+            sync(1, ham::f2f<&tk::add>(i, 1));
+        }
+        const auto& s = rt.statistics(1);
+        EXPECT_EQ(s.messages_sent, 5u);
+        EXPECT_EQ(s.results_received, 5u);
+        EXPECT_EQ(s.bytes_put, 0u);
+    });
+}
+
+TEST(Statistics, CountsBytesMoved) {
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    runtime_options opt;
+    opt.backend = backend_kind::vedma;
+    run(plat, opt, [] {
+        auto buf = allocate<double>(1, 100);
+        std::vector<double> v(100, 1.0);
+        put(v.data(), buf, 100).get();
+        put(v.data(), buf, 50).get();
+        get(buf, v.data(), 25).get();
+        const auto& s = runtime::current()->statistics(1);
+        EXPECT_EQ(s.bytes_put, 150 * sizeof(double));
+        EXPECT_EQ(s.bytes_got, 25 * sizeof(double));
+        EXPECT_EQ(s.data_chunks, 0u); // data path disabled
+        free(buf);
+    });
+}
+
+TEST(Statistics, CountsDataPathChunks) {
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    runtime_options opt;
+    opt.backend = backend_kind::vedma;
+    opt.vedma_dma_data_path = true;
+    opt.vedma_staging_chunk_bytes = 1024;
+    opt.vedma_staging_chunks = 2;
+    run(plat, opt, [] {
+        auto buf = allocate<std::uint8_t>(1, 5000);
+        std::vector<std::uint8_t> v(5000, 7);
+        put(v.data(), buf, v.size()).get(); // 5 chunks of <=1024
+        const auto& s = runtime::current()->statistics(1);
+        EXPECT_EQ(s.data_chunks, 5u);
+        EXPECT_EQ(s.bytes_put, 5000u);
+        free(buf);
+    });
+}
+
+TEST(Statistics, PerTargetIsolation) {
+    aurora::sim::platform plat(aurora::sim::platform_config::a300_8());
+    runtime_options opt;
+    opt.backend = backend_kind::vedma;
+    opt.targets = {0, 1};
+    run(plat, opt, [] {
+        sync(1, ham::f2f<&tk::add>(1, 1));
+        sync(2, ham::f2f<&tk::add>(2, 2));
+        sync(2, ham::f2f<&tk::add>(3, 3));
+        runtime& rt = *runtime::current();
+        EXPECT_EQ(rt.statistics(1).messages_sent, 1u);
+        EXPECT_EQ(rt.statistics(2).messages_sent, 2u);
+    });
+}
+
+} // namespace
+} // namespace ham::offload

@@ -1,0 +1,48 @@
+// Shared offloadable kernels for the offload-layer tests.
+#pragma once
+
+#include <cstdint>
+
+#include "offload/offload.hpp"
+
+namespace ham::offload::testkernels {
+
+inline int add(int a, int b) {
+    return a + b;
+}
+
+inline std::int64_t sum_buffer(buffer_ptr<std::int64_t> data, std::uint64_t n) {
+    std::int64_t total = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        total += data[i];
+    }
+    return total;
+}
+
+inline void fill_buffer(buffer_ptr<std::int64_t> data, std::uint64_t n,
+                        std::int64_t value) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+        data[i] = value + std::int64_t(i);
+    }
+}
+
+inline double inner_product(buffer_ptr<double> a, buffer_ptr<double> b,
+                            std::uint64_t n) {
+    double r = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        r += a[i] * b[i];
+    }
+    return r;
+}
+
+inline int failing_kernel() {
+    throw std::runtime_error("kernel failure");
+}
+
+inline std::uint64_t string_length(ham::migratable<std::string> s) {
+    return s.get().size();
+}
+
+inline void empty_kernel() {}
+
+} // namespace ham::offload::testkernels

@@ -1,0 +1,70 @@
+// wait_all: bulk future synchronisation.
+#include <gtest/gtest.h>
+
+#include "offload/offload.hpp"
+#include "tests/offload/test_kernels.hpp"
+
+namespace ham::offload {
+namespace {
+
+namespace tk = testkernels;
+
+void run_dma(const std::function<void()>& body) {
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    runtime_options opt;
+    opt.backend = backend_kind::vedma;
+    ASSERT_EQ(run(plat, opt, body), 0);
+}
+
+TEST(WaitAll, ValuesRemainGettable) {
+    run_dma([] {
+        std::vector<future<int>> fs;
+        for (int i = 0; i < 12; ++i) {
+            fs.push_back(async(1, ham::f2f<&tk::add>(i, 7)));
+        }
+        wait_all(fs);
+        for (auto& f : fs) {
+            EXPECT_TRUE(f.test()); // all already satisfied
+        }
+        for (int i = 0; i < 12; ++i) {
+            EXPECT_EQ(fs[std::size_t(i)].get(), 7 + i);
+        }
+    });
+}
+
+TEST(WaitAll, VoidFutures) {
+    run_dma([] {
+        auto buf = allocate<std::int64_t>(1, 8);
+        std::vector<future<void>> fs;
+        for (int i = 0; i < 5; ++i) {
+            fs.push_back(async(1, ham::f2f<&tk::fill_buffer>(
+                                      buf, std::uint64_t{8}, std::int64_t{i})));
+        }
+        wait_all(fs);
+        for (auto& f : fs) {
+            EXPECT_NO_THROW(f.get());
+        }
+        free(buf);
+    });
+}
+
+TEST(WaitAll, FailureDeferredToGet) {
+    run_dma([] {
+        std::vector<future<int>> fs;
+        fs.push_back(async(1, ham::f2f<&tk::add>(1, 1)));
+        fs.push_back(async(1, ham::f2f<&tk::failing_kernel>()));
+        EXPECT_NO_THROW(wait_all(fs));
+        EXPECT_EQ(fs[0].get(), 2);
+        EXPECT_THROW((void)fs[1].get(), offload_error);
+    });
+}
+
+TEST(WaitAll, EmptyVectorIsNoop) {
+    run_dma([] {
+        std::vector<future<int>> fs;
+        EXPECT_NO_THROW(wait_all(fs));
+    });
+}
+
+} // namespace
+} // namespace ham::offload

@@ -1,0 +1,107 @@
+#include "sim/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace aurora::sim {
+namespace {
+
+TEST(AddressSpace, TranslateWithinMapping) {
+    address_space as;
+    as.map({.vaddr = 0x1000, .paddr = 0x80000, .length = 0x2000,
+            .pages = page_size::ve_64k});
+    EXPECT_EQ(as.translate(0x1000).value(), 0x80000u);
+    EXPECT_EQ(as.translate(0x1FFF).value(), 0x80FFFu);
+    EXPECT_EQ(as.translate(0x2FFF).value(), 0x81FFFu);
+}
+
+TEST(AddressSpace, UnmappedReturnsNullopt) {
+    address_space as;
+    as.map({.vaddr = 0x1000, .paddr = 0, .length = 0x1000,
+            .pages = page_size::ve_64k});
+    EXPECT_FALSE(as.translate(0x0FFF).has_value());
+    EXPECT_FALSE(as.translate(0x2000).has_value());
+}
+
+TEST(AddressSpace, TranslateRangeChecksBounds) {
+    address_space as;
+    as.map({.vaddr = 0x1000, .paddr = 0x5000, .length = 0x100,
+            .pages = page_size::ve_64k});
+    EXPECT_EQ(as.translate_range(0x1000, 0x100), 0x5000u);
+    EXPECT_THROW((void)as.translate_range(0x1000, 0x101), aurora::check_error);
+    EXPECT_THROW((void)as.translate_range(0x0, 1), aurora::check_error);
+}
+
+TEST(AddressSpace, OverlapRejected) {
+    address_space as;
+    as.map({.vaddr = 0x1000, .paddr = 0, .length = 0x1000,
+            .pages = page_size::ve_64k});
+    EXPECT_THROW(as.map({.vaddr = 0x1800, .paddr = 0x9000, .length = 0x100,
+                         .pages = page_size::ve_64k}),
+                 aurora::check_error);
+    EXPECT_THROW(as.map({.vaddr = 0x0800, .paddr = 0x9000, .length = 0x900,
+                         .pages = page_size::ve_64k}),
+                 aurora::check_error);
+}
+
+TEST(AddressSpace, AdjacentMappingsAllowed) {
+    address_space as;
+    as.map({.vaddr = 0x1000, .paddr = 0, .length = 0x1000,
+            .pages = page_size::ve_64k});
+    EXPECT_NO_THROW(as.map({.vaddr = 0x2000, .paddr = 0x10000, .length = 0x1000,
+                            .pages = page_size::ve_64k}));
+    EXPECT_EQ(as.mapping_count(), 2u);
+}
+
+TEST(AddressSpace, UnmapRemovesAndReturns) {
+    address_space as;
+    as.map({.vaddr = 0x4000, .paddr = 0x100, .length = 0x40,
+            .pages = page_size::huge_2m});
+    const vm_mapping m = as.unmap(0x4000);
+    EXPECT_EQ(m.paddr, 0x100u);
+    EXPECT_EQ(m.pages, page_size::huge_2m);
+    EXPECT_FALSE(as.translate(0x4000).has_value());
+    EXPECT_THROW((void)as.unmap(0x4000), aurora::check_error);
+}
+
+TEST(AddressSpace, FindReturnsMapping) {
+    address_space as;
+    as.map({.vaddr = 0x1000, .paddr = 0x0, .length = 0x1000,
+            .pages = page_size::huge_2m});
+    const vm_mapping* m = as.find(0x1800);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->vaddr, 0x1000u);
+    EXPECT_EQ(as.find(0x3000), nullptr);
+}
+
+TEST(MemoryView, ReadWriteThroughTranslation) {
+    phys_memory mem("ve", 1 * MiB);
+    address_space as;
+    as.map({.vaddr = 0x600000000000, .paddr = 0x1000, .length = 0x1000,
+            .pages = page_size::ve_64k});
+    memory_view view(as, mem);
+    const std::uint64_t magic = 0xFEEDFACE;
+    view.store_u64(0x600000000008, magic);
+    EXPECT_EQ(view.load_u64(0x600000000008), magic);
+    // Verify it landed at the right physical address.
+    EXPECT_EQ(mem.load_u64(0x1008), magic);
+}
+
+TEST(MemoryView, FaultOnUnmapped) {
+    phys_memory mem("ve", 1 * MiB);
+    address_space as;
+    memory_view view(as, mem);
+    EXPECT_THROW((void)view.load_u64(0x1234), aurora::check_error);
+}
+
+TEST(AddressSpace, ZeroLengthMappingRejected) {
+    address_space as;
+    EXPECT_THROW(as.map({.vaddr = 0, .paddr = 0, .length = 0,
+                         .pages = page_size::ve_64k}),
+                 aurora::check_error);
+}
+
+} // namespace
+} // namespace aurora::sim

@@ -1,0 +1,93 @@
+#include "sim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aurora::sim {
+namespace {
+
+TEST(CostModel, TransferNsBasics) {
+    // 1 GiB at 1 GiB/s takes one second.
+    EXPECT_EQ(transfer_ns(GiB, 1.0), 1'000'000'000);
+    // Zero bytes cost nothing.
+    EXPECT_EQ(transfer_ns(0, 10.0), 0);
+    // Degenerate bandwidth is treated as free (callers guard against it).
+    EXPECT_EQ(transfer_ns(100, 0.0), 0);
+}
+
+TEST(CostModel, TransferNsMonotoneInSize) {
+    duration_ns prev = 0;
+    for (std::uint64_t n = 8; n <= 256 * MiB; n *= 2) {
+        const auto t = transfer_ns(n, 10.6);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(CostModel, TransferNsMonotoneInBandwidth) {
+    EXPECT_GT(transfer_ns(MiB, 1.0), transfer_ns(MiB, 10.0));
+}
+
+TEST(CostModel, PagesFor) {
+    EXPECT_EQ(pages_for(1, page_size::small_4k), 1u);
+    EXPECT_EQ(pages_for(4096, page_size::small_4k), 1u);
+    EXPECT_EQ(pages_for(4097, page_size::small_4k), 2u);
+    EXPECT_EQ(pages_for(64 * MiB, page_size::huge_2m), 32u);
+    EXPECT_EQ(pages_for(64 * MiB, page_size::huge_64m), 1u);
+}
+
+TEST(CostModel, PageBytes) {
+    EXPECT_EQ(page_bytes(page_size::small_4k), 4 * KiB);
+    EXPECT_EQ(page_bytes(page_size::ve_64k), 64 * KiB);
+    EXPECT_EQ(page_bytes(page_size::huge_2m), 2 * MiB);
+    EXPECT_EQ(page_bytes(page_size::huge_64m), 64 * MiB);
+}
+
+TEST(CostModel, TranslationCostOrderedByPageSize) {
+    // Per *page* cost grows with page size, but per *byte* cost shrinks —
+    // that is why huge pages matter (paper Sec. V-B).
+    cost_model cm;
+    EXPECT_LT(veos_translate_page_ns(cm, page_size::small_4k),
+              veos_translate_page_ns(cm, page_size::huge_2m));
+    const double per_byte_4k =
+        double(veos_translate_page_ns(cm, page_size::small_4k)) / (4 * KiB);
+    const double per_byte_2m =
+        double(veos_translate_page_ns(cm, page_size::huge_2m)) / (2 * MiB);
+    EXPECT_GT(per_byte_4k, 50.0 * per_byte_2m);
+}
+
+TEST(CostModel, LhmSustainedRateMatchesTable4) {
+    // Table IV: LHM (VH=>VE) 0.01 GiB/s sustained.
+    cost_model cm;
+    const double gib_s = 8.0 / double(cm.lhm_word_ns) /* B/ns */ * 1e9 / double(GiB);
+    EXPECT_NEAR(gib_s, 0.012, 0.004);
+}
+
+TEST(CostModel, ShmSustainedRateMatchesTable4) {
+    // Table IV: SHM (VE=>VH) 0.06 GiB/s sustained.
+    cost_model cm;
+    const double gib_s = 8.0 / double(cm.shm_word_ns) * 1e9 / double(GiB);
+    EXPECT_NEAR(gib_s, 0.06, 0.005);
+}
+
+TEST(CostModel, UserDmaFasterThanVeoForAllSizes) {
+    // Sec. V-B: "VE user DMA is always faster than VEO's read and write".
+    cost_model cm;
+    for (std::uint64_t n = 8; n <= 256 * MiB; n *= 4) {
+        const auto dma = cm.ve_dma_post_ns + cm.ve_dma_latency_ns +
+                         transfer_ns(n, cm.ve_dma_read_gib);
+        const auto veo = cm.veo_write_base_ns + transfer_ns(n, cm.veo_write_link_gib);
+        EXPECT_LT(dma, veo) << "size " << n;
+    }
+}
+
+TEST(CostModel, PeakRatesBelowPcieEffectivePeak) {
+    // Nothing may exceed the 13.4 GiB/s effective PCIe ceiling (Sec. V).
+    cost_model cm;
+    EXPECT_LT(cm.ve_dma_read_gib, cm.pcie_effective_peak_gib);
+    EXPECT_LT(cm.ve_dma_write_gib, cm.pcie_effective_peak_gib);
+    EXPECT_LT(cm.veo_write_link_gib, cm.pcie_effective_peak_gib);
+    EXPECT_LT(cm.veo_read_link_gib, cm.pcie_effective_peak_gib);
+}
+
+} // namespace
+} // namespace aurora::sim

@@ -1,0 +1,71 @@
+// Virtual-deadline guard: catches runaway polling loops deterministically.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/event.hpp"
+
+namespace aurora::sim {
+namespace {
+
+using namespace aurora::sim::literals;
+
+TEST(Deadline, RunawayLoopAborts) {
+    simulation s;
+    s.set_virtual_deadline(1'000'000); // 1 ms of virtual time
+    s.spawn("spinner", [] {
+        for (;;) {
+            advance(100_ns); // would spin forever
+        }
+    });
+    try {
+        s.run();
+        FAIL() << "expected deadline abort";
+    } catch (const simulation_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("virtual deadline"), std::string::npos);
+        EXPECT_NE(what.find("spinner"), std::string::npos);
+    }
+}
+
+TEST(Deadline, WellBehavedRunUnaffected) {
+    simulation s;
+    s.set_virtual_deadline(1'000'000);
+    time_ns end = 0;
+    s.spawn("p", [&] {
+        advance(999'999);
+        end = now();
+    });
+    EXPECT_NO_THROW(s.run());
+    EXPECT_EQ(end, 999'999);
+}
+
+TEST(Deadline, ExactDeadlineAllowed) {
+    simulation s;
+    s.set_virtual_deadline(500);
+    s.spawn("p", [] { advance(500); });
+    EXPECT_NO_THROW(s.run());
+}
+
+TEST(Deadline, ZeroDisablesGuard) {
+    simulation s;
+    s.set_virtual_deadline(0);
+    s.spawn("p", [] { advance(10'000'000'000LL); }); // 10 s virtual
+    EXPECT_NO_THROW(s.run());
+    EXPECT_EQ(s.now(), 10'000'000'000LL);
+}
+
+TEST(Deadline, MultiProcessAbortIsClean) {
+    simulation s;
+    s.set_virtual_deadline(10'000);
+    event ev(s);
+    s.spawn("waiter", [&] { ev.wait(); });
+    s.spawn("spinner", [] {
+        for (;;) {
+            advance(1_us);
+        }
+    });
+    EXPECT_THROW(s.run(), simulation_error);
+}
+
+} // namespace
+} // namespace aurora::sim

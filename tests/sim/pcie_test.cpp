@@ -1,0 +1,51 @@
+#include "sim/pcie.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace aurora::sim {
+namespace {
+
+TEST(PcieTopology, A300SwitchAssignment) {
+    pcie_topology topo; // defaults model the A300-8 (Fig. 3)
+    EXPECT_EQ(topo.switch_of_ve(0), 0);
+    EXPECT_EQ(topo.switch_of_ve(3), 0);
+    EXPECT_EQ(topo.switch_of_ve(4), 1);
+    EXPECT_EQ(topo.switch_of_ve(7), 1);
+}
+
+TEST(PcieTopology, UpiCrossingDetection) {
+    pcie_topology topo;
+    EXPECT_FALSE(topo.crosses_upi(0, 0)); // socket 0, VE 0: local
+    EXPECT_FALSE(topo.crosses_upi(1, 4)); // socket 1, VE 4: local
+    EXPECT_TRUE(topo.crosses_upi(1, 0));  // socket 1 to switch 0: UPI
+    EXPECT_TRUE(topo.crosses_upi(0, 7));
+}
+
+TEST(PcieTopology, RoundTripMatchesPaper) {
+    // The paper quotes 1.2 us PCIe round trip for the local VE (Sec. V-A).
+    pcie_topology topo;
+    cost_model cm;
+    EXPECT_EQ(topo.round_trip_latency(cm, 0, 0), 1200);
+}
+
+TEST(PcieTopology, UpiAddsAtMostOneMicrosecond) {
+    // "Performing the offload from the second CPU … adds up to 1 us" (V-A).
+    pcie_topology topo;
+    cost_model cm;
+    const auto local = topo.round_trip_latency(cm, 0, 0);
+    const auto remote = topo.round_trip_latency(cm, 1, 0);
+    EXPECT_GT(remote, local);
+    EXPECT_LE(remote - local, 1000);
+}
+
+TEST(PcieTopology, InvalidIndicesThrow) {
+    pcie_topology topo;
+    EXPECT_THROW((void)topo.switch_of_ve(8), aurora::check_error);
+    EXPECT_THROW((void)topo.switch_of_ve(-1), aurora::check_error);
+    EXPECT_THROW((void)topo.crosses_upi(2, 0), aurora::check_error);
+}
+
+} // namespace
+} // namespace aurora::sim

@@ -1,0 +1,107 @@
+#include "sim/phys_memory.hpp"
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace aurora::sim {
+namespace {
+
+TEST(PhysMemory, FreshMemoryReadsZero) {
+    phys_memory m("test", 1 * MiB);
+    std::vector<std::uint8_t> buf(4096, 0xAB);
+    m.read(0, buf.data(), buf.size());
+    for (auto b : buf) EXPECT_EQ(b, 0);
+    EXPECT_EQ(m.resident_chunks(), 0u);
+}
+
+TEST(PhysMemory, WriteReadRoundTrip) {
+    phys_memory m("test", 1 * MiB);
+    std::vector<std::uint8_t> src(1000);
+    std::iota(src.begin(), src.end(), 0);
+    m.write(123, src.data(), src.size());
+    std::vector<std::uint8_t> dst(1000, 0);
+    m.read(123, dst.data(), dst.size());
+    EXPECT_EQ(src, dst);
+}
+
+TEST(PhysMemory, CrossChunkAccess) {
+    phys_memory m("test", 1 * MiB);
+    const std::uint64_t addr = phys_memory::chunk_size - 17;
+    std::vector<std::uint8_t> src(64, 0x5A);
+    m.write(addr, src.data(), src.size());
+    std::vector<std::uint8_t> dst(64, 0);
+    m.read(addr, dst.data(), dst.size());
+    EXPECT_EQ(src, dst);
+    EXPECT_EQ(m.resident_chunks(), 2u);
+}
+
+TEST(PhysMemory, SparseBackingOnlyTouchedChunks) {
+    phys_memory m("test", 48 * GiB); // the full VE HBM2 without 48 GiB of RAM
+    const std::uint64_t far_addr = 47 * GiB;
+    m.store_u64(far_addr, 0xDEADBEEF);
+    EXPECT_EQ(m.load_u64(far_addr), 0xDEADBEEFu);
+    EXPECT_EQ(m.resident_chunks(), 1u);
+}
+
+TEST(PhysMemory, U64RoundTrip) {
+    phys_memory m("test", 4096);
+    m.store_u64(8, 0x0123456789ABCDEFull);
+    EXPECT_EQ(m.load_u64(8), 0x0123456789ABCDEFull);
+    EXPECT_EQ(m.load_u64(16), 0u);
+}
+
+TEST(PhysMemory, OutOfBoundsThrows) {
+    phys_memory m("test", 4096);
+    std::uint8_t b = 0;
+    EXPECT_THROW(m.read(4096, &b, 1), check_error);
+    EXPECT_THROW(m.write(4095, &b, 2), check_error);
+    EXPECT_THROW((void)m.load_u64(4089), check_error);
+}
+
+TEST(PhysMemory, BoundaryAccessOk) {
+    phys_memory m("test", 4096);
+    std::uint8_t b = 7;
+    EXPECT_NO_THROW(m.write(4095, &b, 1));
+    EXPECT_NO_THROW(m.read(0, &b, 0)); // zero-length read anywhere valid
+}
+
+TEST(PhysMemory, FillZeroClearsWrittenData) {
+    phys_memory m("test", 1 * MiB);
+    std::vector<std::uint8_t> src(256, 0xFF);
+    m.write(100, src.data(), src.size());
+    m.fill_zero(100, 256);
+    std::vector<std::uint8_t> dst(256, 1);
+    m.read(100, dst.data(), dst.size());
+    for (auto b : dst) EXPECT_EQ(b, 0);
+}
+
+TEST(PhysMemory, FillZeroOnUntouchedIsNoop) {
+    phys_memory m("test", 1 * MiB);
+    m.fill_zero(0, 1 * MiB);
+    EXPECT_EQ(m.resident_chunks(), 0u);
+}
+
+TEST(PhysMemory, LargeTransfer) {
+    phys_memory m("test", 512 * MiB);
+    std::vector<std::uint8_t> src(8 * MiB);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        src[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+    }
+    m.write(3 * MiB + 5, src.data(), src.size());
+    std::vector<std::uint8_t> dst(src.size());
+    m.read(3 * MiB + 5, dst.data(), dst.size());
+    EXPECT_EQ(std::memcmp(src.data(), dst.data(), src.size()), 0);
+}
+
+TEST(PhysMemory, ZeroSizeConstructionThrows) {
+    EXPECT_THROW(phys_memory("bad", 0), check_error);
+}
+
+} // namespace
+} // namespace aurora::sim

@@ -1,0 +1,66 @@
+#include "sim/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace aurora::sim {
+namespace {
+
+TEST(Platform, A300ConfigMatchesTable1And3) {
+    const auto cfg = platform_config::a300_8();
+    EXPECT_EQ(cfg.topology.num_ve, 8);
+    EXPECT_EQ(cfg.topology.num_sockets, 2);
+    EXPECT_EQ(cfg.ve_memory_bytes, 48 * GiB);
+    EXPECT_EQ(cfg.ve_cores, 8);
+    EXPECT_EQ(cfg.dma_mode, dma_manager_mode::improved_4dma);
+}
+
+TEST(Platform, ConstructsAllVes) {
+    platform p(platform_config::a300_8());
+    EXPECT_EQ(p.num_ve(), 8);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(p.ve(i).id(), i);
+        EXPECT_EQ(p.ve(i).hbm().size(), 48 * GiB);
+        EXPECT_EQ(p.ve(i).cores(), 8);
+    }
+}
+
+TEST(Platform, VeIndexOutOfRangeThrows) {
+    platform p(platform_config::test_machine());
+    EXPECT_THROW((void)p.ve(1), aurora::check_error);
+    EXPECT_THROW((void)p.ve(-1), aurora::check_error);
+}
+
+TEST(Platform, TestMachineIsSmall) {
+    platform p(platform_config::test_machine());
+    EXPECT_EQ(p.num_ve(), 1);
+    EXPECT_EQ(p.ve(0).hbm().size(), 1 * GiB);
+}
+
+TEST(Platform, DescriptionMentionsKeyFacts) {
+    platform p(platform_config::a300_8());
+    const std::string d = p.description();
+    EXPECT_NE(d.find("SX-Aurora"), std::string::npos);
+    EXPECT_NE(d.find("8x NEC VE Type 10B"), std::string::npos);
+    EXPECT_NE(d.find("48 GiB"), std::string::npos);
+    EXPECT_NE(d.find("4dma"), std::string::npos);
+}
+
+TEST(Platform, VeMemoriesAreIndependent) {
+    platform p(platform_config::a300_8());
+    p.ve(0).hbm().store_u64(0x100, 42);
+    EXPECT_EQ(p.ve(1).hbm().load_u64(0x100), 0u);
+    EXPECT_EQ(p.ve(0).hbm().load_u64(0x100), 42u);
+}
+
+TEST(Platform, SimulationUsable) {
+    platform p(platform_config::test_machine());
+    int ran = 0;
+    p.sim().spawn("vh", [&] { ++ran; });
+    p.sim().run();
+    EXPECT_EQ(ran, 1);
+}
+
+} // namespace
+} // namespace aurora::sim

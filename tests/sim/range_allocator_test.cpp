@@ -1,0 +1,151 @@
+#include "sim/range_allocator.hpp"
+
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace aurora::sim {
+namespace {
+
+TEST(RangeAllocator, SimpleAllocate) {
+    range_allocator a(0, 1024);
+    auto r = a.allocate(128, 1);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, 0u);
+    EXPECT_EQ(a.bytes_used(), 128u);
+    EXPECT_EQ(a.bytes_free(), 1024u - 128u);
+}
+
+TEST(RangeAllocator, NonZeroBase) {
+    range_allocator a(0x1000, 1024);
+    auto r = a.allocate(64, 1);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, 0x1000u);
+}
+
+TEST(RangeAllocator, AlignmentRespected) {
+    range_allocator a(0, 1 * MiB);
+    (void)a.allocate(100, 1);
+    auto r = a.allocate(256, 4096);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r % 4096, 0u);
+}
+
+TEST(RangeAllocator, ExhaustionReturnsNullopt) {
+    range_allocator a(0, 256);
+    EXPECT_TRUE(a.allocate(256, 1).has_value());
+    EXPECT_FALSE(a.allocate(1, 1).has_value());
+}
+
+TEST(RangeAllocator, TooLargeReturnsNullopt) {
+    range_allocator a(0, 256);
+    EXPECT_FALSE(a.allocate(257, 1).has_value());
+}
+
+TEST(RangeAllocator, ZeroSizeThrows) {
+    range_allocator a(0, 256);
+    EXPECT_THROW((void)a.allocate(0, 1), check_error);
+}
+
+TEST(RangeAllocator, NonPow2AlignmentThrows) {
+    range_allocator a(0, 256);
+    EXPECT_THROW((void)a.allocate(8, 3), check_error);
+}
+
+TEST(RangeAllocator, FreeAndReuse) {
+    range_allocator a(0, 256);
+    auto r1 = a.allocate(256, 1);
+    ASSERT_TRUE(r1.has_value());
+    a.free(*r1);
+    EXPECT_EQ(a.bytes_free(), 256u);
+    auto r2 = a.allocate(256, 1);
+    ASSERT_TRUE(r2.has_value());
+    EXPECT_EQ(*r2, *r1);
+}
+
+TEST(RangeAllocator, DoubleFreeThrows) {
+    range_allocator a(0, 256);
+    auto r = a.allocate(16, 1);
+    a.free(*r);
+    EXPECT_THROW(a.free(*r), check_error);
+}
+
+TEST(RangeAllocator, FreeUnknownThrows) {
+    range_allocator a(0, 256);
+    EXPECT_THROW(a.free(0x42), check_error);
+}
+
+TEST(RangeAllocator, CoalescingMergesNeighbours) {
+    range_allocator a(0, 300);
+    auto r1 = a.allocate(100, 1);
+    auto r2 = a.allocate(100, 1);
+    auto r3 = a.allocate(100, 1);
+    ASSERT_TRUE(r1 && r2 && r3);
+    a.free(*r1);
+    a.free(*r3);
+    EXPECT_EQ(a.free_range_count(), 2u);
+    a.free(*r2); // bridges both free neighbours
+    EXPECT_EQ(a.free_range_count(), 1u);
+    // After full coalescing a max-size allocation succeeds again.
+    EXPECT_TRUE(a.allocate(300, 1).has_value());
+}
+
+TEST(RangeAllocator, IsAllocatedAndSize) {
+    range_allocator a(0, 256);
+    auto r = a.allocate(32, 1);
+    EXPECT_TRUE(a.is_allocated(*r));
+    EXPECT_EQ(a.allocation_size(*r), 32u);
+    EXPECT_FALSE(a.is_allocated(*r + 1));
+    EXPECT_EQ(a.allocation_size(*r + 1), 0u);
+}
+
+TEST(RangeAllocator, AlignmentPaddingIsReusable) {
+    range_allocator a(0, 1024);
+    (void)a.allocate(10, 1);           // [0, 10)
+    auto big = a.allocate(512, 256);   // aligned to 256
+    ASSERT_TRUE(big.has_value());
+    EXPECT_EQ(*big, 256u);
+    // The padding gap [10, 256) must still be allocatable.
+    auto pad = a.allocate(200, 1);
+    ASSERT_TRUE(pad.has_value());
+    EXPECT_EQ(*pad, 10u);
+}
+
+TEST(RangeAllocator, RandomStressNoOverlapNoLeak) {
+    std::mt19937 rng(12345);
+    range_allocator a(0, 1 * MiB);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> live; // start,size
+    for (int iter = 0; iter < 2000; ++iter) {
+        const bool do_alloc = live.empty() || (rng() % 3) != 0;
+        if (do_alloc) {
+            const std::uint64_t size = 1 + rng() % 4096;
+            const std::uint64_t align = 1ULL << (rng() % 8);
+            if (auto r = a.allocate(size, align)) {
+                // Overlap check against all live allocations.
+                for (const auto& [s2, l2] : live) {
+                    EXPECT_TRUE(*r + size <= s2 || s2 + l2 <= *r)
+                        << "overlap at iter " << iter;
+                }
+                EXPECT_EQ(*r % align, 0u);
+                live.emplace_back(*r, size);
+            }
+        } else {
+            const std::size_t idx = rng() % live.size();
+            a.free(live[idx].first);
+            live.erase(live.begin() + std::ptrdiff_t(idx));
+        }
+    }
+    for (const auto& [s2, l2] : live) {
+        (void)l2;
+        a.free(s2);
+    }
+    EXPECT_EQ(a.bytes_free(), 1 * MiB);
+    EXPECT_EQ(a.free_range_count(), 1u);
+}
+
+} // namespace
+} // namespace aurora::sim

@@ -1,0 +1,51 @@
+// Shared test scaffolding: run a test body as the simulated VH process.
+#pragma once
+
+#include <functional>
+
+#include "sim/platform.hpp"
+#include "veos/veos.hpp"
+
+namespace aurora::testing {
+
+/// Spawn `body` as the host process and run the simulation to completion.
+inline void run_as_vh(sim::platform& plat, std::function<void()> body) {
+    plat.sim().spawn("VH.test", std::move(body));
+    plat.sim().run();
+}
+
+/// Execute `body` on the VE process's own thread (via its request loop) and
+/// wait for completion. Used to test VE-initiated APIs (DMAATB, user DMA,
+/// LHM/SHM), which refuse to run anywhere else.
+inline void run_on_ve(veos::ve_process& proc, std::function<void()> body) {
+    veos::program_image img("libtestbody.so");
+    img.add_symbol("body",
+                   [b = std::move(body)](veos::ve_call_context&) -> std::uint64_t {
+                       b();
+                       return 0;
+                   });
+    const std::uint64_t lib = proc.load_library(img);
+    const std::uint64_t sym = proc.resolve_symbol(lib, "body");
+    veos::ve_command cmd;
+    cmd.req_id = proc.next_req_id();
+    cmd.sym = sym;
+    proc.queue().push(cmd);
+    const veos::ve_completion done = proc.wait_completion(cmd.req_id);
+    if (done.exception) {
+        throw std::runtime_error("run_on_ve: body raised an exception on the VE");
+    }
+}
+
+/// Platform + VEOS bundle for substrate tests.
+struct aurora_fixture {
+    explicit aurora_fixture(
+        sim::platform_config cfg = sim::platform_config::test_machine())
+        : plat(std::move(cfg)), sys(plat) {}
+
+    void run(std::function<void()> body) { run_as_vh(plat, std::move(body)); }
+
+    sim::platform plat;
+    veos::veos_system sys;
+};
+
+} // namespace aurora::testing

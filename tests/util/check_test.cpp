@@ -1,0 +1,34 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aurora {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) {
+    EXPECT_NO_THROW(AURORA_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrows) {
+    EXPECT_THROW(AURORA_CHECK(false), check_error);
+}
+
+TEST(Check, MessageIncludesExpressionAndContext) {
+    try {
+        AURORA_CHECK_MSG(2 > 3, "math is broken: " << 42);
+        FAIL() << "should have thrown";
+    } catch (const check_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("2 > 3"), std::string::npos);
+        EXPECT_NE(what.find("math is broken: 42"), std::string::npos);
+        EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+    }
+}
+
+TEST(Check, UnreachableThrows) {
+    EXPECT_THROW(unreachable(), check_error);
+    EXPECT_THROW(unreachable("custom"), check_error);
+}
+
+} // namespace
+} // namespace aurora

@@ -1,0 +1,73 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace aurora {
+namespace {
+
+class EnvTest : public ::testing::Test {
+protected:
+    void SetEnv(const char* name, const char* value) {
+        ASSERT_EQ(setenv(name, value, 1), 0);
+        names_.push_back(name);
+    }
+    void TearDown() override {
+        for (const char* n : names_) unsetenv(n);
+    }
+    std::vector<const char*> names_;
+};
+
+TEST_F(EnvTest, MissingReturnsNullopt) {
+    unsetenv("HAM_AURORA_TEST_MISSING");
+    EXPECT_FALSE(env_string("HAM_AURORA_TEST_MISSING").has_value());
+    EXPECT_FALSE(env_int("HAM_AURORA_TEST_MISSING").has_value());
+}
+
+TEST_F(EnvTest, StringRoundTrip) {
+    SetEnv("HAM_AURORA_TEST_STR", "hello");
+    EXPECT_EQ(env_string("HAM_AURORA_TEST_STR").value(), "hello");
+}
+
+TEST_F(EnvTest, IntParse) {
+    SetEnv("HAM_AURORA_TEST_INT", "12345");
+    EXPECT_EQ(env_int("HAM_AURORA_TEST_INT").value(), 12345);
+}
+
+TEST_F(EnvTest, IntHexParse) {
+    SetEnv("HAM_AURORA_TEST_HEX", "0x10");
+    EXPECT_EQ(env_int("HAM_AURORA_TEST_HEX").value(), 16);
+}
+
+TEST_F(EnvTest, IntGarbageIsNullopt) {
+    SetEnv("HAM_AURORA_TEST_BAD", "12abc");
+    EXPECT_FALSE(env_int("HAM_AURORA_TEST_BAD").has_value());
+}
+
+TEST_F(EnvTest, IntOrFallback) {
+    unsetenv("HAM_AURORA_TEST_FB");
+    EXPECT_EQ(env_int_or("HAM_AURORA_TEST_FB", 42), 42);
+    SetEnv("HAM_AURORA_TEST_FB", "7");
+    EXPECT_EQ(env_int_or("HAM_AURORA_TEST_FB", 42), 7);
+}
+
+TEST_F(EnvTest, FlagVariants) {
+    SetEnv("HAM_AURORA_TEST_FLAG", "TRUE");
+    EXPECT_TRUE(env_flag("HAM_AURORA_TEST_FLAG"));
+    SetEnv("HAM_AURORA_TEST_FLAG", "on");
+    EXPECT_TRUE(env_flag("HAM_AURORA_TEST_FLAG"));
+    SetEnv("HAM_AURORA_TEST_FLAG", "0");
+    EXPECT_FALSE(env_flag("HAM_AURORA_TEST_FLAG"));
+    SetEnv("HAM_AURORA_TEST_FLAG", "nonsense");
+    EXPECT_FALSE(env_flag("HAM_AURORA_TEST_FLAG"));
+}
+
+TEST_F(EnvTest, FlagFallback) {
+    unsetenv("HAM_AURORA_TEST_FLAG2");
+    EXPECT_TRUE(env_flag("HAM_AURORA_TEST_FLAG2", true));
+    EXPECT_FALSE(env_flag("HAM_AURORA_TEST_FLAG2", false));
+}
+
+} // namespace
+} // namespace aurora

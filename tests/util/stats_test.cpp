@@ -1,0 +1,78 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aurora {
+namespace {
+
+TEST(SampleStats, EmptyByDefault) {
+    sample_stats s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(SampleStats, MeanOfConstant) {
+    sample_stats s;
+    for (int i = 0; i < 10; ++i) s.add(6.1);
+    EXPECT_DOUBLE_EQ(s.mean(), 6.1);
+    EXPECT_DOUBLE_EQ(s.min(), 6.1);
+    EXPECT_DOUBLE_EQ(s.max(), 6.1);
+}
+
+TEST(SampleStats, MeanMinMax) {
+    sample_stats s;
+    s.add(1.0);
+    s.add(2.0);
+    s.add(6.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(SampleStats, MedianOddCount) {
+    sample_stats s;
+    s.add(5.0);
+    s.add(1.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(SampleStats, PercentileBounds) {
+    sample_stats s;
+    for (int i = 1; i <= 100; ++i) s.add(double(i));
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 100.0);
+    EXPECT_NEAR(s.percentile(50.0), 50.0, 1.0);
+}
+
+TEST(SampleStats, PercentileAfterMoreSamples) {
+    sample_stats s;
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 10.0);
+    s.add(20.0); // invalidates the cached sort
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 20.0);
+}
+
+TEST(SampleStats, ClearResets) {
+    sample_stats s;
+    s.add(1.0);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(SampleStats, ThrowsOnEmptyMean) {
+    sample_stats s;
+    EXPECT_THROW((void)s.mean(), check_error);
+    EXPECT_THROW((void)s.min(), check_error);
+    EXPECT_THROW((void)s.percentile(50.0), check_error);
+}
+
+TEST(SampleStats, ThrowsOnBadPercentile) {
+    sample_stats s;
+    s.add(1.0);
+    EXPECT_THROW((void)s.percentile(-1.0), check_error);
+    EXPECT_THROW((void)s.percentile(101.0), check_error);
+}
+
+} // namespace
+} // namespace aurora

@@ -1,0 +1,159 @@
+#include "vedma/dmaatb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/sim_fixture.hpp"
+#include "util/units.hpp"
+
+namespace aurora::vedma {
+namespace {
+
+using testing::aurora_fixture;
+using testing::run_on_ve;
+
+struct DmaatbTest : ::testing::Test {
+    aurora_fixture fx;
+};
+
+TEST_F(DmaatbTest, RegisterVhAndResolve) {
+    fx.run([&] {
+        veos::ve_process& proc = fx.sys.daemon(0).create_process();
+        alignas(8) static std::byte host_buf[256];
+        run_on_ve(proc, [&] {
+            dmaatb atb(proc);
+            const std::uint64_t vehva = atb.register_vh(host_buf, 256, 0);
+            EXPECT_NE(vehva, 0u);
+            EXPECT_EQ(atb.entry_count(), 1u);
+
+            const dma_resolution r = atb.resolve(vehva + 16, 8);
+            EXPECT_EQ(r.k, dma_resolution::kind::vh);
+            EXPECT_EQ(r.vh_ptr, host_buf + 16);
+            EXPECT_EQ(r.vh_socket, 0);
+            atb.unregister(vehva);
+            EXPECT_EQ(atb.entry_count(), 0u);
+        });
+        fx.sys.daemon(0).destroy_process(proc);
+    });
+}
+
+TEST_F(DmaatbTest, RegisterVeTranslatesToPhysical) {
+    fx.run([&] {
+        veos::ve_process& proc = fx.sys.daemon(0).create_process();
+        run_on_ve(proc, [&] {
+            const std::uint64_t va = proc.ve_alloc(64 * KiB);
+            dmaatb atb(proc);
+            const std::uint64_t vehva = atb.register_ve(va, 64 * KiB);
+            const dma_resolution r = atb.resolve(vehva + 100, 8);
+            EXPECT_EQ(r.k, dma_resolution::kind::ve);
+            EXPECT_EQ(r.ve_paddr,
+                      proc.aspace().translate(va).value() + 100);
+        });
+        fx.sys.daemon(0).destroy_process(proc);
+    });
+}
+
+TEST_F(DmaatbTest, AttachShmByKey) {
+    shm_registry shms(fx.plat);
+    fx.run([&] {
+        const shm_segment& seg =
+            shms.create(0xBEEF, 4096, sim::page_size::huge_2m, 0);
+        veos::ve_process& proc = fx.sys.daemon(0).create_process();
+        run_on_ve(proc, [&] {
+            dmaatb atb(proc);
+            const std::uint64_t vehva = atb.attach_shm(shms, 0xBEEF);
+            const dma_resolution r = atb.resolve(vehva, 4096);
+            EXPECT_EQ(r.vh_ptr, seg.addr);
+            EXPECT_THROW((void)atb.attach_shm(shms, 0xDEAD), check_error);
+        });
+        fx.sys.daemon(0).destroy_process(proc);
+    });
+}
+
+TEST_F(DmaatbTest, UnregisteredVehvaFaults) {
+    fx.run([&] {
+        veos::ve_process& proc = fx.sys.daemon(0).create_process();
+        run_on_ve(proc, [&] {
+            dmaatb atb(proc);
+            EXPECT_THROW((void)atb.resolve(0x800000000000, 8), check_error);
+        });
+        fx.sys.daemon(0).destroy_process(proc);
+    });
+}
+
+TEST_F(DmaatbTest, RangeCrossingFaults) {
+    fx.run([&] {
+        veos::ve_process& proc = fx.sys.daemon(0).create_process();
+        alignas(8) static std::byte host_buf[64];
+        run_on_ve(proc, [&] {
+            dmaatb atb(proc);
+            const std::uint64_t vehva = atb.register_vh(host_buf, 64, 0);
+            EXPECT_NO_THROW((void)atb.resolve(vehva + 56, 8));
+            EXPECT_THROW((void)atb.resolve(vehva + 60, 8), check_error);
+        });
+        fx.sys.daemon(0).destroy_process(proc);
+    });
+}
+
+TEST_F(DmaatbTest, RegistrationIsVeInitiatedOnly) {
+    fx.run([&] {
+        veos::ve_process& proc = fx.sys.daemon(0).create_process();
+        alignas(8) static std::byte host_buf[64];
+        dmaatb atb(proc);
+        // Called from the VH process — must be rejected.
+        EXPECT_THROW((void)atb.register_vh(host_buf, 64, 0), check_error);
+        fx.sys.daemon(0).destroy_process(proc);
+    });
+}
+
+TEST_F(DmaatbTest, RegistrationChargesSyscallCost) {
+    fx.run([&] {
+        veos::ve_process& proc = fx.sys.daemon(0).create_process();
+        alignas(8) static std::byte host_buf[64];
+        run_on_ve(proc, [&] {
+            dmaatb atb(proc);
+            const sim::time_ns before = sim::now();
+            (void)atb.register_vh(host_buf, 64, 0);
+            const auto& cm = proc.plat().costs();
+            EXPECT_EQ(sim::now() - before,
+                      cm.ve_syscall_ns + cm.dmaatb_register_ns);
+        });
+        fx.sys.daemon(0).destroy_process(proc);
+    });
+}
+
+TEST_F(DmaatbTest, EntryBudgetEnforced) {
+    fx.run([&] {
+        veos::ve_process& proc = fx.sys.daemon(0).create_process();
+        alignas(8) static std::byte host_buf[8 * dmaatb::max_entries + 8];
+        run_on_ve(proc, [&] {
+            dmaatb atb(proc);
+            std::vector<std::uint64_t> vehvas;
+            for (std::size_t i = 0; i < dmaatb::max_entries; ++i) {
+                vehvas.push_back(atb.register_vh(host_buf + 8 * i, 8, 0));
+            }
+            EXPECT_EQ(atb.entry_count(), dmaatb::max_entries);
+            EXPECT_THROW((void)atb.register_vh(
+                             host_buf + 8 * dmaatb::max_entries, 8, 0),
+                         check_error);
+            // Unregistering frees an entry for reuse.
+            atb.unregister(vehvas.back());
+            EXPECT_NO_THROW((void)atb.register_vh(
+                host_buf + 8 * dmaatb::max_entries, 8, 0));
+        });
+        fx.sys.daemon(0).destroy_process(proc);
+    });
+}
+
+TEST_F(DmaatbTest, UnregisterUnknownThrows) {
+    fx.run([&] {
+        veos::ve_process& proc = fx.sys.daemon(0).create_process();
+        run_on_ve(proc, [&] {
+            dmaatb atb(proc);
+            EXPECT_THROW(atb.unregister(0x42), check_error);
+        });
+        fx.sys.daemon(0).destroy_process(proc);
+    });
+}
+
+} // namespace
+} // namespace aurora::vedma

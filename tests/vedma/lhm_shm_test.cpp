@@ -1,0 +1,152 @@
+#include "vedma/lhm_shm.hpp"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "support/sim_fixture.hpp"
+#include "util/units.hpp"
+
+namespace aurora::vedma {
+namespace {
+
+using testing::aurora_fixture;
+using testing::run_on_ve;
+
+struct LhmShmTest : ::testing::Test {
+    aurora_fixture fx;
+
+    void on_ve(std::function<void(veos::ve_process&)> body) {
+        fx.run([&] {
+            veos::ve_process& proc = fx.sys.daemon(0).create_process();
+            run_on_ve(proc, [&] { body(proc); });
+            fx.sys.daemon(0).destroy_process(proc);
+        });
+    }
+};
+
+TEST_F(LhmShmTest, Load64ReadsHostWord) {
+    alignas(8) static std::uint64_t host_word = 0xFEEDC0DE;
+    on_ve([&](veos::ve_process& proc) {
+        dmaatb atb(proc);
+        const std::uint64_t vehva =
+            atb.register_vh(reinterpret_cast<std::byte*>(&host_word), 8, 0);
+        EXPECT_EQ(lhm_load64(atb, vehva), 0xFEEDC0DEu);
+    });
+}
+
+TEST_F(LhmShmTest, Store64WritesHostWord) {
+    alignas(8) static std::uint64_t host_word = 0;
+    on_ve([&](veos::ve_process& proc) {
+        dmaatb atb(proc);
+        const std::uint64_t vehva =
+            atb.register_vh(reinterpret_cast<std::byte*>(&host_word), 8, 0);
+        shm_store64(atb, vehva, 0xABCDEF);
+        EXPECT_EQ(host_word, 0xABCDEFu);
+    });
+}
+
+TEST_F(LhmShmTest, LoadCostIsOnePcieRoundTripPerWord) {
+    alignas(8) static std::uint64_t words[4] = {1, 2, 3, 4};
+    on_ve([&](veos::ve_process& proc) {
+        dmaatb atb(proc);
+        const std::uint64_t vehva =
+            atb.register_vh(reinterpret_cast<std::byte*>(words), 32, 0);
+        const auto& cm = proc.plat().costs();
+        const sim::time_ns before = sim::now();
+        std::uint64_t out[4];
+        lhm_load(atb, vehva, out, 32);
+        EXPECT_EQ(sim::now() - before, 4 * cm.lhm_word_ns);
+        EXPECT_EQ(out[3], 4u);
+    });
+}
+
+TEST_F(LhmShmTest, StoresArePipelinedPostedWrites) {
+    alignas(8) static std::uint64_t words[8] = {};
+    on_ve([&](veos::ve_process& proc) {
+        dmaatb atb(proc);
+        const std::uint64_t vehva =
+            atb.register_vh(reinterpret_cast<std::byte*>(words), 64, 0);
+        const auto& cm = proc.plat().costs();
+        std::uint64_t src[8] = {10, 11, 12, 13, 14, 15, 16, 17};
+        const sim::time_ns before = sim::now();
+        shm_store(atb, vehva, src, 64);
+        EXPECT_EQ(sim::now() - before, 8 * cm.shm_word_ns);
+        EXPECT_EQ(words[7], 17u);
+        // SHM issue rate beats the LHM round trip by ~5x (0.06 vs 0.01 GiB/s).
+        EXPECT_LT(cm.shm_word_ns * 4, cm.lhm_word_ns);
+    });
+}
+
+TEST_F(LhmShmTest, SustainedRatesMatchTable4) {
+    // Table IV: LHM (VH=>VE) 0.01 GiB/s, SHM (VE=>VH) 0.06 GiB/s.
+    static std::vector<std::byte> host_buf(1 * MiB);
+    on_ve([&](veos::ve_process& proc) {
+        dmaatb atb(proc);
+        const std::uint64_t vehva =
+            atb.register_vh(host_buf.data(), host_buf.size(), 0);
+        std::vector<std::byte> local(1 * MiB);
+
+        sim::time_ns t0 = sim::now();
+        lhm_load(atb, vehva, local.data(), 1 * MiB);
+        const double lhm_bw = bandwidth_gib_s(1 * MiB, sim::now() - t0);
+        t0 = sim::now();
+        shm_store(atb, vehva, local.data(), 1 * MiB);
+        const double shm_bw = bandwidth_gib_s(1 * MiB, sim::now() - t0);
+
+        EXPECT_NEAR(lhm_bw, 0.012, 0.004);
+        EXPECT_NEAR(shm_bw, 0.06, 0.005);
+    });
+}
+
+TEST_F(LhmShmTest, MisalignedAccessRejected) {
+    alignas(8) static std::byte buf[64];
+    on_ve([&](veos::ve_process& proc) {
+        dmaatb atb(proc);
+        const std::uint64_t vehva = atb.register_vh(buf, 64, 0);
+        EXPECT_THROW((void)lhm_load64(atb, vehva + 4), check_error);
+        std::uint64_t w;
+        EXPECT_THROW(lhm_load(atb, vehva, &w, 12), check_error);
+    });
+}
+
+TEST_F(LhmShmTest, VeMemoryTargetRejected) {
+    // LHM/SHM only reach *host* memory (paper Sec. IV-A).
+    on_ve([&](veos::ve_process& proc) {
+        dmaatb atb(proc);
+        const std::uint64_t va = proc.ve_alloc(64 * KiB);
+        const std::uint64_t vehva = atb.register_ve(va, 64);
+        EXPECT_THROW((void)lhm_load64(atb, vehva), check_error);
+        EXPECT_THROW(shm_store64(atb, vehva, 1), check_error);
+    });
+}
+
+TEST_F(LhmShmTest, VhInitiatedRejected) {
+    fx.run([&] {
+        veos::ve_process& proc = fx.sys.daemon(0).create_process();
+        dmaatb atb(proc);
+        EXPECT_THROW((void)lhm_load64(atb, 0x800000000000), check_error);
+        fx.sys.daemon(0).destroy_process(proc);
+    });
+}
+
+TEST_F(LhmShmTest, CrossoverLhmVsDmaOnlyForSingleWords) {
+    // Sec. V-B: LHM beats user DMA only for one or two words.
+    const sim::cost_model cm;
+    const auto dma_small = cm.ve_dma_post_ns + cm.ve_dma_latency_ns;
+    EXPECT_LT(lhm_words_time(cm, 1, false), dma_small);
+    EXPECT_GT(lhm_words_time(cm, 3, false), dma_small);
+}
+
+TEST_F(LhmShmTest, ShmBeatsDmaForSmallPayloads) {
+    // Sec. V-B: SHM outperforms user DMA for small VE=>VH payloads (the
+    // paper reports up to 256 B; our calibrated model crosses at ~128 B,
+    // documented in EXPERIMENTS.md).
+    const sim::cost_model cm;
+    const auto dma_small = cm.ve_dma_post_ns + cm.ve_dma_latency_ns;
+    EXPECT_LT(shm_words_time(cm, 8, false), dma_small);   // 64 B
+    EXPECT_GT(shm_words_time(cm, 64, false), dma_small);  // 512 B
+}
+
+} // namespace
+} // namespace aurora::vedma

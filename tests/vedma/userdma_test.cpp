@@ -1,0 +1,199 @@
+#include "vedma/userdma.hpp"
+
+#include <numeric>
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "support/sim_fixture.hpp"
+#include "util/units.hpp"
+
+namespace aurora::vedma {
+namespace {
+
+using testing::aurora_fixture;
+using testing::run_on_ve;
+
+struct UserDmaTest : ::testing::Test {
+    aurora_fixture fx;
+
+    void on_ve(std::function<void(veos::ve_process&)> body) {
+        fx.run([&] {
+            veos::ve_process& proc = fx.sys.daemon(0).create_process();
+            run_on_ve(proc, [&] { body(proc); });
+            fx.sys.daemon(0).destroy_process(proc);
+        });
+    }
+};
+
+TEST_F(UserDmaTest, VhToVeRoundTrip) {
+    alignas(8) static std::byte host_buf[1024];
+    for (int i = 0; i < 1024; ++i) host_buf[i] = std::byte(i & 0xFF);
+    on_ve([&](veos::ve_process& proc) {
+        dmaatb atb(proc);
+        user_dma_engine dma(atb);
+        const std::uint64_t host_vehva = atb.register_vh(host_buf, 1024, 0);
+        const std::uint64_t va = proc.ve_alloc(64 * KiB);
+        const std::uint64_t ve_vehva = atb.register_ve(va, 1024);
+
+        dma.dma_sync(ve_vehva, host_vehva, 1024); // read from host
+        std::vector<std::byte> check(1024);
+        proc.mem().read(va, check.data(), 1024);
+        EXPECT_EQ(std::memcmp(check.data(), host_buf, 1024), 0);
+
+        // Modify on the VE and write back.
+        std::vector<std::byte> rev(1024);
+        for (std::size_t i = 0; i < 1024; ++i) rev[i] = std::byte(~unsigned(i) & 0xFFu);
+        proc.mem().write(va, rev.data(), 1024);
+        dma.dma_sync(host_vehva, ve_vehva, 1024);
+        EXPECT_EQ(std::memcmp(host_buf, rev.data(), 1024), 0);
+        EXPECT_EQ(dma.transfer_count(), 2u);
+    });
+}
+
+TEST_F(UserDmaTest, PostPollWaitLifecycle) {
+    alignas(8) static std::byte host_buf[256];
+    on_ve([&](veos::ve_process& proc) {
+        dmaatb atb(proc);
+        user_dma_engine dma(atb);
+        const std::uint64_t h = atb.register_vh(host_buf, 256, 0);
+        const std::uint64_t va = proc.ve_alloc(64 * KiB);
+        const std::uint64_t v = atb.register_ve(va, 256);
+
+        ve_dma_handle hd;
+        EXPECT_EQ(dma.dma_post(v, h, 256, hd), 0);
+        EXPECT_TRUE(hd.in_flight);
+        // Immediately after post the transfer is still in flight.
+        EXPECT_EQ(dma.dma_poll(hd), 1);
+        dma.dma_wait(hd);
+        EXPECT_FALSE(hd.in_flight);
+        EXPECT_THROW(dma.dma_wait(hd), check_error); // double wait
+    });
+}
+
+TEST_F(UserDmaTest, SmallTransferLatencyMatchesModel) {
+    alignas(8) static std::byte host_buf[8];
+    on_ve([&](veos::ve_process& proc) {
+        dmaatb atb(proc);
+        user_dma_engine dma(atb);
+        const std::uint64_t h = atb.register_vh(host_buf, 8, 0);
+        const std::uint64_t va = proc.ve_alloc(64 * KiB);
+        const std::uint64_t v = atb.register_ve(va, 8);
+
+        const auto& cm = proc.plat().costs();
+        const sim::time_ns before = sim::now();
+        dma.dma_sync(v, h, 8);
+        const sim::duration_ns elapsed = sim::now() - before;
+        // post + latency + ~0 transfer time: ~1.25 us.
+        EXPECT_NEAR(double(elapsed),
+                    double(cm.ve_dma_post_ns + cm.ve_dma_latency_ns), 100.0);
+    });
+}
+
+TEST_F(UserDmaTest, BandwidthReachesPaperPeaks) {
+    // Table IV: user DMA 10.6 GiB/s (VH=>VE) and 11.1 GiB/s (VE=>VH).
+    alignas(8) static std::vector<std::byte> host_buf(8 * MiB);
+    on_ve([&](veos::ve_process& proc) {
+        dmaatb atb(proc);
+        user_dma_engine dma(atb);
+        const std::uint64_t h = atb.register_vh(host_buf.data(), 8 * MiB, 0);
+        const std::uint64_t va = proc.ve_alloc(8 * MiB);
+        const std::uint64_t v = atb.register_ve(va, 8 * MiB);
+
+        sim::time_ns t0 = sim::now();
+        dma.dma_sync(v, h, 8 * MiB); // VH => VE
+        const auto read_t = sim::now() - t0;
+        t0 = sim::now();
+        dma.dma_sync(h, v, 8 * MiB); // VE => VH
+        const auto write_t = sim::now() - t0;
+
+        EXPECT_NEAR(bandwidth_gib_s(8 * MiB, read_t), 10.6, 0.2);
+        EXPECT_NEAR(bandwidth_gib_s(8 * MiB, write_t), 11.1, 0.2);
+        EXPECT_LT(write_t, read_t); // VE=>VH is the faster direction
+    });
+}
+
+TEST_F(UserDmaTest, VeToVeLocalCopy) {
+    on_ve([&](veos::ve_process& proc) {
+        dmaatb atb(proc);
+        user_dma_engine dma(atb);
+        const std::uint64_t va1 = proc.ve_alloc(64 * KiB);
+        const std::uint64_t va2 = proc.ve_alloc(64 * KiB);
+        const std::uint64_t v1 = atb.register_ve(va1, 4096);
+        const std::uint64_t v2 = atb.register_ve(va2, 4096);
+
+        std::vector<std::uint8_t> data(4096);
+        std::iota(data.begin(), data.end(), 1);
+        proc.mem().write(va1, data.data(), data.size());
+        dma.dma_sync(v2, v1, 4096);
+        std::vector<std::uint8_t> out(4096);
+        proc.mem().read(va2, out.data(), out.size());
+        EXPECT_EQ(data, out);
+    });
+}
+
+TEST_F(UserDmaTest, UnregisteredEndpointFaults) {
+    on_ve([&](veos::ve_process& proc) {
+        dmaatb atb(proc);
+        user_dma_engine dma(atb);
+        const std::uint64_t va = proc.ve_alloc(64 * KiB);
+        const std::uint64_t v = atb.register_ve(va, 256);
+        ve_dma_handle hd;
+        EXPECT_THROW((void)dma.dma_post(v, 0x800000009999, 64, hd), check_error);
+    });
+}
+
+TEST_F(UserDmaTest, HandleReuseWhileInFlightRejected) {
+    alignas(8) static std::byte host_buf[64];
+    on_ve([&](veos::ve_process& proc) {
+        dmaatb atb(proc);
+        user_dma_engine dma(atb);
+        const std::uint64_t h = atb.register_vh(host_buf, 64, 0);
+        const std::uint64_t va = proc.ve_alloc(64 * KiB);
+        const std::uint64_t v = atb.register_ve(va, 64);
+        ve_dma_handle hd;
+        EXPECT_EQ(dma.dma_post(v, h, 64, hd), 0);
+        EXPECT_THROW((void)dma.dma_post(v, h, 64, hd), check_error);
+        dma.dma_wait(hd);
+    });
+}
+
+TEST_F(UserDmaTest, VhInitiatedDmaRejected) {
+    // "There currently is no API for initiating DMA from the VH" (Fig. 8).
+    fx.run([&] {
+        veos::ve_process& proc = fx.sys.daemon(0).create_process();
+        dmaatb atb(proc);
+        user_dma_engine dma(atb);
+        ve_dma_handle hd;
+        EXPECT_THROW((void)dma.dma_post(1, 2, 8, hd), check_error);
+        fx.sys.daemon(0).destroy_process(proc);
+    });
+}
+
+TEST_F(UserDmaTest, UpiCrossingAddsLatency) {
+    sim::platform plat(sim::platform_config::a300_8());
+    veos::veos_system sys(plat);
+    alignas(8) static std::byte host_buf[64];
+    testing::run_as_vh(plat, [&] {
+        veos::ve_process& proc = sys.daemon(0).create_process();
+        run_on_ve(proc, [&] {
+            dmaatb atb(proc);
+            user_dma_engine dma(atb);
+            // Same buffer registered as if on socket 0 (local) and socket 1
+            // (across UPI).
+            const std::uint64_t local = atb.register_vh(host_buf, 32, 0);
+            const std::uint64_t remote = atb.register_vh(host_buf + 32, 32, 1);
+            const auto t_local = dma.transfer_time(32, true, 0);
+            const auto t_remote = dma.transfer_time(32, true, 1);
+            EXPECT_GT(t_remote, t_local);
+            EXPECT_LE(t_remote - t_local, 1000); // "up to 1 us" (Sec. V-A)
+            atb.unregister(local);
+            atb.unregister(remote);
+        });
+        sys.daemon(0).destroy_process(proc);
+    });
+}
+
+} // namespace
+} // namespace aurora::vedma

@@ -1,0 +1,148 @@
+// Tests of the extended VEO API surface (sync calls, async transfers,
+// 32-bit/float argument setters).
+#include <cstring>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "support/sim_fixture.hpp"
+#include "util/units.hpp"
+#include "veo/veo_api.hpp"
+
+namespace aurora::veo {
+namespace {
+
+using testing::aurora_fixture;
+using veos::program_image;
+using veos::ve_call_context;
+
+const program_image& ext_image() {
+    static const program_image img = [] {
+        program_image i("libveo_ext.so");
+        i.add_symbol("echo0", [](ve_call_context& ctx) -> std::uint64_t {
+            return ctx.arg_u64(0);
+        });
+        i.add_symbol("addf", [](ve_call_context& ctx) -> std::uint64_t {
+            float a, b;
+            const std::uint64_t ra = ctx.arg_u64(0), rb = ctx.arg_u64(1);
+            const auto la = std::uint32_t(ra), lb = std::uint32_t(rb);
+            std::memcpy(&a, &la, 4);
+            std::memcpy(&b, &lb, 4);
+            const float s = a + b;
+            std::uint32_t bits;
+            std::memcpy(&bits, &s, 4);
+            return bits;
+        });
+        return i;
+    }();
+    return img;
+}
+
+struct VeoExt : ::testing::Test {
+    VeoExt() { fx.sys.install_image(ext_image()); }
+    aurora_fixture fx;
+};
+
+TEST_F(VeoExt, CallSyncConvenience) {
+    fx.run([&] {
+        proc_guard h(fx.sys, 0);
+        const std::uint64_t lib = veo_load_library(h.get(), "libveo_ext.so");
+        const std::uint64_t sym = veo_get_sym(h.get(), lib, "echo0");
+        veo_thr_ctxt* ctx = veo_context_open(h.get());
+        veo_args* args = veo_args_alloc();
+        args->set_u64(0, 777);
+        std::uint64_t ret = 0;
+        EXPECT_EQ(veo_call_sync(ctx, sym, args, &ret), VEO_COMMAND_OK);
+        EXPECT_EQ(ret, 777u);
+        veo_args_free(args);
+    });
+}
+
+TEST_F(VeoExt, Int32SignExtension) {
+    fx.run([&] {
+        proc_guard h(fx.sys, 0);
+        const std::uint64_t lib = veo_load_library(h.get(), "libveo_ext.so");
+        const std::uint64_t sym = veo_get_sym(h.get(), lib, "echo0");
+        veo_thr_ctxt* ctx = veo_context_open(h.get());
+        veo_args* args = veo_args_alloc();
+        args->set_i32(0, -5);
+        std::uint64_t ret = 0;
+        EXPECT_EQ(veo_call_sync(ctx, sym, args, &ret), VEO_COMMAND_OK);
+        EXPECT_EQ(std::int64_t(ret), -5);
+        args->clear();
+        args->set_u32(0, 0xFFFFFFFFu);
+        EXPECT_EQ(veo_call_sync(ctx, sym, args, &ret), VEO_COMMAND_OK);
+        EXPECT_EQ(ret, 0xFFFFFFFFu); // zero-extended
+        veo_args_free(args);
+    });
+}
+
+TEST_F(VeoExt, FloatArguments) {
+    fx.run([&] {
+        proc_guard h(fx.sys, 0);
+        const std::uint64_t lib = veo_load_library(h.get(), "libveo_ext.so");
+        const std::uint64_t sym = veo_get_sym(h.get(), lib, "addf");
+        veo_thr_ctxt* ctx = veo_context_open(h.get());
+        veo_args* args = veo_args_alloc();
+        args->set_float(0, 1.25f);
+        args->set_float(1, 2.5f);
+        std::uint64_t ret = 0;
+        EXPECT_EQ(veo_call_sync(ctx, sym, args, &ret), VEO_COMMAND_OK);
+        float s;
+        const auto bits = std::uint32_t(ret);
+        std::memcpy(&s, &bits, 4);
+        EXPECT_FLOAT_EQ(s, 3.75f);
+        veo_args_free(args);
+    });
+}
+
+TEST_F(VeoExt, AsyncWriteReadMem) {
+    fx.run([&] {
+        proc_guard h(fx.sys, 0);
+        veo_thr_ctxt* ctx = veo_context_open(h.get());
+        std::uint64_t addr = 0;
+        ASSERT_EQ(veo_alloc_mem(h.get(), &addr, 64 * KiB), 0);
+
+        std::vector<std::uint8_t> src(64 * KiB);
+        std::iota(src.begin(), src.end(), 3);
+        const std::uint64_t wreq =
+            veo_async_write_mem(ctx, addr, src.data(), src.size());
+        ASSERT_NE(wreq, VEO_REQUEST_ID_INVALID);
+        EXPECT_EQ(veo_call_wait_result(ctx, wreq, nullptr), VEO_COMMAND_OK);
+
+        std::vector<std::uint8_t> dst(src.size(), 0);
+        const std::uint64_t rreq =
+            veo_async_read_mem(ctx, dst.data(), addr, dst.size());
+        ASSERT_NE(rreq, VEO_REQUEST_ID_INVALID);
+        EXPECT_EQ(veo_call_wait_result(ctx, rreq, nullptr), VEO_COMMAND_OK);
+        EXPECT_EQ(src, dst);
+        EXPECT_EQ(veo_free_mem(h.get(), addr), 0);
+    });
+}
+
+TEST_F(VeoExt, MultipleContextsShareTheProcess) {
+    fx.run([&] {
+        proc_guard h(fx.sys, 0);
+        const std::uint64_t lib = veo_load_library(h.get(), "libveo_ext.so");
+        const std::uint64_t sym = veo_get_sym(h.get(), lib, "echo0");
+        veo_thr_ctxt* c1 = veo_context_open(h.get());
+        veo_thr_ctxt* c2 = veo_context_open(h.get());
+        ASSERT_NE(c1, c2);
+        veo_args* args = veo_args_alloc();
+        args->set_u64(0, 1);
+        std::uint64_t r1 = 0, r2 = 0;
+        const std::uint64_t q1 = veo_call_async(c1, sym, args);
+        args->set_u64(0, 2);
+        const std::uint64_t q2 = veo_call_async(c2, sym, args);
+        EXPECT_EQ(veo_call_wait_result(c2, q2, &r2), VEO_COMMAND_OK);
+        EXPECT_EQ(veo_call_wait_result(c1, q1, &r1), VEO_COMMAND_OK);
+        EXPECT_EQ(r1, 1u);
+        EXPECT_EQ(r2, 2u);
+        EXPECT_EQ(veo_context_close(c1), 0);
+        EXPECT_EQ(veo_context_close(c2), 0);
+        veo_args_free(args);
+    });
+}
+
+} // namespace
+} // namespace aurora::veo

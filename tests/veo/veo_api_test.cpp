@@ -1,0 +1,309 @@
+#include "veo/veo_api.hpp"
+
+#include <numeric>
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "support/sim_fixture.hpp"
+#include "util/units.hpp"
+
+namespace aurora::veo {
+namespace {
+
+using testing::aurora_fixture;
+using veos::program_image;
+using veos::ve_call_context;
+
+/// A small VE library used across the tests.
+const program_image& test_image() {
+    static const program_image img = [] {
+        program_image i("libveo_test.so");
+        i.add_symbol("add2", [](ve_call_context& ctx) -> std::uint64_t {
+            return ctx.arg_u64(0) + ctx.arg_u64(1);
+        });
+        i.add_symbol("scale", [](ve_call_context& ctx) -> std::uint64_t {
+            const double d = ctx.arg_double(0) * 2.0;
+            std::uint64_t bits;
+            std::memcpy(&bits, &d, sizeof(bits));
+            return bits;
+        });
+        i.add_symbol("sum_stack", [](ve_call_context& ctx) -> std::uint64_t {
+            const std::uint64_t addr = ctx.arg_u64(0);
+            const std::uint64_t n = ctx.arg_u64(1);
+            std::vector<std::uint64_t> v(n);
+            ctx.proc().mem().read(addr, v.data(), n * 8);
+            return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+        });
+        i.add_symbol("fill_stack", [](ve_call_context& ctx) -> std::uint64_t {
+            const std::uint64_t addr = ctx.arg_u64(0);
+            const std::uint64_t n = ctx.arg_u64(1);
+            std::vector<std::uint64_t> v(n);
+            for (std::uint64_t k = 0; k < n; ++k) v[k] = k * k;
+            ctx.proc().mem().write(addr, v.data(), n * 8);
+            return 0;
+        });
+        i.add_symbol("throws", [](ve_call_context&) -> std::uint64_t {
+            throw std::runtime_error("ve exception");
+        });
+        return i;
+    }();
+    return img;
+}
+
+struct VeoApi : ::testing::Test {
+    VeoApi() { fx.sys.install_image(test_image()); }
+    aurora_fixture fx;
+};
+
+TEST_F(VeoApi, ProcCreateDestroy) {
+    fx.run([&] {
+        veo_proc_handle* h = veo_proc_create(fx.sys, 0);
+        ASSERT_NE(h, nullptr);
+        EXPECT_EQ(h->venode, 0);
+        EXPECT_EQ(veo_proc_destroy(h), 0);
+    });
+}
+
+TEST_F(VeoApi, ProcCreateInvalidNodeFails) {
+    fx.run([&] {
+        EXPECT_EQ(veo_proc_create(fx.sys, 5), nullptr);
+        EXPECT_EQ(veo_proc_create(fx.sys, -1), nullptr);
+    });
+}
+
+TEST_F(VeoApi, ProcCreateTakesRealisticTime) {
+    fx.run([&] {
+        const sim::time_ns before = sim::now();
+        proc_guard h(fx.sys, 0);
+        EXPECT_GE(sim::now() - before, 100'000'000); // ~120 ms VE bring-up
+    });
+}
+
+TEST_F(VeoApi, LoadLibraryAndGetSym) {
+    fx.run([&] {
+        proc_guard h(fx.sys, 0);
+        const std::uint64_t lib = veo_load_library(h.get(), "libveo_test.so");
+        ASSERT_NE(lib, 0u);
+        EXPECT_NE(veo_get_sym(h.get(), lib, "add2"), 0u);
+        EXPECT_EQ(veo_get_sym(h.get(), lib, "missing"), 0u);
+        EXPECT_EQ(veo_load_library(h.get(), "not_installed.so"), 0u);
+    });
+}
+
+TEST_F(VeoApi, AsyncCallRoundTrip) {
+    fx.run([&] {
+        proc_guard h(fx.sys, 0);
+        const std::uint64_t lib = veo_load_library(h.get(), "libveo_test.so");
+        const std::uint64_t sym = veo_get_sym(h.get(), lib, "add2");
+        veo_thr_ctxt* ctx = veo_context_open(h.get());
+
+        veo_args* args = veo_args_alloc();
+        args->set_u64(0, 40);
+        args->set_u64(1, 2);
+        const std::uint64_t req = veo_call_async(ctx, sym, args);
+        std::uint64_t ret = 0;
+        EXPECT_EQ(veo_call_wait_result(ctx, req, &ret), VEO_COMMAND_OK);
+        EXPECT_EQ(ret, 42u);
+        veo_args_free(args);
+    });
+}
+
+TEST_F(VeoApi, EmptyCallCostMatchesFig9Reference) {
+    // Fig. 9: a native VEO offload of an (almost) empty kernel costs ~80 us.
+    fx.run([&] {
+        proc_guard h(fx.sys, 0);
+        const std::uint64_t lib = veo_load_library(h.get(), "libveo_test.so");
+        const std::uint64_t sym = veo_get_sym(h.get(), lib, "add2");
+        veo_thr_ctxt* ctx = veo_context_open(h.get());
+        veo_args* args = veo_args_alloc();
+        args->set_u64(0, 0);
+        args->set_u64(1, 0);
+
+        const sim::time_ns before = sim::now();
+        const std::uint64_t req = veo_call_async(ctx, sym, args);
+        std::uint64_t ret = 0;
+        (void)veo_call_wait_result(ctx, req, &ret);
+        const sim::time_ns cost = sim::now() - before;
+        EXPECT_NEAR(double(cost), 80'000.0, 8'000.0);
+        veo_args_free(args);
+    });
+}
+
+TEST_F(VeoApi, DoubleArgument) {
+    fx.run([&] {
+        proc_guard h(fx.sys, 0);
+        const std::uint64_t lib = veo_load_library(h.get(), "libveo_test.so");
+        const std::uint64_t sym = veo_get_sym(h.get(), lib, "scale");
+        veo_thr_ctxt* ctx = veo_context_open(h.get());
+        veo_args* args = veo_args_alloc();
+        args->set_double(0, 21.5);
+        std::uint64_t ret = 0;
+        EXPECT_EQ(veo_call_wait_result(ctx, veo_call_async(ctx, sym, args), &ret),
+                  VEO_COMMAND_OK);
+        double d;
+        std::memcpy(&d, &ret, sizeof(d));
+        EXPECT_DOUBLE_EQ(d, 43.0);
+        veo_args_free(args);
+    });
+}
+
+TEST_F(VeoApi, StackArgumentIn) {
+    fx.run([&] {
+        proc_guard h(fx.sys, 0);
+        const std::uint64_t lib = veo_load_library(h.get(), "libveo_test.so");
+        const std::uint64_t sym = veo_get_sym(h.get(), lib, "sum_stack");
+        veo_thr_ctxt* ctx = veo_context_open(h.get());
+
+        std::vector<std::uint64_t> data{1, 2, 3, 4};
+        veo_args* args = veo_args_alloc();
+        args->set_stack(0, VEO_INTENT_IN, data.data(), data.size() * 8);
+        args->set_u64(1, data.size());
+        std::uint64_t ret = 0;
+        EXPECT_EQ(veo_call_wait_result(ctx, veo_call_async(ctx, sym, args), &ret),
+                  VEO_COMMAND_OK);
+        EXPECT_EQ(ret, 10u);
+        veo_args_free(args);
+    });
+}
+
+TEST_F(VeoApi, StackArgumentOut) {
+    fx.run([&] {
+        proc_guard h(fx.sys, 0);
+        const std::uint64_t lib = veo_load_library(h.get(), "libveo_test.so");
+        const std::uint64_t sym = veo_get_sym(h.get(), lib, "fill_stack");
+        veo_thr_ctxt* ctx = veo_context_open(h.get());
+
+        std::vector<std::uint64_t> data(5, 0);
+        veo_args* args = veo_args_alloc();
+        args->set_stack(0, VEO_INTENT_OUT, data.data(), data.size() * 8);
+        args->set_u64(1, data.size());
+        std::uint64_t ret = 1;
+        EXPECT_EQ(veo_call_wait_result(ctx, veo_call_async(ctx, sym, args), &ret),
+                  VEO_COMMAND_OK);
+        EXPECT_EQ(data, (std::vector<std::uint64_t>{0, 1, 4, 9, 16}));
+        veo_args_free(args);
+    });
+}
+
+TEST_F(VeoApi, ExceptionInVeFunctionReported) {
+    fx.run([&] {
+        proc_guard h(fx.sys, 0);
+        const std::uint64_t lib = veo_load_library(h.get(), "libveo_test.so");
+        const std::uint64_t sym = veo_get_sym(h.get(), lib, "throws");
+        veo_thr_ctxt* ctx = veo_context_open(h.get());
+        std::uint64_t ret = 0;
+        EXPECT_EQ(
+            veo_call_wait_result(ctx, veo_call_async(ctx, sym, nullptr), &ret),
+            VEO_COMMAND_EXCEPTION);
+    });
+}
+
+TEST_F(VeoApi, CallWithSymbolZeroIsError) {
+    fx.run([&] {
+        proc_guard h(fx.sys, 0);
+        veo_thr_ctxt* ctx = veo_context_open(h.get());
+        const std::uint64_t req = veo_call_async(ctx, 0, nullptr);
+        EXPECT_EQ(req, VEO_REQUEST_ID_INVALID);
+        EXPECT_EQ(veo_call_wait_result(ctx, req, nullptr), VEO_COMMAND_ERROR);
+    });
+}
+
+TEST_F(VeoApi, PeekResultUnfinishedThenOk) {
+    fx.run([&] {
+        proc_guard h(fx.sys, 0);
+        const std::uint64_t lib = veo_load_library(h.get(), "libveo_test.so");
+        const std::uint64_t sym = veo_get_sym(h.get(), lib, "add2");
+        veo_thr_ctxt* ctx = veo_context_open(h.get());
+        veo_args* args = veo_args_alloc();
+        args->set_u64(0, 1);
+        args->set_u64(1, 2);
+        const std::uint64_t req = veo_call_async(ctx, sym, args);
+        std::uint64_t ret = 0;
+        // Immediately after submission the VE has not dispatched yet.
+        EXPECT_EQ(veo_call_peek_result(ctx, req, &ret), VEO_COMMAND_UNFINISHED);
+        // Give the VE time to run the call.
+        sim::advance(1'000'000);
+        EXPECT_EQ(veo_call_peek_result(ctx, req, &ret), VEO_COMMAND_OK);
+        EXPECT_EQ(ret, 3u);
+        veo_args_free(args);
+    });
+}
+
+TEST_F(VeoApi, AllocWriteReadFree) {
+    fx.run([&] {
+        proc_guard h(fx.sys, 0);
+        std::uint64_t addr = 0;
+        ASSERT_EQ(veo_alloc_mem(h.get(), &addr, 1 * MiB), 0);
+        ASSERT_NE(addr, 0u);
+
+        std::vector<std::uint8_t> src(1 * MiB);
+        std::iota(src.begin(), src.end(), 0);
+        EXPECT_EQ(veo_write_mem(h.get(), addr, src.data(), src.size()), 0);
+
+        std::vector<std::uint8_t> dst(src.size(), 0);
+        EXPECT_EQ(veo_read_mem(h.get(), dst.data(), addr, dst.size()), 0);
+        EXPECT_EQ(src, dst);
+        EXPECT_EQ(veo_free_mem(h.get(), addr), 0);
+    });
+}
+
+TEST_F(VeoApi, AllocZeroFails) {
+    fx.run([&] {
+        proc_guard h(fx.sys, 0);
+        std::uint64_t addr = 0;
+        EXPECT_EQ(veo_alloc_mem(h.get(), &addr, 0), -1);
+    });
+}
+
+TEST_F(VeoApi, MultipleOutstandingCallsCompleteInOrder) {
+    fx.run([&] {
+        proc_guard h(fx.sys, 0);
+        const std::uint64_t lib = veo_load_library(h.get(), "libveo_test.so");
+        const std::uint64_t sym = veo_get_sym(h.get(), lib, "add2");
+        veo_thr_ctxt* ctx = veo_context_open(h.get());
+
+        std::vector<std::uint64_t> reqs;
+        std::vector<veo_args*> all_args;
+        for (std::uint64_t i = 0; i < 5; ++i) {
+            veo_args* args = veo_args_alloc();
+            args->set_u64(0, i);
+            args->set_u64(1, 100);
+            all_args.push_back(args);
+            reqs.push_back(veo_call_async(ctx, sym, args));
+        }
+        for (std::uint64_t i = 0; i < 5; ++i) {
+            std::uint64_t ret = 0;
+            EXPECT_EQ(veo_call_wait_result(ctx, reqs[i], &ret), VEO_COMMAND_OK);
+            EXPECT_EQ(ret, 100 + i);
+        }
+        for (auto* a : all_args) veo_args_free(a);
+    });
+}
+
+TEST_F(VeoApi, ArgsValidation) {
+    veo_args args;
+    EXPECT_THROW(args.set_u64(-1, 0), check_error);
+    EXPECT_THROW(args.set_u64(32, 0), check_error);
+    EXPECT_THROW(args.set_stack(0, VEO_INTENT_IN, nullptr, 8), check_error);
+    args.set_u64(3, 9);
+    EXPECT_EQ(args.num_args(), 4u);
+    args.clear();
+    EXPECT_EQ(args.num_args(), 0u);
+}
+
+TEST_F(VeoApi, SecondSocketAllowed) {
+    sim::platform plat(sim::platform_config::a300_8());
+    veos::veos_system sys(plat);
+    sys.install_image(test_image());
+    testing::run_as_vh(plat, [&] {
+        veo_proc_handle* h = veo_proc_create(sys, 0, /*socket=*/1);
+        ASSERT_NE(h, nullptr);
+        EXPECT_EQ(h->socket, 1);
+        veo_proc_destroy(h);
+    });
+}
+
+} // namespace
+} // namespace aurora::veo

@@ -1,0 +1,74 @@
+// VEOS scheduling duties: VE core reservations (paper Sec. I-B: the veos
+// daemon "takes care of memory and process management, scheduling, and DMA").
+#include <gtest/gtest.h>
+
+#include "support/sim_fixture.hpp"
+
+namespace aurora::veos {
+namespace {
+
+using testing::aurora_fixture;
+
+TEST(Scheduling, ReservationAccounting) {
+    aurora_fixture fx; // test machine: 8-core VE
+    fx.run([&] {
+        veos_daemon& d = fx.sys.daemon(0);
+        EXPECT_EQ(d.reserved_cores(), 0);
+        ve_process& a = d.create_process(4);
+        EXPECT_EQ(a.reserved_cores(), 4);
+        EXPECT_EQ(d.reserved_cores(), 4);
+        ve_process& b = d.create_process(4);
+        EXPECT_EQ(d.reserved_cores(), 8);
+        d.destroy_process(a);
+        EXPECT_EQ(d.reserved_cores(), 4);
+        d.destroy_process(b);
+        EXPECT_EQ(d.reserved_cores(), 0);
+    });
+}
+
+TEST(Scheduling, OverSubscriptionRejected) {
+    aurora_fixture fx;
+    fx.run([&] {
+        veos_daemon& d = fx.sys.daemon(0);
+        ve_process& a = d.create_process(6);
+        EXPECT_THROW((void)d.create_process(3), check_error);
+        EXPECT_THROW((void)d.create_process(-1), check_error);
+        // Exactly filling the device works.
+        ve_process& b = d.create_process(2);
+        d.destroy_process(a);
+        d.destroy_process(b);
+    });
+}
+
+TEST(Scheduling, TimeSharedProcessesUnlimited) {
+    aurora_fixture fx;
+    fx.run([&] {
+        veos_daemon& d = fx.sys.daemon(0);
+        std::vector<ve_process*> procs;
+        for (int i = 0; i < 12; ++i) {
+            procs.push_back(&d.create_process()); // cores = 0: time-shared
+        }
+        EXPECT_EQ(d.reserved_cores(), 0);
+        EXPECT_EQ(d.live_process_count(), 12u);
+        for (auto* p : procs) {
+            d.destroy_process(*p);
+        }
+    });
+}
+
+TEST(Scheduling, ReservationsIndependentPerVe) {
+    sim::platform plat(sim::platform_config::a300_8());
+    veos_system sys(plat);
+    testing::run_as_vh(plat, [&] {
+        ve_process& a = sys.daemon(0).create_process(8);
+        // A full reservation on VE0 does not constrain VE1.
+        ve_process& b = sys.daemon(1).create_process(8);
+        EXPECT_EQ(sys.daemon(0).reserved_cores(), 8);
+        EXPECT_EQ(sys.daemon(1).reserved_cores(), 8);
+        sys.daemon(0).destroy_process(a);
+        sys.daemon(1).destroy_process(b);
+    });
+}
+
+} // namespace
+} // namespace aurora::veos

@@ -1,0 +1,248 @@
+#include "veos/ve_process.hpp"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "support/sim_fixture.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
+#include "veos/veos.hpp"
+
+namespace aurora::veos {
+namespace {
+
+using testing::aurora_fixture;
+
+TEST(VeProcess, AllocFreeRoundTrip) {
+    aurora_fixture fx;
+    ve_process proc(fx.sys.daemon(0), fx.plat, 0, 1);
+    const std::uint64_t va = proc.ve_alloc(4096);
+    EXPECT_NE(va, 0u);
+    EXPECT_GE(proc.bytes_allocated(), 4096u);
+    proc.mem().store_u64(va, 0xABCD);
+    EXPECT_EQ(proc.mem().load_u64(va), 0xABCDu);
+    proc.ve_free(va);
+    EXPECT_EQ(proc.bytes_allocated(), 0u);
+}
+
+TEST(VeProcess, AllocationsArePageAligned) {
+    aurora_fixture fx;
+    ve_process proc(fx.sys.daemon(0), fx.plat, 0, 1);
+    const std::uint64_t va = proc.ve_alloc(100, sim::page_size::huge_2m);
+    EXPECT_EQ(va % (2 * MiB), 0u);
+    const sim::vm_mapping* m = proc.aspace().find(va);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->pages, sim::page_size::huge_2m);
+    EXPECT_EQ(m->length, 2 * MiB); // padded to page granularity
+}
+
+TEST(VeProcess, OutOfMemoryThrows) {
+    aurora_fixture fx; // test machine: 1 GiB HBM
+    ve_process proc(fx.sys.daemon(0), fx.plat, 0, 1);
+    EXPECT_THROW((void)proc.ve_alloc(2 * GiB), check_error);
+}
+
+TEST(VeProcess, ZeroAllocThrows) {
+    aurora_fixture fx;
+    ve_process proc(fx.sys.daemon(0), fx.plat, 0, 1);
+    EXPECT_THROW((void)proc.ve_alloc(0), check_error);
+}
+
+TEST(VeProcess, AccessOutsideMappingFaults) {
+    aurora_fixture fx;
+    ve_process proc(fx.sys.daemon(0), fx.plat, 0, 1);
+    const std::uint64_t va = proc.ve_alloc(64 * KiB);
+    EXPECT_THROW((void)proc.mem().load_u64(va + 64 * KiB), check_error);
+    EXPECT_THROW((void)proc.mem().load_u64(0x1234), check_error);
+}
+
+TEST(VeProcess, LibraryAndSymbolResolution) {
+    aurora_fixture fx;
+    program_image img("libtest.so");
+    img.add_symbol("fn_a", [](ve_call_context&) -> std::uint64_t { return 7; });
+    img.add_symbol("fn_b", [](ve_call_context&) -> std::uint64_t { return 8; });
+
+    ve_process proc(fx.sys.daemon(0), fx.plat, 0, 1);
+    const std::uint64_t lib = proc.load_library(img);
+    EXPECT_NE(lib, 0u);
+    EXPECT_EQ(proc.library(lib), &img);
+    EXPECT_EQ(proc.library(99), nullptr);
+
+    const std::uint64_t sym = proc.resolve_symbol(lib, "fn_a");
+    EXPECT_NE(sym, 0u);
+    EXPECT_EQ(proc.resolve_symbol(lib, "nope"), 0u);
+    EXPECT_EQ(proc.resolve_symbol(42, "fn_a"), 0u);
+    EXPECT_NE(proc.function_for(sym), nullptr);
+    EXPECT_EQ(proc.function_for(0), nullptr);
+}
+
+TEST(VeProcess, DuplicateSymbolInImageThrows) {
+    program_image img("libdup.so");
+    img.add_symbol("x", [](ve_call_context&) -> std::uint64_t { return 0; });
+    EXPECT_THROW(
+        img.add_symbol("x", [](ve_call_context&) -> std::uint64_t { return 1; }),
+        check_error);
+}
+
+TEST(VeProcess, RequestLoopExecutesCalls) {
+    aurora_fixture fx;
+    program_image img("libcalls.so");
+    img.add_symbol("add", [](ve_call_context& ctx) -> std::uint64_t {
+        return ctx.arg_u64(0) + ctx.arg_u64(1);
+    });
+
+    fx.run([&] {
+        ve_process& proc = fx.sys.daemon(0).create_process();
+        const std::uint64_t lib = proc.load_library(img);
+        const std::uint64_t sym = proc.resolve_symbol(lib, "add");
+
+        ve_command cmd;
+        cmd.req_id = proc.next_req_id();
+        cmd.sym = sym;
+        cmd.regs = {40, 2};
+        proc.queue().push(cmd);
+
+        const ve_completion done = proc.wait_completion(cmd.req_id);
+        EXPECT_FALSE(done.exception);
+        EXPECT_EQ(done.retval, 42u);
+
+        fx.sys.daemon(0).destroy_process(proc);
+        EXPECT_TRUE(proc.exited());
+    });
+}
+
+TEST(VeProcess, UnknownSymbolCallCompletesWithException) {
+    aurora_fixture fx;
+    fx.run([&] {
+        ve_process& proc = fx.sys.daemon(0).create_process();
+        ve_command cmd;
+        cmd.req_id = proc.next_req_id();
+        cmd.sym = 12345;
+        proc.queue().push(cmd);
+        const ve_completion done = proc.wait_completion(cmd.req_id);
+        EXPECT_TRUE(done.exception);
+        fx.sys.daemon(0).destroy_process(proc);
+    });
+}
+
+TEST(VeProcess, ThrowingVeFunctionReportsException) {
+    aurora_fixture fx;
+    program_image img("libthrow.so");
+    img.add_symbol("bad", [](ve_call_context&) -> std::uint64_t {
+        throw std::runtime_error("ve fault");
+    });
+    fx.run([&] {
+        ve_process& proc = fx.sys.daemon(0).create_process();
+        const std::uint64_t sym =
+            proc.resolve_symbol(proc.load_library(img), "bad");
+        ve_command cmd;
+        cmd.req_id = proc.next_req_id();
+        cmd.sym = sym;
+        proc.queue().push(cmd);
+        EXPECT_TRUE(proc.wait_completion(cmd.req_id).exception);
+        fx.sys.daemon(0).destroy_process(proc);
+    });
+}
+
+TEST(VeProcess, StackArgumentsCopyInAndOut) {
+    aurora_fixture fx;
+    program_image img("libstack.so");
+    img.add_symbol("double_all", [](ve_call_context& ctx) -> std::uint64_t {
+        const std::uint64_t addr = ctx.arg_u64(0);
+        const std::uint64_t n = ctx.arg_u64(1);
+        std::vector<std::int64_t> v(n);
+        ctx.proc().mem().read(addr, v.data(), n * 8);
+        for (auto& x : v) x *= 2;
+        ctx.proc().mem().write(addr, v.data(), n * 8);
+        return 0;
+    });
+    fx.run([&] {
+        ve_process& proc = fx.sys.daemon(0).create_process();
+        const std::uint64_t sym =
+            proc.resolve_symbol(proc.load_library(img), "double_all");
+
+        std::vector<std::int64_t> data{1, 2, 3};
+        ve_command cmd;
+        cmd.req_id = proc.next_req_id();
+        cmd.sym = sym;
+        cmd.regs = {0, 3};
+        stack_arg sa;
+        sa.reg_index = 0;
+        sa.intent = stack_intent::inout;
+        sa.bytes.resize(24);
+        std::memcpy(sa.bytes.data(), data.data(), 24);
+        cmd.stack_args.push_back(sa);
+        proc.queue().push(cmd);
+
+        const ve_completion done = proc.wait_completion(cmd.req_id);
+        ASSERT_EQ(done.returned_stack.size(), 1u);
+        std::memcpy(data.data(), done.returned_stack[0].bytes.data(), 24);
+        EXPECT_EQ(data, (std::vector<std::int64_t>{2, 4, 6}));
+        fx.sys.daemon(0).destroy_process(proc);
+    });
+}
+
+TEST(VeProcess, VhcallInvokesRegisteredHandler) {
+    aurora_fixture fx;
+    fx.run([&] {
+        ve_process& proc = fx.sys.daemon(0).create_process();
+        int called = 0;
+        proc.register_vhcall("host_fn",
+                             [&](const std::vector<std::byte>& in,
+                                 std::vector<std::byte>& out) -> std::uint64_t {
+                                 ++called;
+                                 out = in;
+                                 return 77;
+                             });
+        // Invoke from the VE side through a command.
+        program_image img("libvh.so");
+        img.add_symbol("calls_vh", [](ve_call_context& ctx) -> std::uint64_t {
+            std::vector<std::byte> in(4, std::byte{1});
+            std::vector<std::byte> out;
+            return ctx.proc().vhcall("host_fn", in, out) + out.size();
+        });
+        const std::uint64_t sym =
+            proc.resolve_symbol(proc.load_library(img), "calls_vh");
+        ve_command cmd;
+        cmd.req_id = proc.next_req_id();
+        cmd.sym = sym;
+        proc.queue().push(cmd);
+        EXPECT_EQ(proc.wait_completion(cmd.req_id).retval, 81u);
+        EXPECT_EQ(called, 1);
+        fx.sys.daemon(0).destroy_process(proc);
+    });
+}
+
+TEST(VeProcess, VhcallUnknownHandlerThrows) {
+    aurora_fixture fx;
+    fx.run([&] {
+        ve_process& proc = fx.sys.daemon(0).create_process();
+        program_image img("libvh2.so");
+        img.add_symbol("bad_vh", [](ve_call_context& ctx) -> std::uint64_t {
+            std::vector<std::byte> out;
+            return ctx.proc().vhcall("missing", {}, out);
+        });
+        const std::uint64_t sym =
+            proc.resolve_symbol(proc.load_library(img), "bad_vh");
+        ve_command cmd;
+        cmd.req_id = proc.next_req_id();
+        cmd.sym = sym;
+        proc.queue().push(cmd);
+        // The AURORA_CHECK inside vhcall surfaces as a VE-side exception.
+        EXPECT_TRUE(proc.wait_completion(cmd.req_id).exception);
+        fx.sys.daemon(0).destroy_process(proc);
+    });
+}
+
+TEST(VeProcess, DuplicateVhcallRegistrationThrows) {
+    aurora_fixture fx;
+    ve_process proc(fx.sys.daemon(0), fx.plat, 0, 1);
+    auto h = [](const std::vector<std::byte>&,
+                std::vector<std::byte>&) -> std::uint64_t { return 0; };
+    proc.register_vhcall("h", h);
+    EXPECT_THROW(proc.register_vhcall("h", h), check_error);
+}
+
+} // namespace
+} // namespace aurora::veos

@@ -1,0 +1,89 @@
+#include "veos/veos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/sim_fixture.hpp"
+
+namespace aurora::veos {
+namespace {
+
+using testing::aurora_fixture;
+
+TEST(VeosSystem, OneDaemonPerVe) {
+    sim::platform plat(sim::platform_config::a300_8());
+    veos_system sys(plat);
+    EXPECT_EQ(sys.num_ve(), 8);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(sys.daemon(i).ve_id(), i);
+    }
+    EXPECT_THROW((void)sys.daemon(8), check_error);
+}
+
+TEST(VeosSystem, ImageRepository) {
+    aurora_fixture fx;
+    program_image img("libapp.so");
+    fx.sys.install_image(img);
+    EXPECT_EQ(fx.sys.find_image("libapp.so"), &img);
+    EXPECT_EQ(fx.sys.find_image("other.so"), nullptr);
+    EXPECT_THROW(fx.sys.install_image(img), check_error);
+}
+
+TEST(VeosSystem, ProcessLifecycle) {
+    aurora_fixture fx;
+    fx.run([&] {
+        veos_daemon& d = fx.sys.daemon(0);
+        EXPECT_EQ(d.live_process_count(), 0u);
+        ve_process& p1 = d.create_process();
+        ve_process& p2 = d.create_process();
+        EXPECT_EQ(d.live_process_count(), 2u);
+        EXPECT_NE(p1.pid(), p2.pid());
+        d.destroy_process(p1);
+        EXPECT_EQ(d.live_process_count(), 1u);
+        d.destroy_process(p2);
+        EXPECT_EQ(d.live_process_count(), 0u);
+        EXPECT_THROW(d.destroy_process(p2), check_error);
+    });
+}
+
+TEST(VeosSystem, QuitDrainsQueuedCallsFirst) {
+    aurora_fixture fx;
+    program_image img("libdrain.so");
+    int executed = 0;
+    img.add_symbol("count", [&executed](ve_call_context&) -> std::uint64_t {
+        return std::uint64_t(++executed);
+    });
+    fx.run([&] {
+        ve_process& proc = fx.sys.daemon(0).create_process();
+        const std::uint64_t sym =
+            proc.resolve_symbol(proc.load_library(img), "count");
+        for (int i = 0; i < 3; ++i) {
+            ve_command cmd;
+            cmd.req_id = proc.next_req_id();
+            cmd.sym = sym;
+            proc.queue().push(cmd);
+        }
+        // destroy queues the quit command behind the three calls.
+        fx.sys.daemon(0).destroy_process(proc);
+        EXPECT_EQ(executed, 3);
+    });
+}
+
+TEST(VeosSystem, DaemonsAreIndependent) {
+    sim::platform plat(sim::platform_config::a300_8());
+    veos_system sys(plat);
+    testing::run_as_vh(plat, [&] {
+        ve_process& a = sys.daemon(0).create_process();
+        ve_process& b = sys.daemon(3).create_process();
+        const std::uint64_t va = a.ve_alloc(4096);
+        const std::uint64_t vb = b.ve_alloc(4096);
+        a.mem().store_u64(va, 111);
+        b.mem().store_u64(vb, 222);
+        EXPECT_EQ(a.mem().load_u64(va), 111u);
+        EXPECT_EQ(b.mem().load_u64(vb), 222u);
+        sys.daemon(0).destroy_process(a);
+        sys.daemon(3).destroy_process(b);
+    });
+}
+
+} // namespace
+} // namespace aurora::veos
