@@ -1,54 +1,120 @@
-// System characterisation: offload throughput scaling across the A300-8's
-// eight Vector Engines.
+// Scheduler characterisation: task-graph throughput across the A300-8's
+// eight Vector Engines under the three aurora::sched placement policies.
 //
-// The paper evaluates a single VH->VE pair; this bench extends the same
-// empty-kernel measurement to the full machine: one runtime drives 1..8 VEs
-// with round-robin async offloads (per-VE in-flight window), reporting the
-// aggregate offload rate. With the VE-DMA protocol all host-side costs are
-// local, so the host can keep several engines busy; with the VEO protocol the
-// ~400 us of host-side privileged-DMA work per offload serialises everything.
+// The paper evaluates a single VH->VE pair; this bench drives the full
+// machine through the aurora::sched executor and compares
+//
+//   round-robin    — static, affinity-blind dealing (the classic baseline),
+//   locality       — tasks run where their data lives, queues never rebalance,
+//   work-stealing  — locality placement plus stealing from the longest queue,
+//
+// on two synthetic mixes: a *uniform* one (every task costs the same) and a
+// *skewed* Zipf-like one (a heavy head of expensive tasks, affinities piled
+// onto few engines). Reported per configuration: makespan, aggregate task
+// rate and the min/max per-VE utilisation (busy cost / makespan). The final
+// section re-runs the skewed work-stealing configuration and checks the two
+// virtual-time traces are bit-identical — the scheduler's determinism
+// contract on top of the DES engine.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench/support/bench_common.hpp"
 #include "offload/offload.hpp"
+#include "sched/sched.hpp"
 
 namespace {
 
 using namespace aurora;
 namespace off = ham::offload;
 
-void empty_kernel() {}
+void spin(std::int64_t ns) {
+    sim::advance(ns);
+}
 
-/// Aggregate offloads/second over `num_ves` engines.
-double offload_rate(off::backend_kind kind, int num_ves, int per_ve) {
+struct work_item {
+    std::int64_t cost_ns = 0;
+    sched::node_t affinity = sched::any_node;
+};
+
+/// Deterministic LCG; the same workload is generated for every policy.
+class lcg {
+public:
+    explicit lcg(std::uint64_t seed) : x_(seed * 2654435761u + 1) {}
+    std::uint64_t next(std::uint64_t n) {
+        x_ = x_ * 6364136223846793005ULL + 1442695040888963407ULL;
+        return (x_ >> 33) % n;
+    }
+
+private:
+    std::uint64_t x_;
+};
+
+std::vector<work_item> uniform_mix(std::size_t n) {
+    return std::vector<work_item>(n, {.cost_ns = 5000});
+}
+
+/// Zipf-like mix: 1-in-16 tasks are 100x heavier, and affinities favour the
+/// low-numbered engines (where "the data" of a skewed application lives).
+std::vector<work_item> skewed_mix(std::size_t n, std::size_t num_ves) {
+    lcg rng(42);
+    std::vector<work_item> items(n);
+    for (auto& it : items) {
+        it.cost_ns = rng.next(16) == 0 ? 1000000 : 10000;
+        // P(VE 1) = 1/2, P(VE 2) = 1/4, ... — a Zipf-ish pile-up.
+        std::size_t ve = 0;
+        while (ve + 1 < num_ves && rng.next(2) == 0) {
+            ++ve;
+        }
+        it.affinity = sched::node_t(num_ves - ve);
+    }
+    return items;
+}
+
+struct run_result {
+    double makespan_s = 0.0;
+    double rate = 0.0;      ///< tasks per second
+    double util_min = 1.0;  ///< worst per-VE utilisation
+    double util_max = 0.0;  ///< best per-VE utilisation
+    std::uint64_t steals = 0;
+    std::vector<std::uint64_t> done_times; ///< determinism fingerprint
+};
+
+run_result run_policy(sched::placement_policy policy,
+                      const std::vector<work_item>& items, int num_ves) {
     sim::platform plat(sim::platform_config::a300_8());
     off::runtime_options opt;
-    opt.backend = kind;
+    opt.backend = off::backend_kind::vedma;
     opt.targets.clear();
     for (int i = 0; i < num_ves; ++i) {
         opt.targets.push_back(i);
     }
-    double rate = 0.0;
+    run_result res;
     off::run(plat, opt, [&] {
-        for (off::node_t n = 1; n <= num_ves; ++n) {
-            off::sync(n, ham::f2f<&empty_kernel>()); // warm-up
+        sched::task_graph g;
+        for (const work_item& it : items) {
+            (void)g.add(ham::f2f<&spin>(it.cost_ns),
+                        {.affinity = it.affinity, .cost_ns =
+                                         std::uint64_t(it.cost_ns)});
         }
+        sched::executor ex{{.policy = policy}};
         const sim::time_ns t0 = sim::now();
-        std::vector<off::future<void>> inflight;
-        for (int round = 0; round < per_ve; ++round) {
-            inflight.clear();
-            for (off::node_t n = 1; n <= num_ves; ++n) {
-                inflight.push_back(off::async(n, ham::f2f<&empty_kernel>()));
-            }
-            for (auto& f : inflight) {
-                f.get();
-            }
+        ex.run(g);
+        const double makespan = double(sim::now() - t0);
+
+        res.makespan_s = makespan / 1e9;
+        res.rate = double(items.size()) / res.makespan_s;
+        res.steals = ex.stats().steals;
+        for (const auto& t : ex.stats().per_target) {
+            const double u = double(t.busy_cost_ns) / makespan;
+            res.util_min = std::min(res.util_min, u);
+            res.util_max = std::max(res.util_max, u);
         }
-        const double seconds = double(sim::now() - t0) / 1e9;
-        rate = double(per_ve) * num_ves / seconds;
+        for (const sched::completion_record& r : ex.trace()) {
+            res.done_times.push_back(r.done_time_ns);
+        }
     });
-    return rate;
+    return res;
 }
 
 std::string k_per_s(double v) {
@@ -57,31 +123,92 @@ std::string k_per_s(double v) {
     return buf;
 }
 
+std::string pct(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f%%", v * 100.0);
+    return buf;
+}
+
+std::string ms(double s) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1000.0);
+    return buf;
+}
+
+constexpr auto rr = sched::placement_policy::round_robin;
+constexpr auto lc = sched::placement_policy::locality;
+constexpr auto ws = sched::placement_policy::work_stealing;
+
 } // namespace
 
 int main() {
     bench::print_header(
-        "Scaling — aggregate empty-offload rate over 1..8 Vector Engines",
-        "Round-robin async offloads, one in flight per VE");
+        "Scaling — aurora::sched task throughput over the 8-VE machine",
+        "Placement policies on uniform and skewed (Zipf-like) task mixes");
 
-    const int per_ve = bench::reps();
-    aurora::text_table t({"VEs", "HAM/VEO rate", "HAM/VE-DMA rate",
-                          "VE-DMA scaling"});
-    double dma1 = 0.0;
-    for (const int ves : {1, 2, 4, 8}) {
-        const double veo = offload_rate(off::backend_kind::veo, ves, per_ve);
-        const double dma = offload_rate(off::backend_kind::vedma, ves, per_ve);
-        if (ves == 1) {
-            dma1 = dma;
+    // The policy comparison needs enough tasks that the heavy 1-in-16 head
+    // of the skewed mix is statistically present on every engine's queue;
+    // smoke-level rep counts are floored to a representative mix.
+    const auto num_tasks = std::max<std::size_t>(std::size_t(bench::reps()), 35) * 16;
+
+    // Part 1: strong scaling of the work-stealing executor, uniform mix.
+    {
+        text_table t({"VEs", "makespan", "aggregate rate", "scaling"});
+        double rate1 = 0.0;
+        for (const int ves : {1, 2, 4, 8}) {
+            const run_result r = run_policy(ws, uniform_mix(num_tasks), ves);
+            if (ves == 1) {
+                rate1 = r.rate;
+            }
+            t.add_row({std::to_string(ves), ms(r.makespan_s), k_per_s(r.rate),
+                       bench::ratio(r.rate, rate1)});
         }
-        t.add_row({std::to_string(ves), k_per_s(veo), k_per_s(dma),
-                   bench::ratio(dma, dma1)});
+        bench::emit(t);
+        std::printf("\n");
+    }
+
+    // Part 2: policy shoot-out at 8 VEs.
+    const std::vector<work_item> uni = uniform_mix(num_tasks);
+    const std::vector<work_item> skew = skewed_mix(num_tasks, 8);
+    text_table t({"mix", "policy", "makespan", "rate", "VE util min..max",
+                  "steals"});
+    run_result rr_skew, ws_skew;
+    for (const auto* mix : {&uni, &skew}) {
+        const bool is_skew = mix == &skew;
+        for (const auto policy : {rr, lc, ws}) {
+            const run_result r = run_policy(policy, *mix, 8);
+            if (is_skew && policy == rr) {
+                rr_skew = r;
+            }
+            if (is_skew && policy == ws) {
+                ws_skew = r;
+            }
+            t.add_row({is_skew ? "skewed" : "uniform",
+                       sched::to_string(policy), ms(r.makespan_s),
+                       k_per_s(r.rate),
+                       pct(r.util_min) + " .. " + pct(r.util_max),
+                       std::to_string(r.steals)});
+        }
     }
     bench::emit(t);
+
+    std::printf("\nWork stealing vs round robin on the skewed mix: %s\n",
+                bench::ratio(ws_skew.rate, rr_skew.rate).c_str());
+
+    // Part 3: determinism — the same skewed work-stealing run, twice.
+    const run_result again = run_policy(ws, skew, 8);
+    const bool identical = again.done_times == ws_skew.done_times &&
+                           again.makespan_s == ws_skew.makespan_s;
+    std::printf("Determinism: repeated run %s (%zu completion timestamps)\n",
+                identical ? "bit-identical" : "DIVERGED",
+                again.done_times.size());
+
     std::printf(
-        "\nReading: the DMA protocol's host-side work is a few local memory\n"
-        "operations per offload, so aggregate rate grows with engine count\n"
-        "until the round-trip latency window fills; the VEO protocol is bound\n"
-        "by ~400 us of host-side work per offload regardless of VE count.\n");
-    return 0;
+        "\nReading: round robin deals evenly by task count, so the skewed\n"
+        "mix's heavy head lands unevenly and the makespan stretches; pure\n"
+        "locality inherits the data skew wholesale; work stealing starts\n"
+        "from the locality placement and drains the hot queues into idle\n"
+        "engines, recovering near-uniform utilisation.\n");
+
+    return ws_skew.rate > rr_skew.rate && identical ? 0 : 1;
 }

@@ -84,13 +84,17 @@ struct serializer<std::vector<E>, std::enable_if_t<std::is_trivially_copyable_v<
         AURORA_CHECK_MSG(bytes <= cap, "vector of " << bytes
                                                     << " B exceeds migratable capacity "
                                                     << cap);
-        std::memcpy(buf, v.data(), bytes);
+        if (bytes > 0) {
+            std::memcpy(buf, v.data(), bytes);
+        }
         return bytes;
     }
     static std::vector<E> unpack(const std::byte* buf, std::size_t size) {
         AURORA_CHECK(size % sizeof(E) == 0);
         std::vector<E> v(size / sizeof(E));
-        std::memcpy(v.data(), buf, size);
+        if (size > 0) {
+            std::memcpy(v.data(), buf, size);
+        }
         return v;
     }
 };

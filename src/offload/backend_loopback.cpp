@@ -93,6 +93,7 @@ void backend_loopback::send_message(std::uint32_t slot, const void* msg,
     AURORA_CHECK(slot < slots_);
     AURORA_CHECK_MSG(len <= msg_size_, "message exceeds slot capacity");
     AURORA_CHECK_MSG(kind == protocol::msg_kind::user ||
+                         kind == protocol::msg_kind::batch ||
                          kind == protocol::msg_kind::terminate,
                      "loopback backend has no DMA data path");
     protocol::flag_word flag;
@@ -100,7 +101,9 @@ void backend_loopback::send_message(std::uint32_t slot, const void* msg,
     flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
     flag.len = static_cast<std::uint32_t>(len);
     std::vector<std::byte> bytes(len);
-    std::memcpy(bytes.data(), msg, len);
+    if (len > 0) {
+        std::memcpy(bytes.data(), msg, len);
+    }
     sim::advance(costs_.local_poll_ns); // queue handoff
     shared_->inbox.push({flag, std::move(bytes)});
 }

@@ -113,6 +113,7 @@ void backend_tcp::send_message(std::uint32_t slot, const void* msg, std::size_t 
     AURORA_CHECK(slot < slots_);
     AURORA_CHECK_MSG(len <= msg_size_, "message exceeds slot capacity");
     AURORA_CHECK_MSG(kind == protocol::msg_kind::user ||
+                         kind == protocol::msg_kind::batch ||
                          kind == protocol::msg_kind::terminate,
                      "the TCP backend has no DMA data path");
     tcp_packet p;

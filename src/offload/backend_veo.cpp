@@ -74,6 +74,7 @@ void backend_veo::send_message(std::uint32_t slot, const void* msg, std::size_t 
     AURORA_CHECK(slot < layout_.recv.slots);
     AURORA_CHECK_MSG(len <= layout_.recv.msg_size, "message exceeds slot capacity");
     AURORA_CHECK_MSG(kind == protocol::msg_kind::user ||
+                         kind == protocol::msg_kind::batch ||
                          kind == protocol::msg_kind::terminate,
                      "the VEO backend has no DMA data path");
     // Fig. 5: write the message into the receive buffer on the VE, then

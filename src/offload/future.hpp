@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -59,6 +60,7 @@ class future {
         bool failed = false;
         std::string error_text;
         storage value{};
+        std::function<void()> on_ready;
     };
 
 public:
@@ -97,6 +99,21 @@ public:
     }
 
     [[nodiscard]] bool valid() const noexcept { return s_ != nullptr; }
+
+    /// Register a completion callback, invoked exactly once from within the
+    /// test()/get() call that observes the result (or immediately, when the
+    /// future is already satisfied). The callback must not block; it runs on
+    /// the host process while the runtime is mid-poll. One callback per
+    /// future — the scheduling-layer hook for dependency resolution.
+    void on_ready(std::function<void()> cb) {
+        AURORA_CHECK_MSG(valid(), "on_ready() on an invalid future");
+        AURORA_CHECK_MSG(!s_->on_ready, "future already has an on_ready callback");
+        if (s_->ready) {
+            cb();
+            return;
+        }
+        s_->on_ready = std::move(cb);
+    }
 
     /// Non-blocking readiness probe.
     [[nodiscard]] bool test() {
@@ -153,6 +170,13 @@ private:
             }
         }
         s_->ready = true;
+        if (s_->on_ready) {
+            // Cleared before invoking so the callback observes a plain ready
+            // future; it must not destroy the future it was registered on.
+            std::function<void()> cb = std::move(s_->on_ready);
+            s_->on_ready = nullptr;
+            cb();
+        }
     }
 
     std::shared_ptr<state> s_;

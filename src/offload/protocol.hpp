@@ -17,7 +17,10 @@
 // message with a single LHM of the flag followed by one user-DMA transfer.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <vector>
 
 namespace ham::offload::protocol {
 
@@ -30,6 +33,10 @@ enum class msg_kind : std::uint8_t {
     /// handled transparently inside the vedma channel.
     data_put = 3,
     data_get = 4,
+    /// Extension (aurora::sched): several coalesced active messages in one
+    /// slot payload, answered by a single result message. Amortises the
+    /// per-message protocol cost (Fig. 9) over small tasks.
+    batch = 5,
 };
 
 /// Payload of a data_put/data_get control message.
@@ -71,6 +78,98 @@ struct flag_word {
 /// Result message header preceding the result payload in a send buffer.
 struct result_header {
     std::uint64_t status = 0; ///< 0 = ok, 1 = target exception
+};
+
+// --- batch message encoding (msg_kind::batch) --------------------------------
+//
+// Wire format inside one slot payload:
+//   [ batch_header ][ entry ]*count
+//   entry = [u32 len][u32 pad][len payload bytes, padded to 8]
+// Every entry is a complete serialised active message; the target executes
+// them in order through its regular translation tables and answers the whole
+// batch with one result message. Sub-message result payloads are discarded —
+// only void-returning messages belong in a batch.
+
+struct batch_header {
+    std::uint32_t count = 0;
+    std::uint32_t reserved = 0;
+};
+
+/// Wire bytes one entry of payload length `len` occupies.
+[[nodiscard]] constexpr std::uint64_t batch_entry_bytes(std::uint64_t len) {
+    return 8 + ((len + 7) & ~std::uint64_t{7});
+}
+
+/// Incrementally packs serialised messages into one batch payload.
+class batch_builder {
+public:
+    explicit batch_builder(std::uint64_t capacity) : capacity_(capacity) {
+        buf_.resize(sizeof(batch_header));
+    }
+
+    /// Would a message of `len` bytes still fit within the slot capacity?
+    [[nodiscard]] bool fits(std::uint64_t len) const {
+        return buf_.size() + batch_entry_bytes(len) <= capacity_;
+    }
+
+    void append(const void* msg, std::uint32_t len) {
+        const std::size_t at = buf_.size();
+        buf_.resize(at + batch_entry_bytes(len), std::byte{0});
+        std::memcpy(buf_.data() + at, &len, sizeof(len));
+        std::memcpy(buf_.data() + at + 8, msg, len);
+        ++count_;
+    }
+
+    [[nodiscard]] std::uint32_t count() const noexcept { return count_; }
+    [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+    /// Finalise the header and expose the wire bytes.
+    [[nodiscard]] const std::byte* finish() {
+        batch_header h;
+        h.count = count_;
+        std::memcpy(buf_.data(), &h, sizeof(h));
+        return buf_.data();
+    }
+
+private:
+    std::uint64_t capacity_;
+    std::uint32_t count_ = 0;
+    std::vector<std::byte> buf_;
+};
+
+/// Walks the entries of a received batch payload.
+class batch_reader {
+public:
+    batch_reader(const std::byte* data, std::size_t len) : p_(data), end_(data + len) {
+        batch_header h;
+        if (len >= sizeof(h)) {
+            std::memcpy(&h, data, sizeof(h));
+            left_ = h.count;
+            p_ += sizeof(h);
+        }
+    }
+
+    [[nodiscard]] std::uint32_t remaining() const noexcept { return left_; }
+
+    /// Advance to the next sub-message; false when exhausted or malformed.
+    bool next(const std::byte*& msg, std::uint32_t& len) {
+        if (left_ == 0 || p_ + 8 > end_) {
+            return false;
+        }
+        std::memcpy(&len, p_, sizeof(len));
+        if (p_ + batch_entry_bytes(len) > end_) {
+            return false;
+        }
+        msg = p_ + 8;
+        p_ += batch_entry_bytes(len);
+        --left_;
+        return true;
+    }
+
+private:
+    const std::byte* p_;
+    const std::byte* end_;
+    std::uint32_t left_ = 0;
 };
 
 /// Geometry of one direction's communication region:

@@ -161,18 +161,75 @@ const runtime::target_statistics& runtime::statistics(node_t node) {
     return state_for(node).stats;
 }
 
-runtime::sent_message runtime::send_message(node_t node, const void* msg,
-                                            std::size_t len) {
+runtime::target_runtime_stats runtime::runtime_stats(node_t node) {
     target_state& t = state_for(node);
-    const std::uint32_t slot = acquire_slot(t);
-    t.be->send_message(slot, msg, len, protocol::msg_kind::user);
+    target_runtime_stats s;
+    s.slots_total = t.be->slot_count();
+    for (const std::uint64_t ticket : t.slot_ticket) {
+        s.in_flight += ticket != 0 ? 1 : 0;
+    }
+    s.queue_depth = static_cast<std::uint32_t>(t.arrived.size());
+    s.completed = t.stats.results_received;
+    return s;
+}
+
+runtime::sent_message runtime::send_on_slot(target_state& t, std::uint32_t slot,
+                                            const void* msg, std::size_t len,
+                                            protocol::msg_kind kind, node_t node) {
+    AURORA_CHECK_MSG(kind == protocol::msg_kind::user ||
+                         kind == protocol::msg_kind::batch,
+                     "only user and batch messages go through send_message");
+    t.be->send_message(slot, msg, len, kind);
     const std::uint64_t ticket = t.next_ticket++;
     t.slot_ticket[slot] = ticket;
     ++t.stats.messages_sent;
+    if (kind == protocol::msg_kind::batch) {
+        ++t.stats.batches_sent;
+    }
     AURORA_TRACE("offload", "send msg " << len << " B -> node " << node
                                         << " slot " << slot << " ticket "
                                         << ticket);
     return {ticket, slot};
+}
+
+runtime::sent_message runtime::send_message(node_t node, const void* msg,
+                                            std::size_t len,
+                                            protocol::msg_kind kind) {
+    target_state& t = state_for(node);
+    const std::uint32_t slot = acquire_slot(t);
+    return send_on_slot(t, slot, msg, len, kind, node);
+}
+
+bool runtime::try_send_message(node_t node, const void* msg, std::size_t len,
+                               sent_message& out, protocol::msg_kind kind) {
+    target_state& t = state_for(node);
+    // The host must fill slots in strict round-robin order (Sec. III-D), so
+    // only the cursor slot is a candidate; harvest it opportunistically.
+    const std::uint32_t slot = t.rr;
+    if (t.slot_ticket[slot] != 0 && !harvest_slot(t, slot)) {
+        return false;
+    }
+    t.rr = (t.rr + 1) % t.be->slot_count();
+    out = send_on_slot(t, slot, msg, len, kind, node);
+    return true;
+}
+
+std::uint32_t runtime::slots_available(node_t node) {
+    target_state& t = state_for(node);
+    const std::uint32_t slots = t.be->slot_count();
+    for (std::uint32_t s = 0; s < slots; ++s) {
+        if (t.slot_ticket[s] != 0) {
+            harvest_slot(t, s);
+        }
+    }
+    std::uint32_t available = 0;
+    for (std::uint32_t i = 0; i < slots; ++i) {
+        if (t.slot_ticket[(t.rr + i) % slots] != 0) {
+            break;
+        }
+        ++available;
+    }
+    return available;
 }
 
 bool runtime::try_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,

@@ -66,12 +66,22 @@ public:
     // --- statistics -------------------------------------------------------------
     struct target_statistics {
         std::uint64_t messages_sent = 0;   ///< user offload messages
+        std::uint64_t batches_sent = 0;    ///< coalesced batch messages thereof
         std::uint64_t results_received = 0;
         std::uint64_t bytes_put = 0;
         std::uint64_t bytes_got = 0;
         std::uint64_t data_chunks = 0;     ///< extension data-path chunks
     };
     [[nodiscard]] const target_statistics& statistics(node_t node);
+
+    /// Instantaneous per-target queue state (scheduling-layer introspection).
+    struct target_runtime_stats {
+        std::uint32_t slots_total = 0;
+        std::uint32_t in_flight = 0;   ///< slots holding an uncollected request
+        std::uint32_t queue_depth = 0; ///< results arrived, not yet collected
+        std::uint64_t completed = 0;   ///< results collected so far
+    };
+    [[nodiscard]] target_runtime_stats runtime_stats(node_t node);
 
     // --- messaging -------------------------------------------------------------
     struct sent_message {
@@ -81,7 +91,20 @@ public:
 
     /// Send one serialised active message; blocks while every slot has an
     /// uncollected result (buffering arrivals in the meantime).
-    sent_message send_message(node_t node, const void* msg, std::size_t len);
+    sent_message send_message(node_t node, const void* msg, std::size_t len,
+                              protocol::msg_kind kind = protocol::msg_kind::user);
+
+    /// Non-blocking send: true and fills `out` when the next slot (strict
+    /// round-robin discipline) is free or just completed; false when the send
+    /// would have to block. The backpressure primitive of aurora::sched.
+    bool try_send_message(node_t node, const void* msg, std::size_t len,
+                          sent_message& out,
+                          protocol::msg_kind kind = protocol::msg_kind::user);
+
+    /// How many messages can be sent to `node` right now without blocking:
+    /// contiguous free slots from the round-robin cursor, after harvesting
+    /// every completed result (non-blocking).
+    [[nodiscard]] std::uint32_t slots_available(node_t node);
 
     bool try_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,
                      std::vector<std::byte>& out) override;
@@ -116,6 +139,9 @@ private:
     /// Probe one slot's backend result; buffer an arrival under its ticket.
     bool harvest_slot(target_state& t, std::uint32_t slot);
     std::uint32_t acquire_slot(target_state& t);
+    sent_message send_on_slot(target_state& t, std::uint32_t slot, const void* msg,
+                              std::size_t len, protocol::msg_kind kind,
+                              node_t node);
     void shutdown();
 
     static thread_local runtime* current_;

@@ -21,6 +21,30 @@ void run_target_loop(const target_loop_config& cfg, target_channel& channel) {
 
     std::vector<std::byte> msg;
     std::vector<std::byte> result(sizeof(protocol::result_header) + cfg.msg_size);
+    // Scratch copy for batch sub-messages: entries are 8-byte aligned on the
+    // wire, but active messages may require stricter functor alignment.
+    std::vector<std::byte> sub(cfg.msg_size);
+
+    auto execute_one = [&](void* bytes, protocol::result_header& header,
+                           std::size_t& payload_size) {
+        try {
+            ham::execute_message(*cfg.registry, bytes,
+                                 result.data() + sizeof(header),
+                                 result.size() - sizeof(header), &payload_size);
+        } catch (const sim::simulation_aborted&) {
+            throw;
+        } catch (const std::exception& e) {
+            // Reported to the future as offload_error; the what() text rides
+            // in the result payload so the host sees the original diagnosis.
+            header.status = 1;
+            const std::size_t cap = result.size() - sizeof(header);
+            payload_size = std::min(cap, std::strlen(e.what()));
+            std::memcpy(result.data() + sizeof(header), e.what(), payload_size);
+        } catch (...) {
+            header.status = 1;
+            payload_size = 0;
+        }
+    };
 
     for (;;) {
         const protocol::flag_word flag = channel.recv_next(msg);
@@ -40,25 +64,54 @@ void run_target_loop(const target_loop_config& cfg, target_channel& channel) {
             break;
         }
 
+        if (flag.kind == protocol::msg_kind::batch) {
+            // Coalesced batch (aurora::sched): execute every sub-message in
+            // order through the regular translation tables, then acknowledge
+            // the whole batch with one result message. The per-message
+            // protocol round trip is paid once; each sub-message still pays
+            // its dispatch (key lookup + indirect call). Every entry executes
+            // exactly once even after a failure; the first error's what()
+            // text travels back in the batch result.
+            protocol::batch_reader reader(msg.data(), msg.size());
+            const std::uint32_t announced = reader.remaining();
+            std::uint32_t executed = 0;
+            std::vector<std::byte> first_error;
+            const std::byte* entry = nullptr;
+            std::uint32_t entry_len = 0;
+            while (reader.next(entry, entry_len)) {
+                AURORA_CHECK_MSG(entry_len <= sub.size(),
+                                 "batch entry exceeds the slot capacity");
+                std::memcpy(sub.data(), entry, entry_len);
+                sim::advance(cm.ham_msg_dispatch_ns);
+                protocol::result_header sub_header{};
+                std::size_t sub_payload = 0;
+                execute_one(sub.data(), sub_header, sub_payload);
+                if (sub_header.status != 0 && header.status == 0) {
+                    header.status = sub_header.status;
+                    first_error.assign(result.data() + sizeof(header),
+                                       result.data() + sizeof(header) + sub_payload);
+                }
+                ++executed;
+            }
+            AURORA_CHECK_MSG(executed == announced,
+                             "malformed batch message: " << executed << " of "
+                                                         << announced
+                                                         << " entries decoded");
+            payload_size = first_error.size();
+            if (payload_size > 0) {
+                std::memcpy(result.data() + sizeof(header), first_error.data(),
+                            payload_size);
+            }
+            std::memcpy(result.data(), &header, sizeof(header));
+            sim::advance(cm.ham_msg_construct_ns);
+            channel.send_result(result_slot, result.data(),
+                                sizeof(header) + payload_size);
+            continue;
+        }
+
         // Generic handler: key lookup -> local handler -> typed execution.
         sim::advance(cm.ham_msg_dispatch_ns);
-        try {
-            ham::execute_message(*cfg.registry, msg.data(),
-                                 result.data() + sizeof(header),
-                                 result.size() - sizeof(header), &payload_size);
-        } catch (const sim::simulation_aborted&) {
-            throw;
-        } catch (const std::exception& e) {
-            // Reported to the future as offload_error; the what() text rides
-            // in the result payload so the host sees the original diagnosis.
-            header.status = 1;
-            const std::size_t cap = result.size() - sizeof(header);
-            payload_size = std::min(cap, std::strlen(e.what()));
-            std::memcpy(result.data() + sizeof(header), e.what(), payload_size);
-        } catch (...) {
-            header.status = 1;
-            payload_size = 0;
-        }
+        execute_one(msg.data(), header, payload_size);
 
         std::memcpy(result.data(), &header, sizeof(header));
         sim::advance(cm.ham_msg_construct_ns); // result message construction

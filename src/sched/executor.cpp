@@ -1,0 +1,388 @@
+#include "sched/executor.hpp"
+
+#include <algorithm>
+
+#include "ham/msg.hpp"
+#include "offload/protocol.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace aurora::sched {
+
+namespace {
+
+/// Largest payload a single message may carry (slot buffer size).
+[[nodiscard]] std::size_t slot_capacity(const ham::offload::runtime& rt) {
+    return rt.options().msg_size;
+}
+
+} // namespace
+
+executor::executor(executor_config cfg)
+    : cfg_(cfg), rt_(detail::rt()), num_targets_(rt_.num_nodes() - 1) {
+    AURORA_CHECK_MSG(num_targets_ > 0, "executor needs at least one target");
+    AURORA_CHECK_MSG(cfg_.window > 0, "executor window must be positive");
+    AURORA_CHECK_MSG(cfg_.max_queued > 0, "max_queued must be positive");
+    window_ = std::min(cfg_.window, rt_.options().msg_slots);
+    if (cfg_.max_batch == 0) {
+        cfg_.max_batch = 1;
+    }
+    targets_.resize(num_targets_);
+    stats_.per_target.resize(num_targets_);
+}
+
+task_id executor::submit_serialized(std::vector<std::byte> msg,
+                                    const task_options& opts, const task_id* deps,
+                                    std::size_t dep_count) {
+    const auto id = static_cast<task_id>(tasks_.size());
+    AURORA_CHECK_MSG(id != invalid_task, "executor full");
+    AURORA_CHECK_MSG(opts.affinity == any_node ||
+                         (opts.affinity >= 0 &&
+                          static_cast<std::size_t>(opts.affinity) <= num_targets_),
+                     "task affinity " << opts.affinity << " is not a node (have "
+                                      << num_targets_ << " targets)");
+
+    detail::task_rec rec;
+    rec.msg = std::move(msg);
+    rec.opts = opts;
+    rec.record.id = id;
+
+    // Placement: affinity 0 always means the host queue; otherwise the policy
+    // decides. Round-robin deliberately ignores affinity (it is the static
+    // baseline the benchmarks compare against).
+    if (opts.affinity == 0) {
+        rec.home = 0;
+    } else if (cfg_.policy == placement_policy::round_robin ||
+               opts.affinity == any_node) {
+        rec.home = node_of(rr_next_++ % num_targets_);
+    } else {
+        rec.home = opts.affinity;
+    }
+
+    for (std::size_t i = 0; i < dep_count; ++i) {
+        const task_id d = deps[i];
+        AURORA_CHECK_MSG(d < id, "task dependency " << d
+                                                    << " is not an earlier task");
+        detail::task_rec& dep = tasks_[d];
+        if (dep.state == task_state::done || dep.state == task_state::failed) {
+            continue; // already settled, nothing to wait for
+        }
+        dep.succs.push_back(id);
+        ++rec.unmet;
+    }
+
+    const bool ready = rec.unmet == 0;
+    tasks_.push_back(std::move(rec));
+    if (ready) {
+        release_ready(id);
+    }
+
+    // Backpressure: block in virtual time until the backlog drains below the
+    // configured bound — submission never fails on slot exhaustion.
+    if (tasks_.size() - finished_count_ > cfg_.max_queued) {
+        ++stats_.backpressure_stalls;
+        while (tasks_.size() - finished_count_ > cfg_.max_queued) {
+            drain_once();
+        }
+    }
+    return id;
+}
+
+void executor::run(const task_graph& g) {
+    for (const task_graph::node& n : g.nodes_) {
+        submit_serialized(n.msg, n.opts, n.deps.data(), n.deps.size());
+    }
+    wait_all();
+}
+
+void executor::wait_all() {
+    while (finished_count_ < tasks_.size()) {
+        const bool progress = drain_once();
+        if (progress) {
+            continue;
+        }
+        // No completions, no dispatches. Legal only while work is in flight
+        // (the poll itself advanced virtual time, the targets will get there);
+        // otherwise the dependency graph cannot make progress.
+        bool inflight = false;
+        for (const target_queues& tq : targets_) {
+            inflight = inflight || !tq.inflight.empty();
+        }
+        AURORA_CHECK_MSG(inflight,
+                         "executor stalled with "
+                             << (tasks_.size() - finished_count_)
+                             << " unfinished tasks: dependency cycle?");
+    }
+    if (failed_) {
+        failed_ = false; // report once; the executor stays usable for queries
+        throw ham::offload::offload_error(first_error_);
+    }
+}
+
+task_state executor::state_of(task_id id) const {
+    AURORA_CHECK_MSG(id < tasks_.size(), "unknown task id " << id);
+    return tasks_[id].state;
+}
+
+const executor::statistics& executor::stats() {
+    for (std::size_t t = 0; t < num_targets_; ++t) {
+        stats_.per_target[t].queue_depth = targets_[t].ready.size();
+    }
+    return stats_;
+}
+
+void executor::release_ready(task_id id) {
+    detail::task_rec& rec = tasks_[id];
+    if (failed_) {
+        // A prior failure poisons everything not yet dispatched: settle the
+        // task as failed and cascade to its successors so wait_all terminates.
+        finish_task(id, false, rec.home);
+        return;
+    }
+    rec.state = task_state::ready;
+    if (rec.home == 0) {
+        host_ready_.push_back(id);
+    } else {
+        targets_[static_cast<std::size_t>(rec.home) - 1].ready.push_back(id);
+    }
+}
+
+void executor::finish_task(task_id id, bool success, node_t executed_on) {
+    detail::task_rec& rec = tasks_[id];
+    rec.state = success ? task_state::done : task_state::failed;
+    rec.record.executed_on = executed_on;
+    rec.record.done_seq = event_seq_++;
+    rec.record.done_time_ns = static_cast<std::uint64_t>(aurora::sim::now());
+    rec.msg = {}; // the message was delivered (or never will be); drop it
+    ++finished_count_;
+    if (success) {
+        trace_.push_back(rec.record);
+    }
+    for (const task_id s : rec.succs) {
+        detail::task_rec& succ = tasks_[s];
+        AURORA_CHECK(succ.unmet > 0);
+        if (--succ.unmet == 0) {
+            release_ready(s);
+        }
+    }
+}
+
+bool executor::drain_once() {
+    bool progress = false;
+
+    // 1. Host tasks run inline on the VH process (scatter/gather phases).
+    while (!host_ready_.empty()) {
+        const task_id id = host_ready_.front();
+        host_ready_.pop_front();
+        run_host_task(id);
+        progress = true;
+    }
+
+    // 2. Harvest completed flights (lowest node first, FIFO per target).
+    for (std::size_t t = 0; t < num_targets_; ++t) {
+        progress = harvest_target(t) || progress;
+    }
+
+    // 3. Fill the in-flight windows.
+    for (std::size_t t = 0; t < num_targets_; ++t) {
+        progress = dispatch_target(t) || progress;
+    }
+    return progress;
+}
+
+void executor::run_host_task(task_id id) {
+    detail::task_rec& rec = tasks_[id];
+    rec.state = task_state::inflight;
+    rec.record.start_seq = event_seq_++;
+    ++stats_.host_tasks;
+
+    aurora::sim::advance(rt_.costs().ham_msg_dispatch_ns);
+    std::byte result[sizeof(ham::offload::protocol::result_header)];
+    std::size_t result_size = 0;
+    bool ok = true;
+    try {
+        ham::execute_message(rt_.host_registry(), rec.msg.data(), result,
+                             sizeof(result), &result_size);
+    } catch (const std::exception& e) {
+        ok = false;
+        if (!failed_) {
+            failed_ = true;
+            first_error_ = std::string("host task failed: ") + e.what();
+        }
+    }
+    finish_task(id, ok, 0);
+}
+
+bool executor::harvest_target(std::size_t t) {
+    target_queues& tq = targets_[t];
+    bool progress = false;
+    // The target loop serves messages in send order, so flights complete
+    // FIFO: only the front flight can be newly done. Probing just that one
+    // keeps the poll cost (and thus virtual time) independent of the window.
+    while (!tq.inflight.empty()) {
+        flight& f = tq.inflight.front();
+        if (!*f.completed) {
+            // on_ready marks `completed` when the result lands.
+            static_cast<void>(f.fut.test());
+        }
+        if (!*f.completed) {
+            break;
+        }
+        retire_flight(t, f);
+        tq.inflight.pop_front();
+        progress = true;
+    }
+    return progress;
+}
+
+void executor::retire_flight(std::size_t t, flight& f) {
+    bool ok = true;
+    try {
+        f.fut.get();
+    } catch (const ham::offload::offload_error& e) {
+        ok = false;
+        if (!failed_) {
+            failed_ = true;
+            first_error_ = e.what();
+        }
+    }
+    target_load& load = stats_.per_target[t];
+    for (const task_id id : f.tasks) {
+        if (ok) {
+            ++load.tasks_executed;
+            load.busy_cost_ns += tasks_[id].opts.cost_ns;
+            if (tasks_[id].home != node_of(t)) {
+                ++load.tasks_stolen_in;
+            }
+        }
+        finish_task(id, ok, node_of(t));
+    }
+}
+
+bool executor::dispatch_target(std::size_t t) {
+    target_queues& tq = targets_[t];
+    const node_t node = node_of(t);
+    bool progress = false;
+
+    while (tq.inflight.size() < window_) {
+        if (tq.ready.empty()) {
+            if (cfg_.policy != placement_policy::work_stealing ||
+                !steal_into(t)) {
+                break;
+            }
+        }
+
+        // Gather a group from the queue front: one task, or — with batching —
+        // as many consecutive ones as fit the slot payload and max_batch.
+        std::vector<task_id> group;
+        ham::offload::protocol::batch_builder batch{slot_capacity(rt_)};
+        group.push_back(tq.ready.front());
+        tq.ready.pop_front();
+        if (cfg_.batching && cfg_.max_batch > 1 &&
+            batch.fits(tasks_[group.front()].msg.size())) {
+            batch.append(tasks_[group.front()].msg.data(),
+                         static_cast<std::uint32_t>(
+                             tasks_[group.front()].msg.size()));
+            while (group.size() < cfg_.max_batch && !tq.ready.empty() &&
+                   batch.fits(tasks_[tq.ready.front()].msg.size())) {
+                const task_id next = tq.ready.front();
+                tq.ready.pop_front();
+                batch.append(tasks_[next].msg.data(),
+                             static_cast<std::uint32_t>(tasks_[next].msg.size()));
+                group.push_back(next);
+            }
+        }
+
+        // Send: a lone task goes out as a plain user message, two or more as
+        // one batch message (a second construction cost pays for the wrapper).
+        ham::offload::runtime::sent_message sent;
+        bool sent_ok = false;
+        if (group.size() == 1) {
+            const std::vector<std::byte>& m = tasks_[group.front()].msg;
+            sent_ok = rt_.try_send_message(node, m.data(), m.size(), sent);
+        } else {
+            aurora::sim::advance(rt_.costs().ham_msg_construct_ns);
+            sent_ok = rt_.try_send_message(
+                node, batch.finish(), batch.size(), sent,
+                ham::offload::protocol::msg_kind::batch);
+        }
+        if (!sent_ok) {
+            // The round-robin slot is busy (e.g. host-task put/get traffic).
+            // Put the group back in order and retry on the next drain.
+            for (auto it = group.rbegin(); it != group.rend(); ++it) {
+                tq.ready.push_front(*it);
+            }
+            break;
+        }
+
+        target_load& load = stats_.per_target[t];
+        ++load.messages_sent;
+        if (group.size() > 1) {
+            ++load.batches_sent;
+            stats_.batched_tasks += group.size();
+        }
+        for (const task_id id : group) {
+            tasks_[id].state = task_state::inflight;
+            tasks_[id].record.start_seq = event_seq_++;
+        }
+
+        flight f;
+        f.fut = ham::offload::future<void>::remote(rt_, node, sent.ticket,
+                                                   sent.slot);
+        f.tasks = std::move(group);
+        f.completed = std::make_shared<bool>(false);
+        f.fut.on_ready([done = f.completed] { *done = true; });
+        tq.inflight.push_back(std::move(f));
+        progress = true;
+    }
+    return progress;
+}
+
+bool executor::steal_into(std::size_t thief) {
+    // Victim: the target with the most stealable (unpinned) ready tasks;
+    // ties break towards the lowest node id for determinism.
+    std::size_t victim = num_targets_;
+    std::size_t best = 0;
+    for (std::size_t t = 0; t < num_targets_; ++t) {
+        if (t == thief) {
+            continue;
+        }
+        std::size_t stealable = 0;
+        for (const task_id id : targets_[t].ready) {
+            stealable += tasks_[id].opts.pinned ? 0U : 1U;
+        }
+        if (stealable > best) {
+            best = stealable;
+            victim = t;
+        }
+    }
+    if (victim == num_targets_) {
+        return false;
+    }
+
+    // Take up to half the victim's stealable backlog (at least one task,
+    // at most one batch worth) from the *back* of its queue — the oldest
+    // tasks stay local, the youngest migrate, as in classic work stealing.
+    const std::size_t want = std::min<std::size_t>(
+        std::max<std::size_t>(best / 2, 1), std::max<std::uint32_t>(cfg_.max_batch, 1));
+    std::deque<task_id>& vq = targets_[victim].ready;
+    std::vector<task_id> taken;
+    for (auto it = vq.rbegin(); it != vq.rend() && taken.size() < want;) {
+        const task_id id = *it;
+        if (tasks_[id].opts.pinned) {
+            ++it;
+            continue;
+        }
+        it = std::make_reverse_iterator(vq.erase(std::next(it).base()));
+        taken.push_back(id);
+    }
+    AURORA_CHECK(!taken.empty());
+    // `taken` holds youngest-first; append oldest-first to preserve order.
+    for (auto it = taken.rbegin(); it != taken.rend(); ++it) {
+        targets_[thief].ready.push_back(*it);
+    }
+    ++stats_.steals;
+    return true;
+}
+
+} // namespace aurora::sched

@@ -1,0 +1,51 @@
+// aurora::sched scheduling policies and executor configuration.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace aurora::sched {
+
+/// How ready tasks are placed on the engines.
+enum class placement_policy : std::uint8_t {
+    /// Static: ignore affinity, deal tasks to targets in submission order.
+    /// The baseline bench_scaling_multi_ve measures against.
+    round_robin,
+    /// Place every task on its affinity node (submission-order round robin
+    /// for tasks without one); queues never rebalance.
+    locality,
+    /// Locality placement plus work stealing: a target with a free in-flight
+    /// window and an empty ready queue takes unpinned tasks from the back of
+    /// the longest queue (ties broken towards the lowest node id).
+    work_stealing,
+};
+
+[[nodiscard]] inline std::string to_string(placement_policy p) {
+    switch (p) {
+        case placement_policy::round_robin: return "round-robin";
+        case placement_policy::locality: return "locality";
+        case placement_policy::work_stealing: return "work-stealing";
+    }
+    return "?";
+}
+
+struct executor_config {
+    placement_policy policy = placement_policy::work_stealing;
+    /// Per-target bound on outstanding offload messages (clamped to the
+    /// runtime's msg_slots). The window, not the slot count, is the
+    /// scheduler's concurrency knob: slots left free absorb put/get traffic
+    /// issued by host tasks.
+    std::uint32_t window = 4;
+    /// Coalesce consecutive ready tasks bound for the same engine into one
+    /// batch message when they fit the slot payload (protocol msg_kind::batch).
+    bool batching = true;
+    /// Upper bound on tasks per batch message.
+    std::uint32_t max_batch = 8;
+    /// Backpressure threshold: submit() blocks (in virtual time, draining
+    /// completions) while more than this many submitted tasks are unfinished.
+    /// Unbounded by default — task_graph::run() submits whole graphs.
+    std::size_t max_queued = std::numeric_limits<std::size_t>::max();
+};
+
+} // namespace aurora::sched

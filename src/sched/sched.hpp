@@ -1,0 +1,18 @@
+// aurora::sched — umbrella header for the multi-VE task scheduler.
+//
+// Build a task_graph (or submit() tasks directly), pick a placement policy
+// and an executor_config, and let the executor drive the HAM-Offload runtime:
+//
+//   aurora::sched::task_graph g;
+//   auto a = g.add(ham::f2f(&produce, buf));
+//   auto b = g.add(ham::f2f(&consume, buf), {.affinity = 1, .pinned = true}, {a});
+//   aurora::sched::executor ex{{.policy = aurora::sched::placement_policy::work_stealing}};
+//   ex.run(g);
+//
+// See docs/SCHEDULER.md for the execution model and determinism contract.
+#pragma once
+
+#include "sched/executor.hpp"   // IWYU pragma: export
+#include "sched/policy.hpp"     // IWYU pragma: export
+#include "sched/task.hpp"       // IWYU pragma: export
+#include "sched/task_graph.hpp" // IWYU pragma: export

@@ -1,0 +1,27 @@
+#include "sched/task_graph.hpp"
+
+#include "util/check.hpp"
+
+namespace aurora::sched {
+
+task_id task_graph::add_serialized(std::vector<std::byte> msg,
+                                   const task_options& opts, const task_id* deps,
+                                   std::size_t dep_count) {
+    const auto id = static_cast<task_id>(nodes_.size());
+    AURORA_CHECK_MSG(id != invalid_task, "task graph full");
+    node n;
+    n.msg = std::move(msg);
+    n.opts = opts;
+    n.deps.reserve(dep_count);
+    for (std::size_t i = 0; i < dep_count; ++i) {
+        AURORA_CHECK_MSG(deps[i] < id,
+                         "task dependency " << deps[i]
+                                            << " is not an earlier task (have "
+                                            << id << " tasks)");
+        n.deps.push_back(deps[i]);
+    }
+    nodes_.push_back(std::move(n));
+    return id;
+}
+
+} // namespace aurora::sched

@@ -1,0 +1,80 @@
+// aurora::sched task graph builder.
+//
+// Collects tasks and dependency edges; execution is the executor's job
+// (executor::run(graph)). Building requires an installed HAM-Offload runtime
+// (call inside offload::run()) because messages are serialised eagerly
+// through the host image's translation tables — the same Fig. 6 path
+// offload::async() takes, paying the same message-construction cost.
+#pragma once
+
+#include <initializer_list>
+#include <type_traits>
+
+#include "ham/msg.hpp"
+#include "offload/runtime.hpp"
+#include "sched/task.hpp"
+#include "sim/engine.hpp"
+
+namespace aurora::sched {
+
+namespace detail {
+
+[[nodiscard]] inline ham::offload::runtime& rt() {
+    ham::offload::runtime* r = ham::offload::runtime::current();
+    AURORA_CHECK_MSG(r != nullptr,
+                     "aurora::sched used outside offload::run()");
+    return *r;
+}
+
+/// Serialise `f` as an active message (charges the construction cost).
+template <typename Functor>
+[[nodiscard]] std::vector<std::byte> serialize_task(const Functor& f) {
+    static_assert(std::is_void_v<std::invoke_result_t<Functor>>,
+                  "scheduler tasks must return void; pass results through "
+                  "buffer_ptr memory");
+    ham::offload::runtime& r = rt();
+    alignas(16) std::byte buf[ham::default_max_msg_size];
+    aurora::sim::advance(r.costs().ham_msg_construct_ns);
+    const std::size_t len = ham::write_message(
+        r.host_registry(), buf,
+        std::min<std::size_t>(sizeof(buf), r.options().msg_size), f);
+    return {buf, buf + len};
+}
+
+} // namespace detail
+
+class task_graph {
+public:
+    /// Add a task executing functor `f` (built with ham::f2f) after every
+    /// task in `deps` completed. Dependencies must already be in the graph.
+    template <typename Functor>
+    task_id add(Functor f, task_options opts = {},
+                std::initializer_list<task_id> deps = {}) {
+        return add_serialized(detail::serialize_task(f), opts, deps.begin(),
+                              deps.size());
+    }
+
+    /// Dependency-only overload: add(f, {a, b}).
+    template <typename Functor>
+    task_id add(Functor f, std::initializer_list<task_id> deps) {
+        return add(std::move(f), task_options{}, deps);
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+    /// Core, type-erased form (also used by executor::submit).
+    task_id add_serialized(std::vector<std::byte> msg, const task_options& opts,
+                           const task_id* deps, std::size_t dep_count);
+
+private:
+    friend class executor;
+
+    struct node {
+        std::vector<std::byte> msg;
+        task_options opts;
+        std::vector<task_id> deps;
+    };
+    std::vector<node> nodes_;
+};
+
+} // namespace aurora::sched

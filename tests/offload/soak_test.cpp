@@ -46,7 +46,8 @@ TEST_P(Soak, RandomisedMixedWorkload) {
                     sb.ptr = allocate<std::int64_t>(n, count);
                     sb.contents.resize(count);
                     for (auto& v : sb.contents) {
-                        v = std::int64_t(rng());
+                        // Bounded so the shadow/kernel sums cannot overflow.
+                        v = std::int64_t(rng() % 2000000) - 1000000;
                     }
                     put(sb.contents.data(), sb.ptr, count).get();
                     buffers[std::size_t(n)].push_back(std::move(sb));

@@ -1,0 +1,183 @@
+// Executor mechanics: backpressure, batching, failure propagation.
+#include <gtest/gtest.h>
+
+#include "tests/sched/sched_test_common.hpp"
+#include "util/check.hpp"
+
+namespace aurora::sched {
+namespace {
+
+namespace sk = testkernels;
+
+TEST(SchedExecutor, BackpressureBlocksInsteadOfFailing) {
+    run_sched(1, [] {
+        std::vector<std::uint64_t> counters(32, 0);
+        executor ex{{.window = 2, .max_queued = 4}};
+        const auto before = aurora::sim::now();
+        for (auto& c : counters) {
+            (void)ex.submit(ham::f2f<&sk::cost_kernel>(std::int64_t{500}, &c));
+        }
+        // The backlog bound forces submit() to drain completions: virtual
+        // time advanced while blocking, nothing threw, nothing was dropped.
+        EXPECT_GT(ex.stats().backpressure_stalls, 0u);
+        EXPECT_GT(aurora::sim::now(), before);
+        ex.wait_all();
+        for (const std::uint64_t c : counters) {
+            EXPECT_EQ(c, 1u);
+        }
+    });
+}
+
+TEST(SchedExecutor, BackpressureBoundHoldsDuringSubmission) {
+    run_sched(1, [] {
+        std::vector<std::uint64_t> counters(20, 0);
+        executor ex{{.window = 1, .max_queued = 3}};
+        std::size_t submitted = 0;
+        for (auto& c : counters) {
+            (void)ex.submit(ham::f2f<&sk::bump>(&c));
+            ++submitted;
+            std::size_t unfinished = 0;
+            for (task_id id = 0; id < submitted; ++id) {
+                unfinished += ex.finished(id) ? 0u : 1u;
+            }
+            EXPECT_LE(unfinished, 3u);
+        }
+        ex.wait_all();
+    });
+}
+
+TEST(SchedExecutor, BatchingCoalescesReadyTasks) {
+    run_sched(1, [] {
+        std::vector<std::uint64_t> counters(16, 0);
+        task_graph g;
+        for (auto& c : counters) {
+            (void)g.add(ham::f2f<&sk::bump>(&c));
+        }
+        executor ex{{.window = 1, .batching = true, .max_batch = 8}};
+        ex.run(g);
+        // All 16 are ready at the first dispatch; a window of one drains
+        // them as two full batches of max_batch.
+        const executor::target_load& t0 = ex.stats().per_target.at(0);
+        EXPECT_EQ(t0.messages_sent, 2u);
+        EXPECT_EQ(t0.batches_sent, 2u);
+        EXPECT_EQ(ex.stats().batched_tasks, 16u);
+        EXPECT_EQ(t0.tasks_executed, 16u);
+        for (const std::uint64_t c : counters) {
+            EXPECT_EQ(c, 1u);
+        }
+    });
+}
+
+TEST(SchedExecutor, BatchingDisabledSendsIndividually) {
+    run_sched(1, [] {
+        std::vector<std::uint64_t> counters(16, 0);
+        task_graph g;
+        for (auto& c : counters) {
+            (void)g.add(ham::f2f<&sk::bump>(&c));
+        }
+        executor ex{{.window = 2, .batching = false}};
+        ex.run(g);
+        const executor::target_load& t0 = ex.stats().per_target.at(0);
+        EXPECT_EQ(t0.messages_sent, 16u);
+        EXPECT_EQ(t0.batches_sent, 0u);
+        EXPECT_EQ(ex.stats().batched_tasks, 0u);
+    });
+}
+
+TEST(SchedExecutor, BatchesNeverExceedSlotCapacity) {
+    // Oversized max_batch on minimum-size slots: the slot payload, not the
+    // configuration, caps the batch. Messages must still arrive exactly once.
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    ham::offload::runtime_options opt = loopback_targets(1);
+    opt.msg_size = 256;
+    ASSERT_EQ(ham::offload::run(plat, opt, [] {
+        std::vector<std::uint64_t> counters(64, 0);
+        task_graph g;
+        for (auto& c : counters) {
+            (void)g.add(ham::f2f<&sk::bump>(&c));
+        }
+        executor ex{{.window = 1, .batching = true, .max_batch = 1000}};
+        ex.run(g);
+        const executor::target_load& t0 = ex.stats().per_target.at(0);
+        EXPECT_GT(t0.messages_sent, 1u); // could not fit 64 tasks in one slot
+        for (const std::uint64_t c : counters) {
+            EXPECT_EQ(c, 1u);
+        }
+    }), 0);
+}
+
+TEST(SchedExecutor, TargetFailurePropagatesAndSkipsSuccessors) {
+    run_sched(1, [] {
+        std::uint64_t done = 0;
+        executor ex{{.batching = false}};
+        const task_id ok = ex.submit(ham::f2f<&sk::bump>(&done));
+        const task_id bad = ex.submit(ham::f2f<&sk::boom>());
+        const task_id succ = ex.submit(ham::f2f<&sk::bump>(&done), {bad});
+        EXPECT_THROW(ex.wait_all(), ham::offload::offload_error);
+        EXPECT_EQ(ex.state_of(ok), task_state::done);
+        EXPECT_EQ(ex.state_of(bad), task_state::failed);
+        EXPECT_EQ(ex.state_of(succ), task_state::failed);
+        EXPECT_EQ(done, 1u); // the successor never ran
+    });
+}
+
+TEST(SchedExecutor, HostTaskFailurePropagates) {
+    run_sched(1, [] {
+        executor ex;
+        (void)ex.submit(ham::f2f<&sk::boom>(), {.affinity = 0});
+        EXPECT_THROW(ex.wait_all(), ham::offload::offload_error);
+    });
+}
+
+TEST(SchedExecutor, SubmitAgainstFinishedDependencies) {
+    run_sched(1, [] {
+        std::uint64_t a = 0, b = 0;
+        executor ex;
+        const task_id first = ex.submit(ham::f2f<&sk::bump>(&a));
+        ex.wait_all();
+        EXPECT_EQ(a, 1u);
+        // `first` is settled; a dependency on it must not block anything.
+        (void)ex.submit(ham::f2f<&sk::bump>(&b), {first});
+        ex.wait_all();
+        EXPECT_EQ(b, 1u);
+    });
+}
+
+TEST(SchedExecutor, WindowClampedToMessageSlots) {
+    run_sched(1, [] {
+        std::vector<std::uint64_t> counters(40, 0);
+        executor ex{{.window = 1000, .batching = false}};
+        for (auto& c : counters) {
+            (void)ex.submit(ham::f2f<&sk::bump>(&c));
+        }
+        ex.wait_all();
+        for (const std::uint64_t c : counters) {
+            EXPECT_EQ(c, 1u);
+        }
+    });
+}
+
+TEST(SchedExecutor, RuntimeStatsObservableMidFlight) {
+    // The offload-layer introspection hook the executor builds on.
+    run_sched(1, [] {
+        ham::offload::runtime& rt = *ham::offload::runtime::current();
+        const auto idle = rt.runtime_stats(1);
+        EXPECT_EQ(idle.slots_total, rt.options().msg_slots);
+        EXPECT_EQ(idle.in_flight, 0u);
+        EXPECT_EQ(rt.slots_available(1), rt.options().msg_slots);
+
+        std::uint64_t dummy = 0;
+        auto f = ham::offload::async(1, ham::f2f<&sk::bump>(&dummy));
+        auto g = ham::offload::async(1, ham::f2f<&sk::bump>(&dummy));
+        EXPECT_GE(rt.runtime_stats(1).in_flight, 1u);
+        EXPECT_LT(rt.slots_available(1), rt.options().msg_slots);
+        f.get();
+        g.get();
+        EXPECT_EQ(rt.runtime_stats(1).in_flight, 0u);
+        EXPECT_GE(rt.runtime_stats(1).completed, 2u);
+        EXPECT_EQ(dummy, 2u);
+    });
+}
+
+} // namespace
+} // namespace aurora::sched

@@ -1,0 +1,129 @@
+// task_graph construction and dependency-driven execution.
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "tests/sched/sched_test_common.hpp"
+#include "util/check.hpp"
+
+namespace aurora::sched {
+namespace {
+
+namespace sk = testkernels;
+
+TEST(SchedGraph, DependenciesMustBeEarlierTasks) {
+    run_sched(1, [] {
+        task_graph g;
+        const task_id a = g.add(ham::f2f<&sk::boom>());
+        EXPECT_EQ(a, 0u);
+        EXPECT_THROW((void)g.add(ham::f2f<&sk::boom>(), {task_id{5}}),
+                     aurora::check_error);
+        // Self-dependency is equally illegal (the next id is 1).
+        EXPECT_THROW((void)g.add(ham::f2f<&sk::boom>(), {task_id{1}}),
+                     aurora::check_error);
+    });
+}
+
+TEST(SchedGraph, BuildingOutsideRunThrows) {
+    task_graph g;
+    EXPECT_THROW((void)g.add(ham::f2f<&sk::boom>()), aurora::check_error);
+}
+
+TEST(SchedGraph, LinearChainRunsInOrder) {
+    run_sched(1, [] {
+        std::vector<int> log;
+        task_graph g;
+        task_id prev = invalid_task;
+        for (int i = 0; i < 6; ++i) {
+            const auto dep_count = std::size_t(prev == invalid_task ? 0 : 1);
+            prev = g.add_serialized(
+                detail::serialize_task(ham::f2f<&sk::record>(&log, i)),
+                task_options{}, &prev, dep_count);
+        }
+        executor ex;
+        ex.run(g);
+        const std::vector<int> expected{0, 1, 2, 3, 4, 5};
+        EXPECT_EQ(log, expected);
+    });
+}
+
+TEST(SchedGraph, DiamondWithHostScatterAndReduce) {
+    // scatter (host) -> 4 adders (VEs) -> reduce (host): the satellite
+    // example's shape, condensed. Results flow through plain host memory.
+    run_sched(2, [] {
+        std::vector<std::uint64_t> parts(4, 0);
+        std::vector<int> log;
+        task_graph g;
+        const task_id scatter =
+            g.add(ham::f2f<&sk::record>(&log, 100), {.affinity = 0});
+        std::vector<task_id> mids;
+        for (std::size_t i = 0; i < parts.size(); ++i) {
+            mids.push_back(g.add(ham::f2f<&sk::bump>(&parts[i]),
+                                 {.affinity = node_t(1 + i % 2)}, {scatter}));
+        }
+        const task_id reduce = g.add_serialized(
+            detail::serialize_task(ham::f2f<&sk::record>(&log, 200)),
+            task_options{.affinity = 0}, mids.data(), mids.size());
+
+        executor ex;
+        ex.run(g);
+
+        EXPECT_EQ(std::accumulate(parts.begin(), parts.end(), 0ull), 4u);
+        const std::vector<int> expected{100, 200};
+        EXPECT_EQ(log, expected); // scatter strictly before reduce
+        EXPECT_EQ(ex.state_of(scatter), task_state::done);
+        EXPECT_EQ(ex.state_of(reduce), task_state::done);
+        EXPECT_EQ(ex.stats().host_tasks, 2u);
+    });
+}
+
+TEST(SchedGraph, TraceCertifiesTopologicalOrder) {
+    run_sched(2, [] {
+        std::vector<std::uint64_t> counters(10, 0);
+        task_graph g;
+        std::vector<task_id> ids;
+        for (std::size_t i = 0; i < counters.size(); ++i) {
+            std::vector<task_id> deps;
+            if (i >= 2) {
+                deps = {ids[i - 1], ids[i - 2]};
+            }
+            ids.push_back(g.add_serialized(
+                detail::serialize_task(ham::f2f<&sk::bump>(&counters[i])),
+                task_options{}, deps.data(), deps.size()));
+        }
+        executor ex;
+        ex.run(g);
+
+        ASSERT_EQ(ex.trace().size(), counters.size());
+        std::vector<completion_record> by_id(counters.size());
+        for (const completion_record& r : ex.trace()) {
+            by_id[r.id] = r;
+        }
+        for (std::size_t i = 2; i < counters.size(); ++i) {
+            EXPECT_LT(by_id[i - 1].done_seq, by_id[i].start_seq);
+            EXPECT_LT(by_id[i - 2].done_seq, by_id[i].start_seq);
+        }
+        for (const std::uint64_t c : counters) {
+            EXPECT_EQ(c, 1u); // exactly once
+        }
+    });
+}
+
+TEST(SchedGraph, ManyIndependentTasksRunExactlyOnce) {
+    run_sched(4, [] {
+        std::vector<std::uint64_t> counters(100, 0);
+        task_graph g;
+        for (auto& c : counters) {
+            (void)g.add(ham::f2f<&sk::bump>(&c));
+        }
+        executor ex;
+        ex.run(g);
+        for (const std::uint64_t c : counters) {
+            EXPECT_EQ(c, 1u);
+        }
+        EXPECT_EQ(ex.trace().size(), counters.size());
+    });
+}
+
+} // namespace
+} // namespace aurora::sched

@@ -1,0 +1,28 @@
+// Common harness for the scheduler tests: run a body inside offload::run()
+// with `n` loopback targets on the small test machine.
+#pragma once
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "offload/offload.hpp"
+#include "sched/sched.hpp"
+#include "tests/sched/sched_test_kernels.hpp"
+
+namespace aurora::sched {
+
+inline ham::offload::runtime_options loopback_targets(std::size_t n) {
+    ham::offload::runtime_options opt;
+    opt.backend = ham::offload::backend_kind::loopback;
+    opt.targets.assign(n, 0);
+    return opt;
+}
+
+inline void run_sched(std::size_t num_targets,
+                      const std::function<void()>& body) {
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    ASSERT_EQ(ham::offload::run(plat, loopback_targets(num_targets), body), 0);
+}
+
+} // namespace aurora::sched

@@ -1,0 +1,36 @@
+// Shared offloadable kernels for the scheduler tests.
+//
+// All tests use the compile-time f2f<&fn>() form, so no registration is
+// needed. Kernels take raw host pointers: every simulated backend shares the
+// test process's address space, which lets tests observe execution (counters,
+// orderings) without a put/get round trip per task.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace aurora::sched::testkernels {
+
+/// Exactly-once probe: each task bumps its own counter slot.
+inline void bump(std::uint64_t* counter) {
+    ++*counter;
+}
+
+/// Ordering probe: append a marker to a shared log.
+inline void record(std::vector<int>* log, int marker) {
+    log->push_back(marker);
+}
+
+/// Synthetic kernel costing `ns` virtual nanoseconds, then bumping a counter.
+inline void cost_kernel(std::int64_t ns, std::uint64_t* counter) {
+    aurora::sim::advance(ns);
+    ++*counter;
+}
+
+inline void boom() {
+    throw std::runtime_error("task exploded");
+}
+
+} // namespace aurora::sched::testkernels

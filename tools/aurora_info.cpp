@@ -68,18 +68,23 @@ int self_check() {
         ham::offload::runtime_options opt;
         opt.backend = kind;
         double us = 0.0;
+        ham::offload::runtime::target_runtime_stats rs;
         const int rc = ham::offload::run(plat, opt, [&] {
             ham::offload::sync(1, ham::f2f<&empty_kernel>());
             const sim::time_ns t0 = sim::now();
             ham::offload::sync(1, ham::f2f<&empty_kernel>());
             us = double(sim::now() - t0) / 1000.0;
+            rs = ham::offload::runtime::current()->runtime_stats(1);
         });
         const char* name = kind == ham::offload::backend_kind::loopback ? "loopback"
                            : kind == ham::offload::backend_kind::tcp    ? "tcp"
                            : kind == ham::offload::backend_kind::veo    ? "veo"
                                                                         : "vedma";
-        std::printf("  %-9s offload round trip: %8.2f us  %s\n", name, us,
-                    rc == 0 ? "OK" : "FAILED");
+        std::printf("  %-9s offload round trip: %8.2f us  %s   "
+                    "[slots %u, in-flight %u, queued %u, completed %llu]\n",
+                    name, us, rc == 0 ? "OK" : "FAILED", rs.slots_total,
+                    rs.in_flight, rs.queue_depth,
+                    static_cast<unsigned long long>(rs.completed));
         failures += rc == 0 ? 0 : 1;
     }
     return failures;
