@@ -12,6 +12,7 @@
 // ~1 MiB; VEO ramps slowly and peaks only at ~64 MiB; SHM/LHM are flat and
 // tiny (0.06 / 0.01 GiB/s), but SHM beats user DMA for very small VE=>VH
 // payloads.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -177,11 +178,33 @@ void print_panel(const char* title, const std::vector<series_point>& series,
 } // namespace
 
 int main() {
-    bench::print_header("Fig. 10 — VH <-> VE copy bandwidth vs transfer size",
-                        "Three methods, both directions; SHM/LHM capped at 4 MiB "
-                        "(as in the paper)");
+    if (!bench::json_output()) {
+        bench::print_header("Fig. 10 — VH <-> VE copy bandwidth vs transfer size",
+                            "Three methods, both directions; SHM/LHM capped at "
+                            "4 MiB (as in the paper)");
+    }
 
     const sweep_result r = run_sweep();
+
+    if (bench::json_output()) {
+        auto peak = [](const std::vector<series_point>& pts,
+                       double series_point::*member) {
+            double best = 0.0;
+            for (const auto& p : pts) {
+                best = std::max(best, p.*member);
+            }
+            return best;
+        };
+        bench::json_result j("fig10_bandwidth");
+        j.add("veo_to_ve_peak_gib", peak(r.to_ve, &series_point::veo_gib));
+        j.add("veo_to_vh_peak_gib", peak(r.to_vh, &series_point::veo_gib));
+        j.add("dma_to_ve_peak_gib", peak(r.to_ve, &series_point::dma_gib));
+        j.add("dma_to_vh_peak_gib", peak(r.to_vh, &series_point::dma_gib));
+        j.add("lhm_to_ve_peak_gib", peak(r.to_ve, &series_point::shm_lhm_gib));
+        j.add("shm_to_vh_peak_gib", peak(r.to_vh, &series_point::shm_lhm_gib));
+        j.emit();
+        return 0;
+    }
 
     print_panel("Panel 1: VH => VE, small transfers (paper top-left)", r.to_ve,
                 true, "VE LHM");

@@ -80,14 +80,30 @@ double measure_ham(off::backend_kind kind, int reps) {
 } // namespace
 
 int main() {
-    bench::print_header(
-        "Fig. 9 — Function Offload Cost, VH to local VE",
-        "Empty-kernel offload: native VEO vs HAM-Offload over VEO vs VE-DMA");
+    if (!bench::json_output()) {
+        bench::print_header(
+            "Fig. 9 — Function Offload Cost, VH to local VE",
+            "Empty-kernel offload: native VEO vs HAM-Offload over VEO vs VE-DMA");
+    }
 
     const int n = bench::reps();
     const double veo_native = measure_native_veo(n);
     const double ham_veo = measure_ham(off::backend_kind::veo, n);
     const double ham_dma = measure_ham(off::backend_kind::vedma, n);
+    // Beyond-paper reference series: the in-process loopback backend is the
+    // protocol floor with no device in the path — the CI bench-gate watches
+    // it for runtime-layer latency regressions (scripts/check_bench.py).
+    const double ham_loop = measure_ham(off::backend_kind::loopback, n);
+
+    if (bench::json_output()) {
+        bench::json_result j("fig9_offload_cost");
+        j.add("veo_native_ns", veo_native);
+        j.add("ham_veo_ns", ham_veo);
+        j.add("ham_vedma_ns", ham_dma);
+        j.add("ham_loopback_ns", ham_loop);
+        j.emit();
+        return 0;
+    }
 
     aurora::text_table t({"Method", "Time/offload", "Paper", "vs VEO",
                           "Paper ratio"});
@@ -97,6 +113,8 @@ int main() {
                bench::ratio(ham_veo, veo_native), "5.4x"});
     t.add_row({"HAM-Offload (VE-DMA backend)", bench::us(ham_dma), "6.1 us",
                bench::ratio(ham_dma, veo_native), "0.076x"});
+    t.add_row({"HAM-Offload (loopback)", bench::us(ham_loop), "-",
+               bench::ratio(ham_loop, veo_native), "-"});
     bench::emit(t);
 
     std::printf("\nSpeed-ups (paper Sec. V-A):\n");

@@ -1,0 +1,117 @@
+// Overhead micro-benchmark for aurora::trace (real CPU time, not virtual).
+//
+// The tracing layer promises to be effectively free when HAM_AURORA_TRACE is
+// unset: enabled() is a single relaxed atomic load, so a disabled
+// AURORA_TRACE_SPAN/COUNTER at a call site must cost on the order of a
+// nanosecond. This bench quantifies that and *asserts* the tentpole claim:
+// the per-offload cost of all disabled instrumentation is < 1% of the real
+// wall-clock cost of one loopback offload (the cheapest offload we have, so
+// the bound is conservative for every other backend).
+//
+// Self-checking: exits non-zero when the bound is violated, and is registered
+// as a ctest so CI enforces it. With HAM_AURORA_BENCH_JSON=1 it reports the
+// measured costs machine-readably instead of the human table.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "bench/support/bench_common.hpp"
+#include "offload/offload.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace aurora;
+namespace off = ham::offload;
+
+void empty_kernel() {}
+
+/// An offload issues on the order of a dozen span/counter call sites across
+/// runtime, backend, target loop and scheduler. Budget generously.
+constexpr int call_sites_per_offload = 32;
+
+double now_s() {
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+/// Real seconds per iteration of `fn`, best of `tries` runs.
+template <typename Fn>
+double time_per_iter_s(int iters, int tries, Fn&& fn) {
+    double best = 1e30;
+    for (int t = 0; t < tries; ++t) {
+        const double t0 = now_s();
+        for (int i = 0; i < iters; ++i) {
+            fn(i);
+        }
+        best = std::min(best, (now_s() - t0) / iters);
+    }
+    return best;
+}
+
+volatile std::uint64_t g_sink = 0;
+
+} // namespace
+
+int main() {
+    // Pin the latched mode to "disabled" regardless of the environment; the
+    // bench measures the cost of instrumentation that is compiled in but off.
+    trace::set_enabled(false);
+
+    constexpr int iters = 2'000'000;
+    constexpr int tries = 5;
+
+    // Baseline: the loop body without any instrumentation.
+    const double base_s = time_per_iter_s(iters, tries, [](int i) {
+        g_sink = g_sink + static_cast<std::uint64_t>(i);
+    });
+    // Same body plus one disabled span and one disabled counter.
+    const double traced_s = time_per_iter_s(iters, tries, [](int i) {
+        AURORA_TRACE_SPAN("bench", "disabled_span");
+        AURORA_TRACE_COUNTER("bench", "disabled_counter", 1);
+        g_sink = g_sink + static_cast<std::uint64_t>(i);
+    });
+    const double per_site_ns = std::max(0.0, (traced_s - base_s) / 2.0) * 1e9;
+
+    // Real wall-clock cost of one loopback offload (virtual time is free;
+    // what matters here is how long the simulator itself takes per offload).
+    const int reps = bench::reps(200);
+    double offload_s = 0.0;
+    {
+        sim::platform plat(sim::platform_config::a300_8());
+        off::runtime_options opt;
+        opt.backend = off::backend_kind::loopback;
+        const double t0 = now_s();
+        off::run(plat, opt, [&] {
+            for (int i = 0; i < reps; ++i) {
+                off::sync(1, ham::f2f<&empty_kernel>());
+            }
+        });
+        offload_s = (now_s() - t0) / reps;
+    }
+
+    const double overhead_per_offload_ns = per_site_ns * call_sites_per_offload;
+    const double overhead_pct = overhead_per_offload_ns / (offload_s * 1e9) * 100.0;
+    const bool ok = overhead_pct < 1.0;
+
+    if (bench::json_output()) {
+        bench::json_result j("trace_overhead");
+        j.add("disabled_site_ns", per_site_ns);
+        j.add("loopback_offload_real_ns", offload_s * 1e9);
+        j.add("overhead_pct", overhead_pct);
+        j.emit();
+    } else {
+        std::printf("aurora::trace disabled-instrumentation overhead\n");
+        std::printf("  disabled call site     : %8.3f ns\n", per_site_ns);
+        std::printf("  x %d sites per offload : %8.3f ns\n",
+                    call_sites_per_offload, overhead_per_offload_ns);
+        std::printf("  loopback offload (real): %8.0f ns\n", offload_s * 1e9);
+        std::printf("  overhead               : %8.4f %%  (bound: 1%%)\n",
+                    overhead_pct);
+        std::printf("%s\n", ok ? "PASS" : "FAIL: disabled tracing exceeds 1% "
+                                          "of loopback offload cost");
+    }
+    return ok ? 0 : 1;
+}

@@ -10,6 +10,8 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/platform.hpp"
 #include "util/env.hpp"
@@ -31,6 +33,37 @@ inline int transfer_reps(int fallback = 3) {
 inline bool csv_output() {
     return env_flag("HAM_AURORA_CSV", false);
 }
+
+/// Machine-readable output for the bench-gate CI job: with
+/// HAM_AURORA_BENCH_JSON=1 a bench prints exactly one JSON object
+/// ({"bench":"<name>","metrics":{...}}) and nothing else on stdout, so
+/// scripts/check_bench.py can compare it against bench/baselines/*.json.
+inline bool json_output() {
+    return env_flag("HAM_AURORA_BENCH_JSON", false);
+}
+
+/// Collects named scalar metrics and prints the JSON object.
+class json_result {
+public:
+    explicit json_result(std::string name) : name_(std::move(name)) {}
+
+    void add(const std::string& key, double value) {
+        entries_.emplace_back(key, value);
+    }
+
+    void emit() const {
+        std::printf("{\"bench\":\"%s\",\"metrics\":{", name_.c_str());
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            std::printf("%s\"%s\":%.3f", i == 0 ? "" : ",",
+                        entries_[i].first.c_str(), entries_[i].second);
+        }
+        std::printf("}}\n");
+    }
+
+private:
+    std::string name_;
+    std::vector<std::pair<std::string, double>> entries_;
+};
 
 inline void print_header(const std::string& title, const std::string& what) {
     sim::platform plat(sim::platform_config::a300_8());

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Compare benchmark results against committed baselines (the CI bench-gate).
+
+Result formats accepted (auto-detected):
+  * the repo's own  {"bench": "...", "metrics": {"key": <number>, ...}}
+    lines as emitted with HAM_AURORA_BENCH_JSON=1 (extra non-JSON lines and
+    multiple JSON objects per file are tolerated);
+  * google-benchmark --benchmark_format=json files ({"benchmarks": [...]}),
+    using each entry's real_time.
+
+Baseline format (bench/baselines/*.json):
+  {"bench": "...",
+   "metrics": {"key": {"value": V, "direction": "lower"|"higher",
+                       "tolerance": T}, ...}}
+
+A "lower"-is-better metric fails when result > V * T; a "higher"-is-better
+metric fails when result < V / T. Baseline metrics missing from the result
+fail (a silently vanished series must not pass the gate); result metrics
+missing from the baseline are reported but don't fail, so new series can be
+added before their baseline lands.
+
+Exit codes: 0 all gates pass, 1 regression/missing metric, 2 usage error.
+
+  --scale-result F   multiply every result value by F before comparing —
+                     lets CI prove the gate actually fails on a synthetic
+                     3x-slower result (and the self-test uses it too);
+  --self-test        run the built-in unit checks (registered as a ctest).
+"""
+
+import argparse
+import json
+import sys
+
+
+def parse_result_file(path):
+    """Return {metric: value} from either supported result format."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+
+    metrics = {}
+    # Whole-file JSON first: google-benchmark or a single bench object.
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict) and "benchmarks" in doc:
+        for entry in doc["benchmarks"]:
+            if entry.get("run_type") == "aggregate":
+                continue
+            metrics[entry["name"]] = float(entry["real_time"])
+        return metrics
+    if isinstance(doc, dict) and "metrics" in doc:
+        return {k: float(v) for k, v in doc["metrics"].items()}
+
+    # Otherwise: scan line-wise for HAM_AURORA_BENCH_JSON objects embedded in
+    # other output.
+    for line in text.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(obj, dict) and "metrics" in obj:
+            for key, value in obj["metrics"].items():
+                metrics[key] = float(value)
+    if not metrics:
+        raise ValueError(f"{path}: no benchmark metrics found")
+    return metrics
+
+
+def check(baseline, results, scale=1.0):
+    """Return (failures, report_lines) for one baseline dict."""
+    failures = []
+    lines = []
+    for key, spec in baseline["metrics"].items():
+        ref = float(spec["value"])
+        tol = float(spec.get("tolerance", 2.0))
+        direction = spec.get("direction", "lower")
+        if tol < 1.0:
+            raise ValueError(f"{key}: tolerance must be >= 1.0, got {tol}")
+        if direction not in ("lower", "higher"):
+            raise ValueError(f"{key}: bad direction {direction!r}")
+
+        if key not in results:
+            failures.append(key)
+            lines.append(f"  FAIL {key}: missing from results")
+            continue
+        value = results[key] * scale
+        if direction == "lower":
+            bound = ref * tol
+            ok = value <= bound
+            verdict = f"{value:.3f} <= {bound:.3f} (baseline {ref:.3f} x {tol})"
+        else:
+            bound = ref / tol
+            ok = value >= bound
+            verdict = f"{value:.3f} >= {bound:.3f} (baseline {ref:.3f} / {tol})"
+        if not ok:
+            failures.append(key)
+        lines.append(f"  {'ok  ' if ok else 'FAIL'} {key}: {verdict}")
+
+    for key in sorted(set(results) - set(baseline["metrics"])):
+        lines.append(f"  note {key}: {results[key]:.3f} (no baseline)")
+    return failures, lines
+
+
+def self_test():
+    baseline = {
+        "bench": "t",
+        "metrics": {
+            "lat_ns": {"value": 100.0, "direction": "lower", "tolerance": 2.0},
+            "bw_gib": {"value": 10.0, "direction": "higher", "tolerance": 2.0},
+        },
+    }
+    # In-tolerance results pass.
+    fails, _ = check(baseline, {"lat_ns": 150.0, "bw_gib": 8.0})
+    assert fails == [], fails
+    # Exactly at the bound passes; just past it fails.
+    fails, _ = check(baseline, {"lat_ns": 200.0, "bw_gib": 5.0})
+    assert fails == [], fails
+    fails, _ = check(baseline, {"lat_ns": 200.1, "bw_gib": 10.0})
+    assert fails == ["lat_ns"], fails
+    fails, _ = check(baseline, {"lat_ns": 100.0, "bw_gib": 4.9})
+    assert fails == ["bw_gib"], fails
+    # A synthetic 3x scale must trip a 2x latency gate.
+    fails, _ = check(baseline, {"lat_ns": 100.0, "bw_gib": 100.0}, scale=3.0)
+    assert "lat_ns" in fails, fails
+    # A missing baseline metric fails; an extra result metric does not.
+    fails, _ = check(baseline, {"lat_ns": 100.0})
+    assert fails == ["bw_gib"], fails
+    fails, _ = check(baseline, {"lat_ns": 100.0, "bw_gib": 10.0, "new": 1.0})
+    assert fails == [], fails
+    print("check_bench.py self-test: all assertions passed")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", help="baseline JSON file")
+    ap.add_argument("--result", help="benchmark result file")
+    ap.add_argument("--scale-result", type=float, default=1.0,
+                    help="multiply result values by F before comparing")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run built-in unit checks and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        self_test()
+        return 0
+    if not args.baseline or not args.result:
+        ap.error("--baseline and --result are required (or use --self-test)")
+
+    with open(args.baseline, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    results = parse_result_file(args.result)
+
+    print(f"bench-gate: {baseline.get('bench', args.baseline)}"
+          + (f" (results scaled x{args.scale_result})"
+             if args.scale_result != 1.0 else ""))
+    failures, lines = check(baseline, results, scale=args.scale_result)
+    print("\n".join(lines))
+    if failures:
+        print(f"bench-gate FAILED: {len(failures)} metric(s) out of bounds: "
+              + ", ".join(failures))
+        return 1
+    print("bench-gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

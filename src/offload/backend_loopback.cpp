@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace ham::offload {
@@ -96,6 +97,7 @@ void backend_loopback::send_message(std::uint32_t slot, const void* msg,
                          kind == protocol::msg_kind::batch ||
                          kind == protocol::msg_kind::terminate,
                      "loopback backend has no DMA data path");
+    AURORA_TRACE_SPAN("backend", "loopback_send");
     protocol::flag_word flag;
     flag.kind = kind;
     flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
@@ -110,12 +112,14 @@ void backend_loopback::send_message(std::uint32_t slot, const void* msg,
 
 bool backend_loopback::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
     AURORA_CHECK(slot < slots_);
+    AURORA_TRACE_COUNTER("backend", "loopback_poll", 1);
     auto& r = shared_->results[slot];
     if (r.empty()) {
         return false;
     }
     out = std::move(r);
     r.clear();
+    AURORA_TRACE_INSTANT("backend", "loopback_result");
     return true;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace ham::offload {
@@ -116,6 +117,7 @@ void backend_tcp::send_message(std::uint32_t slot, const void* msg, std::size_t 
                          kind == protocol::msg_kind::batch ||
                          kind == protocol::msg_kind::terminate,
                      "the TCP backend has no DMA data path");
+    AURORA_TRACE_SPAN("backend", "tcp_send");
     tcp_packet p;
     p.flag.kind = kind;
     p.flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
@@ -130,6 +132,7 @@ void backend_tcp::send_message(std::uint32_t slot, const void* msg, std::size_t 
 
 bool backend_tcp::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
     AURORA_CHECK(slot < slots_);
+    AURORA_TRACE_COUNTER("backend", "tcp_poll", 1);
     auto& r = shared_->results[slot];
     // A poll is a non-blocking socket read: one syscall.
     sim::advance(costs_.tcp_per_msg_ns);
@@ -138,6 +141,7 @@ bool backend_tcp::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
     }
     out = std::move(r.bytes);
     r.bytes.clear();
+    AURORA_TRACE_INSTANT("backend", "tcp_result");
     return true;
 }
 

@@ -4,6 +4,7 @@
 
 #include "offload/app_image.hpp"
 #include "sim/engine.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace ham::offload {
@@ -97,7 +98,9 @@ void backend_vedma::send_message(std::uint32_t slot, const void* msg,
     AURORA_CHECK_MSG(len <= layout_.recv.msg_size, "message exceeds slot capacity");
     // All host-side operations are local memory accesses (Sec. IV-B): copy
     // the message into the shared segment, then publish the flag.
+    AURORA_TRACE_SPAN("backend", "vedma_send");
     if (len > 0) {
+        AURORA_TRACE_SPAN("backend", "msg_copy");
         std::memcpy(region(layout_.recv.buffer_offset(slot)), msg, len);
         sim::advance(sim::transfer_ns(len, cm.vh_memcpy_gib));
     }
@@ -108,13 +111,17 @@ void backend_vedma::send_message(std::uint32_t slot, const void* msg,
     flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
     flag.len = static_cast<std::uint32_t>(len);
     const std::uint64_t raw = protocol::encode_flag(flag);
-    sim::advance(cm.local_poll_ns); // store + fence
-    std::memcpy(region(layout_.recv.flag_offset(slot)), &raw, sizeof(raw));
+    {
+        AURORA_TRACE_SPAN("backend", "flag_write");
+        sim::advance(cm.local_poll_ns); // store + fence
+        std::memcpy(region(layout_.recv.flag_offset(slot)), &raw, sizeof(raw));
+    }
 }
 
 bool backend_vedma::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
     const auto& cm = sys_.plat().costs();
     AURORA_CHECK(slot < layout_.send.slots);
+    AURORA_TRACE_COUNTER("backend", "vedma_poll", 1);
     // "The VH is now the passive receiver who finds its message already in
     // its local memory as soon as the flag is set by the VE" (Sec. IV-B).
     sim::advance(cm.local_poll_ns);
@@ -126,6 +133,7 @@ bool backend_vedma::test_result(std::uint32_t slot, std::vector<std::byte>& out)
         return false;
     }
     result_gen_[slot] = flag.gen;
+    AURORA_TRACE_SPAN("backend", "vedma_result_fetch");
     out.resize(flag.len);
     if (flag.len > 0) {
         std::memcpy(out.data(),
@@ -173,6 +181,7 @@ void backend_vedma::stage_put(std::uint32_t chunk, const void* src,
                               std::uint64_t len) {
     AURORA_CHECK(staging_seg_ != nullptr && chunk < opt_.vedma_staging_chunks);
     AURORA_CHECK(len <= opt_.vedma_staging_chunk_bytes);
+    AURORA_TRACE_SPAN("backend", "stage_put");
     sim::advance(sim::transfer_ns(len, sys_.plat().costs().vh_memcpy_gib));
     std::memcpy(staging_seg_->addr + chunk * opt_.vedma_staging_chunk_bytes, src,
                 len);
@@ -181,6 +190,7 @@ void backend_vedma::stage_put(std::uint32_t chunk, const void* src,
 void backend_vedma::stage_get(std::uint32_t chunk, void* dst, std::uint64_t len) {
     AURORA_CHECK(staging_seg_ != nullptr && chunk < opt_.vedma_staging_chunks);
     AURORA_CHECK(len <= opt_.vedma_staging_chunk_bytes);
+    AURORA_TRACE_SPAN("backend", "stage_get");
     sim::advance(sim::transfer_ns(len, sys_.plat().costs().vh_memcpy_gib));
     std::memcpy(dst, staging_seg_->addr + chunk * opt_.vedma_staging_chunk_bytes,
                 len);

@@ -4,6 +4,7 @@
 
 #include "offload/app_image.hpp"
 #include "sim/engine.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace ham::offload {
@@ -80,7 +81,9 @@ void backend_veo::send_message(std::uint32_t slot, const void* msg, std::size_t 
     // Fig. 5: write the message into the receive buffer on the VE, then
     // signal completion by setting the corresponding flag — two privileged-
     // DMA writes.
+    AURORA_TRACE_SPAN("backend", "veo_send");
     if (len > 0) {
+        AURORA_TRACE_SPAN("backend", "msg_copy");
         veo_write_mem(proc_, comm_addr_ + layout_.recv.buffer_offset(slot), msg,
                       len);
     }
@@ -91,12 +94,16 @@ void backend_veo::send_message(std::uint32_t slot, const void* msg, std::size_t 
     flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
     flag.len = static_cast<std::uint32_t>(len);
     const std::uint64_t raw = protocol::encode_flag(flag);
-    veo_write_mem(proc_, comm_addr_ + layout_.recv.flag_offset(slot), &raw,
-                  sizeof(raw));
+    {
+        AURORA_TRACE_SPAN("backend", "flag_write");
+        veo_write_mem(proc_, comm_addr_ + layout_.recv.flag_offset(slot), &raw,
+                      sizeof(raw));
+    }
 }
 
 bool backend_veo::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
     AURORA_CHECK(slot < layout_.send.slots);
+    AURORA_TRACE_COUNTER("backend", "veo_poll", 1);
     // Poll the result flag (one expensive veo_read_mem)…
     std::uint64_t raw = 0;
     veo_read_mem(proc_, &raw,
@@ -108,6 +115,7 @@ bool backend_veo::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
     }
     result_gen_[slot] = flag.gen;
     // …then fetch the result message (a second veo_read_mem).
+    AURORA_TRACE_SPAN("backend", "veo_result_fetch");
     out.resize(flag.len);
     if (flag.len > 0) {
         veo_read_mem(proc_, out.data(),

@@ -6,6 +6,7 @@
 #include "offload/app_image.hpp"
 #include "offload/runtime.hpp"
 #include "offload/target.hpp"
+#include "trace/summary.hpp"
 #include "util/check.hpp"
 #include "veos/veos.hpp"
 
@@ -59,6 +60,8 @@ int detail::run_impl(aurora::sim::platform& plat, const runtime_options& opt,
         exit_code = run_app_body(plat, sys, opt, host_main);
     });
     plat.sim().run();
+    // Every producer has quiesced; honour HAM_AURORA_TRACE_FILE/_SUMMARY.
+    aurora::trace::flush_to_env();
     return exit_code;
 }
 

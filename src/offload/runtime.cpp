@@ -9,6 +9,7 @@
 #include "offload/backend_veo.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "veos/veos.hpp"
 
@@ -93,6 +94,7 @@ void runtime::shutdown() {
     // Terminate every target: a control message through the regular slot
     // discipline, acknowledged by a result message.
     for (std::size_t i = 0; i < targets_.size(); ++i) {
+        AURORA_TRACE_SPAN("offload", "terminate");
         target_state& t = *targets_[i];
         const std::uint32_t slot = acquire_slot(t);
         t.be->send_message(slot, nullptr, 0, protocol::msg_kind::terminate);
@@ -146,6 +148,7 @@ std::uint32_t runtime::acquire_slot(target_state& t) {
     // Strict round-robin: the target polls its receive slots in order, so the
     // host must fill them in the same order (Sec. III-D: the host does all
     // buffer bookkeeping).
+    AURORA_TRACE_SPAN("offload", "slot_wait");
     const std::uint32_t slot = t.rr;
     while (t.slot_ticket[slot] != 0) {
         if (harvest_slot(t, slot)) {
@@ -179,7 +182,11 @@ runtime::sent_message runtime::send_on_slot(target_state& t, std::uint32_t slot,
     AURORA_CHECK_MSG(kind == protocol::msg_kind::user ||
                          kind == protocol::msg_kind::batch,
                      "only user and batch messages go through send_message");
-    t.be->send_message(slot, msg, len, kind);
+    {
+        AURORA_TRACE_SPAN("offload", "send");
+        t.be->send_message(slot, msg, len, kind);
+    }
+    AURORA_TRACE_COUNTER("offload", "sent_bytes", len);
     const std::uint64_t ticket = t.next_ticket++;
     t.slot_ticket[slot] = ticket;
     ++t.stats.messages_sent;
@@ -240,6 +247,7 @@ bool runtime::try_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,
         out = std::move(it->second);
         t.arrived.erase(it);
         ++t.stats.results_received;
+        AURORA_TRACE_COUNTER("offload", "result_bytes", out.size());
         return true;
     }
     if (t.slot_ticket[slot] == ticket && harvest_slot(t, slot)) {
@@ -250,6 +258,7 @@ bool runtime::try_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,
         ++t.stats.results_received;
         AURORA_TRACE("offload", "result " << out.size() << " B <- node " << node
                                           << " ticket " << ticket);
+        AURORA_TRACE_COUNTER("offload", "result_bytes", out.size());
         return true;
     }
     // The only valid remaining state: the request is still outstanding in its
@@ -261,6 +270,7 @@ bool runtime::try_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,
 
 void runtime::wait_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,
                            std::vector<std::byte>& out) {
+    AURORA_TRACE_SPAN("offload", "wait_result");
     target_state& t = state_for(node);
     while (!try_collect(node, ticket, slot, out)) {
         t.be->poll_pause();
@@ -297,6 +307,8 @@ void runtime::put_raw(node_t node, const void* src, std::uint64_t dst_addr,
     }
     target_state& t = state_for(node);
     t.stats.bytes_put += len;
+    AURORA_TRACE_SPAN("offload", "put");
+    AURORA_TRACE_COUNTER("offload", "put_bytes", len);
     if (t.be->has_dma_data_path() && len > 0) {
         pipelined_transfer(node, const_cast<void*>(src), dst_addr, len,
                            /*is_put=*/true);
@@ -314,6 +326,8 @@ void runtime::get_raw(node_t node, std::uint64_t src_addr, void* dst,
     }
     target_state& t = state_for(node);
     t.stats.bytes_got += len;
+    AURORA_TRACE_SPAN("offload", "get");
+    AURORA_TRACE_COUNTER("offload", "get_bytes", len);
     if (t.be->has_dma_data_path() && len > 0) {
         pipelined_transfer(node, dst, src_addr, len, /*is_put=*/false);
         return;
@@ -326,6 +340,7 @@ void runtime::pipelined_transfer(node_t node, void* host_buf,
                                  bool is_put) {
     // Extension data path: chunk the transfer through the backend's staging
     // window, pipelining host staging copies with VE-side user-DMA moves.
+    AURORA_TRACE_SPAN("offload", "pipelined_transfer");
     target_state& t = state_for(node);
     backend& be = *t.be;
     const std::uint64_t chunk = be.staging_chunk_bytes();

@@ -6,6 +6,7 @@
 #include "ham/execution_context.hpp"
 #include "ham/msg.hpp"
 #include "sim/engine.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace ham::offload {
@@ -47,7 +48,11 @@ void run_target_loop(const target_loop_config& cfg, target_channel& channel) {
     };
 
     for (;;) {
-        const protocol::flag_word flag = channel.recv_next(msg);
+        protocol::flag_word flag;
+        {
+            AURORA_TRACE_SPAN("target", "recv_wait");
+            flag = channel.recv_next(msg);
+        }
         AURORA_CHECK(flag.present());
         AURORA_CHECK_MSG(flag.result_slot_plus1 != 0,
                          "offload message without a result slot");
@@ -72,8 +77,10 @@ void run_target_loop(const target_loop_config& cfg, target_channel& channel) {
             // its dispatch (key lookup + indirect call). Every entry executes
             // exactly once even after a failure; the first error's what()
             // text travels back in the batch result.
+            AURORA_TRACE_SPAN("target", "batch_execute");
             protocol::batch_reader reader(msg.data(), msg.size());
             const std::uint32_t announced = reader.remaining();
+            AURORA_TRACE_COUNTER("target", "batch_entries", announced);
             std::uint32_t executed = 0;
             std::vector<std::byte> first_error;
             const std::byte* entry = nullptr;
@@ -104,19 +111,28 @@ void run_target_loop(const target_loop_config& cfg, target_channel& channel) {
             }
             std::memcpy(result.data(), &header, sizeof(header));
             sim::advance(cm.ham_msg_construct_ns);
-            channel.send_result(result_slot, result.data(),
-                                sizeof(header) + payload_size);
+            {
+                AURORA_TRACE_SPAN("target", "result_send");
+                channel.send_result(result_slot, result.data(),
+                                    sizeof(header) + payload_size);
+            }
             continue;
         }
 
         // Generic handler: key lookup -> local handler -> typed execution.
-        sim::advance(cm.ham_msg_dispatch_ns);
-        execute_one(msg.data(), header, payload_size);
+        {
+            AURORA_TRACE_SPAN("target", "execute");
+            sim::advance(cm.ham_msg_dispatch_ns);
+            execute_one(msg.data(), header, payload_size);
+        }
 
         std::memcpy(result.data(), &header, sizeof(header));
         sim::advance(cm.ham_msg_construct_ns); // result message construction
-        channel.send_result(result_slot, result.data(),
-                            sizeof(header) + payload_size);
+        {
+            AURORA_TRACE_SPAN("target", "result_send");
+            channel.send_result(result_slot, result.data(),
+                                sizeof(header) + payload_size);
+        }
     }
 }
 

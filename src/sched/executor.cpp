@@ -5,6 +5,7 @@
 #include "ham/msg.hpp"
 #include "offload/protocol.hpp"
 #include "sim/engine.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace aurora::sched {
@@ -34,6 +35,7 @@ executor::executor(executor_config cfg)
 task_id executor::submit_serialized(std::vector<std::byte> msg,
                                     const task_options& opts, const task_id* deps,
                                     std::size_t dep_count) {
+    AURORA_TRACE_SPAN("sched", "submit");
     const auto id = static_cast<task_id>(tasks_.size());
     AURORA_CHECK_MSG(id != invalid_task, "executor full");
     AURORA_CHECK_MSG(opts.affinity == any_node ||
@@ -80,6 +82,8 @@ task_id executor::submit_serialized(std::vector<std::byte> msg,
     // Backpressure: block in virtual time until the backlog drains below the
     // configured bound — submission never fails on slot exhaustion.
     if (tasks_.size() - finished_count_ > cfg_.max_queued) {
+        AURORA_TRACE_SPAN("sched", "backpressure_stall");
+        AURORA_TRACE_COUNTER("sched", "backpressure_stalls", 1);
         ++stats_.backpressure_stalls;
         while (tasks_.size() - finished_count_ > cfg_.max_queued) {
             drain_once();
@@ -96,6 +100,7 @@ void executor::run(const task_graph& g) {
 }
 
 void executor::wait_all() {
+    AURORA_TRACE_SPAN("sched", "wait_all");
     while (finished_count_ < tasks_.size()) {
         const bool progress = drain_once();
         if (progress) {
@@ -191,6 +196,7 @@ bool executor::drain_once() {
 }
 
 void executor::run_host_task(task_id id) {
+    AURORA_TRACE_SPAN("sched", "host_task");
     detail::task_rec& rec = tasks_[id];
     rec.state = task_state::inflight;
     rec.record.start_seq = event_seq_++;
@@ -236,6 +242,8 @@ bool executor::harvest_target(std::size_t t) {
 }
 
 void executor::retire_flight(std::size_t t, flight& f) {
+    AURORA_TRACE_SPAN("sched", "complete");
+    AURORA_TRACE_COUNTER("sched", "tasks_completed", f.tasks.size());
     bool ok = true;
     try {
         f.fut.get();
@@ -295,6 +303,7 @@ bool executor::dispatch_target(std::size_t t) {
 
         // Send: a lone task goes out as a plain user message, two or more as
         // one batch message (a second construction cost pays for the wrapper).
+        AURORA_TRACE_SPAN("sched", "dispatch");
         ham::offload::runtime::sent_message sent;
         bool sent_ok = false;
         if (group.size() == 1) {
@@ -320,6 +329,7 @@ bool executor::dispatch_target(std::size_t t) {
         if (group.size() > 1) {
             ++load.batches_sent;
             stats_.batched_tasks += group.size();
+            AURORA_TRACE_COUNTER("sched", "batched_tasks", group.size());
         }
         for (const task_id id : group) {
             tasks_[id].state = task_state::inflight;
@@ -382,6 +392,8 @@ bool executor::steal_into(std::size_t thief) {
         targets_[thief].ready.push_back(*it);
     }
     ++stats_.steals;
+    AURORA_TRACE_INSTANT("sched", "steal");
+    AURORA_TRACE_COUNTER("sched", "stolen_tasks", taken.size());
     return true;
 }
 

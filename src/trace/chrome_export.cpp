@@ -1,0 +1,103 @@
+#include "trace/chrome_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace aurora::trace {
+
+namespace {
+
+/// JSON string escaping for lane/event names.
+std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+/// Chrome timestamps are microseconds; keep nanosecond precision.
+std::string us(std::uint64_t ns) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    return buf;
+}
+
+} // namespace
+
+std::string chrome_json(const std::vector<collector::lane_snapshot>& lanes) {
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first) {
+            os << ",\n";
+        }
+        first = false;
+    };
+    for (const collector::lane_snapshot& l : lanes) {
+        sep();
+        os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":"
+           << l.tid << ",\"args\":{\"name\":\"" << escaped(l.name) << "\"}}";
+        for (const event& e : l.events) {
+            sep();
+            switch (e.type) {
+                case event_type::span:
+                    os << "{\"ph\":\"X\",\"name\":\"" << escaped(e.name)
+                       << "\",\"cat\":\"" << escaped(e.cat)
+                       << "\",\"ts\":" << us(e.ts_ns)
+                       << ",\"dur\":" << us(e.dur_ns)
+                       << ",\"pid\":0,\"tid\":" << l.tid << "}";
+                    break;
+                case event_type::instant:
+                    os << "{\"ph\":\"i\",\"s\":\"t\",\"name\":\""
+                       << escaped(e.name) << "\",\"cat\":\"" << escaped(e.cat)
+                       << "\",\"ts\":" << us(e.ts_ns)
+                       << ",\"pid\":0,\"tid\":" << l.tid << "}";
+                    break;
+                case event_type::counter:
+                    os << "{\"ph\":\"C\",\"name\":\"" << escaped(e.name)
+                       << "\",\"cat\":\"" << escaped(e.cat)
+                       << "\",\"ts\":" << us(e.ts_ns)
+                       << ",\"pid\":0,\"tid\":" << l.tid
+                       << ",\"args\":{\"value\":" << e.value << "}}";
+                    break;
+            }
+        }
+    }
+    os << "]}\n";
+    return os.str();
+}
+
+std::string chrome_json() {
+    return chrome_json(collector::instance().snapshot());
+}
+
+void write_chrome_json_file(const std::string& path) {
+    std::ofstream f(path, std::ios::trunc);
+    AURORA_CHECK_MSG(f.good(), "cannot open trace file " << path);
+    f << chrome_json();
+    AURORA_CHECK_MSG(f.good(), "failed writing trace file " << path);
+}
+
+} // namespace aurora::trace

@@ -1,0 +1,26 @@
+// Chrome trace-event JSON exporter for aurora::trace.
+//
+// The output loads directly into chrome://tracing or https://ui.perfetto.dev:
+// one process ("pid" 0), one timeline lane per recording thread (simulated
+// VH/VE process or plain thread), complete ("X") events for spans, instant
+// ("i") events, and counter ("C") series. See docs/TRACING.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace aurora::trace {
+
+/// Serialise the given lanes as a Chrome trace-event JSON document.
+[[nodiscard]] std::string chrome_json(
+    const std::vector<collector::lane_snapshot>& lanes);
+
+/// Serialise everything recorded so far by the process-wide collector.
+[[nodiscard]] std::string chrome_json();
+
+/// Write chrome_json() to `path` (truncating). Throws on I/O failure.
+void write_chrome_json_file(const std::string& path);
+
+} // namespace aurora::trace

@@ -1,0 +1,150 @@
+#include "trace/summary.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "trace/chrome_export.hpp"
+#include "util/env.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace aurora::trace {
+
+namespace {
+
+std::string key_of(const event& e) {
+    return std::string(e.cat) + "/" + e.name;
+}
+
+std::string ns_str(double v) {
+    char buf[40];
+    if (v >= 10000.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f us", v / 1000.0);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.0f ns", v);
+    }
+    return buf;
+}
+
+} // namespace
+
+summary summarize(const std::vector<collector::lane_snapshot>& lanes) {
+    std::map<std::string, sample_stats> spans;
+    std::map<std::string, counter_summary> counters;
+    summary out;
+    for (const collector::lane_snapshot& l : lanes) {
+        out.dropped += l.dropped;
+        for (const event& e : l.events) {
+            ++out.events;
+            switch (e.type) {
+                case event_type::span:
+                    spans[key_of(e)].add(double(e.dur_ns));
+                    break;
+                case event_type::counter: {
+                    counter_summary& c = counters[key_of(e)];
+                    c.total += e.value;
+                    ++c.samples;
+                    break;
+                }
+                case event_type::instant:
+                    ++out.instants;
+                    break;
+            }
+        }
+    }
+    for (auto& [key, stats] : spans) {
+        span_summary s;
+        s.key = key;
+        s.count = stats.count();
+        s.mean_ns = stats.mean();
+        s.min_ns = stats.min();
+        s.max_ns = stats.max();
+        s.p50_ns = stats.median();
+        s.p99_ns = stats.percentile(99.0);
+        out.spans.push_back(std::move(s));
+    }
+    for (auto& [key, c] : counters) {
+        c.key = key;
+        out.counters.push_back(c);
+    }
+    return out;
+}
+
+summary summarize() {
+    return summarize(collector::instance().snapshot());
+}
+
+std::string summary_text(const summary& s) {
+    std::ostringstream os;
+    if (!s.spans.empty()) {
+        text_table t({"Span", "Count", "Mean", "Min", "p50", "p99", "Max"});
+        for (const span_summary& r : s.spans) {
+            t.add_row({r.key, std::to_string(r.count), ns_str(r.mean_ns),
+                       ns_str(r.min_ns), ns_str(r.p50_ns), ns_str(r.p99_ns),
+                       ns_str(r.max_ns)});
+        }
+        os << t.str();
+    }
+    if (!s.counters.empty()) {
+        text_table t({"Counter", "Total", "Samples"});
+        for (const counter_summary& r : s.counters) {
+            t.add_row({r.key, std::to_string(r.total),
+                       std::to_string(r.samples)});
+        }
+        os << t.str();
+    }
+    os << "events retained: " << s.events << ", dropped: " << s.dropped
+       << ", instants: " << s.instants << "\n";
+    return os.str();
+}
+
+std::string summary_json(const summary& s) {
+    std::ostringstream os;
+    os << "{\"spans\":{";
+    bool first = true;
+    for (const span_summary& r : s.spans) {
+        if (!first) {
+            os << ",";
+        }
+        first = false;
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "\"%s\":{\"count\":%llu,\"mean_ns\":%.1f,\"min_ns\":%.1f,"
+                      "\"p50_ns\":%.1f,\"p99_ns\":%.1f,\"max_ns\":%.1f}",
+                      r.key.c_str(), static_cast<unsigned long long>(r.count),
+                      r.mean_ns, r.min_ns, r.p50_ns, r.p99_ns, r.max_ns);
+        os << buf;
+    }
+    os << "},\"counters\":{";
+    first = true;
+    for (const counter_summary& r : s.counters) {
+        if (!first) {
+            os << ",";
+        }
+        first = false;
+        os << "\"" << r.key << "\":" << r.total;
+    }
+    os << "},\"events\":" << s.events << ",\"dropped\":" << s.dropped << "}\n";
+    return os.str();
+}
+
+} // namespace aurora::trace
+
+namespace aurora::trace {
+
+void flush_to_env() {
+    if (!enabled()) {
+        return;
+    }
+    if (const auto file = env_string("HAM_AURORA_TRACE_FILE")) {
+        write_chrome_json_file(*file);
+    }
+    if (env_flag("HAM_AURORA_TRACE_SUMMARY", false)) {
+        std::fputs(summary_text(summarize()).c_str(), stderr);
+    }
+}
+
+} // namespace aurora::trace

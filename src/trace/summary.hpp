@@ -1,0 +1,51 @@
+// Aggregated trace summary: per-phase span latency statistics and counter
+// totals, as a text table (aurora_info --trace-summary, stderr reports) or a
+// machine-readable JSON object.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace aurora::trace {
+
+/// Latency statistics of one span kind ("cat/name") across all lanes.
+struct span_summary {
+    std::string key; ///< "<cat>/<name>"
+    std::uint64_t count = 0;
+    double mean_ns = 0.0;
+    double min_ns = 0.0;
+    double max_ns = 0.0;
+    double p50_ns = 0.0;
+    double p99_ns = 0.0;
+};
+
+/// Total of one counter kind across all lanes.
+struct counter_summary {
+    std::string key; ///< "<cat>/<name>"
+    std::uint64_t total = 0;
+    std::uint64_t samples = 0;
+};
+
+struct summary {
+    std::vector<span_summary> spans;       ///< sorted by key
+    std::vector<counter_summary> counters; ///< sorted by key
+    std::uint64_t instants = 0;
+    std::uint64_t events = 0;  ///< retained events across all lanes
+    std::uint64_t dropped = 0; ///< events lost to ring wrap-around
+};
+
+/// Aggregate the given lanes (or the global collector's current snapshot).
+[[nodiscard]] summary summarize(
+    const std::vector<collector::lane_snapshot>& lanes);
+[[nodiscard]] summary summarize();
+
+/// Human-readable rendering (text tables).
+[[nodiscard]] std::string summary_text(const summary& s);
+
+/// JSON rendering: {"spans":{key:{...}},"counters":{key:total},...}.
+[[nodiscard]] std::string summary_json(const summary& s);
+
+} // namespace aurora::trace

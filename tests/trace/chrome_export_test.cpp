@@ -1,0 +1,81 @@
+// Golden-file test for the Chrome trace-event JSON exporter: a fixed lane
+// fixture must serialise byte-for-byte to tests/trace/golden/chrome_trace.json.
+// Regenerate after an intentional format change with
+//   TRACE_GOLDEN_REGEN=1 ./test_trace --gtest_filter='ChromeExport.*'
+#include "trace/chrome_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace aurora::trace {
+namespace {
+
+std::vector<collector::lane_snapshot> fixture() {
+    std::vector<collector::lane_snapshot> lanes(2);
+    lanes[0].name = "VH.host";
+    lanes[0].tid = 0;
+    lanes[0].events = {
+        {"offload", "send", 1000, 500, 0, event_type::span},
+        {"offload", "sent_bytes", 1500, 0, 64, event_type::counter},
+        {"backend", "loopback_result", 2469, 0, 0, event_type::instant},
+    };
+    lanes[1].name = "VE0.pid1";
+    lanes[1].tid = 1;
+    lanes[1].events = {
+        {"target", "execute", 1200, 333, 0, event_type::span},
+        // Exercise the JSON escaper (names are literals in real call sites,
+        // but the exporter must stay safe for arbitrary lane names too).
+        {"target", "odd\"name\\with\tescapes", 1600, 0, 0,
+         event_type::instant},
+    };
+    lanes[1].dropped = 2;
+    return lanes;
+}
+
+std::string golden_path() {
+    return std::string(TRACE_TEST_GOLDEN_DIR) + "/chrome_trace.json";
+}
+
+TEST(ChromeExport, MatchesGoldenFile) {
+    const std::string json = chrome_json(fixture());
+
+    if (std::getenv("TRACE_GOLDEN_REGEN") != nullptr) {
+        std::ofstream out(golden_path(), std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+        out << json;
+        GTEST_SKIP() << "regenerated " << golden_path();
+    }
+
+    std::ifstream in(golden_path());
+    ASSERT_TRUE(in.good()) << "missing golden file " << golden_path();
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(json, want.str());
+}
+
+TEST(ChromeExport, EveryLaneGetsAThreadNameRecord) {
+    const std::string json = chrome_json(fixture());
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"VH.host\""), std::string::npos);
+    EXPECT_NE(json.find("\"VE0.pid1\""), std::string::npos);
+}
+
+TEST(ChromeExport, TimestampsAreMicrosecondsWithNsPrecision) {
+    // 2469 ns must appear as 2.469 us, not truncated to 2.
+    const std::string json = chrome_json(fixture());
+    EXPECT_NE(json.find("\"ts\":2.469"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":0.333"), std::string::npos);
+}
+
+TEST(ChromeExport, EmptyLaneListIsValidJson) {
+    const std::string json = chrome_json({});
+    EXPECT_EQ(json, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}\n");
+}
+
+} // namespace
+} // namespace aurora::trace

@@ -1,0 +1,172 @@
+// Unit tests for the aurora::trace core: ring-buffer semantics (wrap-around,
+// drop accounting), per-thread lane registration under concurrent writers,
+// the disabled-mode no-op guarantee, and summary aggregation.
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "trace/summary.hpp"
+
+namespace aurora::trace {
+namespace {
+
+event span_event(const char* name, std::uint64_t ts, std::uint64_t dur) {
+    return {"test", name, ts, dur, 0, event_type::span};
+}
+
+TEST(RingBuffer, RetainsEventsInOrderBelowCapacity) {
+    ring_buffer rb(8);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        rb.push(span_event("e", i, 1));
+    }
+    EXPECT_EQ(rb.pushed(), 5u);
+    EXPECT_EQ(rb.dropped(), 0u);
+    const std::vector<event> got = rb.snapshot();
+    ASSERT_EQ(got.size(), 5u);
+    for (std::uint64_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].ts_ns, i);
+    }
+}
+
+TEST(RingBuffer, WrapAroundKeepsNewestAndCountsDropped) {
+    ring_buffer rb(4);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        rb.push(span_event("e", i, 1));
+    }
+    EXPECT_EQ(rb.capacity(), 4u);
+    EXPECT_EQ(rb.pushed(), 10u);
+    EXPECT_EQ(rb.dropped(), 6u);
+    const std::vector<event> got = rb.snapshot();
+    ASSERT_EQ(got.size(), 4u);
+    // Oldest-first among the retained (newest) events: 6, 7, 8, 9.
+    for (std::uint64_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].ts_ns, 6 + i);
+    }
+}
+
+TEST(RingBuffer, ZeroCapacityIsClampedToOne) {
+    ring_buffer rb(0);
+    EXPECT_EQ(rb.capacity(), 1u);
+    rb.push(span_event("a", 1, 1));
+    rb.push(span_event("b", 2, 1));
+    const std::vector<event> got = rb.snapshot();
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].ts_ns, 2u);
+}
+
+TEST(Collector, ConcurrentWritersGetSeparateLanes) {
+    set_enabled(true);
+    collector::instance().reset();
+
+    constexpr int threads = 8;
+    constexpr int per_thread = 1000;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([] {
+            for (int i = 0; i < per_thread; ++i) {
+                AURORA_TRACE_COUNTER("test", "concurrent", 1);
+            }
+        });
+    }
+    for (std::thread& th : pool) {
+        th.join();
+    }
+
+    const auto lanes = collector::instance().snapshot();
+    ASSERT_EQ(lanes.size(), static_cast<std::size_t>(threads));
+    std::uint64_t total = 0;
+    for (const auto& l : lanes) {
+        EXPECT_EQ(l.dropped, 0u);
+        EXPECT_EQ(l.events.size(), static_cast<std::size_t>(per_thread));
+        total += l.events.size();
+    }
+    EXPECT_EQ(total, static_cast<std::uint64_t>(threads) * per_thread);
+    collector::instance().reset();
+}
+
+TEST(Collector, ResetInvalidatesCachedLanesTransparently) {
+    set_enabled(true);
+    collector::instance().reset();
+    AURORA_TRACE_INSTANT("test", "before");
+    ASSERT_EQ(collector::instance().snapshot().size(), 1u);
+    collector::instance().reset();
+    // The thread-local lane cache must notice the reset and re-register
+    // instead of writing through a dangling pointer.
+    AURORA_TRACE_INSTANT("test", "after");
+    const auto lanes = collector::instance().snapshot();
+    ASSERT_EQ(lanes.size(), 1u);
+    ASSERT_EQ(lanes[0].events.size(), 1u);
+    EXPECT_STREQ(lanes[0].events[0].name, "after");
+    collector::instance().reset();
+}
+
+TEST(Disabled, MacrosRecordNothingAndRegisterNoLanes) {
+    set_enabled(false);
+    collector::instance().reset();
+    {
+        AURORA_TRACE_SPAN("test", "disabled_span");
+        AURORA_TRACE_COUNTER("test", "disabled_counter", 7);
+        AURORA_TRACE_INSTANT("test", "disabled_instant");
+    }
+    count("test", "disabled_direct", 3);
+    instant("test", "disabled_direct");
+    emit(span_event("disabled_emit", 1, 1));
+    EXPECT_TRUE(collector::instance().snapshot().empty());
+    set_enabled(true);
+    collector::instance().reset();
+}
+
+TEST(Scoped, SpanRecordsOnDestruction) {
+    set_enabled(true);
+    collector::instance().reset();
+    {
+        AURORA_TRACE_SPAN("test", "scoped");
+        EXPECT_TRUE(collector::instance().snapshot().empty() ||
+                    collector::instance().snapshot()[0].events.empty());
+    }
+    const auto lanes = collector::instance().snapshot();
+    ASSERT_EQ(lanes.size(), 1u);
+    ASSERT_EQ(lanes[0].events.size(), 1u);
+    EXPECT_EQ(lanes[0].events[0].type, event_type::span);
+    EXPECT_STREQ(lanes[0].events[0].name, "scoped");
+    collector::instance().reset();
+}
+
+TEST(Summary, AggregatesSpansCountersAndDrops) {
+    set_enabled(true);
+    collector::instance().reset();
+    for (std::uint64_t d : {100u, 200u, 300u, 400u}) {
+        emit_span("phase", "send", 10 * d, d);
+    }
+    count("io", "bytes", 64);
+    count("io", "bytes", 36);
+    instant("x", "tick");
+
+    const summary s = summarize();
+    ASSERT_EQ(s.spans.size(), 1u);
+    EXPECT_EQ(s.spans[0].key, "phase/send");
+    EXPECT_EQ(s.spans[0].count, 4u);
+    EXPECT_DOUBLE_EQ(s.spans[0].mean_ns, 250.0);
+    EXPECT_DOUBLE_EQ(s.spans[0].min_ns, 100.0);
+    EXPECT_DOUBLE_EQ(s.spans[0].max_ns, 400.0);
+    ASSERT_EQ(s.counters.size(), 1u);
+    EXPECT_EQ(s.counters[0].key, "io/bytes");
+    EXPECT_EQ(s.counters[0].total, 100u);
+    EXPECT_EQ(s.counters[0].samples, 2u);
+    EXPECT_EQ(s.instants, 1u);
+    EXPECT_EQ(s.events, 7u);
+    EXPECT_EQ(s.dropped, 0u);
+
+    // Both renderings mention the keys.
+    EXPECT_NE(summary_text(s).find("phase/send"), std::string::npos);
+    EXPECT_NE(summary_json(s).find("\"io/bytes\""), std::string::npos);
+    collector::instance().reset();
+}
+
+} // namespace
+} // namespace aurora::trace

@@ -1,17 +1,26 @@
 // aurora_info — inspect the simulated platform and its calibrated cost model.
 //
-//   build/tools/aurora_info            # platform + cost model dump
-//   build/tools/aurora_info --check    # quick end-to-end self-check
+//   build/tools/aurora_info                  # platform + cost model dump
+//   build/tools/aurora_info --check          # quick end-to-end self-check
+//   build/tools/aurora_info --trace-summary  # traced offload mix + aggregated
+//                                            # per-phase latency summary
 //
 // Useful when recalibrating: every constant of src/sim/cost_model.hpp is
 // printed with its derived secondary quantities (sustained rates, round
 // trips), and --check runs one offload per backend to confirm the stack is
-// alive.
+// alive. --trace-summary force-enables aurora::trace, runs a representative
+// offload mix per backend, and prints the per-phase span statistics (also
+// honouring HAM_AURORA_TRACE_FILE for the full Chrome JSON).
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 #include "offload/offload.hpp"
 #include "sim/platform.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/summary.hpp"
+#include "trace/trace.hpp"
+#include "util/env.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -90,9 +99,57 @@ int self_check() {
     return failures;
 }
 
+double add_one(double x) { return x + 1.0; }
+
+/// Run a representative traced offload mix and print the aggregated
+/// per-phase summary (spans, counters, drop accounting).
+int trace_summary() {
+    trace::set_enabled(true);
+    trace::collector::instance().reset();
+
+    for (const auto kind : {ham::offload::backend_kind::loopback,
+                            ham::offload::backend_kind::vedma}) {
+        sim::platform plat(sim::platform_config::test_machine());
+        ham::offload::runtime_options opt;
+        opt.backend = kind;
+        const int rc = ham::offload::run(plat, opt, [&] {
+            for (int i = 0; i < 8; ++i) {
+                ham::offload::sync(1, ham::f2f<&empty_kernel>());
+            }
+            auto fut = ham::offload::async(1, ham::f2f<&add_one>(41.0));
+            if (fut.get() != 42.0) {
+                return 1;
+            }
+            // Exercise the data path so put/get phases show up too.
+            auto buf = ham::offload::allocate<double>(1, 256);
+            std::vector<double> host(256, 1.5);
+            ham::offload::put(host.data(), buf, 256);
+            ham::offload::get(buf, host.data(), 256);
+            ham::offload::free(buf);
+            return 0;
+        });
+        if (rc != 0) {
+            std::fprintf(stderr, "trace-summary workload failed (backend %d)\n",
+                         static_cast<int>(kind));
+            return 1;
+        }
+    }
+
+    const trace::summary s = trace::summarize();
+    std::printf("%s", trace::summary_text(s).c_str());
+    if (const auto path = aurora::env_string("HAM_AURORA_TRACE_FILE")) {
+        trace::write_chrome_json_file(*path);
+        std::printf("\nChrome trace written to %s\n", path->c_str());
+    }
+    return s.events == 0 ? 1 : 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
+    if (argc > 1 && std::strcmp(argv[1], "--trace-summary") == 0) {
+        return trace_summary();
+    }
     sim::platform plat(sim::platform_config::a300_8());
     std::printf("%s\n", plat.description().c_str());
     dump_cost_model();
