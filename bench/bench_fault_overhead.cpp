@@ -1,0 +1,122 @@
+// Overhead micro-benchmark for aurora::fault (real CPU time, not virtual).
+//
+// The fault-injection layer promises to be effectively free when disabled:
+// injector::active() and the target-side liveness checks are single relaxed
+// atomic loads, so a disabled check site on the message path must cost on the
+// order of a nanosecond. This bench quantifies that and *asserts* the claim:
+// the per-offload cost of all disabled fault instrumentation is < 1% of the
+// real wall-clock cost of one loopback offload (the cheapest offload we have,
+// so the bound is conservative for every other backend).
+//
+// Self-checking: exits non-zero when the bound is violated, and is registered
+// as a ctest so CI enforces it. With HAM_AURORA_BENCH_JSON=1 it reports the
+// measured costs machine-readably instead of the human table.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "bench/support/bench_common.hpp"
+#include "fault/fault.hpp"
+#include "offload/offload.hpp"
+
+namespace {
+
+using namespace aurora;
+namespace off = ham::offload;
+
+void empty_kernel() {}
+
+/// An offload consults the injector at a handful of sites: the runtime's
+/// send/collect paths, the backend send, and the target loop's liveness and
+/// checksum gates. Budget generously.
+constexpr int check_sites_per_offload = 32;
+
+double now_s() {
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+/// Real seconds per iteration of `fn`, best of `tries` runs.
+template <typename Fn>
+double time_per_iter_s(int iters, int tries, Fn&& fn) {
+    double best = 1e30;
+    for (int t = 0; t < tries; ++t) {
+        const double t0 = now_s();
+        for (int i = 0; i < iters; ++i) {
+            fn(i);
+        }
+        best = std::min(best, (now_s() - t0) / iters);
+    }
+    return best;
+}
+
+volatile std::uint64_t g_sink = 0;
+
+} // namespace
+
+int main() {
+    // Pin the injector to its disabled default regardless of the environment;
+    // the bench measures checks that are compiled in but off.
+    fault::injector& inj = fault::injector::instance();
+    inj.reset();
+
+    constexpr int iters = 2'000'000;
+    constexpr int tries = 5;
+
+    // Baseline: the loop body without any fault checks.
+    const double base_s = time_per_iter_s(iters, tries, [](int i) {
+        g_sink = g_sink + static_cast<std::uint64_t>(i);
+    });
+    // Same body plus one disabled active() gate and one disabled target-side
+    // liveness check (the two shapes every message-path site reduces to).
+    const double checked_s = time_per_iter_s(iters, tries, [&inj](int i) {
+        if (inj.active()) {
+            g_sink = g_sink + 1;
+        }
+        inj.check_target_alive(1);
+        g_sink = g_sink + static_cast<std::uint64_t>(i);
+    });
+    const double per_site_ns = std::max(0.0, (checked_s - base_s) / 2.0) * 1e9;
+
+    // Real wall-clock cost of one loopback offload (virtual time is free;
+    // what matters here is how long the simulator itself takes per offload).
+    const int reps = bench::reps(200);
+    double offload_s = 0.0;
+    {
+        sim::platform plat(sim::platform_config::a300_8());
+        off::runtime_options opt;
+        opt.backend = off::backend_kind::loopback;
+        const double t0 = now_s();
+        off::run(plat, opt, [&] {
+            for (int i = 0; i < reps; ++i) {
+                off::sync(1, ham::f2f<&empty_kernel>());
+            }
+        });
+        offload_s = (now_s() - t0) / reps;
+    }
+
+    const double overhead_per_offload_ns = per_site_ns * check_sites_per_offload;
+    const double overhead_pct = overhead_per_offload_ns / (offload_s * 1e9) * 100.0;
+    const bool ok = overhead_pct < 1.0;
+
+    if (bench::json_output()) {
+        bench::json_result j("fault_overhead");
+        j.add("disabled_site_ns", per_site_ns);
+        j.add("loopback_offload_real_ns", offload_s * 1e9);
+        j.add("overhead_pct", overhead_pct);
+        j.emit();
+    } else {
+        std::printf("aurora::fault disabled-injection overhead\n");
+        std::printf("  disabled check site    : %8.3f ns\n", per_site_ns);
+        std::printf("  x %d sites per offload : %8.3f ns\n",
+                    check_sites_per_offload, overhead_per_offload_ns);
+        std::printf("  loopback offload (real): %8.0f ns\n", offload_s * 1e9);
+        std::printf("  overhead               : %8.4f %%  (bound: 1%%)\n",
+                    overhead_pct);
+        std::printf("%s\n", ok ? "PASS" : "FAIL: disabled fault injection "
+                                          "exceeds 1% of loopback offload cost");
+    }
+    return ok ? 0 : 1;
+}

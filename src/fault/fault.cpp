@@ -1,0 +1,163 @@
+#include "fault/fault.hpp"
+
+#include "util/env.hpp"
+
+namespace aurora::fault {
+
+namespace {
+
+/// splitmix64 — tiny, fast, and plenty for fault scheduling.
+std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint32_t env_pm(const char* name) {
+    const std::int64_t v = aurora::env_int_or(name, 0);
+    return v < 0 ? 0U : v > 1000 ? 1000U : static_cast<std::uint32_t>(v);
+}
+
+} // namespace
+
+config config::from_env() {
+    config c;
+    c.enabled = aurora::env_flag("HAM_AURORA_FAULT");
+    c.seed = static_cast<std::uint64_t>(env_int_or("HAM_AURORA_FAULT_SEED", 1));
+    c.drop_permille = env_pm("HAM_AURORA_FAULT_DROP_PM");
+    c.corrupt_permille = env_pm("HAM_AURORA_FAULT_CORRUPT_PM");
+    c.flag_loss_permille = env_pm("HAM_AURORA_FAULT_FLAG_LOSS_PM");
+    c.dma_fail_permille = env_pm("HAM_AURORA_FAULT_DMA_FAIL_PM");
+    c.delay_permille = env_pm("HAM_AURORA_FAULT_DELAY_PM");
+    c.delay_ns = env_int_or("HAM_AURORA_FAULT_DELAY_NS", 50'000);
+    return c;
+}
+
+injector& injector::instance() {
+    static injector inj;
+    return inj;
+}
+
+injector::injector() { configure(config::from_env()); }
+
+void injector::configure(const config& cfg) {
+    cfg_ = cfg;
+    rng_ = cfg.seed;
+    stats_ = counters{};
+    nodes_.clear();
+    armed_.store(false, std::memory_order_relaxed);
+    active_.store(cfg.enabled, std::memory_order_relaxed);
+}
+
+void injector::kill_at_time(int node, sim::time_ns when) {
+    nodes_[node].kill_at = when;
+    armed_.store(true, std::memory_order_relaxed);
+}
+
+void injector::kill_after_messages(int node, std::uint64_t n) {
+    nodes_[node].kill_after_msgs = n;
+    armed_.store(true, std::memory_order_relaxed);
+}
+
+void injector::kill_now(int node) {
+    node_plan& p = nodes_[node];
+    p.kill_at = 0; // due immediately at the next check
+    armed_.store(true, std::memory_order_relaxed);
+}
+
+void injector::fail_next_attach(int node) {
+    nodes_[node].fail_attach = true;
+    armed_.store(true, std::memory_order_relaxed);
+}
+
+bool injector::killed(int node) const {
+    const auto it = nodes_.find(node);
+    return it != nodes_.end() && it->second.killed;
+}
+
+bool injector::take_attach_failure(int node) {
+    if (!armed_.load(std::memory_order_relaxed)) {
+        return false;
+    }
+    const auto it = nodes_.find(node);
+    if (it == nodes_.end() || !it->second.fail_attach) {
+        return false;
+    }
+    it->second.fail_attach = false;
+    ++stats_.attach_failures;
+    return true;
+}
+
+void injector::count_message(int node) {
+    if (!armed_.load(std::memory_order_relaxed)) {
+        return;
+    }
+    const auto it = nodes_.find(node);
+    if (it != nodes_.end()) {
+        ++it->second.msgs_seen;
+    }
+}
+
+void injector::check_target_alive(int node) {
+    if (!armed_.load(std::memory_order_relaxed)) {
+        return;
+    }
+    const auto it = nodes_.find(node);
+    if (it == nodes_.end()) {
+        return;
+    }
+    node_plan& p = it->second;
+    if (p.killed) {
+        throw target_killed{};
+    }
+    const bool time_due = p.kill_at >= 0 && sim::now() >= p.kill_at;
+    const bool count_due =
+        p.kill_after_msgs > 0 && p.msgs_seen >= p.kill_after_msgs;
+    if (time_due || count_due) {
+        p.killed = true;
+        ++stats_.kills;
+        throw target_killed{};
+    }
+}
+
+std::uint64_t injector::draw() { return splitmix64(rng_); }
+
+bool injector::roll(std::uint32_t permille, std::uint64_t& counter) {
+    if (!active() || permille == 0) {
+        return false;
+    }
+    if (draw() % 1000 < permille) {
+        ++counter;
+        return true;
+    }
+    return false;
+}
+
+bool injector::should_drop() { return roll(cfg_.drop_permille, stats_.drops); }
+
+bool injector::should_corrupt() {
+    return roll(cfg_.corrupt_permille, stats_.corruptions);
+}
+
+bool injector::should_lose_flag() {
+    return roll(cfg_.flag_loss_permille, stats_.flag_losses);
+}
+
+bool injector::should_fail_dma_post() {
+    return roll(cfg_.dma_fail_permille, stats_.dma_post_failures);
+}
+
+std::int64_t injector::delay_spike() {
+    return roll(cfg_.delay_permille, stats_.delay_spikes) ? cfg_.delay_ns : 0;
+}
+
+void injector::corrupt_byte(std::byte* data, std::size_t len) {
+    if (len == 0) {
+        return;
+    }
+    const std::uint64_t r = draw();
+    data[r % len] ^= static_cast<std::byte>(1u << ((r >> 32) % 8));
+}
+
+} // namespace aurora::fault

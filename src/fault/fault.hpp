@@ -1,0 +1,156 @@
+// aurora::fault — deterministic fault injection for the simulated runtime.
+//
+// The discrete-event simulator runs exactly one process at a time, so every
+// fault decision — a PRNG draw, a scheduled VE death, a dropped flag write —
+// happens at a reproducible point in virtual time. A chaos run is therefore
+// exactly replayable from its seed: same seed, same fault schedule, same
+// recovery, byte-identical final state (see docs/FAULTS.md).
+//
+// Two independent switches keep the fault-free hot path untouched:
+//   * active()  — probabilistic faults + per-message checksums are on. Latched
+//     from HAM_AURORA_FAULT / configure(); one relaxed atomic load when off
+//     (the same discipline as aurora::trace).
+//   * armed()   — at least one deterministic kill / attach-failure schedule
+//     exists. Target-side liveness checks consult only this flag, so the
+//     runtime's health fencing (kill_now) works even when probabilistic
+//     injection is disabled.
+//
+// Fault kinds (paper-protocol mapping):
+//   ve_death      — the VE process exits its message loop (scheduled by
+//                   virtual time or message count, or fenced by the host)
+//   msg_drop      — a whole message send vanishes (payload + flag)
+//   msg_corrupt   — one payload byte flips in transit (caught by checksums)
+//   flag_loss     — payload lands but the notification flag write is lost
+//   dma_post_fail — the send-side descriptor post fails transiently
+//   delay_spike   — a send stalls for config.delay_ns of virtual time
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <map>
+
+#include "sim/engine.hpp"
+
+namespace aurora::fault {
+
+/// Thrown inside a simulated target process at a fault-check point when its
+/// death is due. Unwinds the target loop; never crosses to the host.
+class target_killed : public std::exception {
+public:
+    [[nodiscard]] const char* what() const noexcept override {
+        return "simulated VE process death (aurora::fault)";
+    }
+};
+
+/// Probabilistic fault configuration. All rates are per-draw permille.
+struct config {
+    bool enabled = false;
+    std::uint64_t seed = 1;
+    std::uint32_t drop_permille = 0;      ///< whole message lost
+    std::uint32_t corrupt_permille = 0;   ///< one payload byte flipped
+    std::uint32_t flag_loss_permille = 0; ///< notification flag write lost
+    std::uint32_t dma_fail_permille = 0;  ///< transient send-post failure
+    std::uint32_t delay_permille = 0;     ///< send delayed by delay_ns
+    std::int64_t delay_ns = 50'000;       ///< virtual duration of a delay spike
+
+    /// Read HAM_AURORA_FAULT, HAM_AURORA_FAULT_SEED and the per-kind
+    /// HAM_AURORA_FAULT_{DROP,CORRUPT,FLAG_LOSS,DMA_FAIL,DELAY}_PM knobs
+    /// (plus HAM_AURORA_FAULT_DELAY_NS).
+    [[nodiscard]] static config from_env();
+};
+
+/// Injected-fault counters; compared across runs by the determinism tests.
+struct counters {
+    std::uint64_t drops = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t flag_losses = 0;
+    std::uint64_t dma_post_failures = 0;
+    std::uint64_t delay_spikes = 0;
+    std::uint64_t kills = 0;
+    std::uint64_t attach_failures = 0;
+    std::uint64_t idle_timeouts = 0;
+
+    bool operator==(const counters&) const = default;
+};
+
+/// Process-wide fault injector. Configure before offload::run(); both the
+/// host runtime and the simulated target processes consult the same instance
+/// (the cooperative scheduler serialises all access).
+class injector {
+public:
+    static injector& instance();
+
+    /// Install `cfg` and reset all schedules, counters and the PRNG.
+    void configure(const config& cfg);
+    /// Back to the disabled default configuration.
+    void reset() { configure(config{}); }
+
+    /// Probabilistic injection (and checksumming) enabled?
+    [[nodiscard]] bool active() const noexcept {
+        return active_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] const config& cfg() const noexcept { return cfg_; }
+    [[nodiscard]] counters& stats() noexcept { return stats_; }
+
+    // --- deterministic schedules --------------------------------------------
+    /// Kill `node`'s target process at the first fault check at/after `when`.
+    void kill_at_time(int node, sim::time_ns when);
+    /// Kill `node` while it holds its `n`-th received message (1-based).
+    void kill_after_messages(int node, std::uint64_t n);
+    /// Kill `node` at its next fault check (host-side fencing of a target the
+    /// health machinery declared failed).
+    void kill_now(int node);
+    /// Make `node`'s next backend attach fail recoverably.
+    void fail_next_attach(int node);
+
+    /// Death already triggered for `node`?
+    [[nodiscard]] bool killed(int node) const;
+    /// Consume a pending attach-failure schedule for `node`.
+    [[nodiscard]] bool take_attach_failure(int node);
+
+    // --- target-side check points -------------------------------------------
+    /// Account one message received by `node`'s target loop.
+    void count_message(int node);
+    /// Throw target_killed when `node`'s death is due (time reached, message
+    /// count reached, or fenced via kill_now). Near-free while nothing is
+    /// scheduled: one relaxed atomic load.
+    void check_target_alive(int node);
+    /// Record a target that gave up waiting for the host (idle timeout).
+    void note_idle_timeout() { ++stats_.idle_timeouts; }
+
+    // --- probabilistic draws (only meaningful while active()) ----------------
+    [[nodiscard]] bool should_drop();
+    [[nodiscard]] bool should_corrupt();
+    [[nodiscard]] bool should_lose_flag();
+    [[nodiscard]] bool should_fail_dma_post();
+    /// 0 = no spike; otherwise the virtual duration the send must stall.
+    [[nodiscard]] std::int64_t delay_spike();
+
+    /// Flip one PRNG-chosen bit of `data[0..len)`.
+    void corrupt_byte(std::byte* data, std::size_t len);
+
+private:
+    injector();
+
+    struct node_plan {
+        sim::time_ns kill_at = -1;         ///< -1 = no time trigger
+        std::uint64_t kill_after_msgs = 0; ///< 0 = no count trigger
+        std::uint64_t msgs_seen = 0;
+        bool killed = false;
+        bool fail_attach = false;
+    };
+
+    [[nodiscard]] std::uint64_t draw();
+    [[nodiscard]] bool roll(std::uint32_t permille, std::uint64_t& counter);
+
+    std::atomic<bool> active_{false};
+    std::atomic<bool> armed_{false}; ///< any kill/attach schedule outstanding
+    config cfg_;
+    std::uint64_t rng_ = 0;
+    counters stats_;
+    std::map<int, node_plan> nodes_;
+};
+
+} // namespace aurora::fault

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <variant>
 
+#include "fault/fault.hpp"
 #include "offload/protocol.hpp"
 #include "offload/target_loop.hpp"
 #include "sim/engine.hpp"
@@ -27,6 +28,7 @@ struct veo_target_cfg {
     std::uint64_t comm_addr = 0;
     protocol::comm_layout layout{};
     node_t node = 0;
+    std::int64_t idle_timeout_ns = 0; ///< 0 = poll forever
 };
 
 struct vedma_target_cfg {
@@ -38,6 +40,7 @@ struct vedma_target_cfg {
     std::uint32_t shm_result_threshold = 0;
     int staging_shm_key = 0; ///< 0 = DMA data path disabled
     std::uint64_t staging_chunk_bytes = 0;
+    std::int64_t idle_timeout_ns = 0; ///< 0 = poll forever
 };
 
 using target_cfg = std::variant<veo_target_cfg, vedma_target_cfg>;
@@ -75,12 +78,22 @@ public:
         // "Every time the runtime on the VE runs idle ... it polls the
         // notification flag of the next receive buffer" (Sec. III-D). Local
         // memory probes — the cheap side of this protocol.
+        auto& inj = aurora::fault::injector::instance();
+        const sim::time_ns idle_start = sim::now();
         for (;;) {
+            inj.check_target_alive(int(cfg_.node));
             sim::advance(cm.local_poll_ns);
             flag = protocol::decode_flag(proc_.mem().load_u64(
                 cfg_.comm_addr + lay.recv_base() + lay.recv.flag_offset(next_)));
             if (flag.present() && flag.gen == protocol::next_gen(recv_gen_[next_])) {
                 break;
+            }
+            if (cfg_.idle_timeout_ns > 0 &&
+                sim::now() - idle_start >= cfg_.idle_timeout_ns) {
+                // The host went silent for the configured deadline: presume it
+                // is gone and exit the loop instead of polling forever.
+                inj.note_idle_timeout();
+                throw aurora::fault::target_killed{};
             }
         }
         recv_gen_[next_] = flag.gen;
@@ -177,7 +190,10 @@ public:
             // "The VE now needs to actively fetch its messages" (Sec. IV-B):
             // poll the flag in *host* memory via LHM — one PCIe round trip
             // each.
+            auto& inj = aurora::fault::injector::instance();
+            const sim::time_ns idle_start = sim::now();
             for (;;) {
+                inj.check_target_alive(int(cfg_.node));
                 const std::uint64_t raw = aurora::vedma::lhm_load64(
                     atb_,
                     comm_vehva_ + lay.recv_base() + lay.recv.flag_offset(next_));
@@ -185,6 +201,11 @@ public:
                 if (flag.present() &&
                     flag.gen == protocol::next_gen(recv_gen_[next_])) {
                     break;
+                }
+                if (cfg_.idle_timeout_ns > 0 &&
+                    sim::now() - idle_start >= cfg_.idle_timeout_ns) {
+                    inj.note_idle_timeout();
+                    throw aurora::fault::target_killed{};
                 }
             }
             recv_gen_[next_] = flag.gen;
@@ -330,6 +351,9 @@ std::uint64_t c_api_setup_veo(aurora::veos::ve_call_context& ctx) {
     if (ctx.arg_count() > 4 && check_abi(ctx.arg_u64(4)) != 0) {
         return 1;
     }
+    if (ctx.arg_count() > 5) {
+        cfg.idle_timeout_ns = ctx.arg_i64(5);
+    }
     ctx.proc().user_state() = target_cfg(cfg);
     return 0;
 }
@@ -351,6 +375,9 @@ std::uint64_t c_api_setup_vedma(aurora::veos::ve_call_context& ctx) {
     }
     if (ctx.arg_count() > 9 && check_abi(ctx.arg_u64(9)) != 0) {
         return 1;
+    }
+    if (ctx.arg_count() > 10) {
+        cfg.idle_timeout_ns = ctx.arg_i64(10);
     }
     ctx.proc().user_state() = target_cfg(cfg);
     return 0;
@@ -378,15 +405,23 @@ std::uint64_t c_api_ham_main(aurora::veos::ve_call_context& ctx) {
     loop_cfg.context = &tctx;
     loop_cfg.costs = &proc.plat().costs();
 
-    if (const auto* veo_cfg = std::get_if<veo_target_cfg>(cfg)) {
-        loop_cfg.msg_size = veo_cfg->layout.recv.msg_size;
-        veo_ve_channel channel(proc, *veo_cfg);
-        run_target_loop(loop_cfg, channel);
-    } else {
-        const auto& dma_cfg = std::get<vedma_target_cfg>(*cfg);
-        loop_cfg.msg_size = dma_cfg.layout.recv.msg_size;
-        vedma_ve_channel channel(proc, dma_cfg);
-        run_target_loop(loop_cfg, channel);
+    // A simulated VE death (aurora::fault) unwinds the loop here; the channel
+    // destructors still run, so DMAATB registrations are released before the
+    // host tears the shared segments down. ham_main returning 2 tells the
+    // host-side reaper the process died rather than terminated cleanly.
+    try {
+        if (const auto* veo_cfg = std::get_if<veo_target_cfg>(cfg)) {
+            loop_cfg.msg_size = veo_cfg->layout.recv.msg_size;
+            veo_ve_channel channel(proc, *veo_cfg);
+            run_target_loop(loop_cfg, channel);
+        } else {
+            const auto& dma_cfg = std::get<vedma_target_cfg>(*cfg);
+            loop_cfg.msg_size = dma_cfg.layout.recv.msg_size;
+            vedma_ve_channel channel(proc, dma_cfg);
+            run_target_loop(loop_cfg, channel);
+        }
+    } catch (const aurora::fault::target_killed&) {
+        return 2;
     }
     return 0;
 }

@@ -16,6 +16,14 @@
 
 namespace ham::offload {
 
+/// Outcome of a send-side transport operation (aurora::fault hardening): the
+/// message path reports failures as status codes instead of aborting.
+enum class io_status : std::uint8_t {
+    ok,        ///< accepted by the transport (delivery still not guaranteed)
+    transient, ///< send-post failed before any state change; retry is safe
+    down,      ///< the transport is gone; the target must be declared failed
+};
+
 class backend {
 public:
     virtual ~backend() = default;
@@ -24,9 +32,15 @@ public:
     [[nodiscard]] virtual std::uint32_t slot_count() const = 0;
 
     /// Send one message of `kind` into `slot`; the result (or ack) arrives in
-    /// the same slot index of the opposite region.
-    virtual void send_message(std::uint32_t slot, const void* msg, std::size_t len,
-                              protocol::msg_kind kind) = 0;
+    /// the same slot index of the opposite region. `retransmit` resends into a
+    /// slot whose original send may have been lost: generation-matched
+    /// protocols keep the slot's current generation (the receiver still
+    /// expects it) instead of advancing it — a fresh send after a NACK uses
+    /// retransmit=false so the generation moves on.
+    [[nodiscard]] virtual io_status send_message(std::uint32_t slot,
+                                                 const void* msg, std::size_t len,
+                                                 protocol::msg_kind kind,
+                                                 bool retransmit = false) = 0;
 
     /// Non-blocking result probe for `slot`. On success fills `out` with the
     /// result payload (header + bytes) and clears the slot.
@@ -47,6 +61,12 @@ public:
 
     /// Final teardown after the terminate message was acknowledged.
     virtual void shutdown() = 0;
+
+    /// Fence a target the health machinery declared failed: stop its process
+    /// without the terminate handshake and release transport resources. Must
+    /// not block indefinitely; idempotent; the backend accepts no further
+    /// operations afterwards.
+    virtual void abandon() {}
 
     // --- optional VE-DMA bulk-data path (extension beyond the paper) ---------
     // When supported (and enabled), the runtime routes put()/get() through

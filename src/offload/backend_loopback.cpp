@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "fault/fault.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
 
@@ -19,12 +20,27 @@ struct backend_loopback::shared_state {
 /// Target-side channel over the shared queues.
 class backend_loopback::channel final : public target_channel {
 public:
-    channel(shared_state& s, const sim::cost_model& cm) : s_(s), cm_(cm) {}
+    channel(shared_state& s, const sim::cost_model& cm)
+        : s_(s), cm_(cm), recv_gen_(s.results.size(), 0) {}
 
     protocol::flag_word recv_next(std::vector<std::byte>& buf) override {
-        auto [flag, bytes] = s_.inbox.pop();
-        buf = std::move(bytes);
-        return flag;
+        for (;;) {
+            auto [flag, bytes] = s_.inbox.pop();
+            if (flag.kind == protocol::msg_kind::poison) {
+                // Host-side fence: unwind the loop without answering.
+                throw aurora::fault::target_killed{};
+            }
+            const std::uint32_t slot = flag.result_slot_plus1 - 1u;
+            if (flag.gen != 0 && slot < recv_gen_.size() &&
+                flag.gen == recv_gen_[slot]) {
+                continue; // duplicate of a retransmitted message
+            }
+            if (slot < recv_gen_.size()) {
+                recv_gen_[slot] = flag.gen;
+            }
+            buf = std::move(bytes);
+            return flag;
+        }
     }
 
     void send_result(std::uint32_t result_slot, const void* bytes,
@@ -43,6 +59,7 @@ public:
 private:
     shared_state& s_;
     const sim::cost_model& cm_;
+    std::vector<std::uint8_t> recv_gen_; ///< last generation seen per slot
 };
 
 /// Heap-backed target memory: addresses are real pointers.
@@ -65,7 +82,8 @@ backend_loopback::backend_loopback(sim::simulation& sim,
       node_(node),
       slots_(opt.msg_slots),
       msg_size_(opt.msg_size),
-      shared_(std::make_shared<shared_state>(sim, opt.msg_slots)) {
+      shared_(std::make_shared<shared_state>(sim, opt.msg_slots)),
+      send_gen_(opt.msg_slots, 0) {
     // The target process owns its channel/context/memory objects so they
     // outlive this backend teardown order safely.
     auto shared = shared_;
@@ -83,14 +101,19 @@ backend_loopback::backend_loopback(sim::simulation& sim,
             cfg.context = &ctx;
             cfg.costs = cm;
             cfg.msg_size = msg_size;
-            run_target_loop(cfg, ch);
+            try {
+                run_target_loop(cfg, ch);
+            } catch (const aurora::fault::target_killed&) {
+                // simulated VE death — exit without answering
+            }
         });
 }
 
 backend_loopback::~backend_loopback() = default;
 
-void backend_loopback::send_message(std::uint32_t slot, const void* msg,
-                                    std::size_t len, protocol::msg_kind kind) {
+io_status backend_loopback::send_message(std::uint32_t slot, const void* msg,
+                                         std::size_t len, protocol::msg_kind kind,
+                                         bool retransmit) {
     AURORA_CHECK(slot < slots_);
     AURORA_CHECK_MSG(len <= msg_size_, "message exceeds slot capacity");
     AURORA_CHECK_MSG(kind == protocol::msg_kind::user ||
@@ -98,8 +121,19 @@ void backend_loopback::send_message(std::uint32_t slot, const void* msg,
                          kind == protocol::msg_kind::terminate,
                      "loopback backend has no DMA data path");
     AURORA_TRACE_SPAN("backend", "loopback_send");
+    auto& inj = aurora::fault::injector::instance();
+    if (inj.active()) {
+        if (const auto spike = inj.delay_spike()) {
+            sim::advance(spike);
+        }
+        if (inj.should_fail_dma_post()) {
+            return io_status::transient;
+        }
+    }
     protocol::flag_word flag;
     flag.kind = kind;
+    flag.gen = retransmit ? send_gen_[slot]
+                          : (send_gen_[slot] = protocol::next_gen(send_gen_[slot]));
     flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
     flag.len = static_cast<std::uint32_t>(len);
     std::vector<std::byte> bytes(len);
@@ -107,7 +141,12 @@ void backend_loopback::send_message(std::uint32_t slot, const void* msg,
         std::memcpy(bytes.data(), msg, len);
     }
     sim::advance(costs_.local_poll_ns); // queue handoff
+    if (inj.active() && (inj.should_drop() || inj.should_lose_flag())) {
+        // The whole enqueue vanishes (payload and flag travel together here).
+        return io_status::ok;
+    }
     shared_->inbox.push({flag, std::move(bytes)});
+    return io_status::ok;
 }
 
 bool backend_loopback::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
@@ -166,6 +205,20 @@ void backend_loopback::shutdown() {
         sim::join(*target_proc_);
         target_proc_ = nullptr;
     }
+}
+
+void backend_loopback::abandon() {
+    if (target_proc_ == nullptr) {
+        return;
+    }
+    // In-band poison unblocks a target parked in inbox.pop(); if the process
+    // already died the packet is simply never read.
+    protocol::flag_word flag;
+    flag.kind = protocol::msg_kind::poison;
+    flag.result_slot_plus1 = 1;
+    shared_->inbox.push({flag, {}});
+    sim::join(*target_proc_);
+    target_proc_ = nullptr;
 }
 
 } // namespace ham::offload

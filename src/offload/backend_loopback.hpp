@@ -29,8 +29,9 @@ public:
     ~backend_loopback() override;
 
     [[nodiscard]] std::uint32_t slot_count() const override { return slots_; }
-    void send_message(std::uint32_t slot, const void* msg, std::size_t len,
-                      protocol::msg_kind kind) override;
+    [[nodiscard]] io_status send_message(std::uint32_t slot, const void* msg,
+                                         std::size_t len, protocol::msg_kind kind,
+                                         bool retransmit) override;
     bool test_result(std::uint32_t slot, std::vector<std::byte>& out) override;
     void poll_pause() override;
 
@@ -42,6 +43,7 @@ public:
 
     [[nodiscard]] node_descriptor descriptor() const override;
     void shutdown() override;
+    void abandon() override;
 
 private:
     struct shared_state;
@@ -56,6 +58,9 @@ private:
     std::shared_ptr<shared_state> shared_;
     std::map<std::uint64_t, std::unique_ptr<std::byte[]>> heap_;
     sim::process* target_proc_ = nullptr;
+    /// Per-slot send generation; retransmits reuse the current value so the
+    /// target channel can discard duplicates.
+    std::vector<std::uint8_t> send_gen_;
 };
 
 } // namespace ham::offload

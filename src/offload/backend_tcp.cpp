@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "fault/fault.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
 
@@ -30,16 +31,31 @@ struct backend_tcp::shared_state {
 
 class backend_tcp::channel final : public target_channel {
 public:
-    channel(shared_state& s, const sim::cost_model& cm) : s_(s), cm_(cm) {}
+    channel(shared_state& s, const sim::cost_model& cm)
+        : s_(s), cm_(cm), recv_gen_(s.results.size(), 0) {}
 
     protocol::flag_word recv_next(std::vector<std::byte>& buf) override {
-        tcp_packet p = s_.inbox.pop();
-        // Honour the network latency: the packet is readable only after its
-        // delivery timestamp, and the read itself costs a syscall.
-        sim::sleep_until(p.deliver_at);
-        sim::advance(cm_.tcp_per_msg_ns);
-        buf = std::move(p.bytes);
-        return p.flag;
+        for (;;) {
+            tcp_packet p = s_.inbox.pop();
+            if (p.flag.kind == protocol::msg_kind::poison) {
+                // Host-side fence: unwind the loop without answering.
+                throw aurora::fault::target_killed{};
+            }
+            // Honour the network latency: the packet is readable only after
+            // its delivery timestamp, and the read itself costs a syscall.
+            sim::sleep_until(p.deliver_at);
+            sim::advance(cm_.tcp_per_msg_ns);
+            const std::uint32_t slot = p.flag.result_slot_plus1 - 1u;
+            if (p.flag.gen != 0 && slot < recv_gen_.size() &&
+                p.flag.gen == recv_gen_[slot]) {
+                continue; // duplicate of a retransmitted message
+            }
+            if (slot < recv_gen_.size()) {
+                recv_gen_[slot] = p.flag.gen;
+            }
+            buf = std::move(p.bytes);
+            return p.flag;
+        }
     }
 
     void send_result(std::uint32_t result_slot, const void* bytes,
@@ -58,6 +74,7 @@ public:
 private:
     shared_state& s_;
     const sim::cost_model& cm_;
+    std::vector<std::uint8_t> recv_gen_; ///< last generation seen per slot
 };
 
 class backend_tcp::heap_memory final : public target_memory {
@@ -79,7 +96,8 @@ backend_tcp::backend_tcp(sim::simulation& sim,
       node_(node),
       slots_(opt.msg_slots),
       msg_size_(opt.msg_size),
-      shared_(std::make_shared<shared_state>(sim, opt.msg_slots)) {
+      shared_(std::make_shared<shared_state>(sim, opt.msg_slots)),
+      send_gen_(opt.msg_slots, 0) {
     auto shared = shared_;
     const auto* cm = &costs_;
     const auto* reg = &target_reg;
@@ -95,7 +113,11 @@ backend_tcp::backend_tcp(sim::simulation& sim,
             cfg.context = &ctx;
             cfg.costs = cm;
             cfg.msg_size = msg_size;
-            run_target_loop(cfg, ch);
+            try {
+                run_target_loop(cfg, ch);
+            } catch (const aurora::fault::target_killed&) {
+                // simulated VE death — exit without answering
+            }
         });
 }
 
@@ -109,8 +131,9 @@ sim::time_ns backend_tcp::send_hop(std::uint64_t bytes) {
     return sim::now() + costs_.tcp_half_rtt_ns;
 }
 
-void backend_tcp::send_message(std::uint32_t slot, const void* msg, std::size_t len,
-                               protocol::msg_kind kind) {
+io_status backend_tcp::send_message(std::uint32_t slot, const void* msg,
+                                    std::size_t len, protocol::msg_kind kind,
+                                    bool retransmit) {
     AURORA_CHECK(slot < slots_);
     AURORA_CHECK_MSG(len <= msg_size_, "message exceeds slot capacity");
     AURORA_CHECK_MSG(kind == protocol::msg_kind::user ||
@@ -118,8 +141,20 @@ void backend_tcp::send_message(std::uint32_t slot, const void* msg, std::size_t 
                          kind == protocol::msg_kind::terminate,
                      "the TCP backend has no DMA data path");
     AURORA_TRACE_SPAN("backend", "tcp_send");
+    auto& inj = aurora::fault::injector::instance();
+    if (inj.active()) {
+        if (const auto spike = inj.delay_spike()) {
+            sim::advance(spike);
+        }
+        if (inj.should_fail_dma_post()) {
+            return io_status::transient;
+        }
+    }
     tcp_packet p;
     p.flag.kind = kind;
+    p.flag.gen = retransmit
+                     ? send_gen_[slot]
+                     : (send_gen_[slot] = protocol::next_gen(send_gen_[slot]));
     p.flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
     p.flag.len = static_cast<std::uint32_t>(len);
     p.bytes.resize(len);
@@ -127,7 +162,12 @@ void backend_tcp::send_message(std::uint32_t slot, const void* msg, std::size_t 
         std::memcpy(p.bytes.data(), msg, len);
     }
     p.deliver_at = send_hop(len);
+    if (inj.active() && (inj.should_drop() || inj.should_lose_flag())) {
+        // The segment vanishes on the wire (payload and flag travel together).
+        return io_status::ok;
+    }
     shared_->inbox.push(std::move(p));
+    return io_status::ok;
 }
 
 bool backend_tcp::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
@@ -191,6 +231,20 @@ void backend_tcp::shutdown() {
         sim::join(*target_proc_);
         target_proc_ = nullptr;
     }
+}
+
+void backend_tcp::abandon() {
+    if (target_proc_ == nullptr) {
+        return;
+    }
+    // In-band poison unblocks a target parked in inbox.pop(); if the process
+    // already died the packet is simply never read.
+    tcp_packet p;
+    p.flag.kind = protocol::msg_kind::poison;
+    p.flag.result_slot_plus1 = 1;
+    shared_->inbox.push(std::move(p));
+    sim::join(*target_proc_);
+    target_proc_ = nullptr;
 }
 
 } // namespace ham::offload

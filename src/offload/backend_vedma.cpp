@@ -1,8 +1,11 @@
 #include "offload/backend_vedma.hpp"
 
 #include <cstring>
+#include <string>
 
+#include "fault/fault.hpp"
 #include "offload/app_image.hpp"
+#include "offload/future.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
@@ -56,10 +59,29 @@ backend_vedma::backend_vedma(aurora::veos::veos_system& sys, int ve_id, node_t n
     }
 
     // Deployment still uses VEO (Fig. 4): process, library, setup, ham_main.
+    // Construction failures are recoverable: the runtime marks the target
+    // failed at attach time and continues with the remaining targets.
     proc_ = veo_proc_create(sys_, ve_id_, opt.vh_socket);
-    AURORA_CHECK_MSG(proc_ != nullptr, "veo_proc_create failed for VE " << ve_id_);
+    if (proc_ == nullptr) {
+        shms_.destroy(ham_shm_key);
+        if (staging_seg_ != nullptr) {
+            shms_.destroy(ham_staging_shm_key);
+        }
+        throw target_attach_error("veo_proc_create failed for VE " +
+                                  std::to_string(ve_id_));
+    }
     const std::uint64_t lib = veo_load_library(proc_, app_image_name);
-    AURORA_CHECK_MSG(lib != 0, "failed to load " << app_image_name);
+    if (lib == 0) {
+        veo_proc_destroy(proc_);
+        proc_ = nullptr;
+        shms_.destroy(ham_shm_key);
+        if (staging_seg_ != nullptr) {
+            shms_.destroy(ham_staging_shm_key);
+        }
+        throw target_attach_error(std::string("failed to load ") +
+                                  app_image_name + " on VE " +
+                                  std::to_string(ve_id_));
+    }
     ctx_ = veo_context_open(proc_);
 
     const std::uint64_t sym_setup = veo_get_sym(proc_, lib, sym_setup_vedma);
@@ -76,6 +98,7 @@ backend_vedma::backend_vedma(aurora::veos::veos_system& sys, int ve_id, node_t n
     args->set_u64(8, opt_.vedma_staging_chunk_bytes);
     args->set_u64(9, ham::handler_registry::build(
                          host_image_options()).fingerprint());
+    args->set_i64(10, opt_.target_idle_timeout_ns);
     std::uint64_t ret = 0;
     const std::uint64_t req = veo_call_async(ctx_, sym_setup, args);
     AURORA_CHECK(veo_call_wait_result(ctx_, req, &ret) == VEO_COMMAND_OK);
@@ -91,31 +114,50 @@ backend_vedma::backend_vedma(aurora::veos::veos_system& sys, int ve_id, node_t n
 
 backend_vedma::~backend_vedma() = default;
 
-void backend_vedma::send_message(std::uint32_t slot, const void* msg,
-                                 std::size_t len, protocol::msg_kind kind) {
+io_status backend_vedma::send_message(std::uint32_t slot, const void* msg,
+                                      std::size_t len, protocol::msg_kind kind,
+                                      bool retransmit) {
     const auto& cm = sys_.plat().costs();
     AURORA_CHECK(slot < layout_.recv.slots);
     AURORA_CHECK_MSG(len <= layout_.recv.msg_size, "message exceeds slot capacity");
     // All host-side operations are local memory accesses (Sec. IV-B): copy
     // the message into the shared segment, then publish the flag.
     AURORA_TRACE_SPAN("backend", "vedma_send");
-    if (len > 0) {
+    auto& inj = aurora::fault::injector::instance();
+    if (inj.active()) {
+        if (const auto spike = inj.delay_spike()) {
+            sim::advance(spike);
+        }
+        if (inj.should_fail_dma_post()) {
+            return io_status::transient;
+        }
+    }
+    // A dropped message skips both stores; the generation still advances so a
+    // later retransmission carries the value the VE expects.
+    const bool drop = inj.active() && inj.should_drop();
+    if (!drop && len > 0) {
         AURORA_TRACE_SPAN("backend", "msg_copy");
         std::memcpy(region(layout_.recv.buffer_offset(slot)), msg, len);
         sim::advance(sim::transfer_ns(len, cm.vh_memcpy_gib));
     }
-    send_gen_[slot] = protocol::next_gen(send_gen_[slot]);
+    if (!retransmit) {
+        send_gen_[slot] = protocol::next_gen(send_gen_[slot]);
+    }
     protocol::flag_word flag;
     flag.kind = kind;
     flag.gen = send_gen_[slot];
     flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
     flag.len = static_cast<std::uint32_t>(len);
     const std::uint64_t raw = protocol::encode_flag(flag);
+    if (drop || (inj.active() && inj.should_lose_flag())) {
+        return io_status::ok; // payload may have landed; the flag store is lost
+    }
     {
         AURORA_TRACE_SPAN("backend", "flag_write");
         sim::advance(cm.local_poll_ns); // store + fence
         std::memcpy(region(layout_.recv.flag_offset(slot)), &raw, sizeof(raw));
     }
+    return io_status::ok;
 }
 
 bool backend_vedma::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
@@ -197,8 +239,30 @@ void backend_vedma::stage_get(std::uint32_t chunk, void* dst, std::uint64_t len)
 }
 
 void backend_vedma::shutdown() {
+    if (proc_ == nullptr) {
+        return;
+    }
     std::uint64_t ret = 0;
     AURORA_CHECK(veo_call_wait_result(ctx_, main_req_, &ret) == VEO_COMMAND_OK);
+    veo_proc_destroy(proc_);
+    proc_ = nullptr;
+    shms_.destroy(ham_shm_key);
+    if (staging_seg_ != nullptr) {
+        shms_.destroy(ham_staging_shm_key);
+        staging_seg_ = nullptr;
+    }
+    seg_ = nullptr;
+}
+
+void backend_vedma::abandon() {
+    if (proc_ == nullptr) {
+        return;
+    }
+    // The runtime fenced this target (injector::kill_now), so ham_main exits
+    // at the VE's next liveness check — its channel destructor unregisters the
+    // ATB mapping before returning, after which the segments can go away.
+    std::uint64_t ret = 0;
+    veo_call_wait_result(ctx_, main_req_, &ret);
     veo_proc_destroy(proc_);
     proc_ = nullptr;
     shms_.destroy(ham_shm_key);

@@ -32,8 +32,9 @@ public:
     [[nodiscard]] std::uint32_t slot_count() const override {
         return layout_.recv.slots;
     }
-    void send_message(std::uint32_t slot, const void* msg, std::size_t len,
-                      protocol::msg_kind kind) override;
+    [[nodiscard]] io_status send_message(std::uint32_t slot, const void* msg,
+                                         std::size_t len, protocol::msg_kind kind,
+                                         bool retransmit) override;
     bool test_result(std::uint32_t slot, std::vector<std::byte>& out) override;
     void poll_pause() override;
 
@@ -45,6 +46,7 @@ public:
 
     [[nodiscard]] node_descriptor descriptor() const override;
     void shutdown() override;
+    void abandon() override;
 
     // --- VE-DMA bulk-data path (extension; see options.hpp) ------------------
     [[nodiscard]] bool has_dma_data_path() const override {

@@ -1,8 +1,11 @@
 #include "offload/backend_veo.hpp"
 
 #include <cstring>
+#include <string>
 
+#include "fault/fault.hpp"
 #include "offload/app_image.hpp"
+#include "offload/future.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
@@ -33,10 +36,21 @@ backend_veo::backend_veo(aurora::veos::veos_system& sys, int ve_id, node_t node,
       result_gen_(opt.msg_slots, 0) {
     // Deployment per Fig. 4: create the VE process, load the application
     // library, communicate the buffer addresses via the C-API, run ham_main.
+    // Construction failures are recoverable: the runtime marks the target
+    // failed at attach time and continues with the remaining targets.
     proc_ = veo_proc_create(sys_, ve_id_, opt.vh_socket);
-    AURORA_CHECK_MSG(proc_ != nullptr, "veo_proc_create failed for VE " << ve_id_);
+    if (proc_ == nullptr) {
+        throw target_attach_error("veo_proc_create failed for VE " +
+                                  std::to_string(ve_id_));
+    }
     const std::uint64_t lib = veo_load_library(proc_, app_image_name);
-    AURORA_CHECK_MSG(lib != 0, "failed to load " << app_image_name);
+    if (lib == 0) {
+        veo_proc_destroy(proc_);
+        proc_ = nullptr;
+        throw target_attach_error(std::string("failed to load ") +
+                                  app_image_name + " on VE " +
+                                  std::to_string(ve_id_));
+    }
     ctx_ = veo_context_open(proc_);
 
     // All communication buffers live in VE memory and are set up and managed
@@ -52,6 +66,7 @@ backend_veo::backend_veo(aurora::veos::veos_system& sys, int ve_id, node_t node,
     args->set_i64(3, node_);
     args->set_u64(4, ham::handler_registry::build(
                          host_image_options()).fingerprint());
+    args->set_i64(5, opt.target_idle_timeout_ns);
     std::uint64_t ret = 0;
     const std::uint64_t req = veo_call_async(ctx_, sym_setup, args);
     AURORA_CHECK(veo_call_wait_result(ctx_, req, &ret) == VEO_COMMAND_OK);
@@ -70,8 +85,9 @@ backend_veo::backend_veo(aurora::veos::veos_system& sys, int ve_id, node_t node,
 
 backend_veo::~backend_veo() = default;
 
-void backend_veo::send_message(std::uint32_t slot, const void* msg, std::size_t len,
-                               protocol::msg_kind kind) {
+io_status backend_veo::send_message(std::uint32_t slot, const void* msg,
+                                    std::size_t len, protocol::msg_kind kind,
+                                    bool retransmit) {
     AURORA_CHECK(slot < layout_.recv.slots);
     AURORA_CHECK_MSG(len <= layout_.recv.msg_size, "message exceeds slot capacity");
     AURORA_CHECK_MSG(kind == protocol::msg_kind::user ||
@@ -82,23 +98,41 @@ void backend_veo::send_message(std::uint32_t slot, const void* msg, std::size_t 
     // signal completion by setting the corresponding flag — two privileged-
     // DMA writes.
     AURORA_TRACE_SPAN("backend", "veo_send");
-    if (len > 0) {
+    auto& inj = aurora::fault::injector::instance();
+    if (inj.active()) {
+        if (const auto spike = inj.delay_spike()) {
+            sim::advance(spike);
+        }
+        if (inj.should_fail_dma_post()) {
+            return io_status::transient;
+        }
+    }
+    // A dropped message skips both DMA writes; the generation still advances
+    // so a later retransmission carries the value the VE expects.
+    const bool drop = inj.active() && inj.should_drop();
+    if (!drop && len > 0) {
         AURORA_TRACE_SPAN("backend", "msg_copy");
         veo_write_mem(proc_, comm_addr_ + layout_.recv.buffer_offset(slot), msg,
                       len);
     }
-    send_gen_[slot] = protocol::next_gen(send_gen_[slot]);
+    if (!retransmit) {
+        send_gen_[slot] = protocol::next_gen(send_gen_[slot]);
+    }
     protocol::flag_word flag;
     flag.kind = kind;
     flag.gen = send_gen_[slot];
     flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
     flag.len = static_cast<std::uint32_t>(len);
     const std::uint64_t raw = protocol::encode_flag(flag);
+    if (drop || (inj.active() && inj.should_lose_flag())) {
+        return io_status::ok; // payload may have landed; the flag write is lost
+    }
     {
         AURORA_TRACE_SPAN("backend", "flag_write");
         veo_write_mem(proc_, comm_addr_ + layout_.recv.flag_offset(slot), &raw,
                       sizeof(raw));
     }
+    return io_status::ok;
 }
 
 bool backend_veo::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
@@ -160,9 +194,26 @@ node_descriptor backend_veo::descriptor() const {
 }
 
 void backend_veo::shutdown() {
+    if (proc_ == nullptr) {
+        return;
+    }
     // The terminate result was already collected; ham_main returns now.
     std::uint64_t ret = 0;
     AURORA_CHECK(veo_call_wait_result(ctx_, main_req_, &ret) == VEO_COMMAND_OK);
+    veo_free_mem(proc_, comm_addr_);
+    veo_proc_destroy(proc_);
+    proc_ = nullptr;
+}
+
+void backend_veo::abandon() {
+    if (proc_ == nullptr) {
+        return;
+    }
+    // The runtime fenced this target (injector::kill_now), so ham_main exits
+    // at the VE's next liveness check — reap it, then tear down without the
+    // terminate handshake.
+    std::uint64_t ret = 0;
+    veo_call_wait_result(ctx_, main_req_, &ret);
     veo_free_mem(proc_, comm_addr_);
     veo_proc_destroy(proc_);
     proc_ = nullptr;

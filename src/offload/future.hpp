@@ -15,6 +15,7 @@
 
 #include "offload/protocol.hpp"
 #include "offload/types.hpp"
+#include "sim/engine.hpp"
 #include "util/check.hpp"
 
 namespace ham::offload {
@@ -32,6 +33,11 @@ public:
     /// Blocking variant.
     virtual void wait_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,
                               std::vector<std::byte>& out) = 0;
+    /// Bounded variant: poll until the result arrives or virtual time reaches
+    /// `deadline_ns`; false on timeout (the request stays outstanding).
+    virtual bool wait_collect_until(node_t node, std::uint64_t ticket,
+                                    std::uint32_t slot, std::vector<std::byte>& out,
+                                    sim::time_ns deadline_ns) = 0;
 };
 
 } // namespace detail
@@ -41,6 +47,21 @@ public:
 class offload_error : public std::runtime_error {
 public:
     explicit offload_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when the target that holds (or would run) the offload transitioned
+/// to target_health::failed — it died, its backend never attached, or it
+/// exhausted the retry budget. The scheduler catches this to re-route work.
+class target_failed_error : public offload_error {
+public:
+    using offload_error::offload_error;
+};
+
+/// target_failed_error for a backend that could not be constructed (e.g.
+/// veo_proc_create returned null or the application library failed to load).
+class target_attach_error : public target_failed_error {
+public:
+    using target_failed_error::target_failed_error;
 };
 
 template <typename T>
@@ -58,6 +79,7 @@ class future {
         std::uint32_t slot = 0;
         bool ready = false;
         bool failed = false;
+        std::uint64_t status = 0; ///< result_header status of a failed result
         std::string error_text;
         storage value{};
         std::function<void()> on_ready;
@@ -129,7 +151,29 @@ public:
         return true;
     }
 
-    /// Blocking accessor; rethrows target-side failures as offload_error.
+    /// Bounded readiness wait on *virtual* time: poll until the result lands
+    /// or sim::now() reaches `deadline_ns`. True when the future became ready.
+    bool wait_until(sim::time_ns deadline_ns) {
+        AURORA_CHECK_MSG(valid(), "wait_until() on an invalid future");
+        if (s_->ready) {
+            return true;
+        }
+        std::vector<std::byte> bytes;
+        if (!s_->src->wait_collect_until(s_->node, s_->ticket, s_->slot, bytes,
+                                         deadline_ns)) {
+            return false;
+        }
+        absorb(bytes);
+        return true;
+    }
+
+    /// wait_until() relative to the current virtual time.
+    bool wait_for(sim::duration_ns timeout_ns) {
+        return wait_until(sim::now() + timeout_ns);
+    }
+
+    /// Blocking accessor; rethrows target-side failures as offload_error
+    /// (target_failed_error when the target itself was declared failed).
     T get() {
         AURORA_CHECK_MSG(valid(), "get() on an invalid future");
         if (!s_->ready) {
@@ -138,6 +182,14 @@ public:
             absorb(bytes);
         }
         if (s_->failed) {
+            if (s_->status == protocol::status::target_failed) {
+                std::string what =
+                    "offload target node " + std::to_string(s_->node) + " failed";
+                if (!s_->error_text.empty()) {
+                    what += ": " + s_->error_text;
+                }
+                throw target_failed_error(what);
+            }
             std::string what = "offloaded function raised an exception on node " +
                                std::to_string(s_->node);
             if (!s_->error_text.empty()) {
@@ -155,7 +207,8 @@ private:
         AURORA_CHECK(bytes.size() >= sizeof(protocol::result_header));
         protocol::result_header h;
         std::memcpy(&h, bytes.data(), sizeof(h));
-        s_->failed = h.status != 0;
+        s_->failed = h.status != protocol::status::ok;
+        s_->status = h.status;
         if (s_->failed && bytes.size() > sizeof(h)) {
             // Failed results carry the target exception's what() text.
             s_->error_text.assign(

@@ -43,6 +43,27 @@ struct runtime_options {
     bool vedma_dma_data_path = false;
     std::uint32_t vedma_staging_chunks = 4;
     std::uint64_t vedma_staging_chunk_bytes = 2 * 1024 * 1024;
+
+    // --- resilience (aurora::fault hardening; see docs/FAULTS.md) -----------
+    /// Virtual-time budget for a posted message's reply before the runtime
+    /// retransmits (the window doubles per attempt). 0 disables timeouts —
+    /// the default, keeping the fault-free path byte-identical to the paper
+    /// protocols. When fault injection is active and this is 0, the runtime
+    /// substitutes a 1 ms virtual default. Env: HAM_AURORA_FAULT_TIMEOUT_NS.
+    std::int64_t reply_timeout_ns = 0;
+    /// Retransmissions per message (and retries per transient send-post
+    /// failure) before the target is declared failed.
+    /// Env: HAM_AURORA_FAULT_MAX_RETRIES.
+    std::uint32_t max_retries = 4;
+    /// Initial virtual backoff after a transient send-post failure; doubles
+    /// per consecutive retry of the same message.
+    std::int64_t retry_backoff_ns = 20'000;
+    /// Clean results required for a degraded target to count as healthy again.
+    std::uint32_t recovery_streak = 16;
+    /// VE-side poll deadline (VEO/VEDMA protocols): a target whose receive
+    /// poll sees no message for this long presumes the host is gone and exits
+    /// its loop. 0 = poll forever (default; queue backends always block).
+    std::int64_t target_idle_timeout_ns = 0;
 };
 
 } // namespace ham::offload

@@ -37,6 +37,10 @@ enum class msg_kind : std::uint8_t {
     /// slot payload, answered by a single result message. Amortises the
     /// per-message protocol cost (Fig. 9) over small tasks.
     batch = 5,
+    /// Extension (aurora::fault): host-side fence for a target declared
+    /// failed. Queue backends deliver it in-band; the target channel unwinds
+    /// its loop without answering.
+    poison = 6,
 };
 
 /// Payload of a data_put/data_get control message.
@@ -77,8 +81,42 @@ struct flag_word {
 
 /// Result message header preceding the result payload in a send buffer.
 struct result_header {
-    std::uint64_t status = 0; ///< 0 = ok, 1 = target exception
+    std::uint64_t status = 0; ///< one of the status:: codes below
 };
+
+/// result_header.status codes.
+namespace status {
+inline constexpr std::uint64_t ok = 0;
+/// The offloaded code raised an exception; the what() text follows the header.
+inline constexpr std::uint64_t target_exception = 1;
+/// Checksum mismatch: the target refused the message without executing it and
+/// asks for a retransmission. Consumed inside the runtime, never seen by a
+/// future.
+inline constexpr std::uint64_t corrupt_retry = 2;
+/// Synthesised by the host when the target was declared failed; the failure
+/// reason follows the header. futures rethrow it as target_failed_error.
+inline constexpr std::uint64_t target_failed = 3;
+} // namespace status
+
+// --- message checksums (aurora::fault) ---------------------------------------
+//
+// While fault injection is active, user/batch payloads carry an FNV-1a 64
+// trailer so in-transit corruption is caught on the target before execution
+// (answered with a status::corrupt_retry NACK). The trailer exists only in
+// fault mode — the fault-free wire format stays byte-identical to the paper
+// protocols.
+
+inline constexpr std::size_t checksum_bytes = 8;
+
+[[nodiscard]] constexpr std::uint64_t fnv1a(const std::byte* data,
+                                            std::size_t len) {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= static_cast<std::uint64_t>(data[i]);
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
 
 // --- batch message encoding (msg_kind::batch) --------------------------------
 //

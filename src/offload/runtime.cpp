@@ -1,7 +1,9 @@
 #include "offload/runtime.hpp"
 
+#include <algorithm>
 #include <cstring>
 
+#include "fault/fault.hpp"
 #include "offload/app_image.hpp"
 #include "offload/backend_loopback.hpp"
 #include "offload/backend_tcp.hpp"
@@ -11,6 +13,7 @@
 #include "sim/trace.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
+#include "util/env.hpp"
 #include "veos/veos.hpp"
 
 namespace ham::offload {
@@ -24,6 +27,14 @@ const ham::handler_registry& loopback_target_registry() {
     static const ham::handler_registry reg = ham::handler_registry::build(
         {.address_base = 0x5B0000000000, .layout_seed = 0x10053ACCULL});
     return reg;
+}
+
+std::string failed_what(node_t node, const std::string& reason) {
+    std::string what = "offload target node " + std::to_string(node) + " failed";
+    if (!reason.empty()) {
+        what += ": " + reason;
+    }
+    return what;
 }
 
 } // namespace
@@ -51,30 +62,68 @@ runtime::runtime(sim::simulation& sim, aurora::veos::veos_system* sys,
     }
     costs_ = sys_ != nullptr ? sys_->plat().costs() : sim::cost_model{};
 
+    auto& inj = aurora::fault::injector::instance();
+    if (const auto v = aurora::env_int("HAM_AURORA_FAULT_TIMEOUT_NS")) {
+        opt_.reply_timeout_ns = *v;
+    }
+    if (const auto v = aurora::env_int("HAM_AURORA_FAULT_MAX_RETRIES")) {
+        opt_.max_retries = static_cast<std::uint32_t>(std::max<std::int64_t>(*v, 0));
+    }
+    if (inj.active() && opt_.reply_timeout_ns == 0) {
+        // Injection without timeouts would hang on the first dropped message.
+        opt_.reply_timeout_ns = 1'000'000;
+    }
+    reply_timeout_ns_ = opt_.reply_timeout_ns;
+    max_retries_ = opt_.max_retries;
+    retry_backoff_ns_ = std::max<std::int64_t>(opt_.retry_backoff_ns, 1);
+    resilient_ = inj.active() || reply_timeout_ns_ > 0;
+
     node_t node = 1;
     for (const int target : opt_.targets) {
         auto state = std::make_unique<target_state>();
-        switch (opt_.backend) {
-            case backend_kind::loopback:
-                state->be = std::make_unique<backend_loopback>(
-                    sim_, loopback_target_registry(), costs_, opt_, node);
-                break;
-            case backend_kind::tcp:
-                state->be = std::make_unique<backend_tcp>(
-                    sim_, loopback_target_registry(), costs_, opt_, node);
-                break;
-            case backend_kind::veo:
-                state->be =
-                    std::make_unique<backend_veo>(*sys_, target, node, opt_);
-                break;
-            case backend_kind::vedma:
-                state->be =
-                    std::make_unique<backend_vedma>(*sys_, target, node, opt_);
-                break;
+        try {
+            if (inj.take_attach_failure(int(node))) {
+                throw target_attach_error("injected attach failure on node " +
+                                          std::to_string(node));
+            }
+            switch (opt_.backend) {
+                case backend_kind::loopback:
+                    state->be = std::make_unique<backend_loopback>(
+                        sim_, loopback_target_registry(), costs_, opt_, node);
+                    break;
+                case backend_kind::tcp:
+                    state->be = std::make_unique<backend_tcp>(
+                        sim_, loopback_target_registry(), costs_, opt_, node);
+                    break;
+                case backend_kind::veo:
+                    state->be =
+                        std::make_unique<backend_veo>(*sys_, target, node, opt_);
+                    break;
+                case backend_kind::vedma:
+                    state->be =
+                        std::make_unique<backend_vedma>(*sys_, target, node, opt_);
+                    break;
+            }
+            state->slot_ticket.assign(state->be->slot_count(), 0);
+        } catch (const target_attach_error& e) {
+            // Recoverable: the runtime continues with the remaining targets;
+            // this node is born failed and every send to it throws.
+            state->be = nullptr;
+            state->slot_ticket.assign(opt_.msg_slots, 0);
+            state->health = target_health::failed;
+            state->fail_reason = e.what();
+            AURORA_TRACE("offload",
+                         "node " << node << " attach failed: " << e.what());
         }
-        state->slot_ticket.assign(state->be->slot_count(), 0);
         targets_.push_back(std::move(state));
         ++node;
+    }
+    const bool any_attached =
+        std::any_of(targets_.begin(), targets_.end(),
+                    [](const auto& t) { return t->be != nullptr; });
+    if (!any_attached) {
+        throw target_attach_error("all offload targets failed to attach: " +
+                                  targets_.front()->fail_reason);
     }
 }
 
@@ -91,18 +140,33 @@ void runtime::shutdown() {
         return;
     }
     shut_down_ = true;
-    // Terminate every target: a control message through the regular slot
-    // discipline, acknowledged by a result message.
+    // Terminate every live target: a control message through the regular slot
+    // discipline, acknowledged by a result message. Failed targets were fenced
+    // already; unattached ones never started.
     for (std::size_t i = 0; i < targets_.size(); ++i) {
-        AURORA_TRACE_SPAN("offload", "terminate");
         target_state& t = *targets_[i];
-        const std::uint32_t slot = acquire_slot(t);
-        t.be->send_message(slot, nullptr, 0, protocol::msg_kind::terminate);
-        const std::uint64_t ticket = t.next_ticket++;
-        t.slot_ticket[slot] = ticket;
-        std::vector<std::byte> ack;
-        wait_collect(static_cast<node_t>(i + 1), ticket, slot, ack);
-        t.be->shutdown();
+        const auto node = static_cast<node_t>(i + 1);
+        if (t.be == nullptr) {
+            continue;
+        }
+        if (t.health == target_health::failed) {
+            t.be->abandon();
+            continue;
+        }
+        AURORA_TRACE_SPAN("offload", "terminate");
+        try {
+            const std::uint32_t slot = acquire_slot(t, node);
+            const std::uint64_t ticket =
+                post_on_slot(t, node, slot, nullptr, 0,
+                             protocol::msg_kind::terminate);
+            std::vector<std::byte> ack;
+            wait_collect(node, ticket, slot, ack);
+        } catch (const target_failed_error&) {
+            // The target died during the handshake — fail_target fenced it.
+        }
+        if (t.health != target_health::failed) {
+            t.be->shutdown();
+        }
     }
 }
 
@@ -114,7 +178,9 @@ runtime::target_state& runtime::state_for(node_t node) {
 }
 
 backend& runtime::backend_for(node_t node) {
-    return *state_for(node).be;
+    target_state& t = state_for(node);
+    AURORA_CHECK_MSG(t.be != nullptr, "node " << node << " never attached");
+    return *t.be;
 }
 
 node_descriptor runtime::descriptor(node_t node) const {
@@ -128,35 +194,257 @@ node_descriptor runtime::descriptor(node_t node) const {
     }
     AURORA_CHECK_MSG(node >= 1 && std::size_t(node) <= targets_.size(),
                      "no node " << node);
-    return targets_[std::size_t(node - 1)]->be->descriptor();
+    const target_state& t = *targets_[std::size_t(node - 1)];
+    if (t.be == nullptr) {
+        node_descriptor d;
+        d.name = "node" + std::to_string(node);
+        d.device_type = "unattached";
+        d.node = node;
+        d.ve_id = -1;
+        return d;
+    }
+    return t.be->descriptor();
 }
 
-bool runtime::harvest_slot(target_state& t, std::uint32_t slot) {
+target_health runtime::health(node_t node) {
+    return state_for(node).health;
+}
+
+const std::string& runtime::failure_reason(node_t node) {
+    return state_for(node).fail_reason;
+}
+
+void runtime::ensure_sendable(target_state& t, node_t node) {
+    if (t.health == target_health::failed || t.be == nullptr) {
+        throw target_failed_error(failed_what(node, t.fail_reason));
+    }
+}
+
+void runtime::note_transient_fault(target_state& t) {
+    t.ok_streak = 0;
+    if (t.health == target_health::healthy) {
+        t.health = target_health::degraded;
+    }
+}
+
+void runtime::fail_target(node_t node, const std::string& why) {
+    target_state& t = state_for(node);
+    if (t.health == target_health::failed) {
+        return;
+    }
+    t.health = target_health::failed;
+    t.fail_reason = why;
+    AURORA_TRACE("offload", "node " << node << " declared FAILED: " << why);
+    AURORA_TRACE_COUNTER("offload", "targets_failed", 1);
+    // Fence: make sure the target process exits its loop at the next fault
+    // check and stops touching shared state, then tear the transport down.
+    aurora::fault::injector::instance().kill_now(int(node));
+    if (t.be != nullptr) {
+        t.be->abandon();
+    }
+    // Settle every outstanding request with a synthetic failed result so no
+    // future ever blocks on this target.
+    for (std::uint32_t s = 0; s < t.slot_ticket.size(); ++s) {
+        const std::uint64_t ticket = t.slot_ticket[s];
+        if (ticket == 0) {
+            continue;
+        }
+        protocol::result_header h;
+        h.status = protocol::status::target_failed;
+        std::vector<std::byte> bytes(sizeof(h) + why.size());
+        std::memcpy(bytes.data(), &h, sizeof(h));
+        std::memcpy(bytes.data() + sizeof(h), why.data(), why.size());
+        t.arrived.emplace(ticket, std::move(bytes));
+        t.slot_ticket[s] = 0;
+    }
+    t.pending.clear();
+}
+
+bool runtime::harvest_slot(target_state& t, std::uint32_t slot, node_t node) {
     if (t.slot_ticket[slot] == 0) {
         return false;
     }
     std::vector<std::byte> bytes;
-    if (!t.be->test_result(slot, bytes)) {
+    if (t.be == nullptr || !t.be->test_result(slot, bytes)) {
         return false;
+    }
+    if (resilient_ && bytes.size() >= sizeof(protocol::result_header)) {
+        protocol::result_header h;
+        std::memcpy(&h, bytes.data(), sizeof(h));
+        if (h.status == protocol::status::corrupt_retry) {
+            // Checksum NACK: the target refused the message without executing
+            // it and advanced its generation — resend the clean frame fresh.
+            ++t.stats.corrupt_retries;
+            note_transient_fault(t);
+            auto it = t.pending.find(slot);
+            if (it == t.pending.end() || it->second.attempts > max_retries_) {
+                fail_target(node, "checksum retries exhausted on slot " +
+                                      std::to_string(slot));
+                return true; // synthetic result is in `arrived` now
+            }
+            pending_send& p = it->second;
+            AURORA_TRACE("offload", "corrupt NACK node " << node << " slot "
+                                                         << slot << ", resend");
+            try {
+                attempt_send(t, node, slot, p.wire.data(), p.wire.size(), p.kind,
+                             /*retransmit=*/false);
+            } catch (const target_failed_error&) {
+                return true;
+            }
+            ++p.attempts;
+            p.sent_at = sim::now();
+            return false; // still outstanding
+        }
+    }
+    if (resilient_) {
+        t.pending.erase(slot);
+        if (t.health == target_health::degraded &&
+            ++t.ok_streak >= opt_.recovery_streak) {
+            t.health = target_health::healthy;
+            AURORA_TRACE("offload", "node " << node << " recovered to healthy");
+        }
     }
     t.arrived.emplace(t.slot_ticket[slot], std::move(bytes));
     t.slot_ticket[slot] = 0;
     return true;
 }
 
-std::uint32_t runtime::acquire_slot(target_state& t) {
+io_status runtime::attempt_send(target_state& t, node_t node, std::uint32_t slot,
+                                const void* wire, std::size_t len,
+                                protocol::msg_kind kind, bool retransmit) {
+    ensure_sendable(t, node);
+    std::int64_t backoff = retry_backoff_ns_;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        io_status st;
+        {
+            AURORA_TRACE_SPAN("offload", "send");
+            st = t.be->send_message(slot, wire, len, kind, retransmit);
+        }
+        if (st == io_status::ok) {
+            return io_status::ok;
+        }
+        if (st == io_status::down || attempt >= max_retries_) {
+            fail_target(node, st == io_status::down
+                                  ? "transport down"
+                                  : "send retries exhausted on slot " +
+                                        std::to_string(slot));
+            throw target_failed_error(failed_what(node, t.fail_reason));
+        }
+        // Transient post failure: back off (virtual time) and retry.
+        ++t.stats.send_retries;
+        note_transient_fault(t);
+        sim::advance(backoff);
+        backoff *= 2;
+    }
+}
+
+std::uint64_t runtime::post_on_slot(target_state& t, node_t node,
+                                    std::uint32_t slot, const void* msg,
+                                    std::size_t len, protocol::msg_kind kind) {
+    ensure_sendable(t, node);
+    auto& inj = aurora::fault::injector::instance();
+    const bool checksummed = inj.active() &&
+                             (kind == protocol::msg_kind::user ||
+                              kind == protocol::msg_kind::batch);
+    std::vector<std::byte> framed;
+    const auto* wire = static_cast<const std::byte*>(msg);
+    std::size_t wire_len = len;
+    if (checksummed) {
+        // The overflow arm of the check (framed_len > len) keeps the wrapped
+        // length out of resize()/memcpy below.
+        const std::size_t framed_len = len + protocol::checksum_bytes;
+        AURORA_CHECK_MSG(framed_len > len && framed_len <= opt_.msg_size,
+                         "message too large for the fault-mode checksum trailer");
+        framed.resize(framed_len);
+        if (len > 0) {
+            std::memcpy(framed.data(), msg, len);
+        }
+        const std::uint64_t sum = protocol::fnv1a(framed.data(), len);
+        std::memcpy(framed.data() + len, &sum, protocol::checksum_bytes);
+        wire = framed.data();
+        wire_len = framed.size();
+    }
+    // Transmit — possibly a corrupted copy. `pending` retains the clean frame,
+    // so a NACK-driven resend always recovers.
+    if (checksummed && inj.should_corrupt()) {
+        std::vector<std::byte> mangled(wire, wire + wire_len);
+        inj.corrupt_byte(mangled.data(), mangled.size());
+        attempt_send(t, node, slot, mangled.data(), wire_len, kind,
+                     /*retransmit=*/false);
+    } else {
+        attempt_send(t, node, slot, wire, wire_len, kind, /*retransmit=*/false);
+    }
+    const std::uint64_t ticket = t.next_ticket++;
+    t.slot_ticket[slot] = ticket;
+    if (resilient_) {
+        pending_send p;
+        p.wire.assign(wire, wire + wire_len);
+        p.kind = kind;
+        p.attempts = 1;
+        p.sent_at = sim::now();
+        t.pending[slot] = std::move(p);
+    }
+    return ticket;
+}
+
+void runtime::check_deadlines(target_state& t, node_t node) {
+    if (!resilient_ || reply_timeout_ns_ <= 0 ||
+        t.health == target_health::failed || t.pending.empty()) {
+        return;
+    }
+    const sim::time_ns now = sim::now();
+    for (auto it = t.pending.begin(); it != t.pending.end(); ++it) {
+        const std::uint32_t slot = it->first;
+        pending_send& p = it->second;
+        // The reply window doubles per attempt (capped) so a slow-but-alive
+        // target is not hammered into failure.
+        const std::int64_t window =
+            reply_timeout_ns_ << std::min<std::uint32_t>(p.attempts - 1, 6);
+        if (now - p.sent_at < window) {
+            continue;
+        }
+        if (p.attempts > max_retries_) {
+            fail_target(node, "reply timeout: retries exhausted on slot " +
+                                  std::to_string(slot));
+            return; // fail_target cleared `pending`
+        }
+        ++t.stats.retransmits;
+        note_transient_fault(t);
+        AURORA_TRACE("offload", "reply timeout node "
+                                    << node << " slot " << slot << ", attempt "
+                                    << p.attempts + 1);
+        try {
+            // Same generation: the receiver still expects it (the lost flag
+            // consumed the bump), so a spurious retransmit is idempotent.
+            attempt_send(t, node, slot, p.wire.data(), p.wire.size(), p.kind,
+                         /*retransmit=*/true);
+        } catch (const target_failed_error&) {
+            return;
+        }
+        ++p.attempts;
+        p.sent_at = sim::now();
+    }
+}
+
+std::uint32_t runtime::acquire_slot(target_state& t, node_t node) {
     // Strict round-robin: the target polls its receive slots in order, so the
     // host must fill them in the same order (Sec. III-D: the host does all
     // buffer bookkeeping).
     AURORA_TRACE_SPAN("offload", "slot_wait");
     const std::uint32_t slot = t.rr;
     while (t.slot_ticket[slot] != 0) {
-        if (harvest_slot(t, slot)) {
+        if (harvest_slot(t, slot, node)) {
             break;
+        }
+        if (resilient_) {
+            check_deadlines(t, node);
+            if (t.slot_ticket[slot] == 0) {
+                break; // fail_target settled the slot
+            }
         }
         t.be->poll_pause();
     }
-    t.rr = (t.rr + 1) % t.be->slot_count();
+    t.rr = (t.rr + 1) % static_cast<std::uint32_t>(t.slot_ticket.size());
     return slot;
 }
 
@@ -167,12 +455,16 @@ const runtime::target_statistics& runtime::statistics(node_t node) {
 runtime::target_runtime_stats runtime::runtime_stats(node_t node) {
     target_state& t = state_for(node);
     target_runtime_stats s;
-    s.slots_total = t.be->slot_count();
+    s.slots_total = static_cast<std::uint32_t>(t.slot_ticket.size());
     for (const std::uint64_t ticket : t.slot_ticket) {
         s.in_flight += ticket != 0 ? 1 : 0;
     }
     s.queue_depth = static_cast<std::uint32_t>(t.arrived.size());
     s.completed = t.stats.results_received;
+    s.health = t.health;
+    s.retransmits = t.stats.retransmits;
+    s.corrupt_retries = t.stats.corrupt_retries;
+    s.send_retries = t.stats.send_retries;
     return s;
 }
 
@@ -182,13 +474,8 @@ runtime::sent_message runtime::send_on_slot(target_state& t, std::uint32_t slot,
     AURORA_CHECK_MSG(kind == protocol::msg_kind::user ||
                          kind == protocol::msg_kind::batch,
                      "only user and batch messages go through send_message");
-    {
-        AURORA_TRACE_SPAN("offload", "send");
-        t.be->send_message(slot, msg, len, kind);
-    }
+    const std::uint64_t ticket = post_on_slot(t, node, slot, msg, len, kind);
     AURORA_TRACE_COUNTER("offload", "sent_bytes", len);
-    const std::uint64_t ticket = t.next_ticket++;
-    t.slot_ticket[slot] = ticket;
     ++t.stats.messages_sent;
     if (kind == protocol::msg_kind::batch) {
         ++t.stats.batches_sent;
@@ -203,31 +490,53 @@ runtime::sent_message runtime::send_message(node_t node, const void* msg,
                                             std::size_t len,
                                             protocol::msg_kind kind) {
     target_state& t = state_for(node);
-    const std::uint32_t slot = acquire_slot(t);
+    ensure_sendable(t, node);
+    const std::uint32_t slot = acquire_slot(t, node);
     return send_on_slot(t, slot, msg, len, kind, node);
 }
 
 bool runtime::try_send_message(node_t node, const void* msg, std::size_t len,
                                sent_message& out, protocol::msg_kind kind) {
     target_state& t = state_for(node);
+    if (t.health == target_health::failed || t.be == nullptr) {
+        return false;
+    }
+    if (resilient_) {
+        check_deadlines(t, node);
+        if (t.health == target_health::failed) {
+            return false;
+        }
+    }
     // The host must fill slots in strict round-robin order (Sec. III-D), so
     // only the cursor slot is a candidate; harvest it opportunistically.
     const std::uint32_t slot = t.rr;
-    if (t.slot_ticket[slot] != 0 && !harvest_slot(t, slot)) {
+    if (t.slot_ticket[slot] != 0 && !harvest_slot(t, slot, node)) {
         return false;
     }
-    t.rr = (t.rr + 1) % t.be->slot_count();
+    if (t.health == target_health::failed) {
+        return false; // the harvest itself declared the target failed
+    }
+    t.rr = (t.rr + 1) % static_cast<std::uint32_t>(t.slot_ticket.size());
     out = send_on_slot(t, slot, msg, len, kind, node);
     return true;
 }
 
 std::uint32_t runtime::slots_available(node_t node) {
     target_state& t = state_for(node);
-    const std::uint32_t slots = t.be->slot_count();
+    if (t.health == target_health::failed || t.be == nullptr) {
+        return 0;
+    }
+    if (resilient_) {
+        check_deadlines(t, node);
+    }
+    const auto slots = static_cast<std::uint32_t>(t.slot_ticket.size());
     for (std::uint32_t s = 0; s < slots; ++s) {
         if (t.slot_ticket[s] != 0) {
-            harvest_slot(t, s);
+            harvest_slot(t, s, node);
         }
+    }
+    if (t.health == target_health::failed) {
+        return 0;
     }
     std::uint32_t available = 0;
     for (std::uint32_t i = 0; i < slots; ++i) {
@@ -243,6 +552,9 @@ bool runtime::try_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,
                           std::vector<std::byte>& out) {
     sim::advance(costs_.ham_future_check_ns);
     target_state& t = state_for(node);
+    if (resilient_) {
+        check_deadlines(t, node);
+    }
     if (auto it = t.arrived.find(ticket); it != t.arrived.end()) {
         out = std::move(it->second);
         t.arrived.erase(it);
@@ -250,7 +562,7 @@ bool runtime::try_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,
         AURORA_TRACE_COUNTER("offload", "result_bytes", out.size());
         return true;
     }
-    if (t.slot_ticket[slot] == ticket && harvest_slot(t, slot)) {
+    if (t.slot_ticket[slot] == ticket && harvest_slot(t, slot, node)) {
         auto it = t.arrived.find(ticket);
         AURORA_CHECK(it != t.arrived.end());
         out = std::move(it->second);
@@ -273,8 +585,30 @@ void runtime::wait_collect(node_t node, std::uint64_t ticket, std::uint32_t slot
     AURORA_TRACE_SPAN("offload", "wait_result");
     target_state& t = state_for(node);
     while (!try_collect(node, ticket, slot, out)) {
+        if (t.health == target_health::failed || t.be == nullptr) {
+            // Safety net — fail_target settles outstanding tickets, so this
+            // request must predate the runtime knowing the ticket.
+            throw target_failed_error(failed_what(node, t.fail_reason));
+        }
         t.be->poll_pause();
     }
+}
+
+bool runtime::wait_collect_until(node_t node, std::uint64_t ticket,
+                                 std::uint32_t slot, std::vector<std::byte>& out,
+                                 sim::time_ns deadline_ns) {
+    AURORA_TRACE_SPAN("offload", "wait_result");
+    target_state& t = state_for(node);
+    while (!try_collect(node, ticket, slot, out)) {
+        if (t.health == target_health::failed || t.be == nullptr) {
+            throw target_failed_error(failed_what(node, t.fail_reason));
+        }
+        if (sim::now() >= deadline_ns) {
+            return false;
+        }
+        t.be->poll_pause();
+    }
+    return true;
 }
 
 std::uint64_t runtime::allocate_raw(node_t node, std::uint64_t bytes) {
@@ -286,7 +620,9 @@ std::uint64_t runtime::allocate_raw(node_t node, std::uint64_t bytes) {
         host_heap_.emplace(addr, std::move(block));
         return addr;
     }
-    return state_for(node).be->allocate_bytes(bytes);
+    target_state& t = state_for(node);
+    ensure_sendable(t, node);
+    return t.be->allocate_bytes(bytes);
 }
 
 void runtime::free_raw(node_t node, std::uint64_t addr) {
@@ -295,7 +631,11 @@ void runtime::free_raw(node_t node, std::uint64_t addr) {
                          "free of unknown host buffer");
         return;
     }
-    state_for(node).be->free_bytes(addr);
+    target_state& t = state_for(node);
+    if (t.health == target_health::failed || t.be == nullptr) {
+        return; // the target is gone; its memory went with it
+    }
+    t.be->free_bytes(addr);
 }
 
 void runtime::put_raw(node_t node, const void* src, std::uint64_t dst_addr,
@@ -306,6 +646,7 @@ void runtime::put_raw(node_t node, const void* src, std::uint64_t dst_addr,
         return;
     }
     target_state& t = state_for(node);
+    ensure_sendable(t, node);
     t.stats.bytes_put += len;
     AURORA_TRACE_SPAN("offload", "put");
     AURORA_TRACE_COUNTER("offload", "put_bytes", len);
@@ -325,6 +666,7 @@ void runtime::get_raw(node_t node, std::uint64_t src_addr, void* dst,
         return;
     }
     target_state& t = state_for(node);
+    ensure_sendable(t, node);
     t.stats.bytes_got += len;
     AURORA_TRACE_SPAN("offload", "get");
     AURORA_TRACE_COUNTER("offload", "get_bytes", len);
@@ -360,6 +702,16 @@ void runtime::pipelined_transfer(node_t node, void* host_buf,
     auto retire = [&](pending& p) {
         std::vector<std::byte> ack;
         wait_collect(node, p.ticket, p.slot, ack);
+        if (resilient_ && ack.size() >= sizeof(protocol::result_header)) {
+            protocol::result_header h;
+            std::memcpy(&h, ack.data(), sizeof(h));
+            if (h.status != protocol::status::ok) {
+                throw target_failed_error(
+                    "bulk transfer chunk to node " + std::to_string(node) +
+                    " failed" +
+                    (t.fail_reason.empty() ? "" : ": " + t.fail_reason));
+            }
+        }
         if (!is_put) {
             be.stage_get(std::uint32_t(&p - inflight.data()), bytes + p.host_off,
                          p.chunk_len);
@@ -382,12 +734,10 @@ void runtime::pipelined_transfer(node_t node, void* host_buf,
         m.target_addr = target_addr + off;
         m.staging_off = std::uint64_t(w) * chunk;
         m.len = clen;
-        const std::uint32_t slot = acquire_slot(t);
-        t.be->send_message(slot, &m, sizeof(m),
-                           is_put ? protocol::msg_kind::data_put
-                                  : protocol::msg_kind::data_get);
-        p.ticket = t.next_ticket++;
-        t.slot_ticket[slot] = p.ticket;
+        const std::uint32_t slot = acquire_slot(t, node);
+        p.ticket = post_on_slot(t, node, slot, &m, sizeof(m),
+                                is_put ? protocol::msg_kind::data_put
+                                       : protocol::msg_kind::data_get);
         p.slot = slot;
         p.host_off = off;
         p.chunk_len = clen;

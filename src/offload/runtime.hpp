@@ -71,6 +71,9 @@ public:
         std::uint64_t bytes_put = 0;
         std::uint64_t bytes_got = 0;
         std::uint64_t data_chunks = 0;     ///< extension data-path chunks
+        std::uint64_t retransmits = 0;     ///< reply-timeout-driven resends
+        std::uint64_t corrupt_retries = 0; ///< checksum NACKs answered by resend
+        std::uint64_t send_retries = 0;    ///< transient send-post retries
     };
     [[nodiscard]] const target_statistics& statistics(node_t node);
 
@@ -80,8 +83,21 @@ public:
         std::uint32_t in_flight = 0;   ///< slots holding an uncollected request
         std::uint32_t queue_depth = 0; ///< results arrived, not yet collected
         std::uint64_t completed = 0;   ///< results collected so far
+        target_health health = target_health::healthy;
+        std::uint64_t retransmits = 0;
+        std::uint64_t corrupt_retries = 0;
+        std::uint64_t send_retries = 0;
     };
     [[nodiscard]] target_runtime_stats runtime_stats(node_t node);
+
+    // --- health (aurora::fault hardening) ---------------------------------------
+    [[nodiscard]] target_health health(node_t node);
+    /// Why a failed target failed ("" while not failed).
+    [[nodiscard]] const std::string& failure_reason(node_t node);
+    /// Declare `node` failed: fence its process, abandon the backend, and
+    /// settle every outstanding request with a synthetic status::target_failed
+    /// result so no future ever blocks on it. Idempotent.
+    void fail_target(node_t node, const std::string& why);
 
     // --- messaging -------------------------------------------------------------
     struct sent_message {
@@ -110,6 +126,9 @@ public:
                      std::vector<std::byte>& out) override;
     void wait_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,
                       std::vector<std::byte>& out) override;
+    bool wait_collect_until(node_t node, std::uint64_t ticket, std::uint32_t slot,
+                            std::vector<std::byte>& out,
+                            sim::time_ns deadline_ns) override;
 
     // --- memory (Table II allocate/free/put/get) --------------------------------
     [[nodiscard]] std::uint64_t allocate_raw(node_t node, std::uint64_t bytes);
@@ -121,12 +140,25 @@ public:
     [[nodiscard]] backend& backend_for(node_t node);
 
 private:
+    /// Retained copy of an un-acknowledged send (resilient mode only):
+    /// everything a timeout retransmission or a checksum NACK needs.
+    struct pending_send {
+        std::vector<std::byte> wire; ///< exact wire bytes (incl. checksum)
+        protocol::msg_kind kind = protocol::msg_kind::user;
+        std::uint32_t attempts = 1;  ///< sends so far (1 = original only)
+        sim::time_ns sent_at = 0;
+    };
+
     struct target_state {
-        std::unique_ptr<backend> be;
+        std::unique_ptr<backend> be; ///< null when the attach failed
         std::vector<std::uint64_t> slot_ticket; ///< 0 = slot free
         std::map<std::uint64_t, std::vector<std::byte>> arrived;
+        std::map<std::uint32_t, pending_send> pending; ///< by slot
         std::uint64_t next_ticket = 1;
         std::uint32_t rr = 0; ///< round-robin send cursor
+        target_health health = target_health::healthy;
+        std::string fail_reason;
+        std::uint32_t ok_streak = 0; ///< clean results since the last fault
         target_statistics stats;
     };
 
@@ -137,11 +169,30 @@ private:
     void pipelined_transfer(node_t node, void* host_buf, std::uint64_t target_addr,
                             std::uint64_t len, bool is_put);
     /// Probe one slot's backend result; buffer an arrival under its ticket.
-    bool harvest_slot(target_state& t, std::uint32_t slot);
-    std::uint32_t acquire_slot(target_state& t);
+    bool harvest_slot(target_state& t, std::uint32_t slot, node_t node);
+    std::uint32_t acquire_slot(target_state& t, node_t node);
     sent_message send_on_slot(target_state& t, std::uint32_t slot, const void* msg,
                               std::size_t len, protocol::msg_kind kind,
                               node_t node);
+    /// The one choke point every ticket-creating send goes through: frames the
+    /// wire bytes (checksum/corruption in fault mode), performs the transport
+    /// send with transient-failure retries, allocates the ticket and records
+    /// the pending copy. Throws target_failed_error when the target is (or
+    /// becomes) failed.
+    std::uint64_t post_on_slot(target_state& t, node_t node, std::uint32_t slot,
+                               const void* msg, std::size_t len,
+                               protocol::msg_kind kind);
+    /// Transport send incl. bounded transient retry with exponential backoff;
+    /// fails the target on exhaustion.
+    io_status attempt_send(target_state& t, node_t node, std::uint32_t slot,
+                           const void* wire, std::size_t len,
+                           protocol::msg_kind kind, bool retransmit);
+    /// Retransmit every pending send whose (exponentially widening) reply
+    /// window expired; fails the target when the retry budget is exhausted.
+    void check_deadlines(target_state& t, node_t node);
+    /// Throw target_failed_error when `t` is failed.
+    void ensure_sendable(target_state& t, node_t node);
+    void note_transient_fault(target_state& t);
     void shutdown();
 
     static thread_local runtime* current_;
@@ -153,6 +204,11 @@ private:
     sim::cost_model costs_;
     std::vector<std::unique_ptr<target_state>> targets_;
     bool shut_down_ = false;
+    /// Fault handling engaged: retain pending copies, run deadline checks.
+    bool resilient_ = false;
+    std::int64_t reply_timeout_ns_ = 0;
+    std::uint32_t max_retries_ = 0;
+    std::int64_t retry_backoff_ns_ = 0;
 };
 
 } // namespace ham::offload

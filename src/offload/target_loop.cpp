@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "fault/fault.hpp"
 #include "ham/execution_context.hpp"
 #include "ham/msg.hpp"
 #include "sim/engine.hpp"
@@ -59,8 +60,41 @@ void run_target_loop(const target_loop_config& cfg, target_channel& channel) {
         const std::uint32_t result_slot = flag.result_slot_plus1 - 1u;
         sim::advance(cm.ham_runtime_iteration_ns);
 
+        // aurora::fault check point: a kill_after_messages(n) schedule fires
+        // here, while the target holds its n-th message — the result is never
+        // sent, exactly the mid-execution death the host must recover from.
+        auto& inj = aurora::fault::injector::instance();
+        inj.count_message(cfg.context->node());
+        inj.check_target_alive(cfg.context->node());
+
         protocol::result_header header{};
         std::size_t payload_size = 0;
+
+        // While fault injection is active, user/batch payloads carry an
+        // FNV-1a trailer. Verify before executing anything: on mismatch the
+        // message is refused with a corrupt_retry NACK and the host resends.
+        if (inj.active() && (flag.kind == protocol::msg_kind::user ||
+                             flag.kind == protocol::msg_kind::batch)) {
+            bool sound = msg.size() >= protocol::checksum_bytes;
+            if (sound) {
+                std::uint64_t trailer = 0;
+                std::memcpy(&trailer,
+                            msg.data() + msg.size() - protocol::checksum_bytes,
+                            protocol::checksum_bytes);
+                sound = protocol::fnv1a(msg.data(),
+                                        msg.size() - protocol::checksum_bytes) ==
+                        trailer;
+            }
+            if (!sound) {
+                AURORA_TRACE_INSTANT("target", "checksum_nack");
+                header.status = protocol::status::corrupt_retry;
+                std::memcpy(result.data(), &header, sizeof(header));
+                sim::advance(cm.ham_msg_construct_ns);
+                channel.send_result(result_slot, result.data(), sizeof(header));
+                continue;
+            }
+            msg.resize(msg.size() - protocol::checksum_bytes);
+        }
 
         if (flag.kind == protocol::msg_kind::terminate) {
             std::memcpy(result.data(), &header, sizeof(header));

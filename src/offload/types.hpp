@@ -16,6 +16,21 @@ namespace sim = ::aurora::sim;
 /// process itself; nodes 1..num_nodes()-1 are offload targets.
 using node_t = int;
 
+/// Per-target health (aurora::fault hardening): healthy targets run the plain
+/// protocols; a degraded target saw transient faults (retransmits, NACKs) and
+/// recovers after a configurable streak of clean results; a failed target is
+/// fenced and never contacted again — sends to it throw target_failed_error.
+enum class target_health : std::uint8_t { healthy, degraded, failed };
+
+[[nodiscard]] constexpr const char* to_string(target_health h) {
+    switch (h) {
+        case target_health::healthy: return "healthy";
+        case target_health::degraded: return "degraded";
+        case target_health::failed: return "failed";
+    }
+    return "?";
+}
+
 /// Information on a node (paper Table II: "e.g. name or device-type").
 struct node_descriptor {
     std::string name;        ///< e.g. "host", "VE0"

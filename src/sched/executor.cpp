@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.hpp"
 #include "ham/msg.hpp"
 #include "offload/protocol.hpp"
 #include "sim/engine.hpp"
@@ -12,9 +13,15 @@ namespace aurora::sched {
 
 namespace {
 
-/// Largest payload a single message may carry (slot buffer size).
+/// Largest payload a single message may carry (slot buffer size). Under fault
+/// injection every user/batch message also carries an FNV-1a trailer, so the
+/// batch builder must leave room for it.
 [[nodiscard]] std::size_t slot_capacity(const ham::offload::runtime& rt) {
-    return rt.options().msg_size;
+    std::size_t cap = rt.options().msg_size;
+    if (aurora::fault::injector::instance().active()) {
+        cap -= ham::offload::protocol::checksum_bytes;
+    }
+    return cap;
 }
 
 } // namespace
@@ -144,6 +151,26 @@ void executor::release_ready(task_id id) {
         finish_task(id, false, rec.home);
         return;
     }
+    if (rec.home != 0 &&
+        !target_usable(static_cast<std::size_t>(rec.home) - 1)) {
+        // The home target died before this task became ready.
+        if (rec.opts.pinned) {
+            failed_ = true;
+            first_error_ = "pinned task " + std::to_string(id) +
+                           " lost its target: " + rt_.failure_reason(rec.home);
+            finish_task(id, false, rec.home);
+            return;
+        }
+        const std::size_t h = next_healthy();
+        if (h == num_targets_) {
+            failed_ = true;
+            first_error_ = "no healthy offload targets left";
+            finish_task(id, false, rec.home);
+            return;
+        }
+        rec.home = node_of(h);
+        ++stats_.tasks_failed_over;
+    }
     rec.state = task_state::ready;
     if (rec.home == 0) {
         host_ready_.push_back(id);
@@ -243,10 +270,21 @@ bool executor::harvest_target(std::size_t t) {
 
 void executor::retire_flight(std::size_t t, flight& f) {
     AURORA_TRACE_SPAN("sched", "complete");
-    AURORA_TRACE_COUNTER("sched", "tasks_completed", f.tasks.size());
     bool ok = true;
     try {
         f.fut.get();
+    } catch (const ham::offload::target_failed_error& e) {
+        // The target died with this flight un-acked: re-route its tasks to the
+        // surviving targets instead of failing them. Delivery is at-least-once
+        // — the dead target may have executed part of the flight already.
+        if (reroute_flight(t, f)) {
+            return;
+        }
+        ok = false;
+        if (!failed_) {
+            failed_ = true;
+            first_error_ = e.what();
+        }
     } catch (const ham::offload::offload_error& e) {
         ok = false;
         if (!failed_) {
@@ -254,6 +292,7 @@ void executor::retire_flight(std::size_t t, flight& f) {
             first_error_ = e.what();
         }
     }
+    AURORA_TRACE_COUNTER("sched", "tasks_completed", f.tasks.size());
     target_load& load = stats_.per_target[t];
     for (const task_id id : f.tasks) {
         if (ok) {
@@ -269,6 +308,13 @@ void executor::retire_flight(std::size_t t, flight& f) {
 
 bool executor::dispatch_target(std::size_t t) {
     target_queues& tq = targets_[t];
+    if (!target_usable(t)) {
+        // A dead target dispatches nothing; anything still queued here moves
+        // to the survivors (its in-flight work re-routes via retire_flight).
+        const bool moved = !tq.ready.empty();
+        evacuate(t);
+        return moved;
+    }
     const node_t node = node_of(t);
     bool progress = false;
 
@@ -394,6 +440,95 @@ bool executor::steal_into(std::size_t thief) {
     ++stats_.steals;
     AURORA_TRACE_INSTANT("sched", "steal");
     AURORA_TRACE_COUNTER("sched", "stolen_tasks", taken.size());
+    return true;
+}
+
+bool executor::target_usable(std::size_t t) const {
+    return rt_.health(node_of(t)) != ham::offload::target_health::failed;
+}
+
+std::size_t executor::next_healthy() {
+    for (std::size_t i = 0; i < num_targets_; ++i) {
+        const std::size_t t = (failover_rr_ + i) % num_targets_;
+        if (target_usable(t)) {
+            failover_rr_ = static_cast<std::uint32_t>((t + 1) % num_targets_);
+            return t;
+        }
+    }
+    return num_targets_;
+}
+
+void executor::evacuate(std::size_t dead) {
+    target_queues& tq = targets_[dead];
+    if (tq.ready.empty()) {
+        return;
+    }
+    AURORA_TRACE_INSTANT("sched", "evacuate");
+    ++stats_.failovers;
+    std::deque<task_id> orphans;
+    orphans.swap(tq.ready);
+    std::uint64_t moved = 0;
+    for (const task_id id : orphans) {
+        detail::task_rec& rec = tasks_[id];
+        if (rec.opts.pinned) {
+            if (!failed_) {
+                failed_ = true;
+                first_error_ = "pinned task " + std::to_string(id) +
+                               " lost its target: " +
+                               rt_.failure_reason(node_of(dead));
+            }
+            finish_task(id, false, rec.home);
+            continue;
+        }
+        const std::size_t h = next_healthy();
+        if (h == num_targets_) {
+            if (!failed_) {
+                failed_ = true;
+                first_error_ = "no healthy offload targets left";
+            }
+            finish_task(id, false, rec.home);
+            continue;
+        }
+        rec.home = node_of(h);
+        targets_[h].ready.push_back(id);
+        ++moved;
+    }
+    stats_.tasks_failed_over += moved;
+    AURORA_TRACE_COUNTER("sched", "tasks_failed_over", moved);
+}
+
+bool executor::reroute_flight(std::size_t dead, flight& f) {
+    bool any = false;
+    for (std::size_t t = 0; t < num_targets_; ++t) {
+        any = any || (t != dead && target_usable(t));
+    }
+    if (!any) {
+        return false; // nowhere to go; the caller fails the flight
+    }
+    AURORA_TRACE_INSTANT("sched", "failover");
+    ++stats_.failovers;
+    std::uint64_t moved = 0;
+    for (const task_id id : f.tasks) {
+        detail::task_rec& rec = tasks_[id];
+        if (rec.opts.pinned) {
+            if (!failed_) {
+                failed_ = true;
+                first_error_ = "pinned task " + std::to_string(id) +
+                               " lost its target: " +
+                               rt_.failure_reason(node_of(dead));
+            }
+            finish_task(id, false, node_of(dead));
+            continue;
+        }
+        const std::size_t h = next_healthy();
+        AURORA_CHECK(h != num_targets_); // pre-scan found a healthy target
+        rec.home = node_of(h);
+        rec.state = task_state::ready;
+        targets_[h].ready.push_back(id);
+        ++moved;
+    }
+    stats_.tasks_failed_over += moved;
+    AURORA_TRACE_COUNTER("sched", "tasks_failed_over", moved);
     return true;
 }
 

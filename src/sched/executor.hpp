@@ -50,6 +50,8 @@ public:
         std::uint64_t steals = 0;              ///< steal transactions
         std::uint64_t backpressure_stalls = 0; ///< submits that had to block
         std::uint64_t batched_tasks = 0;       ///< tasks that rode in batches
+        std::uint64_t failovers = 0;           ///< target-failure evacuations
+        std::uint64_t tasks_failed_over = 0;   ///< tasks re-routed by failover
         std::vector<target_load> per_target;
     };
 
@@ -123,6 +125,16 @@ private:
     bool dispatch_target(std::size_t t);
     bool steal_into(std::size_t thief);
 
+    // --- graceful degradation (aurora::fault) --------------------------------
+    // When a target transitions to target_health::failed its queued tasks and
+    // every un-acked in-flight task re-route to healthy targets; pinned tasks
+    // fail. Re-routed tasks may execute more than once if the dead target got
+    // partway through them — schedule idempotent kernels under fault injection.
+    [[nodiscard]] bool target_usable(std::size_t t) const;
+    [[nodiscard]] std::size_t next_healthy();
+    void evacuate(std::size_t dead);
+    bool reroute_flight(std::size_t dead, flight& f);
+
     executor_config cfg_;
     ham::offload::runtime& rt_;
     std::size_t num_targets_;
@@ -136,6 +148,7 @@ private:
     /// across tasks totally orders dispatch and completion events.
     std::uint64_t event_seq_ = 0;
     std::uint32_t rr_next_ = 0; ///< round-robin placement cursor
+    std::uint32_t failover_rr_ = 0; ///< round-robin cursor for re-routed tasks
 
     bool failed_ = false;
     std::string first_error_;

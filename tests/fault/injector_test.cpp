@@ -1,0 +1,200 @@
+// aurora::fault injector unit tests: seeded determinism of the fault
+// schedule, deterministic kill/attach schedules, env-knob parsing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/platform.hpp"
+#include "tests/support/sim_fixture.hpp"
+
+namespace aurora::fault {
+namespace {
+
+/// Every test leaves the process-wide injector disabled again.
+class FaultInjector : public ::testing::Test {
+protected:
+    void TearDown() override { injector::instance().reset(); }
+};
+
+config chaos_cfg(std::uint64_t seed) {
+    config c;
+    c.enabled = true;
+    c.seed = seed;
+    c.drop_permille = 100;
+    c.corrupt_permille = 150;
+    c.flag_loss_permille = 50;
+    c.dma_fail_permille = 80;
+    c.delay_permille = 120;
+    c.delay_ns = 1'000;
+    return c;
+}
+
+/// One pass over every probabilistic draw; the sequence fingerprints the PRNG.
+std::vector<int> draw_sequence(injector& inj, int n) {
+    std::vector<int> seq;
+    seq.reserve(static_cast<std::size_t>(n) * 5);
+    for (int i = 0; i < n; ++i) {
+        seq.push_back(inj.should_drop() ? 1 : 0);
+        seq.push_back(inj.should_corrupt() ? 1 : 0);
+        seq.push_back(inj.should_lose_flag() ? 1 : 0);
+        seq.push_back(inj.should_fail_dma_post() ? 1 : 0);
+        seq.push_back(inj.delay_spike() != 0 ? 1 : 0);
+    }
+    return seq;
+}
+
+TEST_F(FaultInjector, SameSeedSameSchedule) {
+    injector& inj = injector::instance();
+    inj.configure(chaos_cfg(42));
+    const std::vector<int> a = draw_sequence(inj, 500);
+    const counters ca = inj.stats();
+
+    inj.configure(chaos_cfg(42));
+    const std::vector<int> b = draw_sequence(inj, 500);
+    const counters cb = inj.stats();
+
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(ca, cb);
+    // The schedule is non-trivial with these rates over 2500 draws.
+    EXPECT_GT(ca.drops + ca.corruptions + ca.flag_losses + ca.dma_post_failures +
+                  ca.delay_spikes,
+              0u);
+}
+
+TEST_F(FaultInjector, DifferentSeedDifferentSchedule) {
+    injector& inj = injector::instance();
+    inj.configure(chaos_cfg(42));
+    const std::vector<int> a = draw_sequence(inj, 500);
+    inj.configure(chaos_cfg(43));
+    const std::vector<int> b = draw_sequence(inj, 500);
+    EXPECT_NE(a, b);
+}
+
+TEST_F(FaultInjector, DisabledNeverFires) {
+    injector& inj = injector::instance();
+    inj.reset();
+    EXPECT_FALSE(inj.active());
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(inj.should_drop());
+        EXPECT_FALSE(inj.should_corrupt());
+        EXPECT_FALSE(inj.should_lose_flag());
+        EXPECT_FALSE(inj.should_fail_dma_post());
+        EXPECT_EQ(inj.delay_spike(), 0);
+    }
+    EXPECT_EQ(inj.stats(), counters{});
+}
+
+TEST_F(FaultInjector, CertainRateAlwaysFires) {
+    injector& inj = injector::instance();
+    config c;
+    c.enabled = true;
+    c.drop_permille = 1000;
+    inj.configure(c);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_TRUE(inj.should_drop());
+    }
+    EXPECT_EQ(inj.stats().drops, 50u);
+}
+
+TEST_F(FaultInjector, CorruptByteFlipsExactlyOneBit) {
+    injector& inj = injector::instance();
+    config c;
+    c.enabled = true;
+    c.seed = 7;
+    inj.configure(c);
+    std::vector<std::byte> buf(64, std::byte{0});
+    inj.corrupt_byte(buf.data(), buf.size());
+    int set_bits = 0;
+    for (const std::byte b : buf) {
+        for (int bit = 0; bit < 8; ++bit) {
+            set_bits += static_cast<int>((std::to_integer<unsigned>(b) >> bit) & 1u);
+        }
+    }
+    EXPECT_EQ(set_bits, 1);
+}
+
+TEST_F(FaultInjector, KillAfterMessagesFiresWhileHoldingNthMessage) {
+    injector& inj = injector::instance();
+    inj.kill_after_messages(1, 3);
+    for (int m = 1; m <= 2; ++m) {
+        inj.count_message(1);
+        EXPECT_NO_THROW(inj.check_target_alive(1));
+    }
+    inj.count_message(1);
+    EXPECT_THROW(inj.check_target_alive(1), target_killed);
+    EXPECT_TRUE(inj.killed(1));
+    EXPECT_EQ(inj.stats().kills, 1u);
+    // Once dead, always dead — and the kill is counted only once.
+    EXPECT_THROW(inj.check_target_alive(1), target_killed);
+    EXPECT_EQ(inj.stats().kills, 1u);
+    // Other nodes are unaffected.
+    EXPECT_NO_THROW(inj.check_target_alive(2));
+}
+
+TEST_F(FaultInjector, KillAtTimeHonoursVirtualClock) {
+    injector& inj = injector::instance();
+    inj.kill_at_time(1, 5'000);
+    sim::platform plat(sim::platform_config::test_machine());
+    aurora::testing::run_as_vh(plat, [&] {
+        EXPECT_NO_THROW(inj.check_target_alive(1));
+        sim::advance(10'000);
+        EXPECT_THROW(inj.check_target_alive(1), target_killed);
+    });
+}
+
+TEST_F(FaultInjector, KillNowIsDueImmediately) {
+    injector& inj = injector::instance();
+    inj.kill_now(1);
+    sim::platform plat(sim::platform_config::test_machine());
+    aurora::testing::run_as_vh(plat, [&] {
+        EXPECT_THROW(inj.check_target_alive(1), target_killed);
+    });
+}
+
+TEST_F(FaultInjector, AttachFailureIsConsumedOnce) {
+    injector& inj = injector::instance();
+    EXPECT_FALSE(inj.take_attach_failure(1));
+    inj.fail_next_attach(1);
+    EXPECT_FALSE(inj.take_attach_failure(2));
+    EXPECT_TRUE(inj.take_attach_failure(1));
+    EXPECT_FALSE(inj.take_attach_failure(1));
+    EXPECT_EQ(inj.stats().attach_failures, 1u);
+}
+
+TEST_F(FaultInjector, ConfigFromEnv) {
+    ::setenv("HAM_AURORA_FAULT", "1", 1);
+    ::setenv("HAM_AURORA_FAULT_SEED", "99", 1);
+    ::setenv("HAM_AURORA_FAULT_DROP_PM", "25", 1);
+    ::setenv("HAM_AURORA_FAULT_CORRUPT_PM", "2000", 1); // clamped to 1000
+    ::setenv("HAM_AURORA_FAULT_DELAY_NS", "1234", 1);
+    const config c = config::from_env();
+    ::unsetenv("HAM_AURORA_FAULT");
+    ::unsetenv("HAM_AURORA_FAULT_SEED");
+    ::unsetenv("HAM_AURORA_FAULT_DROP_PM");
+    ::unsetenv("HAM_AURORA_FAULT_CORRUPT_PM");
+    ::unsetenv("HAM_AURORA_FAULT_DELAY_NS");
+    EXPECT_TRUE(c.enabled);
+    EXPECT_EQ(c.seed, 99u);
+    EXPECT_EQ(c.drop_permille, 25u);
+    EXPECT_EQ(c.corrupt_permille, 1000u);
+    EXPECT_EQ(c.delay_ns, 1234);
+    EXPECT_EQ(c.flag_loss_permille, 0u);
+}
+
+TEST_F(FaultInjector, ResetClearsEverything) {
+    injector& inj = injector::instance();
+    inj.configure(chaos_cfg(5));
+    inj.kill_after_messages(1, 1);
+    (void)draw_sequence(inj, 100);
+    inj.reset();
+    EXPECT_FALSE(inj.active());
+    EXPECT_EQ(inj.stats(), counters{});
+    EXPECT_FALSE(inj.killed(1));
+    inj.count_message(1);
+    EXPECT_NO_THROW(inj.check_target_alive(1));
+}
+
+} // namespace
+} // namespace aurora::fault

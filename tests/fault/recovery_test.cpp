@@ -1,0 +1,177 @@
+// Hardened-runtime recovery tests: retry/backoff under injected faults,
+// checksum NACK recovery, reply-timeout retransmission, target health
+// transitions, attach failures, and prompt future failure on target death.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+
+#include "fault/fault.hpp"
+#include "offload/offload.hpp"
+#include "sim/platform.hpp"
+
+namespace ham::offload {
+namespace {
+
+namespace fault = aurora::fault;
+namespace sim = aurora::sim;
+
+void empty_kernel() {}
+double add_one(double x) { return x + 1.0; }
+void slow_kernel(std::int64_t ns) { sim::advance(ns); }
+
+runtime_options loopback_targets(std::size_t n) {
+    runtime_options opt;
+    opt.backend = backend_kind::loopback;
+    opt.targets.assign(n, 0);
+    return opt;
+}
+
+/// Run `body` under a virtual-time deadline: recovery must terminate, never
+/// hang — a stalled retry loop aborts the simulation instead of the test run.
+void run_guarded(const runtime_options& opt, const std::function<void()>& body,
+                 sim::time_ns deadline_ns = 60'000'000'000) {
+    sim::platform plat(sim::platform_config::test_machine());
+    plat.sim().set_virtual_deadline(deadline_ns);
+    ASSERT_EQ(run(plat, opt, body), 0);
+}
+
+class FaultRecovery : public ::testing::Test {
+protected:
+    void TearDown() override { fault::injector::instance().reset(); }
+};
+
+TEST_F(FaultRecovery, DroppedMessagesRecoverViaTimeoutRetransmit) {
+    fault::config c;
+    c.enabled = true;
+    c.seed = 11;
+    c.drop_permille = 150;
+    fault::injector::instance().configure(c);
+
+    run_guarded(loopback_targets(1), [] {
+        for (int i = 0; i < 60; ++i) {
+            EXPECT_EQ(sync(1, ham::f2f<&add_one>(double(i))), double(i) + 1.0);
+        }
+        const auto rs = runtime::current()->runtime_stats(1);
+        EXPECT_NE(rs.health, target_health::failed);
+        EXPECT_GT(rs.retransmits, 0u);
+    });
+    EXPECT_GT(fault::injector::instance().stats().drops, 0u);
+}
+
+TEST_F(FaultRecovery, CorruptedMessagesRecoverViaChecksumNack) {
+    fault::config c;
+    c.enabled = true;
+    c.seed = 3;
+    c.corrupt_permille = 200;
+    fault::injector::instance().configure(c);
+
+    run_guarded(loopback_targets(1), [] {
+        for (int i = 0; i < 60; ++i) {
+            EXPECT_EQ(sync(1, ham::f2f<&add_one>(41.0)), 42.0);
+        }
+        const auto rs = runtime::current()->runtime_stats(1);
+        EXPECT_NE(rs.health, target_health::failed);
+        EXPECT_GT(rs.corrupt_retries, 0u);
+    });
+    EXPECT_GT(fault::injector::instance().stats().corruptions, 0u);
+}
+
+TEST_F(FaultRecovery, TransientSendFailuresRetryWithBackoff) {
+    fault::config c;
+    c.enabled = true;
+    c.seed = 5;
+    c.dma_fail_permille = 100;
+    fault::injector::instance().configure(c);
+
+    run_guarded(loopback_targets(1), [] {
+        for (int i = 0; i < 60; ++i) {
+            sync(1, ham::f2f<&empty_kernel>());
+        }
+        const auto rs = runtime::current()->runtime_stats(1);
+        EXPECT_NE(rs.health, target_health::failed);
+        EXPECT_GT(rs.send_retries, 0u);
+    });
+    EXPECT_GT(fault::injector::instance().stats().dma_post_failures, 0u);
+}
+
+TEST_F(FaultRecovery, SpuriousRetransmitIsIdempotentAndHealthRecovers) {
+    // No probabilistic faults: a 20 us reply window against a 200 us kernel
+    // forces deterministic timeout retransmissions. The target deduplicates
+    // them by slot generation, the slow result still counts once, and the
+    // degraded target turns healthy again after a streak of clean results.
+    runtime_options opt = loopback_targets(1);
+    opt.reply_timeout_ns = 20'000;
+    opt.max_retries = 8;
+    opt.recovery_streak = 4;
+    run_guarded(opt, [] {
+        EXPECT_EQ(sync(1, ham::f2f<&add_one>(1.0)), 2.0);
+        auto fut = async(1, ham::f2f<&slow_kernel>(std::int64_t{200'000}));
+        fut.get();
+        runtime& rt = *runtime::current();
+        EXPECT_GT(rt.runtime_stats(1).retransmits, 0u);
+        EXPECT_EQ(rt.health(1), target_health::degraded);
+        for (int i = 0; i < 8; ++i) {
+            EXPECT_EQ(sync(1, ham::f2f<&add_one>(1.0)), 2.0);
+        }
+        EXPECT_EQ(rt.health(1), target_health::healthy);
+    });
+}
+
+TEST_F(FaultRecovery, FutureThrowsPromptlyWhenTargetDies) {
+    // The target dies while holding the second message: the future must not
+    // block forever — the reply timeout exhausts the retry budget, the target
+    // is declared failed, and get() throws target_failed_error.
+    fault::injector::instance().kill_after_messages(1, 2);
+    runtime_options opt = loopback_targets(1);
+    opt.reply_timeout_ns = 100'000;
+    opt.max_retries = 2;
+    run_guarded(opt, [] {
+        sync(1, ham::f2f<&empty_kernel>());
+        auto fut = async(1, ham::f2f<&add_one>(1.0));
+        EXPECT_THROW(fut.get(), target_failed_error);
+        runtime& rt = *runtime::current();
+        EXPECT_EQ(rt.health(1), target_health::failed);
+        EXPECT_FALSE(rt.failure_reason(1).empty());
+        // Every later send to the dead target fails fast, same error type.
+        EXPECT_THROW(sync(1, ham::f2f<&empty_kernel>()), target_failed_error);
+    });
+    EXPECT_EQ(fault::injector::instance().stats().kills, 1u);
+}
+
+TEST_F(FaultRecovery, AttachFailureDegradesToRemainingTargets) {
+    fault::injector::instance().fail_next_attach(1);
+    run_guarded(loopback_targets(2), [] {
+        runtime& rt = *runtime::current();
+        EXPECT_EQ(rt.health(1), target_health::failed);
+        EXPECT_EQ(rt.health(2), target_health::healthy);
+        EXPECT_FALSE(rt.failure_reason(1).empty());
+        EXPECT_EQ(rt.descriptor(1).device_type, "unattached");
+        EXPECT_THROW(sync(1, ham::f2f<&empty_kernel>()), target_failed_error);
+        EXPECT_EQ(sync(2, ham::f2f<&add_one>(41.0)), 42.0);
+    });
+    EXPECT_EQ(fault::injector::instance().stats().attach_failures, 1u);
+}
+
+TEST_F(FaultRecovery, AllTargetsFailingToAttachThrows) {
+    fault::injector::instance().fail_next_attach(1);
+    sim::platform plat(sim::platform_config::test_machine());
+    plat.sim().set_virtual_deadline(60'000'000'000);
+    EXPECT_THROW(
+        run(plat, loopback_targets(1), [] { FAIL() << "host main must not run"; }),
+        target_attach_error);
+}
+
+TEST_F(FaultRecovery, WaitForIsBoundedOnVirtualTime) {
+    run_guarded(loopback_targets(1), [] {
+        auto fut = async(1, ham::f2f<&slow_kernel>(std::int64_t{500'000}));
+        const sim::time_ns t0 = sim::now();
+        EXPECT_FALSE(fut.wait_for(10'000)); // well below the kernel cost
+        EXPECT_GE(sim::now(), t0 + 10'000);
+        EXPECT_TRUE(fut.wait_until(t0 + 10'000'000));
+        fut.get();
+    });
+}
+
+} // namespace
+} // namespace ham::offload

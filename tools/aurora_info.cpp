@@ -90,10 +90,13 @@ int self_check() {
                            : kind == ham::offload::backend_kind::veo    ? "veo"
                                                                         : "vedma";
         std::printf("  %-9s offload round trip: %8.2f us  %s   "
-                    "[slots %u, in-flight %u, queued %u, completed %llu]\n",
-                    name, us, rc == 0 ? "OK" : "FAILED", rs.slots_total,
+                    "[health %s, slots %u, in-flight %u, queued %u, "
+                    "completed %llu, retransmits %llu]\n",
+                    name, us, rc == 0 ? "OK" : "FAILED",
+                    ham::offload::to_string(rs.health), rs.slots_total,
                     rs.in_flight, rs.queue_depth,
-                    static_cast<unsigned long long>(rs.completed));
+                    static_cast<unsigned long long>(rs.completed),
+                    static_cast<unsigned long long>(rs.retransmits));
         failures += rc == 0 ? 0 : 1;
     }
     return failures;
