@@ -6,7 +6,13 @@ Result formats accepted (auto-detected):
     lines as emitted with HAM_AURORA_BENCH_JSON=1 (extra non-JSON lines and
     multiple JSON objects per file are tolerated);
   * google-benchmark --benchmark_format=json files ({"benchmarks": [...]}),
-    using each entry's real_time.
+    using each entry's real_time;
+  * Prometheus text exposition as served by HAM_AURORA_METRICS_PORT or
+    printed by `aurora_info --metrics`: counters/gauges become metrics keyed
+    by name (summed over label sets), histograms additionally yield
+    <name>:count, <name>:p50 and <name>:p99 derived from the cumulative
+    buckets with the same interpolation aurora::metrics uses, so baselines
+    can gate directly on scraped tail latency.
 
 Baseline format (bench/baselines/*.json):
   {"bench": "...",
@@ -32,10 +38,78 @@ import json
 import sys
 
 
+def bucket_percentile(buckets, count, q):
+    """Percentile from cumulative (le, count) pairs, matching the C++ side:
+    each `le` is an inclusive upper bound, so a bucket spans prev_le+1..le and
+    the estimate interpolates linearly on the rank inside that span."""
+    if count <= 0:
+        return 0.0
+    rank = min(count, max(1.0, -(-(q / 100.0 * count) // 1)))  # ceil
+    prev_le, prev_cum = 0.0, 0.0
+    for le, cum in buckets:
+        if cum >= rank and cum > prev_cum:
+            lo = prev_le + 1.0
+            hi = prev_le + 1.0 if le == float("inf") else le
+            return lo + (hi - lo) * (rank - prev_cum) / (cum - prev_cum)
+        if le != float("inf"):
+            prev_le = le
+        prev_cum = cum
+    return prev_le
+
+
+def parse_prometheus_text(text):
+    """Return {metric: value} from a Prometheus text exposition document."""
+    import re
+
+    scalars = {}
+    hists = {}  # name -> {"buckets": {le: cum}, "count": n}
+    sample_re = re.compile(
+        r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$')
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = sample_re.match(line)
+        if m is None:
+            continue
+        name, labels, value = m.group(1), m.group(2) or "", float(m.group(3))
+        if name.endswith("_bucket"):
+            base = name[: -len("_bucket")]
+            le_m = re.search(r'le="([^"]+)"', labels)
+            if le_m is None:
+                continue
+            le = float("inf") if le_m.group(1) == "+Inf" else float(le_m.group(1))
+            h = hists.setdefault(base, {"buckets": {}, "count": 0.0})
+            h["buckets"][le] = h["buckets"].get(le, 0.0) + value
+        elif name.endswith("_count"):
+            base = name[: -len("_count")]
+            h = hists.setdefault(base, {"buckets": {}, "count": 0.0})
+            h["count"] += value
+            scalars[name] = scalars.get(name, 0.0) + value
+        else:
+            scalars[name] = scalars.get(name, 0.0) + value
+
+    metrics = dict(scalars)
+    for base, h in hists.items():
+        if not h["buckets"]:
+            continue
+        buckets = sorted(h["buckets"].items())
+        metrics[f"{base}:count"] = h["count"]
+        metrics[f"{base}:p50"] = bucket_percentile(buckets, h["count"], 50.0)
+        metrics[f"{base}:p99"] = bucket_percentile(buckets, h["count"], 99.0)
+    return metrics
+
+
 def parse_result_file(path):
-    """Return {metric: value} from either supported result format."""
+    """Return {metric: value} from any supported result format."""
     with open(path, "r", encoding="utf-8") as fh:
         text = fh.read()
+
+    # Prometheus exposition: recognisable by its TYPE comments.
+    if "# TYPE " in text:
+        metrics = parse_prometheus_text(text)
+        if metrics:
+            return metrics
 
     metrics = {}
     # Whole-file JSON first: google-benchmark or a single bench object.
@@ -131,6 +205,32 @@ def self_test():
     assert fails == ["bw_gib"], fails
     fails, _ = check(baseline, {"lat_ns": 100.0, "bw_gib": 10.0, "new": 1.0})
     assert fails == [], fails
+
+    # Prometheus exposition parsing: scalars sum over label sets, histograms
+    # yield :count/:p50/:p99 derived from the cumulative buckets.
+    prom = "\n".join([
+        '# HELP demo_total a counter',
+        '# TYPE demo_total counter',
+        'demo_total{node="1"} 3',
+        'demo_total{node="2"} 4',
+        '# TYPE demo_ns histogram',
+        'demo_ns_bucket{le="1023"} 0',
+        'demo_ns_bucket{le="2047"} 90',
+        'demo_ns_bucket{le="4095"} 100',
+        'demo_ns_bucket{le="+Inf"} 100',
+        'demo_ns_sum 150000',
+        'demo_ns_count 100',
+    ])
+    m = parse_prometheus_text(prom)
+    assert m["demo_total"] == 7.0, m
+    assert m["demo_ns:count"] == 100.0, m
+    # rank(50) = 50 inside the 1024..2047 bucket holding entries 1..90:
+    # 1024 + (2047 - 1024) * 50/90.
+    assert abs(m["demo_ns:p50"] - (1024 + 1023 * 50.0 / 90.0)) < 1e-6, m
+    # rank(99) = 99 inside the 2048..4095 bucket holding entries 91..100.
+    assert abs(m["demo_ns:p99"] - (2048 + 2047 * 9.0 / 10.0)) < 1e-6, m
+    # A bucket-only percentile never exceeds the highest finite bound.
+    assert m["demo_ns:p99"] <= 4095.0, m
     print("check_bench.py self-test: all assertions passed")
 
 

@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition (the CI metrics-smoke checker).
+
+Reads exposition text from a file argument or stdin and enforces the format
+contract of aurora::metrics::dump_prometheus():
+
+  * every sample line parses as  name[{labels}] value  with a legal metric
+    name ([a-zA-Z_:][a-zA-Z0-9_:]*);
+  * a family's samples follow its # TYPE line, and the declared type matches
+    the sample shapes (histogram families expose _bucket/_sum/_count);
+  * histogram buckets are cumulative (monotonically non-decreasing in `le`
+    order, per label set) and end with le="+Inf" equal to the _count sample;
+  * counter values are non-negative.
+
+Options:
+  --require NAME   fail unless a family NAME is present (repeatable);
+  --p99 HIST       print the p99 derived from HIST's cumulative buckets
+                   (aurora::metrics interpolation: a bucket spans
+                   prev_le+1 .. le) — fails if HIST is absent or empty;
+  --self-test      run the built-in unit checks (registered as a ctest).
+
+Exit codes: 0 valid, 1 contract violation / missing requirement, 2 usage.
+"""
+
+import argparse
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(-?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|[+-]?Inf|NaN))$')
+TYPE_RE = re.compile(r'^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$')
+HELP_RE = re.compile(r'^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$')
+
+HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def base_family(name, types):
+    """Map a sample name to its declared family (histograms expose
+    `<fam>_bucket` etc.; `<fam>` itself carries the TYPE line)."""
+    for suffix in HIST_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return name
+
+
+def strip_le(labels):
+    parts = [p for p in re.findall(r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"',
+                                   labels or "")
+             if not p.startswith('le="')]
+    return ",".join(parts)
+
+
+def parse_le(labels):
+    m = re.search(r'le="([^"]*)"', labels or "")
+    if m is None:
+        return None
+    return float("inf") if m.group(1) == "+Inf" else float(m.group(1))
+
+
+def validate(text, require=()):
+    """Return a list of violation strings (empty = valid)."""
+    errors = []
+    types = {}
+    seen_families = set()
+    # (family, labels-minus-le) -> list of (le, cum) in document order
+    buckets = {}
+    counts = {}
+
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            tm = TYPE_RE.match(line)
+            if tm:
+                name = tm.group(1)
+                if name in seen_families:
+                    errors.append(f"line {lineno}: TYPE for {name} after its "
+                                  "samples")
+                types[name] = tm.group(2)
+                continue
+            if HELP_RE.match(line) or line.startswith("# "):
+                continue
+            errors.append(f"line {lineno}: malformed comment: {line}")
+            continue
+
+        sm = SAMPLE_RE.match(line)
+        if sm is None:
+            errors.append(f"line {lineno}: unparsable sample: {line}")
+            continue
+        name, labels, value = sm.group(1), sm.group(2) or "", float(sm.group(3))
+        fam = base_family(name, types)
+        seen_families.add(fam)
+        if fam not in types:
+            errors.append(f"line {lineno}: sample {name} has no # TYPE line")
+            continue
+
+        kind = types[fam]
+        if kind == "counter" and value < 0:
+            errors.append(f"line {lineno}: counter {name} is negative")
+        if kind == "histogram":
+            key = (fam, strip_le(labels))
+            if name.endswith("_bucket"):
+                le = parse_le(labels)
+                if le is None:
+                    errors.append(f"line {lineno}: bucket without le label")
+                    continue
+                buckets.setdefault(key, []).append((le, value))
+            elif name.endswith("_count"):
+                counts[key] = value
+
+    for key, series in buckets.items():
+        fam, labels = key
+        where = f"{fam}{{{labels}}}" if labels else fam
+        prev = -1.0
+        for le, cum in series:
+            if cum < prev:
+                errors.append(f"{where}: bucket le={le} not cumulative "
+                              f"({cum} < {prev})")
+            prev = cum
+        if series[-1][0] != float("inf"):
+            errors.append(f"{where}: buckets do not end with le=\"+Inf\"")
+        if key not in counts:
+            errors.append(f"{where}: histogram without _count sample")
+        elif series[-1][1] != counts[key]:
+            errors.append(f"{where}: le=\"+Inf\" ({series[-1][1]}) != _count "
+                          f"({counts[key]})")
+
+    for name in require:
+        if name not in seen_families:
+            errors.append(f"required family {name} is missing")
+    return errors
+
+
+def derive_p99(text, hist):
+    """p99 across all label sets of `hist`, from its cumulative buckets."""
+    merged = {}
+    for line in text.splitlines():
+        sm = SAMPLE_RE.match(line.strip())
+        if sm is None or sm.group(1) != hist + "_bucket":
+            continue
+        le = parse_le(sm.group(2) or "")
+        if le is not None:
+            merged[le] = merged.get(le, 0.0) + float(sm.group(3))
+    if not merged:
+        return None
+    series = sorted(merged.items())
+    count = series[-1][1]
+    if count <= 0:
+        return None
+    rank = min(count, max(1.0, -(-(0.99 * count) // 1)))  # ceil
+    prev_le, prev_cum = 0.0, 0.0
+    for le, cum in series:
+        if cum >= rank and cum > prev_cum:
+            lo = prev_le + 1.0
+            hi = prev_le + 1.0 if le == float("inf") else le
+            return lo + (hi - lo) * (rank - prev_cum) / (cum - prev_cum)
+        if le != float("inf"):
+            prev_le = le
+        prev_cum = cum
+    return prev_le
+
+
+GOOD = """\
+# HELP x_total things
+# TYPE x_total counter
+x_total{node="1"} 3
+# TYPE x_ns histogram
+x_ns_bucket{le="1023"} 0
+x_ns_bucket{le="2047"} 90
+x_ns_bucket{le="4095"} 100
+x_ns_bucket{le="+Inf"} 100
+x_ns_sum 150000
+x_ns_count 100
+"""
+
+
+def self_test():
+    assert validate(GOOD) == [], validate(GOOD)
+    assert validate(GOOD, require=["x_total", "x_ns"]) == []
+    errs = validate(GOOD, require=["absent_total"])
+    assert any("absent_total" in e for e in errs), errs
+    # Non-cumulative buckets, +Inf/_count mismatch, negative counter.
+    errs = validate(GOOD.replace('x_ns_bucket{le="2047"} 90',
+                                 'x_ns_bucket{le="2047"} 101'))
+    assert any("not cumulative" in e for e in errs), errs
+    errs = validate(GOOD.replace("x_ns_count 100", "x_ns_count 99"))
+    assert any("!= _count" in e for e in errs), errs
+    errs = validate(GOOD.replace('x_total{node="1"} 3',
+                                 'x_total{node="1"} -3'))
+    assert any("negative" in e for e in errs), errs
+    errs = validate("y_total 1\n")
+    assert any("no # TYPE" in e for e in errs), errs
+    # p99 matches the aurora::metrics interpolation (see check_bench.py).
+    p99 = derive_p99(GOOD, "x_ns")
+    assert abs(p99 - (2048 + 2047 * 9.0 / 10.0)) < 1e-6, p99
+    assert derive_p99(GOOD, "nope") is None
+    print("check_prom.py self-test: all assertions passed")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("file", nargs="?", help="exposition file (default stdin)")
+    ap.add_argument("--require", action="append", default=[],
+                    help="fail unless this metric family is present")
+    ap.add_argument("--p99", metavar="HIST",
+                    help="print p99 derived from HIST's buckets")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run built-in unit checks and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        self_test()
+        return 0
+
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    else:
+        text = sys.stdin.read()
+
+    errors = validate(text, require=args.require)
+    for err in errors:
+        print(f"check_prom: {err}", file=sys.stderr)
+
+    if args.p99:
+        p99 = derive_p99(text, args.p99)
+        if p99 is None:
+            print(f"check_prom: histogram {args.p99} absent or empty",
+                  file=sys.stderr)
+            return 1
+        print(f"{args.p99} p99 = {p99:.3f}")
+
+    if errors:
+        print(f"check_prom: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    families = len({m.group(1) for m in map(TYPE_RE.match, text.splitlines())
+                    if m})
+    print(f"check_prom: exposition valid ({families} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,22 @@
 #include "fault/fault.hpp"
 
+#include "metrics/metrics.hpp"
 #include "util/env.hpp"
 
 namespace aurora::fault {
 
 namespace {
+
+/// Mirror one injected fault into the always-on metrics registry. Fault
+/// injections are rare events, so the mutexed find-or-create is fine here.
+void mirror_fault(const char* kind) {
+    namespace m = aurora::metrics;
+    m::registry::global()
+        .counter_for("aurora_fault_injected_total",
+                     m::labels({{"kind", kind}}),
+                     "faults injected by aurora::fault, by kind")
+        .add(1);
+}
 
 /// splitmix64 — tiny, fast, and plenty for fault scheduling.
 std::uint64_t splitmix64(std::uint64_t& state) {
@@ -48,6 +60,10 @@ void injector::configure(const config& cfg) {
     nodes_.clear();
     armed_.store(false, std::memory_order_relaxed);
     active_.store(cfg.enabled, std::memory_order_relaxed);
+    aurora::metrics::registry::global()
+        .gauge_for("aurora_fault_active", "",
+                   "1 while probabilistic fault injection is enabled")
+        .set(cfg.enabled ? 1 : 0);
 }
 
 void injector::kill_at_time(int node, sim::time_ns when) {
@@ -86,6 +102,7 @@ bool injector::take_attach_failure(int node) {
     }
     it->second.fail_attach = false;
     ++stats_.attach_failures;
+    mirror_fault("attach_fail");
     return true;
 }
 
@@ -117,6 +134,7 @@ void injector::check_target_alive(int node) {
     if (time_due || count_due) {
         p.killed = true;
         ++stats_.kills;
+        mirror_fault("kill");
         throw target_killed{};
     }
 }
@@ -134,22 +152,49 @@ bool injector::roll(std::uint32_t permille, std::uint64_t& counter) {
     return false;
 }
 
-bool injector::should_drop() { return roll(cfg_.drop_permille, stats_.drops); }
+bool injector::should_drop() {
+    if (!roll(cfg_.drop_permille, stats_.drops)) {
+        return false;
+    }
+    mirror_fault("drop");
+    return true;
+}
 
 bool injector::should_corrupt() {
-    return roll(cfg_.corrupt_permille, stats_.corruptions);
+    if (!roll(cfg_.corrupt_permille, stats_.corruptions)) {
+        return false;
+    }
+    mirror_fault("corrupt");
+    return true;
 }
 
 bool injector::should_lose_flag() {
-    return roll(cfg_.flag_loss_permille, stats_.flag_losses);
+    if (!roll(cfg_.flag_loss_permille, stats_.flag_losses)) {
+        return false;
+    }
+    mirror_fault("flag_loss");
+    return true;
 }
 
 bool injector::should_fail_dma_post() {
-    return roll(cfg_.dma_fail_permille, stats_.dma_post_failures);
+    if (!roll(cfg_.dma_fail_permille, stats_.dma_post_failures)) {
+        return false;
+    }
+    mirror_fault("dma_post_fail");
+    return true;
 }
 
 std::int64_t injector::delay_spike() {
-    return roll(cfg_.delay_permille, stats_.delay_spikes) ? cfg_.delay_ns : 0;
+    if (!roll(cfg_.delay_permille, stats_.delay_spikes)) {
+        return 0;
+    }
+    mirror_fault("delay");
+    return cfg_.delay_ns;
+}
+
+void injector::note_idle_timeout() {
+    ++stats_.idle_timeouts;
+    mirror_fault("idle_timeout");
 }
 
 void injector::corrupt_byte(std::byte* data, std::size_t len) {

@@ -118,7 +118,7 @@ public:
     /// scheduled: one relaxed atomic load.
     void check_target_alive(int node);
     /// Record a target that gave up waiting for the host (idle timeout).
-    void note_idle_timeout() { ++stats_.idle_timeouts; }
+    void note_idle_timeout();
 
     // --- probabilistic draws (only meaningful while active()) ----------------
     [[nodiscard]] bool should_drop();

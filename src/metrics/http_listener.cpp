@@ -1,0 +1,222 @@
+#include "metrics/http_listener.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "metrics/prometheus.hpp"
+#include "util/env.hpp"
+
+namespace aurora::metrics {
+
+namespace {
+
+/// Write everything or give up (the peer went away — not our problem).
+void send_all(int fd, const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n <= 0) {
+            return;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+[[nodiscard]] std::string http_response(int code, const char* status,
+                                        const char* content_type,
+                                        const std::string& body) {
+    std::string head = "HTTP/1.1 " + std::to_string(code) + " " + status +
+                       "\r\nContent-Type: " + content_type +
+                       "\r\nContent-Length: " + std::to_string(body.size()) +
+                       "\r\nConnection: close\r\n\r\n";
+    return head + body;
+}
+
+/// First line of the request ("GET /metrics HTTP/1.1"), read with a short
+/// deadline so a stuck client cannot wedge the serving thread.
+[[nodiscard]] std::string read_request_line(int fd) {
+    std::string req;
+    char buf[1024];
+    for (int rounds = 0; rounds < 16; ++rounds) {
+        pollfd p{fd, POLLIN, 0};
+        if (::poll(&p, 1, 500) <= 0) {
+            break;
+        }
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) {
+            break;
+        }
+        req.append(buf, static_cast<std::size_t>(n));
+        if (req.find("\r\n\r\n") != std::string::npos || req.size() > 8192) {
+            break;
+        }
+    }
+    const std::size_t eol = req.find('\r');
+    return eol == std::string::npos ? req : req.substr(0, eol);
+}
+
+} // namespace
+
+http_listener::~http_listener() { stop(); }
+
+http_listener& http_listener::global() {
+    // Static-destruction ordering: finish constructing the global registry
+    // BEFORE the listener static. Function-local statics die in reverse
+    // order of construction, so this guarantees ~http_listener (which joins
+    // the serving thread) runs while the registry it reads is still alive.
+    (void)registry::global();
+    static http_listener l;
+    return l;
+}
+
+bool http_listener::start(const options& opt) {
+    if (running()) {
+        std::fprintf(stderr, "aurora::metrics: listener already running\n");
+        return false;
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::perror("aurora::metrics: socket");
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opt.port));
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        std::perror("aurora::metrics: bind/listen");
+        ::close(fd);
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+
+    opt_ = opt;
+    listen_fd_ = fd;
+    stop_.store(false, std::memory_order_release);
+    port_.store(static_cast<int>(ntohs(addr.sin_port)),
+                std::memory_order_release);
+    running_.store(true, std::memory_order_release);
+    thread_ = std::thread([this] { serve(); });
+    std::fprintf(stderr,
+                 "aurora::metrics: serving /metrics on 127.0.0.1:%d\n", port());
+    return true;
+}
+
+void http_listener::stop() {
+    if (!running()) {
+        return;
+    }
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) {
+        thread_.join();
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    port_.store(0, std::memory_order_release);
+    running_.store(false, std::memory_order_release);
+}
+
+void http_listener::serve() {
+    using clock = std::chrono::steady_clock;
+    const registry& reg = opt_.reg != nullptr ? *opt_.reg : registry::global();
+    const bool periodic = !opt_.json_path.empty() && opt_.json_period_ms > 0;
+    auto next_export =
+        clock::now() + std::chrono::milliseconds(opt_.json_period_ms);
+    std::vector<registry::family_snapshot> prev;
+    if (periodic) {
+        prev = reg.snapshot();
+    }
+
+    while (!stop_.load(std::memory_order_acquire)) {
+        pollfd p{listen_fd_, POLLIN, 0};
+        const int timeout_ms =
+            periodic ? std::min(200, opt_.json_period_ms) : 200;
+        const int rc = ::poll(&p, 1, timeout_ms);
+
+        if (periodic && clock::now() >= next_export) {
+            auto cur = reg.snapshot();
+            std::ofstream out(opt_.json_path, std::ios::app);
+            if (out.good()) {
+                out << bench_json(snapshot_delta(prev, cur),
+                                  "aurora_metrics_delta")
+                    << '\n';
+            }
+            prev = std::move(cur);
+            next_export =
+                clock::now() + std::chrono::milliseconds(opt_.json_period_ms);
+        }
+        if (rc <= 0 || (p.revents & POLLIN) == 0) {
+            continue;
+        }
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) {
+            continue;
+        }
+        const std::string line = read_request_line(client);
+        if (line.rfind("GET /metrics", 0) == 0 || line.rfind("GET / ", 0) == 0) {
+            send_all(client,
+                     http_response(
+                         200, "OK",
+                         "text/plain; version=0.0.4; charset=utf-8",
+                         prometheus_text(const_cast<registry&>(reg))));
+        } else if (line.rfind("GET /healthz", 0) == 0) {
+            send_all(client, http_response(200, "OK", "text/plain", "ok\n"));
+        } else {
+            send_all(client, http_response(404, "Not Found", "text/plain",
+                                           "try /metrics\n"));
+        }
+        ::close(client);
+    }
+}
+
+bool maybe_start_from_env() {
+    static std::atomic<bool> attempted{false};
+    http_listener& l = http_listener::global();
+    if (l.running()) {
+        return true;
+    }
+    if (attempted.exchange(true)) {
+        return l.running();
+    }
+    const auto port = aurora::env_int("HAM_AURORA_METRICS_PORT");
+    if (!port) {
+        return false;
+    }
+    http_listener::options opt;
+    opt.port = static_cast<int>(*port);
+    if (const auto path = aurora::env_string("HAM_AURORA_METRICS_JSON")) {
+        if (*path != "-") {
+            opt.json_path = *path;
+        }
+    }
+    opt.json_period_ms = static_cast<int>(
+        aurora::env_int_or("HAM_AURORA_METRICS_JSON_PERIOD_MS", 0));
+    return l.start(opt);
+}
+
+void linger_from_env() {
+    const std::int64_t secs = aurora::env_int_or("HAM_AURORA_METRICS_LINGER_S", 0);
+    if (secs <= 0 || !http_listener::global().running()) {
+        return;
+    }
+    std::fprintf(stderr,
+                 "aurora::metrics: workload done, lingering %llds for scrapers\n",
+                 static_cast<long long>(secs));
+    std::this_thread::sleep_for(std::chrono::seconds(secs));
+}
+
+} // namespace aurora::metrics

@@ -1,0 +1,78 @@
+// Embedded Prometheus exposition endpoint + periodic JSON exporter.
+//
+// One plain poll()-based background thread owns a loopback TCP listener and
+// answers GET /metrics with the registry's Prometheus text — the hot paths
+// of the runtime are never touched (scrapes read the same relaxed atomics
+// the producers write). The same thread optionally appends bench-JSON delta
+// snapshots to a file on a fixed period, so a run leaves a scrape-free time
+// series behind.
+//
+// Environment wiring (maybe_start_from_env(), called by offload::run):
+//   HAM_AURORA_METRICS_PORT           listen port (0 = ephemeral) — presence
+//                                     enables the endpoint
+//   HAM_AURORA_METRICS_JSON           snapshot file ("-" = stdout at exit)
+//   HAM_AURORA_METRICS_JSON_PERIOD_MS delta append period (0 = off)
+//   HAM_AURORA_METRICS_LINGER_S       keep the process alive after the
+//                                     workload so scrapers can collect
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "metrics/metrics.hpp"
+
+namespace aurora::metrics {
+
+class http_listener {
+public:
+    struct options {
+        int port = 0;               ///< 0 = kernel-assigned ephemeral port
+        std::string json_path;      ///< empty = no periodic JSON export
+        int json_period_ms = 0;     ///< 0 = no periodic export
+        const registry* reg = nullptr; ///< nullptr = registry::global()
+    };
+
+    http_listener() = default;
+    ~http_listener();
+    http_listener(const http_listener&) = delete;
+    http_listener& operator=(const http_listener&) = delete;
+
+    /// The process-wide listener used by the env wiring.
+    [[nodiscard]] static http_listener& global();
+
+    /// Bind, listen and start the serving thread. Returns false (with a
+    /// note on stderr) when the socket cannot be bound or a listener is
+    /// already running.
+    bool start(const options& opt);
+    void stop();
+
+    [[nodiscard]] bool running() const noexcept {
+        return running_.load(std::memory_order_acquire);
+    }
+    /// Actual bound port (after an ephemeral bind); 0 while not running.
+    [[nodiscard]] int port() const noexcept {
+        return port_.load(std::memory_order_acquire);
+    }
+
+private:
+    void serve();
+
+    options opt_;
+    int listen_fd_ = -1;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stop_{false};
+    std::atomic<int> port_{0};
+};
+
+/// Start the global listener if HAM_AURORA_METRICS_PORT is set (first call
+/// wins; later calls are no-ops). Returns true when a listener is running.
+bool maybe_start_from_env();
+
+/// Sleep HAM_AURORA_METRICS_LINGER_S real seconds (when set and a listener
+/// is running) so external scrapers can read the final state of a finished
+/// workload. No-op otherwise.
+void linger_from_env();
+
+} // namespace aurora::metrics

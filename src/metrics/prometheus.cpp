@@ -1,0 +1,197 @@
+#include "metrics/prometheus.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/env.hpp"
+
+namespace aurora::metrics {
+
+namespace {
+
+void write_series_name(std::ostream& os, const std::string& name,
+                       const std::string& series_labels,
+                       const std::string& extra_label = "") {
+    os << name;
+    if (!series_labels.empty() || !extra_label.empty()) {
+        os << '{' << series_labels;
+        if (!series_labels.empty() && !extra_label.empty()) {
+            os << ',';
+        }
+        os << extra_label << '}';
+    }
+}
+
+/// Shortest %g-style rendering that still round-trips typical ns values.
+[[nodiscard]] std::string fmt_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+void dump_prometheus(const std::vector<registry::family_snapshot>& families,
+                     std::ostream& os) {
+    for (const auto& fam : families) {
+        if (!fam.help.empty()) {
+            os << "# HELP " << fam.name << ' ' << fam.help << '\n';
+        }
+        os << "# TYPE " << fam.name << ' ' << to_string(fam.kind) << '\n';
+        for (const auto& s : fam.series) {
+            switch (fam.kind) {
+                case instrument_kind::counter:
+                case instrument_kind::gauge:
+                    write_series_name(os, fam.name, s.labels);
+                    os << ' ' << s.value << '\n';
+                    break;
+                case instrument_kind::histogram: {
+                    // Cumulative buckets up to the highest occupied one, then
+                    // +Inf. `le` bounds are the inclusive bucket uppers
+                    // (2^i - 1), so percentiles are derivable exactly as the
+                    // snapshot's own interpolation does.
+                    std::size_t top = 0;
+                    for (std::size_t b = 0; b < histogram::num_buckets; ++b) {
+                        if (s.hist.buckets[b] != 0) {
+                            top = b;
+                        }
+                    }
+                    std::uint64_t cum = 0;
+                    for (std::size_t b = 0; b <= top; ++b) {
+                        cum += s.hist.buckets[b];
+                        write_series_name(
+                            os, fam.name + "_bucket", s.labels,
+                            "le=\"" + std::to_string(histogram::bucket_upper(b)) +
+                                "\"");
+                        os << ' ' << cum << '\n';
+                    }
+                    write_series_name(os, fam.name + "_bucket", s.labels,
+                                      "le=\"+Inf\"");
+                    os << ' ' << s.hist.count << '\n';
+                    write_series_name(os, fam.name + "_sum", s.labels);
+                    os << ' ' << s.hist.sum << '\n';
+                    write_series_name(os, fam.name + "_count", s.labels);
+                    os << ' ' << s.hist.count << '\n';
+                    break;
+                }
+            }
+        }
+    }
+}
+
+void dump_prometheus(const registry& reg, std::ostream& os) {
+    dump_prometheus(reg.snapshot(), os);
+}
+
+std::string prometheus_text(const registry& reg) {
+    std::ostringstream os;
+    dump_prometheus(reg, os);
+    return os.str();
+}
+
+std::string bench_json(const std::vector<registry::family_snapshot>& families,
+                       const std::string& bench_name) {
+    std::ostringstream os;
+    os << "{\"bench\":\"" << bench_name << "\",\"metrics\":{";
+    bool first = true;
+    auto emit = [&](const std::string& key, const std::string& value) {
+        if (!first) {
+            os << ',';
+        }
+        first = false;
+        os << '"' << key << "\":" << value;
+    };
+    for (const auto& fam : families) {
+        for (const auto& s : fam.series) {
+            std::string key = fam.name;
+            if (!s.labels.empty()) {
+                std::string escaped;
+                for (const char c : s.labels) {
+                    if (c == '"' || c == '\\') {
+                        escaped += '\\';
+                    }
+                    escaped += c;
+                }
+                key += '{' + escaped + '}';
+            }
+            switch (fam.kind) {
+                case instrument_kind::counter:
+                case instrument_kind::gauge:
+                    emit(key, std::to_string(s.value));
+                    break;
+                case instrument_kind::histogram:
+                    emit(key + ":count", std::to_string(s.hist.count));
+                    emit(key + ":sum", std::to_string(s.hist.sum));
+                    emit(key + ":p50", fmt_double(s.hist.p50()));
+                    emit(key + ":p90", fmt_double(s.hist.p90()));
+                    emit(key + ":p99", fmt_double(s.hist.p99()));
+                    emit(key + ":p999", fmt_double(s.hist.p999()));
+                    emit(key + ":max", std::to_string(s.hist.max));
+                    break;
+            }
+        }
+    }
+    os << "}}";
+    return os.str();
+}
+
+std::vector<registry::family_snapshot> snapshot_delta(
+    const std::vector<registry::family_snapshot>& prev,
+    const std::vector<registry::family_snapshot>& cur) {
+    std::map<std::string, const registry::family_snapshot*> prev_by_name;
+    for (const auto& fam : prev) {
+        prev_by_name[fam.name] = &fam;
+    }
+    std::vector<registry::family_snapshot> out = cur;
+    for (auto& fam : out) {
+        const auto pit = prev_by_name.find(fam.name);
+        if (pit == prev_by_name.end() || fam.kind == instrument_kind::gauge) {
+            continue; // brand-new family, or gauges report levels, not rates
+        }
+        std::map<std::string, const registry::series_snapshot*> prev_series;
+        for (const auto& s : pit->second->series) {
+            prev_series[s.labels] = &s;
+        }
+        for (auto& s : fam.series) {
+            const auto sit = prev_series.find(s.labels);
+            if (sit == prev_series.end()) {
+                continue;
+            }
+            const registry::series_snapshot& p = *sit->second;
+            if (fam.kind == instrument_kind::counter) {
+                s.value -= p.value;
+            } else {
+                for (std::size_t b = 0; b < histogram::num_buckets; ++b) {
+                    s.hist.buckets[b] -= p.hist.buckets[b];
+                }
+                s.hist.count -= p.hist.count;
+                s.hist.sum -= p.hist.sum;
+                // max stays cumulative: a windowed max is not derivable.
+            }
+        }
+    }
+    return out;
+}
+
+void flush_to_env() {
+    const auto path = aurora::env_string("HAM_AURORA_METRICS_JSON");
+    if (!path || path->empty()) {
+        return;
+    }
+    const std::string line = bench_json(registry::global().snapshot());
+    if (*path == "-") {
+        std::cout << line << '\n';
+        return;
+    }
+    std::ofstream out(*path, std::ios::app);
+    if (out.good()) {
+        out << line << '\n';
+    }
+}
+
+} // namespace aurora::metrics

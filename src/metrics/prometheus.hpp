@@ -1,0 +1,44 @@
+// Exposition formats for the aurora::metrics registry.
+//
+//   * Prometheus text format 0.0.4 (HELP/TYPE lines, cumulative histogram
+//     buckets with power-of-two `le` bounds, _sum/_count series) — served
+//     by the embedded HTTP listener and by `aurora_info --metrics`;
+//   * bench-JSON snapshots ({"bench":"aurora_metrics","metrics":{...}}),
+//     the HAM_AURORA_BENCH_JSON convention scripts/check_bench.py parses —
+//     histograms flatten to :count/:sum/:p50/:p90/:p99/:p999/:max keys;
+//   * deltas between two snapshots (periodic export appends one delta
+//     object per line, so a run's JSON file is a time series).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+
+namespace aurora::metrics {
+
+/// Render a registry snapshot in Prometheus text format.
+void dump_prometheus(const std::vector<registry::family_snapshot>& families,
+                     std::ostream& os);
+void dump_prometheus(const registry& reg, std::ostream& os);
+[[nodiscard]] std::string prometheus_text(const registry& reg);
+
+/// Flatten a snapshot into bench-JSON ({"bench":<name>,"metrics":{...}}).
+[[nodiscard]] std::string bench_json(
+    const std::vector<registry::family_snapshot>& families,
+    const std::string& bench_name = "aurora_metrics");
+
+/// Difference `cur - prev`: counters and histogram buckets subtract, gauges
+/// keep their current value, families/series absent from `prev` pass
+/// through. The result renders like any snapshot.
+[[nodiscard]] std::vector<registry::family_snapshot> snapshot_delta(
+    const std::vector<registry::family_snapshot>& prev,
+    const std::vector<registry::family_snapshot>& cur);
+
+/// Honour HAM_AURORA_METRICS_JSON: when set, append one bench-JSON snapshot
+/// line of the global registry to that file ("-" = stdout). Called from the
+/// offload runtime teardown; safe to call repeatedly or when unset.
+void flush_to_env();
+
+} // namespace aurora::metrics

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "metrics/metrics.hpp"
 #include "offload/protocol.hpp"
 #include "offload/types.hpp"
 
@@ -22,6 +23,55 @@ enum class io_status : std::uint8_t {
     ok,        ///< accepted by the transport (delivery still not guaranteed)
     transient, ///< send-post failed before any state change; retry is safe
     down,      ///< the transport is gone; the target must be declared failed
+};
+
+/// Transport-level telemetry shared by every backend implementation: send
+/// and poll latencies (virtual ns) plus byte counters, labeled
+/// {backend=<name>, node=<n>} in the global aurora::metrics registry.
+/// Instruments are resolved once at backend construction; the per-operation
+/// cost is a handful of relaxed atomics.
+class backend_metrics {
+public:
+    backend_metrics(const char* backend_name, node_t node);
+
+    /// Times one send_message call and counts its payload bytes.
+    class send_timer {
+    public:
+        send_timer(backend_metrics& m, std::size_t len) noexcept;
+        ~send_timer();
+        send_timer(const send_timer&) = delete;
+        send_timer& operator=(const send_timer&) = delete;
+
+    private:
+        backend_metrics& m_;
+        std::size_t len_;
+        std::int64_t t0_;
+    };
+
+    /// Times one test_result probe; call arrived() when a result landed so
+    /// its payload counts as bytes in.
+    class poll_timer {
+    public:
+        explicit poll_timer(backend_metrics& m) noexcept;
+        ~poll_timer();
+        poll_timer(const poll_timer&) = delete;
+        poll_timer& operator=(const poll_timer&) = delete;
+        void arrived(std::size_t len) noexcept;
+
+    private:
+        backend_metrics& m_;
+        std::int64_t t0_;
+        std::size_t arrived_len_ = 0;
+        bool arrived_ = false;
+    };
+
+private:
+    aurora::metrics::histogram* send_ns_;
+    aurora::metrics::histogram* recv_ns_;
+    aurora::metrics::counter* sends_;
+    aurora::metrics::counter* polls_;
+    aurora::metrics::counter* bytes_out_;
+    aurora::metrics::counter* bytes_in_;
 };
 
 class backend {

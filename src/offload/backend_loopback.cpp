@@ -83,7 +83,8 @@ backend_loopback::backend_loopback(sim::simulation& sim,
       slots_(opt.msg_slots),
       msg_size_(opt.msg_size),
       shared_(std::make_shared<shared_state>(sim, opt.msg_slots)),
-      send_gen_(opt.msg_slots, 0) {
+      send_gen_(opt.msg_slots, 0),
+      met_("loopback", node) {
     // The target process owns its channel/context/memory objects so they
     // outlive this backend teardown order safely.
     auto shared = shared_;
@@ -121,6 +122,7 @@ io_status backend_loopback::send_message(std::uint32_t slot, const void* msg,
                          kind == protocol::msg_kind::terminate,
                      "loopback backend has no DMA data path");
     AURORA_TRACE_SPAN("backend", "loopback_send");
+    const backend_metrics::send_timer timer(met_, len);
     auto& inj = aurora::fault::injector::instance();
     if (inj.active()) {
         if (const auto spike = inj.delay_spike()) {
@@ -152,12 +154,14 @@ io_status backend_loopback::send_message(std::uint32_t slot, const void* msg,
 bool backend_loopback::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
     AURORA_CHECK(slot < slots_);
     AURORA_TRACE_COUNTER("backend", "loopback_poll", 1);
+    backend_metrics::poll_timer timer(met_);
     auto& r = shared_->results[slot];
     if (r.empty()) {
         return false;
     }
     out = std::move(r);
     r.clear();
+    timer.arrived(out.size());
     AURORA_TRACE_INSTANT("backend", "loopback_result");
     return true;
 }

@@ -61,6 +61,7 @@ private:
     /// Per-slot send generation; retransmits reuse the current value so the
     /// target channel can discard duplicates.
     std::vector<std::uint8_t> send_gen_;
+    backend_metrics met_;
 };
 
 } // namespace ham::offload

@@ -97,7 +97,8 @@ backend_tcp::backend_tcp(sim::simulation& sim,
       slots_(opt.msg_slots),
       msg_size_(opt.msg_size),
       shared_(std::make_shared<shared_state>(sim, opt.msg_slots)),
-      send_gen_(opt.msg_slots, 0) {
+      send_gen_(opt.msg_slots, 0),
+      met_("tcp", node) {
     auto shared = shared_;
     const auto* cm = &costs_;
     const auto* reg = &target_reg;
@@ -141,6 +142,7 @@ io_status backend_tcp::send_message(std::uint32_t slot, const void* msg,
                          kind == protocol::msg_kind::terminate,
                      "the TCP backend has no DMA data path");
     AURORA_TRACE_SPAN("backend", "tcp_send");
+    const backend_metrics::send_timer timer(met_, len);
     auto& inj = aurora::fault::injector::instance();
     if (inj.active()) {
         if (const auto spike = inj.delay_spike()) {
@@ -173,6 +175,7 @@ io_status backend_tcp::send_message(std::uint32_t slot, const void* msg,
 bool backend_tcp::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
     AURORA_CHECK(slot < slots_);
     AURORA_TRACE_COUNTER("backend", "tcp_poll", 1);
+    backend_metrics::poll_timer timer(met_);
     auto& r = shared_->results[slot];
     // A poll is a non-blocking socket read: one syscall.
     sim::advance(costs_.tcp_per_msg_ns);
@@ -181,6 +184,7 @@ bool backend_tcp::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
     }
     out = std::move(r.bytes);
     r.bytes.clear();
+    timer.arrived(out.size());
     AURORA_TRACE_INSTANT("backend", "tcp_result");
     return true;
 }

@@ -40,7 +40,8 @@ backend_vedma::backend_vedma(aurora::veos::veos_system& sys, int ve_id, node_t n
       layout_(make_layout(opt)),
       shms_(sys.plat()),
       send_gen_(opt.msg_slots, 0),
-      result_gen_(opt.msg_slots, 0) {
+      result_gen_(opt.msg_slots, 0),
+      met_("vedma", node) {
     AURORA_CHECK_MSG(opt.msg_size % 8 == 0,
                      "vedma backend requires 8-byte aligned message sizes");
 
@@ -123,6 +124,7 @@ io_status backend_vedma::send_message(std::uint32_t slot, const void* msg,
     // All host-side operations are local memory accesses (Sec. IV-B): copy
     // the message into the shared segment, then publish the flag.
     AURORA_TRACE_SPAN("backend", "vedma_send");
+    const backend_metrics::send_timer timer(met_, len);
     auto& inj = aurora::fault::injector::instance();
     if (inj.active()) {
         if (const auto spike = inj.delay_spike()) {
@@ -164,6 +166,7 @@ bool backend_vedma::test_result(std::uint32_t slot, std::vector<std::byte>& out)
     const auto& cm = sys_.plat().costs();
     AURORA_CHECK(slot < layout_.send.slots);
     AURORA_TRACE_COUNTER("backend", "vedma_poll", 1);
+    backend_metrics::poll_timer timer(met_);
     // "The VH is now the passive receiver who finds its message already in
     // its local memory as soon as the flag is set by the VE" (Sec. IV-B).
     sim::advance(cm.local_poll_ns);
@@ -183,6 +186,7 @@ bool backend_vedma::test_result(std::uint32_t slot, std::vector<std::byte>& out)
                     flag.len);
         sim::advance(sim::transfer_ns(flag.len, cm.vh_memcpy_gib));
     }
+    timer.arrived(out.size());
     return true;
 }
 

@@ -79,6 +79,7 @@ private:
     std::uint64_t main_req_ = 0;
     std::vector<std::uint8_t> send_gen_;
     std::vector<std::uint8_t> result_gen_;
+    backend_metrics met_;
 };
 
 } // namespace ham::offload

@@ -33,7 +33,8 @@ backend_veo::backend_veo(aurora::veos::veos_system& sys, int ve_id, node_t node,
       node_(node),
       layout_(make_layout(opt)),
       send_gen_(opt.msg_slots, 0),
-      result_gen_(opt.msg_slots, 0) {
+      result_gen_(opt.msg_slots, 0),
+      met_("veo", node) {
     // Deployment per Fig. 4: create the VE process, load the application
     // library, communicate the buffer addresses via the C-API, run ham_main.
     // Construction failures are recoverable: the runtime marks the target
@@ -98,6 +99,7 @@ io_status backend_veo::send_message(std::uint32_t slot, const void* msg,
     // signal completion by setting the corresponding flag — two privileged-
     // DMA writes.
     AURORA_TRACE_SPAN("backend", "veo_send");
+    const backend_metrics::send_timer timer(met_, len);
     auto& inj = aurora::fault::injector::instance();
     if (inj.active()) {
         if (const auto spike = inj.delay_spike()) {
@@ -138,6 +140,7 @@ io_status backend_veo::send_message(std::uint32_t slot, const void* msg,
 bool backend_veo::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
     AURORA_CHECK(slot < layout_.send.slots);
     AURORA_TRACE_COUNTER("backend", "veo_poll", 1);
+    backend_metrics::poll_timer timer(met_);
     // Poll the result flag (one expensive veo_read_mem)…
     std::uint64_t raw = 0;
     veo_read_mem(proc_, &raw,
@@ -157,6 +160,7 @@ bool backend_veo::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
                          layout_.send.buffer_offset(slot),
                      flag.len);
     }
+    timer.arrived(out.size());
     return true;
 }
 

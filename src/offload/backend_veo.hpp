@@ -58,6 +58,7 @@ private:
     std::uint64_t main_req_ = 0;  ///< outstanding ham_main request
     std::vector<std::uint8_t> send_gen_;   ///< per recv-slot message generation
     std::vector<std::uint8_t> result_gen_; ///< per send-slot expected result gen
+    backend_metrics met_;
 };
 
 } // namespace ham::offload

@@ -23,6 +23,16 @@ enum class backend_kind {
     vedma,
 };
 
+[[nodiscard]] constexpr const char* to_string(backend_kind k) noexcept {
+    switch (k) {
+        case backend_kind::loopback: return "loopback";
+        case backend_kind::tcp: return "tcp";
+        case backend_kind::veo: return "veo";
+        case backend_kind::vedma: return "vedma";
+    }
+    return "?";
+}
+
 struct runtime_options {
     backend_kind backend = backend_kind::vedma;
     /// VE cards to use as offload targets (node i+1 -> targets[i]).

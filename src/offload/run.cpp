@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "ham/execution_context.hpp"
+#include "metrics/http_listener.hpp"
+#include "metrics/prometheus.hpp"
 #include "offload/app_image.hpp"
 #include "offload/runtime.hpp"
 #include "offload/target.hpp"
@@ -51,6 +53,10 @@ int detail::run_impl(aurora::sim::platform& plat, const runtime_options& opt,
     AURORA_CHECK(host_main != nullptr);
     int exit_code = -1;
 
+    // Telemetry endpoint (HAM_AURORA_METRICS_PORT): the real-time listener
+    // thread serves /metrics while the virtual-time workload runs.
+    aurora::metrics::maybe_start_from_env();
+
     aurora::veos::veos_system sys(plat);
     if (sys.find_image(app_image_name) == nullptr) {
         sys.install_image(ham_app_image());
@@ -60,8 +66,12 @@ int detail::run_impl(aurora::sim::platform& plat, const runtime_options& opt,
         exit_code = run_app_body(plat, sys, opt, host_main);
     });
     plat.sim().run();
-    // Every producer has quiesced; honour HAM_AURORA_TRACE_FILE/_SUMMARY.
+    // Every producer has quiesced; honour HAM_AURORA_TRACE_FILE/_SUMMARY and
+    // HAM_AURORA_METRICS_JSON, then keep the scrape endpoint up for
+    // HAM_AURORA_METRICS_LINGER_S real seconds.
     aurora::trace::flush_to_env();
+    aurora::metrics::flush_to_env();
+    aurora::metrics::linger_from_env();
     return exit_code;
 }
 

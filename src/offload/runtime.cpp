@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "fault/fault.hpp"
+#include "metrics/metrics.hpp"
 #include "offload/app_image.hpp"
 #include "offload/backend_loopback.hpp"
 #include "offload/backend_tcp.hpp"
@@ -38,6 +39,64 @@ std::string failed_what(node_t node, const std::string& reason) {
 }
 
 } // namespace
+
+void runtime::bind_instruments(target_state& t, node_t node) {
+    namespace m = aurora::metrics;
+    auto& reg = m::registry::global();
+    const std::string lbl = m::labels(
+        {{"backend", to_string(opt_.backend)}, {"node", std::to_string(node)}});
+    auto ctr = [&](const char* name, const char* help) {
+        return &reg.counter_for(name, lbl, help);
+    };
+    t.met.messages_sent =
+        ctr("aurora_offload_messages_total", "user offload messages sent");
+    t.met.batches_sent =
+        ctr("aurora_offload_batches_total", "coalesced batch messages sent");
+    t.met.results_received =
+        ctr("aurora_offload_results_total", "results collected from targets");
+    t.met.bytes_put =
+        ctr("aurora_offload_bytes_put_total", "bytes written to targets (put)");
+    t.met.bytes_got =
+        ctr("aurora_offload_bytes_got_total", "bytes read from targets (get)");
+    t.met.data_chunks = ctr("aurora_offload_data_chunks_total",
+                            "pipelined data-path chunks transferred");
+    t.met.retransmits = ctr("aurora_offload_retransmits_total",
+                            "reply-timeout-driven retransmissions");
+    t.met.corrupt_retries = ctr("aurora_offload_corrupt_retries_total",
+                                "checksum NACKs answered by resend");
+    t.met.send_retries = ctr("aurora_offload_send_retries_total",
+                             "transient send-post retries");
+    t.met.roundtrip_ns = &reg.histogram_for(
+        "aurora_offload_roundtrip_ns", lbl,
+        "virtual ns from message post to result arrival, per slot");
+    t.met.msg_bytes = &reg.histogram_for("aurora_offload_msg_bytes", lbl,
+                                         "serialized offload message sizes");
+    t.met.health = &reg.gauge_for(
+        "aurora_target_health", lbl,
+        "target health state (0=healthy, 1=degraded, 2=failed)");
+    t.met.inflight = &reg.gauge_for(
+        "aurora_offload_inflight", lbl,
+        "slots holding an uncollected request");
+    t.met.queue_depth = &reg.gauge_for(
+        "aurora_offload_queue_depth", lbl,
+        "results arrived but not yet collected");
+    t.met.base.messages_sent = t.met.messages_sent->value();
+    t.met.base.batches_sent = t.met.batches_sent->value();
+    t.met.base.results_received = t.met.results_received->value();
+    t.met.base.bytes_put = t.met.bytes_put->value();
+    t.met.base.bytes_got = t.met.bytes_got->value();
+    t.met.base.data_chunks = t.met.data_chunks->value();
+    t.met.base.retransmits = t.met.retransmits->value();
+    t.met.base.corrupt_retries = t.met.corrupt_retries->value();
+    t.met.base.send_retries = t.met.send_retries->value();
+}
+
+void runtime::set_health(target_state& t, target_health h) {
+    t.health = h;
+    if (t.met.health != nullptr) {
+        t.met.health->set(static_cast<std::int64_t>(h));
+    }
+}
 
 runtime::runtime(sim::simulation& sim, aurora::veos::veos_system* sys,
                  const ham::handler_registry& host_reg, runtime_options opt)
@@ -115,6 +174,9 @@ runtime::runtime(sim::simulation& sim, aurora::veos::veos_system* sys,
             AURORA_TRACE("offload",
                          "node " << node << " attach failed: " << e.what());
         }
+        state->slot_sent_ns.assign(state->slot_ticket.size(), 0);
+        bind_instruments(*state, node);
+        set_health(*state, state->health);
         targets_.push_back(std::move(state));
         ++node;
     }
@@ -223,7 +285,7 @@ void runtime::ensure_sendable(target_state& t, node_t node) {
 void runtime::note_transient_fault(target_state& t) {
     t.ok_streak = 0;
     if (t.health == target_health::healthy) {
-        t.health = target_health::degraded;
+        set_health(t, target_health::degraded);
     }
 }
 
@@ -232,7 +294,7 @@ void runtime::fail_target(node_t node, const std::string& why) {
     if (t.health == target_health::failed) {
         return;
     }
-    t.health = target_health::failed;
+    set_health(t, target_health::failed);
     t.fail_reason = why;
     AURORA_TRACE("offload", "node " << node << " declared FAILED: " << why);
     AURORA_TRACE_COUNTER("offload", "targets_failed", 1);
@@ -256,6 +318,9 @@ void runtime::fail_target(node_t node, const std::string& why) {
         std::memcpy(bytes.data() + sizeof(h), why.data(), why.size());
         t.arrived.emplace(ticket, std::move(bytes));
         t.slot_ticket[s] = 0;
+        t.slot_sent_ns[s] = 0; // synthetic settlements are not round-trips
+        t.met.inflight->add(-1);
+        t.met.queue_depth->add(1);
     }
     t.pending.clear();
 }
@@ -274,7 +339,7 @@ bool runtime::harvest_slot(target_state& t, std::uint32_t slot, node_t node) {
         if (h.status == protocol::status::corrupt_retry) {
             // Checksum NACK: the target refused the message without executing
             // it and advanced its generation — resend the clean frame fresh.
-            ++t.stats.corrupt_retries;
+            t.met.corrupt_retries->add(1);
             note_transient_fault(t);
             auto it = t.pending.find(slot);
             if (it == t.pending.end() || it->second.attempts > max_retries_) {
@@ -300,12 +365,20 @@ bool runtime::harvest_slot(target_state& t, std::uint32_t slot, node_t node) {
         t.pending.erase(slot);
         if (t.health == target_health::degraded &&
             ++t.ok_streak >= opt_.recovery_streak) {
-            t.health = target_health::healthy;
+            set_health(t, target_health::healthy);
             AURORA_TRACE("offload", "node " << node << " recovered to healthy");
         }
     }
+    if (t.slot_sent_ns[slot] != 0) {
+        const sim::time_ns rtt = sim::now() - t.slot_sent_ns[slot];
+        t.met.roundtrip_ns->record(
+            rtt > 0 ? static_cast<std::uint64_t>(rtt) : 0);
+        t.slot_sent_ns[slot] = 0;
+    }
     t.arrived.emplace(t.slot_ticket[slot], std::move(bytes));
     t.slot_ticket[slot] = 0;
+    t.met.inflight->add(-1);
+    t.met.queue_depth->add(1);
     return true;
 }
 
@@ -331,7 +404,7 @@ io_status runtime::attempt_send(target_state& t, node_t node, std::uint32_t slot
             throw target_failed_error(failed_what(node, t.fail_reason));
         }
         // Transient post failure: back off (virtual time) and retry.
-        ++t.stats.send_retries;
+        t.met.send_retries->add(1);
         note_transient_fault(t);
         sim::advance(backoff);
         backoff *= 2;
@@ -376,6 +449,8 @@ std::uint64_t runtime::post_on_slot(target_state& t, node_t node,
     }
     const std::uint64_t ticket = t.next_ticket++;
     t.slot_ticket[slot] = ticket;
+    t.slot_sent_ns[slot] = sim::now();
+    t.met.inflight->add(1);
     if (resilient_) {
         pending_send p;
         p.wire.assign(wire, wire + wire_len);
@@ -408,7 +483,7 @@ void runtime::check_deadlines(target_state& t, node_t node) {
                                   std::to_string(slot));
             return; // fail_target cleared `pending`
         }
-        ++t.stats.retransmits;
+        t.met.retransmits->add(1);
         note_transient_fault(t);
         AURORA_TRACE("offload", "reply timeout node "
                                     << node << " slot " << slot << ", attempt "
@@ -449,10 +524,28 @@ std::uint32_t runtime::acquire_slot(target_state& t, node_t node) {
 }
 
 const runtime::target_statistics& runtime::statistics(node_t node) {
-    return state_for(node).stats;
+    // The registry is the single source of truth; subtracting the attach-time
+    // baselines turns its process-wide cumulative counters into this
+    // runtime's counts, so statistics(), runtime_stats(), /metrics and
+    // `aurora_info --check` can never disagree.
+    target_state& t = state_for(node);
+    const target_statistics& b = t.met.base;
+    t.stats.messages_sent = t.met.messages_sent->value() - b.messages_sent;
+    t.stats.batches_sent = t.met.batches_sent->value() - b.batches_sent;
+    t.stats.results_received =
+        t.met.results_received->value() - b.results_received;
+    t.stats.bytes_put = t.met.bytes_put->value() - b.bytes_put;
+    t.stats.bytes_got = t.met.bytes_got->value() - b.bytes_got;
+    t.stats.data_chunks = t.met.data_chunks->value() - b.data_chunks;
+    t.stats.retransmits = t.met.retransmits->value() - b.retransmits;
+    t.stats.corrupt_retries =
+        t.met.corrupt_retries->value() - b.corrupt_retries;
+    t.stats.send_retries = t.met.send_retries->value() - b.send_retries;
+    return t.stats;
 }
 
 runtime::target_runtime_stats runtime::runtime_stats(node_t node) {
+    const target_statistics& st = statistics(node);
     target_state& t = state_for(node);
     target_runtime_stats s;
     s.slots_total = static_cast<std::uint32_t>(t.slot_ticket.size());
@@ -460,11 +553,11 @@ runtime::target_runtime_stats runtime::runtime_stats(node_t node) {
         s.in_flight += ticket != 0 ? 1 : 0;
     }
     s.queue_depth = static_cast<std::uint32_t>(t.arrived.size());
-    s.completed = t.stats.results_received;
+    s.completed = st.results_received;
     s.health = t.health;
-    s.retransmits = t.stats.retransmits;
-    s.corrupt_retries = t.stats.corrupt_retries;
-    s.send_retries = t.stats.send_retries;
+    s.retransmits = st.retransmits;
+    s.corrupt_retries = st.corrupt_retries;
+    s.send_retries = st.send_retries;
     return s;
 }
 
@@ -476,9 +569,10 @@ runtime::sent_message runtime::send_on_slot(target_state& t, std::uint32_t slot,
                      "only user and batch messages go through send_message");
     const std::uint64_t ticket = post_on_slot(t, node, slot, msg, len, kind);
     AURORA_TRACE_COUNTER("offload", "sent_bytes", len);
-    ++t.stats.messages_sent;
+    t.met.messages_sent->add(1);
+    t.met.msg_bytes->record(len);
     if (kind == protocol::msg_kind::batch) {
-        ++t.stats.batches_sent;
+        t.met.batches_sent->add(1);
     }
     AURORA_TRACE("offload", "send msg " << len << " B -> node " << node
                                         << " slot " << slot << " ticket "
@@ -558,7 +652,8 @@ bool runtime::try_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,
     if (auto it = t.arrived.find(ticket); it != t.arrived.end()) {
         out = std::move(it->second);
         t.arrived.erase(it);
-        ++t.stats.results_received;
+        t.met.results_received->add(1);
+        t.met.queue_depth->add(-1);
         AURORA_TRACE_COUNTER("offload", "result_bytes", out.size());
         return true;
     }
@@ -567,7 +662,8 @@ bool runtime::try_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,
         AURORA_CHECK(it != t.arrived.end());
         out = std::move(it->second);
         t.arrived.erase(it);
-        ++t.stats.results_received;
+        t.met.results_received->add(1);
+        t.met.queue_depth->add(-1);
         AURORA_TRACE("offload", "result " << out.size() << " B <- node " << node
                                           << " ticket " << ticket);
         AURORA_TRACE_COUNTER("offload", "result_bytes", out.size());
@@ -647,7 +743,7 @@ void runtime::put_raw(node_t node, const void* src, std::uint64_t dst_addr,
     }
     target_state& t = state_for(node);
     ensure_sendable(t, node);
-    t.stats.bytes_put += len;
+    t.met.bytes_put->add(len);
     AURORA_TRACE_SPAN("offload", "put");
     AURORA_TRACE_COUNTER("offload", "put_bytes", len);
     if (t.be->has_dma_data_path() && len > 0) {
@@ -667,7 +763,7 @@ void runtime::get_raw(node_t node, std::uint64_t src_addr, void* dst,
     }
     target_state& t = state_for(node);
     ensure_sendable(t, node);
-    t.stats.bytes_got += len;
+    t.met.bytes_got->add(len);
     AURORA_TRACE_SPAN("offload", "get");
     AURORA_TRACE_COUNTER("offload", "get_bytes", len);
     if (t.be->has_dma_data_path() && len > 0) {
@@ -742,7 +838,7 @@ void runtime::pipelined_transfer(node_t node, void* host_buf,
         p.host_off = off;
         p.chunk_len = clen;
         p.active = true;
-        ++t.stats.data_chunks;
+        t.met.data_chunks->add(1);
         off += clen;
         w = (w + 1) % window;
     }

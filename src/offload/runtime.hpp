@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ham/handler_registry.hpp"
+#include "metrics/metrics.hpp"
 #include "offload/backend.hpp"
 #include "offload/future.hpp"
 #include "offload/options.hpp"
@@ -75,6 +76,9 @@ public:
         std::uint64_t corrupt_retries = 0; ///< checksum NACKs answered by resend
         std::uint64_t send_retries = 0;    ///< transient send-post retries
     };
+    /// Per-runtime counts for `node`, read back from the aurora::metrics
+    /// registry (the single source of truth every exposition surface shares)
+    /// minus the baselines captured when this runtime attached the target.
     [[nodiscard]] const target_statistics& statistics(node_t node);
 
     /// Instantaneous per-target queue state (scheduling-layer introspection).
@@ -149,9 +153,34 @@ private:
         sim::time_ns sent_at = 0;
     };
 
+    /// Registry-backed telemetry for one target. The registry owns the
+    /// instruments (process-wide cumulative series, stable addresses); the
+    /// runtime caches raw pointers at attach time so every hot-path update is
+    /// a single relaxed atomic. Counter baselines make statistics()
+    /// per-runtime: concurrent runtimes sharing a (backend, node) label pair
+    /// aggregate into the same series.
+    struct target_instruments {
+        aurora::metrics::counter* messages_sent = nullptr;
+        aurora::metrics::counter* batches_sent = nullptr;
+        aurora::metrics::counter* results_received = nullptr;
+        aurora::metrics::counter* bytes_put = nullptr;
+        aurora::metrics::counter* bytes_got = nullptr;
+        aurora::metrics::counter* data_chunks = nullptr;
+        aurora::metrics::counter* retransmits = nullptr;
+        aurora::metrics::counter* corrupt_retries = nullptr;
+        aurora::metrics::counter* send_retries = nullptr;
+        aurora::metrics::histogram* roundtrip_ns = nullptr;
+        aurora::metrics::histogram* msg_bytes = nullptr;
+        aurora::metrics::gauge* health = nullptr;
+        aurora::metrics::gauge* inflight = nullptr;
+        aurora::metrics::gauge* queue_depth = nullptr;
+        target_statistics base; ///< counter values when this runtime attached
+    };
+
     struct target_state {
         std::unique_ptr<backend> be; ///< null when the attach failed
         std::vector<std::uint64_t> slot_ticket; ///< 0 = slot free
+        std::vector<sim::time_ns> slot_sent_ns; ///< post time, for round-trips
         std::map<std::uint64_t, std::vector<std::byte>> arrived;
         std::map<std::uint32_t, pending_send> pending; ///< by slot
         std::uint64_t next_ticket = 1;
@@ -159,7 +188,8 @@ private:
         target_health health = target_health::healthy;
         std::string fail_reason;
         std::uint32_t ok_streak = 0; ///< clean results since the last fault
-        target_statistics stats;
+        target_statistics stats; ///< refreshed from the registry on read
+        target_instruments met;
     };
 
     target_state& state_for(node_t node);
@@ -194,6 +224,10 @@ private:
     void ensure_sendable(target_state& t, node_t node);
     void note_transient_fault(target_state& t);
     void shutdown();
+    /// Resolve `t`'s registry instruments and capture counter baselines.
+    void bind_instruments(target_state& t, node_t node);
+    /// Transition `t.health` and mirror it into the health gauge.
+    void set_health(target_state& t, target_health h);
 
     static thread_local runtime* current_;
 

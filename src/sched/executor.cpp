@@ -37,6 +37,35 @@ executor::executor(executor_config cfg)
     }
     targets_.resize(num_targets_);
     stats_.per_target.resize(num_targets_);
+
+    namespace m = aurora::metrics;
+    auto& reg = m::registry::global();
+    met_.steals = &reg.counter_for("aurora_sched_steals_total", "",
+                                   "work-stealing transactions");
+    met_.failovers = &reg.counter_for("aurora_sched_failovers_total", "",
+                                      "target-failure evacuations/reroutes");
+    met_.backpressure_stalls =
+        &reg.counter_for("aurora_sched_backpressure_stalls_total", "",
+                         "submits that had to block draining completions");
+    met_.host_tasks = &reg.counter_for("aurora_sched_host_tasks_total", "",
+                                       "tasks executed inline on the host");
+    met_.tasks_completed =
+        &reg.counter_for("aurora_sched_tasks_completed_total", "",
+                         "tasks retired from target flights");
+    met_.tasks_failed_over =
+        &reg.counter_for("aurora_sched_tasks_failed_over_total", "",
+                         "tasks re-routed away from failed targets");
+    met_.queue_depth.resize(num_targets_);
+    met_.inflight.resize(num_targets_);
+    for (std::size_t t = 0; t < num_targets_; ++t) {
+        const std::string lbl =
+            m::labels({{"node", std::to_string(node_of(t))}});
+        met_.queue_depth[t] = &reg.gauge_for(
+            "aurora_sched_queue_depth", lbl, "ready tasks queued per target");
+        met_.inflight[t] = &reg.gauge_for(
+            "aurora_sched_inflight", lbl,
+            "flights in the bounded in-flight window per target");
+    }
 }
 
 task_id executor::submit_serialized(std::vector<std::byte> msg,
@@ -92,6 +121,7 @@ task_id executor::submit_serialized(std::vector<std::byte> msg,
         AURORA_TRACE_SPAN("sched", "backpressure_stall");
         AURORA_TRACE_COUNTER("sched", "backpressure_stalls", 1);
         ++stats_.backpressure_stalls;
+        met_.backpressure_stalls->add(1);
         while (tasks_.size() - finished_count_ > cfg_.max_queued) {
             drain_once();
         }
@@ -170,6 +200,7 @@ void executor::release_ready(task_id id) {
         }
         rec.home = node_of(h);
         ++stats_.tasks_failed_over;
+        met_.tasks_failed_over->add(1);
     }
     rec.state = task_state::ready;
     if (rec.home == 0) {
@@ -219,6 +250,14 @@ bool executor::drain_once() {
     for (std::size_t t = 0; t < num_targets_; ++t) {
         progress = dispatch_target(t) || progress;
     }
+
+    // Mirror the live queue state into the gauges once per tick.
+    for (std::size_t t = 0; t < num_targets_; ++t) {
+        met_.queue_depth[t]->set(
+            static_cast<std::int64_t>(targets_[t].ready.size()));
+        met_.inflight[t]->set(
+            static_cast<std::int64_t>(targets_[t].inflight.size()));
+    }
     return progress;
 }
 
@@ -228,6 +267,7 @@ void executor::run_host_task(task_id id) {
     rec.state = task_state::inflight;
     rec.record.start_seq = event_seq_++;
     ++stats_.host_tasks;
+    met_.host_tasks->add(1);
 
     aurora::sim::advance(rt_.costs().ham_msg_dispatch_ns);
     std::byte result[sizeof(ham::offload::protocol::result_header)];
@@ -293,6 +333,7 @@ void executor::retire_flight(std::size_t t, flight& f) {
         }
     }
     AURORA_TRACE_COUNTER("sched", "tasks_completed", f.tasks.size());
+    met_.tasks_completed->add(f.tasks.size());
     target_load& load = stats_.per_target[t];
     for (const task_id id : f.tasks) {
         if (ok) {
@@ -438,6 +479,7 @@ bool executor::steal_into(std::size_t thief) {
         targets_[thief].ready.push_back(*it);
     }
     ++stats_.steals;
+    met_.steals->add(1);
     AURORA_TRACE_INSTANT("sched", "steal");
     AURORA_TRACE_COUNTER("sched", "stolen_tasks", taken.size());
     return true;
@@ -465,6 +507,7 @@ void executor::evacuate(std::size_t dead) {
     }
     AURORA_TRACE_INSTANT("sched", "evacuate");
     ++stats_.failovers;
+    met_.failovers->add(1);
     std::deque<task_id> orphans;
     orphans.swap(tq.ready);
     std::uint64_t moved = 0;
@@ -494,6 +537,7 @@ void executor::evacuate(std::size_t dead) {
         ++moved;
     }
     stats_.tasks_failed_over += moved;
+    met_.tasks_failed_over->add(moved);
     AURORA_TRACE_COUNTER("sched", "tasks_failed_over", moved);
 }
 
@@ -507,6 +551,7 @@ bool executor::reroute_flight(std::size_t dead, flight& f) {
     }
     AURORA_TRACE_INSTANT("sched", "failover");
     ++stats_.failovers;
+    met_.failovers->add(1);
     std::uint64_t moved = 0;
     for (const task_id id : f.tasks) {
         detail::task_rec& rec = tasks_[id];
@@ -528,6 +573,7 @@ bool executor::reroute_flight(std::size_t dead, flight& f) {
         ++moved;
     }
     stats_.tasks_failed_over += moved;
+    met_.tasks_failed_over->add(moved);
     AURORA_TRACE_COUNTER("sched", "tasks_failed_over", moved);
     return true;
 }

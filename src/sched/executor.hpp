@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "metrics/metrics.hpp"
 #include "offload/future.hpp"
 #include "sched/policy.hpp"
 #include "sched/task.hpp"
@@ -152,6 +153,21 @@ private:
 
     bool failed_ = false;
     std::string first_error_;
+
+    /// Registry-backed telemetry (always on): scheduler counters plus live
+    /// per-target queue-depth / in-flight-window gauges, refreshed every
+    /// drain tick. Instruments resolve once at construction.
+    struct sched_instruments {
+        aurora::metrics::counter* steals = nullptr;
+        aurora::metrics::counter* failovers = nullptr;
+        aurora::metrics::counter* backpressure_stalls = nullptr;
+        aurora::metrics::counter* host_tasks = nullptr;
+        aurora::metrics::counter* tasks_completed = nullptr;
+        aurora::metrics::counter* tasks_failed_over = nullptr;
+        std::vector<aurora::metrics::gauge*> queue_depth; ///< index = target
+        std::vector<aurora::metrics::gauge*> inflight;    ///< index = target
+    };
+    sched_instruments met_;
 
     statistics stats_;
     std::vector<completion_record> trace_;

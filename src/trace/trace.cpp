@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "metrics/metrics.hpp"
 #include "sim/engine.hpp"
 #include "util/env.hpp"
 
@@ -107,6 +108,13 @@ void emit(const event& e) {
         return;
     }
     collector::instance().lane_for_this_thread().buf.push(e);
+}
+
+void count(const char* cat, const char* name, std::uint64_t delta) {
+    metrics::trace_bridge_counter(cat, name).add(delta);
+    if (enabled()) {
+        emit({cat, name, clock_ns(), 0, delta, event_type::counter});
+    }
 }
 
 void emit_span(const char* cat, const char* name, std::uint64_t ts_ns,

@@ -163,11 +163,11 @@ void emit(const event& e);
 void emit_span(const char* cat, const char* name, std::uint64_t ts_ns,
                std::uint64_t dur_ns);
 
-inline void count(const char* cat, const char* name, std::uint64_t delta = 1) {
-    if (enabled()) {
-        emit({cat, name, clock_ns(), 0, delta, event_type::counter});
-    }
-}
+/// Record a counter delta. Always feeds the aurora::metrics registry
+/// (aurora_trace_counter_total{cat=,name=}); additionally records a trace
+/// event when tracing is enabled. `cat`/`name` must be string literals —
+/// the metrics bridge keys its lock-free cache on their pointer identity.
+void count(const char* cat, const char* name, std::uint64_t delta = 1);
 
 inline void instant(const char* cat, const char* name) {
     if (enabled()) {

@@ -1,0 +1,143 @@
+// aurora::metrics::histogram — bucket geometry, percentile math, merge.
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace aurora::metrics {
+namespace {
+
+TEST(HistogramBuckets, IndexMatchesBitWidth) {
+    EXPECT_EQ(histogram::bucket_index(0), 0u);
+    EXPECT_EQ(histogram::bucket_index(1), 1u);
+    EXPECT_EQ(histogram::bucket_index(2), 2u);
+    EXPECT_EQ(histogram::bucket_index(3), 2u);
+    EXPECT_EQ(histogram::bucket_index(4), 3u);
+    EXPECT_EQ(histogram::bucket_index(1023), 10u);
+    EXPECT_EQ(histogram::bucket_index(1024), 11u);
+    EXPECT_EQ(histogram::bucket_index(~std::uint64_t{0}), 64u);
+}
+
+TEST(HistogramBuckets, BoundsArePowerOfTwoRanges) {
+    // Bucket i covers exactly [2^(i-1), 2^i - 1]; bucket 0 holds value 0.
+    EXPECT_EQ(histogram::bucket_lower(0), 0u);
+    EXPECT_EQ(histogram::bucket_upper(0), 0u);
+    for (std::size_t i = 1; i < histogram::num_buckets; ++i) {
+        EXPECT_EQ(histogram::bucket_index(histogram::bucket_lower(i)), i);
+        EXPECT_EQ(histogram::bucket_index(histogram::bucket_upper(i)), i);
+        if (i > 1) {
+            EXPECT_EQ(histogram::bucket_lower(i),
+                      histogram::bucket_upper(i - 1) + 1);
+        }
+    }
+    EXPECT_EQ(histogram::bucket_upper(64), ~std::uint64_t{0});
+}
+
+TEST(HistogramPercentile, EmptyIsZero) {
+    histogram h;
+    const auto s = h.snap();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.percentile(50.0), 0.0);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.max, 0u);
+}
+
+TEST(HistogramPercentile, SingleValueBucketsAreExact) {
+    // Values 0 and 1 live in width-zero buckets: every percentile is exact.
+    histogram h;
+    for (int i = 0; i < 10; ++i) h.record(0);
+    for (int i = 0; i < 10; ++i) h.record(1);
+    const auto s = h.snap();
+    EXPECT_EQ(s.count, 20u);
+    EXPECT_DOUBLE_EQ(s.percentile(25.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(75.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 1.0);
+    EXPECT_EQ(s.max, 1u);
+}
+
+TEST(HistogramPercentile, InterpolatesInsideBucket) {
+    // 90 entries in bucket [1024, 2047], 10 in [2048, 4095]. Documented
+    // formula: rank r = clamp(ceil(q/100 * count), 1, count); inside a
+    // bucket, lo + (hi - lo) * (r - cum_before) / n.
+    histogram h;
+    for (int i = 0; i < 90; ++i) h.record(1500);
+    for (int i = 0; i < 10; ++i) h.record(3000);
+    const auto s = h.snap();
+    // p50: rank 50 in the first bucket.
+    EXPECT_DOUBLE_EQ(s.p50(), 1024.0 + (2047.0 - 1024.0) * 50.0 / 90.0);
+    // p99: rank 99 -> 9th of 10 entries in the second bucket.
+    EXPECT_DOUBLE_EQ(s.p99(), 2048.0 + (4095.0 - 2048.0) * 9.0 / 10.0);
+    // p100 = upper bound of the highest occupied bucket; max is exact.
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 4095.0);
+    EXPECT_EQ(s.max, 3000u);
+}
+
+TEST(HistogramPercentile, LowQClampsToRankOne) {
+    histogram h;
+    h.record(100);
+    h.record(200);
+    // q=0 still resolves to the first recorded rank, not to zero.
+    EXPECT_GE(h.snap().percentile(0.0), 64.0); // bucket [64, 127]
+}
+
+TEST(HistogramPercentile, SumAndMeanTrackExactly) {
+    histogram h;
+    std::uint64_t expect_sum = 0;
+    for (std::uint64_t v = 0; v < 1000; ++v) {
+        h.record(v * 7);
+        expect_sum += v * 7;
+    }
+    const auto s = h.snap();
+    EXPECT_EQ(s.count, 1000u);
+    EXPECT_EQ(s.sum, expect_sum);
+    EXPECT_DOUBLE_EQ(s.mean(), double(expect_sum) / 1000.0);
+    EXPECT_EQ(s.max, 999u * 7u);
+}
+
+TEST(HistogramMerge, ElementWiseAccumulate) {
+    histogram a, b;
+    for (int i = 0; i < 50; ++i) a.record(10);
+    for (int i = 0; i < 50; ++i) b.record(100000);
+    auto sa = a.snap();
+    const auto sb = b.snap();
+    sa.merge(sb);
+    EXPECT_EQ(sa.count, 100u);
+    EXPECT_EQ(sa.sum, 50u * 10u + 50u * 100000u);
+    EXPECT_EQ(sa.max, 100000u);
+    EXPECT_EQ(sa.buckets[histogram::bucket_index(10)], 50u);
+    EXPECT_EQ(sa.buckets[histogram::bucket_index(100000)], 50u);
+    // The merged distribution's median sits between the two modes.
+    EXPECT_GE(sa.p50(), 8.0);
+    EXPECT_LE(sa.p50(), 15.0);
+    EXPECT_GT(sa.p99(), 65536.0);
+}
+
+TEST(HistogramConcurrency, ParallelRecordsLoseNothing) {
+    // 8 threads x 100k records: count, sum and every bucket must be exact
+    // (relaxed atomics lose no increments). Run under TSan in CI.
+    histogram h;
+    constexpr int threads = 8;
+    constexpr std::uint64_t per_thread = 100'000;
+    std::vector<std::thread> ts;
+    ts.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        ts.emplace_back([&h, t] {
+            for (std::uint64_t i = 0; i < per_thread; ++i) {
+                h.record(std::uint64_t(t) * 1000 + (i & 511));
+            }
+        });
+    }
+    for (auto& t : ts) t.join();
+    const auto s = h.snap();
+    EXPECT_EQ(s.count, threads * per_thread);
+    std::uint64_t bucket_total = 0;
+    for (const auto b : s.buckets) bucket_total += b;
+    EXPECT_EQ(bucket_total, threads * per_thread);
+    EXPECT_EQ(s.max, 7u * 1000u + 511u);
+}
+
+} // namespace
+} // namespace aurora::metrics

@@ -1,0 +1,143 @@
+// Embedded HTTP listener: real-socket scrape of /metrics, error paths, and
+// the periodic JSON delta export.
+#include "metrics/http_listener.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "metrics/metrics.hpp"
+
+namespace aurora::metrics {
+namespace {
+
+/// Blocking loopback HTTP GET; returns the full response (headers + body).
+std::string http_get(int port, const std::string& path) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return "";
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    const std::string req =
+        "GET " + path + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+    (void)::send(fd, req.data(), req.size(), 0);
+    std::string resp;
+    char buf[4096];
+    ssize_t n = 0;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+        resp.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return resp;
+}
+
+TEST(HttpListener, ServesMetricsOnEphemeralPort) {
+    registry reg;
+    reg.counter_for("http_test_total", "node=\"1\"", "scrape fixture").add(12);
+
+    http_listener lis;
+    http_listener::options opt;
+    opt.port = 0; // kernel-assigned
+    opt.reg = &reg;
+    ASSERT_TRUE(lis.start(opt));
+    ASSERT_TRUE(lis.running());
+    ASSERT_GT(lis.port(), 0);
+
+    const std::string resp = http_get(lis.port(), "/metrics");
+    EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(resp.find("text/plain; version=0.0.4"), std::string::npos);
+    EXPECT_NE(resp.find("# TYPE http_test_total counter"), std::string::npos);
+    EXPECT_NE(resp.find("http_test_total{node=\"1\"} 12"), std::string::npos);
+
+    // A scrape sees updates made after start (live registry, not a copy).
+    reg.counter_for("http_test_total", "node=\"1\"").add(1);
+    EXPECT_NE(http_get(lis.port(), "/metrics")
+                  .find("http_test_total{node=\"1\"} 13"),
+              std::string::npos);
+
+    EXPECT_NE(http_get(lis.port(), "/healthz").find("HTTP/1.1 200"),
+              std::string::npos);
+    EXPECT_NE(http_get(lis.port(), "/nope").find("HTTP/1.1 404"),
+              std::string::npos);
+
+    lis.stop();
+    EXPECT_FALSE(lis.running());
+}
+
+TEST(HttpListener, SecondListenerOnSamePortFails) {
+    registry reg;
+    http_listener a;
+    ASSERT_TRUE(a.start({.port = 0, .json_path = "", .json_period_ms = 0,
+                         .reg = &reg}));
+    http_listener b;
+    EXPECT_FALSE(b.start({.port = a.port(), .json_path = "",
+                          .json_period_ms = 0, .reg = &reg}));
+    a.stop();
+}
+
+TEST(HttpListener, PeriodicJsonDeltaExport) {
+    registry reg;
+    reg.counter_for("periodic_total").add(5);
+
+    const std::string path =
+        testing::TempDir() + "aurora_metrics_periodic.jsonl";
+    std::remove(path.c_str());
+
+    http_listener lis;
+    http_listener::options opt;
+    opt.port = 0;
+    opt.json_path = path;
+    opt.json_period_ms = 50;
+    opt.reg = &reg;
+    ASSERT_TRUE(lis.start(opt));
+
+    // Produce across a few periods, then give the exporter a deadline to
+    // have appended at least two delta lines.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    std::string content;
+    while (std::chrono::steady_clock::now() < deadline) {
+        reg.counter_for("periodic_total").add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        std::ifstream in(path);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        content = ss.str();
+        if (std::count(content.begin(), content.end(), '\n') >= 2) {
+            break;
+        }
+    }
+    lis.stop();
+    ASSERT_GE(std::count(content.begin(), content.end(), '\n'), 2)
+        << "periodic export produced: " << content;
+    // Every line is a bench-JSON delta object for the same registry.
+    std::istringstream lines(content);
+    std::string line;
+    while (std::getline(lines, line)) {
+        EXPECT_EQ(line.rfind("{\"bench\":\"aurora_metrics_delta\"", 0), 0)
+            << line;
+        EXPECT_NE(line.find("periodic_total"), std::string::npos) << line;
+    }
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace aurora::metrics

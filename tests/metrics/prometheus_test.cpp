@@ -1,0 +1,178 @@
+// Exposition tests: a golden-file check of the Prometheus text format plus
+// structural invariants (cumulative buckets, +Inf == _count), bench-JSON
+// flattening, and snapshot deltas.
+//
+// Regenerate the golden file after an intentional format change with
+//   METRICS_GOLDEN_REGEN=1 ./test_metrics --gtest_filter='PrometheusGolden.*'
+#include "metrics/prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "metrics/metrics.hpp"
+
+namespace aurora::metrics {
+namespace {
+
+/// A fixed registry covering every instrument kind, multiple label sets and
+/// the exposition edge cases (help-less family, unlabeled series, zero and
+/// high buckets).
+void fill_fixture(registry& reg) {
+    reg.counter_for("fix_messages_total", "backend=\"loopback\",node=\"1\"",
+                    "messages sent")
+        .add(42);
+    reg.counter_for("fix_messages_total", "backend=\"vedma\",node=\"2\"",
+                    "messages sent")
+        .add(7);
+    reg.gauge_for("fix_queue_depth", "node=\"1\"", "current queue length")
+        .set(-3);
+    reg.counter_for("fix_helpless_total").add(1);
+
+    histogram& h =
+        reg.histogram_for("fix_latency_ns", "node=\"1\"", "round trips");
+    h.record(0);
+    h.record(1);
+    for (int i = 0; i < 10; ++i) h.record(1500);
+    h.record(1u << 20);
+}
+
+std::string golden_path() {
+    return std::string(METRICS_TEST_GOLDEN_DIR) + "/metrics.prom";
+}
+
+TEST(PrometheusGolden, MatchesGoldenFile) {
+    registry reg;
+    fill_fixture(reg);
+    const std::string text = prometheus_text(reg);
+
+    if (std::getenv("METRICS_GOLDEN_REGEN") != nullptr) {
+        std::ofstream out(golden_path(), std::ios::binary);
+        out << text;
+        GTEST_SKIP() << "regenerated " << golden_path();
+    }
+    std::ifstream in(golden_path(), std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing golden file " << golden_path();
+    std::stringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(text, want.str());
+}
+
+TEST(PrometheusText, StructuralInvariants) {
+    registry reg;
+    fill_fixture(reg);
+    std::istringstream is(prometheus_text(reg));
+
+    // Cumulative buckets must be monotonic and end at +Inf == _count;
+    // HELP/TYPE precede their samples.
+    std::string line;
+    long long prev_bucket = -1;
+    long long inf_value = -1;
+    long long count_value = -1;
+    bool saw_type_histogram = false;
+    while (std::getline(is, line)) {
+        if (line.rfind("# TYPE fix_latency_ns ", 0) == 0) {
+            EXPECT_EQ(line, "# TYPE fix_latency_ns histogram");
+            saw_type_histogram = true;
+        }
+        if (line.rfind("fix_latency_ns_bucket", 0) == 0) {
+            EXPECT_TRUE(saw_type_histogram) << "sample before its TYPE line";
+            const long long v = std::atoll(line.substr(line.rfind(' ')).c_str());
+            EXPECT_GE(v, prev_bucket) << line;
+            prev_bucket = v;
+            if (line.find("le=\"+Inf\"") != std::string::npos) {
+                inf_value = v;
+            }
+        }
+        if (line.rfind("fix_latency_ns_count", 0) == 0) {
+            count_value = std::atoll(line.substr(line.rfind(' ')).c_str());
+        }
+    }
+    EXPECT_EQ(inf_value, 13);
+    EXPECT_EQ(count_value, 13);
+}
+
+TEST(PrometheusText, BucketBoundsArePowerOfTwoUppers) {
+    registry reg;
+    reg.histogram_for("pow2_ns").record(1500); // bucket 11: [1024, 2047]
+    const std::string text = prometheus_text(reg);
+    // All lower buckets are emitted cumulatively, with 2^i - 1 bounds.
+    EXPECT_NE(text.find("pow2_ns_bucket{le=\"0\"} 0"), std::string::npos);
+    EXPECT_NE(text.find("pow2_ns_bucket{le=\"1023\"} 0"), std::string::npos);
+    EXPECT_NE(text.find("pow2_ns_bucket{le=\"2047\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("pow2_ns_bucket{le=\"+Inf\"} 1"), std::string::npos);
+    // Nothing above the highest occupied bucket except +Inf.
+    EXPECT_EQ(text.find("le=\"4095\""), std::string::npos);
+}
+
+TEST(BenchJson, FlattensEveryKind) {
+    registry reg;
+    reg.counter_for("bj_total", "node=\"1\"").add(5);
+    reg.gauge_for("bj_level").set(-2);
+    histogram& h = reg.histogram_for("bj_ns");
+    for (int i = 0; i < 100; ++i) h.record(1000);
+
+    const std::string json = bench_json(reg.snapshot(), "unit_test");
+    EXPECT_NE(json.find("{\"bench\":\"unit_test\",\"metrics\":{"),
+              std::string::npos);
+    // Label quotes are escaped so the result stays valid JSON.
+    EXPECT_NE(json.find("\"bj_total{node=\\\"1\\\"}\":5"), std::string::npos);
+    EXPECT_NE(json.find("\"bj_level\":-2"), std::string::npos);
+    EXPECT_NE(json.find("\"bj_ns:count\":100"), std::string::npos);
+    EXPECT_NE(json.find("\"bj_ns:sum\":100000"), std::string::npos);
+    EXPECT_NE(json.find("\"bj_ns:max\":1000"), std::string::npos);
+    EXPECT_NE(json.find("\"bj_ns:p50\":"), std::string::npos);
+    EXPECT_NE(json.find("\"bj_ns:p999\":"), std::string::npos);
+}
+
+TEST(SnapshotDelta, CountersSubtractGaugesLevel) {
+    registry reg;
+    counter& c = reg.counter_for("d_total");
+    gauge& g = reg.gauge_for("d_level");
+    histogram& h = reg.histogram_for("d_ns");
+    c.add(10);
+    g.set(5);
+    h.record(100);
+    const auto prev = reg.snapshot();
+    c.add(3);
+    g.set(8);
+    h.record(100);
+    h.record(200);
+    const auto cur = reg.snapshot();
+
+    const auto delta = snapshot_delta(prev, cur);
+    ASSERT_EQ(delta.size(), 3u);
+    for (const auto& fam : delta) {
+        if (fam.name == "d_total") {
+            EXPECT_EQ(fam.series[0].value, 3);
+        } else if (fam.name == "d_level") {
+            EXPECT_EQ(fam.series[0].value, 8); // level, not rate
+        } else {
+            EXPECT_EQ(fam.series[0].hist.count, 2u);
+            EXPECT_EQ(fam.series[0].hist.sum, 300u);
+            EXPECT_EQ(fam.series[0].hist.max, 200u); // cumulative by design
+        }
+    }
+}
+
+TEST(SnapshotDelta, NewSeriesPassThrough) {
+    registry reg;
+    reg.counter_for("old_total").add(1);
+    const auto prev = reg.snapshot();
+    reg.counter_for("old_total").add(1);
+    reg.counter_for("new_total").add(9);
+    const auto delta = snapshot_delta(prev, reg.snapshot());
+    for (const auto& fam : delta) {
+        if (fam.name == "new_total") {
+            EXPECT_EQ(fam.series[0].value, 9);
+        } else {
+            EXPECT_EQ(fam.series[0].value, 1);
+        }
+    }
+}
+
+} // namespace
+} // namespace aurora::metrics

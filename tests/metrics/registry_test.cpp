@@ -1,0 +1,137 @@
+// aurora::metrics::registry — instrument identity, label handling, the
+// trace-counter bridge, and concurrent update integrity.
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace aurora::metrics {
+namespace {
+
+TEST(Labels, FormatsAndEscapes) {
+    EXPECT_EQ(labels({}), "");
+    EXPECT_EQ(labels({{"node", "1"}}), "node=\"1\"");
+    EXPECT_EQ(labels({{"backend", "vedma"}, {"node", "2"}}),
+              "backend=\"vedma\",node=\"2\"");
+    EXPECT_EQ(labels({{"k", "a\"b\\c\nd"}}), "k=\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Registry, FindOrCreateReturnsStableIdentity) {
+    registry reg;
+    counter& a = reg.counter_for("reg_test_total", "node=\"1\"");
+    counter& b = reg.counter_for("reg_test_total", "node=\"1\"");
+    EXPECT_EQ(&a, &b);
+    counter& other = reg.counter_for("reg_test_total", "node=\"2\"");
+    EXPECT_NE(&a, &other);
+    a.add(3);
+    other.add(5);
+    EXPECT_EQ(a.value(), 3u);
+    EXPECT_EQ(other.value(), 5u);
+}
+
+TEST(Registry, FindDoesNotCreate) {
+    registry reg;
+    EXPECT_EQ(reg.find_counter("absent_total"), nullptr);
+    EXPECT_EQ(reg.find_gauge("absent"), nullptr);
+    EXPECT_EQ(reg.find_histogram("absent_ns"), nullptr);
+    reg.histogram_for("present_ns", "node=\"1\"").record(7);
+    ASSERT_NE(reg.find_histogram("present_ns", "node=\"1\""), nullptr);
+    EXPECT_EQ(reg.find_histogram("present_ns", "node=\"2\""), nullptr);
+    EXPECT_EQ(reg.find_histogram("present_ns", "node=\"1\"")->snap().count, 1u);
+}
+
+TEST(Registry, FirstHelpWins) {
+    registry reg;
+    reg.counter_for("help_test_total", "", "the real help");
+    reg.counter_for("help_test_total", "x=\"1\"", "ignored");
+    const auto families = reg.snapshot();
+    ASSERT_EQ(families.size(), 1u);
+    EXPECT_EQ(families[0].help, "the real help");
+    EXPECT_EQ(families[0].series.size(), 2u);
+}
+
+TEST(Registry, SnapshotIsSortedAndTyped) {
+    registry reg;
+    reg.gauge_for("zz_level").set(-4);
+    reg.counter_for("aa_total", "b=\"2\"").add(1);
+    reg.counter_for("aa_total", "a=\"1\"").add(2);
+    reg.histogram_for("mm_ns").record(1000);
+
+    const auto families = reg.snapshot();
+    ASSERT_EQ(families.size(), 3u);
+    EXPECT_EQ(families[0].name, "aa_total");
+    EXPECT_EQ(families[0].kind, instrument_kind::counter);
+    ASSERT_EQ(families[0].series.size(), 2u);
+    // Series are sorted by label string.
+    EXPECT_EQ(families[0].series[0].labels, "a=\"1\"");
+    EXPECT_EQ(families[0].series[0].value, 2);
+    EXPECT_EQ(families[1].name, "mm_ns");
+    EXPECT_EQ(families[1].kind, instrument_kind::histogram);
+    EXPECT_EQ(families[1].series[0].hist.count, 1u);
+    EXPECT_EQ(families[2].name, "zz_level");
+    EXPECT_EQ(families[2].series[0].value, -4);
+}
+
+TEST(Registry, ConcurrentFindOrCreateAndUpdate) {
+    // 8 threads hammer the same 4 series through find-or-create; totals
+    // must be exact and every thread must resolve identical pointers.
+    registry reg;
+    constexpr int threads = 8;
+    constexpr int iters = 100'000;
+    std::vector<std::thread> ts;
+    std::vector<counter*> seen(threads * 4, nullptr);
+    for (int t = 0; t < threads; ++t) {
+        ts.emplace_back([&reg, &seen, t] {
+            const char* lbl[4] = {"n=\"0\"", "n=\"1\"", "n=\"2\"", "n=\"3\""};
+            for (int s = 0; s < 4; ++s) {
+                counter& c = reg.counter_for("stress_total", lbl[s]);
+                seen[std::size_t(t * 4 + s)] = &c;
+                for (int i = 0; i < iters; ++i) {
+                    c.add(1);
+                }
+            }
+        });
+    }
+    for (auto& t : ts) t.join();
+    std::set<counter*> unique(seen.begin(), seen.end());
+    EXPECT_EQ(unique.size(), 4u);
+    for (int s = 0; s < 4; ++s) {
+        const counter* c = reg.find_counter(
+            "stress_total", std::string("n=\"") + char('0' + s) + '"');
+        ASSERT_NE(c, nullptr);
+        EXPECT_EQ(c->value(), std::uint64_t(threads) * iters);
+    }
+}
+
+TEST(TraceBridge, CounterSitesFeedTheRegistry) {
+    // AURORA_TRACE_COUNTER sites always feed aurora_trace_counter_total,
+    // whether or not tracing is enabled. Deltas (not absolutes): the global
+    // registry accumulates across tests in this binary.
+    counter& c = trace_bridge_counter("bridge_test", "events");
+    const std::uint64_t before = c.value();
+    trace::count("bridge_test", "events", 3);
+    trace::count("bridge_test", "events");
+    EXPECT_EQ(c.value(), before + 4);
+
+    const counter* found = registry::global().find_counter(
+        "aurora_trace_counter_total",
+        "cat=\"bridge_test\",name=\"events\"");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found, &c);
+}
+
+TEST(TraceBridge, DistinctSitesGetDistinctSeries) {
+    counter& a = trace_bridge_counter("bridge_test", "a");
+    counter& b = trace_bridge_counter("bridge_test", "b");
+    EXPECT_NE(&a, &b);
+    // Pointer-identity cache: the same literals resolve to the same counter.
+    EXPECT_EQ(&trace_bridge_counter("bridge_test", "a"), &a);
+}
+
+} // namespace
+} // namespace aurora::metrics

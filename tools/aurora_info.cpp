@@ -4,6 +4,10 @@
 //   build/tools/aurora_info --check          # quick end-to-end self-check
 //   build/tools/aurora_info --trace-summary  # traced offload mix + aggregated
 //                                            # per-phase latency summary
+//   build/tools/aurora_info --metrics        # run the self-check workload and
+//                                            # dump the metrics registry as
+//                                            # Prometheus text (exit != 0 when
+//                                            # any target ended up failed)
 //
 // Useful when recalibrating: every constant of src/sim/cost_model.hpp is
 // printed with its derived secondary quantities (sustained rates, round
@@ -13,8 +17,11 @@
 // honouring HAM_AURORA_TRACE_FILE for the full Chrome JSON).
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <vector>
 
+#include "metrics/metrics.hpp"
+#include "metrics/prometheus.hpp"
 #include "offload/offload.hpp"
 #include "sim/platform.hpp"
 #include "trace/chrome_export.hpp"
@@ -68,7 +75,7 @@ void dump_cost_model() {
     std::printf("%s", t.str().c_str());
 }
 
-int self_check() {
+int self_check(bool quiet = false) {
     int failures = 0;
     for (const auto kind :
          {ham::offload::backend_kind::loopback, ham::offload::backend_kind::tcp,
@@ -85,21 +92,44 @@ int self_check() {
             us = double(sim::now() - t0) / 1000.0;
             rs = ham::offload::runtime::current()->runtime_stats(1);
         });
-        const char* name = kind == ham::offload::backend_kind::loopback ? "loopback"
-                           : kind == ham::offload::backend_kind::tcp    ? "tcp"
-                           : kind == ham::offload::backend_kind::veo    ? "veo"
-                                                                        : "vedma";
-        std::printf("  %-9s offload round trip: %8.2f us  %s   "
-                    "[health %s, slots %u, in-flight %u, queued %u, "
-                    "completed %llu, retransmits %llu]\n",
-                    name, us, rc == 0 ? "OK" : "FAILED",
-                    ham::offload::to_string(rs.health), rs.slots_total,
-                    rs.in_flight, rs.queue_depth,
-                    static_cast<unsigned long long>(rs.completed),
-                    static_cast<unsigned long long>(rs.retransmits));
+        if (!quiet) {
+            std::printf("  %-9s offload round trip: %8.2f us  %s   "
+                        "[health %s, slots %u, in-flight %u, queued %u, "
+                        "completed %llu, retransmits %llu]\n",
+                        ham::offload::to_string(kind), us,
+                        rc == 0 ? "OK" : "FAILED",
+                        ham::offload::to_string(rs.health), rs.slots_total,
+                        rs.in_flight, rs.queue_depth,
+                        static_cast<unsigned long long>(rs.completed),
+                        static_cast<unsigned long long>(rs.retransmits));
+        }
         failures += rc == 0 ? 0 : 1;
     }
     return failures;
+}
+
+/// --metrics: exercise every backend once, then expose the registry the way
+/// a Prometheus scrape would see it. Exit code reflects both the workload
+/// result and the final target health gauges, so CI can gate on it.
+int metrics_dump() {
+    const int failures = self_check(/*quiet=*/true);
+    const auto families = aurora::metrics::registry::global().snapshot();
+    aurora::metrics::dump_prometheus(families, std::cout);
+    int failed_targets = 0;
+    for (const auto& fam : families) {
+        if (fam.name != "aurora_target_health") {
+            continue;
+        }
+        for (const auto& s : fam.series) {
+            if (s.value ==
+                static_cast<std::int64_t>(ham::offload::target_health::failed)) {
+                std::fprintf(stderr, "aurora_info: target {%s} is failed\n",
+                             s.labels.c_str());
+                ++failed_targets;
+            }
+        }
+    }
+    return failures + failed_targets;
 }
 
 double add_one(double x) { return x + 1.0; }
@@ -152,6 +182,9 @@ int trace_summary() {
 int main(int argc, char** argv) {
     if (argc > 1 && std::strcmp(argv[1], "--trace-summary") == 0) {
         return trace_summary();
+    }
+    if (argc > 1 && std::strcmp(argv[1], "--metrics") == 0) {
+        return metrics_dump();
     }
     sim::platform plat(sim::platform_config::a300_8());
     std::printf("%s\n", plat.description().c_str());
