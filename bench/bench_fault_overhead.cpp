@@ -11,6 +11,12 @@
 // Self-checking: exits non-zero when the bound is violated, and is registered
 // as a ctest so CI enforces it. With HAM_AURORA_BENCH_JSON=1 it reports the
 // measured costs machine-readably instead of the human table.
+//
+// The JSON additionally carries the aurora::heal MTTR series: per backend,
+// the *virtual* nanoseconds from a mid-run target kill to the first
+// post-recovery result (read back from the aurora_heal_mttr_ns histogram the
+// runtime records). Virtual time is deterministic, so bench/baselines/
+// heal_mttr.json gates these numbers tightly in CI.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -18,6 +24,7 @@
 
 #include "bench/support/bench_common.hpp"
 #include "fault/fault.hpp"
+#include "metrics/metrics.hpp"
 #include "offload/offload.hpp"
 
 namespace {
@@ -53,6 +60,46 @@ double time_per_iter_s(int iters, int tries, Fn&& fn) {
 }
 
 volatile std::uint64_t g_sink = 0;
+
+/// Virtual-time MTTR for one backend: kill the target while it holds its 8th
+/// message, let recovery (respawn + replay) run, and read the outage length
+/// back from the histogram the runtime records. Deterministic — identical on
+/// every machine.
+struct mttr_sample {
+    double ns = 0.0;
+    std::uint64_t recoveries = 0;
+};
+
+mttr_sample measure_mttr(off::backend_kind kind, const char* name) {
+    namespace m = aurora::metrics;
+    auto& hist = m::registry::global().histogram_for(
+        "aurora_heal_mttr_ns", m::labels({{"backend", name}, {"node", "1"}}));
+    const auto before = hist.snap();
+
+    fault::injector& inj = fault::injector::instance();
+    inj.reset();
+    inj.kill_after_messages(1, 8);
+    off::runtime_options opt;
+    opt.backend = kind;
+    opt.reply_timeout_ns = 100'000;
+    opt.max_retries = 2;
+    opt.recovery.enabled = true;
+    sim::platform plat(sim::platform_config::test_machine());
+    off::run(plat, opt, [] {
+        for (int i = 0; i < 32; ++i) {
+            off::sync(1, ham::f2f<&empty_kernel>());
+        }
+    });
+    inj.reset();
+
+    const auto after = hist.snap();
+    mttr_sample r;
+    r.recoveries = after.count - before.count;
+    if (r.recoveries > 0) {
+        r.ns = double(after.sum - before.sum) / double(r.recoveries);
+    }
+    return r;
+}
 
 } // namespace
 
@@ -101,11 +148,26 @@ int main() {
     const double overhead_pct = overhead_per_offload_ns / (offload_s * 1e9) * 100.0;
     const bool ok = overhead_pct < 1.0;
 
+    const mttr_sample mttr_loopback =
+        measure_mttr(off::backend_kind::loopback, "loopback");
+    const mttr_sample mttr_tcp = measure_mttr(off::backend_kind::tcp, "tcp");
+    const mttr_sample mttr_veo = measure_mttr(off::backend_kind::veo, "veo");
+    const mttr_sample mttr_vedma =
+        measure_mttr(off::backend_kind::vedma, "vedma");
+    const std::uint64_t total_recoveries =
+        mttr_loopback.recoveries + mttr_tcp.recoveries + mttr_veo.recoveries +
+        mttr_vedma.recoveries;
+
     if (bench::json_output()) {
         bench::json_result j("fault_overhead");
         j.add("disabled_site_ns", per_site_ns);
         j.add("loopback_offload_real_ns", offload_s * 1e9);
         j.add("overhead_pct", overhead_pct);
+        j.add("mttr_loopback_ns", mttr_loopback.ns);
+        j.add("mttr_tcp_ns", mttr_tcp.ns);
+        j.add("mttr_veo_ns", mttr_veo.ns);
+        j.add("mttr_vedma_ns", mttr_vedma.ns);
+        j.add("mttr_recoveries", double(total_recoveries));
         j.emit();
     } else {
         std::printf("aurora::fault disabled-injection overhead\n");
@@ -115,8 +177,21 @@ int main() {
         std::printf("  loopback offload (real): %8.0f ns\n", offload_s * 1e9);
         std::printf("  overhead               : %8.4f %%  (bound: 1%%)\n",
                     overhead_pct);
+        std::printf("aurora::heal MTTR (virtual ns, kill -> first "
+                    "post-recovery result)\n");
+        std::printf("  loopback : %10.0f ns\n", mttr_loopback.ns);
+        std::printf("  tcp      : %10.0f ns\n", mttr_tcp.ns);
+        std::printf("  veo      : %10.0f ns\n", mttr_veo.ns);
+        std::printf("  vedma    : %10.0f ns\n", mttr_vedma.ns);
         std::printf("%s\n", ok ? "PASS" : "FAIL: disabled fault injection "
                                           "exceeds 1% of loopback offload cost");
+    }
+    // Four backends, one kill each: anything else means recovery silently
+    // stopped working and the MTTR series is meaningless.
+    if (total_recoveries != 4) {
+        std::fprintf(stderr, "FAIL: expected 4 recoveries, measured %llu\n",
+                     static_cast<unsigned long long>(total_recoveries));
+        return 1;
     }
     return ok ? 0 : 1;
 }

@@ -67,23 +67,22 @@ void injector::configure(const config& cfg) {
 }
 
 void injector::kill_at_time(int node, sim::time_ns when) {
-    nodes_[node].kill_at = when;
+    nodes_[node].kill_times.push_back(when);
     armed_.store(true, std::memory_order_relaxed);
 }
 
 void injector::kill_after_messages(int node, std::uint64_t n) {
-    nodes_[node].kill_after_msgs = n;
+    nodes_[node].kill_counts.push_back(n);
     armed_.store(true, std::memory_order_relaxed);
 }
 
 void injector::kill_now(int node) {
-    node_plan& p = nodes_[node];
-    p.kill_at = 0; // due immediately at the next check
+    nodes_[node].fenced = true; // due immediately at the next check
     armed_.store(true, std::memory_order_relaxed);
 }
 
 void injector::fail_next_attach(int node) {
-    nodes_[node].fail_attach = true;
+    ++nodes_[node].fail_attach;
     armed_.store(true, std::memory_order_relaxed);
 }
 
@@ -92,15 +91,26 @@ bool injector::killed(int node) const {
     return it != nodes_.end() && it->second.killed;
 }
 
+void injector::revive(int node) {
+    const auto it = nodes_.find(node);
+    if (it == nodes_.end() || (!it->second.killed && !it->second.fenced)) {
+        return;
+    }
+    it->second.killed = false;
+    it->second.fenced = false;
+    ++stats_.revivals;
+    mirror_fault("revive");
+}
+
 bool injector::take_attach_failure(int node) {
     if (!armed_.load(std::memory_order_relaxed)) {
         return false;
     }
     const auto it = nodes_.find(node);
-    if (it == nodes_.end() || !it->second.fail_attach) {
+    if (it == nodes_.end() || it->second.fail_attach == 0) {
         return false;
     }
-    it->second.fail_attach = false;
+    --it->second.fail_attach;
     ++stats_.attach_failures;
     mirror_fault("attach_fail");
     return true;
@@ -128,10 +138,28 @@ void injector::check_target_alive(int node) {
     if (p.killed) {
         throw target_killed{};
     }
-    const bool time_due = p.kill_at >= 0 && sim::now() >= p.kill_at;
-    const bool count_due =
-        p.kill_after_msgs > 0 && p.msgs_seen >= p.kill_after_msgs;
-    if (time_due || count_due) {
+    // One due trigger is consumed per death so a kill chain spans
+    // incarnations; the kill_now fence latches until revive().
+    bool due = p.fenced;
+    if (!due) {
+        for (auto t = p.kill_times.begin(); t != p.kill_times.end(); ++t) {
+            if (sim::now() >= *t) {
+                p.kill_times.erase(t);
+                due = true;
+                break;
+            }
+        }
+    }
+    if (!due) {
+        for (auto n = p.kill_counts.begin(); n != p.kill_counts.end(); ++n) {
+            if (p.msgs_seen >= *n) {
+                p.kill_counts.erase(n);
+                due = true;
+                break;
+            }
+        }
+    }
+    if (due) {
         p.killed = true;
         ++stats_.kills;
         mirror_fault("kill");

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <exception>
 #include <map>
+#include <vector>
 
 #include "sim/engine.hpp"
 
@@ -71,6 +72,7 @@ struct counters {
     std::uint64_t kills = 0;
     std::uint64_t attach_failures = 0;
     std::uint64_t idle_timeouts = 0;
+    std::uint64_t revivals = 0;
 
     bool operator==(const counters&) const = default;
 };
@@ -96,17 +98,27 @@ public:
 
     // --- deterministic schedules --------------------------------------------
     /// Kill `node`'s target process at the first fault check at/after `when`.
+    /// Triggers accumulate: scheduling several kills arms a kill chain, each
+    /// consumed by one death (so a recovered incarnation can die again).
     void kill_at_time(int node, sim::time_ns when);
-    /// Kill `node` while it holds its `n`-th received message (1-based).
+    /// Kill `node` while it holds its `n`-th received message (1-based,
+    /// cumulative across incarnations). Accumulates like kill_at_time.
     void kill_after_messages(int node, std::uint64_t n);
-    /// Kill `node` at its next fault check (host-side fencing of a target the
-    /// health machinery declared failed).
+    /// Fence `node`: kill it at its next fault check (host-side fencing of a
+    /// target the health machinery declared failed). The fence latches until
+    /// revive() — it never carries over into a respawned incarnation's
+    /// schedule the way a time/count trigger would.
     void kill_now(int node);
-    /// Make `node`'s next backend attach fail recoverably.
+    /// Make `node`'s next backend attach fail recoverably. Accumulates: each
+    /// call fails one more attach (initial or heal re-attach), in order.
     void fail_next_attach(int node);
 
     /// Death already triggered for `node`?
     [[nodiscard]] bool killed(int node) const;
+    /// aurora::heal respawn hook: clear `node`'s death latch and host fence so
+    /// the next incarnation lives. Pending time/count kill triggers and attach
+    /// failures are left armed — a kill chain keeps firing across recoveries.
+    void revive(int node);
     /// Consume a pending attach-failure schedule for `node`.
     [[nodiscard]] bool take_attach_failure(int node);
 
@@ -135,11 +147,12 @@ private:
     injector();
 
     struct node_plan {
-        sim::time_ns kill_at = -1;         ///< -1 = no time trigger
-        std::uint64_t kill_after_msgs = 0; ///< 0 = no count trigger
-        std::uint64_t msgs_seen = 0;
+        std::vector<sim::time_ns> kill_times;    ///< pending time triggers
+        std::vector<std::uint64_t> kill_counts;  ///< pending count triggers
+        std::uint64_t msgs_seen = 0; ///< cumulative across incarnations
         bool killed = false;
-        bool fail_attach = false;
+        bool fenced = false; ///< host-side kill_now latch, cleared by revive()
+        std::uint32_t fail_attach = 0; ///< pending injected attach failures
     };
 
     [[nodiscard]] std::uint64_t draw();

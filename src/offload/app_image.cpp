@@ -4,6 +4,7 @@
 #include <variant>
 
 #include "fault/fault.hpp"
+#include "offload/heal.hpp"
 #include "offload/protocol.hpp"
 #include "offload/target_loop.hpp"
 #include "sim/engine.hpp"
@@ -29,6 +30,7 @@ struct veo_target_cfg {
     protocol::comm_layout layout{};
     node_t node = 0;
     std::int64_t idle_timeout_ns = 0; ///< 0 = poll forever
+    std::uint8_t epoch = 0;           ///< incarnation (aurora::heal)
 };
 
 struct vedma_target_cfg {
@@ -41,6 +43,7 @@ struct vedma_target_cfg {
     int staging_shm_key = 0; ///< 0 = DMA data path disabled
     std::uint64_t staging_chunk_bytes = 0;
     std::int64_t idle_timeout_ns = 0; ///< 0 = poll forever
+    std::uint8_t epoch = 0;           ///< incarnation (aurora::heal)
 };
 
 using target_cfg = std::variant<veo_target_cfg, vedma_target_cfg>;
@@ -83,10 +86,18 @@ public:
         for (;;) {
             inj.check_target_alive(int(cfg_.node));
             sim::advance(cm.local_poll_ns);
-            flag = protocol::decode_flag(proc_.mem().load_u64(
-                cfg_.comm_addr + lay.recv_base() + lay.recv.flag_offset(next_)));
+            const std::uint64_t flag_addr =
+                cfg_.comm_addr + lay.recv_base() + lay.recv.flag_offset(next_);
+            flag = protocol::decode_flag(proc_.mem().load_u64(flag_addr));
             if (flag.present() && flag.gen == protocol::next_gen(recv_gen_[next_])) {
-                break;
+                if (flag.epoch == cfg_.epoch) {
+                    break;
+                }
+                // A message of a previous incarnation (defence in depth —
+                // this incarnation's memory starts zeroed): clear the stale
+                // flag so the slot polls clean, never execute the message.
+                proc_.mem().store_u64(flag_addr, 0);
+                heal::note_epoch_reject("veo", cfg_.node);
             }
             if (cfg_.idle_timeout_ns > 0 &&
                 sim::now() - idle_start >= cfg_.idle_timeout_ns) {
@@ -124,6 +135,7 @@ public:
         flag.kind = protocol::msg_kind::user;
         flag.gen = send_gen_[result_slot];
         flag.result_slot_plus1 = static_cast<std::uint16_t>(result_slot + 1);
+        flag.epoch = cfg_.epoch;
         flag.len = static_cast<std::uint32_t>(len);
         proc_.mem().store_u64(cfg_.comm_addr + lay.send_base() +
                                   lay.send.flag_offset(result_slot),
@@ -194,13 +206,22 @@ public:
             const sim::time_ns idle_start = sim::now();
             for (;;) {
                 inj.check_target_alive(int(cfg_.node));
-                const std::uint64_t raw = aurora::vedma::lhm_load64(
-                    atb_,
-                    comm_vehva_ + lay.recv_base() + lay.recv.flag_offset(next_));
+                const std::uint64_t flag_vehva =
+                    comm_vehva_ + lay.recv_base() + lay.recv.flag_offset(next_);
+                const std::uint64_t raw =
+                    aurora::vedma::lhm_load64(atb_, flag_vehva);
                 flag = protocol::decode_flag(raw);
                 if (flag.present() &&
                     flag.gen == protocol::next_gen(recv_gen_[next_])) {
-                    break;
+                    if (flag.epoch == cfg_.epoch) {
+                        break;
+                    }
+                    // A flag of a previous incarnation — a real hazard here:
+                    // the shm segment survives respawns, so leftovers of the
+                    // dead incarnation sit exactly where this one polls. Zero
+                    // the stale flag in host memory and keep polling.
+                    aurora::vedma::shm_store64(atb_, flag_vehva, 0);
+                    heal::note_epoch_reject("vedma", cfg_.node);
                 }
                 if (cfg_.idle_timeout_ns > 0 &&
                     sim::now() - idle_start >= cfg_.idle_timeout_ns) {
@@ -264,6 +285,7 @@ public:
         flag.kind = protocol::msg_kind::user;
         flag.gen = send_gen_[result_slot];
         flag.result_slot_plus1 = static_cast<std::uint16_t>(result_slot + 1);
+        flag.epoch = cfg_.epoch;
         flag.len = static_cast<std::uint32_t>(len);
         // Notify through a single SHM word store.
         aurora::vedma::shm_store64(
@@ -354,6 +376,9 @@ std::uint64_t c_api_setup_veo(aurora::veos::ve_call_context& ctx) {
     if (ctx.arg_count() > 5) {
         cfg.idle_timeout_ns = ctx.arg_i64(5);
     }
+    if (ctx.arg_count() > 6) {
+        cfg.epoch = static_cast<std::uint8_t>(ctx.arg_u64(6));
+    }
     ctx.proc().user_state() = target_cfg(cfg);
     return 0;
 }
@@ -378,6 +403,9 @@ std::uint64_t c_api_setup_vedma(aurora::veos::ve_call_context& ctx) {
     }
     if (ctx.arg_count() > 10) {
         cfg.idle_timeout_ns = ctx.arg_i64(10);
+    }
+    if (ctx.arg_count() > 11) {
+        cfg.epoch = static_cast<std::uint8_t>(ctx.arg_u64(11));
     }
     ctx.proc().user_state() = target_cfg(cfg);
     return 0;

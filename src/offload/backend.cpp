@@ -67,6 +67,12 @@ backend_metrics::poll_timer::~poll_timer() {
     }
 }
 
+void backend::respawn(std::uint8_t) {
+    AURORA_CHECK_MSG(false, "this backend cannot respawn its target");
+}
+
+bool backend::inject_stale_flag(std::uint32_t, std::uint8_t) { return false; }
+
 void backend::stage_put(std::uint32_t, const void*, std::uint64_t) {
     AURORA_CHECK_MSG(false, "this backend has no DMA data path");
 }

@@ -118,6 +118,38 @@ public:
     /// operations afterwards.
     virtual void abandon() {}
 
+    // --- aurora::heal lifecycle (recovery_policy; see docs/FAULTS.md) --------
+
+    /// Stop a dead target's process like abandon(), but keep the host-side
+    /// communication state alive so already-delivered results stay
+    /// harvestable via test_result(). Idempotent; after the final drain the
+    /// runtime either respawn()s the target or abandon()s it for good.
+    virtual void quiesce() { abandon(); }
+
+    /// Re-create the target process under incarnation `epoch`: fresh process,
+    /// re-deployed code image + handler table, re-registered communication
+    /// state. All message slots start free; every subsequent send and every
+    /// result produced by the new incarnation carries `epoch` in its flag.
+    /// Throws target_attach_error when the attach fails (the caller backs off
+    /// and retries per its recovery_policy).
+    virtual void respawn(std::uint8_t epoch);
+
+    /// Virtual time after quiesce() during which results already sent by the
+    /// late incarnation may still become visible (e.g. the tcp backend's
+    /// modeled half-RTT). The runtime waits this long before its final
+    /// pre-recovery drain so no acked work is mistaken for lost.
+    [[nodiscard]] virtual std::int64_t result_grace_ns() const { return 0; }
+
+    /// Test seam for the cross-epoch rejection property: plant a stale flag /
+    /// packet carrying `epoch` that the target's channel would consume next
+    /// if epochs were ignored (the shape of a delayed retransmit from a
+    /// previous incarnation). `slot` is advisory — slot-addressed backends
+    /// (VEO/VEDMA) plant the flag at the target's round-robin poll cursor so
+    /// the reject is observable immediately; queue backends ignore it.
+    /// Returns false when the backend cannot inject (default).
+    [[nodiscard]] virtual bool inject_stale_flag(std::uint32_t slot,
+                                                 std::uint8_t epoch);
+
     // --- optional VE-DMA bulk-data path (extension beyond the paper) ---------
     // When supported (and enabled), the runtime routes put()/get() through
     // data_put/data_get control messages: the host stages chunks in shared

@@ -1,8 +1,10 @@
 #include "offload/backend_loopback.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "fault/fault.hpp"
+#include "offload/heal.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
 
@@ -20,12 +22,22 @@ struct backend_loopback::shared_state {
 /// Target-side channel over the shared queues.
 class backend_loopback::channel final : public target_channel {
 public:
-    channel(shared_state& s, const sim::cost_model& cm)
-        : s_(s), cm_(cm), recv_gen_(s.results.size(), 0) {}
+    channel(shared_state& s, const sim::cost_model& cm, std::uint8_t epoch,
+            node_t node)
+        : s_(s), cm_(cm), epoch_(epoch), node_(node),
+          recv_gen_(s.results.size(), 0) {}
 
     protocol::flag_word recv_next(std::vector<std::byte>& buf) override {
         for (;;) {
             auto [flag, bytes] = s_.inbox.pop();
+            if (flag.epoch != epoch_) {
+                // Leftover of a previous incarnation (stale retransmit or
+                // even its poison fence): a recovered target must never act
+                // on it. Checked before everything else — a stale poison
+                // would otherwise kill the new incarnation.
+                heal::note_epoch_reject("loopback", node_);
+                continue;
+            }
             if (flag.kind == protocol::msg_kind::poison) {
                 // Host-side fence: unwind the loop without answering.
                 throw aurora::fault::target_killed{};
@@ -59,6 +71,8 @@ public:
 private:
     shared_state& s_;
     const sim::cost_model& cm_;
+    std::uint8_t epoch_; ///< incarnation this channel belongs to
+    node_t node_;
     std::vector<std::uint8_t> recv_gen_; ///< last generation seen per slot
 };
 
@@ -84,7 +98,12 @@ backend_loopback::backend_loopback(sim::simulation& sim,
       msg_size_(opt.msg_size),
       shared_(std::make_shared<shared_state>(sim, opt.msg_slots)),
       send_gen_(opt.msg_slots, 0),
+      target_reg_(&target_reg),
       met_("loopback", node) {
+    spawn_target(target_reg);
+}
+
+void backend_loopback::spawn_target(const ham::handler_registry& target_reg) {
     // The target process owns its channel/context/memory objects so they
     // outlive this backend teardown order safely.
     auto shared = shared_;
@@ -92,11 +111,13 @@ backend_loopback::backend_loopback(sim::simulation& sim,
     const auto* reg = &target_reg;
     const auto msg_size = msg_size_;
     const node_t n = node_;
+    const std::uint8_t epoch = epoch_;
     target_proc_ = &sim_.spawn(
-        "loopback-target-" + std::to_string(node), [shared, cm, reg, msg_size, n] {
+        "loopback-target-" + std::to_string(node_),
+        [shared, cm, reg, msg_size, n, epoch] {
             heap_memory mem;
             target_context ctx(n, target_context::device::vh, &mem, cm);
-            channel ch(*shared, *cm);
+            channel ch(*shared, *cm, epoch, n);
             target_loop_config cfg;
             cfg.registry = reg;
             cfg.context = &ctx;
@@ -137,6 +158,7 @@ io_status backend_loopback::send_message(std::uint32_t slot, const void* msg,
     flag.gen = retransmit ? send_gen_[slot]
                           : (send_gen_[slot] = protocol::next_gen(send_gen_[slot]));
     flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
+    flag.epoch = epoch_;
     flag.len = static_cast<std::uint32_t>(len);
     std::vector<std::byte> bytes(len);
     if (len > 0) {
@@ -216,13 +238,47 @@ void backend_loopback::abandon() {
         return;
     }
     // In-band poison unblocks a target parked in inbox.pop(); if the process
-    // already died the packet is simply never read.
+    // already died the packet is simply never read. It carries the current
+    // epoch so a later incarnation can never mistake it for its own fence.
     protocol::flag_word flag;
     flag.kind = protocol::msg_kind::poison;
     flag.result_slot_plus1 = 1;
+    flag.epoch = epoch_;
     shared_->inbox.push({flag, {}});
     sim::join(*target_proc_);
     target_proc_ = nullptr;
+}
+
+void backend_loopback::quiesce() {
+    // The queue state survives an abandon untouched, so delivered results
+    // stay harvestable; only the process is reaped.
+    abandon();
+}
+
+void backend_loopback::respawn(std::uint8_t epoch) {
+    AURORA_CHECK_MSG(target_proc_ == nullptr,
+                     "respawn of a loopback target that was never quiesced");
+    epoch_ = epoch;
+    // Results the final drain left behind belong to the dead incarnation.
+    // Stale *inbox* packets stay: the new channel rejects them by epoch.
+    for (auto& r : shared_->results) {
+        r.clear();
+    }
+    std::fill(send_gen_.begin(), send_gen_.end(), std::uint8_t{0});
+    spawn_target(*target_reg_);
+}
+
+bool backend_loopback::inject_stale_flag(std::uint32_t slot, std::uint8_t epoch) {
+    AURORA_CHECK(slot < slots_);
+    // Shape of a delayed retransmit from incarnation `epoch`: the generation
+    // the channel expects next, so only the epoch check can reject it.
+    protocol::flag_word flag;
+    flag.kind = protocol::msg_kind::user;
+    flag.gen = protocol::next_gen(send_gen_[slot]);
+    flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
+    flag.epoch = epoch;
+    shared_->inbox.push({flag, {}});
+    return true;
 }
 
 } // namespace ham::offload

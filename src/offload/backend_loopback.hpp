@@ -44,11 +44,18 @@ public:
     [[nodiscard]] node_descriptor descriptor() const override;
     void shutdown() override;
     void abandon() override;
+    void quiesce() override;
+    void respawn(std::uint8_t epoch) override;
+    [[nodiscard]] bool inject_stale_flag(std::uint32_t slot,
+                                         std::uint8_t epoch) override;
 
 private:
     struct shared_state;
     class channel;
     class heap_memory;
+
+    /// Spawn the target process for the current epoch_ incarnation.
+    void spawn_target(const ham::handler_registry& target_reg);
 
     sim::simulation& sim_;
     const sim::cost_model& costs_;
@@ -61,6 +68,11 @@ private:
     /// Per-slot send generation; retransmits reuse the current value so the
     /// target channel can discard duplicates.
     std::vector<std::uint8_t> send_gen_;
+    /// Current incarnation (aurora::heal); stamped into every flag so the
+    /// target channel can reject leftovers of a previous incarnation.
+    std::uint8_t epoch_ = 0;
+    /// Registry the target loop translates through; kept for respawn().
+    const ham::handler_registry* target_reg_;
     backend_metrics met_;
 };
 

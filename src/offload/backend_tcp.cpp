@@ -1,8 +1,10 @@
 #include "offload/backend_tcp.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "fault/fault.hpp"
+#include "offload/heal.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
 
@@ -31,12 +33,21 @@ struct backend_tcp::shared_state {
 
 class backend_tcp::channel final : public target_channel {
 public:
-    channel(shared_state& s, const sim::cost_model& cm)
-        : s_(s), cm_(cm), recv_gen_(s.results.size(), 0) {}
+    channel(shared_state& s, const sim::cost_model& cm, std::uint8_t epoch,
+            node_t node)
+        : s_(s), cm_(cm), epoch_(epoch), node_(node),
+          recv_gen_(s.results.size(), 0) {}
 
     protocol::flag_word recv_next(std::vector<std::byte>& buf) override {
         for (;;) {
             tcp_packet p = s_.inbox.pop();
+            if (p.flag.epoch != epoch_) {
+                // A segment of a previous incarnation that was still on the
+                // wire (stale retransmit, or its poison fence): drop before
+                // acting on it in any way.
+                heal::note_epoch_reject("tcp", node_);
+                continue;
+            }
             if (p.flag.kind == protocol::msg_kind::poison) {
                 // Host-side fence: unwind the loop without answering.
                 throw aurora::fault::target_killed{};
@@ -74,6 +85,8 @@ public:
 private:
     shared_state& s_;
     const sim::cost_model& cm_;
+    std::uint8_t epoch_; ///< incarnation this channel belongs to
+    node_t node_;
     std::vector<std::uint8_t> recv_gen_; ///< last generation seen per slot
 };
 
@@ -98,17 +111,24 @@ backend_tcp::backend_tcp(sim::simulation& sim,
       msg_size_(opt.msg_size),
       shared_(std::make_shared<shared_state>(sim, opt.msg_slots)),
       send_gen_(opt.msg_slots, 0),
+      target_reg_(&target_reg),
       met_("tcp", node) {
+    spawn_target(target_reg);
+}
+
+void backend_tcp::spawn_target(const ham::handler_registry& target_reg) {
     auto shared = shared_;
     const auto* cm = &costs_;
     const auto* reg = &target_reg;
     const auto msg_size = msg_size_;
     const node_t n = node_;
+    const std::uint8_t epoch = epoch_;
     target_proc_ = &sim_.spawn(
-        "tcp-target-" + std::to_string(node), [shared, cm, reg, msg_size, n] {
+        "tcp-target-" + std::to_string(node_),
+        [shared, cm, reg, msg_size, n, epoch] {
             heap_memory mem;
             target_context ctx(n, target_context::device::vh, &mem, cm);
-            channel ch(*shared, *cm);
+            channel ch(*shared, *cm, epoch, n);
             target_loop_config cfg;
             cfg.registry = reg;
             cfg.context = &ctx;
@@ -158,6 +178,7 @@ io_status backend_tcp::send_message(std::uint32_t slot, const void* msg,
                      ? send_gen_[slot]
                      : (send_gen_[slot] = protocol::next_gen(send_gen_[slot]));
     p.flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
+    p.flag.epoch = epoch_;
     p.flag.len = static_cast<std::uint32_t>(len);
     p.bytes.resize(len);
     if (len > 0) {
@@ -242,13 +263,54 @@ void backend_tcp::abandon() {
         return;
     }
     // In-band poison unblocks a target parked in inbox.pop(); if the process
-    // already died the packet is simply never read.
+    // already died the packet is simply never read. Epoch-stamped so a later
+    // incarnation can never mistake it for its own fence.
     tcp_packet p;
     p.flag.kind = protocol::msg_kind::poison;
     p.flag.result_slot_plus1 = 1;
+    p.flag.epoch = epoch_;
     shared_->inbox.push(std::move(p));
     sim::join(*target_proc_);
     target_proc_ = nullptr;
+}
+
+void backend_tcp::quiesce() {
+    // Socket state (delivered results, their delivery timestamps) survives;
+    // only the peer process is reaped.
+    abandon();
+}
+
+std::int64_t backend_tcp::result_grace_ns() const {
+    return costs_.tcp_half_rtt_ns + costs_.tcp_per_msg_ns;
+}
+
+void backend_tcp::respawn(std::uint8_t epoch) {
+    AURORA_CHECK_MSG(target_proc_ == nullptr,
+                     "respawn of a tcp target that was never quiesced");
+    epoch_ = epoch;
+    // Results the final drain left behind belong to the dead incarnation.
+    // Stale *inbox* segments stay: the new channel rejects them by epoch.
+    for (auto& r : shared_->results) {
+        r.bytes.clear();
+        r.deliver_at = 0;
+    }
+    std::fill(send_gen_.begin(), send_gen_.end(), std::uint8_t{0});
+    spawn_target(*target_reg_);
+}
+
+bool backend_tcp::inject_stale_flag(std::uint32_t slot, std::uint8_t epoch) {
+    AURORA_CHECK(slot < slots_);
+    // Shape of a delayed retransmit from incarnation `epoch`: deliverable
+    // immediately, generation the channel expects next — only the epoch
+    // check can reject it.
+    tcp_packet p;
+    p.flag.kind = protocol::msg_kind::user;
+    p.flag.gen = protocol::next_gen(send_gen_[slot]);
+    p.flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
+    p.flag.epoch = epoch;
+    p.deliver_at = sim::now();
+    shared_->inbox.push(std::move(p));
+    return true;
 }
 
 } // namespace ham::offload

@@ -46,11 +46,21 @@ public:
     [[nodiscard]] node_descriptor descriptor() const override;
     void shutdown() override;
     void abandon() override;
+    void quiesce() override;
+    void respawn(std::uint8_t epoch) override;
+    /// Results written before the death may still be inside the socket: give
+    /// the final drain one half-RTT plus a read syscall of grace.
+    [[nodiscard]] std::int64_t result_grace_ns() const override;
+    [[nodiscard]] bool inject_stale_flag(std::uint32_t slot,
+                                         std::uint8_t epoch) override;
 
 private:
     struct shared_state;
     class channel;
     class heap_memory;
+
+    /// Spawn the target process for the current epoch_ incarnation.
+    void spawn_target(const ham::handler_registry& target_reg);
 
     /// Model one message hop over the socket: sender-side cost now, delivery
     /// timestamp returned for the receiver to honour.
@@ -67,6 +77,11 @@ private:
     /// Per-slot send generation; retransmits reuse the current value so the
     /// target channel can discard duplicates.
     std::vector<std::uint8_t> send_gen_;
+    /// Current incarnation (aurora::heal); stamped into every flag so the
+    /// target channel can reject segments of a previous incarnation.
+    std::uint8_t epoch_ = 0;
+    /// Registry the target loop translates through; kept for respawn().
+    const ham::handler_registry* target_reg_;
     backend_metrics met_;
 };
 

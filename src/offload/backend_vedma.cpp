@@ -1,11 +1,13 @@
 #include "offload/backend_vedma.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 
 #include "fault/fault.hpp"
 #include "offload/app_image.hpp"
 #include "offload/future.hpp"
+#include "offload/heal.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
@@ -62,12 +64,17 @@ backend_vedma::backend_vedma(aurora::veos::veos_system& sys, int ve_id, node_t n
     // Deployment still uses VEO (Fig. 4): process, library, setup, ham_main.
     // Construction failures are recoverable: the runtime marks the target
     // failed at attach time and continues with the remaining targets.
-    proc_ = veo_proc_create(sys_, ve_id_, opt.vh_socket);
+    try {
+        attach();
+    } catch (...) {
+        destroy_segments();
+        throw;
+    }
+}
+
+void backend_vedma::attach() {
+    proc_ = veo_proc_create(sys_, ve_id_, opt_.vh_socket);
     if (proc_ == nullptr) {
-        shms_.destroy(ham_shm_key);
-        if (staging_seg_ != nullptr) {
-            shms_.destroy(ham_staging_shm_key);
-        }
         throw target_attach_error("veo_proc_create failed for VE " +
                                   std::to_string(ve_id_));
     }
@@ -75,10 +82,6 @@ backend_vedma::backend_vedma(aurora::veos::veos_system& sys, int ve_id, node_t n
     if (lib == 0) {
         veo_proc_destroy(proc_);
         proc_ = nullptr;
-        shms_.destroy(ham_shm_key);
-        if (staging_seg_ != nullptr) {
-            shms_.destroy(ham_staging_shm_key);
-        }
         throw target_attach_error(std::string("failed to load ") +
                                   app_image_name + " on VE " +
                                   std::to_string(ve_id_));
@@ -93,13 +96,14 @@ backend_vedma::backend_vedma(aurora::veos::veos_system& sys, int ve_id, node_t n
     args->set_u64(2, layout_.recv.slots);
     args->set_u64(3, layout_.recv.msg_size);
     args->set_i64(4, node_);
-    args->set_u64(5, opt.vedma_shm_small_results ? 1 : 0);
-    args->set_u64(6, opt.vedma_shm_result_threshold);
+    args->set_u64(5, opt_.vedma_shm_small_results ? 1 : 0);
+    args->set_u64(6, opt_.vedma_shm_result_threshold);
     args->set_i64(7, opt_.vedma_dma_data_path ? ham_staging_shm_key : 0);
     args->set_u64(8, opt_.vedma_staging_chunk_bytes);
     args->set_u64(9, ham::handler_registry::build(
                          host_image_options()).fingerprint());
     args->set_i64(10, opt_.target_idle_timeout_ns);
+    args->set_u64(11, epoch_);
     std::uint64_t ret = 0;
     const std::uint64_t req = veo_call_async(ctx_, sym_setup, args);
     AURORA_CHECK(veo_call_wait_result(ctx_, req, &ret) == VEO_COMMAND_OK);
@@ -111,6 +115,19 @@ backend_vedma::backend_vedma(aurora::veos::veos_system& sys, int ve_id, node_t n
     const std::uint64_t sym_main = veo_get_sym(proc_, lib, sym_ham_main);
     AURORA_CHECK(sym_main != 0);
     main_req_ = veo_call_async(ctx_, sym_main, nullptr);
+    quiesced_ = false;
+    sends_since_attach_ = 0;
+}
+
+void backend_vedma::destroy_segments() {
+    if (seg_ != nullptr) {
+        shms_.destroy(ham_shm_key);
+        seg_ = nullptr;
+    }
+    if (staging_seg_ != nullptr) {
+        shms_.destroy(ham_staging_shm_key);
+        staging_seg_ = nullptr;
+    }
 }
 
 backend_vedma::~backend_vedma() = default;
@@ -144,11 +161,13 @@ io_status backend_vedma::send_message(std::uint32_t slot, const void* msg,
     }
     if (!retransmit) {
         send_gen_[slot] = protocol::next_gen(send_gen_[slot]);
+        ++sends_since_attach_;
     }
     protocol::flag_word flag;
     flag.kind = kind;
     flag.gen = send_gen_[slot];
     flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
+    flag.epoch = epoch_;
     flag.len = static_cast<std::uint32_t>(len);
     const std::uint64_t raw = protocol::encode_flag(flag);
     if (drop || (inj.active() && inj.should_lose_flag())) {
@@ -175,6 +194,16 @@ bool backend_vedma::test_result(std::uint32_t slot, std::vector<std::byte>& out)
                 sizeof(raw));
     const protocol::flag_word flag = protocol::decode_flag(raw);
     if (!flag.present() || flag.gen != protocol::next_gen(result_gen_[slot])) {
+        return false;
+    }
+    if (flag.epoch != epoch_) {
+        // A result of a previous incarnation. Unlike the other backends this
+        // is a real hazard here: the shm segment (and every flag in it)
+        // survives the respawn. Zero the stale flag and never surface it.
+        const std::uint64_t zero = 0;
+        std::memcpy(region(layout_.send_base() + layout_.send.flag_offset(slot)),
+                    &zero, sizeof(zero));
+        heal::note_epoch_reject("vedma", node_);
         return false;
     }
     result_gen_[slot] = flag.gen;
@@ -250,31 +279,70 @@ void backend_vedma::shutdown() {
     AURORA_CHECK(veo_call_wait_result(ctx_, main_req_, &ret) == VEO_COMMAND_OK);
     veo_proc_destroy(proc_);
     proc_ = nullptr;
-    shms_.destroy(ham_shm_key);
-    if (staging_seg_ != nullptr) {
-        shms_.destroy(ham_staging_shm_key);
-        staging_seg_ = nullptr;
-    }
-    seg_ = nullptr;
+    destroy_segments();
 }
 
 void backend_vedma::abandon() {
-    if (proc_ == nullptr) {
+    if (proc_ == nullptr && !quiesced_) {
         return;
     }
     // The runtime fenced this target (injector::kill_now), so ham_main exits
     // at the VE's next liveness check — its channel destructor unregisters the
     // ATB mapping before returning, after which the segments can go away.
-    std::uint64_t ret = 0;
-    veo_call_wait_result(ctx_, main_req_, &ret);
-    veo_proc_destroy(proc_);
-    proc_ = nullptr;
-    shms_.destroy(ham_shm_key);
-    if (staging_seg_ != nullptr) {
-        shms_.destroy(ham_staging_shm_key);
-        staging_seg_ = nullptr;
+    // After a quiesce() the reap already happened; only the segments remain.
+    if (proc_ != nullptr) {
+        std::uint64_t ret = 0;
+        veo_call_wait_result(ctx_, main_req_, &ret);
+        veo_proc_destroy(proc_);
+        proc_ = nullptr;
     }
-    seg_ = nullptr;
+    destroy_segments();
+    quiesced_ = false;
+}
+
+void backend_vedma::quiesce() {
+    if (quiesced_) {
+        return;
+    }
+    // Reap ham_main and drop the VE process, but keep the shared-memory
+    // segments: every delivered result lives in VH-local memory (Sec. IV-B),
+    // so the final drain keeps working without any process at all.
+    if (proc_ != nullptr) {
+        std::uint64_t ret = 0;
+        veo_call_wait_result(ctx_, main_req_, &ret);
+        veo_proc_destroy(proc_);
+        proc_ = nullptr;
+    }
+    quiesced_ = true;
+}
+
+void backend_vedma::respawn(std::uint8_t epoch) {
+    AURORA_CHECK_MSG(proc_ == nullptr && quiesced_,
+                     "respawn of a vedma target that was never quiesced");
+    epoch_ = epoch;
+    // The segments are deliberately NOT cleared: the new incarnation attaches
+    // the same shm, where flags of the dead incarnation still sit. Both sides
+    // reject them by epoch — that rejection path is load-bearing here.
+    std::fill(send_gen_.begin(), send_gen_.end(), std::uint8_t{0});
+    std::fill(result_gen_.begin(), result_gen_.end(), std::uint8_t{0});
+    attach();
+}
+
+bool backend_vedma::inject_stale_flag(std::uint32_t slot, std::uint8_t epoch) {
+    // The VE channel polls one slot at a time, so the flag must land where
+    // its round-robin cursor stands — the slot argument is advisory.
+    slot = static_cast<std::uint32_t>(sends_since_attach_ % layout_.recv.slots);
+    // Plant a recv flag shaped like a leftover of incarnation `epoch` in the
+    // shared segment: the generation the VE channel expects next, so only
+    // its epoch check can reject it.
+    protocol::flag_word flag;
+    flag.kind = protocol::msg_kind::user;
+    flag.gen = protocol::next_gen(send_gen_[slot]);
+    flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
+    flag.epoch = epoch;
+    const std::uint64_t raw = protocol::encode_flag(flag);
+    std::memcpy(region(layout_.recv.flag_offset(slot)), &raw, sizeof(raw));
+    return true;
 }
 
 } // namespace ham::offload

@@ -47,6 +47,10 @@ public:
     [[nodiscard]] node_descriptor descriptor() const override;
     void shutdown() override;
     void abandon() override;
+    void quiesce() override;
+    void respawn(std::uint8_t epoch) override;
+    [[nodiscard]] bool inject_stale_flag(std::uint32_t slot,
+                                         std::uint8_t epoch) override;
 
     // --- VE-DMA bulk-data path (extension; see options.hpp) ------------------
     [[nodiscard]] bool has_dma_data_path() const override {
@@ -66,6 +70,13 @@ private:
         return seg_->addr + offset;
     }
 
+    /// VEO part of the deployment for the current epoch_ incarnation:
+    /// process, library, setup C-API call, async ham_main. The shared-memory
+    /// segments are NOT created here — they are created once by the
+    /// constructor and survive respawns (Sec. IV-B: they belong to the VH).
+    void attach();
+    void destroy_segments();
+
     aurora::veos::veos_system& sys_;
     int ve_id_;
     node_t node_;
@@ -77,8 +88,16 @@ private:
     aurora::veo::veo_proc_handle* proc_ = nullptr;
     aurora::veo::veo_thr_ctxt* ctx_ = nullptr;
     std::uint64_t main_req_ = 0;
+    bool quiesced_ = false; ///< ham_main reaped, segments kept for the drain
     std::vector<std::uint8_t> send_gen_;
     std::vector<std::uint8_t> result_gen_;
+    /// Current incarnation (aurora::heal). The shm segment is reused across
+    /// incarnations, so stale flags of a dead incarnation genuinely persist
+    /// in it — the epoch stamped into every flag is what rejects them.
+    std::uint8_t epoch_ = 0;
+    /// First-transmission messages since the last attach — the VE channel's
+    /// poll cursor, for the inject_stale_flag test seam (see backend_veo).
+    std::uint64_t sends_since_attach_ = 0;
     backend_metrics met_;
 };
 

@@ -1,11 +1,13 @@
 #include "offload/backend_veo.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 
 #include "fault/fault.hpp"
 #include "offload/app_image.hpp"
 #include "offload/future.hpp"
+#include "offload/heal.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
@@ -32,14 +34,21 @@ backend_veo::backend_veo(aurora::veos::veos_system& sys, int ve_id, node_t node,
       ve_id_(ve_id),
       node_(node),
       layout_(make_layout(opt)),
+      vh_socket_(opt.vh_socket),
+      idle_timeout_ns_(opt.target_idle_timeout_ns),
       send_gen_(opt.msg_slots, 0),
       result_gen_(opt.msg_slots, 0),
       met_("veo", node) {
+    attach();
+}
+
+void backend_veo::attach() {
     // Deployment per Fig. 4: create the VE process, load the application
     // library, communicate the buffer addresses via the C-API, run ham_main.
     // Construction failures are recoverable: the runtime marks the target
-    // failed at attach time and continues with the remaining targets.
-    proc_ = veo_proc_create(sys_, ve_id_, opt.vh_socket);
+    // failed at attach time (or schedules another recovery attempt) and
+    // continues with the remaining targets.
+    proc_ = veo_proc_create(sys_, ve_id_, vh_socket_);
     if (proc_ == nullptr) {
         throw target_attach_error("veo_proc_create failed for VE " +
                                   std::to_string(ve_id_));
@@ -67,7 +76,8 @@ backend_veo::backend_veo(aurora::veos::veos_system& sys, int ve_id, node_t node,
     args->set_i64(3, node_);
     args->set_u64(4, ham::handler_registry::build(
                          host_image_options()).fingerprint());
-    args->set_i64(5, opt.target_idle_timeout_ns);
+    args->set_i64(5, idle_timeout_ns_);
+    args->set_u64(6, epoch_);
     std::uint64_t ret = 0;
     const std::uint64_t req = veo_call_async(ctx_, sym_setup, args);
     AURORA_CHECK(veo_call_wait_result(ctx_, req, &ret) == VEO_COMMAND_OK);
@@ -82,6 +92,8 @@ backend_veo::backend_veo(aurora::veos::veos_system& sys, int ve_id, node_t node,
     AURORA_CHECK(sym_main != 0);
     main_req_ = veo_call_async(ctx_, sym_main, nullptr);
     AURORA_CHECK(main_req_ != VEO_REQUEST_ID_INVALID);
+    quiesced_ = false;
+    sends_since_attach_ = 0;
 }
 
 backend_veo::~backend_veo() = default;
@@ -99,6 +111,9 @@ io_status backend_veo::send_message(std::uint32_t slot, const void* msg,
     // signal completion by setting the corresponding flag — two privileged-
     // DMA writes.
     AURORA_TRACE_SPAN("backend", "veo_send");
+    if (!retransmit) {
+        ++sends_since_attach_;
+    }
     const backend_metrics::send_timer timer(met_, len);
     auto& inj = aurora::fault::injector::instance();
     if (inj.active()) {
@@ -124,6 +139,7 @@ io_status backend_veo::send_message(std::uint32_t slot, const void* msg,
     flag.kind = kind;
     flag.gen = send_gen_[slot];
     flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
+    flag.epoch = epoch_;
     flag.len = static_cast<std::uint32_t>(len);
     const std::uint64_t raw = protocol::encode_flag(flag);
     if (drop || (inj.active() && inj.should_lose_flag())) {
@@ -148,6 +164,17 @@ bool backend_veo::test_result(std::uint32_t slot, std::vector<std::byte>& out) {
                  sizeof(raw));
     const protocol::flag_word flag = protocol::decode_flag(raw);
     if (!flag.present() || flag.gen != protocol::next_gen(result_gen_[slot])) {
+        return false;
+    }
+    if (flag.epoch != epoch_) {
+        // A result of a previous incarnation (defence in depth — veo comm
+        // memory is fresh per incarnation): clear the stale flag so the slot
+        // polls clean, and never surface the payload.
+        const std::uint64_t zero = 0;
+        veo_write_mem(proc_, comm_addr_ + layout_.send_base() +
+                                 layout_.send.flag_offset(slot),
+                      &zero, sizeof(zero));
+        heal::note_epoch_reject("veo", node_);
         return false;
     }
     result_gen_[slot] = flag.gen;
@@ -215,12 +242,63 @@ void backend_veo::abandon() {
     }
     // The runtime fenced this target (injector::kill_now), so ham_main exits
     // at the VE's next liveness check — reap it, then tear down without the
-    // terminate handshake.
-    std::uint64_t ret = 0;
-    veo_call_wait_result(ctx_, main_req_, &ret);
+    // terminate handshake. After a quiesce() the reap already happened.
+    if (!quiesced_) {
+        std::uint64_t ret = 0;
+        veo_call_wait_result(ctx_, main_req_, &ret);
+    }
     veo_free_mem(proc_, comm_addr_);
     veo_proc_destroy(proc_);
     proc_ = nullptr;
+    quiesced_ = false;
+}
+
+void backend_veo::quiesce() {
+    if (proc_ == nullptr || quiesced_) {
+        return;
+    }
+    // Reap ham_main but keep the process (and with it the communication
+    // area's memory) so the final drain can still read delivered results
+    // through veo_read_mem.
+    std::uint64_t ret = 0;
+    veo_call_wait_result(ctx_, main_req_, &ret);
+    quiesced_ = true;
+}
+
+void backend_veo::respawn(std::uint8_t epoch) {
+    AURORA_CHECK_MSG(quiesced_,
+                     "respawn of a veo target that was never quiesced");
+    // Tear down the dead incarnation completely — a fresh process gets fresh
+    // (zeroed) communication memory — then rerun the Fig. 4 deployment.
+    // proc_ may already be null if a previous re-attach attempt failed
+    // part-way; a retry then starts straight from the deployment.
+    if (proc_ != nullptr) {
+        veo_free_mem(proc_, comm_addr_);
+        veo_proc_destroy(proc_);
+        proc_ = nullptr;
+    }
+    epoch_ = epoch;
+    std::fill(send_gen_.begin(), send_gen_.end(), std::uint8_t{0});
+    std::fill(result_gen_.begin(), result_gen_.end(), std::uint8_t{0});
+    attach();
+}
+
+bool backend_veo::inject_stale_flag(std::uint32_t slot, std::uint8_t epoch) {
+    // The VE channel polls one slot at a time, so the flag must land where
+    // its round-robin cursor stands — the slot argument is advisory.
+    slot = static_cast<std::uint32_t>(sends_since_attach_ % layout_.recv.slots);
+    // Plant a recv flag shaped like a delayed retransmit from incarnation
+    // `epoch`: the generation the VE channel expects next at this slot, so
+    // only its epoch check can reject it.
+    protocol::flag_word flag;
+    flag.kind = protocol::msg_kind::user;
+    flag.gen = protocol::next_gen(send_gen_[slot]);
+    flag.result_slot_plus1 = static_cast<std::uint16_t>(slot + 1);
+    flag.epoch = epoch;
+    const std::uint64_t raw = protocol::encode_flag(flag);
+    veo_write_mem(proc_, comm_addr_ + layout_.recv.flag_offset(slot), &raw,
+                  sizeof(raw));
+    return true;
 }
 
 } // namespace ham::offload

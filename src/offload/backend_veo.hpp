@@ -46,18 +46,35 @@ public:
     [[nodiscard]] node_descriptor descriptor() const override;
     void shutdown() override;
     void abandon() override;
+    void quiesce() override;
+    void respawn(std::uint8_t epoch) override;
+    [[nodiscard]] bool inject_stale_flag(std::uint32_t slot,
+                                         std::uint8_t epoch) override;
 
 private:
+    /// Fig. 4 deployment for the current epoch_ incarnation: VE process,
+    /// library, communication area, setup C-API call, async ham_main.
+    void attach();
+
     aurora::veos::veos_system& sys_;
     int ve_id_;
     node_t node_;
     protocol::comm_layout layout_;
+    int vh_socket_;
+    std::int64_t idle_timeout_ns_;
     aurora::veo::veo_proc_handle* proc_ = nullptr;
     aurora::veo::veo_thr_ctxt* ctx_ = nullptr;
     std::uint64_t comm_addr_ = 0; ///< base of the communication area (VE memory)
     std::uint64_t main_req_ = 0;  ///< outstanding ham_main request
+    bool quiesced_ = false; ///< ham_main reaped, memory kept for the drain
     std::vector<std::uint8_t> send_gen_;   ///< per recv-slot message generation
     std::vector<std::uint8_t> result_gen_; ///< per send-slot expected result gen
+    /// Current incarnation (aurora::heal), stamped into every flag.
+    std::uint8_t epoch_ = 0;
+    /// First-transmission messages since the last attach. Tracks the VE
+    /// channel's round-robin poll cursor (they advance in lockstep once all
+    /// results are harvested) for the inject_stale_flag test seam.
+    std::uint64_t sends_since_attach_ = 0;
     backend_metrics met_;
 };
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstring>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -83,6 +84,11 @@ class future {
         std::string error_text;
         storage value{};
         std::function<void()> on_ready;
+        /// An exception the on_ready callback raised during settlement. It is
+        /// parked here instead of escaping the poll that happened to deliver
+        /// the result (which may be settling a whole batch of waiters, e.g.
+        /// fail_target's synthetic results) and rethrown from get().
+        std::exception_ptr callback_error;
     };
 
 public:
@@ -126,12 +132,14 @@ public:
     /// test()/get() call that observes the result (or immediately, when the
     /// future is already satisfied). The callback must not block; it runs on
     /// the host process while the runtime is mid-poll. One callback per
-    /// future — the scheduling-layer hook for dependency resolution.
+    /// future — the scheduling-layer hook for dependency resolution. An
+    /// exception thrown by the callback never escapes the delivering poll
+    /// (settlement must reach every waiter); it is rethrown by get().
     void on_ready(std::function<void()> cb) {
         AURORA_CHECK_MSG(valid(), "on_ready() on an invalid future");
         AURORA_CHECK_MSG(!s_->on_ready, "future already has an on_ready callback");
         if (s_->ready) {
-            cb();
+            invoke_callback(std::move(cb));
             return;
         }
         s_->on_ready = std::move(cb);
@@ -181,6 +189,9 @@ public:
             s_->src->wait_collect(s_->node, s_->ticket, s_->slot, bytes);
             absorb(bytes);
         }
+        if (s_->callback_error) {
+            std::rethrow_exception(s_->callback_error);
+        }
         if (s_->failed) {
             if (s_->status == protocol::status::target_failed) {
                 std::string what =
@@ -228,7 +239,15 @@ private:
             // future; it must not destroy the future it was registered on.
             std::function<void()> cb = std::move(s_->on_ready);
             s_->on_ready = nullptr;
+            invoke_callback(std::move(cb));
+        }
+    }
+
+    void invoke_callback(std::function<void()> cb) {
+        try {
             cb();
+        } catch (...) {
+            s_->callback_error = std::current_exception();
         }
     }
 

@@ -1,0 +1,19 @@
+#include "offload/heal.hpp"
+
+#include <string>
+
+#include "metrics/metrics.hpp"
+
+namespace ham::offload::heal {
+
+void note_epoch_reject(const char* backend_name, node_t node) {
+    namespace m = aurora::metrics;
+    m::registry::global()
+        .counter_for("aurora_heal_epoch_rejects_total",
+                     m::labels({{"backend", backend_name},
+                                {"node", std::to_string(node)}}),
+                     "messages dropped for carrying a stale target epoch")
+        .add(1);
+}
+
+} // namespace ham::offload::heal

@@ -74,6 +74,26 @@ struct runtime_options {
     /// poll sees no message for this long presumes the host is gone and exits
     /// its loop. 0 = poll forever (default; queue backends always block).
     std::int64_t target_idle_timeout_ns = 0;
+
+    // --- self-healing (aurora::heal; see docs/FAULTS.md) --------------------
+    /// Governs what happens after a target failure is detected. Disabled
+    /// (the default) keeps the aurora::fault semantics: the target is fenced
+    /// forever and outstanding futures settle with target_failed_error.
+    /// Enabled, the runtime respawns the target process under a new epoch,
+    /// replays un-acked messages, and reintegrates it on probation.
+    struct recovery_policy {
+        /// Master switch. Env: HAM_AURORA_HEAL (0/1).
+        bool enabled = false;
+        /// Respawn attempts per failure incident before the target is fenced
+        /// for good. Env: HAM_AURORA_HEAL_MAX_ATTEMPTS.
+        std::uint32_t max_attempts = 3;
+        /// Virtual-time pause before the first re-attach attempt; doubles per
+        /// consecutive failed attempt. Env: HAM_AURORA_HEAL_BACKOFF_NS.
+        std::int64_t backoff_ns = 200'000;
+        /// Upper bound for the doubled backoff.
+        std::int64_t backoff_cap_ns = 10'000'000;
+    };
+    recovery_policy recovery;
 };
 
 } // namespace ham::offload

@@ -11,7 +11,13 @@
 //                message from the stale flag left by the slot's previous use)
 //   bits 16..31  result slot index + 1 (0 when not applicable; result flags
 //                echo the request's slot)
-//   bits 32..63  payload length in bytes
+//   bits 32..39  target epoch (aurora::heal): which incarnation of the target
+//                this message belongs to. 0 is the initial incarnation, so the
+//                fault-free encoding is unchanged; after a recovery both sides
+//                stamp the new epoch and silently drop anything carrying an
+//                older one — stale retransmits and replies cannot cross an
+//                incarnation boundary.
+//   bits 40..63  payload length in bytes (caps messages at 16 MiB - 1)
 //
 // Encoding the length in the flag lets the DMA backend fetch the exact
 // message with a single LHM of the flag followed by one user-DMA transfer.
@@ -50,10 +56,14 @@ struct data_msg {
     std::uint64_t len = 0;         ///< chunk length in bytes
 };
 
+/// Largest payload length the 24-bit flag field can carry.
+inline constexpr std::uint32_t max_flag_len = (1u << 24) - 1;
+
 struct flag_word {
     msg_kind kind = msg_kind::empty;
     std::uint8_t gen = 0;
     std::uint16_t result_slot_plus1 = 0;
+    std::uint8_t epoch = 0;
     std::uint32_t len = 0;
 
     [[nodiscard]] bool present() const noexcept { return kind != msg_kind::empty; }
@@ -62,7 +72,7 @@ struct flag_word {
 [[nodiscard]] constexpr std::uint64_t encode_flag(flag_word f) {
     return std::uint64_t(static_cast<std::uint8_t>(f.kind)) |
            (std::uint64_t(f.gen) << 8) | (std::uint64_t(f.result_slot_plus1) << 16) |
-           (std::uint64_t(f.len) << 32);
+           (std::uint64_t(f.epoch) << 32) | (std::uint64_t(f.len) << 40);
 }
 
 [[nodiscard]] constexpr flag_word decode_flag(std::uint64_t raw) {
@@ -70,13 +80,20 @@ struct flag_word {
     f.kind = static_cast<msg_kind>(raw & 0xFF);
     f.gen = static_cast<std::uint8_t>((raw >> 8) & 0xFF);
     f.result_slot_plus1 = static_cast<std::uint16_t>((raw >> 16) & 0xFFFF);
-    f.len = static_cast<std::uint32_t>(raw >> 32);
+    f.epoch = static_cast<std::uint8_t>((raw >> 32) & 0xFF);
+    f.len = static_cast<std::uint32_t>(raw >> 40);
     return f;
 }
 
 /// Successive generation value for a slot (0 is reserved for "never used").
 [[nodiscard]] constexpr std::uint8_t next_gen(std::uint8_t g) {
     return g == 255 ? std::uint8_t{1} : std::uint8_t(g + 1);
+}
+
+/// Successive target epoch. 0 is reserved for the initial incarnation, so a
+/// wrapped-around counter can never be mistaken for a never-recovered target.
+[[nodiscard]] constexpr std::uint8_t next_epoch(std::uint8_t e) {
+    return e == 255 ? std::uint8_t{1} : std::uint8_t(e + 1);
 }
 
 /// Result message header preceding the result payload in a send buffer.

@@ -73,13 +73,25 @@ void runtime::bind_instruments(target_state& t, node_t node) {
                                          "serialized offload message sizes");
     t.met.health = &reg.gauge_for(
         "aurora_target_health", lbl,
-        "target health state (0=healthy, 1=degraded, 2=failed)");
+        "target health state (0=healthy, 1=degraded, 2=failed, 3=recovering, "
+        "4=probation)");
     t.met.inflight = &reg.gauge_for(
         "aurora_offload_inflight", lbl,
         "slots holding an uncollected request");
     t.met.queue_depth = &reg.gauge_for(
         "aurora_offload_queue_depth", lbl,
         "results arrived but not yet collected");
+    t.met.recoveries = ctr("aurora_heal_recoveries_total",
+                           "completed target recoveries (respawn + replay)");
+    t.met.recovery_attempts = ctr("aurora_heal_recovery_attempts_total",
+                                  "re-attach attempts during recovery");
+    t.met.replayed = ctr("aurora_heal_replayed_total",
+                         "un-acked messages replayed after a respawn");
+    t.met.epoch = &reg.gauge_for("aurora_heal_epoch", lbl,
+                                 "current target incarnation (0 = initial)");
+    t.met.mttr_ns = &reg.histogram_for(
+        "aurora_heal_mttr_ns", lbl,
+        "virtual ns from failure detection to first post-recovery result");
     t.met.base.messages_sent = t.met.messages_sent->value();
     t.met.base.batches_sent = t.met.batches_sent->value();
     t.met.base.results_received = t.met.results_received->value();
@@ -89,6 +101,8 @@ void runtime::bind_instruments(target_state& t, node_t node) {
     t.met.base.retransmits = t.met.retransmits->value();
     t.met.base.corrupt_retries = t.met.corrupt_retries->value();
     t.met.base.send_retries = t.met.send_retries->value();
+    t.met.base.recoveries = t.met.recoveries->value();
+    t.met.base.replayed = t.met.replayed->value();
 }
 
 void runtime::set_health(target_state& t, target_health h) {
@@ -111,6 +125,8 @@ runtime::runtime(sim::simulation& sim, aurora::veos::veos_system* sys,
                      "msg_slots must be in [1, 65534]");
     AURORA_CHECK_MSG(opt_.msg_size >= 256 && opt_.msg_size % 8 == 0,
                      "msg_size must be >= 256 and 8-byte aligned");
+    AURORA_CHECK_MSG(opt_.msg_size <= protocol::max_flag_len,
+                     "msg_size exceeds the 24-bit flag length field");
     if (sys_ != nullptr && opt_.backend != backend_kind::loopback &&
         opt_.backend != backend_kind::tcp) {
         for (const int t : opt_.targets) {
@@ -132,10 +148,22 @@ runtime::runtime(sim::simulation& sim, aurora::veos::veos_system* sys,
         // Injection without timeouts would hang on the first dropped message.
         opt_.reply_timeout_ns = 1'000'000;
     }
+    if (const auto v = aurora::env_int("HAM_AURORA_HEAL")) {
+        opt_.recovery.enabled = *v != 0;
+    }
+    if (const auto v = aurora::env_int("HAM_AURORA_HEAL_MAX_ATTEMPTS")) {
+        opt_.recovery.max_attempts =
+            static_cast<std::uint32_t>(std::max<std::int64_t>(*v, 0));
+    }
+    if (const auto v = aurora::env_int("HAM_AURORA_HEAL_BACKOFF_NS")) {
+        opt_.recovery.backoff_ns = std::max<std::int64_t>(*v, 1);
+    }
     reply_timeout_ns_ = opt_.reply_timeout_ns;
     max_retries_ = opt_.max_retries;
     retry_backoff_ns_ = std::max<std::int64_t>(opt_.retry_backoff_ns, 1);
-    resilient_ = inj.active() || reply_timeout_ns_ > 0;
+    // Recovery needs the pending-wire copies to replay, so it implies the
+    // resilient bookkeeping even without an injector or timeouts.
+    resilient_ = inj.active() || reply_timeout_ns_ > 0 || opt_.recovery.enabled;
 
     node_t node = 1;
     for (const int target : opt_.targets) {
@@ -200,6 +228,12 @@ runtime::~runtime() {
 void runtime::shutdown() {
     if (shut_down_) {
         return;
+    }
+    // Graceful path: give every recovering target its chance to respawn and
+    // finish the replayed work before the terminate handshake (drain() is a
+    // no-op when nothing is outstanding). Only then disable recovery.
+    if (opt_.recovery.enabled) {
+        drain();
     }
     shut_down_ = true;
     // Terminate every live target: a control message through the regular slot
@@ -272,6 +306,14 @@ target_health runtime::health(node_t node) {
     return state_for(node).health;
 }
 
+std::uint32_t runtime::probation_progress(node_t node) {
+    return state_for(node).ok_streak;
+}
+
+std::uint8_t runtime::target_epoch(node_t node) {
+    return state_for(node).epoch;
+}
+
 const std::string& runtime::failure_reason(node_t node) {
     return state_for(node).fail_reason;
 }
@@ -289,6 +331,17 @@ void runtime::note_transient_fault(target_state& t) {
     }
 }
 
+void runtime::settle_failed(target_state& t, std::uint64_t ticket,
+                            const std::string& why) {
+    protocol::result_header h;
+    h.status = protocol::status::target_failed;
+    std::vector<std::byte> bytes(sizeof(h) + why.size());
+    std::memcpy(bytes.data(), &h, sizeof(h));
+    std::memcpy(bytes.data() + sizeof(h), why.data(), why.size());
+    t.arrived.emplace(ticket, std::move(bytes));
+    t.met.queue_depth->add(1);
+}
+
 void runtime::fail_target(node_t node, const std::string& why) {
     target_state& t = state_for(node);
     if (t.health == target_health::failed) {
@@ -296,6 +349,7 @@ void runtime::fail_target(node_t node, const std::string& why) {
     }
     set_health(t, target_health::failed);
     t.fail_reason = why;
+    t.mttr_pending = false; // the failure never healed; no repair to time
     AURORA_TRACE("offload", "node " << node << " declared FAILED: " << why);
     AURORA_TRACE_COUNTER("offload", "targets_failed", 1);
     // Fence: make sure the target process exits its loop at the next fault
@@ -304,25 +358,222 @@ void runtime::fail_target(node_t node, const std::string& why) {
     if (t.be != nullptr) {
         t.be->abandon();
     }
-    // Settle every outstanding request with a synthetic failed result so no
-    // future ever blocks on this target.
+    // Settle every outstanding request — in flight or queued for replay —
+    // with a synthetic failed result so no future ever blocks on this target.
     for (std::uint32_t s = 0; s < t.slot_ticket.size(); ++s) {
         const std::uint64_t ticket = t.slot_ticket[s];
         if (ticket == 0) {
             continue;
         }
-        protocol::result_header h;
-        h.status = protocol::status::target_failed;
-        std::vector<std::byte> bytes(sizeof(h) + why.size());
-        std::memcpy(bytes.data(), &h, sizeof(h));
-        std::memcpy(bytes.data() + sizeof(h), why.data(), why.size());
-        t.arrived.emplace(ticket, std::move(bytes));
+        settle_failed(t, ticket, why);
         t.slot_ticket[s] = 0;
         t.slot_sent_ns[s] = 0; // synthetic settlements are not round-trips
         t.met.inflight->add(-1);
-        t.met.queue_depth->add(1);
+    }
+    for (const replay_entry& e : t.replay) {
+        settle_failed(t, e.ticket, why);
+    }
+    t.replay.clear();
+    t.pending.clear();
+}
+
+void runtime::on_failure(target_state& t, node_t node, const std::string& why) {
+    if (opt_.recovery.enabled && !shut_down_ && t.be != nullptr &&
+        t.health != target_health::failed) {
+        begin_recovery(t, node, why);
+    } else {
+        fail_target(node, why);
+    }
+}
+
+std::int64_t runtime::recovery_backoff(std::uint32_t attempts) const {
+    const std::int64_t base = std::max<std::int64_t>(opt_.recovery.backoff_ns, 1);
+    const std::int64_t grown = base << std::min<std::uint32_t>(attempts, 6);
+    return std::min(grown, std::max(opt_.recovery.backoff_cap_ns, base));
+}
+
+void runtime::begin_recovery(target_state& t, node_t node,
+                             const std::string& why) {
+    if (t.health != target_health::recovering) {
+        // First detection of this failure (re-entry happens when a respawned
+        // incarnation dies again mid-replay — the clock keeps its original
+        // start so the MTTR covers the whole outage).
+        t.failed_at = sim::now();
+        t.mttr_pending = true;
+        t.recover_attempts = 0;
+        t.fail_reason = why;
+        AURORA_TRACE("offload",
+                     "node " << node << " lost, RECOVERING: " << why);
+        AURORA_TRACE_COUNTER("offload", "targets_recovering", 1);
+    }
+    set_health(t, target_health::recovering);
+    t.ok_streak = 0;
+    // Fence the dead incarnation and reap its process; quiesce() keeps the
+    // delivered-result state harvestable (unlike abandon()).
+    aurora::fault::injector::instance().kill_now(int(node));
+    t.be->quiesce();
+    // Results posted just before the death may still be inside the transport;
+    // give them their modeled latency before the final drain reads the slots.
+    if (const std::int64_t grace = t.be->result_grace_ns(); grace > 0) {
+        sim::advance(grace);
+    }
+    for (std::uint32_t s = 0; s < t.slot_ticket.size(); ++s) {
+        if (t.slot_ticket[s] != 0) {
+            harvest_slot(t, s, node);
+        }
+    }
+    // Partition what is still un-acknowledged: user/batch messages with a
+    // retained wire copy replay on the next incarnation under their original
+    // tickets (exactly-once: the kill fires before execution, so none of
+    // these ever ran); anything else settles as failed.
+    for (std::uint32_t s = 0; s < t.slot_ticket.size(); ++s) {
+        const std::uint64_t ticket = t.slot_ticket[s];
+        if (ticket == 0) {
+            continue;
+        }
+        auto it = t.pending.find(s);
+        if (it != t.pending.end() &&
+            (it->second.kind == protocol::msg_kind::user ||
+             it->second.kind == protocol::msg_kind::batch)) {
+            t.replay.push_back(
+                {ticket, std::move(it->second.wire), it->second.kind});
+        } else {
+            settle_failed(t, ticket, why);
+        }
+        t.slot_ticket[s] = 0;
+        t.slot_sent_ns[s] = 0;
+        t.met.inflight->add(-1);
     }
     t.pending.clear();
+    t.next_attempt_at = sim::now() + recovery_backoff(t.recover_attempts);
+}
+
+bool runtime::maybe_recover(target_state& t, node_t node) {
+    if (t.health != target_health::recovering ||
+        sim::now() < t.next_attempt_at) {
+        return false;
+    }
+    if (t.recover_attempts >= opt_.recovery.max_attempts) {
+        fail_target(node, "recovery attempts exhausted: " + t.fail_reason);
+        return false;
+    }
+    ++t.recover_attempts;
+    t.met.recovery_attempts->add(1);
+    auto& inj = aurora::fault::injector::instance();
+    inj.revive(int(node));
+    const std::uint8_t epoch = protocol::next_epoch(t.epoch);
+    try {
+        if (inj.take_attach_failure(int(node))) {
+            throw target_attach_error("injected attach failure during "
+                                      "recovery of node " +
+                                      std::to_string(node));
+        }
+        AURORA_TRACE_SPAN("offload", "respawn");
+        t.be->respawn(epoch);
+    } catch (const target_attach_error& e) {
+        AURORA_TRACE("offload", "node " << node << " re-attach "
+                                        << t.recover_attempts << " failed: "
+                                        << e.what());
+        if (t.recover_attempts >= opt_.recovery.max_attempts) {
+            fail_target(node, std::string("recovery attempts exhausted: ") +
+                                  e.what());
+        } else {
+            t.next_attempt_at = sim::now() + recovery_backoff(t.recover_attempts);
+        }
+        return false;
+    }
+    t.epoch = epoch;
+    t.met.epoch->set(epoch);
+    set_health(t, target_health::probation);
+    t.ok_streak = 0;
+    t.fail_reason.clear();
+    t.met.recoveries->add(1);
+    AURORA_TRACE("offload", "node " << node << " respawned, epoch "
+                                    << int(epoch) << ", replaying "
+                                    << t.replay.size() << " messages");
+    // Replay in ticket order into slots 0.. — the order the fresh target
+    // polls its receive slots. Entries stay queued until their repost lands,
+    // so a terminal failure mid-replay still settles every ticket.
+    std::sort(t.replay.begin(), t.replay.end(),
+              [](const replay_entry& a, const replay_entry& b) {
+                  return a.ticket < b.ticket;
+              });
+    std::uint32_t slot = 0;
+    while (!t.replay.empty()) {
+        if (t.health != target_health::probation) {
+            return false; // died again mid-replay; the rest stays queued
+        }
+        replay_entry& e = t.replay.front();
+        try {
+            attempt_send(t, node, slot, e.wire.data(), e.wire.size(), e.kind,
+                         /*retransmit=*/false);
+        } catch (const target_failed_error&) {
+            return false;
+        }
+        t.slot_ticket[slot] = e.ticket;
+        t.slot_sent_ns[slot] = sim::now();
+        t.met.inflight->add(1);
+        pending_send p;
+        p.kind = e.kind;
+        p.attempts = 1;
+        p.sent_at = sim::now();
+        p.wire = std::move(e.wire);
+        t.pending[slot] = std::move(p);
+        t.met.replayed->add(1);
+        t.replay.erase(t.replay.begin());
+        ++slot;
+    }
+    t.rr = slot % static_cast<std::uint32_t>(t.slot_ticket.size());
+    t.recover_attempts = 0;
+    return true;
+}
+
+void runtime::wait_usable(target_state& t, node_t node) {
+    while (t.health == target_health::recovering) {
+        if (sim::now() < t.next_attempt_at) {
+            sim::sleep_until(t.next_attempt_at);
+        }
+        maybe_recover(t, node);
+    }
+    ensure_sendable(t, node);
+}
+
+void runtime::drain() {
+    AURORA_TRACE_SPAN("offload", "drain");
+    for (std::size_t i = 0; i < targets_.size(); ++i) {
+        target_state& t = *targets_[i];
+        const auto node = static_cast<node_t>(i + 1);
+        if (t.be == nullptr) {
+            continue;
+        }
+        for (;;) {
+            if (t.health == target_health::recovering) {
+                if (sim::now() < t.next_attempt_at) {
+                    sim::sleep_until(t.next_attempt_at);
+                }
+                maybe_recover(t, node);
+                continue;
+            }
+            if (t.health == target_health::failed) {
+                break;
+            }
+            bool outstanding = false;
+            for (std::uint32_t s = 0; s < t.slot_ticket.size(); ++s) {
+                if (t.slot_ticket[s] != 0) {
+                    harvest_slot(t, s, node);
+                }
+                outstanding |= t.slot_ticket[s] != 0;
+            }
+            if (resilient_) {
+                check_deadlines(t, node);
+            }
+            if (!outstanding && t.replay.empty() &&
+                t.health != target_health::recovering) {
+                break;
+            }
+            t.be->poll_pause();
+        }
+    }
 }
 
 bool runtime::harvest_slot(target_state& t, std::uint32_t slot, node_t node) {
@@ -337,15 +588,22 @@ bool runtime::harvest_slot(target_state& t, std::uint32_t slot, node_t node) {
         protocol::result_header h;
         std::memcpy(&h, bytes.data(), sizeof(h));
         if (h.status == protocol::status::corrupt_retry) {
+            if (t.health == target_health::recovering) {
+                // NACK from the dead incarnation, surfaced by the final
+                // drain: discard it — the message replays after the respawn.
+                return false;
+            }
             // Checksum NACK: the target refused the message without executing
             // it and advanced its generation — resend the clean frame fresh.
             t.met.corrupt_retries->add(1);
             note_transient_fault(t);
             auto it = t.pending.find(slot);
             if (it == t.pending.end() || it->second.attempts > max_retries_) {
-                fail_target(node, "checksum retries exhausted on slot " +
-                                      std::to_string(slot));
-                return true; // synthetic result is in `arrived` now
+                on_failure(t, node, "checksum retries exhausted on slot " +
+                                        std::to_string(slot));
+                // Terminal: the synthetic result is in `arrived`. Recovering:
+                // the ticket moved to the replay queue, still outstanding.
+                return t.health == target_health::failed;
             }
             pending_send& p = it->second;
             AURORA_TRACE("offload", "corrupt NACK node " << node << " slot "
@@ -363,11 +621,18 @@ bool runtime::harvest_slot(target_state& t, std::uint32_t slot, node_t node) {
     }
     if (resilient_) {
         t.pending.erase(slot);
-        if (t.health == target_health::degraded &&
+        if ((t.health == target_health::degraded ||
+             t.health == target_health::probation) &&
             ++t.ok_streak >= opt_.recovery_streak) {
             set_health(t, target_health::healthy);
             AURORA_TRACE("offload", "node " << node << " recovered to healthy");
         }
+    }
+    if (t.mttr_pending && t.health != target_health::recovering) {
+        // First real result after the respawn: the outage is repaired.
+        const sim::time_ns mttr = sim::now() - t.failed_at;
+        t.met.mttr_ns->record(mttr > 0 ? static_cast<std::uint64_t>(mttr) : 0);
+        t.mttr_pending = false;
     }
     if (t.slot_sent_ns[slot] != 0) {
         const sim::time_ns rtt = sim::now() - t.slot_sent_ns[slot];
@@ -397,11 +662,14 @@ io_status runtime::attempt_send(target_state& t, node_t node, std::uint32_t slot
             return io_status::ok;
         }
         if (st == io_status::down || attempt >= max_retries_) {
-            fail_target(node, st == io_status::down
-                                  ? "transport down"
-                                  : "send retries exhausted on slot " +
-                                        std::to_string(slot));
-            throw target_failed_error(failed_what(node, t.fail_reason));
+            const std::string why = st == io_status::down
+                                        ? "transport down"
+                                        : "send retries exhausted on slot " +
+                                              std::to_string(slot);
+            on_failure(t, node, why);
+            // Whether the target went terminal or into recovery, this post
+            // did not happen — the caller must not assume a ticket exists.
+            throw target_failed_error(failed_what(node, why));
         }
         // Transient post failure: back off (virtual time) and retry.
         t.met.send_retries->add(1);
@@ -479,9 +747,9 @@ void runtime::check_deadlines(target_state& t, node_t node) {
             continue;
         }
         if (p.attempts > max_retries_) {
-            fail_target(node, "reply timeout: retries exhausted on slot " +
-                                  std::to_string(slot));
-            return; // fail_target cleared `pending`
+            on_failure(t, node, "reply timeout: retries exhausted on slot " +
+                                    std::to_string(slot));
+            return; // the failure handler cleared `pending`
         }
         t.met.retransmits->add(1);
         note_transient_fault(t);
@@ -541,6 +809,8 @@ const runtime::target_statistics& runtime::statistics(node_t node) {
     t.stats.corrupt_retries =
         t.met.corrupt_retries->value() - b.corrupt_retries;
     t.stats.send_retries = t.met.send_retries->value() - b.send_retries;
+    t.stats.recoveries = t.met.recoveries->value() - b.recoveries;
+    t.stats.replayed = t.met.replayed->value() - b.replayed;
     return t.stats;
 }
 
@@ -558,6 +828,9 @@ runtime::target_runtime_stats runtime::runtime_stats(node_t node) {
     s.retransmits = st.retransmits;
     s.corrupt_retries = st.corrupt_retries;
     s.send_retries = st.send_retries;
+    s.recoveries = st.recoveries;
+    s.replayed = st.replayed;
+    s.epoch = t.epoch;
     return s;
 }
 
@@ -584,9 +857,16 @@ runtime::sent_message runtime::send_message(node_t node, const void* msg,
                                             std::size_t len,
                                             protocol::msg_kind kind) {
     target_state& t = state_for(node);
-    ensure_sendable(t, node);
-    const std::uint32_t slot = acquire_slot(t, node);
-    return send_on_slot(t, slot, msg, len, kind, node);
+    for (;;) {
+        wait_usable(t, node);
+        const std::uint32_t slot = acquire_slot(t, node);
+        if (t.health == target_health::recovering) {
+            // The target died while we waited for the slot; the successful
+            // recovery resets the round-robin cursor, so just start over.
+            continue;
+        }
+        return send_on_slot(t, slot, msg, len, kind, node);
+    }
 }
 
 bool runtime::try_send_message(node_t node, const void* msg, std::size_t len,
@@ -595,9 +875,17 @@ bool runtime::try_send_message(node_t node, const void* msg, std::size_t len,
     if (t.health == target_health::failed || t.be == nullptr) {
         return false;
     }
+    if (t.health == target_health::recovering && !maybe_recover(t, node)) {
+        // Guarantee virtual-time progress toward the backoff deadline so a
+        // non-blocking polling loop (aurora::sched) cannot spin forever.
+        sim::advance(costs_.local_poll_ns);
+        return false;
+    }
     if (resilient_) {
         check_deadlines(t, node);
-        if (t.health == target_health::failed) {
+        if (t.health != target_health::healthy &&
+            t.health != target_health::degraded &&
+            t.health != target_health::probation) {
             return false;
         }
     }
@@ -607,8 +895,9 @@ bool runtime::try_send_message(node_t node, const void* msg, std::size_t len,
     if (t.slot_ticket[slot] != 0 && !harvest_slot(t, slot, node)) {
         return false;
     }
-    if (t.health == target_health::failed) {
-        return false; // the harvest itself declared the target failed
+    if (t.health == target_health::failed ||
+        t.health == target_health::recovering) {
+        return false; // the harvest itself declared the target lost
     }
     t.rr = (t.rr + 1) % static_cast<std::uint32_t>(t.slot_ticket.size());
     out = send_on_slot(t, slot, msg, len, kind, node);
@@ -620,6 +909,10 @@ std::uint32_t runtime::slots_available(node_t node) {
     if (t.health == target_health::failed || t.be == nullptr) {
         return 0;
     }
+    if (t.health == target_health::recovering && !maybe_recover(t, node)) {
+        sim::advance(costs_.local_poll_ns); // progress toward the backoff
+        return 0;
+    }
     if (resilient_) {
         check_deadlines(t, node);
     }
@@ -629,7 +922,8 @@ std::uint32_t runtime::slots_available(node_t node) {
             harvest_slot(t, s, node);
         }
     }
-    if (t.health == target_health::failed) {
+    if (t.health == target_health::failed ||
+        t.health == target_health::recovering) {
         return 0;
     }
     std::uint32_t available = 0;
@@ -646,32 +940,50 @@ bool runtime::try_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,
                           std::vector<std::byte>& out) {
     sim::advance(costs_.ham_future_check_ns);
     target_state& t = state_for(node);
+    if (t.health == target_health::recovering) {
+        maybe_recover(t, node);
+    }
     if (resilient_) {
         check_deadlines(t, node);
     }
+    const auto deliver = [&](auto it) {
+        out = std::move(it->second);
+        t.arrived.erase(it);
+        t.met.results_received->add(1);
+        t.met.queue_depth->add(-1);
+        AURORA_TRACE_COUNTER("offload", "result_bytes", out.size());
+        return true;
+    };
     if (auto it = t.arrived.find(ticket); it != t.arrived.end()) {
-        out = std::move(it->second);
-        t.arrived.erase(it);
-        t.met.results_received->add(1);
-        t.met.queue_depth->add(-1);
-        AURORA_TRACE_COUNTER("offload", "result_bytes", out.size());
-        return true;
+        return deliver(it);
     }
-    if (t.slot_ticket[slot] == ticket && harvest_slot(t, slot, node)) {
-        auto it = t.arrived.find(ticket);
-        AURORA_CHECK(it != t.arrived.end());
-        out = std::move(it->second);
-        t.arrived.erase(it);
-        t.met.results_received->add(1);
-        t.met.queue_depth->add(-1);
-        AURORA_TRACE("offload", "result " << out.size() << " B <- node " << node
-                                          << " ticket " << ticket);
-        AURORA_TRACE_COUNTER("offload", "result_bytes", out.size());
-        return true;
+    // Find the slot currently carrying the ticket: a replay after a recovery
+    // may have relocated it away from the caller's slot hint.
+    std::uint32_t live = slot;
+    if (live >= t.slot_ticket.size() || t.slot_ticket[live] != ticket) {
+        const auto pos =
+            std::find(t.slot_ticket.begin(), t.slot_ticket.end(), ticket);
+        live = pos == t.slot_ticket.end()
+                   ? static_cast<std::uint32_t>(t.slot_ticket.size())
+                   : static_cast<std::uint32_t>(pos - t.slot_ticket.begin());
     }
-    // The only valid remaining state: the request is still outstanding in its
-    // slot. Anything else means the result was consumed twice.
-    AURORA_CHECK_MSG(t.slot_ticket[slot] == ticket,
+    if (live < t.slot_ticket.size()) {
+        if (harvest_slot(t, live, node)) {
+            if (auto it = t.arrived.find(ticket); it != t.arrived.end()) {
+                AURORA_TRACE("offload", "result <- node " << node << " ticket "
+                                                          << ticket);
+                return deliver(it);
+            }
+        }
+        return false; // still outstanding on its slot
+    }
+    // Not arrived and not on a slot: only legal while the ticket sits in the
+    // replay queue of an active recovery. Anything else means the result was
+    // consumed twice.
+    const bool queued =
+        std::any_of(t.replay.begin(), t.replay.end(),
+                    [&](const replay_entry& e) { return e.ticket == ticket; });
+    AURORA_CHECK_MSG(queued,
                      "future references a result that was already consumed");
     return false;
 }
@@ -685,6 +997,11 @@ void runtime::wait_collect(node_t node, std::uint64_t ticket, std::uint32_t slot
             // Safety net — fail_target settles outstanding tickets, so this
             // request must predate the runtime knowing the ticket.
             throw target_failed_error(failed_what(node, t.fail_reason));
+        }
+        if (t.health == target_health::recovering &&
+            sim::now() < t.next_attempt_at) {
+            sim::sleep_until(t.next_attempt_at); // idle until the re-attach
+            continue;
         }
         t.be->poll_pause();
     }
@@ -702,6 +1019,11 @@ bool runtime::wait_collect_until(node_t node, std::uint64_t ticket,
         if (sim::now() >= deadline_ns) {
             return false;
         }
+        if (t.health == target_health::recovering &&
+            sim::now() < t.next_attempt_at) {
+            sim::sleep_until(std::min(t.next_attempt_at, deadline_ns));
+            continue;
+        }
         t.be->poll_pause();
     }
     return true;
@@ -717,7 +1039,7 @@ std::uint64_t runtime::allocate_raw(node_t node, std::uint64_t bytes) {
         return addr;
     }
     target_state& t = state_for(node);
-    ensure_sendable(t, node);
+    wait_usable(t, node);
     return t.be->allocate_bytes(bytes);
 }
 
@@ -728,8 +1050,9 @@ void runtime::free_raw(node_t node, std::uint64_t addr) {
         return;
     }
     target_state& t = state_for(node);
-    if (t.health == target_health::failed || t.be == nullptr) {
-        return; // the target is gone; its memory went with it
+    if (t.health == target_health::failed ||
+        t.health == target_health::recovering || t.be == nullptr) {
+        return; // the target (incarnation) is gone; its memory went with it
     }
     t.be->free_bytes(addr);
 }
@@ -742,7 +1065,7 @@ void runtime::put_raw(node_t node, const void* src, std::uint64_t dst_addr,
         return;
     }
     target_state& t = state_for(node);
-    ensure_sendable(t, node);
+    wait_usable(t, node);
     t.met.bytes_put->add(len);
     AURORA_TRACE_SPAN("offload", "put");
     AURORA_TRACE_COUNTER("offload", "put_bytes", len);
@@ -762,7 +1085,7 @@ void runtime::get_raw(node_t node, std::uint64_t src_addr, void* dst,
         return;
     }
     target_state& t = state_for(node);
-    ensure_sendable(t, node);
+    wait_usable(t, node);
     t.met.bytes_got->add(len);
     AURORA_TRACE_SPAN("offload", "get");
     AURORA_TRACE_COUNTER("offload", "get_bytes", len);

@@ -75,6 +75,8 @@ public:
         std::uint64_t retransmits = 0;     ///< reply-timeout-driven resends
         std::uint64_t corrupt_retries = 0; ///< checksum NACKs answered by resend
         std::uint64_t send_retries = 0;    ///< transient send-post retries
+        std::uint64_t recoveries = 0;      ///< completed respawn+replay cycles
+        std::uint64_t replayed = 0;        ///< un-acked messages replayed
     };
     /// Per-runtime counts for `node`, read back from the aurora::metrics
     /// registry (the single source of truth every exposition surface shares)
@@ -91,6 +93,9 @@ public:
         std::uint64_t retransmits = 0;
         std::uint64_t corrupt_retries = 0;
         std::uint64_t send_retries = 0;
+        std::uint64_t recoveries = 0;
+        std::uint64_t replayed = 0;
+        std::uint8_t epoch = 0; ///< current incarnation (0 = initial)
     };
     [[nodiscard]] target_runtime_stats runtime_stats(node_t node);
 
@@ -98,10 +103,29 @@ public:
     [[nodiscard]] target_health health(node_t node);
     /// Why a failed target failed ("" while not failed).
     [[nodiscard]] const std::string& failure_reason(node_t node);
-    /// Declare `node` failed: fence its process, abandon the backend, and
-    /// settle every outstanding request with a synthetic status::target_failed
-    /// result so no future ever blocks on it. Idempotent.
+    /// Declare `node` terminally failed: fence its process, abandon the
+    /// backend, and settle every outstanding request (in flight or queued for
+    /// replay) with a synthetic status::target_failed result so no future
+    /// ever blocks on it. Idempotent. With recovery enabled
+    /// (runtime_options::recovery), internal failure detection routes through
+    /// the recovering state first; this is the terminal transition.
     void fail_target(node_t node, const std::string& why);
+
+    /// Clean results since the target entered probation (or since its last
+    /// fault while degraded) — the scheduler ramps its in-flight window with
+    /// this until it reaches options().recovery_streak.
+    [[nodiscard]] std::uint32_t probation_progress(node_t node);
+
+    /// The target's current incarnation number (aurora::heal). 0 until the
+    /// first recovery; stale-epoch traffic from earlier incarnations is
+    /// rejected at the channel layer.
+    [[nodiscard]] std::uint8_t target_epoch(node_t node);
+
+    /// Graceful quiesce: drive every recovering target to a terminal state
+    /// (healthy via respawn+replay, or failed), harvest every outstanding
+    /// slot, and return once no work is in flight anywhere. Collected results
+    /// stay buffered for their futures. Called by shutdown() first.
+    void drain();
 
     // --- messaging -------------------------------------------------------------
     struct sent_message {
@@ -153,6 +177,15 @@ private:
         sim::time_ns sent_at = 0;
     };
 
+    /// One un-acknowledged message carried across a recovery: reposted on the
+    /// respawned incarnation under its ORIGINAL ticket, so the waiting future
+    /// completes exactly once and never notices the respawn.
+    struct replay_entry {
+        std::uint64_t ticket = 0;
+        std::vector<std::byte> wire;
+        protocol::msg_kind kind = protocol::msg_kind::user;
+    };
+
     /// Registry-backed telemetry for one target. The registry owns the
     /// instruments (process-wide cumulative series, stable addresses); the
     /// runtime caches raw pointers at attach time so every hot-path update is
@@ -174,6 +207,11 @@ private:
         aurora::metrics::gauge* health = nullptr;
         aurora::metrics::gauge* inflight = nullptr;
         aurora::metrics::gauge* queue_depth = nullptr;
+        aurora::metrics::counter* recoveries = nullptr;
+        aurora::metrics::counter* recovery_attempts = nullptr;
+        aurora::metrics::counter* replayed = nullptr;
+        aurora::metrics::gauge* epoch = nullptr;
+        aurora::metrics::histogram* mttr_ns = nullptr;
         target_statistics base; ///< counter values when this runtime attached
     };
 
@@ -188,6 +226,13 @@ private:
         target_health health = target_health::healthy;
         std::string fail_reason;
         std::uint32_t ok_streak = 0; ///< clean results since the last fault
+        // --- aurora::heal recovery state ---------------------------------------
+        std::uint8_t epoch = 0;            ///< current incarnation
+        std::uint32_t recover_attempts = 0; ///< re-attach tries this recovery
+        sim::time_ns next_attempt_at = 0;  ///< backoff deadline (recovering)
+        sim::time_ns failed_at = 0;        ///< detection time, for the MTTR
+        bool mttr_pending = false; ///< MTTR not yet recorded for this failure
+        std::vector<replay_entry> replay;  ///< un-acked work awaiting respawn
         target_statistics stats; ///< refreshed from the registry on read
         target_instruments met;
     };
@@ -223,6 +268,23 @@ private:
     /// Throw target_failed_error when `t` is failed.
     void ensure_sendable(target_state& t, node_t node);
     void note_transient_fault(target_state& t);
+    /// Buffer a synthetic status::target_failed result for `ticket`.
+    void settle_failed(target_state& t, std::uint64_t ticket,
+                       const std::string& why);
+    /// Route a detected target death: begin_recovery when the recovery policy
+    /// allows it, terminal fail_target otherwise.
+    void on_failure(target_state& t, node_t node, const std::string& why);
+    /// failed -> recovering: fence + quiesce the dead incarnation, final-drain
+    /// delivered results, move un-acked user/batch work to the replay queue
+    /// (settling everything else synthetically), schedule the first re-attach.
+    void begin_recovery(target_state& t, node_t node, const std::string& why);
+    /// Attempt one recovery step if its backoff deadline passed: respawn the
+    /// target under the next epoch, replay the queue, enter probation. Returns
+    /// true only on full success. Exhausted attempts go terminal.
+    bool maybe_recover(target_state& t, node_t node);
+    /// Block (virtual time) while `t` recovers; throw when it goes terminal.
+    void wait_usable(target_state& t, node_t node);
+    [[nodiscard]] std::int64_t recovery_backoff(std::uint32_t attempts) const;
     void shutdown();
     /// Resolve `t`'s registry instruments and capture counter baselines.
     void bind_instruments(target_state& t, node_t node);

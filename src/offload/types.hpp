@@ -16,17 +16,32 @@ namespace sim = ::aurora::sim;
 /// process itself; nodes 1..num_nodes()-1 are offload targets.
 using node_t = int;
 
-/// Per-target health (aurora::fault hardening): healthy targets run the plain
-/// protocols; a degraded target saw transient faults (retransmits, NACKs) and
-/// recovers after a configurable streak of clean results; a failed target is
-/// fenced and never contacted again — sends to it throw target_failed_error.
-enum class target_health : std::uint8_t { healthy, degraded, failed };
+/// Per-target health (aurora::fault hardening + aurora::heal lifecycle):
+/// healthy targets run the plain protocols; a degraded target saw transient
+/// faults (retransmits, NACKs) and recovers after a configurable streak of
+/// clean results; a failed target is fenced and never contacted again — sends
+/// to it throw target_failed_error. With a recovery_policy enabled a failure
+/// instead enters `recovering` (process being respawned under a new epoch,
+/// un-acked work queued for replay) and, once re-attached, `probation`
+/// (usable, but the scheduler ramps its in-flight window back up over
+/// `recovery_streak` clean results before it counts as healthy again).
+/// The first three enumerators keep their numeric values — they are exported
+/// through the aurora_target_health metrics gauge.
+enum class target_health : std::uint8_t {
+    healthy,
+    degraded,
+    failed,
+    recovering,
+    probation,
+};
 
 [[nodiscard]] constexpr const char* to_string(target_health h) {
     switch (h) {
         case target_health::healthy: return "healthy";
         case target_health::degraded: return "degraded";
         case target_health::failed: return "failed";
+        case target_health::recovering: return "recovering";
+        case target_health::probation: return "probation";
     }
     return "?";
 }

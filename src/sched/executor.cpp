@@ -144,11 +144,15 @@ void executor::wait_all() {
             continue;
         }
         // No completions, no dispatches. Legal only while work is in flight
-        // (the poll itself advanced virtual time, the targets will get there);
-        // otherwise the dependency graph cannot make progress.
+        // (the poll itself advanced virtual time, the targets will get there)
+        // or a target is mid-recovery (each dispatch probe advances virtual
+        // time towards its re-attach deadline); otherwise the dependency
+        // graph cannot make progress.
         bool inflight = false;
-        for (const target_queues& tq : targets_) {
-            inflight = inflight || !tq.inflight.empty();
+        for (std::size_t t = 0; t < num_targets_; ++t) {
+            inflight = inflight || !targets_[t].inflight.empty() ||
+                       rt_.health(node_of(t)) ==
+                           ham::offload::target_health::recovering;
         }
         AURORA_CHECK_MSG(inflight,
                          "executor stalled with "
@@ -182,8 +186,10 @@ void executor::release_ready(task_id id) {
         return;
     }
     if (rec.home != 0 &&
-        !target_usable(static_cast<std::size_t>(rec.home) - 1)) {
-        // The home target died before this task became ready.
+        target_terminal(static_cast<std::size_t>(rec.home) - 1)) {
+        // The home target died for good before this task became ready. (A
+        // merely recovering home keeps its queue — the task waits for the
+        // respawn and dispatches during probation.)
         if (rec.opts.pinned) {
             failed_ = true;
             first_error_ = "pinned task " + std::to_string(id) +
@@ -349,17 +355,25 @@ void executor::retire_flight(std::size_t t, flight& f) {
 
 bool executor::dispatch_target(std::size_t t) {
     target_queues& tq = targets_[t];
-    if (!target_usable(t)) {
+    const node_t node = node_of(t);
+    if (target_terminal(t)) {
         // A dead target dispatches nothing; anything still queued here moves
         // to the survivors (its in-flight work re-routes via retire_flight).
         const bool moved = !tq.ready.empty();
         evacuate(t);
         return moved;
     }
-    const node_t node = node_of(t);
+    if (rt_.health(node) == ham::offload::target_health::recovering) {
+        // Drive the heal state machine (the probe advances virtual time
+        // towards the re-attach deadline and performs the respawn + replay
+        // when it arrives); queued tasks and parked flights wait it out.
+        static_cast<void>(rt_.slots_available(node));
+        return false;
+    }
     bool progress = false;
 
-    while (tq.inflight.size() < window_) {
+    const std::uint32_t win = effective_window(t);
+    while (tq.inflight.size() < win) {
         if (tq.ready.empty()) {
             if (cfg_.policy != placement_policy::work_stealing ||
                 !steal_into(t)) {
@@ -486,13 +500,43 @@ bool executor::steal_into(std::size_t thief) {
 }
 
 bool executor::target_usable(std::size_t t) const {
-    return rt_.health(node_of(t)) != ham::offload::target_health::failed;
+    const auto h = rt_.health(node_of(t));
+    return h != ham::offload::target_health::failed &&
+           h != ham::offload::target_health::recovering;
+}
+
+bool executor::target_terminal(std::size_t t) const {
+    return rt_.health(node_of(t)) == ham::offload::target_health::failed;
+}
+
+std::uint32_t executor::effective_window(std::size_t t) {
+    // Reintegration ramp: a target fresh out of recovery starts with a window
+    // of one and earns the full window back linearly as its clean-result
+    // streak approaches recovery_streak (the same streak that later promotes
+    // it to healthy).
+    if (rt_.health(node_of(t)) != ham::offload::target_health::probation) {
+        return window_;
+    }
+    const std::uint32_t streak =
+        std::max<std::uint32_t>(rt_.options().recovery_streak, 1);
+    const std::uint32_t progress =
+        std::min(rt_.probation_progress(node_of(t)), streak);
+    return 1 + (window_ - 1) * progress / streak;
 }
 
 std::size_t executor::next_healthy() {
     for (std::size_t i = 0; i < num_targets_; ++i) {
         const std::size_t t = (failover_rr_ + i) % num_targets_;
         if (target_usable(t)) {
+            failover_rr_ = static_cast<std::uint32_t>((t + 1) % num_targets_);
+            return t;
+        }
+    }
+    // No dispatchable target, but a recovering one will take queued work once
+    // its respawn lands — park the task there rather than failing the run.
+    for (std::size_t i = 0; i < num_targets_; ++i) {
+        const std::size_t t = (failover_rr_ + i) % num_targets_;
+        if (!target_terminal(t)) {
             failover_rr_ = static_cast<std::uint32_t>((t + 1) % num_targets_);
             return t;
         }

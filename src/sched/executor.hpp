@@ -126,12 +126,21 @@ private:
     bool dispatch_target(std::size_t t);
     bool steal_into(std::size_t thief);
 
-    // --- graceful degradation (aurora::fault) --------------------------------
-    // When a target transitions to target_health::failed its queued tasks and
-    // every un-acked in-flight task re-route to healthy targets; pinned tasks
-    // fail. Re-routed tasks may execute more than once if the dead target got
-    // partway through them — schedule idempotent kernels under fault injection.
-    [[nodiscard]] bool target_usable(std::size_t t) const;
+    // --- graceful degradation + self-healing (aurora::fault, aurora::heal) --
+    // When a target transitions to target_health::failed (terminal — recovery
+    // disabled or exhausted) its queued tasks and every un-acked in-flight
+    // task re-route to healthy targets; pinned tasks fail. Re-routed tasks may
+    // execute more than once if the dead target got partway through them.
+    //
+    // With recovery enabled a dying target instead passes through `recovering`
+    // (the runtime respawns it and replays un-acked flights under a new epoch;
+    // the scheduler keeps its queue and flights parked, so every task still
+    // completes exactly once) and then `probation`, where the in-flight window
+    // ramps from 1 back to the configured size as the clean-result streak
+    // grows (reintegration).
+    [[nodiscard]] bool target_usable(std::size_t t) const;  ///< dispatchable
+    [[nodiscard]] bool target_terminal(std::size_t t) const;///< failed for good
+    [[nodiscard]] std::uint32_t effective_window(std::size_t t);
     [[nodiscard]] std::size_t next_healthy();
     void evacuate(std::size_t dead);
     bool reroute_flight(std::size_t dead, flight& f);

@@ -15,12 +15,44 @@ TEST(ProtocolEncoding, FlagRoundTrip) {
     f.kind = msg_kind::user;
     f.gen = 0xAB;
     f.result_slot_plus1 = 0x1234;
-    f.len = 0xDEADBEEF;
+    f.epoch = 0xCD;
+    f.len = 0xADBEEF; // 24-bit length field
     const flag_word g = decode_flag(encode_flag(f));
     EXPECT_EQ(g.kind, msg_kind::user);
     EXPECT_EQ(g.gen, 0xAB);
     EXPECT_EQ(g.result_slot_plus1, 0x1234);
-    EXPECT_EQ(g.len, 0xDEADBEEFu);
+    EXPECT_EQ(g.epoch, 0xCD);
+    EXPECT_EQ(g.len, 0xADBEEFu);
+}
+
+TEST(ProtocolEncoding, LenCapsAt24Bits) {
+    flag_word f;
+    f.kind = msg_kind::user;
+    f.len = max_flag_len;
+    EXPECT_EQ(decode_flag(encode_flag(f)).len, max_flag_len);
+}
+
+TEST(ProtocolEncoding, EpochZeroKeepsLegacyEncoding) {
+    // Epoch 0 (the initial incarnation) must encode byte-identically to the
+    // pre-heal wire format so the fault-free hot path is unchanged.
+    flag_word f;
+    f.kind = msg_kind::user;
+    f.gen = 7;
+    f.result_slot_plus1 = 3;
+    f.len = 128;
+    const std::uint64_t raw = encode_flag(f);
+    EXPECT_EQ((raw >> 32) & 0xFF, 0u);
+    f.epoch = 9;
+    EXPECT_EQ(encode_flag(f) & ~(std::uint64_t{0xFF} << 32), raw);
+}
+
+TEST(ProtocolEncoding, EpochWrapsSkippingZero) {
+    // Epoch 0 is reserved for the initial incarnation; 255 wraps to 1 so a
+    // respawned target can never alias a fresh one.
+    EXPECT_EQ(next_epoch(0), 1);
+    EXPECT_EQ(next_epoch(1), 2);
+    EXPECT_EQ(next_epoch(254), 255);
+    EXPECT_EQ(next_epoch(255), 1);
 }
 
 TEST(ProtocolEncoding, EmptyFlagIsZero) {

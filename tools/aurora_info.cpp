@@ -2,6 +2,14 @@
 //
 //   build/tools/aurora_info                  # platform + cost model dump
 //   build/tools/aurora_info --check          # quick end-to-end self-check
+//   build/tools/aurora_info --check --wait-healthy <ns>
+//                                            # after the self-check offloads,
+//                                            # keep poking each target with
+//                                            # empty kernels (driving recovery
+//                                            # and the probation streak) until
+//                                            # every target reports healthy or
+//                                            # <ns> of virtual time pass; a
+//                                            # timeout fails the check
 //   build/tools/aurora_info --trace-summary  # traced offload mix + aggregated
 //                                            # per-phase latency summary
 //   build/tools/aurora_info --metrics        # run the self-check workload and
@@ -16,6 +24,7 @@
 // offload mix per backend, and prints the per-phase span statistics (also
 // honouring HAM_AURORA_TRACE_FILE for the full Chrome JSON).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <vector>
@@ -75,7 +84,40 @@ void dump_cost_model() {
     std::printf("%s", t.str().c_str());
 }
 
-int self_check(bool quiet = false) {
+/// Drive every target back to `healthy` or give up after `budget_ns` of
+/// virtual time. Sending an empty kernel both advances a recovering target's
+/// heal state machine and, once it reaches probation, grows the clean-result
+/// streak that promotes it. Returns false on timeout or terminal failure.
+bool wait_healthy(ham::offload::runtime& rt, sim::duration_ns budget_ns) {
+    const sim::time_ns deadline = sim::now() + budget_ns;
+    for (;;) {
+        bool all_healthy = true;
+        for (ham::offload::node_t n = 1;
+             n < static_cast<ham::offload::node_t>(rt.num_nodes()); ++n) {
+            const auto h = rt.health(n);
+            if (h == ham::offload::target_health::healthy) {
+                continue;
+            }
+            all_healthy = false;
+            if (h == ham::offload::target_health::failed) {
+                return false; // terminal: no amount of waiting helps
+            }
+            try {
+                ham::offload::sync(n, ham::f2f<&empty_kernel>());
+            } catch (const ham::offload::offload_error&) {
+                // Terminal failure surfaces on the next health() poll.
+            }
+        }
+        if (all_healthy) {
+            return true;
+        }
+        if (sim::now() >= deadline) {
+            return false;
+        }
+    }
+}
+
+int self_check(bool quiet = false, sim::duration_ns wait_healthy_ns = -1) {
     int failures = 0;
     for (const auto kind :
          {ham::offload::backend_kind::loopback, ham::offload::backend_kind::tcp,
@@ -84,26 +126,42 @@ int self_check(bool quiet = false) {
         ham::offload::runtime_options opt;
         opt.backend = kind;
         double us = 0.0;
+        bool healthy_in_time = true;
         ham::offload::runtime::target_runtime_stats rs;
         const int rc = ham::offload::run(plat, opt, [&] {
             ham::offload::sync(1, ham::f2f<&empty_kernel>());
             const sim::time_ns t0 = sim::now();
             ham::offload::sync(1, ham::f2f<&empty_kernel>());
             us = double(sim::now() - t0) / 1000.0;
-            rs = ham::offload::runtime::current()->runtime_stats(1);
+            auto& rt = *ham::offload::runtime::current();
+            if (wait_healthy_ns >= 0) {
+                healthy_in_time = wait_healthy(rt, wait_healthy_ns);
+            }
+            rs = rt.runtime_stats(1);
         });
         if (!quiet) {
             std::printf("  %-9s offload round trip: %8.2f us  %s   "
                         "[health %s, slots %u, in-flight %u, queued %u, "
-                        "completed %llu, retransmits %llu]\n",
+                        "completed %llu, retransmits %llu, epoch %u, "
+                        "recoveries %llu, replayed %llu]\n",
                         ham::offload::to_string(kind), us,
-                        rc == 0 ? "OK" : "FAILED",
+                        rc == 0 && healthy_in_time ? "OK" : "FAILED",
                         ham::offload::to_string(rs.health), rs.slots_total,
                         rs.in_flight, rs.queue_depth,
                         static_cast<unsigned long long>(rs.completed),
-                        static_cast<unsigned long long>(rs.retransmits));
+                        static_cast<unsigned long long>(rs.retransmits),
+                        static_cast<unsigned>(rs.epoch),
+                        static_cast<unsigned long long>(rs.recoveries),
+                        static_cast<unsigned long long>(rs.replayed));
+            if (!healthy_in_time) {
+                std::fprintf(stderr,
+                             "aurora_info: %s target not healthy within "
+                             "%lld virtual ns\n",
+                             ham::offload::to_string(kind),
+                             static_cast<long long>(wait_healthy_ns));
+            }
         }
-        failures += rc == 0 ? 0 : 1;
+        failures += (rc == 0 && healthy_in_time) ? 0 : 1;
     }
     return failures;
 }
@@ -186,12 +244,34 @@ int main(int argc, char** argv) {
     if (argc > 1 && std::strcmp(argv[1], "--metrics") == 0) {
         return metrics_dump();
     }
+    bool check = false;
+    aurora::sim::duration_ns wait_healthy_ns = -1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0) {
+            check = true;
+        } else if (std::strcmp(argv[i], "--wait-healthy") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "aurora_info: --wait-healthy needs a virtual-ns "
+                             "budget\n");
+                return 2;
+            }
+            wait_healthy_ns = std::atoll(argv[++i]);
+        } else {
+            std::fprintf(stderr, "aurora_info: unknown option %s\n", argv[i]);
+            return 2;
+        }
+    }
+    if (wait_healthy_ns >= 0 && !check) {
+        std::fprintf(stderr, "aurora_info: --wait-healthy requires --check\n");
+        return 2;
+    }
     sim::platform plat(sim::platform_config::a300_8());
     std::printf("%s\n", plat.description().c_str());
     dump_cost_model();
-    if (argc > 1 && std::strcmp(argv[1], "--check") == 0) {
+    if (check) {
         std::printf("\nSelf-check (one offload per backend):\n");
-        return self_check();
+        return self_check(/*quiet=*/false, wait_healthy_ns);
     }
     return 0;
 }
