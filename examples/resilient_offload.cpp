@@ -1,6 +1,14 @@
 // Resilient offloading under fault injection (aurora::fault).
 //
-//   build/examples/resilient_offload [seed]
+//   build/examples/resilient_offload [seed] [--nodes N]
+//
+// With --nodes N (N >= 2) the task set runs on an aurora::net cluster
+// instead: the mix piles onto remote VH 1, whose first VE is killed mid-run.
+// Self-healing is enabled on the remote nodes, so the gateway's runtime
+// respawns the VE, replays its un-acked messages exactly once, and the
+// two-level executor keeps the rest of the cluster busy throughout — every
+// task completes and the node returns to healthy. Single-node runs (the
+// default) keep the pre-cluster fence-and-failover behaviour bit-exactly.
 //
 // Runs a dependency-laced task set across four simulated Vector Engines and
 // kills one of them mid-run through the deterministic fault injector (plus a
@@ -13,15 +21,18 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "net/net.hpp"
 #include "offload/offload.hpp"
 #include "sched/sched.hpp"
 
 namespace off = ham::offload;
 namespace sched = aurora::sched;
 namespace fault = aurora::fault;
+namespace net = aurora::net;
 
 namespace {
 
@@ -36,11 +47,123 @@ void simulate_block(std::int64_t cost_ns, std::uint64_t* executions) {
     ++*executions;
 }
 
+/// --nodes N: the same chaos seed on an aurora::net cluster, with healing.
+/// Remote VH 1's first VE (global id ves+1) dies mid-run; the gateway's
+/// runtime respawns and replays it while work steals spread the backlog, so
+/// every task completes and the node ends healthy again.
+int run_cluster(std::uint64_t seed, int nodes) {
+    constexpr int ves = 2;
+    fault::config chaos;
+    chaos.enabled = true;
+    chaos.seed = seed;
+    auto& inj = fault::injector::instance();
+    inj.configure(chaos);
+    inj.kill_after_messages(ves + 1, 5); // VH 1's VE 1, mid-run
+
+    off::runtime_options opt;
+    opt.backend = off::backend_kind::loopback;
+    opt.targets.assign(ves, 0);
+    opt.reply_timeout_ns = 200'000;
+    opt.max_retries = 3;
+
+    std::vector<std::uint64_t> executions(num_tasks, 0);
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    plat.sim().set_virtual_deadline(300'000'000'000);
+
+    bool healed = false;
+    std::uint64_t completed = 0, steals_remote = 0;
+    const int rc = off::run(plat, opt, [&] {
+        net::cluster_options copt;
+        copt.nodes = nodes;
+        copt.ves_per_node = ves;
+        copt.remote = opt;
+        copt.remote.recovery.enabled = true;
+        copt.remote.recovery.backoff_ns = 50'000;
+        copt.remote.recovery_streak = 4;
+        net::cluster c(plat, copt);
+        net::cluster_executor_config cfg;
+        cfg.window = 2;
+        cfg.remote_steal_threshold = 2;
+        net::cluster_executor ex(c, cfg);
+        for (int i = 0; i < num_tasks; ++i) {
+            // Pile everything onto the node that is about to lose a VE.
+            ex.submit(ham::f2f<&simulate_block>(
+                          std::int64_t{5'000},
+                          &executions[static_cast<std::size_t>(i)]),
+                      /*affinity_vh=*/1);
+        }
+        ex.wait_all();
+        completed = ex.stats().completed;
+        steals_remote = ex.stats().steals_remote;
+        // Promotion off probation needs a streak of clean results; keep the
+        // respawned VE busy until it reports fully healthy (bounded by the
+        // virtual deadline above).
+        std::uint64_t probe_execs = 0;
+        for (int i = 0; i < 64; ++i) {
+            const off::target_health h = c.engine_health(1, 1);
+            if (h == off::target_health::healthy ||
+                h == off::target_health::failed) {
+                break;
+            }
+            c.async(1, 1, ham::f2f<&simulate_block>(std::int64_t{1'000},
+                                                    &probe_execs))
+                .get();
+        }
+        healed = c.engine_health(1, 1) == off::target_health::healthy;
+
+        std::printf("seed %llu: %llu/%d tasks completed on %d nodes\n",
+                    static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(completed), num_tasks,
+                    nodes);
+        for (int vh = 0; vh < nodes; ++vh) {
+            const net::node_status s = c.status(vh);
+            std::printf("  VH %d: %-10s (%d healthy, %d recovering, "
+                        "%d failed of %d VEs)\n",
+                        vh, off::to_string(s.health), s.ves_healthy,
+                        s.ves_recovering, s.ves_failed, s.ves_total);
+        }
+        std::printf("  remote VE epoch after heal: %u, remote steals %llu, "
+                    "reroutes %llu\n",
+                    static_cast<unsigned>(c.observed_epoch(1, 1)),
+                    static_cast<unsigned long long>(steals_remote),
+                    static_cast<unsigned long long>(ex.stats().reroutes));
+    });
+
+    const auto& stats = inj.stats();
+    std::printf("injected: %llu kills, %llu revivals\n",
+                static_cast<unsigned long long>(stats.kills),
+                static_cast<unsigned long long>(stats.revivals));
+    bool ok = rc == 0 && completed == std::uint64_t(num_tasks) &&
+              stats.kills == 1 && stats.revivals >= 1 && healed;
+    for (const std::uint64_t e : executions) {
+        ok = ok && e >= 1;
+    }
+    inj.reset();
+    std::printf("%s\n", ok ? "OK" : "FAIL");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-    const std::uint64_t seed =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+    std::uint64_t seed = 42;
+    int nodes = 1;
+    bool seed_set = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+            nodes = std::atoi(argv[++i]);
+        } else if (!seed_set) {
+            seed = std::strtoull(argv[i], nullptr, 10);
+            seed_set = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: resilient_offload [seed] [--nodes N]\n");
+            return 2;
+        }
+    }
+    if (nodes > 1) {
+        return run_cluster(seed, nodes);
+    }
 
     // Probabilistic chaos: drops, corruptions, delay spikes — all seeded.
     fault::config chaos;

@@ -1,0 +1,19 @@
+// aurora::net — the distributed multi-VH cluster tier. Umbrella header.
+//
+//   sim::platform plat{sim::platform_config::a300_8()};
+//   ham::offload::run(plat, opt, [&] {
+//       aurora::net::cluster_options copt;
+//       copt.nodes = 4;
+//       copt.ves_per_node = 4;
+//       copt.link = aurora::net::link_profile::ib_hdr();
+//       aurora::net::cluster c(plat, copt);
+//       auto f = c.async(2, 1, ham::f2f(&kernel, args...)); // VH2's VE1
+//       f.get();
+//   });
+//
+// See docs/CLUSTER.md for addressing, routing and failure semantics.
+#pragma once
+
+#include "net/cluster.hpp"
+#include "net/cluster_executor.hpp"
+#include "net/link.hpp"

@@ -39,6 +39,13 @@ struct runtime_options {
     std::vector<int> targets = {0};
     /// VH socket the host process runs on (socket 1 pays the UPI penalty).
     int vh_socket = 0;
+    /// Global node-id offset applied to every target's *identity* — the id a
+    /// backend stamps into its target_context, fault-injection schedules key
+    /// on, and metric labels carry. The API-level node_t stays 1..targets.
+    /// size(); aurora::net sets this per cluster tenant so every VE in a
+    /// multi-VH cluster has a machine-unique identity (VH k's VE i is node
+    /// k*V+i). 0 (the default) keeps the single-machine behaviour unchanged.
+    int node_base = 0;
     /// Message slots per direction and per-slot payload capacity.
     std::uint32_t msg_slots = 8;
     std::uint32_t msg_size = ham::default_max_msg_size;

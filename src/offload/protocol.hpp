@@ -23,6 +23,7 @@
 // message with a single LHM of the flag followed by one user-DMA transfer.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -226,6 +227,123 @@ private:
     const std::byte* end_;
     std::uint32_t left_ = 0;
 };
+
+// --- cluster routing header (aurora::net) ------------------------------------
+//
+// The distributed tier routes active messages VH -> VH -> VE across a modeled
+// interconnect. A frame crossing an inter-node link carries a fixed 32-byte
+// routing header in front of the ordinary serialised payload:
+//
+//   [ routing_header : 32 B ][ payload : len bytes ]
+//
+// The header extends the single-machine address space with a node_id: the
+// destination is (dst_node, target) where dst_node names a VH in the cluster
+// and target the VE within that VH's own target set (0 = the VH itself, for
+// control frames). It travels *alongside* the epoch-stamped wire flags — the
+// inner payload is re-framed by the destination VH's own slot protocol with
+// its own generations and epochs, so recovery semantics compose unchanged.
+//
+// Crucially, node 0 (the origin VH — the entire legacy address space) never
+// sees a routing header: local sends bypass the cluster tier entirely and a
+// frame routed "to node 0" encodes as the bare payload. Single-node runs stay
+// byte-identical on the wire (asserted by tests/offload/protocol_test.cpp).
+
+inline constexpr std::uint16_t routing_magic = 0xA77A;
+inline constexpr std::uint8_t routing_version = 1;
+inline constexpr std::size_t routing_header_bytes = 32;
+
+/// routing_header.flags bits.
+namespace routing_flags {
+inline constexpr std::uint8_t result = 0x1; ///< result frame (VH <- VH)
+}
+
+struct routing_header {
+    std::uint16_t src_node = 0;  ///< originating VH
+    std::uint16_t dst_node = 0;  ///< destination VH (0 = origin / legacy)
+    std::uint16_t target = 0;    ///< VE within the destination VH (0 = the VH)
+    msg_kind kind = msg_kind::user; ///< inner payload kind, forwarded as-is
+    std::uint8_t epoch = 0;      ///< origin-visible remote incarnation tag
+    std::uint8_t hops = 0;       ///< forwarding hop count
+    std::uint8_t flags = 0;      ///< routing_flags bits
+    std::uint32_t len = 0;       ///< payload bytes following the header
+    std::uint64_t ticket = 0;    ///< origin's remote-completion ticket
+
+    [[nodiscard]] bool is_result() const noexcept {
+        return (flags & routing_flags::result) != 0;
+    }
+};
+
+/// Serialise `h` into exactly routing_header_bytes at `out`.
+inline void encode_routing(const routing_header& h, std::byte* out) {
+    std::memset(out, 0, routing_header_bytes);
+    auto put16 = [&](std::size_t at, std::uint16_t v) {
+        std::memcpy(out + at, &v, sizeof(v));
+    };
+    put16(0, routing_magic);
+    out[2] = std::byte{routing_version};
+    out[3] = std::byte{h.flags};
+    put16(4, h.src_node);
+    put16(6, h.dst_node);
+    put16(8, h.target);
+    out[10] = static_cast<std::byte>(h.kind);
+    out[11] = std::byte{h.epoch};
+    out[12] = std::byte{h.hops};
+    // bytes 13..15 reserved (zero)
+    std::memcpy(out + 16, &h.len, sizeof(h.len));
+    // bytes 20..23 reserved (zero)
+    std::memcpy(out + 24, &h.ticket, sizeof(h.ticket));
+}
+
+/// Does `data` start with a well-formed routing header?
+[[nodiscard]] inline bool is_routed(const std::byte* data, std::size_t len) {
+    if (len < routing_header_bytes) {
+        return false;
+    }
+    std::uint16_t magic = 0;
+    std::memcpy(&magic, data, sizeof(magic));
+    return magic == routing_magic &&
+           data[2] == std::byte{routing_version};
+}
+
+/// Deserialise a routing header from `data` (caller checked is_routed()).
+[[nodiscard]] inline routing_header decode_routing(const std::byte* data) {
+    routing_header h;
+    auto get16 = [&](std::size_t at) {
+        std::uint16_t v = 0;
+        std::memcpy(&v, data + at, sizeof(v));
+        return v;
+    };
+    h.flags = static_cast<std::uint8_t>(data[3]);
+    h.src_node = get16(4);
+    h.dst_node = get16(6);
+    h.target = get16(8);
+    h.kind = static_cast<msg_kind>(data[10]);
+    h.epoch = static_cast<std::uint8_t>(data[11]);
+    h.hops = static_cast<std::uint8_t>(data[12]);
+    std::memcpy(&h.len, data + 16, sizeof(h.len));
+    std::memcpy(&h.ticket, data + 24, sizeof(h.ticket));
+    return h;
+}
+
+/// Frame `payload` for transport to `h.dst_node`. Frames addressed to node 0
+/// — the origin VH, i.e. every legacy single-machine address — keep the
+/// byte-identical legacy encoding: the bare payload, no header.
+[[nodiscard]] inline std::vector<std::byte>
+make_routed_frame(routing_header h, const std::byte* payload, std::size_t len) {
+    if (h.dst_node == 0 && !h.is_result()) {
+        return {payload, payload + len};
+    }
+    h.len = static_cast<std::uint32_t>(len);
+    std::array<std::byte, routing_header_bytes> hdr{};
+    encode_routing(h, hdr.data());
+    std::vector<std::byte> frame;
+    frame.reserve(routing_header_bytes + len);
+    frame.insert(frame.end(), hdr.begin(), hdr.end());
+    if (len > 0) {
+        frame.insert(frame.end(), payload, payload + len);
+    }
+    return frame;
+}
 
 /// Geometry of one direction's communication region:
 /// [ flags: slots * 8 B ][ buffers: slots * msg_size ].

@@ -168,27 +168,31 @@ runtime::runtime(sim::simulation& sim, aurora::veos::veos_system* sys,
     node_t node = 1;
     for (const int target : opt_.targets) {
         auto state = std::make_unique<target_state>();
+        // The backend-facing identity: fault schedules, target contexts and
+        // metric labels all see the cluster-unique id (aurora::net tenants
+        // set node_base; the single-machine default keeps gid == node).
+        const node_t gid = static_cast<node_t>(opt_.node_base) + node;
         try {
-            if (inj.take_attach_failure(int(node))) {
+            if (inj.take_attach_failure(int(gid))) {
                 throw target_attach_error("injected attach failure on node " +
-                                          std::to_string(node));
+                                          std::to_string(gid));
             }
             switch (opt_.backend) {
                 case backend_kind::loopback:
                     state->be = std::make_unique<backend_loopback>(
-                        sim_, loopback_target_registry(), costs_, opt_, node);
+                        sim_, loopback_target_registry(), costs_, opt_, gid);
                     break;
                 case backend_kind::tcp:
                     state->be = std::make_unique<backend_tcp>(
-                        sim_, loopback_target_registry(), costs_, opt_, node);
+                        sim_, loopback_target_registry(), costs_, opt_, gid);
                     break;
                 case backend_kind::veo:
                     state->be =
-                        std::make_unique<backend_veo>(*sys_, target, node, opt_);
+                        std::make_unique<backend_veo>(*sys_, target, gid, opt_);
                     break;
                 case backend_kind::vedma:
                     state->be =
-                        std::make_unique<backend_vedma>(*sys_, target, node, opt_);
+                        std::make_unique<backend_vedma>(*sys_, target, gid, opt_);
                     break;
             }
             state->slot_ticket.assign(state->be->slot_count(), 0);
@@ -200,10 +204,10 @@ runtime::runtime(sim::simulation& sim, aurora::veos::veos_system* sys,
             state->health = target_health::failed;
             state->fail_reason = e.what();
             AURORA_TRACE("offload",
-                         "node " << node << " attach failed: " << e.what());
+                         "node " << gid << " attach failed: " << e.what());
         }
         state->slot_sent_ns.assign(state->slot_ticket.size(), 0);
-        bind_instruments(*state, node);
+        bind_instruments(*state, gid);
         set_health(*state, state->health);
         targets_.push_back(std::move(state));
         ++node;
@@ -354,7 +358,7 @@ void runtime::fail_target(node_t node, const std::string& why) {
     AURORA_TRACE_COUNTER("offload", "targets_failed", 1);
     // Fence: make sure the target process exits its loop at the next fault
     // check and stops touching shared state, then tear the transport down.
-    aurora::fault::injector::instance().kill_now(int(node));
+    aurora::fault::injector::instance().kill_now(opt_.node_base + int(node));
     if (t.be != nullptr) {
         t.be->abandon();
     }
@@ -410,7 +414,7 @@ void runtime::begin_recovery(target_state& t, node_t node,
     t.ok_streak = 0;
     // Fence the dead incarnation and reap its process; quiesce() keeps the
     // delivered-result state harvestable (unlike abandon()).
-    aurora::fault::injector::instance().kill_now(int(node));
+    aurora::fault::injector::instance().kill_now(opt_.node_base + int(node));
     t.be->quiesce();
     // Results posted just before the death may still be inside the transport;
     // give them their modeled latency before the final drain reads the slots.
@@ -460,10 +464,10 @@ bool runtime::maybe_recover(target_state& t, node_t node) {
     ++t.recover_attempts;
     t.met.recovery_attempts->add(1);
     auto& inj = aurora::fault::injector::instance();
-    inj.revive(int(node));
+    inj.revive(opt_.node_base + int(node));
     const std::uint8_t epoch = protocol::next_epoch(t.epoch);
     try {
-        if (inj.take_attach_failure(int(node))) {
+        if (inj.take_attach_failure(opt_.node_base + int(node))) {
             throw target_attach_error("injected attach failure during "
                                       "recovery of node " +
                                       std::to_string(node));

@@ -30,6 +30,26 @@ enum class placement_policy : std::uint8_t {
     return "?";
 }
 
+/// How far work stealing may reach in a multi-VH cluster (aurora::net).
+/// The single-machine executor always steals within its own target set;
+/// the cluster executor consults this before crossing an inter-node link.
+enum class steal_scope : std::uint8_t {
+    /// Steal only among the VEs of the same VH node.
+    local_only,
+    /// Steal locally first; when no local queue has surplus work and a
+    /// remote queue's backlog exceeds the configured threshold, take from
+    /// the deepest remote queue (ties towards the lowest node id).
+    local_then_remote,
+};
+
+[[nodiscard]] inline std::string to_string(steal_scope s) {
+    switch (s) {
+        case steal_scope::local_only: return "local-only";
+        case steal_scope::local_then_remote: return "local-then-remote";
+    }
+    return "?";
+}
+
 struct executor_config {
     placement_policy policy = placement_policy::work_stealing;
     /// Per-target bound on outstanding offload messages (clamped to the

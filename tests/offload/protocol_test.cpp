@@ -124,5 +124,139 @@ INSTANTIATE_TEST_SUITE_P(Backends, GenWraparound,
                                         : "vedma";
                          });
 
+// --- cluster routing header (aurora::net) ------------------------------------
+
+TEST(RoutingHeader, RoundTrip) {
+    routing_header h;
+    h.src_node = 3;
+    h.dst_node = 7;
+    h.target = 2;
+    h.kind = msg_kind::batch;
+    h.epoch = 0xAB;
+    h.hops = 2;
+    h.flags = routing_flags::result;
+    h.ticket = 0x1122334455667788ULL;
+    std::byte buf[routing_header_bytes];
+    encode_routing(h, buf);
+    ASSERT_TRUE(is_routed(buf, sizeof(buf)));
+    const routing_header g = decode_routing(buf);
+    EXPECT_EQ(g.src_node, 3);
+    EXPECT_EQ(g.dst_node, 7);
+    EXPECT_EQ(g.target, 2);
+    EXPECT_EQ(g.kind, msg_kind::batch);
+    EXPECT_EQ(g.epoch, 0xAB);
+    EXPECT_EQ(g.hops, 2);
+    EXPECT_TRUE(g.is_result());
+    EXPECT_EQ(g.ticket, 0x1122334455667788ULL);
+}
+
+TEST(RoutingHeader, Node0FramesKeepLegacyEncoding) {
+    // A frame addressed to node 0 — the origin VH, i.e. every pre-cluster
+    // address — must be byte-identical to the bare payload: single-node runs
+    // never see a routing header on the wire.
+    const std::byte payload[5] = {std::byte{1}, std::byte{2}, std::byte{3},
+                                  std::byte{4}, std::byte{5}};
+    routing_header h;
+    h.dst_node = 0;
+    h.kind = msg_kind::user;
+    const std::vector<std::byte> frame =
+        make_routed_frame(h, payload, sizeof(payload));
+    ASSERT_EQ(frame.size(), sizeof(payload));
+    EXPECT_EQ(std::memcmp(frame.data(), payload, sizeof(payload)), 0);
+    EXPECT_FALSE(is_routed(frame.data(), frame.size()));
+}
+
+TEST(RoutingHeader, ResultFramesToNode0KeepTheirHeader) {
+    // Completion tickets only exist in the header, so result frames stay
+    // routed even though they travel toward node 0.
+    routing_header h;
+    h.src_node = 2;
+    h.dst_node = 0;
+    h.flags = routing_flags::result;
+    h.ticket = 42;
+    const std::vector<std::byte> frame = make_routed_frame(h, nullptr, 0);
+    ASSERT_EQ(frame.size(), routing_header_bytes);
+    ASSERT_TRUE(is_routed(frame.data(), frame.size()));
+    const routing_header g = decode_routing(frame.data());
+    EXPECT_TRUE(g.is_result());
+    EXPECT_EQ(g.ticket, 42u);
+}
+
+TEST(RoutingHeader, RemoteFramePrependsHeaderAndLen) {
+    const std::byte payload[3] = {std::byte{9}, std::byte{8}, std::byte{7}};
+    routing_header h;
+    h.dst_node = 4;
+    h.target = 1;
+    const std::vector<std::byte> frame =
+        make_routed_frame(h, payload, sizeof(payload));
+    ASSERT_EQ(frame.size(), routing_header_bytes + sizeof(payload));
+    ASSERT_TRUE(is_routed(frame.data(), frame.size()));
+    const routing_header g = decode_routing(frame.data());
+    EXPECT_EQ(g.dst_node, 4);
+    EXPECT_EQ(g.len, sizeof(payload));
+    EXPECT_EQ(std::memcmp(frame.data() + routing_header_bytes, payload,
+                          sizeof(payload)),
+              0);
+}
+
+TEST(RoutingHeader, EpochTravelsIndependentlyOfInnerWire) {
+    // The routing header's epoch tags the *remote incarnation* the origin
+    // observed; the inner payload is re-framed by the destination's own slot
+    // protocol, whose epoch-stamped flag words are untouched by routing.
+    flag_word inner;
+    inner.kind = msg_kind::user;
+    inner.gen = 5;
+    inner.epoch = 3;
+    inner.len = 8;
+    const std::uint64_t raw = encode_flag(inner);
+    std::byte payload[sizeof(raw)];
+    std::memcpy(payload, &raw, sizeof(raw));
+    routing_header h;
+    h.dst_node = 1;
+    h.epoch = next_epoch(255); // wraps to 1, never 0
+    const std::vector<std::byte> frame =
+        make_routed_frame(h, payload, sizeof(payload));
+    const routing_header g = decode_routing(frame.data());
+    EXPECT_EQ(g.epoch, 1);
+    std::uint64_t inner_raw = 0;
+    std::memcpy(&inner_raw, frame.data() + routing_header_bytes,
+                sizeof(inner_raw));
+    EXPECT_EQ(decode_flag(inner_raw).epoch, 3);
+    EXPECT_EQ(decode_flag(inner_raw).gen, 5);
+}
+
+TEST(RoutingHeader, RejectsBadMagicVersionAndShortFrames) {
+    routing_header h;
+    h.dst_node = 1;
+    std::vector<std::byte> frame = make_routed_frame(h, nullptr, 0);
+    EXPECT_TRUE(is_routed(frame.data(), frame.size()));
+    EXPECT_FALSE(is_routed(frame.data(), routing_header_bytes - 1));
+    std::vector<std::byte> bad_magic = frame;
+    bad_magic[0] = std::byte{0x00};
+    EXPECT_FALSE(is_routed(bad_magic.data(), bad_magic.size()));
+    std::vector<std::byte> bad_version = frame;
+    bad_version[2] = std::byte{routing_version + 1};
+    EXPECT_FALSE(is_routed(bad_version.data(), bad_version.size()));
+}
+
+TEST(RoutingHeader, ReservedBytesEncodeAsZero) {
+    routing_header h;
+    h.src_node = 0xFFFF;
+    h.dst_node = 0xFFFF;
+    h.target = 0xFFFF;
+    h.epoch = 0xFF;
+    h.hops = 0xFF;
+    h.flags = 0xFF;
+    h.ticket = ~0ULL;
+    std::byte buf[routing_header_bytes];
+    encode_routing(h, buf);
+    EXPECT_EQ(buf[13], std::byte{0});
+    EXPECT_EQ(buf[14], std::byte{0});
+    EXPECT_EQ(buf[15], std::byte{0});
+    for (std::size_t i = 20; i < 24; ++i) {
+        EXPECT_EQ(buf[i], std::byte{0}) << "reserved byte " << i;
+    }
+}
+
 } // namespace
 } // namespace ham::offload

@@ -16,6 +16,11 @@
 //                                            # dump the metrics registry as
 //                                            # Prometheus text (exit != 0 when
 //                                            # any target ended up failed)
+//   build/tools/aurora_info --cluster [--nodes N] [--ves N] [--link PROFILE]
+//                                            # boot an aurora::net cluster,
+//                                            # echo through every (VH, VE)
+//                                            # engine, and print the per-node
+//                                            # health/link rollup
 //
 // Useful when recalibrating: every constant of src/sim/cost_model.hpp is
 // printed with its derived secondary quantities (sustained rates, round
@@ -31,6 +36,7 @@
 
 #include "metrics/metrics.hpp"
 #include "metrics/prometheus.hpp"
+#include "net/net.hpp"
 #include "offload/offload.hpp"
 #include "sim/platform.hpp"
 #include "trace/chrome_export.hpp"
@@ -192,6 +198,59 @@ int metrics_dump() {
 
 double add_one(double x) { return x + 1.0; }
 
+/// --cluster: boot an aurora::net cluster on the simulated machine, push one
+/// echo offload through every (VH, VE) engine over the chosen link profile,
+/// and print the per-node rollup the cluster derives from its gateways.
+int cluster_info(int nodes, int ves, const std::string& link_name) {
+    const net::link_profile link = net::link_profile::by_name(link_name);
+    std::printf("aurora::net cluster — %d node(s) x %d VE(s)\n", nodes, ves);
+    std::printf("link %-12s : half RTT %s, per msg %s, %.1f GiB/s, "
+                "window %u\n\n",
+                link.name.c_str(), format_ns(link.half_rtt_ns).c_str(),
+                format_ns(link.per_msg_ns).c_str(), link.bandwidth_gib,
+                link.window);
+
+    sim::platform plat(sim::platform_config::test_machine());
+    ham::offload::runtime_options opt;
+    opt.backend = ham::offload::backend_kind::loopback;
+    opt.targets.assign(std::size_t(ves), 0);
+    int bad_echoes = 0;
+    int unhealthy = 0;
+    const int rc = ham::offload::run(plat, opt, [&] {
+        net::cluster_options copt;
+        copt.nodes = nodes;
+        copt.ves_per_node = ves;
+        copt.link = link;
+        net::cluster c(plat, copt);
+        for (int vh = 0; vh < nodes; ++vh) {
+            for (int ve = 1; ve <= ves; ++ve) {
+                if (c.async(vh, ve, ham::f2f<&add_one>(41.0)).get() != 42.0) {
+                    ++bad_echoes;
+                }
+            }
+        }
+        text_table t({"node", "VEs", "health", "healthy", "recovering",
+                      "failed", "link depth", "outstanding"});
+        for (int vh = 0; vh < nodes; ++vh) {
+            const net::node_status s = c.status(vh);
+            if (s.health != ham::offload::target_health::healthy) {
+                ++unhealthy;
+            }
+            t.add_row({std::to_string(vh), std::to_string(s.ves_total),
+                       ham::offload::to_string(s.health),
+                       std::to_string(s.ves_healthy),
+                       std::to_string(s.ves_recovering),
+                       std::to_string(s.ves_failed),
+                       vh == 0 ? "-" : std::to_string(s.link_depth),
+                       std::to_string(c.outstanding(vh))});
+        }
+        std::printf("%s", t.str().c_str());
+    });
+    std::printf("\necho through %d engine(s): %s\n", nodes * ves,
+                bad_echoes == 0 && rc == 0 ? "OK" : "FAILED");
+    return rc + bad_echoes + unhealthy;
+}
+
 /// Run a representative traced offload mix and print the aggregated
 /// per-phase summary (spans, counters, drop accounting).
 int trace_summary() {
@@ -243,6 +302,29 @@ int main(int argc, char** argv) {
     }
     if (argc > 1 && std::strcmp(argv[1], "--metrics") == 0) {
         return metrics_dump();
+    }
+    if (argc > 1 && std::strcmp(argv[1], "--cluster") == 0) {
+        int nodes = 3, ves = 2;
+        std::string link = "ib-hdr";
+        for (int i = 2; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+                nodes = std::atoi(argv[++i]);
+            } else if (std::strcmp(argv[i], "--ves") == 0 && i + 1 < argc) {
+                ves = std::atoi(argv[++i]);
+            } else if (std::strcmp(argv[i], "--link") == 0 && i + 1 < argc) {
+                link = argv[++i];
+            } else {
+                std::fprintf(stderr,
+                             "aurora_info: --cluster options: --nodes N "
+                             "--ves N --link ib-hdr|roce|ethernet-tcp\n");
+                return 2;
+            }
+        }
+        if (nodes < 1 || ves < 1) {
+            std::fprintf(stderr, "aurora_info: --nodes/--ves must be >= 1\n");
+            return 2;
+        }
+        return cluster_info(nodes, ves, link);
     }
     bool check = false;
     aurora::sim::duration_ns wait_healthy_ns = -1;

@@ -35,6 +35,7 @@
 #include "fault/fault.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/prometheus.hpp"
+#include "net/net.hpp"
 #include "offload/offload.hpp"
 #include "sched/executor.hpp"
 #include "sim/platform.hpp"
@@ -188,6 +189,18 @@ const char* health_name(double h) {
     return h >= 2.0 ? "FAILED" : h >= 1.0 ? "degraded" : "healthy";
 }
 
+/// aurora_net_node_health exports the full target_health enum per VH node.
+const char* node_health_name(double h) {
+    switch (static_cast<int>(h)) {
+    case 0: return "healthy";
+    case 1: return "degraded";
+    case 2: return "FAILED";
+    case 3: return "recovering";
+    case 4: return "probation";
+    default: return "?";
+    }
+}
+
 void render(const std::string& prom_text, int frame, bool clear) {
     const view v = build_view(parse_prom(prom_text));
 
@@ -245,6 +258,56 @@ void render(const std::string& prom_text, int frame, bool clear) {
              health_name(scalar_or(v, "aurora_target_health" + lbl))});
     }
     std::printf("%s", t.str().c_str());
+
+    // Per-VH-node cluster rollup (aurora::net), when the export carries it:
+    // node health plus the node's inter-node link depth and gateway totals.
+    std::vector<std::string> net_nodes;
+    const std::string health_prefix = "aurora_net_node_health|node=";
+    for (const auto& [key, val] : v.scalars) {
+        (void)val;
+        if (key.rfind(health_prefix, 0) == 0) {
+            net_nodes.push_back(key.substr(health_prefix.size()));
+        }
+    }
+    if (!net_nodes.empty()) {
+        std::sort(net_nodes.begin(), net_nodes.end(),
+                  [](const std::string& a, const std::string& b) {
+                      return std::atoi(a.c_str()) < std::atoi(b.c_str());
+                  });
+        aurora::text_table ct({"VH node", "health", "link depth", "forwarded",
+                               "results back"});
+        for (const std::string& n : net_nodes) {
+            // The link gauge is labelled {link="0-N",profile=...}; the
+            // profile is whatever the cluster was calibrated with, so match
+            // on the link prefix only.
+            double depth = 0.0;
+            bool has_link = false;
+            const std::string link_prefix =
+                "aurora_net_link_queue_depth|link=0-" + n + "|";
+            for (const auto& [key, val] : v.scalars) {
+                if (key.rfind(link_prefix, 0) == 0) {
+                    depth = std::max(depth, val);
+                    has_link = true;
+                }
+            }
+            ct.add_row(
+                {n,
+                 node_health_name(scalar_or(v, health_prefix + n)),
+                 has_link ? std::to_string(static_cast<long long>(depth)) : "-",
+                 std::to_string(static_cast<long long>(scalar_or(
+                     v, "aurora_net_frames_forwarded_total|node=" + n))),
+                 std::to_string(static_cast<long long>(scalar_or(
+                     v, "aurora_net_results_returned_total|node=" + n)))});
+        }
+        std::printf("\ncluster:\n%s", ct.str().c_str());
+        std::printf("steals: %lld local, %lld remote   reroutes: %lld\n",
+                    static_cast<long long>(scalar_or(
+                        v, "aurora_net_steals_total|scope=local")),
+                    static_cast<long long>(scalar_or(
+                        v, "aurora_net_steals_total|scope=remote")),
+                    static_cast<long long>(
+                        scalar_or(v, "aurora_net_reroutes_total")));
+    }
 
     double sched_depth = 0.0;
     for (const auto& [key, val] : v.scalars) {
@@ -379,10 +442,61 @@ int run_demo(int frames, bool chaos, bool clear) {
     return rc;
 }
 
+/// --demo --cluster: the same round-driven demo over an aurora::net cluster
+/// (2 remote VH nodes x 2 VEs), so the per-node rollup renders from live
+/// gateway metrics. --chaos kills a remote VE mid-demo; with recovery
+/// enabled the node degrades and heals in the rollup.
+int run_cluster_demo(int frames, bool chaos, bool clear) {
+    if (chaos) {
+        aurora::fault::config fc;
+        fc.enabled = true;
+        fc.seed = 7;
+        aurora::fault::injector::instance().configure(fc);
+        // VH 1's VE 1 (global id 3) dies mid-demo and gets respawned.
+        aurora::fault::injector::instance().kill_after_messages(3, 8);
+    }
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    off::runtime_options opt;
+    opt.backend = off::backend_kind::loopback;
+    opt.targets = {0, 0};
+    const int rc = off::run(plat, opt, [&]() -> int {
+        aurora::net::cluster_options copt;
+        copt.nodes = 3;
+        copt.ves_per_node = 2;
+        if (chaos) {
+            copt.remote.reply_timeout_ns = 100'000;
+            copt.remote.recovery.enabled = true;
+            copt.remote.recovery.backoff_ns = 50'000;
+            copt.remote.recovery_streak = 4;
+        }
+        aurora::net::cluster c(plat, copt);
+        aurora::net::cluster_executor ex(c, {});
+        for (int f = 1; f <= frames; ++f) {
+            for (int i = 0; i < 24; ++i) {
+                // Pile the round onto VH 1 so remote steals show up.
+                ex.submit(ham::f2f<&demo_kernel>(200'000 +
+                                                 std::uint64_t(i) * 50'000),
+                          /*affinity_vh=*/1);
+            }
+            ex.wait_all();
+            render(aurora::metrics::prometheus_text(
+                       aurora::metrics::registry::global()),
+                   f, clear);
+            std::printf("virtual time: %s\n",
+                        aurora::format_ns(aurora::sim::now()).c_str());
+        }
+        return 0;
+    });
+    if (chaos) {
+        aurora::fault::injector::instance().reset();
+    }
+    return rc;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-    bool demo = true, chaos = false, once = false;
+    bool demo = true, chaos = false, once = false, cluster = false;
     std::string url;
     int frames = 4, interval_ms = 1000;
     for (int a = 1; a < argc; ++a) {
@@ -391,6 +505,8 @@ int main(int argc, char** argv) {
             demo = true;
         } else if (std::strcmp(arg, "--chaos") == 0) {
             chaos = true;
+        } else if (std::strcmp(arg, "--cluster") == 0) {
+            cluster = true;
         } else if (std::strcmp(arg, "--once") == 0) {
             once = true;
         } else if (std::strcmp(arg, "--url") == 0 && a + 1 < argc) {
@@ -402,7 +518,7 @@ int main(int argc, char** argv) {
             interval_ms = std::atoi(argv[++a]);
         } else {
             std::fprintf(stderr,
-                         "usage: aurora_top [--demo [--chaos]] "
+                         "usage: aurora_top [--demo [--chaos] [--cluster]] "
                          "[--url HOST:PORT] [--frames N] [--interval-ms N] "
                          "[--once]\n");
             return 2;
@@ -415,6 +531,9 @@ int main(int argc, char** argv) {
     const bool clear = ::isatty(1) != 0;
     if (!demo) {
         return watch_url(url, frames, interval_ms, clear);
+    }
+    if (cluster) {
+        return run_cluster_demo(frames, chaos, clear);
     }
     return run_demo(frames, chaos, clear);
 }
