@@ -1,0 +1,211 @@
+// Extension bench E14: allocator churn on the zero-copy data plane.
+//
+// Every veo_alloc_mem is a VH->VEOS round trip (~18 us in the cost model);
+// a workload that allocates and frees VE buffers per task pays it on every
+// operation. The aurora::mem arena amortises the round trips into a few
+// region allocations, so steady-state alloc/free cost collapses to free-list
+// bookkeeping — p99 stays flat instead of tracking veo_alloc_mem_ns — and
+// repeated transfers into the same backing regions keep hitting the VE-side
+// DMAATB registration cache.
+//
+// Self-checking (the mem-correctness CI job runs `bench_mem_churn --stress`
+// under ASan+LSan): exits non-zero when the arena still reports bytes in use
+// after runtime teardown or when the steady-state registration-cache hit
+// rate degrades, independent of the JSON gate.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/support/bench_common.hpp"
+#include "mem/registry.hpp"
+#include "metrics/metrics.hpp"
+#include "offload/offload.hpp"
+
+namespace {
+
+using namespace aurora;
+namespace off = ham::offload;
+
+/// Deterministic generator (no std::random_device anywhere in the repo).
+struct splitmix64 {
+    std::uint64_t s;
+    explicit splitmix64(std::uint64_t seed) : s(seed) {}
+    std::uint64_t next() {
+        s += 0x9E3779B97f4A7C15ULL;
+        std::uint64_t z = s;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+};
+
+double percentile(std::vector<double> v, double q) {
+    if (v.empty()) {
+        return 0.0;
+    }
+    std::sort(v.begin(), v.end());
+    const auto idx = static_cast<std::size_t>(q / 100.0 * double(v.size() - 1));
+    return v[idx];
+}
+
+struct churn_result {
+    std::vector<double> alloc_ns; ///< virtual cost per allocate
+    std::vector<double> free_ns;  ///< virtual cost per free
+    double cache_hit_rate = 0.0;  ///< VE reg-cache, steady state
+    std::uint64_t region_allocs = 0;
+    std::uint64_t bytes_in_use_end = 0; ///< arena accounting before teardown
+};
+
+/// Seeded alloc/free churn plus a warm transfer phase, through the full
+/// runtime (vedma backend). `arena_on` toggles the tentpole path.
+churn_result run_churn(bool arena_on, int ops, std::uint64_t seed) {
+    // Single-VE machine: churn cost is per-node, and the smaller event loop
+    // keeps the bench fast enough for the sanitizer CI tier.
+    sim::platform plat(sim::platform_config::test_machine());
+    off::runtime_options opt;
+    opt.backend = off::backend_kind::vedma;
+    opt.vedma_dma_data_path = true;
+    opt.mem_arena = arena_on;
+    churn_result r;
+    off::run(plat, opt, [&] {
+        splitmix64 rng(seed);
+        std::vector<off::buffer_ptr<std::uint8_t>> live;
+        for (int i = 0; i < ops; ++i) {
+            const bool do_alloc = live.empty() || (rng.next() & 1) == 0;
+            if (do_alloc) {
+                // Log-uniform 256 B .. 1 MiB — the task-payload range.
+                const std::uint64_t n = 256ull << (rng.next() % 13);
+                const sim::time_ns t0 = sim::now();
+                live.push_back(off::allocate<std::uint8_t>(1, n));
+                r.alloc_ns.push_back(double(sim::now() - t0));
+            } else {
+                const std::size_t k = rng.next() % live.size();
+                const sim::time_ns t0 = sim::now();
+                off::free(live[k]);
+                r.free_ns.push_back(double(sim::now() - t0));
+                live.erase(live.begin() + std::ptrdiff_t(k));
+            }
+        }
+        // Warm transfer phase: repeated puts/gets into a handful of fixed
+        // buffers — after first touch every zero-copy transfer should hit
+        // the VE channel's registration cache on both ends.
+        while (!live.empty()) {
+            off::free(live.back());
+            live.pop_back();
+        }
+        for (int i = 0; i < 4; ++i) {
+            live.push_back(off::allocate<std::uint8_t>(1, 256 * KiB));
+        }
+        std::vector<std::uint8_t> host(256 * KiB, 0x5A);
+        for (int i = 0; i < 32; ++i) {
+            auto& buf = live[std::size_t(i) % live.size()];
+            off::put(host.data(), buf, host.size()).get();
+            off::get(buf, host.data(), host.size()).get();
+        }
+        // Snapshot while the runtime (and so the arena/caches) is alive —
+        // registry entries deregister on destruction.
+        const auto snap = mem::mem_registry::global().snap();
+        std::uint64_t hits = 0, misses = 0;
+        for (const auto& c : snap.caches) {
+            hits += c.stats.hits;
+            misses += c.stats.misses;
+        }
+        r.cache_hit_rate =
+            hits + misses == 0 ? 0.0 : double(hits) / double(hits + misses);
+        for (const auto& a : snap.arenas) {
+            r.region_allocs += a.stats.region_allocs;
+        }
+        for (auto& b : live) {
+            off::free(b);
+        }
+        for (const auto& a : mem::mem_registry::global().snap().arenas) {
+            r.bytes_in_use_end += a.stats.bytes_in_use;
+        }
+    });
+    return r;
+}
+
+/// The arena's bytes-in-use gauge survives runtime teardown (metrics are
+/// process-wide), so "everything returned before shutdown" stays checkable
+/// from outside the run body.
+std::int64_t gauge_after_teardown() {
+    return metrics::registry::global()
+        .gauge_for("aurora_mem_bytes_in_use",
+                   metrics::labels({{"arena", "node1"}}))
+        .value();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const bool stress = argc > 1 && std::strcmp(argv[1], "--stress") == 0;
+    const int ops = stress ? 20000 : 2000;
+
+    if (!aurora::bench::json_output()) {
+        aurora::bench::print_header(
+            "Extension E14 — VE allocation churn and the aurora::mem arena",
+            stress ? "seeded alloc/free churn (stress mode, self-checking)"
+                   : "seeded alloc/free churn: veo_alloc_mem per buffer vs "
+                     "BFC arena");
+    }
+
+    const churn_result veo = run_churn(false, ops, 0xC0FFEE);
+    const churn_result arena = run_churn(true, ops, 0xC0FFEE);
+    const std::int64_t residual = gauge_after_teardown();
+
+    const double a_p50 = percentile(arena.alloc_ns, 50);
+    const double a_p99 = percentile(arena.alloc_ns, 99);
+    const double f_p50 = percentile(arena.free_ns, 50);
+    const double f_p99 = percentile(arena.free_ns, 99);
+
+    if (aurora::bench::json_output()) {
+        aurora::bench::json_result j("mem_churn");
+        j.add("alloc_p50_ns", a_p50);
+        j.add("alloc_p99_ns", a_p99);
+        j.add("free_p50_ns", f_p50);
+        j.add("free_p99_ns", f_p99);
+        j.add("veo_alloc_p50_ns", percentile(veo.alloc_ns, 50));
+        j.add("regcache_hit_rate_pct", arena.cache_hit_rate * 100.0);
+        j.add("region_allocs", double(arena.region_allocs));
+        j.add("bytes_in_use_after", double(residual));
+        j.emit();
+    } else {
+        aurora::text_table t({"Path", "alloc p50", "alloc p99", "free p50",
+                              "free p99", "backing allocs"});
+        t.add_row({"veo_alloc_mem per buffer",
+                   aurora::bench::us(percentile(veo.alloc_ns, 50)),
+                   aurora::bench::us(percentile(veo.alloc_ns, 99)),
+                   aurora::bench::us(percentile(veo.free_ns, 50)),
+                   aurora::bench::us(percentile(veo.free_ns, 99)),
+                   std::to_string(veo.alloc_ns.size())});
+        t.add_row({"aurora::mem arena", aurora::bench::us(a_p50),
+                   aurora::bench::us(a_p99), aurora::bench::us(f_p50),
+                   aurora::bench::us(f_p99),
+                   std::to_string(arena.region_allocs)});
+        aurora::bench::emit(t);
+        std::printf("\nreg-cache hit rate (steady state): %.1f%%\n",
+                    arena.cache_hit_rate * 100.0);
+        std::printf("arena bytes in use after teardown : %lld\n",
+                    static_cast<long long>(residual));
+        std::printf("\nExpectation: arena p99 stays flat (free-list hits cost\n"
+                    "no VEOS round trip); region allocs stay orders of\n"
+                    "magnitude below buffer allocs.\n");
+    }
+
+    // Self-checks — hard failures regardless of the JSON gate.
+    int rc = 0;
+    if (arena.bytes_in_use_end != 0 || residual != 0) {
+        std::fprintf(stderr,
+                     "FAIL: bytes_in_use after teardown: live=%llu gauge=%lld\n",
+                     static_cast<unsigned long long>(arena.bytes_in_use_end),
+                     static_cast<long long>(residual));
+        rc = 1;
+    }
+    if (arena.cache_hit_rate < 0.90) {
+        std::fprintf(stderr, "FAIL: reg-cache hit rate %.1f%% < 90%%\n",
+                     arena.cache_hit_rate * 100.0);
+        rc = 1;
+    }
+    return rc;
+}

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench/support/bench_common.hpp"
+#include "offload/offload.hpp"
 #include "sim/engine.hpp"
 #include "sim/vh_memory.hpp"
 #include "vedma/dmaatb.hpp"
@@ -17,6 +18,7 @@
 namespace {
 
 using namespace aurora;
+namespace off = ham::offload;
 
 struct peaks {
     double veo_up = 0, veo_down = 0;
@@ -82,6 +84,38 @@ peaks measure() {
     return p;
 }
 
+/// Extension rows: the runtime data plane (offload::put/get) sustained at a
+/// warm 64 MiB working size — staged pipeline vs the aurora::mem zero-copy
+/// path. Not in the paper's table; shows how close the end-to-end runtime
+/// gets to the raw VE User DMA peaks above.
+struct runtime_peaks {
+    double put = 0, get = 0;
+};
+
+runtime_peaks runtime_sustained(bool zero_copy) {
+    constexpr std::uint64_t n = 64 * MiB;
+    sim::platform plat(sim::platform_config::a300_8());
+    off::runtime_options opt;
+    opt.backend = off::backend_kind::vedma;
+    opt.vedma_dma_data_path = true;
+    opt.vedma_zero_copy = zero_copy;
+    runtime_peaks r;
+    off::run(plat, opt, [&] {
+        std::vector<std::uint8_t> host(n, 0xA5);
+        auto buf = off::allocate<std::uint8_t>(1, n);
+        off::put(host.data(), buf, n).get(); // warm: registrations installed
+        sim::time_ns t0 = sim::now();
+        off::put(host.data(), buf, n).get();
+        r.put = bandwidth_gib_s(n, sim::now() - t0);
+        off::get(buf, host.data(), n).get();
+        t0 = sim::now();
+        off::get(buf, host.data(), n).get();
+        r.get = bandwidth_gib_s(n, sim::now() - t0);
+        off::free(buf);
+    });
+    return r;
+}
+
 std::string fmt(double v, int decimals) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), decimals == 2 ? "%.2f GiB/s" : "%.1f GiB/s", v);
@@ -103,6 +137,17 @@ int main() {
                "11.1 GiB/s"});
     t.add_row({"VE SHM/LHM", fmt(p.lhm_up, 2), "0.01 GiB/s", fmt(p.shm_down, 2),
                "0.06 GiB/s"});
+    const runtime_peaks staged = runtime_sustained(false);
+    const runtime_peaks zcopy = runtime_sustained(true);
+    t.add_row({"put/get staged (ext.)", fmt(staged.put, 1), "-",
+               fmt(staged.get, 1), "-"});
+    t.add_row({"put/get zero-copy (ext.)", fmt(zcopy.put, 1), "-",
+               fmt(zcopy.get, 1), "-"});
     bench::emit(t);
+    std::printf("\nExtension rows: offload::put/get sustained at a warm 64 MiB\n"
+                "working size. The zero-copy data plane (aurora::mem arena +\n"
+                "DMAATB registration cache + chained DMA burst) reaches the\n"
+                "raw VE User DMA peak; the staged pipeline pays one extra\n"
+                "copy per chunk.\n");
     return 0;
 }

@@ -1,0 +1,337 @@
+#include "mem/arena.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "mem/registry.hpp"
+#include "metrics/metrics.hpp"
+#include "util/check.hpp"
+
+namespace aurora::mem {
+
+namespace {
+
+metrics::gauge* gauge_for(const std::string& label, const char* name,
+                          const char* help) {
+    if (label.empty()) {
+        return nullptr;
+    }
+    return &metrics::registry::global().gauge_for(
+        name, metrics::labels({{"arena", label}}), help);
+}
+
+metrics::counter* counter_for(const std::string& label, const char* name,
+                              const char* help) {
+    if (label.empty()) {
+        return nullptr;
+    }
+    return &metrics::registry::global().counter_for(
+        name, metrics::labels({{"arena", label}}), help);
+}
+
+} // namespace
+
+std::size_t arena::bin_index(std::uint64_t len) noexcept {
+    // Bin b holds chunks with bit_width in [b + 6, ...]: bin 0 starts at
+    // 64 B (the default alignment quantum), the last bin is open-ended.
+    const std::size_t w = static_cast<std::size_t>(std::bit_width(len | 1));
+    const std::size_t b = w <= 7 ? 0 : w - 7;
+    return std::min(b, num_bins - 1);
+}
+
+std::uint64_t arena::round_up(std::uint64_t bytes) const noexcept {
+    const std::uint64_t a = opt_.alignment;
+    const std::uint64_t n = bytes == 0 ? 1 : bytes;
+    return (n + a - 1) / a * a;
+}
+
+arena::arena(region_source& source, arena_options opt)
+    : source_(source), opt_(std::move(opt)), bins_(num_bins) {
+    AURORA_CHECK(opt_.alignment > 0 &&
+                 (opt_.alignment & (opt_.alignment - 1)) == 0);
+    AURORA_CHECK(opt_.initial_region_bytes > 0 &&
+                 opt_.max_region_bytes >= opt_.initial_region_bytes);
+    next_region_bytes_ = opt_.initial_region_bytes;
+    mem_registry::global().add(this);
+}
+
+arena::~arena() {
+    mem_registry::global().remove(this);
+    release_all();
+}
+
+std::uint64_t arena::allocate(std::uint64_t bytes) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::uint64_t addr = allocate_locked(bytes);
+    if (addr == 0) {
+        ++st_.failed_allocs;
+        if (auto* c = counter_for(opt_.label, "aurora_mem_oom_total",
+                                  "Arena allocation failures")) {
+            c->add();
+        }
+        throw oom_error("aurora::mem arena '" + opt_.label +
+                        "': out of target memory allocating " +
+                        std::to_string(bytes) + " bytes (in use " +
+                        std::to_string(st_.bytes_in_use) + ", reserved " +
+                        std::to_string(st_.bytes_reserved) + ")");
+    }
+    return addr;
+}
+
+std::uint64_t arena::try_allocate(std::uint64_t bytes) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::uint64_t addr = allocate_locked(bytes);
+    if (addr == 0) {
+        ++st_.failed_allocs;
+    }
+    return addr;
+}
+
+std::uint64_t arena::allocate_locked(std::uint64_t bytes) {
+    const std::uint64_t len = round_up(bytes);
+    std::uint64_t addr = find_fit(len);
+    if (addr == 0) {
+        if (!grow(len)) {
+            return 0;
+        }
+        addr = find_fit(len);
+        if (addr == 0) {
+            return 0;
+        }
+    }
+    auto it = chunks_.find(addr);
+    AURORA_CHECK(it != chunks_.end() && it->second.free);
+    erase_free(addr, it->second);
+    chunk& c = it->second;
+    c.free = false;
+    if (c.len > len) {
+        // Split: the tail stays free in its bin.
+        chunk tail;
+        tail.len = c.len - len;
+        tail.region_id = c.region_id;
+        tail.free = true;
+        c.len = len;
+        auto [tit, ok] = chunks_.emplace(addr + len, tail);
+        AURORA_CHECK(ok);
+        insert_free(tit->first, tit->second);
+        ++st_.splits;
+    }
+    ++st_.allocs;
+    st_.bytes_in_use += c.len;
+    st_.peak_bytes_in_use = std::max(st_.peak_bytes_in_use, st_.bytes_in_use);
+    if (auto* ctr = counter_for(opt_.label, "aurora_mem_alloc_total",
+                                "Arena allocations")) {
+        ctr->add();
+    }
+    update_gauges();
+    return addr;
+}
+
+bool arena::free(std::uint64_t addr) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = chunks_.find(addr);
+    if (it == chunks_.end() || it->second.free) {
+        // Idempotent by contract: settlement paths (target_failed_error)
+        // may release the same buffer twice.
+        ++st_.double_frees;
+        return false;
+    }
+    chunk& c = it->second;
+    c.free = true;
+    AURORA_CHECK(st_.bytes_in_use >= c.len);
+    st_.bytes_in_use -= c.len;
+    ++st_.frees;
+
+    // Coalesce with the next chunk when it is free and in the same region.
+    auto next = std::next(it);
+    if (next != chunks_.end() && next->second.free &&
+        next->second.region_id == c.region_id &&
+        it->first + c.len == next->first) {
+        erase_free(next->first, next->second);
+        c.len += next->second.len;
+        chunks_.erase(next);
+        ++st_.coalesces;
+    }
+    // Coalesce with the previous chunk likewise.
+    if (it != chunks_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.free && prev->second.region_id == c.region_id &&
+            prev->first + prev->second.len == it->first) {
+            erase_free(prev->first, prev->second);
+            prev->second.len += c.len;
+            prev->second.free = true;
+            chunks_.erase(it);
+            it = prev;
+            ++st_.coalesces;
+        }
+    }
+    insert_free(it->first, it->second);
+
+    // A dedicated oversize region whose single chunk is free again goes
+    // straight back to the source — it exists only for that one allocation.
+    const std::uint64_t rid = it->second.region_id;
+    const region r = regions_by_id_.at(rid);
+    if (r.dedicated && it->first == r.base && it->second.len == r.len) {
+        erase_free(it->first, it->second);
+        chunks_.erase(it);
+        regions_by_id_.erase(rid);
+        AURORA_CHECK(st_.bytes_reserved >= r.len);
+        st_.bytes_reserved -= r.len;
+        source_.free_region(r.base, r.len);
+    }
+
+    if (auto* ctr =
+            counter_for(opt_.label, "aurora_mem_free_total", "Arena frees")) {
+        ctr->add();
+    }
+    update_gauges();
+    return true;
+}
+
+bool arena::owns(std::uint64_t addr) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = chunks_.find(addr);
+    return it != chunks_.end() && !it->second.free;
+}
+
+std::uint64_t arena::allocated_size(std::uint64_t addr) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = chunks_.find(addr);
+    return it != chunks_.end() && !it->second.free ? it->second.len : 0;
+}
+
+std::optional<arena::region_info> arena::region_of(std::uint64_t addr) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = chunks_.upper_bound(addr);
+    if (it == chunks_.begin()) {
+        return std::nullopt;
+    }
+    --it;
+    if (addr >= it->first + it->second.len) {
+        return std::nullopt;
+    }
+    const region& r = regions_by_id_.at(it->second.region_id);
+    return region_info{r.base, r.len};
+}
+
+void arena::abandon() {
+    std::lock_guard<std::mutex> lk(mu_);
+    chunks_.clear();
+    regions_by_id_.clear();
+    for (auto& b : bins_) {
+        b.clear();
+    }
+    st_.bytes_in_use = 0;
+    st_.bytes_reserved = 0;
+    st_.live_allocations = 0;
+    next_region_bytes_ = opt_.initial_region_bytes;
+    update_gauges();
+}
+
+void arena::release_all() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [id, r] : regions_by_id_) {
+        source_.free_region(r.base, r.len);
+    }
+    chunks_.clear();
+    regions_by_id_.clear();
+    for (auto& b : bins_) {
+        b.clear();
+    }
+    st_.bytes_in_use = 0;
+    st_.bytes_reserved = 0;
+    next_region_bytes_ = opt_.initial_region_bytes;
+    update_gauges();
+}
+
+bool arena::grow(std::uint64_t min_bytes) {
+    const bool dedicated = min_bytes > opt_.max_region_bytes;
+    std::uint64_t want =
+        dedicated ? round_up(min_bytes)
+                  : std::max(next_region_bytes_, round_up(min_bytes));
+    std::uint64_t base = source_.alloc_region(want);
+    // Back off: halve until the source accepts or we drop below the request.
+    while (base == 0 && !dedicated && want / 2 >= min_bytes &&
+           want / 2 >= opt_.alignment) {
+        want /= 2;
+        base = source_.alloc_region(want);
+    }
+    if (base == 0) {
+        return false;
+    }
+    const std::uint64_t id = next_region_id_++;
+    regions_by_id_.emplace(id, region{base, want, dedicated});
+    chunk c;
+    c.len = want;
+    c.region_id = id;
+    c.free = true;
+    auto [it, ok] = chunks_.emplace(base, c);
+    AURORA_CHECK_MSG(ok, "region source returned an overlapping region");
+    insert_free(it->first, it->second);
+    st_.bytes_reserved += want;
+    ++st_.region_allocs;
+    if (dedicated) {
+        ++st_.oversize_allocs;
+    } else {
+        next_region_bytes_ =
+            std::min(next_region_bytes_ * 2, opt_.max_region_bytes);
+    }
+    if (auto* ctr = counter_for(opt_.label, "aurora_mem_region_allocs_total",
+                                "Backing regions requested from the source")) {
+        ctr->add();
+    }
+    return true;
+}
+
+void arena::insert_free(std::uint64_t addr, chunk& c) {
+    bins_[bin_index(c.len)].emplace(c.len, addr);
+}
+
+void arena::erase_free(std::uint64_t addr, const chunk& c) {
+    bins_[bin_index(c.len)].erase({c.len, addr});
+}
+
+std::uint64_t arena::find_fit(std::uint64_t len) const {
+    for (std::size_t b = bin_index(len); b < num_bins; ++b) {
+        auto it = bins_[b].lower_bound({len, 0});
+        if (it != bins_[b].end()) {
+            return it->second;
+        }
+    }
+    return 0;
+}
+
+void arena::update_gauges() const {
+    if (auto* g = gauge_for(opt_.label, "aurora_mem_bytes_in_use",
+                            "Live user bytes in the arena")) {
+        g->set(static_cast<std::int64_t>(st_.bytes_in_use));
+    }
+    if (auto* g = gauge_for(opt_.label, "aurora_mem_bytes_reserved",
+                            "Backing bytes reserved from the region source")) {
+        g->set(static_cast<std::int64_t>(st_.bytes_reserved));
+    }
+}
+
+arena_stats arena::stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    arena_stats s = st_;
+    s.largest_free_chunk = 0;
+    s.free_chunks = 0;
+    for (const auto& b : bins_) {
+        s.free_chunks += b.size();
+        if (!b.empty()) {
+            s.largest_free_chunk =
+                std::max(s.largest_free_chunk, std::prev(b.end())->first);
+        }
+    }
+    s.regions = regions_by_id_.size();
+    s.live_allocations = 0;
+    for (const auto& [addr, c] : chunks_) {
+        if (!c.free) {
+            ++s.live_allocations;
+        }
+    }
+    return s;
+}
+
+} // namespace aurora::mem

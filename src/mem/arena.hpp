@@ -1,0 +1,185 @@
+// aurora::mem — BFC-style arena allocator for target (VE) memory.
+//
+// The paper's 4dma ablation shows that DMAATB registration, not the copy,
+// dominates large-transfer cost; the same is true of allocation itself:
+// every `veo_alloc_mem` is a VH->VEOS round trip (cost_model::veo_alloc_mem_ns)
+// plus page-table work on the VE. The arena amortises both by carving user
+// buffers out of a small number of large backing regions, the design of the
+// TensorFlow VE device's BFC allocator:
+//
+//   * regions are requested from an abstract `region_source` (the offload
+//     backend's allocate_bytes), doubling from `initial_region_bytes` up to
+//     `max_region_bytes`; oversize requests get a dedicated region,
+//   * free chunks live in size-binned free lists (bin = log2 of the chunk
+//     size); allocation is best-fit within the first non-empty bin, then
+//     split, returning the tail to its bin,
+//   * frees coalesce with free address-neighbours inside the same region,
+//     so steady-state churn converges back to one chunk per region,
+//   * every region is a contiguous, registration-stable segment: the
+//     registration cache (reg_cache.hpp) keys on region base, so repeated
+//     transfers touching the same region hit the DMAATB cache instead of
+//     re-registering (the zero-copy rule documented in docs/MEMORY.md).
+//
+// Error handling: `allocate` throws `oom_error` (a clean, catchable error —
+// never an abort); `try_allocate` returns 0. `free` is idempotent: freeing
+// an unknown or already-freed address is a counted no-op, which is what makes
+// `target_failed_error` settlement paths safe to run twice.
+//
+// Epoch interaction (aurora::heal): when a target dies, its backing memory
+// died with the incarnation. `abandon()` drops all bookkeeping *without*
+// calling `free_region`, so a respawned target starts from a fresh arena and
+// the dead incarnation's addresses can never reach the new process.
+//
+// Thread model: the simulator is cooperative; a mutex still guards all
+// mutating entry points so host-side tools/tests may probe stats concurrently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace aurora::mem {
+
+/// Thrown by arena::allocate when the region source cannot supply more
+/// backing memory. Deliberately catchable (std::runtime_error, not abort):
+/// callers surface it as an API-level allocation failure.
+class oom_error : public std::runtime_error {
+public:
+    explicit oom_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Where the arena gets its backing regions. Implemented over the offload
+/// backend's allocate_bytes/free_bytes (one veo_alloc_mem per region instead
+/// of one per user buffer).
+class region_source {
+public:
+    virtual ~region_source() = default;
+    /// Allocate a backing region; returns its base address or 0 on failure.
+    virtual std::uint64_t alloc_region(std::uint64_t bytes) = 0;
+    /// Release a region previously returned by alloc_region.
+    virtual void free_region(std::uint64_t addr, std::uint64_t bytes) = 0;
+};
+
+struct arena_options {
+    /// First backing region size; subsequent regions double up to the cap.
+    std::uint64_t initial_region_bytes = 1ull << 20; // 1 MiB
+    /// Region growth cap; requests larger than this get a dedicated region.
+    std::uint64_t max_region_bytes = 64ull << 20; // 64 MiB
+    /// Every returned address and chunk size is a multiple of this.
+    std::uint64_t alignment = 64;
+    /// Metrics / registry label (e.g. "node1"); empty = unregistered.
+    std::string label;
+};
+
+struct arena_stats {
+    std::uint64_t bytes_in_use = 0;    ///< live user bytes (rounded sizes)
+    std::uint64_t bytes_reserved = 0;  ///< sum of backing region sizes
+    std::uint64_t peak_bytes_in_use = 0;
+    std::uint64_t allocs = 0;
+    std::uint64_t frees = 0;
+    std::uint64_t double_frees = 0;    ///< idempotent no-op frees
+    std::uint64_t region_allocs = 0;
+    std::uint64_t splits = 0;
+    std::uint64_t coalesces = 0;
+    std::uint64_t oversize_allocs = 0;
+    std::uint64_t failed_allocs = 0;
+    std::uint64_t largest_free_chunk = 0;
+    std::uint64_t free_chunks = 0;
+    std::uint64_t regions = 0;
+    std::uint64_t live_allocations = 0;
+};
+
+class arena {
+public:
+    arena(region_source& source, arena_options opt);
+    arena(const arena&) = delete;
+    arena& operator=(const arena&) = delete;
+    /// Releases all backing regions (unless abandoned). Live allocations are
+    /// released with their regions — the stats imbalance stays visible via
+    /// stats().bytes_in_use before destruction.
+    ~arena();
+
+    /// Allocate `bytes` (0 rounds up to one alignment quantum). Throws
+    /// oom_error when the region source is exhausted.
+    std::uint64_t allocate(std::uint64_t bytes);
+
+    /// Like allocate, but returns 0 instead of throwing.
+    std::uint64_t try_allocate(std::uint64_t bytes);
+
+    /// Free a previously allocated address. Idempotent: returns false (and
+    /// counts a double_free) for unknown or already-freed addresses.
+    bool free(std::uint64_t addr);
+
+    /// True when `addr` is a currently-live allocation of this arena.
+    [[nodiscard]] bool owns(std::uint64_t addr) const;
+
+    /// Rounded size of a live allocation; 0 when not live.
+    [[nodiscard]] std::uint64_t allocated_size(std::uint64_t addr) const;
+
+    /// The backing region containing `addr` — the registration-stable segment
+    /// a zero-copy transfer registers instead of the individual buffer.
+    struct region_info {
+        std::uint64_t base = 0;
+        std::uint64_t len = 0;
+    };
+    [[nodiscard]] std::optional<region_info> region_of(std::uint64_t addr) const;
+
+    /// Epoch teardown: the backing memory died with the target incarnation.
+    /// Drops every chunk and region without calling free_region and zeroes
+    /// the usage accounting (nothing leaked — the owner vanished).
+    void abandon();
+
+    /// Polite teardown: return all backing regions to the source. Live
+    /// allocations (if any) are dropped with their regions.
+    void release_all();
+
+    [[nodiscard]] arena_stats stats() const;
+    [[nodiscard]] const std::string& label() const noexcept { return opt_.label; }
+
+private:
+    // Chunks partition each region exactly; neighbours share region_id, and
+    // coalescing never crosses a region boundary.
+    struct chunk {
+        std::uint64_t len = 0;
+        std::uint64_t region_id = 0;
+        bool free = false;
+    };
+    struct region {
+        std::uint64_t base = 0;
+        std::uint64_t len = 0;
+        bool dedicated = false; ///< oversize one-shot region
+    };
+
+    static constexpr std::size_t num_bins = 40;
+    [[nodiscard]] static std::size_t bin_index(std::uint64_t len) noexcept;
+
+    [[nodiscard]] std::uint64_t round_up(std::uint64_t bytes) const noexcept;
+    std::uint64_t allocate_locked(std::uint64_t bytes);
+    bool grow(std::uint64_t min_bytes);
+    void insert_free(std::uint64_t addr, chunk& c);
+    void erase_free(std::uint64_t addr, const chunk& c);
+    /// Best-fit over bins >= bin_index(len); npos-style 0 when none fits.
+    [[nodiscard]] std::uint64_t find_fit(std::uint64_t len) const;
+    void update_gauges() const;
+
+    region_source& source_;
+    arena_options opt_;
+    mutable std::mutex mu_;
+
+    std::map<std::uint64_t, chunk> chunks_; ///< every chunk, by base address
+    std::map<std::uint64_t, region> regions_by_id_;
+    std::uint64_t next_region_id_ = 1;
+    std::uint64_t next_region_bytes_ = 0;
+    /// Free chunks: bins of (len, addr) — best fit is the first entry with
+    /// len >= request in the lowest eligible bin.
+    std::vector<std::set<std::pair<std::uint64_t, std::uint64_t>>> bins_;
+
+    mutable arena_stats st_;
+};
+
+} // namespace aurora::mem

@@ -1,0 +1,151 @@
+#include "mem/reg_cache.hpp"
+
+#include "mem/arena.hpp" // oom_error
+#include "mem/registry.hpp"
+#include "metrics/metrics.hpp"
+#include "util/check.hpp"
+
+namespace aurora::mem {
+
+namespace {
+
+metrics::counter* cache_counter(const std::string& label, const char* name,
+                                const char* help) {
+    if (label.empty()) {
+        return nullptr;
+    }
+    return &metrics::registry::global().counter_for(
+        name, metrics::labels({{"cache", label}}), help);
+}
+
+} // namespace
+
+reg_cache::reg_cache(registrar& reg, std::size_t capacity, std::string label)
+    : reg_(reg), capacity_(capacity), label_(std::move(label)) {
+    AURORA_CHECK(capacity_ > 0);
+    st_.capacity = capacity_;
+    mem_registry::global().add(this);
+}
+
+reg_cache::~reg_cache() {
+    mem_registry::global().remove(this);
+    clear();
+}
+
+std::uint64_t reg_cache::lookup(std::uint64_t space, std::uint64_t addr,
+                                std::uint64_t len, bool pin) {
+    const key k{space, addr};
+    auto it = entries_.find(k);
+    if (it != entries_.end() && it->second.len >= len) {
+        ++st_.hits;
+        if (auto* c = cache_counter(label_, "aurora_mem_regcache_hits_total",
+                                    "Registration cache hits")) {
+            c->add();
+        }
+        lru_.splice(lru_.begin(), lru_, it->second.lru);
+        if (pin) {
+            it->second.pinned = true;
+        }
+        return it->second.handle;
+    }
+    if (it != entries_.end()) {
+        // Known segment grew (or a longer range of it is needed): replace.
+        ++st_.reregisters;
+        reg_.do_unregister(it->second.handle);
+        lru_.erase(it->second.lru);
+        entries_.erase(it);
+    }
+    ++st_.misses;
+    if (auto* c = cache_counter(label_, "aurora_mem_regcache_misses_total",
+                                "Registration cache misses")) {
+        c->add();
+    }
+    while (entries_.size() >= capacity_) {
+        if (!evict_one()) {
+            throw oom_error("aurora::mem reg_cache '" + label_ +
+                            "': all " + std::to_string(capacity_) +
+                            " entries pinned, cannot register new segment");
+        }
+    }
+    const std::uint64_t handle = reg_.do_register(space, addr, len);
+    lru_.push_front(k);
+    entry e;
+    e.handle = handle;
+    e.len = len;
+    e.pinned = pin;
+    e.lru = lru_.begin();
+    entries_.emplace(k, e);
+    return handle;
+}
+
+bool reg_cache::evict_one() {
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        auto eit = entries_.find(*it);
+        AURORA_CHECK(eit != entries_.end());
+        if (eit->second.pinned) {
+            continue;
+        }
+        reg_.do_unregister(eit->second.handle);
+        lru_.erase(eit->second.lru);
+        entries_.erase(eit);
+        ++st_.evictions;
+        if (auto* c =
+                cache_counter(label_, "aurora_mem_regcache_evictions_total",
+                              "Registration cache LRU evictions")) {
+            c->add();
+        }
+        return true;
+    }
+    return false;
+}
+
+void reg_cache::pin(std::uint64_t space, std::uint64_t addr) {
+    auto it = entries_.find({space, addr});
+    if (it != entries_.end()) {
+        it->second.pinned = true;
+    }
+}
+
+void reg_cache::unpin(std::uint64_t space, std::uint64_t addr) {
+    auto it = entries_.find({space, addr});
+    if (it != entries_.end()) {
+        it->second.pinned = false;
+    }
+}
+
+void reg_cache::invalidate(std::uint64_t space, std::uint64_t addr) {
+    auto it = entries_.find({space, addr});
+    if (it == entries_.end()) {
+        return;
+    }
+    reg_.do_unregister(it->second.handle);
+    lru_.erase(it->second.lru);
+    entries_.erase(it);
+}
+
+void reg_cache::clear() {
+    for (auto& [k, e] : entries_) {
+        reg_.do_unregister(e.handle);
+    }
+    entries_.clear();
+    lru_.clear();
+}
+
+void reg_cache::drop() {
+    entries_.clear();
+    lru_.clear();
+}
+
+reg_cache_stats reg_cache::stats() const {
+    reg_cache_stats s = st_;
+    s.entries = entries_.size();
+    s.pinned = 0;
+    for (const auto& [k, e] : entries_) {
+        if (e.pinned) {
+            ++s.pinned;
+        }
+    }
+    return s;
+}
+
+} // namespace aurora::mem

@@ -1,0 +1,110 @@
+// aurora::mem — DMAATB registration cache.
+//
+// Registering a segment in the DMAATB is the expensive step of a VE-driven
+// transfer (cost_model::dmaatb_register_ns per install, measured by the
+// paper's 4dma ablation), and the table itself is tiny (dmaatb::max_entries).
+// The cache turns "register per transfer" into "register per segment":
+// lookups key on (address-space, segment base); a hit returns the cached
+// VEHVA, a miss registers through an abstract `registrar` and caches the
+// handle, and LRU eviction keeps the cache inside its entry budget while
+// never evicting pinned segments (the channel's own comm/staging windows).
+//
+// Epoch interaction: when a target incarnation dies its DMAATB died with it.
+// `drop()` forgets every entry without calling do_unregister; `clear()` is
+// the polite variant for live teardown. Both reset nothing but the entries —
+// hit/miss/evict counters keep accumulating so steady-state hit rates stay
+// measurable across recoveries.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+
+namespace aurora::mem {
+
+/// What the cache registers against — adapted to vedma::dmaatb on the VE
+/// side, or any other translation resource with install/remove semantics.
+class registrar {
+public:
+    virtual ~registrar() = default;
+    /// Install a mapping for [addr, addr+len) in address space `space`;
+    /// returns the translation handle (e.g. the VEHVA). Throws on failure.
+    virtual std::uint64_t do_register(std::uint64_t space, std::uint64_t addr,
+                                      std::uint64_t len) = 0;
+    /// Remove a previously installed mapping.
+    virtual void do_unregister(std::uint64_t handle) = 0;
+};
+
+struct reg_cache_stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t reregisters = 0; ///< cached length was too short
+    std::uint64_t entries = 0;
+    std::uint64_t pinned = 0;
+    std::uint64_t capacity = 0;
+    [[nodiscard]] double hit_rate() const noexcept {
+        const std::uint64_t n = hits + misses;
+        return n == 0 ? 0.0 : double(hits) / double(n);
+    }
+};
+
+class reg_cache {
+public:
+    /// Address spaces for the default users; callers may invent their own.
+    static constexpr std::uint64_t space_vh = 0;
+    static constexpr std::uint64_t space_ve = 1;
+
+    /// `capacity` bounds cached entries (pinned ones included); pick it below
+    /// the hardware budget so the channel's fixed registrations always fit.
+    reg_cache(registrar& reg, std::size_t capacity, std::string label = "");
+    reg_cache(const reg_cache&) = delete;
+    reg_cache& operator=(const reg_cache&) = delete;
+    ~reg_cache();
+
+    /// Translate (space, addr, len): cache hit returns the stored handle and
+    /// refreshes LRU order; miss registers and caches. A hit whose cached
+    /// length is shorter than `len` re-registers the longer range. Throws
+    /// oom_error when every entry is pinned and none can be evicted.
+    std::uint64_t lookup(std::uint64_t space, std::uint64_t addr,
+                         std::uint64_t len, bool pin = false);
+
+    /// Mark / unmark an existing entry as pinned (eviction-proof).
+    void pin(std::uint64_t space, std::uint64_t addr);
+    void unpin(std::uint64_t space, std::uint64_t addr);
+
+    /// Unregister and forget one segment (no-op when absent).
+    void invalidate(std::uint64_t space, std::uint64_t addr);
+
+    /// Polite teardown: unregister everything.
+    void clear();
+
+    /// Epoch teardown: forget everything without touching the registrar —
+    /// the translation table died with the target incarnation.
+    void drop();
+
+    [[nodiscard]] reg_cache_stats stats() const;
+    [[nodiscard]] const std::string& label() const noexcept { return label_; }
+
+private:
+    using key = std::pair<std::uint64_t, std::uint64_t>; // (space, addr)
+    struct entry {
+        std::uint64_t handle = 0;
+        std::uint64_t len = 0;
+        bool pinned = false;
+        std::list<key>::iterator lru; ///< position in lru_ (front = hottest)
+    };
+
+    /// Evict the coldest unpinned entry; false when all entries are pinned.
+    bool evict_one();
+
+    registrar& reg_;
+    std::size_t capacity_;
+    std::string label_;
+    std::map<key, entry> entries_;
+    std::list<key> lru_;
+    reg_cache_stats st_;
+};
+
+} // namespace aurora::mem

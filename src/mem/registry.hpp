@@ -1,0 +1,56 @@
+// aurora::mem — process-wide registry of live arenas, registration caches
+// and staging pools, so tools (aurora_info --mem) can dump a coherent memory
+// picture without threading references through every layer. Objects with a
+// non-empty label self-register on construction and deregister on
+// destruction; snapshots copy stats under the registry lock.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mem/arena.hpp"
+#include "mem/reg_cache.hpp"
+#include "mem/staging_pool.hpp"
+
+namespace aurora::mem {
+
+class mem_registry {
+public:
+    struct snapshot {
+        struct arena_entry {
+            std::string label;
+            arena_stats stats;
+        };
+        struct cache_entry {
+            std::string label;
+            reg_cache_stats stats;
+        };
+        struct pool_entry {
+            std::string label;
+            staging_pool_stats stats;
+        };
+        std::vector<arena_entry> arenas;
+        std::vector<cache_entry> caches;
+        std::vector<pool_entry> pools;
+    };
+
+    [[nodiscard]] static mem_registry& global();
+
+    void add(arena* a);
+    void remove(arena* a);
+    void add(reg_cache* c);
+    void remove(reg_cache* c);
+    void add(staging_pool* p);
+    void remove(staging_pool* p);
+
+    [[nodiscard]] snapshot snap() const;
+
+private:
+    mutable std::mutex mu_;
+    std::vector<arena*> arenas_;
+    std::vector<reg_cache*> caches_;
+    std::vector<staging_pool*> pools_;
+};
+
+} // namespace aurora::mem

@@ -1,0 +1,74 @@
+// aurora::mem — scatter/gather DMA descriptor lists.
+//
+// The VE user DMA engine completes posts asynchronously (userdma.cpp models
+// `complete_at = now + transfer_time`), so N independent descriptors posted
+// back-to-back overlap on the wire instead of serialising. An sg_list is the
+// plan for one logical transfer: a sequence of (src VEHVA, dst VEHVA, len)
+// descriptors, split to a maximum descriptor size and with physically
+// adjacent entries coalesced, ready to be posted in one burst and retired
+// with one wait-for-all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aurora::mem {
+
+struct sg_entry {
+    std::uint64_t src = 0; ///< source VEHVA
+    std::uint64_t dst = 0; ///< destination VEHVA
+    std::uint64_t len = 0;
+};
+
+class sg_list {
+public:
+    explicit sg_list(std::uint64_t max_descriptor_bytes = 0)
+        : max_bytes_(max_descriptor_bytes) {}
+
+    /// Append a transfer, splitting at max_descriptor_bytes and merging with
+    /// the previous entry when both ends are contiguous.
+    void add(std::uint64_t src, std::uint64_t dst, std::uint64_t len) {
+        while (len > 0) {
+            std::uint64_t piece =
+                max_bytes_ > 0 && len > max_bytes_ ? max_bytes_ : len;
+            if (!entries_.empty()) {
+                sg_entry& last = entries_.back();
+                const bool contiguous = last.src + last.len == src &&
+                                        last.dst + last.len == dst;
+                const bool fits =
+                    max_bytes_ == 0 || last.len + piece <= max_bytes_;
+                if (contiguous && fits) {
+                    last.len += piece;
+                    src += piece;
+                    dst += piece;
+                    len -= piece;
+                    continue;
+                }
+            }
+            entries_.push_back({src, dst, piece});
+            src += piece;
+            dst += piece;
+            len -= piece;
+        }
+    }
+
+    [[nodiscard]] const std::vector<sg_entry>& entries() const noexcept {
+        return entries_;
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+    [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+        std::uint64_t n = 0;
+        for (const sg_entry& e : entries_) {
+            n += e.len;
+        }
+        return n;
+    }
+    void clear() noexcept { entries_.clear(); }
+
+private:
+    std::uint64_t max_bytes_;
+    std::vector<sg_entry> entries_;
+};
+
+} // namespace aurora::mem

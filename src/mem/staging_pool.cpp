@@ -1,0 +1,50 @@
+#include "mem/staging_pool.hpp"
+
+#include "mem/registry.hpp"
+#include "util/check.hpp"
+
+namespace aurora::mem {
+
+staging_pool::staging_pool(std::uint64_t chunk_bytes, std::size_t chunks,
+                           std::string label)
+    : chunk_bytes_(chunk_bytes), label_(std::move(label)) {
+    AURORA_CHECK(chunk_bytes_ > 0 && chunks > 0);
+    chunks_.reserve(chunks);
+    for (std::size_t i = 0; i < chunks; ++i) {
+        chunks_.push_back(std::make_unique<std::byte[]>(chunk_bytes_));
+    }
+    busy_.assign(chunks, false);
+    st_.chunks = chunks;
+    st_.chunk_bytes = chunk_bytes_;
+    mem_registry::global().add(this);
+}
+
+staging_pool::~staging_pool() { mem_registry::global().remove(this); }
+
+std::optional<staging_pool::buffer> staging_pool::try_acquire() {
+    for (std::size_t n = 0; n < chunks_.size(); ++n) {
+        const std::size_t i = (next_ + n) % chunks_.size();
+        if (!busy_[i]) {
+            busy_[i] = true;
+            next_ = (i + 1) % chunks_.size();
+            ++st_.acquires;
+            ++st_.in_use;
+            return buffer{chunks_[i].get(), chunk_bytes_, i};
+        }
+    }
+    ++st_.exhausted;
+    return std::nullopt;
+}
+
+void staging_pool::release(const buffer& b) {
+    AURORA_CHECK(b.index < busy_.size());
+    if (busy_[b.index]) {
+        busy_[b.index] = false;
+        AURORA_CHECK(st_.in_use > 0);
+        --st_.in_use;
+    }
+}
+
+staging_pool_stats staging_pool::stats() const { return st_; }
+
+} // namespace aurora::mem

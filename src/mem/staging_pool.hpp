@@ -1,0 +1,66 @@
+// aurora::mem — pool of pinned VH staging buffers.
+//
+// Bulk transfers that cannot go zero-copy (unregistered user memory, odd
+// sizes) stage through VH bounce buffers. Allocating those per transfer
+// costs a malloc + a DMAATB registration each time; the pool allocates a
+// fixed set of page-aligned chunks once, registers them once (callers pin
+// them in their reg_cache), and hands them out round-robin. `acquire` never
+// blocks — the simulator is cooperative — it returns nullopt when every
+// chunk is in flight so the caller can retire a previous chunk first, which
+// is exactly the pipelining discipline the chunked staging path wants.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace aurora::mem {
+
+struct staging_pool_stats {
+    std::uint64_t acquires = 0;
+    std::uint64_t exhausted = 0; ///< try_acquire returned nullopt
+    std::uint64_t chunks = 0;
+    std::uint64_t chunk_bytes = 0;
+    std::uint64_t in_use = 0;
+};
+
+class staging_pool {
+public:
+    struct buffer {
+        std::byte* data = nullptr;
+        std::uint64_t bytes = 0;
+        std::size_t index = 0; ///< stable chunk id — reg_cache key material
+    };
+
+    staging_pool(std::uint64_t chunk_bytes, std::size_t chunks,
+                 std::string label = "");
+    staging_pool(const staging_pool&) = delete;
+    staging_pool& operator=(const staging_pool&) = delete;
+    ~staging_pool();
+
+    /// Next free chunk, or nullopt when all are in flight.
+    std::optional<buffer> try_acquire();
+
+    /// Return a chunk to the pool. Idempotent per chunk.
+    void release(const buffer& b);
+
+    [[nodiscard]] std::size_t size() const noexcept { return chunks_.size(); }
+    [[nodiscard]] std::uint64_t chunk_bytes() const noexcept {
+        return chunk_bytes_;
+    }
+    [[nodiscard]] staging_pool_stats stats() const;
+    [[nodiscard]] const std::string& label() const noexcept { return label_; }
+
+private:
+    std::uint64_t chunk_bytes_;
+    std::string label_;
+    std::vector<std::unique_ptr<std::byte[]>> chunks_;
+    std::vector<bool> busy_;
+    std::size_t next_ = 0; ///< round-robin scan start
+    mutable staging_pool_stats st_;
+};
+
+} // namespace aurora::mem

@@ -4,6 +4,8 @@
 #include <variant>
 
 #include "fault/fault.hpp"
+#include "mem/reg_cache.hpp"
+#include "mem/sg.hpp"
 #include "offload/heal.hpp"
 #include "offload/protocol.hpp"
 #include "offload/target_loop.hpp"
@@ -44,6 +46,8 @@ struct vedma_target_cfg {
     std::uint64_t staging_chunk_bytes = 0;
     std::int64_t idle_timeout_ns = 0; ///< 0 = poll forever
     std::uint8_t epoch = 0;           ///< incarnation (aurora::heal)
+    bool zero_copy = false; ///< accept zero-copy data_msg shapes (aurora::mem)
+    int vh_socket = 0;      ///< socket of the host's user buffers
 };
 
 using target_cfg = std::variant<veo_target_cfg, vedma_target_cfg>;
@@ -152,6 +156,35 @@ private:
 
 // --- VE side of the DMA protocol (Fig. 8) -------------------------------------
 
+/// Adapts the channel's DMAATB to the aurora::mem registration cache: VH
+/// entries map a host user buffer (at the host's socket), VE entries map an
+/// arena region. Each install pays dmaatb_register_ns — the cost the cache
+/// exists to amortise.
+class dmaatb_registrar final : public aurora::mem::registrar {
+public:
+    dmaatb_registrar(aurora::vedma::dmaatb& atb, int vh_socket)
+        : atb_(atb), vh_socket_(vh_socket) {}
+
+    std::uint64_t do_register(std::uint64_t space, std::uint64_t addr,
+                              std::uint64_t len) override {
+        if (space == aurora::mem::reg_cache::space_vh) {
+            return atb_.register_vh(reinterpret_cast<std::byte*>(addr), len,
+                                    vh_socket_);
+        }
+        return atb_.register_ve(addr, len);
+    }
+    void do_unregister(std::uint64_t handle) override { atb_.unregister(handle); }
+
+private:
+    aurora::vedma::dmaatb& atb_;
+    int vh_socket_;
+};
+
+/// Registration-cache entry budget per channel: well under dmaatb::max_entries
+/// so the channel's fixed comm/staging registrations (and any second channel
+/// on the same card) always fit.
+constexpr std::size_t ve_reg_cache_capacity = 64;
+
 class vedma_ve_channel final : public target_channel {
 public:
     vedma_ve_channel(aurora::veos::ve_process& proc, const vedma_target_cfg& cfg)
@@ -159,6 +192,9 @@ public:
           cfg_(cfg),
           atb_(proc),
           dma_(atb_),
+          registrar_(atb_, cfg.vh_socket),
+          cache_(registrar_, ve_reg_cache_capacity,
+                 "ve-node" + std::to_string(cfg.node)),
           recv_gen_(cfg.layout.recv.slots, 0),
           send_gen_(cfg.layout.send.slots, 0) {
         // The "rather complex setup process" of Sec. IV-A: attach the host's
@@ -185,6 +221,9 @@ public:
     }
 
     ~vedma_ve_channel() override {
+        // Cached data-path registrations go first; the fixed channel windows
+        // below never enter the cache.
+        cache_.clear();
         if (cfg_.staging_shm_key != 0) {
             atb_.unregister(data_stage_vehva_);
             atb_.unregister(data_host_vehva_);
@@ -304,6 +343,10 @@ private:
         AURORA_CHECK(buf.size() >= sizeof(protocol::data_msg));
         protocol::data_msg m;
         std::memcpy(&m, buf.data(), sizeof(m));
+        if (m.host_base != 0) {
+            handle_data_zero_copy(flag, m, slot);
+            return;
+        }
         AURORA_CHECK(m.len <= cfg_.staging_chunk_bytes);
         const auto& cm = proc_.plat().costs();
 
@@ -328,10 +371,74 @@ private:
         send_result(slot, &ack, sizeof(ack));
     }
 
+    /// Zero-copy shape (aurora::mem): translate the host user buffer and the
+    /// VE arena region through the registration cache, then drive one chained
+    /// user-DMA burst between them — no staging copy on either side. The
+    /// scatter/gather plan splits the transfer into engine descriptors of at
+    /// most staging_chunk_bytes each; the uniform run goes out as a single
+    /// chained post, a short final descriptor rides alongside it.
+    void handle_data_zero_copy(const protocol::flag_word& flag,
+                               const protocol::data_msg& m, std::uint32_t slot) {
+        AURORA_CHECK_MSG(cfg_.zero_copy,
+                         "zero-copy data message but the channel was set up "
+                         "without it");
+        AURORA_CHECK(m.len > 0 && m.len % 8 == 0 && m.host_base % 8 == 0);
+        AURORA_CHECK(m.host_len >= m.len && m.region_len > 0);
+        AURORA_CHECK_MSG(m.target_addr >= m.region_base &&
+                             m.target_addr + m.len <=
+                                 m.region_base + m.region_len,
+                         "zero-copy transfer leaves its arena region");
+
+        const std::uint64_t host_vehva = cache_.lookup(
+            aurora::mem::reg_cache::space_vh, m.host_base, m.host_len);
+        const std::uint64_t region_vehva = cache_.lookup(
+            aurora::mem::reg_cache::space_ve, m.region_base, m.region_len);
+        const std::uint64_t ve_vehva =
+            region_vehva + (m.target_addr - m.region_base);
+
+        aurora::mem::sg_list sg(cfg_.staging_chunk_bytes);
+        if (flag.kind == protocol::msg_kind::data_put) {
+            sg.add(host_vehva, ve_vehva, m.len);
+        } else {
+            sg.add(ve_vehva, host_vehva, m.len);
+        }
+        const auto& es = sg.entries();
+        // All descriptors but possibly the last share one length; hand that
+        // uniform run to the engine as a single chained (strided) post.
+        const std::uint64_t desc = es.front().len;
+        std::size_t uniform = es.size();
+        if (es.size() > 1 && es.back().len != desc) {
+            --uniform;
+        }
+        aurora::vedma::ve_dma_handle chain{};
+        aurora::vedma::ve_dma_handle tail{};
+        if (uniform > 0) {
+            AURORA_CHECK(dma_.dma_post_2d(es.front().dst, desc, es.front().src,
+                                          desc, desc, uniform, chain) == 0);
+        }
+        if (uniform < es.size()) {
+            const aurora::mem::sg_entry& last = es.back();
+            AURORA_CHECK(dma_.dma_post(last.dst, last.src, last.len, tail) == 0);
+        }
+        if (chain.in_flight) {
+            dma_.dma_wait(chain);
+        }
+        if (tail.in_flight) {
+            dma_.dma_wait(tail);
+        }
+
+        const protocol::result_header ack{};
+        send_result(slot, &ack, sizeof(ack));
+    }
+
     aurora::veos::ve_process& proc_;
     vedma_target_cfg cfg_;
     aurora::vedma::dmaatb atb_;
     aurora::vedma::user_dma_engine dma_;
+    /// Zero-copy data path (aurora::mem): registration cache over the DMAATB.
+    /// Declared after atb_ so its destructor (which unregisters) runs first.
+    dmaatb_registrar registrar_;
+    aurora::mem::reg_cache cache_;
     std::uint64_t comm_vehva_ = 0;
     std::uint64_t stage_vaddr_ = 0;
     std::uint64_t stage_vehva_ = 0;
@@ -406,6 +513,12 @@ std::uint64_t c_api_setup_vedma(aurora::veos::ve_call_context& ctx) {
     }
     if (ctx.arg_count() > 11) {
         cfg.epoch = static_cast<std::uint8_t>(ctx.arg_u64(11));
+    }
+    if (ctx.arg_count() > 12) {
+        cfg.zero_copy = ctx.arg_u64(12) != 0;
+    }
+    if (ctx.arg_count() > 13) {
+        cfg.vh_socket = static_cast<int>(ctx.arg_i64(13));
     }
     ctx.proc().user_state() = target_cfg(cfg);
     return 0;

@@ -165,6 +165,11 @@ public:
     virtual void stage_put(std::uint32_t chunk, const void* src, std::uint64_t len);
     /// Host side: copy a completed get-chunk out of staging slot `chunk`.
     virtual void stage_get(std::uint32_t chunk, void* dst, std::uint64_t len);
+
+    /// True when the target channel understands the zero-copy data_msg shape
+    /// (aurora::mem): transfers between a registered host buffer and a VE
+    /// arena region with no staging copies. Implies has_dma_data_path().
+    [[nodiscard]] virtual bool supports_zero_copy() const { return false; }
 };
 
 } // namespace ham::offload

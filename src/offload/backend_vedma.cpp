@@ -104,6 +104,8 @@ void backend_vedma::attach() {
                          host_image_options()).fingerprint());
     args->set_i64(10, opt_.target_idle_timeout_ns);
     args->set_u64(11, epoch_);
+    args->set_u64(12, supports_zero_copy() ? 1 : 0);
+    args->set_i64(13, opt_.vh_socket);
     std::uint64_t ret = 0;
     const std::uint64_t req = veo_call_async(ctx_, sym_setup, args);
     AURORA_CHECK(veo_call_wait_result(ctx_, req, &ret) == VEO_COMMAND_OK);

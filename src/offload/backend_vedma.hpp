@@ -64,6 +64,9 @@ public:
     }
     void stage_put(std::uint32_t chunk, const void* src, std::uint64_t len) override;
     void stage_get(std::uint32_t chunk, void* dst, std::uint64_t len) override;
+    [[nodiscard]] bool supports_zero_copy() const override {
+        return opt_.vedma_dma_data_path && opt_.vedma_zero_copy;
+    }
 
 private:
     [[nodiscard]] std::byte* region(std::uint64_t offset) const {

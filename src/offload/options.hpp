@@ -61,6 +61,25 @@ struct runtime_options {
     std::uint32_t vedma_staging_chunks = 4;
     std::uint64_t vedma_staging_chunk_bytes = 2 * 1024 * 1024;
 
+    // --- zero-copy data plane (aurora::mem; see docs/MEMORY.md) -------------
+    /// Allocate target (VE) buffers from a per-target BFC-style arena instead
+    /// of one veo_alloc_mem per buffer. Regions are registration-stable, which
+    /// is what makes the zero-copy path below cacheable.
+    bool mem_arena = true;
+    /// First backing region size; regions double up to the cap below.
+    std::uint64_t mem_arena_initial_bytes = 1ull << 20; // 1 MiB
+    /// Region growth cap; larger requests get a dedicated region.
+    std::uint64_t mem_arena_max_region_bytes = 64ull << 20; // 64 MiB
+    /// With the DMA data path on, move put()/get() payloads directly between
+    /// the registered host buffer and the VE arena region (one message, one
+    /// chained DMA burst) instead of staging chunk-by-chunk. Requires
+    /// vedma_dma_data_path and mem_arena.
+    bool vedma_zero_copy = true;
+    /// Transfers below this stay on the staged path: a first-touch zero-copy
+    /// transfer pays two DMAATB registrations, which only amortises on big or
+    /// repeated transfers.
+    std::uint64_t vedma_zero_copy_min_bytes = 32 * 1024;
+
     // --- resilience (aurora::fault hardening; see docs/FAULTS.md) -----------
     /// Virtual-time budget for a posted message's reply before the runtime
     /// retransmits (the window doubles per attempt). 0 disables timeouts —

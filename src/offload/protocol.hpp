@@ -51,10 +51,21 @@ enum class msg_kind : std::uint8_t {
 };
 
 /// Payload of a data_put/data_get control message.
+///
+/// Two shapes share this struct. The staged shape (host_base == 0) moves one
+/// chunk through the backend's staging window at `staging_off`. The zero-copy
+/// shape (aurora::mem, host_base != 0) names the host user buffer and the VE
+/// arena region directly: the VE registers both (through its registration
+/// cache) and drives a chained user-DMA burst between them, no staging copy
+/// on either side. `len` is then the whole 8-aligned transfer, not a chunk.
 struct data_msg {
     std::uint64_t target_addr = 0; ///< VE virtual address of the user buffer
     std::uint64_t staging_off = 0; ///< offset into the host staging segment
-    std::uint64_t len = 0;         ///< chunk length in bytes
+    std::uint64_t len = 0;         ///< transfer length in bytes
+    std::uint64_t host_base = 0;   ///< VH address of the host buffer (0 = staged)
+    std::uint64_t host_len = 0;    ///< registrable window at host_base (>= len)
+    std::uint64_t region_base = 0; ///< arena region containing target_addr
+    std::uint64_t region_len = 0;  ///< arena region length
 };
 
 /// Largest payload length the 24-bit flag field can carry.
@@ -178,6 +189,14 @@ public:
 
     [[nodiscard]] std::uint32_t count() const noexcept { return count_; }
     [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+    /// Rewind for the next batch, keeping the payload buffer's heap storage
+    /// (the scheduler reuses one builder across dispatches instead of paying
+    /// an allocation per group).
+    void reset() {
+        count_ = 0;
+        buf_.resize(sizeof(batch_header));
+    }
 
     /// Finalise the header and expose the wire bytes.
     [[nodiscard]] const std::byte* finish() {

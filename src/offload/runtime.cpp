@@ -21,6 +21,36 @@ namespace ham::offload {
 
 thread_local runtime* runtime::current_ = nullptr;
 
+/// Backing-region supplier for a target's arena: one backend allocate_bytes
+/// per region instead of one per user buffer. Failure is reported as 0 (the
+/// arena turns it into a clean oom_error); a dead or mid-recovery target
+/// supplies nothing.
+struct runtime::target_arena_source final : aurora::mem::region_source {
+    explicit target_arena_source(target_state& t) : t(t) {}
+
+    std::uint64_t alloc_region(std::uint64_t bytes) override {
+        if (t.be == nullptr || t.health == target_health::failed ||
+            t.health == target_health::recovering) {
+            return 0;
+        }
+        try {
+            return t.be->allocate_bytes(bytes);
+        } catch (const aurora::check_error&) {
+            return 0; // target memory exhausted — surface as arena OOM
+        }
+    }
+
+    void free_region(std::uint64_t addr, std::uint64_t /*bytes*/) override {
+        if (t.be == nullptr || t.health == target_health::failed ||
+            t.health == target_health::recovering) {
+            return; // the incarnation (and its memory) is already gone
+        }
+        t.be->free_bytes(addr);
+    }
+
+    target_state& t;
+};
+
 namespace {
 
 /// The loopback targets share one "other binary" image registry.
@@ -253,6 +283,13 @@ void runtime::shutdown() {
             t.be->abandon();
             continue;
         }
+        if (t.arena != nullptr) {
+            // Return the backing regions while the target process is still
+            // alive: after the terminate handshake there is no process to
+            // free against. Lingering user buffers (if any) are dropped with
+            // their regions; mem-correctness CI asserts bytes_in_use == 0.
+            t.arena->release_all();
+        }
         AURORA_TRACE_SPAN("offload", "terminate");
         try {
             const std::uint32_t slot = acquire_slot(t, node);
@@ -362,6 +399,11 @@ void runtime::fail_target(node_t node, const std::string& why) {
     if (t.be != nullptr) {
         t.be->abandon();
     }
+    if (t.arena != nullptr) {
+        // The backing memory died with the process: drop the bookkeeping
+        // without handing regions back to a backend that no longer has them.
+        t.arena->abandon();
+    }
     // Settle every outstanding request — in flight or queued for replay —
     // with a synthetic failed result so no future ever blocks on this target.
     for (std::uint32_t s = 0; s < t.slot_ticket.size(); ++s) {
@@ -416,6 +458,11 @@ void runtime::begin_recovery(target_state& t, node_t node,
     // delivered-result state harvestable (unlike abandon()).
     aurora::fault::injector::instance().kill_now(opt_.node_base + int(node));
     t.be->quiesce();
+    if (t.arena != nullptr) {
+        // Epoch teardown: the dead incarnation's VE memory is gone; the arena
+        // restarts empty and grows fresh regions from the respawned process.
+        t.arena->abandon();
+    }
     // Results posted just before the death may still be inside the transport;
     // give them their modeled latency before the final drain reads the slots.
     if (const std::int64_t grace = t.be->result_grace_ns(); grace > 0) {
@@ -1033,6 +1080,18 @@ bool runtime::wait_collect_until(node_t node, std::uint64_t ticket,
     return true;
 }
 
+void runtime::ensure_arena(target_state& t, node_t node) {
+    if (t.arena != nullptr) {
+        return;
+    }
+    t.arena_src = std::make_unique<target_arena_source>(t);
+    aurora::mem::arena_options ao;
+    ao.initial_region_bytes = opt_.mem_arena_initial_bytes;
+    ao.max_region_bytes = opt_.mem_arena_max_region_bytes;
+    ao.label = "node" + std::to_string(opt_.node_base + int(node));
+    t.arena = std::make_unique<aurora::mem::arena>(*t.arena_src, ao);
+}
+
 std::uint64_t runtime::allocate_raw(node_t node, std::uint64_t bytes) {
     if (node == this_node()) {
         // Host allocation: buffer_ptr on node 0 wraps a real pointer.
@@ -1044,19 +1103,35 @@ std::uint64_t runtime::allocate_raw(node_t node, std::uint64_t bytes) {
     }
     target_state& t = state_for(node);
     wait_usable(t, node);
-    return t.be->allocate_bytes(bytes);
+    if (!opt_.mem_arena) {
+        return t.be->allocate_bytes(bytes);
+    }
+    // aurora::mem: carve the buffer out of a registration-stable backing
+    // region. Exhaustion surfaces as a clean oom_error, never an abort.
+    ensure_arena(t, node);
+    return t.arena->allocate(bytes);
 }
 
 void runtime::free_raw(node_t node, std::uint64_t addr) {
     if (node == this_node()) {
-        AURORA_CHECK_MSG(host_heap_.erase(addr) == 1,
-                         "free of unknown host buffer");
+        // Idempotent: a buffer_ptr settled twice (e.g. once on the
+        // target_failed_error path and again by its owner) must not abort.
+        if (host_heap_.erase(addr) == 0) {
+            AURORA_TRACE("offload", "duplicate free of host buffer ignored");
+        }
         return;
     }
     target_state& t = state_for(node);
     if (t.health == target_health::failed ||
         t.health == target_health::recovering || t.be == nullptr) {
         return; // the target (incarnation) is gone; its memory went with it
+    }
+    if (t.arena != nullptr) {
+        // Arena frees are idempotent, and an address the arena has never seen
+        // (a buffer of a dead incarnation, or a second settlement) is a
+        // counted no-op rather than a backend fault.
+        t.arena->free(addr);
+        return;
     }
     t.be->free_bytes(addr);
 }
@@ -1074,8 +1149,11 @@ void runtime::put_raw(node_t node, const void* src, std::uint64_t dst_addr,
     AURORA_TRACE_SPAN("offload", "put");
     AURORA_TRACE_COUNTER("offload", "put_bytes", len);
     if (t.be->has_dma_data_path() && len > 0) {
-        pipelined_transfer(node, const_cast<void*>(src), dst_addr, len,
-                           /*is_put=*/true);
+        if (!zero_copy_transfer(t, node, const_cast<void*>(src), dst_addr, len,
+                                /*is_put=*/true)) {
+            pipelined_transfer(node, const_cast<void*>(src), dst_addr, len,
+                               /*is_put=*/true);
+        }
         return;
     }
     t.be->put_bytes(src, dst_addr, len);
@@ -1094,10 +1172,72 @@ void runtime::get_raw(node_t node, std::uint64_t src_addr, void* dst,
     AURORA_TRACE_SPAN("offload", "get");
     AURORA_TRACE_COUNTER("offload", "get_bytes", len);
     if (t.be->has_dma_data_path() && len > 0) {
-        pipelined_transfer(node, dst, src_addr, len, /*is_put=*/false);
+        if (!zero_copy_transfer(t, node, dst, src_addr, len,
+                                /*is_put=*/false)) {
+            pipelined_transfer(node, dst, src_addr, len, /*is_put=*/false);
+        }
         return;
     }
     t.be->get_bytes(src_addr, dst, len);
+}
+
+bool runtime::zero_copy_transfer(target_state& t, node_t node, void* host_buf,
+                                 std::uint64_t target_addr, std::uint64_t len,
+                                 bool is_put) {
+    if (!t.be->supports_zero_copy() || t.arena == nullptr ||
+        len < opt_.vedma_zero_copy_min_bytes) {
+        return false;
+    }
+    // The VE-side DMA engine moves 8-byte-aligned ranges; an unaligned host
+    // pointer cannot be registered usefully, and a ragged tail (< 8 B) rides
+    // the staged path after the burst.
+    const auto host_base = reinterpret_cast<std::uint64_t>(host_buf);
+    if (host_base % 8 != 0) {
+        return false;
+    }
+    const std::uint64_t main = len & ~std::uint64_t{7};
+    if (main == 0) {
+        return false;
+    }
+    const auto region = t.arena->region_of(target_addr);
+    if (!region || target_addr + main > region->base + region->len) {
+        return false; // not an arena buffer (or crosses its backing region)
+    }
+
+    AURORA_TRACE_SPAN("offload", "zero_copy_transfer");
+    protocol::data_msg m;
+    m.target_addr = target_addr;
+    m.len = main;
+    m.host_base = host_base;
+    m.host_len = main;
+    m.region_base = region->base;
+    m.region_len = region->len;
+
+    // One control message covers the whole burst: the VE registers both ends
+    // (through its cache) and drives chained DMA descriptors between them.
+    const std::uint32_t slot = acquire_slot(t, node);
+    const std::uint64_t ticket =
+        post_on_slot(t, node, slot, &m, sizeof(m),
+                     is_put ? protocol::msg_kind::data_put
+                            : protocol::msg_kind::data_get);
+    t.met.data_chunks->add(1);
+    std::vector<std::byte> ack;
+    wait_collect(node, ticket, slot, ack);
+    if (resilient_ && ack.size() >= sizeof(protocol::result_header)) {
+        protocol::result_header h;
+        std::memcpy(&h, ack.data(), sizeof(h));
+        if (h.status != protocol::status::ok) {
+            throw target_failed_error(
+                "zero-copy transfer to node " + std::to_string(node) +
+                " failed" +
+                (t.fail_reason.empty() ? "" : ": " + t.fail_reason));
+        }
+    }
+    if (main < len) {
+        pipelined_transfer(node, static_cast<std::byte*>(host_buf) + main,
+                           target_addr + main, len - main, is_put);
+    }
+    return true;
 }
 
 void runtime::pipelined_transfer(node_t node, void* host_buf,

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ham/handler_registry.hpp"
+#include "mem/arena.hpp"
 #include "metrics/metrics.hpp"
 #include "offload/backend.hpp"
 #include "offload/future.hpp"
@@ -215,8 +216,16 @@ private:
         target_statistics base; ///< counter values when this runtime attached
     };
 
+    /// region_source over a target's backend (defined in runtime.cpp).
+    struct target_arena_source;
+
     struct target_state {
         std::unique_ptr<backend> be; ///< null when the attach failed
+        /// aurora::mem data plane: VE buffers are carved out of arena-managed
+        /// backing regions (one allocate_bytes per region, not per buffer).
+        /// Declared after `be` so teardown can still reach the backend.
+        std::unique_ptr<target_arena_source> arena_src;
+        std::unique_ptr<aurora::mem::arena> arena;
         std::vector<std::uint64_t> slot_ticket; ///< 0 = slot free
         std::vector<sim::time_ns> slot_sent_ns; ///< post time, for round-trips
         std::map<std::uint64_t, std::vector<std::byte>> arrived;
@@ -243,6 +252,17 @@ private:
     /// Chunked put/get through the backend's staging window (extension).
     void pipelined_transfer(node_t node, void* host_buf, std::uint64_t target_addr,
                             std::uint64_t len, bool is_put);
+    /// Zero-copy put/get (aurora::mem): one data message names the host
+    /// buffer and the VE arena region; the VE drives a chained DMA burst
+    /// between the registered segments. Returns false when the transfer does
+    /// not qualify (no arena region, unaligned host pointer, below the size
+    /// threshold, backend without support) — the caller falls back to the
+    /// staged path.
+    bool zero_copy_transfer(target_state& t, node_t node, void* host_buf,
+                            std::uint64_t target_addr, std::uint64_t len,
+                            bool is_put);
+    /// Lazily create `t`'s arena (first VE allocation with mem_arena on).
+    void ensure_arena(target_state& t, node_t node);
     /// Probe one slot's backend result; buffer an arrival under its ticket.
     bool harvest_slot(target_state& t, std::uint32_t slot, node_t node);
     std::uint32_t acquire_slot(target_state& t, node_t node);

@@ -373,6 +373,11 @@ bool executor::dispatch_target(std::size_t t) {
     bool progress = false;
 
     const std::uint32_t win = effective_window(t);
+    // One pooled payload builder (and group scratch) for the whole drain:
+    // reset() rewinds the builder but keeps its heap buffer, so steady-state
+    // dispatch allocates nothing per group (aurora::mem satellite).
+    std::vector<task_id> group;
+    ham::offload::protocol::batch_builder batch{slot_capacity(rt_)};
     while (tq.inflight.size() < win) {
         if (tq.ready.empty()) {
             if (cfg_.policy != placement_policy::work_stealing ||
@@ -383,8 +388,8 @@ bool executor::dispatch_target(std::size_t t) {
 
         // Gather a group from the queue front: one task, or — with batching —
         // as many consecutive ones as fit the slot payload and max_batch.
-        std::vector<task_id> group;
-        ham::offload::protocol::batch_builder batch{slot_capacity(rt_)};
+        group.clear();
+        batch.reset();
         group.push_back(tq.ready.front());
         tq.ready.pop_front();
         if (cfg_.batching && cfg_.max_batch > 1 &&

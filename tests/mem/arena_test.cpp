@@ -1,0 +1,239 @@
+// aurora::mem::arena — property suite: split/coalesce round-trips, bin reuse
+// under a seeded random workload, clean OOM behaviour, and the two teardown
+// paths (release_all vs abandon).
+#include "mem/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace aurora::mem {
+namespace {
+
+/// Deterministic generator (the repo-wide convention; no std::random_device).
+struct splitmix64 {
+    std::uint64_t s;
+    explicit splitmix64(std::uint64_t seed) : s(seed) {}
+    std::uint64_t next() {
+        s += 0x9E3779B97f4A7C15ULL;
+        std::uint64_t z = s;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+};
+
+arena_options opts(std::uint64_t initial, std::uint64_t max) {
+    arena_options o;
+    o.initial_region_bytes = initial;
+    o.max_region_bytes = max;
+    return o;
+}
+
+/// In-memory region source: hands out disjoint address ranges, tracks what is
+/// outstanding, and can be capped to force OOM.
+class fake_source final : public region_source {
+public:
+    explicit fake_source(std::uint64_t cap_bytes = 0) : cap_(cap_bytes) {}
+
+    std::uint64_t alloc_region(std::uint64_t bytes) override {
+        if (cap_ != 0 && outstanding_bytes_ + bytes > cap_) {
+            return 0;
+        }
+        const std::uint64_t base = next_;
+        next_ += bytes + (1ULL << 30); // leave a gap: regions never touch
+        live_[base] = bytes;
+        outstanding_bytes_ += bytes;
+        ++allocs_;
+        return base;
+    }
+
+    void free_region(std::uint64_t addr, std::uint64_t bytes) override {
+        auto it = live_.find(addr);
+        ASSERT_NE(it, live_.end()) << "free of unknown region";
+        EXPECT_EQ(it->second, bytes);
+        outstanding_bytes_ -= it->second;
+        live_.erase(it);
+        ++frees_;
+    }
+
+    std::map<std::uint64_t, std::uint64_t> live_;
+    std::uint64_t next_ = 0x7000000000ULL;
+    std::uint64_t cap_;
+    std::uint64_t outstanding_bytes_ = 0;
+    int allocs_ = 0;
+    int frees_ = 0;
+};
+
+TEST(Arena, SplitAndCoalesceRoundTrip) {
+    fake_source src;
+    arena a(src, opts(1 << 20, 1 << 20));
+
+    // Three neighbours carved out of one region by splitting.
+    const std::uint64_t x = a.allocate(1000);
+    const std::uint64_t y = a.allocate(1000);
+    const std::uint64_t z = a.allocate(1000);
+    EXPECT_EQ(a.stats().regions, 1u);
+    EXPECT_GE(a.stats().splits, 3u);
+    EXPECT_EQ(a.allocated_size(x), 1024u); // rounded to the 64 B quantum
+
+    // Free the middle, then both sides: everything must coalesce back into
+    // a single free chunk spanning the region.
+    EXPECT_TRUE(a.free(y));
+    EXPECT_TRUE(a.free(x));
+    EXPECT_TRUE(a.free(z));
+    const arena_stats st = a.stats();
+    EXPECT_EQ(st.bytes_in_use, 0u);
+    EXPECT_EQ(st.free_chunks, 1u);
+    EXPECT_EQ(st.largest_free_chunk, st.bytes_reserved);
+    EXPECT_GE(st.coalesces, 2u);
+
+    // The coalesced chunk serves a request as large as the whole region.
+    const std::uint64_t big = a.allocate((1 << 20) - 64);
+    EXPECT_NE(big, 0u);
+    EXPECT_EQ(a.stats().regions, 1u) << "coalesced space must be reused";
+}
+
+TEST(Arena, FreeIsIdempotent) {
+    fake_source src;
+    arena a(src, {});
+    const std::uint64_t x = a.allocate(128);
+    EXPECT_TRUE(a.free(x));
+    EXPECT_FALSE(a.free(x)) << "second free must be a counted no-op";
+    EXPECT_FALSE(a.free(0xDEAD000));
+    EXPECT_EQ(a.stats().double_frees, 2u);
+    EXPECT_EQ(a.stats().frees, 1u);
+}
+
+TEST(Arena, RegionOfReportsTheBackingSegment) {
+    fake_source src;
+    arena a(src, opts(1 << 16, 1 << 16));
+    const std::uint64_t x = a.allocate(4096);
+    const auto r = a.region_of(x);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_LE(r->base, x);
+    EXPECT_GE(r->base + r->len, x + 4096);
+    EXPECT_EQ(r->len, 1u << 16);
+    EXPECT_FALSE(a.region_of(0x12345).has_value());
+}
+
+TEST(Arena, OversizeRequestsGetDedicatedRegions) {
+    fake_source src;
+    arena a(src, opts(1 << 16, 1 << 20));
+    const std::uint64_t big = a.allocate(8 << 20); // 8 MiB > 1 MiB cap
+    EXPECT_NE(big, 0u);
+    EXPECT_EQ(a.stats().oversize_allocs, 1u);
+    const std::uint64_t regions_before = a.stats().regions;
+    // Freeing a dedicated region hands it straight back to the source.
+    EXPECT_TRUE(a.free(big));
+    EXPECT_EQ(a.stats().regions, regions_before - 1);
+    EXPECT_EQ(src.frees_, 1);
+}
+
+TEST(Arena, OomIsACleanCatchableError) {
+    fake_source src(/*cap=*/1 << 20);
+    arena a(src, opts(1 << 20, 1 << 20));
+    const std::uint64_t ok = a.allocate(512 << 10);
+    EXPECT_NE(ok, 0u);
+    // The next MiB cannot be backed: allocate throws (never aborts),
+    // try_allocate returns 0, and the failure is counted.
+    EXPECT_THROW(a.allocate(1 << 20), oom_error);
+    EXPECT_EQ(a.try_allocate(1 << 20), 0u);
+    EXPECT_EQ(a.stats().failed_allocs, 2u);
+    // The arena remains fully usable after an OOM.
+    const std::uint64_t after = a.allocate(1024);
+    EXPECT_NE(after, 0u);
+    EXPECT_TRUE(a.free(after));
+    EXPECT_TRUE(a.free(ok));
+}
+
+TEST(Arena, SeededChurnKeepsAccountsExact) {
+    fake_source src;
+    arena a(src, opts(64 << 10, 4 << 20));
+    splitmix64 rng(0xC0FFEE);
+    std::map<std::uint64_t, std::uint64_t> live; // addr -> rounded size
+    std::uint64_t model_in_use = 0;
+
+    for (int i = 0; i < 4000; ++i) {
+        const bool do_alloc = live.empty() || (rng.next() & 1) == 0;
+        if (do_alloc) {
+            // Log-uniform sizes, 1 B .. 512 KiB.
+            const std::uint64_t bytes = 1ULL << (rng.next() % 20);
+            const std::uint64_t addr = a.allocate(bytes);
+            ASSERT_NE(addr, 0u);
+            ASSERT_TRUE(a.owns(addr));
+            ASSERT_EQ(live.count(addr), 0u) << "allocator handed out a live address";
+            live[addr] = a.allocated_size(addr);
+            model_in_use += live[addr];
+        } else {
+            auto it = live.begin();
+            std::advance(it, rng.next() % live.size());
+            model_in_use -= it->second;
+            ASSERT_TRUE(a.free(it->first));
+            ASSERT_FALSE(a.owns(it->first));
+            live.erase(it);
+        }
+        ASSERT_EQ(a.stats().bytes_in_use, model_in_use);
+        ASSERT_EQ(a.stats().live_allocations, live.size());
+    }
+
+    // Steady-state churn must reuse freed space: far fewer regions than
+    // allocations (the whole point of binned free lists).
+    EXPECT_LT(a.stats().regions, 64u);
+    for (const auto& [addr, size] : live) {
+        EXPECT_TRUE(a.free(addr));
+    }
+    EXPECT_EQ(a.stats().bytes_in_use, 0u);
+    // After freeing everything, every region is one coalesced chunk.
+    EXPECT_EQ(a.stats().free_chunks, a.stats().regions);
+}
+
+TEST(Arena, ReleaseAllReturnsEveryRegionToTheSource) {
+    fake_source src;
+    {
+        arena a(src, opts(1 << 16, 64 << 20));
+        static_cast<void>(a.allocate(1024));
+        static_cast<void>(a.allocate(1 << 20)); // forces growth
+        EXPECT_GT(src.live_.size(), 0u);
+        a.release_all();
+        EXPECT_EQ(src.live_.size(), 0u);
+        EXPECT_EQ(a.stats().bytes_reserved, 0u);
+        EXPECT_EQ(a.stats().bytes_in_use, 0u);
+        // Still usable: a fresh allocation grows a fresh region.
+        EXPECT_NE(a.allocate(64), 0u);
+    }
+    // Destruction releases what the post-release_all allocation grew.
+    EXPECT_EQ(src.live_.size(), 0u);
+}
+
+TEST(Arena, AbandonNeverTouchesTheSource) {
+    fake_source src;
+    arena a(src, opts(1 << 16, 64 << 20));
+    static_cast<void>(a.allocate(1024));
+    const int frees_before = src.frees_;
+    a.abandon();
+    EXPECT_EQ(src.frees_, frees_before)
+        << "abandon must not free regions of a dead incarnation";
+    EXPECT_EQ(a.stats().bytes_in_use, 0u);
+    EXPECT_EQ(a.stats().bytes_reserved, 0u);
+    // The source still thinks the regions are outstanding — that is the
+    // epoch-teardown contract (the memory died with the process).
+    EXPECT_GT(src.live_.size(), 0u);
+    src.live_.clear(); // keep the fake's destructor assertions quiet
+    // A fresh allocation after abandon grows fresh regions.
+    EXPECT_NE(a.allocate(64), 0u);
+}
+
+TEST(Arena, ZeroByteAllocationRoundsUpToAQuantum) {
+    fake_source src;
+    arena a(src, {});
+    const std::uint64_t x = a.allocate(0);
+    EXPECT_NE(x, 0u);
+    EXPECT_EQ(a.allocated_size(x), 64u);
+    EXPECT_TRUE(a.free(x));
+}
+
+} // namespace
+} // namespace aurora::mem

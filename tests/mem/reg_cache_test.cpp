@@ -1,0 +1,190 @@
+// aurora::mem::reg_cache — LRU behaviour is part of the contract: eviction
+// order must be deterministic (coldest unpinned first), pinned entries must
+// survive arbitrary pressure, and a hit on a too-short cached range must
+// re-register. A logging fake registrar records the exact install/remove
+// sequence so the tests can assert order, not just counts.
+#include "mem/reg_cache.hpp"
+
+#include "mem/arena.hpp" // oom_error
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aurora::mem {
+namespace {
+
+class logging_registrar final : public registrar {
+public:
+    std::uint64_t do_register(std::uint64_t space, std::uint64_t addr,
+                              std::uint64_t len) override {
+        const std::uint64_t h = next_handle_++;
+        live_[h] = {space, addr, len};
+        log.push_back("reg(" + std::to_string(space) + "," +
+                      std::to_string(addr) + "," + std::to_string(len) + ")");
+        return h;
+    }
+
+    void do_unregister(std::uint64_t handle) override {
+        auto it = live_.find(handle);
+        ASSERT_NE(it, live_.end()) << "unregister of unknown handle";
+        log.push_back("unreg(" + std::to_string(it->second.addr) + ")");
+        live_.erase(it);
+    }
+
+    struct mapping {
+        std::uint64_t space, addr, len;
+    };
+    std::map<std::uint64_t, mapping> live_;
+    std::uint64_t next_handle_ = 0x100;
+    std::vector<std::string> log;
+};
+
+TEST(RegCache, HitReturnsCachedHandleWithoutReRegistering) {
+    logging_registrar r;
+    reg_cache c(r, 8);
+    const std::uint64_t h1 = c.lookup(reg_cache::space_ve, 0x1000, 4096);
+    const std::uint64_t h2 = c.lookup(reg_cache::space_ve, 0x1000, 4096);
+    EXPECT_EQ(h1, h2);
+    EXPECT_EQ(r.log, std::vector<std::string>{"reg(1,4096,4096)"});
+    const reg_cache_stats st = c.stats();
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_DOUBLE_EQ(st.hit_rate(), 0.5);
+}
+
+TEST(RegCache, SameAddressInDifferentSpacesAreDistinctEntries) {
+    logging_registrar r;
+    reg_cache c(r, 8);
+    const std::uint64_t hv = c.lookup(reg_cache::space_vh, 0x2000, 64);
+    const std::uint64_t he = c.lookup(reg_cache::space_ve, 0x2000, 64);
+    EXPECT_NE(hv, he);
+    EXPECT_EQ(c.stats().entries, 2u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(RegCache, EvictionOrderIsDeterministicLru) {
+    logging_registrar r;
+    reg_cache c(r, 3);
+    c.lookup(reg_cache::space_ve, 0xA000, 64); // A
+    c.lookup(reg_cache::space_ve, 0xB000, 64); // B
+    c.lookup(reg_cache::space_ve, 0xC000, 64); // C  (order cold->hot: A B C)
+    c.lookup(reg_cache::space_ve, 0xA000, 64); // touch A (order: B C A)
+    r.log.clear();
+
+    // Two inserts over capacity must evict exactly B then C, in that order.
+    c.lookup(reg_cache::space_ve, 0xD000, 64);
+    c.lookup(reg_cache::space_ve, 0xE000, 64);
+    const std::vector<std::string> want{
+        "unreg(45056)",  // B = 0xB000
+        "reg(1,53248,64)",
+        "unreg(49152)",  // C = 0xC000
+        "reg(1,57344,64)",
+    };
+    EXPECT_EQ(r.log, want);
+    EXPECT_EQ(c.stats().evictions, 2u);
+    EXPECT_EQ(c.stats().entries, 3u);
+
+    // A survived both evictions because it was touched — still a hit.
+    const std::uint64_t misses_before = c.stats().misses;
+    c.lookup(reg_cache::space_ve, 0xA000, 64);
+    EXPECT_EQ(c.stats().misses, misses_before);
+}
+
+TEST(RegCache, PinnedEntriesSurviveAnyPressure) {
+    logging_registrar r;
+    reg_cache c(r, 3);
+    const std::uint64_t pinned =
+        c.lookup(reg_cache::space_ve, 0xF000, 4096, /*pin=*/true);
+    for (std::uint64_t i = 0; i < 32; ++i) {
+        c.lookup(reg_cache::space_ve, 0x10000 + i * 0x1000, 64);
+    }
+    // The pinned segment is still cached — same handle, no re-register.
+    const std::uint64_t misses_before = c.stats().misses;
+    EXPECT_EQ(c.lookup(reg_cache::space_ve, 0xF000, 4096), pinned);
+    EXPECT_EQ(c.stats().misses, misses_before);
+    EXPECT_EQ(c.stats().pinned, 1u);
+
+    // Unpinning makes it evictable again.
+    c.unpin(reg_cache::space_ve, 0xF000);
+    EXPECT_EQ(c.stats().pinned, 0u);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        c.lookup(reg_cache::space_ve, 0x90000 + i * 0x1000, 64);
+    }
+    EXPECT_NE(c.lookup(reg_cache::space_ve, 0xF000, 4096), pinned)
+        << "unpinned entry should have been evicted and re-registered";
+}
+
+TEST(RegCache, AllPinnedAtCapacityIsACleanError) {
+    logging_registrar r;
+    reg_cache c(r, 2);
+    c.lookup(reg_cache::space_ve, 0x1000, 64, /*pin=*/true);
+    c.lookup(reg_cache::space_ve, 0x2000, 64, /*pin=*/true);
+    EXPECT_THROW(c.lookup(reg_cache::space_ve, 0x3000, 64), oom_error);
+}
+
+TEST(RegCache, ShortCachedRangeReRegistersTheLongerOne) {
+    logging_registrar r;
+    reg_cache c(r, 8);
+    c.lookup(reg_cache::space_ve, 0x1000, 4096);
+    r.log.clear();
+    // Same base, longer range: the 4 KiB mapping cannot serve 64 KiB.
+    c.lookup(reg_cache::space_ve, 0x1000, 64 << 10);
+    const std::vector<std::string> want{"unreg(4096)", "reg(1,4096,65536)"};
+    EXPECT_EQ(r.log, want);
+    EXPECT_EQ(c.stats().reregisters, 1u);
+    // A shorter lookup now rides the longer mapping.
+    const std::uint64_t misses_before = c.stats().misses;
+    c.lookup(reg_cache::space_ve, 0x1000, 4096);
+    EXPECT_EQ(c.stats().misses, misses_before);
+}
+
+TEST(RegCache, InvalidateUnregistersOneSegment) {
+    logging_registrar r;
+    reg_cache c(r, 8);
+    c.lookup(reg_cache::space_ve, 0x1000, 64);
+    c.lookup(reg_cache::space_ve, 0x2000, 64);
+    c.invalidate(reg_cache::space_ve, 0x1000);
+    EXPECT_EQ(c.stats().entries, 1u);
+    EXPECT_EQ(r.live_.size(), 1u);
+    c.invalidate(reg_cache::space_ve, 0x7777); // absent: no-op
+    EXPECT_EQ(c.stats().entries, 1u);
+}
+
+TEST(RegCache, ClearUnregistersButDropForgetsSilently) {
+    logging_registrar r;
+    {
+        reg_cache c(r, 8);
+        c.lookup(reg_cache::space_ve, 0x1000, 64);
+        c.lookup(reg_cache::space_ve, 0x2000, 64, /*pin=*/true);
+        c.clear(); // polite: both mappings removed, pinned or not
+        EXPECT_EQ(r.live_.size(), 0u);
+        EXPECT_EQ(c.stats().entries, 0u);
+
+        c.lookup(reg_cache::space_ve, 0x3000, 64);
+        c.drop(); // epoch: table died with the target — no unregister calls
+        EXPECT_EQ(c.stats().entries, 0u);
+        EXPECT_EQ(r.live_.size(), 1u)
+            << "drop must not touch the dead incarnation's registrar";
+        r.live_.clear();
+    }
+    // Destructor on an already-empty cache performs no extra unregisters.
+    EXPECT_EQ(r.live_.size(), 0u);
+}
+
+TEST(RegCache, DestructorUnregistersLiveEntries) {
+    logging_registrar r;
+    {
+        reg_cache c(r, 8);
+        c.lookup(reg_cache::space_ve, 0x1000, 64);
+        c.lookup(reg_cache::space_vh, 0x2000, 64);
+        EXPECT_EQ(r.live_.size(), 2u);
+    }
+    EXPECT_EQ(r.live_.size(), 0u);
+}
+
+} // namespace
+} // namespace aurora::mem

@@ -1,0 +1,134 @@
+// aurora::mem — staging_pool round-robin/exhaustion semantics and sg_list
+// split/coalesce behaviour (the descriptor shape the VE channel turns into
+// one dma_post_2d chain plus an optional tail post).
+#include "mem/sg.hpp"
+#include "mem/staging_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+
+namespace aurora::mem {
+namespace {
+
+TEST(StagingPool, HandsOutEveryChunkThenExhausts) {
+    staging_pool p(4096, 3);
+    EXPECT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.chunk_bytes(), 4096u);
+
+    std::set<std::byte*> seen;
+    std::vector<staging_pool::buffer> held;
+    for (int i = 0; i < 3; ++i) {
+        auto b = p.try_acquire();
+        ASSERT_TRUE(b.has_value());
+        EXPECT_NE(b->data, nullptr);
+        EXPECT_EQ(b->bytes, 4096u);
+        seen.insert(b->data);
+        held.push_back(*b);
+    }
+    EXPECT_EQ(seen.size(), 3u) << "chunks must be distinct";
+    // All in flight: acquire fails without blocking, and is counted.
+    EXPECT_FALSE(p.try_acquire().has_value());
+    EXPECT_EQ(p.stats().exhausted, 1u);
+    EXPECT_EQ(p.stats().in_use, 3u);
+
+    // Releasing one makes exactly one available again, same backing chunk.
+    p.release(held[1]);
+    auto again = p.try_acquire();
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->data, held[1].data);
+    EXPECT_EQ(again->index, held[1].index);
+}
+
+TEST(StagingPool, ReleaseIsIdempotentPerChunk) {
+    staging_pool p(256, 2);
+    auto a = p.try_acquire();
+    ASSERT_TRUE(a.has_value());
+    p.release(*a);
+    p.release(*a); // second release: no-op, must not corrupt accounting
+    EXPECT_EQ(p.stats().in_use, 0u);
+    EXPECT_TRUE(p.try_acquire().has_value());
+    EXPECT_TRUE(p.try_acquire().has_value());
+    EXPECT_FALSE(p.try_acquire().has_value());
+}
+
+TEST(StagingPool, ChunksAreWritable) {
+    staging_pool p(1024, 1);
+    auto b = p.try_acquire();
+    ASSERT_TRUE(b.has_value());
+    std::memset(b->data, 0xAB, b->bytes);
+    EXPECT_EQ(std::to_integer<int>(b->data[1023]), 0xAB);
+    p.release(*b);
+}
+
+TEST(SgList, UnlimitedDescriptorIsASingleEntry) {
+    sg_list sg(0);
+    sg.add(0x1000, 0x9000, 1 << 20);
+    ASSERT_EQ(sg.size(), 1u);
+    EXPECT_EQ(sg.entries()[0].src, 0x1000u);
+    EXPECT_EQ(sg.entries()[0].dst, 0x9000u);
+    EXPECT_EQ(sg.entries()[0].len, std::uint64_t{1} << 20);
+}
+
+TEST(SgList, SplitsIntoUniformPrefixPlusTail) {
+    // 10 KiB at a 4 KiB descriptor cap: [4K, 4K, 2K]. The VE channel relies
+    // on exactly this shape — uniform prefix as one dma_post_2d chain, short
+    // tail as one extra post.
+    sg_list sg(4096);
+    sg.add(0x1000, 0x9000, 10 * 1024);
+    ASSERT_EQ(sg.size(), 3u);
+    const auto& e = sg.entries();
+    EXPECT_EQ(e[0].len, 4096u);
+    EXPECT_EQ(e[1].len, 4096u);
+    EXPECT_EQ(e[2].len, 2048u);
+    // Addresses advance in lockstep on both ends.
+    EXPECT_EQ(e[1].src, e[0].src + 4096);
+    EXPECT_EQ(e[1].dst, e[0].dst + 4096);
+    EXPECT_EQ(e[2].src, e[1].src + 4096);
+    EXPECT_EQ(sg.total_bytes(), 10u * 1024);
+}
+
+TEST(SgList, ExactMultipleHasNoTail) {
+    sg_list sg(4096);
+    sg.add(0x0, 0x100000, 3 * 4096);
+    ASSERT_EQ(sg.size(), 3u);
+    for (const sg_entry& e : sg.entries()) {
+        EXPECT_EQ(e.len, 4096u);
+    }
+}
+
+TEST(SgList, CoalescesContiguousAdds) {
+    sg_list sg(0);
+    sg.add(0x1000, 0x9000, 256);
+    sg.add(0x1100, 0x9100, 256); // contiguous on both ends: merges
+    ASSERT_EQ(sg.size(), 1u);
+    EXPECT_EQ(sg.entries()[0].len, 512u);
+
+    sg.add(0x5000, 0x9200, 256); // src gap: new entry even though dst chains
+    EXPECT_EQ(sg.size(), 2u);
+    sg.add(0x5100, 0xF000, 256); // dst gap: new entry even though src chains
+    EXPECT_EQ(sg.size(), 3u);
+}
+
+TEST(SgList, CoalesceRespectsTheDescriptorCap) {
+    sg_list sg(4096);
+    sg.add(0x1000, 0x9000, 4096);
+    sg.add(0x2000, 0xA000, 4096); // contiguous but a merge would exceed cap
+    ASSERT_EQ(sg.size(), 2u);
+    EXPECT_EQ(sg.entries()[0].len, 4096u);
+    EXPECT_EQ(sg.entries()[1].len, 4096u);
+}
+
+TEST(SgList, ClearEmptiesThePlan) {
+    sg_list sg(4096);
+    sg.add(0x1000, 0x9000, 8192);
+    EXPECT_FALSE(sg.empty());
+    sg.clear();
+    EXPECT_TRUE(sg.empty());
+    EXPECT_EQ(sg.total_bytes(), 0u);
+}
+
+} // namespace
+} // namespace aurora::mem

@@ -83,11 +83,14 @@ TEST(HostNode, CopyHostToTargetAndBack) {
     });
 }
 
-TEST(HostNode, DoubleFreeRejected) {
+TEST(HostNode, DoubleFreeIsIdempotent) {
+    // Settlement paths (e.g. target_failed_error cleanup) may free a buffer
+    // that was already released; the second free must be a traced no-op, not
+    // a crash — the buffer-lifecycle contract in docs/MEMORY.md.
     run_lb([] {
         auto buf = allocate<int>(0, 4);
         free(buf);
-        EXPECT_THROW(free(buf), aurora::check_error);
+        EXPECT_NO_THROW(free(buf));
     });
 }
 

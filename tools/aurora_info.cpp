@@ -16,6 +16,12 @@
 //                                            # dump the metrics registry as
 //                                            # Prometheus text (exit != 0 when
 //                                            # any target ended up failed)
+//   build/tools/aurora_info --mem            # run a data-plane workload and
+//                                            # dump the aurora::mem registry
+//                                            # (arenas, registration caches,
+//                                            # staging pools); exit != 0 when
+//                                            # any arena still reports bytes
+//                                            # in use after teardown
 //   build/tools/aurora_info --cluster [--nodes N] [--ves N] [--link PROFILE]
 //                                            # boot an aurora::net cluster,
 //                                            # echo through every (VH, VE)
@@ -34,6 +40,7 @@
 #include <iostream>
 #include <vector>
 
+#include "mem/registry.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/prometheus.hpp"
 #include "net/net.hpp"
@@ -198,6 +205,100 @@ int metrics_dump() {
 
 double add_one(double x) { return x + 1.0; }
 
+/// --mem: exercise the zero-copy data plane (arena churn plus warm
+/// transfers), snapshot the aurora::mem registry while the runtime is live
+/// (arenas and caches deregister on destruction), and verify that teardown
+/// returned every byte.
+int mem_dump() {
+    sim::platform plat(sim::platform_config::test_machine());
+    ham::offload::runtime_options opt;
+    opt.backend = ham::offload::backend_kind::vedma;
+    opt.vedma_dma_data_path = true; // zero-copy needs the VE-driven path
+    mem::mem_registry::snapshot snap;
+    const int rc = ham::offload::run(plat, opt, [&] {
+        // Churn a few sizes so split/coalesce and bin reuse show up.
+        std::vector<ham::offload::buffer_ptr<double>> churn;
+        for (int i = 0; i < 16; ++i) {
+            churn.push_back(ham::offload::allocate<double>(1, 256u << (i % 5)));
+        }
+        for (auto& b : churn) {
+            ham::offload::free(b);
+        }
+        // Warm transfers so the VE registration cache accumulates hits.
+        constexpr std::size_t n = 64 * 1024;
+        auto buf = ham::offload::allocate<double>(1, n);
+        std::vector<double> host(n, 1.5);
+        for (int i = 0; i < 8; ++i) {
+            ham::offload::put(host.data(), buf, n).get();
+            ham::offload::get(buf, host.data(), n).get();
+        }
+        snap = mem::mem_registry::global().snap();
+        ham::offload::free(buf);
+    });
+
+    std::printf("aurora::mem registry (captured while the runtime was live)\n\n");
+    {
+        text_table t({"arena", "in use", "reserved", "peak", "allocs", "frees",
+                      "dbl-free", "regions", "splits", "coalesces"});
+        for (const auto& a : snap.arenas) {
+            t.add_row({a.label, format_bytes(a.stats.bytes_in_use),
+                       format_bytes(a.stats.bytes_reserved),
+                       format_bytes(a.stats.peak_bytes_in_use),
+                       std::to_string(a.stats.allocs),
+                       std::to_string(a.stats.frees),
+                       std::to_string(a.stats.double_frees),
+                       std::to_string(a.stats.regions),
+                       std::to_string(a.stats.splits),
+                       std::to_string(a.stats.coalesces)});
+        }
+        std::printf("%s\n", t.str().c_str());
+    }
+    {
+        text_table t({"reg-cache", "cap", "entries", "pinned", "hits",
+                      "misses", "evictions", "hit rate"});
+        for (const auto& c : snap.caches) {
+            char rate[16];
+            std::snprintf(rate, sizeof(rate), "%.1f%%",
+                          c.stats.hit_rate() * 100.0);
+            t.add_row({c.label, std::to_string(c.stats.capacity),
+                       std::to_string(c.stats.entries),
+                       std::to_string(c.stats.pinned),
+                       std::to_string(c.stats.hits),
+                       std::to_string(c.stats.misses),
+                       std::to_string(c.stats.evictions), rate});
+        }
+        std::printf("%s\n", t.str().c_str());
+    }
+    {
+        text_table t({"staging pool", "chunks", "chunk size", "acquires",
+                      "exhausted", "in use"});
+        for (const auto& p : snap.pools) {
+            t.add_row({p.label, std::to_string(p.stats.chunks),
+                       format_bytes(p.stats.chunk_bytes),
+                       std::to_string(p.stats.acquires),
+                       std::to_string(p.stats.exhausted),
+                       std::to_string(p.stats.in_use)});
+        }
+        std::printf("%s\n", t.str().c_str());
+    }
+
+    // After teardown the registry is empty, but the per-arena gauges persist:
+    // any residual bytes_in_use is memory the runtime failed to settle.
+    std::int64_t residual = 0;
+    for (const auto& fam : aurora::metrics::registry::global().snapshot()) {
+        if (fam.name != "aurora_mem_bytes_in_use") {
+            continue;
+        }
+        for (const auto& series : fam.series) {
+            residual += series.value;
+        }
+    }
+    std::printf("bytes in use after teardown: %lld %s\n",
+                static_cast<long long>(residual),
+                residual == 0 ? "(clean)" : "(LEAK)");
+    return rc + (residual == 0 ? 0 : 1);
+}
+
 /// --cluster: boot an aurora::net cluster on the simulated machine, push one
 /// echo offload through every (VH, VE) engine over the chosen link profile,
 /// and print the per-node rollup the cluster derives from its gateways.
@@ -302,6 +403,9 @@ int main(int argc, char** argv) {
     }
     if (argc > 1 && std::strcmp(argv[1], "--metrics") == 0) {
         return metrics_dump();
+    }
+    if (argc > 1 && std::strcmp(argv[1], "--mem") == 0) {
+        return mem_dump();
     }
     if (argc > 1 && std::strcmp(argv[1], "--cluster") == 0) {
         int nodes = 3, ves = 2;
