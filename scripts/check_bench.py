@@ -144,11 +144,37 @@ def parse_result_file(path):
     return metrics
 
 
+def baseline_metrics(baseline, origin="baseline"):
+    """Validate the baseline's shape, naming the offending key instead of
+    letting a bare KeyError traceback escape (the CI log for a malformed
+    baseline should say *which* file and key to fix)."""
+    if not isinstance(baseline, dict):
+        raise ValueError(f"{origin}: baseline must be a JSON object, "
+                         f"got {type(baseline).__name__}")
+    if "metrics" not in baseline:
+        raise ValueError(f'{origin}: missing the "metrics" object '
+                         f"(top-level keys: {sorted(baseline)})")
+    metrics = baseline["metrics"]
+    if not isinstance(metrics, dict):
+        raise ValueError(f'{origin}: "metrics" must be an object, '
+                         f"got {type(metrics).__name__}")
+    for key, spec in metrics.items():
+        if not isinstance(spec, dict):
+            raise ValueError(
+                f'{origin}: metric "{key}" must be an object like '
+                f'{{"value": V, "direction": ..., "tolerance": ...}}, '
+                f"got {spec!r}")
+        if "value" not in spec:
+            raise ValueError(f'{origin}: metric "{key}" is missing "value" '
+                             f"(keys present: {sorted(spec)})")
+    return metrics
+
+
 def check(baseline, results, scale=1.0):
     """Return (failures, report_lines) for one baseline dict."""
     failures = []
     lines = []
-    for key, spec in baseline["metrics"].items():
+    for key, spec in baseline_metrics(baseline).items():
         ref = float(spec["value"])
         tol = float(spec.get("tolerance", 2.0))
         direction = spec.get("direction", "lower")
@@ -206,6 +232,19 @@ def self_test():
     fails, _ = check(baseline, {"lat_ns": 100.0, "bw_gib": 10.0, "new": 1.0})
     assert fails == [], fails
 
+    # Malformed baselines produce a named diagnostic, not a KeyError.
+    for bad, fragment in [
+        ({"bench": "t"}, '"metrics"'),
+        ({"metrics": {"lat_ns": 5}}, '"lat_ns"'),
+        ({"metrics": {"lat_ns": {"tolerance": 2.0}}}, '"value"'),
+    ]:
+        try:
+            check(bad, {})
+        except ValueError as e:
+            assert fragment in str(e), (bad, e)
+        else:
+            raise AssertionError(f"malformed baseline accepted: {bad}")
+
     # Prometheus exposition parsing: scalars sum over label sets, histograms
     # yield :count/:p50/:p99 derived from the cumulative buckets.
     prom = "\n".join([
@@ -250,11 +289,22 @@ def main():
     if not args.baseline or not args.result:
         ap.error("--baseline and --result are required (or use --self-test)")
 
-    with open(args.baseline, "r", encoding="utf-8") as fh:
-        baseline = json.load(fh)
-    results = parse_result_file(args.result)
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except json.JSONDecodeError as e:
+        print(f"check_bench: {args.baseline} is not valid JSON: {e}",
+              file=sys.stderr)
+        return 2
+    try:
+        baseline_metrics(baseline, origin=args.baseline)
+        results = parse_result_file(args.result)
+    except ValueError as e:
+        print(f"check_bench: {e}", file=sys.stderr)
+        return 2
 
-    print(f"bench-gate: {baseline.get('bench', args.baseline)}"
+    bench = baseline.get("bench", args.baseline)
+    print(f"bench-gate: {bench}"
           + (f" (results scaled x{args.scale_result})"
              if args.scale_result != 1.0 else ""))
     failures, lines = check(baseline, results, scale=args.scale_result)

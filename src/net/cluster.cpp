@@ -5,6 +5,7 @@
 
 #include "ham/execution_context.hpp"
 #include "ham/handler_registry.hpp"
+#include "obs/obs.hpp"
 #include "offload/app_image.hpp"
 #include "offload/target.hpp"
 #include "sim/trace.hpp"
@@ -68,6 +69,7 @@ struct cluster::gateway {
         std::uint32_t local_slot = 0;
         std::uint64_t origin_ticket = 0;
         proto::msg_kind kind = proto::msg_kind::user;
+        aurora::obs::trace_context ctx; ///< echoed on the result frame
     };
     std::deque<flight> flights;
     /// Per-VE parked frames (no free slot / VE recovering): a stalled VE must
@@ -76,6 +78,7 @@ struct cluster::gateway {
         std::uint64_t ticket = 0;
         std::vector<std::byte> payload;
         proto::msg_kind kind = proto::msg_kind::user;
+        aurora::obs::trace_context ctx;
     };
     std::map<int, std::deque<parked_frame>> parked;
     /// Result frames the link refused (window full), oldest first.
@@ -185,7 +188,8 @@ void cluster::run_gateway(gateway& g) {
 void cluster::gateway_loop(gateway& g, ham::offload::runtime& rt) {
     const sim::duration_ns poll = rt.costs().local_poll_ns;
     bool terminate = false;
-    auto settle = [&](std::uint64_t origin_ticket, int ve) {
+    auto settle = [&](std::uint64_t origin_ticket, int ve,
+                      const aurora::obs::trace_context& ctx) {
         // Terminal VE failure: answer with the same synthetic settlement the
         // origin's own runtime would have produced, so the waiting future
         // fails with target_failed_error instead of stalling the cluster.
@@ -193,17 +197,25 @@ void cluster::gateway_loop(gateway& g, ham::offload::runtime& rt) {
             synthetic_failed("remote node " + std::to_string(g.vh) + " VE " +
                              std::to_string(ve) + " failed: " +
                              rt.failure_reason(ve));
-        g.outbox.push_back(result_frame(g, ve, origin_ticket, bytes));
+        g.outbox.push_back(result_frame(g, ve, origin_ticket, bytes, ctx));
     };
     auto post = [&](std::uint64_t origin_ticket, int ve,
-                    const std::vector<std::byte>& payload,
-                    proto::msg_kind kind) -> bool {
+                    const std::vector<std::byte>& payload, proto::msg_kind kind,
+                    const aurora::obs::trace_context& ctx) -> bool {
         ham::offload::runtime::sent_message sent;
         if (!rt.try_send_message(ve, payload.data(), payload.size(), sent,
                                  kind)) {
             return false;
         }
-        g.flights.push_back({ve, sent.ticket, sent.slot, origin_ticket, kind});
+        if (ctx.valid()) {
+            // Cross-hop causality: the gateway-local request joins the trace
+            // the origin minted (same trace id, new hop).
+            aurora::obs::emit_ctx(
+                static_cast<std::uint16_t>(rt.options().node_base + ve),
+                sent.ticket, ctx);
+        }
+        g.flights.push_back(
+            {ve, sent.ticket, sent.slot, origin_ticket, kind, ctx});
         g.forwarded->add(1);
         return true;
     };
@@ -220,6 +232,12 @@ void cluster::gateway_loop(gateway& g, ham::offload::runtime& rt) {
                              "gateway received an unrouted frame");
             proto::routing_header h = proto::decode_routing(frame.data());
             ++h.hops;
+            aurora::obs::trace_context ctx;
+            if (h.has_trace_context()) {
+                ctx.trace_id =
+                    aurora::obs::widen_trace_id(h.trace_lo, h.src_node);
+                ctx.parent_span = h.parent_span;
+            }
             std::vector<std::byte> payload(
                 frame.begin() + static_cast<std::ptrdiff_t>(
                                     proto::routing_header_bytes),
@@ -232,12 +250,12 @@ void cluster::gateway_loop(gateway& g, ham::offload::runtime& rt) {
                 case proto::msg_kind::data_get:
                     g.outbox.push_back(result_frame(
                         g, h.target, h.ticket,
-                        serve_mem_request(rt, payload)));
+                        serve_mem_request(rt, payload), ctx));
                     break;
                 default:
-                    if (!post(h.ticket, h.target, payload, h.kind)) {
+                    if (!post(h.ticket, h.target, payload, h.kind, ctx)) {
                         g.parked[h.target].push_back(
-                            {h.ticket, std::move(payload), h.kind});
+                            {h.ticket, std::move(payload), h.kind, ctx});
                     }
                     break;
             }
@@ -251,14 +269,14 @@ void cluster::gateway_loop(gateway& g, ham::offload::runtime& rt) {
             }
             if (rt.health(ve) == target_health::failed) {
                 for (const auto& p : q) {
-                    settle(p.ticket, ve);
+                    settle(p.ticket, ve, p.ctx);
                 }
                 q.clear();
                 progress = true;
                 continue;
             }
             while (!q.empty() && post(q.front().ticket, ve, q.front().payload,
-                                      q.front().kind)) {
+                                      q.front().kind, q.front().ctx)) {
                 q.pop_front();
                 progress = true;
             }
@@ -271,7 +289,7 @@ void cluster::gateway_loop(gateway& g, ham::offload::runtime& rt) {
             std::vector<std::byte> bytes;
             if (rt.try_collect(f.ve, f.local_ticket, f.local_slot, bytes)) {
                 g.outbox.push_back(
-                    result_frame(g, f.ve, f.origin_ticket, bytes));
+                    result_frame(g, f.ve, f.origin_ticket, bytes, f.ctx));
                 g.flights.erase(g.flights.begin() +
                                 static_cast<std::ptrdiff_t>(i));
                 progress = true;
@@ -304,9 +322,10 @@ void cluster::gateway_loop(gateway& g, ham::offload::runtime& rt) {
     }
 }
 
-std::vector<std::byte> cluster::result_frame(gateway& g, int ve,
-                                             std::uint64_t origin_ticket,
-                                             const std::vector<std::byte>& bytes) {
+std::vector<std::byte>
+cluster::result_frame(gateway& g, int ve, std::uint64_t origin_ticket,
+                      const std::vector<std::byte>& bytes,
+                      const aurora::obs::trace_context& ctx) {
     proto::routing_header h;
     h.src_node = static_cast<std::uint16_t>(g.vh);
     h.dst_node = 0;
@@ -315,6 +334,14 @@ std::vector<std::byte> cluster::result_frame(gateway& g, int ve,
     h.flags = proto::routing_flags::result;
     h.ticket = origin_ticket;
     h.epoch = g.rt != nullptr && ve > 0 ? g.rt->target_epoch(ve) : 0;
+    if (ctx.valid()) {
+        // Echo the request's context verbatim (trace_lo keeps the low half
+        // the origin minted; the origin correlates by ticket, not by
+        // re-widening against this frame's src_node).
+        h.obs_flags = proto::obs_flags::trace_context;
+        h.parent_span = ctx.parent_span;
+        h.trace_lo = static_cast<std::uint32_t>(ctx.trace_id);
+    }
     return proto::make_routed_frame(h, bytes.data(), bytes.size());
 }
 
@@ -385,6 +412,12 @@ void cluster::drain_results(gateway& g) {
         if (h.target < g.epochs.size()) {
             g.epochs[h.target] = h.epoch;
         }
+        if (h.has_trace_context()) {
+            aurora::obs::emit_now(
+                aurora::obs::stage::net_result,
+                static_cast<std::uint16_t>(g.vh * opt_.ves_per_node), h.ticket,
+                0, h.epoch);
+        }
         g.arrived.emplace(
             h.ticket,
             std::vector<std::byte>(
@@ -403,6 +436,23 @@ std::uint64_t cluster::route_frame(gateway& g, int ve, proto::msg_kind kind,
     h.target = static_cast<std::uint16_t>(ve);
     h.kind = kind;
     h.ticket = ticket;
+    // Trace-context propagation: mint a cluster-unique trace id, bind the
+    // origin-side ticket to it, and stamp the reserved header bytes. When
+    // request tracing is off the context is invalid and the bytes stay zero —
+    // the frame is byte-identical to the pre-obs wire.
+    aurora::obs::trace_context ctx = aurora::obs::mint(h.src_node);
+    if (ctx.valid()) {
+        ctx.parent_span = static_cast<std::uint16_t>(ticket);
+        h.obs_flags = proto::obs_flags::trace_context;
+        h.parent_span = ctx.parent_span;
+        h.trace_lo = static_cast<std::uint32_t>(ctx.trace_id);
+        // The origin-side hop is keyed to the gateway's pseudo-node id (its
+        // node_base — no VE uses it), under the origin-issued ticket.
+        const auto pseudo = static_cast<std::uint16_t>(g.vh * opt_.ves_per_node);
+        aurora::obs::emit_ctx(pseudo, ticket, ctx);
+        aurora::obs::emit_now(aurora::obs::stage::net_route, pseudo, ticket, 0,
+                              0);
+    }
     const std::vector<std::byte> frame = proto::make_routed_frame(
         h, static_cast<const std::byte*>(payload), len);
     // Block (virtual time) under link backpressure, draining completions so

@@ -36,6 +36,7 @@
 #include "ham/functor.hpp"
 #include "ham/msg.hpp"
 #include "net/link.hpp"
+#include "obs/obs.hpp"
 #include "offload/buffer_ptr.hpp"
 #include "offload/future.hpp"
 #include "offload/options.hpp"
@@ -207,10 +208,12 @@ private:
     /// forwards routed frames until the terminate frame arrives.
     void run_gateway(gateway& g);
     void gateway_loop(gateway& g, ham::offload::runtime& rt);
-    /// Wrap result `bytes` for (vh, ve, origin ticket) in a routing header.
-    std::vector<std::byte> result_frame(gateway& g, int ve,
-                                        std::uint64_t origin_ticket,
-                                        const std::vector<std::byte>& bytes);
+    /// Wrap result `bytes` for (vh, ve, origin ticket) in a routing header,
+    /// echoing the request's trace context (all-zero when absent).
+    std::vector<std::byte>
+    result_frame(gateway& g, int ve, std::uint64_t origin_ticket,
+                 const std::vector<std::byte>& bytes,
+                 const aurora::obs::trace_context& ctx);
     /// Execute one mem_request on the gateway runtime; returns the reply.
     static std::vector<std::byte>
     serve_mem_request(ham::offload::runtime& rt,

@@ -1,0 +1,95 @@
+#include "obs/obs.hpp"
+
+#include "util/env.hpp"
+
+namespace aurora::obs {
+
+const char* to_string(stage s) noexcept {
+    switch (s) {
+        case stage::submit: return "submit";
+        case stage::post: return "post";
+        case stage::sent: return "sent";
+        case stage::ve_dispatch: return "ve_dispatch";
+        case stage::ve_done: return "ve_done";
+        case stage::harvest: return "harvest";
+        case stage::collect: return "collect";
+        case stage::failed: return "failed";
+        case stage::ctx: return "ctx";
+        case stage::net_route: return "net_route";
+        case stage::net_result: return "net_result";
+    }
+    return "?";
+}
+
+namespace detail {
+
+std::atomic<int> g_mode{0};
+
+bool latch_enabled() {
+    // HAM_AURORA_OBS unset -> follow the trace switch (mode 3) so that a
+    // plain HAM_AURORA_TRACE=1 run gets request timelines without a second
+    // knob; set, it decides on its own.
+    int mode = 3;
+    if (const auto v = env_string("HAM_AURORA_OBS")) {
+        mode = (*v == "0" || *v == "false" || *v == "off") ? 1 : 2;
+    }
+    int expected = 0;
+    g_mode.compare_exchange_strong(expected, mode,
+                                   std::memory_order_relaxed);
+    const int m = g_mode.load(std::memory_order_relaxed);
+    return m == 3 ? trace::enabled() : m == 2;
+}
+
+} // namespace detail
+
+void set_enabled(bool on) noexcept {
+    detail::g_mode.store(on ? 2 : 1, std::memory_order_relaxed);
+}
+
+void emit(stage s, std::uint16_t node, std::uint64_t ticket,
+          std::uint16_t slot, std::uint8_t epoch, std::uint64_t ts_ns) {
+    if (!enabled()) {
+        return;
+    }
+    trace::event e;
+    e.cat = "req";
+    e.name = to_string(s);
+    e.ts_ns = ts_ns;
+    e.value = ticket;
+    e.ref = pack_ref(node, slot, epoch, s);
+    e.type = trace::event_type::lifecycle;
+    trace::emit(e);
+}
+
+trace_context mint(std::uint16_t origin_node) noexcept {
+    if (!enabled()) {
+        return {};
+    }
+    // Process-wide counter: ids are unique and, because every increment
+    // happens at a deterministic point of the virtual-time schedule, stable
+    // across runs of the same workload.
+    static std::atomic<std::uint32_t> g_next{0};
+    const std::uint32_t lo =
+        g_next.fetch_add(1, std::memory_order_relaxed) + 1;
+    trace_context ctx;
+    ctx.trace_id = ((std::uint64_t{origin_node} + 1) << 32) | lo;
+    return ctx;
+}
+
+void emit_ctx(std::uint16_t node, std::uint64_t ticket,
+              const trace_context& ctx) {
+    if (!enabled() || !ctx.valid()) {
+        return;
+    }
+    trace::event e;
+    e.cat = "req";
+    e.name = to_string(stage::ctx);
+    e.ts_ns = trace::clock_ns();
+    e.dur_ns = ctx.trace_id;
+    e.value = ticket;
+    e.ref = pack_ref(node, ctx.parent_span, 0, stage::ctx);
+    e.type = trace::event_type::lifecycle;
+    trace::emit(e);
+}
+
+} // namespace aurora::obs

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "fault/fault.hpp"
+#include "obs/flight.hpp"
 #include "offload/heal.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
@@ -144,6 +145,9 @@ io_status backend_loopback::send_message(std::uint32_t slot, const void* msg,
                      "loopback backend has no DMA data path");
     AURORA_TRACE_SPAN("backend", "loopback_send");
     const backend_metrics::send_timer timer(met_, len);
+    aurora::obs::flight_registry::ring_for(static_cast<std::uint16_t>(node_))
+        .note(aurora::obs::stage::sent, 0, static_cast<std::uint16_t>(slot),
+              epoch_, static_cast<std::uint32_t>(len));
     auto& inj = aurora::fault::injector::instance();
     if (inj.active()) {
         if (const auto spike = inj.delay_spike()) {

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "fault/fault.hpp"
+#include "obs/flight.hpp"
 #include "offload/app_image.hpp"
 #include "offload/future.hpp"
 #include "offload/heal.hpp"
@@ -144,6 +145,9 @@ io_status backend_vedma::send_message(std::uint32_t slot, const void* msg,
     // the message into the shared segment, then publish the flag.
     AURORA_TRACE_SPAN("backend", "vedma_send");
     const backend_metrics::send_timer timer(met_, len);
+    aurora::obs::flight_registry::ring_for(static_cast<std::uint16_t>(node_))
+        .note(aurora::obs::stage::sent, 0, static_cast<std::uint16_t>(slot),
+              epoch_, static_cast<std::uint32_t>(len));
     auto& inj = aurora::fault::injector::instance();
     if (inj.active()) {
         if (const auto spike = inj.delay_spike()) {

@@ -276,6 +276,11 @@ namespace routing_flags {
 inline constexpr std::uint8_t result = 0x1; ///< result frame (VH <- VH)
 }
 
+/// routing_header.obs_flags bits (byte 13; see docs/PROTOCOLS.md).
+namespace obs_flags {
+inline constexpr std::uint8_t trace_context = 0x1; ///< trace ctx bytes valid
+}
+
 struct routing_header {
     std::uint16_t src_node = 0;  ///< originating VH
     std::uint16_t dst_node = 0;  ///< destination VH (0 = origin / legacy)
@@ -286,9 +291,19 @@ struct routing_header {
     std::uint8_t flags = 0;      ///< routing_flags bits
     std::uint32_t len = 0;       ///< payload bytes following the header
     std::uint64_t ticket = 0;    ///< origin's remote-completion ticket
+    // --- trace context (aurora::obs), bytes 13..15 / 20..23 ----------------
+    // All-zero when request tracing is off: the frame stays byte-identical
+    // to the pre-obs wire. The full 64-bit trace id is
+    // obs::widen_trace_id(trace_lo, src_node) — only the low half travels.
+    std::uint8_t obs_flags = 0;     ///< obs_flags bits (byte 13)
+    std::uint16_t parent_span = 0;  ///< parent span id (bytes 14..15)
+    std::uint32_t trace_lo = 0;     ///< trace id low half (bytes 20..23)
 
     [[nodiscard]] bool is_result() const noexcept {
         return (flags & routing_flags::result) != 0;
+    }
+    [[nodiscard]] bool has_trace_context() const noexcept {
+        return (obs_flags & protocol::obs_flags::trace_context) != 0;
     }
 };
 
@@ -307,9 +322,12 @@ inline void encode_routing(const routing_header& h, std::byte* out) {
     out[10] = static_cast<std::byte>(h.kind);
     out[11] = std::byte{h.epoch};
     out[12] = std::byte{h.hops};
-    // bytes 13..15 reserved (zero)
+    // Trace context (aurora::obs): zero whenever request tracing is off, so
+    // an untraced frame is byte-identical to the legacy reserved-zero wire.
+    out[13] = std::byte{h.obs_flags};
+    put16(14, h.parent_span);
     std::memcpy(out + 16, &h.len, sizeof(h.len));
-    // bytes 20..23 reserved (zero)
+    std::memcpy(out + 20, &h.trace_lo, sizeof(h.trace_lo));
     std::memcpy(out + 24, &h.ticket, sizeof(h.ticket));
 }
 
@@ -339,7 +357,10 @@ inline void encode_routing(const routing_header& h, std::byte* out) {
     h.kind = static_cast<msg_kind>(data[10]);
     h.epoch = static_cast<std::uint8_t>(data[11]);
     h.hops = static_cast<std::uint8_t>(data[12]);
+    h.obs_flags = static_cast<std::uint8_t>(data[13]);
+    h.parent_span = get16(14);
     std::memcpy(&h.len, data + 16, sizeof(h.len));
+    std::memcpy(&h.trace_lo, data + 20, sizeof(h.trace_lo));
     std::memcpy(&h.ticket, data + 24, sizeof(h.ticket));
     return h;
 }

@@ -7,6 +7,7 @@
 #include "metrics/prometheus.hpp"
 #include "offload/app_image.hpp"
 #include "offload/runtime.hpp"
+#include "obs/timeline.hpp"
 #include "offload/target.hpp"
 #include "trace/summary.hpp"
 #include "util/check.hpp"
@@ -70,6 +71,9 @@ int detail::run_impl(aurora::sim::platform& plat, const runtime_options& opt,
     // HAM_AURORA_METRICS_JSON, then keep the scrape endpoint up for
     // HAM_AURORA_METRICS_LINGER_S real seconds.
     aurora::trace::flush_to_env();
+    // Timeline reassembly feeds the aurora_obs_* histograms, so it must run
+    // between the trace flush (lanes quiesced) and the metrics flush.
+    aurora::obs::flush_to_env();
     aurora::metrics::flush_to_env();
     aurora::metrics::linger_from_env();
     return exit_code;

@@ -5,6 +5,8 @@
 
 #include "fault/fault.hpp"
 #include "metrics/metrics.hpp"
+#include "obs/flight.hpp"
+#include "obs/obs.hpp"
 #include "offload/app_image.hpp"
 #include "offload/backend_loopback.hpp"
 #include "offload/backend_tcp.hpp"
@@ -237,6 +239,11 @@ runtime::runtime(sim::simulation& sim, aurora::veos::veos_system* sys,
                          "node " << gid << " attach failed: " << e.what());
         }
         state->slot_sent_ns.assign(state->slot_ticket.size(), 0);
+        state->slot_posted_ns.assign(state->slot_ticket.size(), 0);
+        // Black box: shared across incarnations and runtimes via the
+        // process-wide registry, so a postmortem survives our teardown.
+        state->flight =
+            &aurora::obs::flight_registry::ring_for(std::uint16_t(gid));
         bind_instruments(*state, gid);
         set_health(*state, state->health);
         targets_.push_back(std::move(state));
@@ -412,15 +419,31 @@ void runtime::fail_target(node_t node, const std::string& why) {
             continue;
         }
         settle_failed(t, ticket, why);
+        if (t.flight != nullptr) {
+            t.flight->note(aurora::obs::stage::failed, ticket,
+                           static_cast<std::uint16_t>(s), t.epoch);
+        }
+        aurora::obs::emit_now(aurora::obs::stage::failed, gid(node), ticket,
+                              static_cast<std::uint16_t>(s), t.epoch);
         t.slot_ticket[s] = 0;
         t.slot_sent_ns[s] = 0; // synthetic settlements are not round-trips
+        t.slot_posted_ns[s] = 0;
         t.met.inflight->add(-1);
     }
     for (const replay_entry& e : t.replay) {
         settle_failed(t, e.ticket, why);
+        if (t.flight != nullptr) {
+            t.flight->note(aurora::obs::stage::failed, e.ticket, 0, t.epoch);
+        }
+        aurora::obs::emit_now(aurora::obs::stage::failed, gid(node), e.ticket,
+                              0, t.epoch);
     }
     t.replay.clear();
     t.pending.clear();
+    // Black-box dump: the killed requests' partial timelines, straight from
+    // the always-on ring (opt-in via HAM_AURORA_OBS_POSTMORTEM_DIR).
+    aurora::obs::dump_postmortem_to_env(gid(node), "target_failed", t.epoch,
+                                        why);
 }
 
 void runtime::on_failure(target_state& t, node_t node, const std::string& why) {
@@ -490,12 +513,22 @@ void runtime::begin_recovery(target_state& t, node_t node,
                 {ticket, std::move(it->second.wire), it->second.kind});
         } else {
             settle_failed(t, ticket, why);
+            if (t.flight != nullptr) {
+                t.flight->note(aurora::obs::stage::failed, ticket,
+                               static_cast<std::uint16_t>(s), t.epoch);
+            }
+            aurora::obs::emit_now(aurora::obs::stage::failed, gid(node), ticket,
+                                  static_cast<std::uint16_t>(s), t.epoch);
         }
         t.slot_ticket[s] = 0;
         t.slot_sent_ns[s] = 0;
+        t.slot_posted_ns[s] = 0;
         t.met.inflight->add(-1);
     }
     t.pending.clear();
+    // Black-box dump at the moment of loss: what the dead incarnation had in
+    // flight, before the replay rewrites the slots.
+    aurora::obs::dump_postmortem_to_env(gid(node), "recovering", t.epoch, why);
     t.next_attempt_at = sim::now() + recovery_backoff(t.recover_attempts);
 }
 
@@ -563,6 +596,20 @@ bool runtime::maybe_recover(target_state& t, node_t node) {
         }
         t.slot_ticket[slot] = e.ticket;
         t.slot_sent_ns[slot] = sim::now();
+        t.slot_posted_ns[slot] = sim::now();
+        if (t.flight != nullptr) {
+            t.flight->note(aurora::obs::stage::post, e.ticket,
+                           static_cast<std::uint16_t>(slot), epoch,
+                           static_cast<std::uint32_t>(e.wire.size()));
+        }
+        if (aurora::obs::enabled()) {
+            // A replayed post: same ticket, fresh incarnation. The repost and
+            // the wire send collapse into one instant here.
+            aurora::obs::emit_now(aurora::obs::stage::post, gid(node), e.ticket,
+                                  static_cast<std::uint16_t>(slot), epoch);
+            aurora::obs::emit_now(aurora::obs::stage::sent, gid(node), e.ticket,
+                                  static_cast<std::uint16_t>(slot), epoch);
+        }
         t.met.inflight->add(1);
         pending_send p;
         p.kind = e.kind;
@@ -691,6 +738,15 @@ bool runtime::harvest_slot(target_state& t, std::uint32_t slot, node_t node) {
             rtt > 0 ? static_cast<std::uint64_t>(rtt) : 0);
         t.slot_sent_ns[slot] = 0;
     }
+    if (t.flight != nullptr) {
+        t.flight->note(aurora::obs::stage::harvest, t.slot_ticket[slot],
+                       static_cast<std::uint16_t>(slot), t.epoch,
+                       static_cast<std::uint32_t>(bytes.size()));
+    }
+    aurora::obs::emit_now(aurora::obs::stage::harvest, gid(node),
+                          t.slot_ticket[slot], static_cast<std::uint16_t>(slot),
+                          t.epoch);
+    t.slot_posted_ns[slot] = 0;
     t.arrived.emplace(t.slot_ticket[slot], std::move(bytes));
     t.slot_ticket[slot] = 0;
     t.met.inflight->add(-1);
@@ -734,6 +790,9 @@ std::uint64_t runtime::post_on_slot(target_state& t, node_t node,
                                     std::uint32_t slot, const void* msg,
                                     std::size_t len, protocol::msg_kind kind) {
     ensure_sendable(t, node);
+    // The post begins here: queue_wait ends and the send stage (framing +
+    // wire transmission, including transient retries) is attributed to it.
+    const sim::time_ns posted_at = sim::now();
     auto& inj = aurora::fault::injector::instance();
     const bool checksummed = inj.active() &&
                              (kind == protocol::msg_kind::user ||
@@ -769,7 +828,22 @@ std::uint64_t runtime::post_on_slot(target_state& t, node_t node,
     const std::uint64_t ticket = t.next_ticket++;
     t.slot_ticket[slot] = ticket;
     t.slot_sent_ns[slot] = sim::now();
+    t.slot_posted_ns[slot] = posted_at;
     t.met.inflight->add(1);
+    if (t.flight != nullptr) {
+        t.flight->note(aurora::obs::stage::post, ticket,
+                       static_cast<std::uint16_t>(slot), t.epoch,
+                       static_cast<std::uint32_t>(wire_len));
+    }
+    if (aurora::obs::enabled()) {
+        const std::uint16_t g = gid(node);
+        aurora::obs::emit(aurora::obs::stage::post, g, ticket,
+                          static_cast<std::uint16_t>(slot), t.epoch,
+                          static_cast<std::uint64_t>(posted_at));
+        aurora::obs::emit(aurora::obs::stage::sent, g, ticket,
+                          static_cast<std::uint16_t>(slot), t.epoch,
+                          static_cast<std::uint64_t>(sim::now()));
+    }
     if (resilient_) {
         pending_send p;
         p.wire.assign(wire, wire + wire_len);
@@ -1003,6 +1077,8 @@ bool runtime::try_collect(node_t node, std::uint64_t ticket, std::uint32_t slot,
         t.met.results_received->add(1);
         t.met.queue_depth->add(-1);
         AURORA_TRACE_COUNTER("offload", "result_bytes", out.size());
+        aurora::obs::emit_now(aurora::obs::stage::collect, gid(node), ticket,
+                              static_cast<std::uint16_t>(slot), t.epoch);
         return true;
     };
     if (auto it = t.arrived.find(ticket); it != t.arrived.end()) {

@@ -25,6 +25,10 @@ namespace aurora::veos {
 class veos_system;
 }
 
+namespace aurora::obs {
+class flight_ring;
+}
+
 namespace ham::offload {
 
 class runtime : public detail::result_source {
@@ -244,6 +248,13 @@ private:
         std::vector<replay_entry> replay;  ///< un-acked work awaiting respawn
         target_statistics stats; ///< refreshed from the registry on read
         target_instruments met;
+        /// aurora::obs black box for this target (process-wide registry ring,
+        /// keyed on the global node id; survives runtime teardown).
+        aurora::obs::flight_ring* flight = nullptr;
+        /// Post (slot-bind) timestamp per slot, for request-stage attribution
+        /// (slot_sent_ns is taken *after* the wire send; obs needs the edge
+        /// before it too).
+        std::vector<sim::time_ns> slot_posted_ns;
     };
 
     target_state& state_for(node_t node);
@@ -308,6 +319,10 @@ private:
     void shutdown();
     /// Resolve `t`'s registry instruments and capture counter baselines.
     void bind_instruments(target_state& t, node_t node);
+    /// Machine-unique identity of `node` (metric labels, obs request keys).
+    [[nodiscard]] std::uint16_t gid(node_t node) const noexcept {
+        return static_cast<std::uint16_t>(opt_.node_base + int(node));
+    }
     /// Transition `t.health` and mirror it into the health gauge.
     void set_health(target_state& t, target_health h);
 

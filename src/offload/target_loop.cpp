@@ -6,6 +6,7 @@
 #include "fault/fault.hpp"
 #include "ham/execution_context.hpp"
 #include "ham/msg.hpp"
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
@@ -59,6 +60,14 @@ void run_target_loop(const target_loop_config& cfg, target_channel& channel) {
                          "offload message without a result slot");
         const std::uint32_t result_slot = flag.result_slot_plus1 - 1u;
         sim::advance(cm.ham_runtime_iteration_ns);
+        // VE-side touchpoint: the wire carries no ticket on the single-machine
+        // protocols, so this is keyed (node, slot, epoch) and re-joined to the
+        // host's `post` by the timeline reassembler. Emitted before the fault
+        // checkpoint so a killed request still shows its dispatch.
+        aurora::obs::emit_now(aurora::obs::stage::ve_dispatch,
+                              static_cast<std::uint16_t>(cfg.context->node()), 0,
+                              static_cast<std::uint16_t>(result_slot),
+                              flag.epoch);
 
         // aurora::fault check point: a kill_after_messages(n) schedule fires
         // here, while the target holds its n-th message — the result is never
@@ -145,6 +154,10 @@ void run_target_loop(const target_loop_config& cfg, target_channel& channel) {
             }
             std::memcpy(result.data(), &header, sizeof(header));
             sim::advance(cm.ham_msg_construct_ns);
+            aurora::obs::emit_now(aurora::obs::stage::ve_done,
+                                  static_cast<std::uint16_t>(cfg.context->node()),
+                                  0, static_cast<std::uint16_t>(result_slot),
+                                  flag.epoch);
             {
                 AURORA_TRACE_SPAN("target", "result_send");
                 channel.send_result(result_slot, result.data(),
@@ -162,6 +175,10 @@ void run_target_loop(const target_loop_config& cfg, target_channel& channel) {
 
         std::memcpy(result.data(), &header, sizeof(header));
         sim::advance(cm.ham_msg_construct_ns); // result message construction
+        aurora::obs::emit_now(aurora::obs::stage::ve_done,
+                              static_cast<std::uint16_t>(cfg.context->node()), 0,
+                              static_cast<std::uint16_t>(result_slot),
+                              flag.epoch);
         {
             AURORA_TRACE_SPAN("target", "result_send");
             channel.send_result(result_slot, result.data(),

@@ -4,6 +4,7 @@
 
 #include "fault/fault.hpp"
 #include "ham/msg.hpp"
+#include "obs/obs.hpp"
 #include "offload/protocol.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
@@ -209,6 +210,7 @@ void executor::release_ready(task_id id) {
         met_.tasks_failed_over->add(1);
     }
     rec.state = task_state::ready;
+    rec.ready_at_ns = static_cast<std::uint64_t>(aurora::sim::now());
     if (rec.home == 0) {
         host_ready_.push_back(id);
     } else {
@@ -440,6 +442,20 @@ bool executor::dispatch_target(std::size_t t) {
         for (const task_id id : group) {
             tasks_[id].state = task_state::inflight;
             tasks_[id].record.start_seq = event_seq_++;
+        }
+        if (aurora::obs::enabled()) {
+            // The submit touchpoint carries the ticket the runtime just
+            // assigned, back-dated to when the group's earliest task entered
+            // its ready queue: queue_wait = submit..post.
+            std::uint64_t ready_ns = tasks_[group.front()].ready_at_ns;
+            for (const task_id id : group) {
+                ready_ns = std::min(ready_ns, tasks_[id].ready_at_ns);
+            }
+            aurora::obs::emit(
+                aurora::obs::stage::submit,
+                static_cast<std::uint16_t>(rt_.options().node_base + int(node)),
+                sent.ticket, static_cast<std::uint16_t>(sent.slot),
+                rt_.target_epoch(node), ready_ns);
         }
 
         flight f;

@@ -74,6 +74,9 @@ struct task_rec {
     std::uint32_t unmet = 0;
     node_t home = 0; ///< assigned queue: 0 = host, 1.. = target node
     task_state state = task_state::blocked;
+    /// Virtual time the task entered a ready queue — the start of its
+    /// queue_wait stage in the aurora::obs request timeline.
+    std::uint64_t ready_at_ns = 0;
     completion_record record;
 };
 

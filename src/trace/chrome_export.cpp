@@ -82,6 +82,17 @@ std::string chrome_json(const std::vector<collector::lane_snapshot>& lanes) {
                        << ",\"pid\":0,\"tid\":" << l.tid
                        << ",\"args\":{\"value\":" << e.value << "}}";
                     break;
+                case event_type::lifecycle:
+                    // Request-lifecycle touchpoints render as instants whose
+                    // args expose the ticket and the packed correlation key,
+                    // so a Perfetto query can follow one request across lanes.
+                    os << "{\"ph\":\"i\",\"s\":\"t\",\"name\":\""
+                       << escaped(e.name) << "\",\"cat\":\"" << escaped(e.cat)
+                       << "\",\"ts\":" << us(e.ts_ns)
+                       << ",\"pid\":0,\"tid\":" << l.tid
+                       << ",\"args\":{\"ticket\":" << e.value
+                       << ",\"ref\":" << e.ref << "}}";
+                    break;
             }
         }
     }

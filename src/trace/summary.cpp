@@ -52,6 +52,12 @@ summary summarize(const std::vector<collector::lane_snapshot>& lanes) {
                 case event_type::instant:
                     ++out.instants;
                     break;
+                case event_type::lifecycle:
+                    // Per-request touchpoints: the timeline reassembler in
+                    // obs/timeline.hpp consumes these; the aggregate summary
+                    // only counts them.
+                    ++out.lifecycles;
+                    break;
             }
         }
     }
@@ -97,7 +103,8 @@ std::string summary_text(const summary& s) {
         os << t.str();
     }
     os << "events retained: " << s.events << ", dropped: " << s.dropped
-       << ", instants: " << s.instants << "\n";
+       << ", instants: " << s.instants << ", lifecycle: " << s.lifecycles
+       << "\n";
     return os.str();
 }
 

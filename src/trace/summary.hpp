@@ -33,6 +33,7 @@ struct summary {
     std::vector<span_summary> spans;       ///< sorted by key
     std::vector<counter_summary> counters; ///< sorted by key
     std::uint64_t instants = 0;
+    std::uint64_t lifecycles = 0; ///< request-lifecycle events (aurora::obs)
     std::uint64_t events = 0;  ///< retained events across all lanes
     std::uint64_t dropped = 0; ///< events lost to ring wrap-around
 };

@@ -113,18 +113,18 @@ void emit(const event& e) {
 void count(const char* cat, const char* name, std::uint64_t delta) {
     metrics::trace_bridge_counter(cat, name).add(delta);
     if (enabled()) {
-        emit({cat, name, clock_ns(), 0, delta, event_type::counter});
+        emit({cat, name, clock_ns(), 0, delta, 0, event_type::counter});
     }
 }
 
 void emit_span(const char* cat, const char* name, std::uint64_t ts_ns,
                std::uint64_t dur_ns) {
-    emit({cat, name, ts_ns, dur_ns, 0, event_type::span});
+    emit({cat, name, ts_ns, dur_ns, 0, 0, event_type::span});
 }
 
 void scoped_span::finish() noexcept {
     const std::uint64_t t1 = clock_ns();
-    emit({cat_, name_, t0_, t1 >= t0_ ? t1 - t0_ : 0, 0, event_type::span});
+    emit({cat_, name_, t0_, t1 >= t0_ ? t1 - t0_ : 0, 0, 0, event_type::span});
 }
 
 } // namespace aurora::trace

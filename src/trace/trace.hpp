@@ -32,6 +32,12 @@ enum class event_type : std::uint8_t {
     span,    ///< closed interval [ts_ns, ts_ns + dur_ns]
     instant, ///< point event
     counter, ///< value sample (summed by the summary exporter)
+    /// Request-lifecycle touchpoint (aurora::obs): `value` carries the
+    /// per-target ticket, `ref` a packed correlation key (node / slot /
+    /// epoch / stage — see obs/obs.hpp). The timeline reassembler stitches
+    /// these into per-request critical paths; the chrome exporter renders
+    /// them as instants on their lane.
+    lifecycle,
 };
 
 /// One fixed-size trace record. `cat` and `name` must be string literals
@@ -42,6 +48,7 @@ struct event {
     std::uint64_t ts_ns = 0;
     std::uint64_t dur_ns = 0;
     std::uint64_t value = 0;
+    std::uint64_t ref = 0; ///< lifecycle correlation key (0 otherwise)
     event_type type = event_type::instant;
 };
 
@@ -171,7 +178,7 @@ void count(const char* cat, const char* name, std::uint64_t delta = 1);
 
 inline void instant(const char* cat, const char* name) {
     if (enabled()) {
-        emit({cat, name, clock_ns(), 0, 0, event_type::instant});
+        emit({cat, name, clock_ns(), 0, 0, 0, event_type::instant});
     }
 }
 

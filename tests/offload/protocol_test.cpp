@@ -239,7 +239,11 @@ TEST(RoutingHeader, RejectsBadMagicVersionAndShortFrames) {
     EXPECT_FALSE(is_routed(bad_version.data(), bad_version.size()));
 }
 
-TEST(RoutingHeader, ReservedBytesEncodeAsZero) {
+TEST(RoutingHeader, AbsentTraceContextEncodesAsZero) {
+    // The former reserved bytes 13..15 / 20..23 now carry the aurora::obs
+    // trace context — but only when one is present. A header without a
+    // context (the default) must still encode those bytes as zero, so an
+    // untraced frame is byte-identical to the pre-obs wire.
     routing_header h;
     h.src_node = 0xFFFF;
     h.dst_node = 0xFFFF;
@@ -254,8 +258,47 @@ TEST(RoutingHeader, ReservedBytesEncodeAsZero) {
     EXPECT_EQ(buf[14], std::byte{0});
     EXPECT_EQ(buf[15], std::byte{0});
     for (std::size_t i = 20; i < 24; ++i) {
-        EXPECT_EQ(buf[i], std::byte{0}) << "reserved byte " << i;
+        EXPECT_EQ(buf[i], std::byte{0}) << "trace-context byte " << i;
     }
+    EXPECT_FALSE(decode_routing(buf).has_trace_context());
+}
+
+TEST(RoutingHeader, TraceContextRoundTrip) {
+    routing_header h;
+    h.src_node = 3;
+    h.dst_node = 2;
+    h.target = 1;
+    h.epoch = 5;
+    h.ticket = 42;
+    h.obs_flags = obs_flags::trace_context;
+    h.parent_span = 0xBEEF;
+    h.trace_lo = 0xDEADC0DE;
+    std::byte buf[routing_header_bytes];
+    encode_routing(h, buf);
+    const routing_header g = decode_routing(buf);
+    EXPECT_TRUE(g.has_trace_context());
+    EXPECT_EQ(g.obs_flags, obs_flags::trace_context);
+    EXPECT_EQ(g.parent_span, 0xBEEF);
+    EXPECT_EQ(g.trace_lo, 0xDEADC0DEu);
+    // The context rides alongside the legacy fields without perturbing them.
+    EXPECT_EQ(g.src_node, 3);
+    EXPECT_EQ(g.dst_node, 2);
+    EXPECT_EQ(g.target, 1);
+    EXPECT_EQ(g.epoch, 5);
+    EXPECT_EQ(g.ticket, 42u);
+}
+
+TEST(RoutingHeader, TraceContextDoesNotChangeFrameSize) {
+    // Context present or absent, the header is the same fixed 32 bytes —
+    // the obs bits reuse formerly-reserved space, they never extend it.
+    routing_header plain;
+    plain.dst_node = 1;
+    routing_header traced = plain;
+    traced.obs_flags = obs_flags::trace_context;
+    traced.trace_lo = 7;
+    const std::byte payload[4] = {};
+    EXPECT_EQ(make_routed_frame(plain, payload, sizeof(payload)).size(),
+              make_routed_frame(traced, payload, sizeof(payload)).size());
 }
 
 } // namespace

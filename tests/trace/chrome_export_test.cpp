@@ -20,17 +20,17 @@ std::vector<collector::lane_snapshot> fixture() {
     lanes[0].name = "VH.host";
     lanes[0].tid = 0;
     lanes[0].events = {
-        {"offload", "send", 1000, 500, 0, event_type::span},
-        {"offload", "sent_bytes", 1500, 0, 64, event_type::counter},
-        {"backend", "loopback_result", 2469, 0, 0, event_type::instant},
+        {"offload", "send", 1000, 500, 0, 0, event_type::span},
+        {"offload", "sent_bytes", 1500, 0, 64, 0, event_type::counter},
+        {"backend", "loopback_result", 2469, 0, 0, 0, event_type::instant},
     };
     lanes[1].name = "VE0.pid1";
     lanes[1].tid = 1;
     lanes[1].events = {
-        {"target", "execute", 1200, 333, 0, event_type::span},
+        {"target", "execute", 1200, 333, 0, 0, event_type::span},
         // Exercise the JSON escaper (names are literals in real call sites,
         // but the exporter must stay safe for arbitrary lane names too).
-        {"target", "odd\"name\\with\tescapes", 1600, 0, 0,
+        {"target", "odd\"name\\with\tescapes", 1600, 0, 0, 0,
          event_type::instant},
     };
     lanes[1].dropped = 2;

@@ -15,7 +15,7 @@ namespace aurora::trace {
 namespace {
 
 event span_event(const char* name, std::uint64_t ts, std::uint64_t dur) {
-    return {"test", name, ts, dur, 0, event_type::span};
+    return {"test", name, ts, dur, 0, 0, event_type::span};
 }
 
 TEST(RingBuffer, RetainsEventsInOrderBelowCapacity) {

@@ -27,6 +27,10 @@
 //                                            # echo through every (VH, VE)
 //                                            # engine, and print the per-node
 //                                            # health/link rollup
+//   build/tools/aurora_info --flight         # run a chaos workload (one VE is
+//                                            # killed mid-run), then dump every
+//                                            # target's flight-recorder black
+//                                            # box as postmortem JSON
 //
 // Useful when recalibrating: every constant of src/sim/cost_model.hpp is
 // printed with its derived secondary quantities (sustained rates, round
@@ -40,8 +44,10 @@
 #include <iostream>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "mem/registry.hpp"
 #include "metrics/metrics.hpp"
+#include "obs/flight.hpp"
 #include "metrics/prometheus.hpp"
 #include "net/net.hpp"
 #include "offload/offload.hpp"
@@ -395,6 +401,65 @@ int trace_summary() {
     return s.events == 0 ? 1 : 0;
 }
 
+/// --flight: exercise the always-on black box. Runs a loopback workload in
+/// which one VE is deterministically killed mid-run, then dumps every
+/// target's flight-recorder ring as postmortem JSON ("on_demand" kind) —
+/// including the killed VE, whose ring shows the requests that were in
+/// flight when it died. No tracing env vars required: the rings record
+/// unconditionally.
+int flight_dump() {
+    constexpr int num_ves = 3;
+    fault::config chaos;
+    chaos.enabled = true;
+    chaos.seed = 42;
+    auto& inj = fault::injector::instance();
+    inj.configure(chaos);
+    inj.kill_after_messages(2, 3); // VE 2 dies holding its 3rd message
+
+    sim::platform plat(sim::platform_config::test_machine());
+    ham::offload::runtime_options opt;
+    opt.backend = ham::offload::backend_kind::loopback;
+    opt.targets.assign(num_ves, 0);
+    opt.reply_timeout_ns = 200'000;
+    opt.max_retries = 3;
+    const int rc = ham::offload::run(plat, opt, [&] {
+        for (int round = 0; round < 6; ++round) {
+            for (int ve = 1; ve <= num_ves; ++ve) {
+                try {
+                    ham::offload::sync(ham::offload::node_t(ve),
+                                       ham::f2f<&empty_kernel>());
+                } catch (const ham::offload::offload_error&) {
+                    // The killed VE's requests fail over / replay; the black
+                    // box keeps their partial history either way.
+                }
+            }
+        }
+    });
+    inj.reset();
+
+    // The registry outlives the runtime, so the dump happens after teardown —
+    // exactly how a postmortem inspection works.
+    const auto nodes = obs::flight_registry::nodes();
+    std::printf("[");
+    bool first = true;
+    for (const std::uint16_t n : nodes) {
+        const obs::flight_ring* ring = obs::flight_registry::find(n);
+        if (ring == nullptr || ring->pushed() == 0) {
+            continue;
+        }
+        std::printf("%s\n%s", first ? "" : ",",
+                    obs::postmortem_json(n, "on_demand", 0, "").c_str());
+        first = false;
+    }
+    std::printf("\n]\n");
+    if (first) {
+        std::fprintf(stderr, "aurora_info: no flight-recorder events — the "
+                             "black box should be always-on\n");
+        return 1;
+    }
+    return rc;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -406,6 +471,9 @@ int main(int argc, char** argv) {
     }
     if (argc > 1 && std::strcmp(argv[1], "--mem") == 0) {
         return mem_dump();
+    }
+    if (argc > 1 && std::strcmp(argv[1], "--flight") == 0) {
+        return flight_dump();
     }
     if (argc > 1 && std::strcmp(argv[1], "--cluster") == 0) {
         int nodes = 3, ves = 2;

@@ -164,11 +164,14 @@ view build_view(const std::vector<sample>& samples) {
     for (const auto& s : samples) {
         if (s.name.size() > 7 &&
             s.name.compare(s.name.size() - 7, 7, "_bucket") == 0) {
+            const auto it = s.labels.find("le");
+            if (it == s.labels.end()) {
+                continue; // truncated bucket line lost its le="..." label
+            }
             sample base = s;
             base.name.resize(base.name.size() - 7);
             bucket_set& b = v.hists[series_key(base, "le")];
-            const auto it = s.labels.find("le");
-            const double le = it != s.labels.end() && it->second == "+Inf"
+            const double le = it->second == "+Inf"
                                   ? INFINITY
                                   : std::atof(it->second.c_str());
             b.le.emplace_back(le, s.value);
@@ -202,7 +205,20 @@ const char* node_health_name(double h) {
 }
 
 void render(const std::string& prom_text, int frame, bool clear) {
-    const view v = build_view(parse_prom(prom_text));
+    const std::vector<sample> samples = parse_prom(prom_text);
+    if (clear) {
+        std::printf("\x1b[H\x1b[2J");
+    }
+    if (samples.empty()) {
+        // An empty or entirely-comment scrape (endpoint warming up, or a
+        // response cut off mid-transfer) renders as an explicit note, never
+        // as a crash or a silently blank screen.
+        std::printf("aurora_top — frame %d\n\n", frame);
+        std::printf("  (scrape returned no samples — endpoint warming up or "
+                    "truncated; retrying)\n");
+        return;
+    }
+    const view v = build_view(samples);
 
     // Discover the (backend, node) pairs present in the export.
     std::vector<std::pair<std::string, std::string>> targets;
@@ -224,9 +240,6 @@ void render(const std::string& prom_text, int frame, bool clear) {
     }
     std::sort(targets.begin(), targets.end());
 
-    if (clear) {
-        std::printf("\x1b[H\x1b[2J");
-    }
     std::printf("aurora_top — frame %d\n\n", frame);
     aurora::text_table t({"target", "msgs", "results", "rtt p50 us",
                           "rtt p99 us", "in-flight", "queued", "retx",
@@ -385,20 +398,25 @@ int watch_url(const std::string& url, int frames, int interval_ms, bool clear) {
     }
     const std::string host = url.substr(0, colon);
     const int port = std::atoi(url.c_str() + colon + 1);
+    int good_frames = 0;
     for (int f = 1; f <= frames; ++f) {
         std::string text;
         if (!http_get_metrics(host, port, text)) {
-            std::fprintf(stderr, "aurora_top: scrape of %s failed\n",
-                         url.c_str());
-            return 1;
+            // A single failed or truncated scrape is not fatal for a
+            // monitor: note it and try again next frame. Only a run where
+            // every scrape failed exits non-zero.
+            std::fprintf(stderr, "aurora_top: scrape of %s failed (frame %d)\n",
+                         url.c_str(), f);
+        } else {
+            render(text, f, clear);
+            ++good_frames;
         }
-        render(text, f, clear);
         if (f < frames) {
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(interval_ms));
         }
     }
-    return 0;
+    return good_frames > 0 ? 0 : 1;
 }
 
 // --- --demo mode: drive a workload and watch the in-process registry ---------
