@@ -1,0 +1,360 @@
+// bench_overload_serving — overload-robust serving gate for aurora::admit.
+//
+// Three phases, each a fresh simulated platform:
+//
+//   unloaded  — the victim latency tenant alone, closed loop. Establishes
+//               the baseline request latency distribution.
+//   overload  — the same victim loop while a hostile background tenant
+//               floods the server every round and short-lived batch
+//               sessions churn open/close underneath (thousands across a
+//               full run). The admission policy must hold the line: the
+//               aggressor is shed at its occupancy threshold, the victim
+//               keeps >= 90% goodput, and victim p99 stays within 2x the
+//               unloaded phase.
+//   chaos     — the overload mix with a VE killed mid-saturation (message-
+//               count trigger, exactly replayable) and healed by the
+//               runtime. No metric gates here beyond the hard invariants:
+//               every admitted request settles exactly once with a typed
+//               outcome — zero hangs, zero silent drops.
+//
+// Self-checking: non-zero exit when any phase violates its invariants or
+// the victim-isolation acceptance bounds. With HAM_AURORA_BENCH_JSON=1 the
+// bench emits one JSON object gated by bench/baselines/overload_serving.json.
+// --smoke shrinks the round counts for sanitizer CI runs (overload-chaos).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "admit/server.hpp"
+#include "bench/support/bench_common.hpp"
+#include "fault/fault.hpp"
+#include "offload/offload.hpp"
+
+namespace {
+
+namespace admit = aurora::admit;
+namespace fault = aurora::fault;
+namespace sim = aurora::sim;
+using aurora::text_table;
+using ham::offload::admission_error;
+using ham::offload::deadline_exceeded_error;
+using ham::offload::offload_error;
+
+constexpr std::size_t kTargets = 4;
+constexpr std::size_t kCapacity = 128;
+constexpr std::size_t kWindow = 8;
+constexpr std::int64_t kVictimCostNs = 100'000;
+constexpr std::int64_t kVictimDeadlineNs = 800'000;
+constexpr std::int64_t kAggressorCostNs = 20'000;
+constexpr std::int64_t kChurnCostNs = 10'000;
+constexpr int kAggressorPerRound = 24;
+constexpr int kChurnPerRound = 4;
+
+void busy(std::int64_t ns) { sim::advance(ns); }
+
+struct phase_result {
+    std::string name;
+    // Victim (closed-loop) outcomes and per-request latencies.
+    std::uint64_t victim_submitted = 0;
+    std::uint64_t victim_completed = 0;
+    std::uint64_t victim_rejected = 0; ///< shed at submit
+    std::uint64_t victim_expired = 0;
+    std::uint64_t victim_failed = 0;
+    std::vector<double> victim_lat_ns;
+    // Load + churn.
+    std::uint64_t aggressor_shed = 0;
+    std::uint64_t sessions_churned = 0;
+    std::size_t max_backlog = 0;
+    // Hard invariants.
+    bool settled_clean = true;
+    std::uint64_t heal_recoveries = 0;
+
+    [[nodiscard]] double goodput_pct() const {
+        return victim_submitted == 0
+                   ? 0.0
+                   : 100.0 * double(victim_completed) /
+                         double(victim_submitted);
+    }
+    [[nodiscard]] double latency_pct(double q) const {
+        if (victim_lat_ns.empty()) {
+            return 0.0;
+        }
+        std::vector<double> s = victim_lat_ns;
+        std::sort(s.begin(), s.end());
+        const auto n = double(s.size());
+        const auto rank = std::size_t(
+            std::min(n - 1.0, std::max(0.0, q / 100.0 * n - 1.0)));
+        return s[rank];
+    }
+};
+
+admit::server::config serving_cfg() {
+    admit::server::config cfg;
+    cfg.capacity = kCapacity;
+    cfg.dispatch_window = kWindow;
+    return cfg;
+}
+
+/// Every admitted request must land in exactly one settlement bucket;
+/// `rejected` is the count of submit-time rejections (those also appear in
+/// session_stats::shed but were never admitted).
+bool session_settled_clean(const admit::session_stats& st,
+                           std::uint64_t rejected) {
+    return st.queued == 0 &&
+           st.admitted + rejected ==
+               st.completed + st.failed + st.expired + st.shed;
+}
+
+phase_result run_phase(const std::string& name, bool overload, bool chaos,
+                       int rounds) {
+    phase_result out;
+    out.name = name;
+
+    ham::offload::runtime_options opt;
+    opt.backend = ham::offload::backend_kind::loopback;
+    opt.targets.assign(kTargets, 0);
+    if (chaos) {
+        // Death detection must be armed for the kill to heal: the default
+        // reply timeout is off, under which in-flight work on a dead VE
+        // would wait forever. 4x the heaviest kernel keeps spurious
+        // retransmits rare while bounding failure detection well under the
+        // drain deadline.
+        opt.reply_timeout_ns = 4 * kVictimCostNs;
+        opt.max_retries = 2;
+        opt.recovery.enabled = true;
+        opt.recovery.backoff_ns = 50'000;
+        opt.recovery_streak = 4;
+        // Seeded probabilistic faults ride along when the environment asks
+        // (the CI overload-chaos job sweeps HAM_AURORA_FAULT_SEED); the kill
+        // below is deterministic either way.
+        fault::config fc = fault::config::from_env();
+        if (fc.enabled) {
+            fault::injector::instance().configure(fc);
+        }
+        // Mid-saturation VE death: roughly half the run's messages have
+        // landed by then (~9 admitted tasks per round over 4 targets).
+        fault::injector::instance().kill_after_messages(
+            2, std::max<std::uint64_t>(20, std::uint64_t(rounds)));
+    }
+
+    sim::platform plat(sim::platform_config::test_machine());
+    plat.sim().set_virtual_deadline(120'000'000'000);
+    const int rc = ham::offload::run(plat, opt, [&] {
+        admit::server srv(serving_cfg());
+        std::map<admit::session_id, std::uint64_t> rejected;
+
+        admit::session_options vo;
+        vo.tenant = "victim";
+        vo.cls = admit::qos_class::latency;
+        vo.weight = 4;
+        const admit::session_id victim = srv.open(vo);
+
+        admit::session_options ao;
+        ao.tenant = "aggressor";
+        ao.cls = admit::qos_class::background;
+        ao.max_queued = kCapacity;
+        const admit::session_id aggressor = srv.open(ao);
+
+        std::deque<admit::session_id> churn_open;
+        std::vector<admit::session_id> churned;
+
+        for (int round = 0; round < rounds; ++round) {
+            if (overload) {
+                // Hostile tenant: open-loop flood. Sheds are the expected
+                // outcome once its occupancy share is spent.
+                for (int i = 0; i < kAggressorPerRound; ++i) {
+                    try {
+                        (void)srv.submit(aggressor,
+                                         ham::f2f<&busy>(kAggressorCostNs));
+                    } catch (const admission_error&) {
+                        ++rejected[aggressor];
+                    }
+                }
+                // Session churn: short-lived batch sessions under one
+                // tenant, half closed while their work is still queued.
+                for (int i = 0; i < kChurnPerRound; ++i) {
+                    admit::session_options co;
+                    co.tenant = "churn";
+                    co.cls = admit::qos_class::batch;
+                    const admit::session_id sid = srv.open(co);
+                    churn_open.push_back(sid);
+                    churned.push_back(sid);
+                    try {
+                        admit::request_options ro;
+                        ro.deadline_ns = sim::now() + 20 * kChurnCostNs;
+                        (void)srv.submit(sid, ham::f2f<&busy>(kChurnCostNs),
+                                         ro);
+                    } catch (const admission_error&) {
+                        ++rejected[sid];
+                    }
+                }
+                while (churn_open.size() > std::size_t(2 * kChurnPerRound)) {
+                    srv.close(churn_open.front());
+                    churn_open.pop_front();
+                }
+            }
+
+            // Victim: one closed-loop latency request per round.
+            ++out.victim_submitted;
+            const sim::time_ns t0 = sim::now();
+            try {
+                admit::request_options ro;
+                ro.deadline_ns = sim::now() + kVictimDeadlineNs;
+                admit::request r =
+                    srv.submit(victim, ham::f2f<&busy>(kVictimCostNs), ro);
+                r.wait();
+                out.max_backlog = std::max(out.max_backlog, srv.backlog());
+                try {
+                    r.get();
+                    ++out.victim_completed;
+                    out.victim_lat_ns.push_back(double(sim::now() - t0));
+                } catch (const deadline_exceeded_error&) {
+                    ++out.victim_expired;
+                } catch (const offload_error&) {
+                    ++out.victim_failed;
+                }
+            } catch (const admission_error&) {
+                ++out.victim_rejected;
+                ++rejected[victim];
+            }
+        }
+
+        for (const admit::session_id sid : churn_open) {
+            srv.close(sid);
+        }
+        srv.drain();
+
+        out.aggressor_shed = srv.stats(aggressor).shed;
+        out.sessions_churned = churned.size();
+        out.settled_clean =
+            srv.backlog() == 0 && srv.scheduler().unfinished() == 0;
+        out.settled_clean =
+            session_settled_clean(srv.stats(victim), rejected[victim]) &&
+            session_settled_clean(srv.stats(aggressor), rejected[aggressor]) &&
+            out.settled_clean;
+        for (const admit::session_id sid : churned) {
+            out.settled_clean =
+                session_settled_clean(srv.stats(sid), rejected[sid]) &&
+                out.settled_clean;
+        }
+        if (chaos) {
+            out.heal_recoveries =
+                ham::offload::runtime::current()->runtime_stats(2).recoveries;
+        }
+    });
+    if (rc != 0) {
+        out.settled_clean = false;
+    }
+    if (chaos) {
+        fault::injector::instance().reset();
+    }
+    return out;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        }
+    }
+    const int rounds = smoke ? 80 : 400;
+
+    const bool json = aurora::bench::json_output();
+    if (!json) {
+        aurora::bench::print_header(
+            "bench_overload_serving — multi-tenant admission under overload",
+            "victim isolation (goodput, p99) while a hostile tenant floods, "
+            "sessions churn, and a VE dies mid-saturation");
+    }
+
+    const phase_result unloaded = run_phase("unloaded", false, false, rounds);
+    const phase_result loaded = run_phase("overload", true, false, rounds);
+    const phase_result chaos = run_phase("chaos", true, true, rounds);
+
+    const double p99_unloaded = unloaded.latency_pct(99.0);
+    const double p99_overload = loaded.latency_pct(99.0);
+    const double p99_ratio =
+        p99_unloaded > 0 ? p99_overload / p99_unloaded : 0.0;
+
+    if (!json) {
+        text_table t({"phase", "victim goodput", "p50", "p99", "aggr shed",
+                      "sessions", "max backlog", "settled"});
+        for (const phase_result* p : {&unloaded, &loaded, &chaos}) {
+            char goodput[32];
+            std::snprintf(goodput, sizeof(goodput), "%.1f%%",
+                          p->goodput_pct());
+            t.add_row({p->name, goodput,
+                       aurora::bench::us(p->latency_pct(50.0)),
+                       aurora::bench::us(p->latency_pct(99.0)),
+                       std::to_string(p->aggressor_shed),
+                       std::to_string(p->sessions_churned + 2),
+                       std::to_string(p->max_backlog),
+                       p->settled_clean ? "yes" : "NO"});
+        }
+        aurora::bench::emit(t);
+        std::printf("\nvictim p99 overload/unloaded: %.2fx (bound 2.0x)\n",
+                    p99_ratio);
+        std::printf("chaos heal recoveries: %llu\n\n",
+                    static_cast<unsigned long long>(chaos.heal_recoveries));
+    }
+
+    int rc = 0;
+    auto fail = [&rc](const char* why) {
+        std::fprintf(stderr, "FAIL: %s\n", why);
+        rc = 1;
+    };
+    if (!unloaded.settled_clean) {
+        fail("unloaded phase left unsettled or miscounted requests");
+    }
+    if (!loaded.settled_clean) {
+        fail("overload phase left unsettled or miscounted requests");
+    }
+    if (!chaos.settled_clean) {
+        fail("chaos phase left unsettled or miscounted requests "
+             "(kill + heal must never lose a settlement)");
+    }
+    if (loaded.goodput_pct() < 90.0) {
+        fail("victim goodput under overload dropped below 90%");
+    }
+    if (p99_ratio > 2.0 || p99_unloaded <= 0.0) {
+        fail("victim p99 under overload exceeded 2x the unloaded baseline");
+    }
+    if (loaded.aggressor_shed == 0) {
+        fail("the aggressor was never shed — overload never materialised");
+    }
+    if (loaded.max_backlog > kCapacity) {
+        fail("backlog exceeded the configured capacity bound");
+    }
+    if (chaos.heal_recoveries == 0) {
+        fail("the mid-saturation kill never fired or never healed");
+    }
+
+    if (json) {
+        aurora::bench::json_result out("overload_serving");
+        out.add("victim_goodput_unloaded_pct", unloaded.goodput_pct());
+        out.add("victim_goodput_overload_pct", loaded.goodput_pct());
+        out.add("victim_p99_unloaded_us", p99_unloaded / 1000.0);
+        out.add("victim_p99_overload_us", p99_overload / 1000.0);
+        out.add("victim_p99_ratio", p99_ratio);
+        out.add("aggressor_shed", double(loaded.aggressor_shed));
+        out.add("sessions_churned", double(loaded.sessions_churned));
+        out.add("max_backlog", double(loaded.max_backlog));
+        out.add("settled_all",
+                unloaded.settled_clean && loaded.settled_clean &&
+                        chaos.settled_clean
+                    ? 1.0
+                    : 0.0);
+        out.add("chaos_heal_recoveries", double(chaos.heal_recoveries));
+        out.emit();
+    }
+    return rc;
+}

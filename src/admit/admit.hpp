@@ -1,0 +1,89 @@
+// aurora::admit — multi-tenant admission control for the offload runtime.
+//
+// The serving-side control plane the scheduler lacks on its own: clients open
+// a *session* (one logical stream of requests, XRT-hw-context-style) under a
+// named *tenant* with a QoS class, a fair-share weight, an optional request
+// quota and an optional per-request deadline. The admission server keeps one
+// bounded queue per session, dequeues across sessions by strict QoS priority
+// + weighted round robin, sheds early by class as occupancy grows (typed
+// ham::offload::admission_error with a retry-after hint — queues never grow
+// without bound), cancels queued work whose deadline passes (typed
+// ham::offload::deadline_exceeded_error — counted, never silently dropped),
+// and guards per-target placement with a circuit breaker (breaker.hpp).
+//
+// Everything lives in virtual time on the cooperative simulator; see
+// docs/ADMISSION.md for the policy walkthrough.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sched/task.hpp"
+
+namespace aurora::admit {
+
+/// QoS class of a session. Strict dequeue priority: latency before batch
+/// before background. Shedding is the inverse — background sheds first.
+enum class qos_class : std::uint8_t {
+    latency,    ///< interactive traffic; shed only when queues are full
+    batch,      ///< bulk work; shed when occupancy crosses shed_batch_pct
+    background, ///< best-effort; shed when occupancy crosses shed_background_pct
+};
+
+[[nodiscard]] inline std::string to_string(qos_class c) {
+    switch (c) {
+        case qos_class::latency: return "latency";
+        case qos_class::batch: return "batch";
+        case qos_class::background: return "background";
+    }
+    return "?";
+}
+
+inline constexpr std::size_t num_qos_classes = 3;
+
+/// Session identity. Ids are dense and never reused within one server.
+using session_id = std::uint64_t;
+
+inline constexpr session_id invalid_session = 0;
+
+struct session_options {
+    /// Tenant this session bills to. Metric families (admitted/shed/expired/
+    /// queue depth) are labelled by tenant, so churning thousands of
+    /// sessions under a handful of tenants keeps the registry bounded.
+    std::string tenant = "default";
+    qos_class cls = qos_class::batch;
+    /// Fair-share weight within the class: a weight-3 session dequeues up to
+    /// three requests per round-robin visit while siblings take one.
+    std::uint32_t weight = 1;
+    /// Bound on this session's queued (not yet dispatched) requests; the
+    /// session sheds beyond it regardless of global occupancy.
+    std::size_t max_queued = 64;
+    /// Lifetime admission quota (requests). 0 = unlimited.
+    std::uint64_t quota = 0;
+    /// Default deadline applied to every request as now + this (virtual ns);
+    /// 0 = none. request_options::deadline_ns overrides per request.
+    std::int64_t default_deadline_ns = 0;
+};
+
+struct request_options {
+    /// Preferred engine (sched::task_options semantics; any_node = policy).
+    sched::node_t affinity = sched::any_node;
+    bool pinned = false;
+    std::uint64_t cost_ns = 0;
+    /// Absolute virtual-time deadline; 0 = session default (if any). Expired
+    /// work is cancelled before dispatch, counted, never silently dropped.
+    std::int64_t deadline_ns = 0;
+};
+
+/// Per-session rollup, readable while the session is open or after close.
+struct session_stats {
+    std::uint64_t admitted = 0;  ///< requests accepted into the queue
+    std::uint64_t shed = 0;      ///< rejected (quota/occupancy/breaker/close)
+    std::uint64_t expired = 0;   ///< deadline-cancelled before dispatch
+    std::uint64_t completed = 0; ///< executed successfully
+    std::uint64_t failed = 0;    ///< raised or skipped on the target
+    std::size_t queued = 0;      ///< currently waiting in the session queue
+    bool open = false;
+};
+
+} // namespace aurora::admit

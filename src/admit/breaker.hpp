@@ -1,0 +1,152 @@
+// aurora::admit circuit breaker — shed fast instead of queueing onto a
+// struggling engine.
+//
+// One breaker guards one offload target. It layers ON TOP of the runtime's
+// health machine: health reacts to hard evidence (dead process, exhausted
+// retries) while the breaker reacts to outcome streaks — a target can be
+// nominally healthy yet failing every request, and the breaker stops
+// admission-side placement onto it before queues build up.
+//
+// Lifecycle (the classic three states, all transitions in virtual time):
+//
+//   closed ──(failure_threshold consecutive failures)──▶ open
+//   open ──(cooldown elapsed)──▶ half_open
+//   half_open ──(probe fails)──▶ open (cooldown doubles, capped)
+//   half_open ──(probe_successes consecutive probe successes)──▶ closed
+//
+// In half_open exactly one request may pass at a time (the probe); everything
+// else sheds until the probe settles. All decisions derive from sim::now()
+// and deterministic counters — no wall clock, no randomness — so chaos runs
+// replay bit-identically.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace aurora::admit {
+
+struct breaker_config {
+    /// Consecutive request failures that trip a closed breaker.
+    std::uint32_t failure_threshold = 5;
+    /// Consecutive successful probes that close a half-open breaker.
+    std::uint32_t probe_successes = 2;
+    /// Virtual time an open breaker waits before allowing a probe; doubles
+    /// per consecutive re-trip from half_open, up to the cap below.
+    std::int64_t cooldown_ns = 2'000'000;
+    std::int64_t cooldown_cap_ns = 64'000'000;
+};
+
+enum class breaker_state : std::uint8_t { closed, open, half_open };
+
+[[nodiscard]] inline std::string to_string(breaker_state s) {
+    switch (s) {
+        case breaker_state::closed: return "closed";
+        case breaker_state::open: return "open";
+        case breaker_state::half_open: return "half-open";
+    }
+    return "?";
+}
+
+class breaker {
+public:
+    explicit breaker(breaker_config cfg = {}) : cfg_(cfg) {}
+
+    /// Current state, advancing open -> half_open when the cooldown elapsed.
+    [[nodiscard]] breaker_state state() {
+        if (state_ == breaker_state::open && sim::now() >= probe_at_) {
+            state_ = breaker_state::half_open;
+            probe_outstanding_ = false;
+            probe_streak_ = 0;
+        }
+        return state_;
+    }
+
+    /// May one request pass right now? Half-open admits a single outstanding
+    /// probe; calling allow() while it is out sheds (returns false).
+    [[nodiscard]] bool allow() {
+        switch (state()) {
+            case breaker_state::closed: return true;
+            case breaker_state::open: return false;
+            case breaker_state::half_open:
+                if (probe_outstanding_) {
+                    return false;
+                }
+                probe_outstanding_ = true;
+                return true;
+        }
+        return true;
+    }
+
+    /// Virtual ns until a request could pass again (0 = may pass now). The
+    /// retry-after hint an admission_error for this target carries.
+    [[nodiscard]] std::int64_t retry_after() {
+        return state() == breaker_state::open ? probe_at_ - sim::now() : 0;
+    }
+
+    void record_success() {
+        switch (state()) {
+            case breaker_state::closed:
+                failure_streak_ = 0;
+                break;
+            case breaker_state::half_open:
+                probe_outstanding_ = false;
+                if (++probe_streak_ >= cfg_.probe_successes) {
+                    state_ = breaker_state::closed;
+                    failure_streak_ = 0;
+                    cooldown_ = 0; // re-arm the base cooldown
+                }
+                break;
+            case breaker_state::open:
+                break; // a straggler from before the trip; ignore
+        }
+    }
+
+    void record_failure() {
+        switch (state()) {
+            case breaker_state::closed:
+                if (++failure_streak_ >= cfg_.failure_threshold) {
+                    trip();
+                }
+                break;
+            case breaker_state::half_open:
+                probe_outstanding_ = false;
+                trip(); // failed probe: back to open, cooldown doubled
+                break;
+            case breaker_state::open:
+                break;
+        }
+    }
+
+    /// A request admitted as the half-open probe was cancelled before it
+    /// could run (deadline expiry, session close): free the probe slot
+    /// without a verdict so the breaker is never wedged waiting on it.
+    void abort_probe() noexcept { probe_outstanding_ = false; }
+
+    /// Times this breaker tripped (closed/half_open -> open).
+    [[nodiscard]] std::uint64_t trips() const noexcept { return trips_; }
+
+private:
+    void trip() {
+        cooldown_ = cooldown_ == 0
+                        ? cfg_.cooldown_ns
+                        : std::min(cooldown_ * 2, cfg_.cooldown_cap_ns);
+        state_ = breaker_state::open;
+        probe_at_ = sim::now() + cooldown_;
+        failure_streak_ = 0;
+        ++trips_;
+    }
+
+    breaker_config cfg_;
+    breaker_state state_ = breaker_state::closed;
+    std::uint32_t failure_streak_ = 0;
+    std::uint32_t probe_streak_ = 0;
+    bool probe_outstanding_ = false;
+    std::int64_t cooldown_ = 0; ///< 0 = base; doubles per re-trip
+    sim::time_ns probe_at_ = 0;
+    std::uint64_t trips_ = 0;
+};
+
+} // namespace aurora::admit

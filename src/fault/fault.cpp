@@ -1,5 +1,7 @@
 #include "fault/fault.hpp"
 
+#include <algorithm>
+
 #include "metrics/metrics.hpp"
 #include "util/env.hpp"
 
@@ -56,6 +58,7 @@ injector::injector() { configure(config::from_env()); }
 void injector::configure(const config& cfg) {
     cfg_ = cfg;
     rng_ = cfg.seed;
+    jitter_rng_ = cfg.seed ^ 0xA5A5A5A5DEADBEEFULL;
     stats_ = counters{};
     nodes_.clear();
     armed_.store(false, std::memory_order_relaxed);
@@ -231,6 +234,22 @@ void injector::corrupt_byte(std::byte* data, std::size_t len) {
     }
     const std::uint64_t r = draw();
     data[r % len] ^= static_cast<std::byte>(1u << ((r >> 32) % 8));
+}
+
+std::int64_t injector::jitter_backoff(std::int64_t base_ns, std::int64_t prev_ns,
+                                      std::int64_t cap_ns) {
+    base_ns = std::max<std::int64_t>(base_ns, 1);
+    cap_ns = std::max(cap_ns, base_ns);
+    const std::int64_t grown = std::max(base_ns, prev_ns) > cap_ns / 3
+                                   ? cap_ns
+                                   : std::max(base_ns, prev_ns) * 3;
+    const std::int64_t hi = std::min(cap_ns, grown);
+    if (hi <= base_ns) {
+        return base_ns;
+    }
+    const auto span = static_cast<std::uint64_t>(hi - base_ns) + 1;
+    return base_ns +
+           static_cast<std::int64_t>(splitmix64(jitter_rng_) % span);
 }
 
 } // namespace aurora::fault

@@ -143,6 +143,17 @@ public:
     /// Flip one PRNG-chosen bit of `data[0..len)`.
     void corrupt_byte(std::byte* data, std::size_t len);
 
+    // --- retry shaping (aurora::admit overload robustness) -------------------
+    /// Decorrelated-jitter backoff (the "decorrelated jitter" scheme): a draw
+    /// uniform in [base_ns, min(cap_ns, max(base_ns, prev_ns) * 3)]. Breaks
+    /// the lock-step retransmit storms a deterministic doubling schedule
+    /// produces after a shared stall, while staying exactly replayable: draws
+    /// come from a dedicated splitmix64 stream seeded alongside the fault
+    /// schedule, so a same-seed chaos run sees the same jitter sequence.
+    [[nodiscard]] std::int64_t jitter_backoff(std::int64_t base_ns,
+                                              std::int64_t prev_ns,
+                                              std::int64_t cap_ns);
+
 private:
     injector();
 
@@ -162,6 +173,9 @@ private:
     std::atomic<bool> armed_{false}; ///< any kill/attach schedule outstanding
     config cfg_;
     std::uint64_t rng_ = 0;
+    /// Separate stream for backoff jitter so jitter draws never perturb the
+    /// fault schedule (and vice versa) — same seed, same kills, same jitter.
+    std::uint64_t jitter_rng_ = 0;
     counters stats_;
     std::map<int, node_plan> nodes_;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+#include "sim/engine.hpp"
 #include "sim/trace.hpp"
 #include "util/check.hpp"
 
@@ -37,6 +39,9 @@ cluster_executor::cluster_executor(cluster& c, cluster_executor_config cfg)
     reroutes_ = &reg.counter_for(
         "aurora_net_reroutes_total", "",
         "Tasks moved off a terminally failed cluster engine.");
+    expired_ = &reg.counter_for(
+        "aurora_net_deadline_expired_total", "",
+        "Cluster tasks cancelled before dispatch: deadline passed.");
 }
 
 ham::offload::runtime& cluster_executor::origin_registry_runtime() {
@@ -60,8 +65,33 @@ std::size_t cluster_executor::engine_index(int vh, int ve) const {
     return 0;
 }
 
+void cluster_executor::enqueue(engine& e, queued_task task) {
+    // Insertion from the back keeps the queue sorted by non-increasing
+    // weight with FIFO order among equals — weight-1 traffic (the default)
+    // reduces to a plain push_back, preserving the legacy schedule.
+    auto it = e.ready.end();
+    while (it != e.ready.begin() && std::prev(it)->weight < task.weight) {
+        --it;
+    }
+    e.ready.insert(it, std::move(task));
+}
+
+bool cluster_executor::past_deadline(const queued_task& task) {
+    return task.deadline_ns > 0 && sim::now() >= task.deadline_ns;
+}
+
+void cluster_executor::expire(queued_task& task) {
+    --pending_;
+    ++stats_.expired;
+    expired_->add(1);
+    order_.push_back(task.id);
+    aurora::obs::emit_now(aurora::obs::stage::expired, 0, task.id, 0, 0);
+}
+
 cluster_executor::task_id cluster_executor::submit_bytes(
-    std::vector<std::byte> msg, int affinity_vh, int affinity_ve, bool pinned) {
+    std::vector<std::byte> msg, int affinity_vh, int affinity_ve, bool pinned,
+    cluster_task_options topts) {
+    AURORA_CHECK_MSG(topts.weight > 0, "task weight must be positive");
     const task_id id = next_id_++;
     std::size_t idx;
     if (affinity_vh < 0) {
@@ -102,8 +132,14 @@ cluster_executor::task_id cluster_executor::submit_bytes(
     } else {
         idx = engine_index(affinity_vh, affinity_ve);
     }
-    engines_[idx].ready.push_back({id, std::move(msg), pinned});
     ++pending_;
+    queued_task task{id, std::move(msg), pinned, topts.weight,
+                     topts.deadline_ns};
+    if (past_deadline(task)) {
+        expire(task); // dead on arrival: settled typed, never queued
+        return id;
+    }
+    enqueue(engines_[idx], std::move(task));
     return id;
 }
 
@@ -127,6 +163,12 @@ std::uint32_t cluster_executor::effective_window(engine& e) {
 bool cluster_executor::dispatch_one(engine& e) {
     queued_task task = std::move(e.ready.front());
     e.ready.pop_front();
+    // Cancellation point: expired work is dropped here, before it can spend
+    // an in-flight window slot or cross a link.
+    if (past_deadline(task)) {
+        expire(task);
+        return true;
+    }
     if (e.vh == 0) {
         // The origin runtime's non-blocking primitive: a refused send puts
         // the task back for the next round instead of blocking the loop.
@@ -170,6 +212,10 @@ void cluster_executor::settle(engine& e, std::size_t idx, flight& f) {
         reroutes_->add(1);
         ++pending_;
         queued_task task = std::move(f.task);
+        if (past_deadline(task)) {
+            expire(task); // its deadline passed while the engine was dying
+            return;
+        }
         for (int pass = 0; pass < 2; ++pass) {
             for (std::size_t i = 0; i < engines_.size(); ++i) {
                 engine& cand = engines_[i];
@@ -179,7 +225,7 @@ void cluster_executor::settle(engine& e, std::size_t idx, flight& f) {
                 }
                 if (c_.engine_health(cand.vh, cand.ve) !=
                     target_health::failed) {
-                    cand.ready.push_back(std::move(task));
+                    enqueue(cand, std::move(task));
                     return;
                 }
             }
@@ -223,6 +269,10 @@ void cluster_executor::evacuate(engine& e) {
             order_.push_back(task.id);
             continue;
         }
+        if (past_deadline(task)) {
+            expire(task);
+            continue;
+        }
         ++stats_.reroutes;
         reroutes_->add(1);
         bool placed = false;
@@ -235,7 +285,7 @@ void cluster_executor::evacuate(engine& e) {
                 }
                 if (c_.engine_health(cand.vh, cand.ve) !=
                     target_health::failed) {
-                    cand.ready.push_back(std::move(task));
+                    enqueue(cand, std::move(task));
                     placed = true;
                 }
             }
@@ -270,8 +320,9 @@ bool cluster_executor::steal_for(std::size_t thief) {
             if (task.pinned) {
                 continue;
             }
-            t.ready.push_back(std::move(task));
+            queued_task moved = std::move(task);
             v.ready.erase(v.ready.begin() + static_cast<std::ptrdiff_t>(i - 1));
+            enqueue(t, std::move(moved));
             ++taken;
         }
         if (taken > 0) {

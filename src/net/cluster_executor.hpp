@@ -38,6 +38,19 @@ struct cluster_executor_config {
     std::uint32_t remote_steal_threshold = 4;
 };
 
+/// Tenant-facing per-task knobs (aurora::admit plumbs these through when a
+/// session's work spills onto the cluster tier).
+struct cluster_task_options {
+    /// Fair-share weight: a weight-w task enqueues ahead of lower-weight
+    /// work on its engine (stable among equals, so the default weight of 1
+    /// reproduces plain FIFO byte-identically).
+    std::uint32_t weight = 1;
+    /// Absolute virtual-time deadline (0 = none). An expired task is
+    /// cancelled at its dispatch point — counted in statistics::expired and
+    /// settled in completion_order, never silently dropped, never sent.
+    std::int64_t deadline_ns = 0;
+};
+
 class cluster_executor {
 public:
     using task_id = std::uint64_t;
@@ -49,15 +62,17 @@ public:
     /// pinned tasks never migrate (no steal, no evacuation, no reroute).
     template <typename Functor>
     task_id submit(Functor f, int affinity_vh = -1, int affinity_ve = -1,
-                   bool pinned = false) {
+                   bool pinned = false, cluster_task_options topts = {}) {
         alignas(16) std::byte buf[ham::default_max_msg_size];
         const std::size_t len =
             ham::write_message(origin_registry(), buf,
                                std::min<std::size_t>(sizeof(buf), max_msg_), f);
-        return submit_bytes({buf, buf + len}, affinity_vh, affinity_ve, pinned);
+        return submit_bytes({buf, buf + len}, affinity_vh, affinity_ve, pinned,
+                            topts);
     }
     task_id submit_bytes(std::vector<std::byte> msg, int affinity_vh,
-                         int affinity_ve, bool pinned);
+                         int affinity_ve, bool pinned,
+                         cluster_task_options topts = {});
 
     /// Drive dispatch/harvest/steal rounds until every submitted task
     /// settled. Tasks whose engine failed terminally are rerouted (unpinned)
@@ -70,6 +85,7 @@ public:
         std::uint64_t steals_local = 0;
         std::uint64_t steals_remote = 0;
         std::uint64_t reroutes = 0;      ///< tasks moved off a failed engine
+        std::uint64_t expired = 0;       ///< deadline-cancelled before dispatch
         std::vector<std::uint64_t> per_engine; ///< completions by engine index
     };
     [[nodiscard]] const statistics& stats() const noexcept { return stats_; }
@@ -90,6 +106,8 @@ private:
         task_id id = 0;
         std::vector<std::byte> msg;
         bool pinned = false;
+        std::uint32_t weight = 1;
+        std::int64_t deadline_ns = 0; ///< absolute; 0 = none
     };
     struct flight {
         queued_task task;
@@ -104,6 +122,13 @@ private:
 
     static ham::offload::runtime& origin_registry_runtime();
     const ham::handler_registry& origin_registry();
+    /// Weight-ordered insert: ahead of strictly lighter work, FIFO among
+    /// equals (ready queues stay sorted by non-increasing weight).
+    static void enqueue(engine& e, queued_task task);
+    /// Deadline set and already in the past?
+    [[nodiscard]] static bool past_deadline(const queued_task& task);
+    /// Settle a queued task as expired (counted, ordered, never dispatched).
+    void expire(queued_task& task);
     [[nodiscard]] std::uint32_t effective_window(engine& e);
     bool dispatch_one(engine& e);
     /// Probe the oldest in-flight entries of `e`; true on any settlement.
@@ -125,6 +150,7 @@ private:
     metrics::counter* steals_local_ = nullptr;
     metrics::counter* steals_remote_ = nullptr;
     metrics::counter* reroutes_ = nullptr;
+    metrics::counter* expired_ = nullptr;
 };
 
 } // namespace aurora::net

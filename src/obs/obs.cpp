@@ -17,6 +17,8 @@ const char* to_string(stage s) noexcept {
         case stage::ctx: return "ctx";
         case stage::net_route: return "net_route";
         case stage::net_result: return "net_result";
+        case stage::shed: return "shed";
+        case stage::expired: return "expired";
     }
     return "?";
 }

@@ -67,12 +67,14 @@ enum class stage : std::uint8_t {
     ctx,         ///< trace-context binding (value=ticket, dur_ns=trace id)
     net_route,   ///< origin VH routed a cluster frame to a gateway
     net_result,  ///< origin VH received the gateway's result frame
+    shed,        ///< admission control rejected/cancelled the request
+    expired,     ///< deadline passed before dispatch; request cancelled
 };
 
 [[nodiscard]] const char* to_string(stage s) noexcept;
 
 /// Number of distinct attributable critical-path stages (timeline.hpp).
-inline constexpr std::size_t num_stages = 12;
+inline constexpr std::size_t num_stages = 14;
 
 /// Lifecycle correlation key packed into trace::event::ref:
 /// node u16 << 32 | slot u16 << 16 | epoch u8 << 8 | stage u8.

@@ -115,7 +115,9 @@ reassembly reassemble(
             tl.node = node;
             tl.ticket = e.value;
             tl.lossy = tl.lossy || lane_lossy;
-            tl.failed = tl.failed || s == stage::failed;
+            // Shed/expired requests never ran: terminal, not complete.
+            tl.failed = tl.failed || s == stage::failed ||
+                        s == stage::shed || s == stage::expired;
             tl.events.push_back({s, e.ts_ns, slot, epoch});
             if (s == stage::post) {
                 posts[{node, slot}].push_back({e.ts_ns, e.value, epoch});

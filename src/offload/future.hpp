@@ -65,6 +65,34 @@ public:
     using target_failed_error::target_failed_error;
 };
 
+/// Thrown when the control plane rejects new work instead of queueing it —
+/// a tenant exceeded its quota, the shared queues are saturated, or a
+/// circuit breaker is shedding for a struggling target (aurora::admit), or
+/// the scheduler's bounded queues are full in shed mode (aurora::sched).
+/// The work was NOT accepted; retry_after_ns() is a virtual-time hint for
+/// when resubmission is likely to be admitted.
+class admission_error : public offload_error {
+public:
+    admission_error(const std::string& what, std::int64_t retry_after_ns)
+        : offload_error(what), retry_after_ns_(retry_after_ns) {}
+
+    [[nodiscard]] std::int64_t retry_after_ns() const noexcept {
+        return retry_after_ns_;
+    }
+
+private:
+    std::int64_t retry_after_ns_;
+};
+
+/// Thrown when a request's deadline expired: either the work was cancelled
+/// before dispatch (settled with protocol::status::deadline_exceeded — it
+/// never executed), or a bounded wait (future::get_until) timed out before
+/// the result landed (the request itself stays outstanding).
+class deadline_exceeded_error : public offload_error {
+public:
+    using offload_error::offload_error;
+};
+
 template <typename T>
 class future {
     static_assert(std::is_void_v<T> || std::is_trivially_copyable_v<T>,
@@ -201,6 +229,15 @@ public:
                 }
                 throw target_failed_error(what);
             }
+            if (s_->status == protocol::status::deadline_exceeded) {
+                std::string what = "offload request to node " +
+                                   std::to_string(s_->node) +
+                                   " cancelled: deadline exceeded before dispatch";
+                if (!s_->error_text.empty()) {
+                    what += ": " + s_->error_text;
+                }
+                throw deadline_exceeded_error(what);
+            }
             std::string what = "offloaded function raised an exception on node " +
                                std::to_string(s_->node);
             if (!s_->error_text.empty()) {
@@ -211,6 +248,19 @@ public:
         if constexpr (!std::is_void_v<T>) {
             return s_->value;
         }
+    }
+
+    /// Deadline-bounded get(): wait until virtual time `deadline_ns`, then
+    /// give up with deadline_exceeded_error. On timeout the request itself
+    /// stays outstanding — a later get()/test() can still collect it.
+    T get_until(sim::time_ns deadline_ns) {
+        AURORA_CHECK_MSG(valid(), "get_until() on an invalid future");
+        if (!wait_until(deadline_ns)) {
+            throw deadline_exceeded_error(
+                "offload result from node " + std::to_string(s_->node) +
+                " not ready by its deadline (request still outstanding)");
+        }
+        return get();
     }
 
 private:

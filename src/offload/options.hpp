@@ -101,6 +101,23 @@ struct runtime_options {
     /// its loop. 0 = poll forever (default; queue backends always block).
     std::int64_t target_idle_timeout_ns = 0;
 
+    // --- overload robustness (aurora::admit; see docs/ADMISSION.md) ---------
+    /// Per-target retry token bucket: caps how many retransmits/send-retries
+    /// a target can burn in a burst, so a stalled VE cannot trigger a
+    /// retransmit storm that amplifies overload. 0 = unlimited (default,
+    /// keeping the established fault-layer behaviour byte-identical).
+    /// Env: HAM_AURORA_RETRY_BUDGET.
+    std::uint32_t retry_budget = 0;
+    /// Virtual time to mint one retry token back into the bucket.
+    /// Env: HAM_AURORA_RETRY_BUDGET_REFILL_NS.
+    std::int64_t retry_budget_refill_ns = 1'000'000;
+    /// Apply decorrelated jitter to retry backoff and reply-timeout windows
+    /// while fault injection is active, de-synchronising the retry herds a
+    /// shared stall otherwise produces. Draws come from the injector's
+    /// dedicated jitter stream, so seeded replays stay deterministic.
+    /// Env: HAM_AURORA_RETRY_JITTER (0/1).
+    bool retry_jitter = true;
+
     // --- self-healing (aurora::heal; see docs/FAULTS.md) --------------------
     /// Governs what happens after a target failure is detected. Disabled
     /// (the default) keeps the aurora::fault semantics: the target is fenced

@@ -125,6 +125,10 @@ inline constexpr std::uint64_t corrupt_retry = 2;
 /// Synthesised by the host when the target was declared failed; the failure
 /// reason follows the header. futures rethrow it as target_failed_error.
 inline constexpr std::uint64_t target_failed = 3;
+/// Synthesised by the host (aurora::admit) when a request's deadline passed
+/// before dispatch: the work was cancelled, never executed. futures rethrow
+/// it as deadline_exceeded_error.
+inline constexpr std::uint64_t deadline_exceeded = 4;
 } // namespace status
 
 // --- message checksums (aurora::fault) ---------------------------------------

@@ -98,6 +98,9 @@ void runtime::bind_instruments(target_state& t, node_t node) {
                                 "checksum NACKs answered by resend");
     t.met.send_retries = ctr("aurora_offload_send_retries_total",
                              "transient send-post retries");
+    t.met.retries_suppressed =
+        ctr("aurora_offload_retries_suppressed_total",
+            "retransmits deferred because the retry token bucket was empty");
     t.met.roundtrip_ns = &reg.histogram_for(
         "aurora_offload_roundtrip_ns", lbl,
         "virtual ns from message post to result arrival, per slot");
@@ -190,9 +193,22 @@ runtime::runtime(sim::simulation& sim, aurora::veos::veos_system* sys,
     if (const auto v = aurora::env_int("HAM_AURORA_HEAL_BACKOFF_NS")) {
         opt_.recovery.backoff_ns = std::max<std::int64_t>(*v, 1);
     }
+    if (const auto v = aurora::env_int("HAM_AURORA_RETRY_BUDGET")) {
+        opt_.retry_budget =
+            static_cast<std::uint32_t>(std::max<std::int64_t>(*v, 0));
+    }
+    if (const auto v = aurora::env_int("HAM_AURORA_RETRY_BUDGET_REFILL_NS")) {
+        opt_.retry_budget_refill_ns = std::max<std::int64_t>(*v, 1);
+    }
+    if (const auto v = aurora::env_int("HAM_AURORA_RETRY_JITTER")) {
+        opt_.retry_jitter = *v != 0;
+    }
     reply_timeout_ns_ = opt_.reply_timeout_ns;
     max_retries_ = opt_.max_retries;
     retry_backoff_ns_ = std::max<std::int64_t>(opt_.retry_backoff_ns, 1);
+    retry_budget_ = opt_.retry_budget;
+    retry_budget_refill_ns_ = std::max<std::int64_t>(opt_.retry_budget_refill_ns, 1);
+    retry_jitter_ = opt_.retry_jitter;
     // Recovery needs the pending-wire copies to replay, so it implies the
     // resilient bookkeeping even without an injector or timeouts.
     resilient_ = inj.active() || reply_timeout_ns_ > 0 || opt_.recovery.enabled;
@@ -240,6 +256,8 @@ runtime::runtime(sim::simulation& sim, aurora::veos::veos_system* sys,
         }
         state->slot_sent_ns.assign(state->slot_ticket.size(), 0);
         state->slot_posted_ns.assign(state->slot_ticket.size(), 0);
+        state->retry_tokens = retry_budget_;
+        state->retry_refill_at = sim::now();
         // Black box: shared across incarnations and runtimes via the
         // process-wide registry, so a postmortem survives our teardown.
         state->flight =
@@ -754,10 +772,38 @@ bool runtime::harvest_slot(target_state& t, std::uint32_t slot, node_t node) {
     return true;
 }
 
+bool runtime::take_retry_token(target_state& t) {
+    if (retry_budget_ == 0) {
+        return true; // no bucket configured
+    }
+    // Mint the tokens earned since the last accounting point, then advance
+    // that point by exactly the minted amount so fractional progress toward
+    // the next token is never lost.
+    const sim::time_ns now = sim::now();
+    if (t.retry_tokens < retry_budget_ && now > t.retry_refill_at) {
+        const auto minted = static_cast<std::uint64_t>(
+            (now - t.retry_refill_at) / retry_budget_refill_ns_);
+        const std::uint64_t take = std::min<std::uint64_t>(
+            minted, retry_budget_ - t.retry_tokens);
+        t.retry_tokens += static_cast<std::uint32_t>(take);
+        t.retry_refill_at = t.retry_tokens == retry_budget_
+                                ? now
+                                : t.retry_refill_at +
+                                      static_cast<std::int64_t>(take) *
+                                          retry_budget_refill_ns_;
+    }
+    if (t.retry_tokens == 0) {
+        return false;
+    }
+    --t.retry_tokens;
+    return true;
+}
+
 io_status runtime::attempt_send(target_state& t, node_t node, std::uint32_t slot,
                                 const void* wire, std::size_t len,
                                 protocol::msg_kind kind, bool retransmit) {
     ensure_sendable(t, node);
+    auto& inj = aurora::fault::injector::instance();
     std::int64_t backoff = retry_backoff_ns_;
     for (std::uint32_t attempt = 0;; ++attempt) {
         io_status st;
@@ -778,11 +824,23 @@ io_status runtime::attempt_send(target_state& t, node_t node, std::uint32_t slot
             // did not happen — the caller must not assume a ticket exists.
             throw target_failed_error(failed_what(node, why));
         }
-        // Transient post failure: back off (virtual time) and retry.
+        // Transient post failure: back off (virtual time) and retry. The send
+        // path cannot defer (the caller holds the slot), so an empty token
+        // bucket paces the retry by waiting out refills in virtual time.
         t.met.send_retries->add(1);
         note_transient_fault(t);
+        while (!take_retry_token(t)) {
+            t.met.retries_suppressed->add(1);
+            sim::advance(retry_budget_refill_ns_);
+        }
         sim::advance(backoff);
-        backoff *= 2;
+        // Decorrelated jitter de-synchronises retry herds after a shared
+        // stall; plain doubling is kept when injection is off so the
+        // established deterministic schedules stay byte-identical.
+        backoff = inj.active() && retry_jitter_
+                      ? inj.jitter_backoff(retry_backoff_ns_, backoff,
+                                           retry_backoff_ns_ << 6)
+                      : backoff * 2;
     }
 }
 
@@ -850,6 +908,10 @@ std::uint64_t runtime::post_on_slot(target_state& t, node_t node,
         p.kind = kind;
         p.attempts = 1;
         p.sent_at = sim::now();
+        if (inj.active() && retry_jitter_ && reply_timeout_ns_ > 0) {
+            p.window_jitter_ns = inj.jitter_backoff(
+                1, reply_timeout_ns_ / 6, reply_timeout_ns_ / 2);
+        }
         t.pending[slot] = std::move(p);
     }
     return ticket;
@@ -860,14 +922,18 @@ void runtime::check_deadlines(target_state& t, node_t node) {
         t.health == target_health::failed || t.pending.empty()) {
         return;
     }
+    auto& inj = aurora::fault::injector::instance();
     const sim::time_ns now = sim::now();
     for (auto it = t.pending.begin(); it != t.pending.end(); ++it) {
         const std::uint32_t slot = it->first;
         pending_send& p = it->second;
         // The reply window doubles per attempt (capped) so a slow-but-alive
-        // target is not hammered into failure.
+        // target is not hammered into failure; the per-attempt jitter stretch
+        // keeps pending slots that stalled together from all retransmitting
+        // on the same poll.
         const std::int64_t window =
-            reply_timeout_ns_ << std::min<std::uint32_t>(p.attempts - 1, 6);
+            (reply_timeout_ns_ << std::min<std::uint32_t>(p.attempts - 1, 6)) +
+            p.window_jitter_ns;
         if (now - p.sent_at < window) {
             continue;
         }
@@ -875,6 +941,13 @@ void runtime::check_deadlines(target_state& t, node_t node) {
             on_failure(t, node, "reply timeout: retries exhausted on slot " +
                                     std::to_string(slot));
             return; // the failure handler cleared `pending`
+        }
+        // Storm suppression: an empty retry bucket defers this retransmit to
+        // a later sweep instead of piling more load on a struggling target.
+        // Deferrals are counted, never silent, and cost no attempt.
+        if (!take_retry_token(t)) {
+            t.met.retries_suppressed->add(1);
+            continue;
         }
         t.met.retransmits->add(1);
         note_transient_fault(t);
@@ -891,6 +964,11 @@ void runtime::check_deadlines(target_state& t, node_t node) {
         }
         ++p.attempts;
         p.sent_at = sim::now();
+        if (inj.active() && retry_jitter_) {
+            const std::int64_t base =
+                reply_timeout_ns_ << std::min<std::uint32_t>(p.attempts - 1, 6);
+            p.window_jitter_ns = inj.jitter_backoff(1, base / 6, base / 2);
+        }
     }
 }
 

@@ -180,6 +180,9 @@ private:
         protocol::msg_kind kind = protocol::msg_kind::user;
         std::uint32_t attempts = 1;  ///< sends so far (1 = original only)
         sim::time_ns sent_at = 0;
+        /// Decorrelated stretch added to this attempt's reply window (drawn
+        /// once per attempt, so deadline sweeps are draw-free).
+        std::int64_t window_jitter_ns = 0;
     };
 
     /// One un-acknowledged message carried across a recovery: reposted on the
@@ -207,6 +210,7 @@ private:
         aurora::metrics::counter* retransmits = nullptr;
         aurora::metrics::counter* corrupt_retries = nullptr;
         aurora::metrics::counter* send_retries = nullptr;
+        aurora::metrics::counter* retries_suppressed = nullptr;
         aurora::metrics::histogram* roundtrip_ns = nullptr;
         aurora::metrics::histogram* msg_bytes = nullptr;
         aurora::metrics::gauge* health = nullptr;
@@ -246,6 +250,9 @@ private:
         sim::time_ns failed_at = 0;        ///< detection time, for the MTTR
         bool mttr_pending = false; ///< MTTR not yet recorded for this failure
         std::vector<replay_entry> replay;  ///< un-acked work awaiting respawn
+        // --- retry token bucket (aurora::admit overload robustness) -------------
+        std::uint32_t retry_tokens = 0;    ///< tokens left in the budget
+        sim::time_ns retry_refill_at = 0;  ///< last refill accounting point
         target_statistics stats; ///< refreshed from the registry on read
         target_instruments met;
         /// aurora::obs black box for this target (process-wide registry ring,
@@ -296,6 +303,12 @@ private:
     /// Retransmit every pending send whose (exponentially widening) reply
     /// window expired; fails the target when the retry budget is exhausted.
     void check_deadlines(target_state& t, node_t node);
+    /// Consume one retry token from `t`'s bucket after minting any refills
+    /// earned since the last accounting point. Always true when no budget is
+    /// configured (retry_budget == 0); false when the bucket is empty — the
+    /// caller decides whether to wait for a refill (send path) or defer the
+    /// retransmit to a later deadline sweep (storm suppression).
+    [[nodiscard]] bool take_retry_token(target_state& t);
     /// Throw target_failed_error when `t` is failed.
     void ensure_sendable(target_state& t, node_t node);
     void note_transient_fault(target_state& t);
@@ -340,6 +353,9 @@ private:
     std::int64_t reply_timeout_ns_ = 0;
     std::uint32_t max_retries_ = 0;
     std::int64_t retry_backoff_ns_ = 0;
+    std::uint32_t retry_budget_ = 0; ///< 0 = unlimited (no bucket)
+    std::int64_t retry_budget_refill_ns_ = 0;
+    bool retry_jitter_ = true;
 };
 
 } // namespace ham::offload

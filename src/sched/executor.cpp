@@ -56,6 +56,12 @@ executor::executor(executor_config cfg)
     met_.tasks_failed_over =
         &reg.counter_for("aurora_sched_tasks_failed_over_total", "",
                          "tasks re-routed away from failed targets");
+    met_.tasks_shed =
+        &reg.counter_for("aurora_sched_shed_total", "",
+                         "submissions rejected at the backpressure bound");
+    met_.tasks_expired =
+        &reg.counter_for("aurora_sched_deadline_expired_total", "",
+                         "tasks cancelled before dispatch: deadline passed");
     met_.queue_depth.resize(num_targets_);
     met_.inflight.resize(num_targets_);
     for (std::size_t t = 0; t < num_targets_; ++t) {
@@ -73,6 +79,29 @@ task_id executor::submit_serialized(std::vector<std::byte> msg,
                                     const task_options& opts, const task_id* deps,
                                     std::size_t dep_count) {
     AURORA_TRACE_SPAN("sched", "submit");
+    // Shed mode rejects BEFORE any state exists for the task: one drain pass
+    // first, so completions that merely have not been harvested yet never
+    // cause a spurious shed.
+    if (cfg_.backpressure == backpressure_mode::shed &&
+        tasks_.size() - finished_count_ >= cfg_.max_queued) {
+        drain_once();
+        const std::size_t backlog = tasks_.size() - finished_count_;
+        if (backlog >= cfg_.max_queued) {
+            ++stats_.tasks_shed;
+            met_.tasks_shed->add(1);
+            AURORA_TRACE_COUNTER("sched", "tasks_shed", 1);
+            // Hint: the virtual time one per-target share of the backlog
+            // takes to dispatch — deterministic, and roughly when a slot
+            // opens if completions keep pace.
+            const auto hint = static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(rt_.costs().ham_msg_dispatch_ns) *
+                (backlog / std::max<std::size_t>(num_targets_, 1) + 1));
+            throw ham::offload::admission_error(
+                "scheduler queue full: " + std::to_string(backlog) + " of " +
+                    std::to_string(cfg_.max_queued) + " unfinished tasks",
+                hint);
+        }
+    }
     const auto id = static_cast<task_id>(tasks_.size());
     AURORA_CHECK_MSG(id != invalid_task, "executor full");
     AURORA_CHECK_MSG(opts.affinity == any_node ||
@@ -112,6 +141,12 @@ task_id executor::submit_serialized(std::vector<std::byte> msg,
 
     const bool ready = rec.unmet == 0;
     tasks_.push_back(std::move(rec));
+    if (past_deadline(id)) {
+        // Dead on arrival: settle (and count) it instead of queueing work
+        // that would only be cancelled at dispatch.
+        expire_task(id);
+        return id;
+    }
     if (ready) {
         release_ready(id);
     }
@@ -178,12 +213,42 @@ const executor::statistics& executor::stats() {
     return stats_;
 }
 
+bool executor::past_deadline(task_id id) const {
+    const task_options& o = tasks_[id].opts;
+    return o.deadline_ns > 0 && aurora::sim::now() >= o.deadline_ns;
+}
+
+void executor::expire_task(task_id id) {
+    ++stats_.tasks_expired;
+    met_.tasks_expired->add(1);
+    AURORA_TRACE_COUNTER("sched", "tasks_expired", 1);
+    finish_task(id, task_state::expired, tasks_[id].home);
+}
+
+void executor::note_failure(const std::string& what) {
+    if (first_error_.empty()) {
+        first_error_ = what;
+    }
+    // fail_fast poisons the whole run (wait_all rethrows); serving mode
+    // settles only the task and its dependents.
+    if (cfg_.fail_fast) {
+        failed_ = true;
+    }
+}
+
 void executor::release_ready(task_id id) {
     detail::task_rec& rec = tasks_[id];
-    if (failed_) {
-        // A prior failure poisons everything not yet dispatched: settle the
-        // task as failed and cascade to its successors so wait_all terminates.
-        finish_task(id, false, rec.home);
+    if (rec.dep_expired || past_deadline(id)) {
+        // An expired predecessor can never feed this task (or its own
+        // deadline already passed while blocked): cascade the cancellation.
+        expire_task(id);
+        return;
+    }
+    if (failed_ || rec.dep_failed) {
+        // A prior failure poisons everything not yet dispatched (fail_fast) or
+        // just this dependency chain: settle the task as failed and cascade to
+        // its successors so wait_all terminates.
+        finish_task(id, task_state::failed, rec.home);
         return;
     }
     if (rec.home != 0 &&
@@ -192,17 +257,15 @@ void executor::release_ready(task_id id) {
         // merely recovering home keeps its queue — the task waits for the
         // respawn and dispatches during probation.)
         if (rec.opts.pinned) {
-            failed_ = true;
-            first_error_ = "pinned task " + std::to_string(id) +
-                           " lost its target: " + rt_.failure_reason(rec.home);
-            finish_task(id, false, rec.home);
+            note_failure("pinned task " + std::to_string(id) +
+                         " lost its target: " + rt_.failure_reason(rec.home));
+            finish_task(id, task_state::failed, rec.home);
             return;
         }
         const std::size_t h = next_healthy();
         if (h == num_targets_) {
-            failed_ = true;
-            first_error_ = "no healthy offload targets left";
-            finish_task(id, false, rec.home);
+            note_failure("no healthy offload targets left");
+            finish_task(id, task_state::failed, rec.home);
             return;
         }
         rec.home = node_of(h);
@@ -218,19 +281,23 @@ void executor::release_ready(task_id id) {
     }
 }
 
-void executor::finish_task(task_id id, bool success, node_t executed_on) {
+void executor::finish_task(task_id id, task_state outcome, node_t executed_on) {
     detail::task_rec& rec = tasks_[id];
-    rec.state = success ? task_state::done : task_state::failed;
+    rec.state = outcome;
     rec.record.executed_on = executed_on;
     rec.record.done_seq = event_seq_++;
     rec.record.done_time_ns = static_cast<std::uint64_t>(aurora::sim::now());
     rec.msg = {}; // the message was delivered (or never will be); drop it
     ++finished_count_;
-    if (success) {
+    if (outcome == task_state::done) {
         trace_.push_back(rec.record);
+    } else if (outcome == task_state::failed) {
+        ++stats_.tasks_failed;
     }
     for (const task_id s : rec.succs) {
         detail::task_rec& succ = tasks_[s];
+        succ.dep_failed = succ.dep_failed || outcome == task_state::failed;
+        succ.dep_expired = succ.dep_expired || outcome == task_state::expired;
         AURORA_CHECK(succ.unmet > 0);
         if (--succ.unmet == 0) {
             release_ready(s);
@@ -245,7 +312,11 @@ bool executor::drain_once() {
     while (!host_ready_.empty()) {
         const task_id id = host_ready_.front();
         host_ready_.pop_front();
-        run_host_task(id);
+        if (past_deadline(id)) {
+            expire_task(id);
+        } else {
+            run_host_task(id);
+        }
         progress = true;
     }
 
@@ -286,12 +357,9 @@ void executor::run_host_task(task_id id) {
                              sizeof(result), &result_size);
     } catch (const std::exception& e) {
         ok = false;
-        if (!failed_) {
-            failed_ = true;
-            first_error_ = std::string("host task failed: ") + e.what();
-        }
+        note_failure(std::string("host task failed: ") + e.what());
     }
-    finish_task(id, ok, 0);
+    finish_task(id, ok ? task_state::done : task_state::failed, 0);
 }
 
 bool executor::harvest_target(std::size_t t) {
@@ -329,16 +397,10 @@ void executor::retire_flight(std::size_t t, flight& f) {
             return;
         }
         ok = false;
-        if (!failed_) {
-            failed_ = true;
-            first_error_ = e.what();
-        }
+        note_failure(e.what());
     } catch (const ham::offload::offload_error& e) {
         ok = false;
-        if (!failed_) {
-            failed_ = true;
-            first_error_ = e.what();
-        }
+        note_failure(e.what());
     }
     AURORA_TRACE_COUNTER("sched", "tasks_completed", f.tasks.size());
     met_.tasks_completed->add(f.tasks.size());
@@ -351,7 +413,7 @@ void executor::retire_flight(std::size_t t, flight& f) {
                 ++load.tasks_stolen_in;
             }
         }
-        finish_task(id, ok, node_of(t));
+        finish_task(id, ok ? task_state::done : task_state::failed, node_of(t));
     }
 }
 
@@ -388,6 +450,18 @@ bool executor::dispatch_target(std::size_t t) {
             }
         }
 
+        // Cancellation point: expired work is dropped here, before it can
+        // consume a message slot — counted, and its dependents cascade.
+        while (!tq.ready.empty() && past_deadline(tq.ready.front())) {
+            const task_id late = tq.ready.front();
+            tq.ready.pop_front();
+            expire_task(late);
+            progress = true;
+        }
+        if (tq.ready.empty()) {
+            continue; // the purge emptied the queue; try to steal again
+        }
+
         // Gather a group from the queue front: one task, or — with batching —
         // as many consecutive ones as fit the slot payload and max_batch.
         group.clear();
@@ -400,6 +474,7 @@ bool executor::dispatch_target(std::size_t t) {
                          static_cast<std::uint32_t>(
                              tasks_[group.front()].msg.size()));
             while (group.size() < cfg_.max_batch && !tq.ready.empty() &&
+                   !past_deadline(tq.ready.front()) &&
                    batch.fits(tasks_[tq.ready.front()].msg.size())) {
                 const task_id next = tq.ready.front();
                 tq.ready.pop_front();
@@ -579,22 +654,16 @@ void executor::evacuate(std::size_t dead) {
     for (const task_id id : orphans) {
         detail::task_rec& rec = tasks_[id];
         if (rec.opts.pinned) {
-            if (!failed_) {
-                failed_ = true;
-                first_error_ = "pinned task " + std::to_string(id) +
-                               " lost its target: " +
-                               rt_.failure_reason(node_of(dead));
-            }
-            finish_task(id, false, rec.home);
+            note_failure("pinned task " + std::to_string(id) +
+                         " lost its target: " +
+                         rt_.failure_reason(node_of(dead)));
+            finish_task(id, task_state::failed, rec.home);
             continue;
         }
         const std::size_t h = next_healthy();
         if (h == num_targets_) {
-            if (!failed_) {
-                failed_ = true;
-                first_error_ = "no healthy offload targets left";
-            }
-            finish_task(id, false, rec.home);
+            note_failure("no healthy offload targets left");
+            finish_task(id, task_state::failed, rec.home);
             continue;
         }
         rec.home = node_of(h);
@@ -621,13 +690,10 @@ bool executor::reroute_flight(std::size_t dead, flight& f) {
     for (const task_id id : f.tasks) {
         detail::task_rec& rec = tasks_[id];
         if (rec.opts.pinned) {
-            if (!failed_) {
-                failed_ = true;
-                first_error_ = "pinned task " + std::to_string(id) +
-                               " lost its target: " +
-                               rt_.failure_reason(node_of(dead));
-            }
-            finish_task(id, false, node_of(dead));
+            note_failure("pinned task " + std::to_string(id) +
+                         " lost its target: " +
+                         rt_.failure_reason(node_of(dead)));
+            finish_task(id, task_state::failed, node_of(dead));
             continue;
         }
         const std::size_t h = next_healthy();

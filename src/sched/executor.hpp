@@ -53,6 +53,9 @@ public:
         std::uint64_t batched_tasks = 0;       ///< tasks that rode in batches
         std::uint64_t failovers = 0;           ///< target-failure evacuations
         std::uint64_t tasks_failed_over = 0;   ///< tasks re-routed by failover
+        std::uint64_t tasks_shed = 0;     ///< submits rejected (shed mode)
+        std::uint64_t tasks_expired = 0;  ///< deadline-cancelled before dispatch
+        std::uint64_t tasks_failed = 0;   ///< tasks settled as failed
         std::vector<target_load> per_target;
     };
 
@@ -88,8 +91,20 @@ public:
     [[nodiscard]] task_state state_of(task_id id) const;
     [[nodiscard]] bool finished(task_id id) const {
         const task_state s = state_of(id);
-        return s == task_state::done || s == task_state::failed;
+        return s == task_state::done || s == task_state::failed ||
+               s == task_state::expired;
     }
+
+    /// One cooperative scheduling tick: run host tasks, harvest completed
+    /// flights, refill the dispatch windows. True when anything progressed.
+    /// The pump for callers (aurora::admit) that interleave submission with
+    /// their own control flow instead of parking in wait_all().
+    bool poll() { return drain_once(); }
+    /// Submitted tasks not yet settled (done, failed or expired).
+    [[nodiscard]] std::size_t unfinished() const noexcept {
+        return tasks_.size() - finished_count_;
+    }
+    [[nodiscard]] const executor_config& config() const noexcept { return cfg_; }
 
     /// Counters; per_target queue depths are refreshed on each call.
     [[nodiscard]] const statistics& stats();
@@ -97,6 +112,12 @@ public:
     /// Completion records in completion order (successful tasks only).
     [[nodiscard]] const std::vector<completion_record>& trace() const noexcept {
         return trace_;
+    }
+
+    /// Per-task completion record (valid once finished(id); executed_on tells
+    /// which engine settled it — aurora::admit feeds its breakers with this).
+    [[nodiscard]] const completion_record& record_of(task_id id) const {
+        return tasks_[id].record;
     }
 
 private:
@@ -118,7 +139,14 @@ private:
     }
 
     void release_ready(task_id id);
-    void finish_task(task_id id, bool success, node_t executed_on);
+    void finish_task(task_id id, task_state outcome, node_t executed_on);
+    /// Deadline set and already in the past?
+    [[nodiscard]] bool past_deadline(task_id id) const;
+    /// Cancel an undispatched task whose deadline passed (counted, cascades).
+    void expire_task(task_id id);
+    /// Record a failure: poison the run under fail_fast, else just remember
+    /// the first error text for diagnostics.
+    void note_failure(const std::string& what);
     bool drain_once();
     void run_host_task(task_id id);
     bool harvest_target(std::size_t t);
@@ -173,6 +201,8 @@ private:
         aurora::metrics::counter* host_tasks = nullptr;
         aurora::metrics::counter* tasks_completed = nullptr;
         aurora::metrics::counter* tasks_failed_over = nullptr;
+        aurora::metrics::counter* tasks_shed = nullptr;
+        aurora::metrics::counter* tasks_expired = nullptr;
         std::vector<aurora::metrics::gauge*> queue_depth; ///< index = target
         std::vector<aurora::metrics::gauge*> inflight;    ///< index = target
     };

@@ -50,6 +50,26 @@ enum class steal_scope : std::uint8_t {
     return "?";
 }
 
+/// What submit() does when the unfinished-task backlog reaches max_queued.
+enum class backpressure_mode : std::uint8_t {
+    /// Block in virtual time, draining completions, until the backlog falls
+    /// below the bound. Submission never fails; latency is unbounded.
+    block,
+    /// Shed: reject the submission with ham::offload::admission_error (the
+    /// task is never recorded) carrying a retry-after hint. The serving-mode
+    /// choice — queues stay bounded in memory AND in waiting time
+    /// (aurora::admit builds its per-tenant policy on top of this).
+    shed,
+};
+
+[[nodiscard]] inline std::string to_string(backpressure_mode m) {
+    switch (m) {
+        case backpressure_mode::block: return "block";
+        case backpressure_mode::shed: return "shed";
+    }
+    return "?";
+}
+
 struct executor_config {
     placement_policy policy = placement_policy::work_stealing;
     /// Per-target bound on outstanding offload messages (clamped to the
@@ -62,10 +82,20 @@ struct executor_config {
     bool batching = true;
     /// Upper bound on tasks per batch message.
     std::uint32_t max_batch = 8;
-    /// Backpressure threshold: submit() blocks (in virtual time, draining
-    /// completions) while more than this many submitted tasks are unfinished.
-    /// Unbounded by default — task_graph::run() submits whole graphs.
-    std::size_t max_queued = std::numeric_limits<std::size_t>::max();
+    /// Backpressure threshold: at most this many submitted tasks may be
+    /// unfinished. Finite by default — an unbounded queue turns any
+    /// saturating client into unbounded memory growth; callers that really
+    /// want the old behaviour can pass SIZE_MAX back explicitly.
+    std::size_t max_queued = 4096;
+    /// What submit() does at the bound (block keeps the historical
+    /// semantics; task_graph::run() submits whole graphs through it).
+    backpressure_mode backpressure = backpressure_mode::block;
+    /// Historical behaviour (true): the first task failure poisons the run —
+    /// every task not yet dispatched settles as failed and wait_all()
+    /// rethrows. Serving mode (false): a failure settles only that task and
+    /// its dependents; independent work continues and wait_all() returns
+    /// normally (per-task outcomes via state_of()/stats()).
+    bool fail_fast = true;
 };
 
 } // namespace aurora::sched

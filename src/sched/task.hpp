@@ -39,6 +39,11 @@ struct task_options {
     /// utilisation reporting; scheduling decisions are queue-length based so
     /// they stay correct with no estimate at all.
     std::uint64_t cost_ns = 0;
+    /// Absolute virtual-time deadline (0 = none). A task whose deadline
+    /// passes before dispatch is cancelled — settled as task_state::expired
+    /// (counted, never silently dropped) and its dependents cascade-expire.
+    /// A deadline never aborts work already in flight.
+    std::int64_t deadline_ns = 0;
 };
 
 /// Scheduling lifecycle of a task.
@@ -48,6 +53,7 @@ enum class task_state : std::uint8_t {
     inflight, ///< sent to a target, result outstanding
     done,     ///< executed (exactly once)
     failed,   ///< raised on the target, or skipped after another failure
+    expired,  ///< deadline passed before dispatch; cancelled, never executed
 };
 
 /// One completed task, as recorded by the executor. start_seq/done_seq are
@@ -74,6 +80,10 @@ struct task_rec {
     std::uint32_t unmet = 0;
     node_t home = 0; ///< assigned queue: 0 = host, 1.. = target node
     task_state state = task_state::blocked;
+    /// Outcome propagation from predecessors: a failed dep skips this task,
+    /// an expired dep cascade-expires it (expiry wins when both are set).
+    bool dep_failed = false;
+    bool dep_expired = false;
     /// Virtual time the task entered a ready queue — the start of its
     /// queue_wait stage in the aurora::obs request timeline.
     std::uint64_t ready_at_ns = 0;

@@ -1,0 +1,37 @@
+// Common harness for the admission tests: run a body inside offload::run()
+// with loopback targets (reusing the scheduler harness), plus config helpers
+// shared by the suite.
+#pragma once
+
+#include <cstdint>
+
+#include "admit/server.hpp"
+#include "tests/sched/sched_test_common.hpp"
+
+namespace aurora::admit {
+
+namespace tk = aurora::sched::testkernels;
+
+using aurora::sched::run_sched;
+
+/// Small serving config: tight capacity and an explicit dispatch window so
+/// tests exercise session queueing (not just pass-through dispatch).
+inline server::config small_cfg(std::size_t capacity, std::size_t window) {
+    server::config cfg;
+    cfg.capacity = capacity;
+    cfg.dispatch_window = window;
+    return cfg;
+}
+
+/// Occupy the dispatch window with one long-running request so subsequently
+/// admitted work stays queued in its session (deterministic queue buildup).
+inline request occupy_window(server& srv, std::int64_t cost_ns,
+                             std::uint64_t* counter) {
+    session_options o;
+    o.tenant = "prefill";
+    o.cls = qos_class::latency;
+    const session_id sid = srv.open(o);
+    return srv.submit(sid, ham::f2f<&tk::cost_kernel>(cost_ns, counter));
+}
+
+} // namespace aurora::admit

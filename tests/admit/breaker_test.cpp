@@ -1,0 +1,163 @@
+// aurora::admit circuit-breaker unit tests: trip threshold, cooldown
+// doubling and cap, the single half-open probe, probe aborts, retry-after
+// hints. The breaker reads sim::now(), so every test body runs inside a
+// simulated host process.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "admit/breaker.hpp"
+#include "sim/platform.hpp"
+#include "tests/support/sim_fixture.hpp"
+
+namespace aurora::admit {
+namespace {
+
+/// Breakers derive every decision from virtual time; give them a clock.
+void run_sim(const std::function<void()>& body) {
+    sim::platform plat(sim::platform_config::test_machine());
+    aurora::testing::run_as_vh(plat, body);
+}
+
+breaker_config tight_cfg() {
+    breaker_config cfg;
+    cfg.failure_threshold = 3;
+    cfg.probe_successes = 2;
+    cfg.cooldown_ns = 1'000;
+    cfg.cooldown_cap_ns = 3'000;
+    return cfg;
+}
+
+TEST(AdmitBreaker, TripsAfterConsecutiveFailures) {
+    run_sim([] {
+        breaker b(tight_cfg());
+        EXPECT_EQ(b.state(), breaker_state::closed);
+        EXPECT_TRUE(b.allow());
+        b.record_failure();
+        b.record_failure();
+        EXPECT_EQ(b.state(), breaker_state::closed);
+        EXPECT_EQ(b.retry_after(), 0);
+        b.record_failure(); // third consecutive: trip
+        EXPECT_EQ(b.state(), breaker_state::open);
+        EXPECT_FALSE(b.allow());
+        EXPECT_EQ(b.trips(), 1u);
+        EXPECT_EQ(b.retry_after(), 1'000);
+    });
+}
+
+TEST(AdmitBreaker, SuccessResetsFailureStreak) {
+    run_sim([] {
+        breaker b(tight_cfg());
+        b.record_failure();
+        b.record_failure();
+        b.record_success(); // streak broken
+        b.record_failure();
+        b.record_failure();
+        EXPECT_EQ(b.state(), breaker_state::closed);
+        EXPECT_EQ(b.trips(), 0u);
+    });
+}
+
+TEST(AdmitBreaker, HalfOpenAdmitsSingleProbeThenRecloses) {
+    run_sim([] {
+        breaker b(tight_cfg());
+        for (int i = 0; i < 3; ++i) {
+            b.record_failure();
+        }
+        sim::advance(999);
+        EXPECT_EQ(b.state(), breaker_state::open);
+        sim::advance(1);
+        EXPECT_EQ(b.state(), breaker_state::half_open);
+        EXPECT_EQ(b.retry_after(), 0);
+
+        EXPECT_TRUE(b.allow());  // the probe
+        EXPECT_FALSE(b.allow()); // everything else sheds while it is out
+        b.record_success();
+        EXPECT_EQ(b.state(), breaker_state::half_open); // needs 2 successes
+        EXPECT_TRUE(b.allow());
+        b.record_success();
+        EXPECT_EQ(b.state(), breaker_state::closed);
+        EXPECT_TRUE(b.allow());
+    });
+}
+
+TEST(AdmitBreaker, FailedProbeReopensWithDoubledCappedCooldown) {
+    run_sim([] {
+        breaker b(tight_cfg());
+        for (int i = 0; i < 3; ++i) {
+            b.record_failure();
+        }
+        // First re-trip from half_open: cooldown doubles to 2000.
+        sim::advance(1'000);
+        ASSERT_TRUE(b.allow());
+        b.record_failure();
+        EXPECT_EQ(b.state(), breaker_state::open);
+        EXPECT_EQ(b.trips(), 2u);
+        EXPECT_EQ(b.retry_after(), 2'000);
+        // Second re-trip: doubling is capped at 3000, not 4000.
+        sim::advance(2'000);
+        ASSERT_TRUE(b.allow());
+        b.record_failure();
+        EXPECT_EQ(b.retry_after(), 3'000);
+        // And it stays at the cap from then on.
+        sim::advance(3'000);
+        ASSERT_TRUE(b.allow());
+        b.record_failure();
+        EXPECT_EQ(b.retry_after(), 3'000);
+    });
+}
+
+TEST(AdmitBreaker, ReclosureRearmsBaseCooldown) {
+    run_sim([] {
+        breaker b(tight_cfg());
+        for (int i = 0; i < 3; ++i) {
+            b.record_failure();
+        }
+        sim::advance(1'000);
+        ASSERT_TRUE(b.allow());
+        b.record_failure(); // cooldown now 2000
+        sim::advance(2'000);
+        ASSERT_TRUE(b.allow());
+        b.record_success();
+        ASSERT_TRUE(b.allow());
+        b.record_success();
+        ASSERT_EQ(b.state(), breaker_state::closed);
+        // A fresh trip after reclosure starts from the base cooldown again.
+        for (int i = 0; i < 3; ++i) {
+            b.record_failure();
+        }
+        EXPECT_EQ(b.retry_after(), 1'000);
+    });
+}
+
+TEST(AdmitBreaker, AbortProbeFreesTheSlotWithoutVerdict) {
+    run_sim([] {
+        breaker b(tight_cfg());
+        for (int i = 0; i < 3; ++i) {
+            b.record_failure();
+        }
+        sim::advance(1'000);
+        ASSERT_TRUE(b.allow());
+        ASSERT_FALSE(b.allow()); // probe outstanding
+        b.abort_probe();         // probe cancelled before it could run
+        EXPECT_EQ(b.state(), breaker_state::half_open); // no verdict recorded
+        EXPECT_TRUE(b.allow()); // slot free again: breaker never wedges
+    });
+}
+
+TEST(AdmitBreaker, RetryAfterCountsDownWithVirtualTime) {
+    run_sim([] {
+        breaker b(tight_cfg());
+        for (int i = 0; i < 3; ++i) {
+            b.record_failure();
+        }
+        EXPECT_EQ(b.retry_after(), 1'000);
+        sim::advance(400);
+        EXPECT_EQ(b.retry_after(), 600);
+        sim::advance(600);
+        EXPECT_EQ(b.retry_after(), 0);
+    });
+}
+
+} // namespace
+} // namespace aurora::admit

@@ -1,0 +1,186 @@
+// Satellite robustness coverage: runtime::drain() racing concurrent session
+// open/close and in-flight deadline expiry. The invariants under test are
+// the admission contract's hard ones — no hangs (every loop below runs under
+// a virtual-time deadline) and no double settlement (every admitted request
+// settles exactly once, into exactly one outcome bucket).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "tests/admit/admit_test_common.hpp"
+
+namespace aurora::admit {
+namespace {
+
+using ham::offload::admission_error;
+
+/// run_sched with a virtual-time deadline: a stalled drain loop aborts the
+/// simulation instead of wedging the test runner.
+void run_guarded(std::size_t num_targets, const std::function<void()>& body) {
+    sim::platform plat(sim::platform_config::test_machine());
+    plat.sim().set_virtual_deadline(60'000'000'000);
+    ASSERT_EQ(
+        ham::offload::run(plat, aurora::sched::loopback_targets(num_targets),
+                          body),
+        0);
+}
+
+/// Every admitted request must land in exactly one outcome bucket. `rejected`
+/// is the caller's count of submit-time admission_errors for the session
+/// (those were never admitted but still count toward session_stats::shed).
+void expect_settled_exactly_once(const session_stats& st,
+                                 std::uint64_t rejected) {
+    EXPECT_EQ(st.admitted + rejected,
+              st.completed + st.failed + st.expired + st.shed);
+    EXPECT_EQ(st.queued, 0u);
+}
+
+TEST(AdmitDrainRace, RuntimeDrainDuringSessionChurn) {
+    run_guarded(2, [] {
+        server srv(small_cfg(32, 4));
+        std::uint64_t counter = 0;
+        std::map<session_id, std::uint64_t> rejected;
+        std::vector<session_id> all;
+        std::vector<request> reqs;
+        for (int round = 0; round < 10; ++round) {
+            session_options o;
+            o.cls = round % 3 == 0 ? qos_class::latency : qos_class::batch;
+            const session_id sid = srv.open(o);
+            all.push_back(sid);
+            for (int i = 0; i < 4; ++i) {
+                try {
+                    reqs.push_back(srv.submit(
+                        sid, ham::f2f<&tk::cost_kernel>(std::int64_t(5'000),
+                                                        &counter)));
+                } catch (const admission_error&) {
+                    ++rejected[sid];
+                }
+            }
+            if (round % 2 == 1) {
+                // Close a session that still has queued and in-flight work,
+                // then immediately quiesce the *runtime* underneath the
+                // still-loaded admission server. drain() must not hang on
+                // the shed entries and must not settle anything twice.
+                srv.close(sid);
+                ham::offload::runtime::current()->drain();
+            }
+            srv.poll();
+        }
+        srv.drain();
+        ham::offload::runtime::current()->drain();
+
+        for (const session_id sid : all) {
+            expect_settled_exactly_once(srv.stats(sid), rejected[sid]);
+        }
+        for (request& r : reqs) {
+            EXPECT_TRUE(r.settled());
+        }
+        EXPECT_EQ(srv.backlog(), 0u);
+    });
+}
+
+TEST(AdmitDrainRace, RuntimeDrainMidOverloadReturnsAndWorkSettles) {
+    run_guarded(1, [] {
+        // Window 1 with a deep latency backlog: the runtime quiesces while
+        // the admission server still holds queued work, then serving resumes.
+        server srv(small_cfg(64, 1));
+        session_options o;
+        o.cls = qos_class::latency;
+        const session_id sid = srv.open(o);
+        std::uint64_t counter = 0;
+        std::vector<request> reqs;
+        for (int i = 0; i < 12; ++i) {
+            reqs.push_back(srv.submit(
+                sid,
+                ham::f2f<&tk::cost_kernel>(std::int64_t(10'000), &counter)));
+        }
+        ASSERT_GT(srv.stats(sid).queued, 0u);
+        ham::offload::runtime::current()->drain(); // must return, not hang
+        EXPECT_GT(srv.stats(sid).queued, 0u); // admission backlog unaffected
+        srv.drain();
+        EXPECT_EQ(counter, 12u);
+        for (request& r : reqs) {
+            EXPECT_NO_THROW(r.get());
+        }
+        expect_settled_exactly_once(srv.stats(sid), 0);
+    });
+}
+
+TEST(AdmitDrainRace, InFlightDeadlineExpiryNeverDoubleSettles) {
+    run_guarded(1, [] {
+        server srv(small_cfg(64, 2));
+        session_options o;
+        o.cls = qos_class::latency;
+        const session_id sid = srv.open(o);
+        std::uint64_t counter = 0;
+        std::vector<request> reqs;
+        // Long tasks saturate the single target; every other request carries
+        // a deadline that passes while it waits (some in the session queue,
+        // some already handed to the scheduler — both cancellation paths).
+        for (int i = 0; i < 10; ++i) {
+            request_options ro;
+            if (i % 2 == 1) {
+                ro.deadline_ns = sim::now() + 15'000;
+            }
+            reqs.push_back(srv.submit(
+                sid,
+                ham::f2f<&tk::cost_kernel>(std::int64_t(20'000), &counter),
+                ro));
+        }
+        srv.drain();
+        ham::offload::runtime::current()->drain();
+
+        const session_stats st = srv.stats(sid);
+        expect_settled_exactly_once(st, 0);
+        EXPECT_GT(st.expired, 0u);
+        EXPECT_GT(st.completed, 0u);
+        EXPECT_EQ(counter, st.completed); // expired work never ran
+        // Double-get on a settled handle reproduces the same outcome; the
+        // second observation must not re-count or flip the settlement.
+        int threw = 0;
+        for (request& r : reqs) {
+            for (int pass = 0; pass < 2; ++pass) {
+                try {
+                    r.get();
+                } catch (const ham::offload::deadline_exceeded_error&) {
+                    ++threw;
+                }
+            }
+        }
+        EXPECT_EQ(threw, static_cast<int>(st.expired) * 2);
+        EXPECT_EQ(srv.stats(sid).expired, st.expired);
+        EXPECT_EQ(srv.stats(sid).completed, st.completed);
+    });
+}
+
+TEST(AdmitDrainRace, CloseWhileInFlightThenDrain) {
+    run_guarded(2, [] {
+        server srv(small_cfg(32, 8));
+        std::uint64_t counter = 0;
+        const session_id sid = srv.open();
+        std::vector<request> reqs;
+        for (int i = 0; i < 6; ++i) {
+            reqs.push_back(srv.submit(
+                sid,
+                ham::f2f<&tk::cost_kernel>(std::int64_t(5'000), &counter)));
+        }
+        // All six are in flight (window 8): closing now must let them run to
+        // completion and settle into the closed session's stats.
+        srv.close(sid);
+        srv.drain();
+        const session_stats st = srv.stats(sid);
+        EXPECT_FALSE(st.open);
+        EXPECT_EQ(st.completed, 6u);
+        EXPECT_EQ(counter, 6u);
+        expect_settled_exactly_once(st, 0);
+        for (request& r : reqs) {
+            EXPECT_NO_THROW(r.get());
+        }
+    });
+}
+
+} // namespace
+} // namespace aurora::admit

@@ -1,0 +1,173 @@
+// Retry shaping tests (aurora::admit overload robustness): decorrelated
+// jitter bounds and stream independence, and the per-target retry token
+// bucket — suppressed retransmits are counted, paced, and never lose work.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "metrics/metrics.hpp"
+#include "offload/offload.hpp"
+#include "sim/platform.hpp"
+
+namespace ham::offload {
+namespace {
+
+namespace fault = aurora::fault;
+namespace sim = aurora::sim;
+
+double add_one(double x) { return x + 1.0; }
+
+runtime_options loopback_targets(std::size_t n) {
+    runtime_options opt;
+    opt.backend = backend_kind::loopback;
+    opt.targets.assign(n, 0);
+    return opt;
+}
+
+void run_guarded(const runtime_options& opt, const std::function<void()>& body) {
+    sim::platform plat(sim::platform_config::test_machine());
+    plat.sim().set_virtual_deadline(60'000'000'000);
+    ASSERT_EQ(run(plat, opt, body), 0);
+}
+
+class RetryShaping : public ::testing::Test {
+protected:
+    void TearDown() override { fault::injector::instance().reset(); }
+};
+
+fault::config seeded(std::uint64_t seed) {
+    fault::config c;
+    c.enabled = true;
+    c.seed = seed;
+    return c;
+}
+
+/// A decorrelated-jitter walk: each draw feeds the next as prev_ns.
+std::vector<std::int64_t> jitter_walk(fault::injector& inj, int n,
+                                      std::int64_t base, std::int64_t cap) {
+    std::vector<std::int64_t> seq;
+    std::int64_t prev = base;
+    for (int i = 0; i < n; ++i) {
+        prev = inj.jitter_backoff(base, prev, cap);
+        seq.push_back(prev);
+    }
+    return seq;
+}
+
+TEST_F(RetryShaping, JitterStaysWithinDecorrelatedBounds) {
+    fault::injector& inj = fault::injector::instance();
+    inj.configure(seeded(7));
+    const std::int64_t base = 1'000;
+    const std::int64_t cap = 50'000;
+    std::int64_t prev = base;
+    bool varied = false;
+    std::int64_t last = -1;
+    for (int i = 0; i < 500; ++i) {
+        const std::int64_t hi =
+            std::min<std::int64_t>(cap, std::max(base, prev) * 3);
+        const std::int64_t draw = inj.jitter_backoff(base, prev, cap);
+        EXPECT_GE(draw, base);
+        EXPECT_LE(draw, hi);
+        varied = varied || (last >= 0 && draw != last);
+        last = draw;
+        prev = draw;
+    }
+    EXPECT_TRUE(varied); // jitter, not a constant schedule
+}
+
+TEST_F(RetryShaping, JitterSameSeedSameSequence) {
+    fault::injector& inj = fault::injector::instance();
+    inj.configure(seeded(42));
+    const auto a = jitter_walk(inj, 200, 1'000, 64'000);
+    inj.configure(seeded(42));
+    const auto b = jitter_walk(inj, 200, 1'000, 64'000);
+    EXPECT_EQ(a, b);
+
+    inj.configure(seeded(43));
+    const auto c = jitter_walk(inj, 200, 1'000, 64'000);
+    EXPECT_NE(a, c);
+}
+
+TEST_F(RetryShaping, JitterStreamIndependentOfFaultSchedule) {
+    // Interleaving fault-schedule draws must not perturb the jitter stream
+    // (and vice versa): the injector keeps two separate splitmix64 states.
+    fault::injector& inj = fault::injector::instance();
+    fault::config chaotic = seeded(42);
+    chaotic.drop_permille = 200;
+    chaotic.corrupt_permille = 100;
+
+    inj.configure(chaotic);
+    const auto pure = jitter_walk(inj, 100, 1'000, 64'000);
+
+    inj.configure(chaotic);
+    std::vector<std::int64_t> interleaved;
+    std::vector<int> faults_a;
+    std::int64_t prev = 1'000;
+    for (int i = 0; i < 100; ++i) {
+        faults_a.push_back(inj.should_drop() ? 1 : 0);
+        prev = inj.jitter_backoff(1'000, prev, 64'000);
+        interleaved.push_back(prev);
+        faults_a.push_back(inj.should_corrupt() ? 1 : 0);
+    }
+    EXPECT_EQ(pure, interleaved);
+
+    // And the fault schedule is what it would have been without jitter draws.
+    inj.configure(chaotic);
+    std::vector<int> faults_b;
+    for (int i = 0; i < 100; ++i) {
+        faults_b.push_back(inj.should_drop() ? 1 : 0);
+        faults_b.push_back(inj.should_corrupt() ? 1 : 0);
+    }
+    EXPECT_EQ(faults_a, faults_b);
+}
+
+TEST_F(RetryShaping, RetryBudgetPacesRetransmitsWithoutLosingWork) {
+    fault::config c = seeded(11);
+    c.drop_permille = 180;
+    fault::injector::instance().configure(c);
+
+    namespace m = aurora::metrics;
+    m::counter& suppressed = m::registry::global().counter_for(
+        "aurora_offload_retries_suppressed_total",
+        m::labels({{"backend", "loopback"}, {"node", "1"}}));
+    const std::uint64_t before = suppressed.value();
+
+    runtime_options opt = loopback_targets(1);
+    opt.retry_budget = 1;                    // one token, then the bucket is dry
+    opt.retry_budget_refill_ns = 50'000'000; // refills far slower than sweeps
+    run_guarded(opt, [] {
+        // Heavy drops force repeated reply-timeout retransmits; with a single
+        // token the sweep must defer some of them — yet every offload still
+        // completes with the right answer once tokens refill.
+        for (int i = 0; i < 60; ++i) {
+            EXPECT_EQ(sync(1, ham::f2f<&add_one>(double(i))), double(i) + 1.0);
+        }
+        const auto rs = runtime::current()->runtime_stats(1);
+        EXPECT_NE(rs.health, target_health::failed);
+        EXPECT_GT(rs.retransmits, 0u);
+    });
+    EXPECT_GT(fault::injector::instance().stats().drops, 0u);
+    EXPECT_GT(suppressed.value(), before)
+        << "an empty token bucket must defer (and count) retransmits";
+}
+
+TEST_F(RetryShaping, JitterDisabledKeepsLegacyBackoffWorking) {
+    fault::config c = seeded(5);
+    c.drop_permille = 150;
+    fault::injector::instance().configure(c);
+
+    runtime_options opt = loopback_targets(1);
+    opt.retry_jitter = false; // deterministic doubling, the legacy schedule
+    run_guarded(opt, [] {
+        for (int i = 0; i < 40; ++i) {
+            EXPECT_EQ(sync(1, ham::f2f<&add_one>(41.0)), 42.0);
+        }
+        EXPECT_GT(runtime::current()->runtime_stats(1).retransmits, 0u);
+    });
+}
+
+} // namespace
+} // namespace ham::offload

@@ -31,6 +31,15 @@
 //                                            # killed mid-run), then dump every
 //                                            # target's flight-recorder black
 //                                            # box as postmortem JSON
+//   build/tools/aurora_info --admit          # run a multi-tenant overload
+//                                            # workload through aurora::admit
+//                                            # (a hostile background tenant, a
+//                                            # latency victim, deadlines, one
+//                                            # engine failing requests) and
+//                                            # print the per-tenant rollup plus
+//                                            # per-engine breaker states; exit
+//                                            # != 0 when any breaker is still
+//                                            # open at the end
 //
 // Useful when recalibrating: every constant of src/sim/cost_model.hpp is
 // printed with its derived secondary quantities (sustained rates, round
@@ -44,6 +53,7 @@
 #include <iostream>
 #include <vector>
 
+#include "admit/server.hpp"
 #include "fault/fault.hpp"
 #include "mem/registry.hpp"
 #include "metrics/metrics.hpp"
@@ -460,6 +470,150 @@ int flight_dump() {
     return rc;
 }
 
+void busy_kernel(std::int64_t ns) { sim::advance(ns); }
+
+void faulty_kernel() { throw std::runtime_error("engine fault"); }
+
+/// --admit: drive the tenant control plane through its whole policy surface —
+/// class-priority shedding under a hostile background flood, per-request
+/// deadlines expiring in a saturated queue, and a per-engine circuit breaker
+/// tripping on a failure streak and closing again through half-open probes.
+/// Exit code counts workload failures plus breakers still open at the end
+/// (a stuck-open breaker means an engine nobody can be placed on).
+int admit_info() {
+    sim::platform plat(sim::platform_config::test_machine());
+    ham::offload::runtime_options opt;
+    opt.backend = ham::offload::backend_kind::loopback;
+    opt.targets = {0, 0};
+    int stuck_open = 0;
+    const int rc = ham::offload::run(plat, opt, [&] {
+        admit::server::config cfg;
+        cfg.capacity = 32;
+        admit::server srv(cfg);
+
+        struct tenant_row {
+            const char* name;
+            admit::session_id sid;
+        };
+        admit::session_options so;
+        so.tenant = "victim";
+        so.cls = admit::qos_class::latency;
+        so.weight = 4;
+        so.max_queued = 16;
+        const admit::session_id victim = srv.open(so);
+        so = {};
+        so.tenant = "bulk";
+        so.cls = admit::qos_class::batch;
+        so.weight = 2;
+        so.max_queued = 16;
+        const admit::session_id bulk = srv.open(so);
+        so = {};
+        so.tenant = "aggressor";
+        so.cls = admit::qos_class::background;
+        so.max_queued = 64;
+        const admit::session_id aggressor = srv.open(so);
+
+        // Overload rounds: the aggressor floods, the victim submits a steady
+        // trickle under a deadline tight enough that saturation misses it.
+        for (int round = 0; round < 8; ++round) {
+            for (int i = 0; i < 24; ++i) {
+                try {
+                    srv.submit(aggressor, ham::f2f<&busy_kernel>(
+                                              std::int64_t(30'000)));
+                } catch (const ham::offload::admission_error&) {
+                    // Expected: background work sheds first under load.
+                }
+            }
+            for (int i = 0; i < 4; ++i) {
+                try {
+                    srv.submit(bulk,
+                               ham::f2f<&busy_kernel>(std::int64_t(20'000)));
+                } catch (const ham::offload::admission_error&) {
+                }
+                admit::request_options ro;
+                ro.deadline_ns = sim::now() + 120'000;
+                try {
+                    srv.submit(victim, ham::f2f<&empty_kernel>(), ro);
+                } catch (const ham::offload::admission_error&) {
+                }
+            }
+            for (int i = 0; i < 3; ++i) {
+                srv.poll();
+            }
+        }
+        srv.drain();
+
+        // Breaker exercise: one session fails requests on engine 1 until its
+        // breaker trips, then closes it again through half-open probes.
+        so = {};
+        so.tenant = "flaky";
+        so.cls = admit::qos_class::latency;
+        const admit::session_id flaky = srv.open(so);
+        admit::request_options pin1;
+        pin1.affinity = 1;
+        pin1.pinned = true;
+        for (std::uint32_t i = 0; i < cfg.breaker.failure_threshold; ++i) {
+            srv.submit(flaky, ham::f2f<&faulty_kernel>(), pin1).wait();
+        }
+        const bool tripped =
+            srv.breaker_of(1) == admit::breaker_state::open;
+        bool shed_while_open = false;
+        try {
+            srv.submit(flaky, ham::f2f<&empty_kernel>(), pin1);
+        } catch (const ham::offload::admission_error&) {
+            shed_while_open = true;
+        }
+        sim::advance(cfg.breaker.cooldown_ns);
+        for (std::uint32_t i = 0; i < cfg.breaker.probe_successes; ++i) {
+            srv.submit(flaky, ham::f2f<&empty_kernel>(), pin1).wait();
+        }
+        const bool reclosed =
+            srv.breaker_of(1) == admit::breaker_state::closed;
+        srv.drain();
+
+        std::printf("aurora::admit — %zu sessions, capacity %zu, "
+                    "backlog %zu after drain\n\n",
+                    srv.open_sessions(), cfg.capacity, srv.backlog());
+        text_table t({"tenant", "class", "admitted", "completed", "shed",
+                      "deadline missed", "failed", "queued"});
+        const tenant_row rows[] = {{"victim", victim},
+                                   {"bulk", bulk},
+                                   {"aggressor", aggressor},
+                                   {"flaky", flaky}};
+        for (const tenant_row& r : rows) {
+            const admit::session_stats ss = srv.stats(r.sid);
+            const char* cls = r.sid == victim || r.sid == flaky ? "latency"
+                              : r.sid == bulk                   ? "batch"
+                                                                : "background";
+            t.add_row({r.name, cls, std::to_string(ss.admitted),
+                       std::to_string(ss.completed), std::to_string(ss.shed),
+                       std::to_string(ss.expired), std::to_string(ss.failed),
+                       std::to_string(ss.queued)});
+        }
+        std::printf("%s\n", t.str().c_str());
+
+        text_table bt({"engine", "breaker"});
+        for (ham::offload::node_t n = 1;
+             n < static_cast<ham::offload::node_t>(
+                     ham::offload::runtime::current()->num_nodes());
+             ++n) {
+            const admit::breaker_state st = srv.breaker_of(n);
+            bt.add_row({std::to_string(n), admit::to_string(st)});
+            stuck_open += st == admit::breaker_state::open ? 1 : 0;
+        }
+        std::printf("%s\n", bt.str().c_str());
+        std::printf("breaker lifecycle: tripped %s, shed-while-open %s, "
+                    "re-closed %s\n",
+                    tripped ? "OK" : "FAILED",
+                    shed_while_open ? "OK" : "FAILED",
+                    reclosed ? "OK" : "FAILED");
+        if (!tripped || !shed_while_open || !reclosed) {
+            ++stuck_open; // count a broken lifecycle as a failure too
+        }
+    });
+    return rc + stuck_open;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -474,6 +628,9 @@ int main(int argc, char** argv) {
     }
     if (argc > 1 && std::strcmp(argv[1], "--flight") == 0) {
         return flight_dump();
+    }
+    if (argc > 1 && std::strcmp(argv[1], "--admit") == 0) {
+        return admit_info();
     }
     if (argc > 1 && std::strcmp(argv[1], "--cluster") == 0) {
         int nodes = 3, ves = 2;

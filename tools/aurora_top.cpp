@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "admit/server.hpp"
 #include "fault/fault.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/prometheus.hpp"
@@ -322,6 +323,60 @@ void render(const std::string& prom_text, int frame, bool clear) {
                         scalar_or(v, "aurora_net_reroutes_total")));
     }
 
+    // Per-tenant admission rollup (aurora::admit), when the export carries
+    // it: queue depth, shed/deadline-miss counts and the per-engine breaker
+    // states that explain why a tenant's work is (not) being placed.
+    std::vector<std::string> tenants;
+    const std::string adm_prefix = "aurora_admit_sessions_open|tenant=";
+    for (const auto& [key, val] : v.scalars) {
+        (void)val;
+        if (key.rfind(adm_prefix, 0) == 0) {
+            tenants.push_back(key.substr(adm_prefix.size()));
+        }
+    }
+    if (!tenants.empty()) {
+        std::sort(tenants.begin(), tenants.end());
+        aurora::text_table at({"tenant", "sessions", "queued", "admitted",
+                               "completed", "shed", "ddl missed", "failed"});
+        for (const std::string& tn : tenants) {
+            const std::string lbl = "|tenant=" + tn;
+            at.add_row(
+                {tn,
+                 std::to_string(static_cast<long long>(
+                     scalar_or(v, "aurora_admit_sessions_open" + lbl))),
+                 std::to_string(static_cast<long long>(
+                     scalar_or(v, "aurora_admit_queue_depth" + lbl))),
+                 std::to_string(static_cast<long long>(
+                     scalar_or(v, "aurora_admit_admitted_total" + lbl))),
+                 std::to_string(static_cast<long long>(
+                     scalar_or(v, "aurora_admit_completed_total" + lbl))),
+                 std::to_string(static_cast<long long>(
+                     scalar_or(v, "aurora_admit_shed_total" + lbl))),
+                 std::to_string(static_cast<long long>(scalar_or(
+                     v, "aurora_admit_deadline_missed_total" + lbl))),
+                 std::to_string(static_cast<long long>(
+                     scalar_or(v, "aurora_admit_failed_total" + lbl)))});
+        }
+        std::printf("\nadmit (backlog %lld / %lld):\n%s",
+                    static_cast<long long>(scalar_or(v, "aurora_admit_backlog")),
+                    static_cast<long long>(
+                        scalar_or(v, "aurora_admit_capacity")),
+                    at.str().c_str());
+        std::string breakers = "breakers:";
+        const std::string brk_prefix = "aurora_admit_breaker_state|node=";
+        for (const auto& [key, val] : v.scalars) {
+            if (key.rfind(brk_prefix, 0) != 0) {
+                continue;
+            }
+            const int st = static_cast<int>(val);
+            breakers += " node " + key.substr(brk_prefix.size()) + "=" +
+                        (st == 0   ? "closed"
+                         : st == 1 ? "OPEN"
+                                   : "half-open");
+        }
+        std::printf("%s\n", breakers.c_str());
+    }
+
     double sched_depth = 0.0;
     for (const auto& [key, val] : v.scalars) {
         if (key.rfind("aurora_sched_queue_depth|", 0) == 0) {
@@ -511,10 +566,109 @@ int run_cluster_demo(int frames, bool chaos, bool clear) {
     return rc;
 }
 
+void top_faulty_kernel() { throw std::runtime_error("engine fault"); }
+
+/// --demo --admit: round-driven multi-tenant serving demo. A latency victim,
+/// a batch tenant and a hostile background flood share one admission server;
+/// with --chaos one round also fails requests on engine 1 until its breaker
+/// trips (it re-closes through half-open probes in later rounds). Exits
+/// non-zero when any breaker is still open after the final frame.
+int run_admit_demo(int frames, bool chaos, bool clear) {
+    aurora::sim::platform plat(aurora::sim::platform_config::test_machine());
+    off::runtime_options opt;
+    opt.backend = off::backend_kind::loopback;
+    opt.targets = {0, 0};
+    int stuck_open = 0;
+    const int rc = off::run(plat, opt, [&]() -> int {
+        namespace adm = aurora::admit;
+        adm::server::config cfg;
+        cfg.capacity = 32;
+        // Short cooldown so the tripped breaker can walk open -> half-open ->
+        // closed within the demo's few hundred microseconds of virtual time.
+        cfg.breaker.cooldown_ns = 50'000;
+        adm::server srv(cfg);
+        adm::session_options so;
+        so.tenant = "victim";
+        so.cls = adm::qos_class::latency;
+        so.weight = 4;
+        const adm::session_id victim = srv.open(so);
+        so = {};
+        so.tenant = "bulk";
+        so.cls = adm::qos_class::batch;
+        so.weight = 2;
+        const adm::session_id bulk = srv.open(so);
+        so = {};
+        so.tenant = "aggressor";
+        so.cls = adm::qos_class::background;
+        so.max_queued = 64;
+        const adm::session_id aggressor = srv.open(so);
+        adm::request_options pin1;
+        pin1.affinity = 1;
+        pin1.pinned = true;
+        for (int f = 1; f <= frames; ++f) {
+            for (int i = 0; i < 24; ++i) {
+                try {
+                    srv.submit(aggressor,
+                               ham::f2f<&demo_kernel>(std::uint64_t(30'000)));
+                } catch (const off::admission_error&) {
+                }
+            }
+            for (int i = 0; i < 4; ++i) {
+                try {
+                    srv.submit(bulk,
+                               ham::f2f<&demo_kernel>(std::uint64_t(20'000)));
+                    adm::request_options ro;
+                    ro.deadline_ns = aurora::sim::now() + 150'000;
+                    srv.submit(victim, ham::f2f<&demo_kernel>(
+                                           std::uint64_t(5'000)), ro);
+                } catch (const off::admission_error&) {
+                }
+            }
+            if (chaos && f == 1) {
+                // Fail enough pinned requests on engine 1 to trip its breaker.
+                for (std::uint32_t i = 0; i < cfg.breaker.failure_threshold;
+                     ++i) {
+                    try {
+                        srv.submit(victim, ham::f2f<&top_faulty_kernel>(),
+                                   pin1).wait();
+                    } catch (const off::admission_error&) {
+                    }
+                }
+            }
+            srv.drain();
+            if (chaos && f > 1) {
+                // Probe the tripped engine so the breaker can half-open and
+                // close again before the run ends.
+                aurora::sim::advance(cfg.breaker.cooldown_ns);
+                try {
+                    srv.submit(victim, ham::f2f<&demo_kernel>(
+                                           std::uint64_t(1'000)), pin1).wait();
+                } catch (const off::admission_error&) {
+                }
+            }
+            render(aurora::metrics::prometheus_text(
+                       aurora::metrics::registry::global()),
+                   f, clear);
+            std::printf("virtual time: %s\n",
+                        aurora::format_ns(aurora::sim::now()).c_str());
+        }
+        for (off::node_t n = 1;
+             n < static_cast<off::node_t>(
+                     off::runtime::current()->num_nodes());
+             ++n) {
+            stuck_open +=
+                srv.breaker_of(n) == adm::breaker_state::open ? 1 : 0;
+        }
+        return 0;
+    });
+    return rc + stuck_open;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
     bool demo = true, chaos = false, once = false, cluster = false;
+    bool admit = false;
     std::string url;
     int frames = 4, interval_ms = 1000;
     for (int a = 1; a < argc; ++a) {
@@ -525,6 +679,8 @@ int main(int argc, char** argv) {
             chaos = true;
         } else if (std::strcmp(arg, "--cluster") == 0) {
             cluster = true;
+        } else if (std::strcmp(arg, "--admit") == 0) {
+            admit = true;
         } else if (std::strcmp(arg, "--once") == 0) {
             once = true;
         } else if (std::strcmp(arg, "--url") == 0 && a + 1 < argc) {
@@ -536,9 +692,9 @@ int main(int argc, char** argv) {
             interval_ms = std::atoi(argv[++a]);
         } else {
             std::fprintf(stderr,
-                         "usage: aurora_top [--demo [--chaos] [--cluster]] "
-                         "[--url HOST:PORT] [--frames N] [--interval-ms N] "
-                         "[--once]\n");
+                         "usage: aurora_top [--demo [--chaos] [--cluster] "
+                         "[--admit]] [--url HOST:PORT] [--frames N] "
+                         "[--interval-ms N] [--once]\n");
             return 2;
         }
     }
@@ -549,6 +705,9 @@ int main(int argc, char** argv) {
     const bool clear = ::isatty(1) != 0;
     if (!demo) {
         return watch_url(url, frames, interval_ms, clear);
+    }
+    if (admit) {
+        return run_admit_demo(frames, chaos, clear);
     }
     if (cluster) {
         return run_cluster_demo(frames, chaos, clear);
