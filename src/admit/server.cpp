@@ -290,10 +290,14 @@ request server::submit_serialized(session_id sid, std::vector<std::byte> msg,
         breaker& b = breakers_[static_cast<std::size_t>(ro.affinity) - 1];
         const bool half_open = b.state() == breaker_state::half_open;
         if (!b.allow()) {
+            // Open: the remaining cooldown. Half-open with the probe slot
+            // taken: retry_after() is 0, but every resubmission sheds until
+            // the probe settles — hint one dispatch cost so well-behaved
+            // clients back off instead of spinning.
             shed(s,
                  "circuit breaker open for node " +
                      std::to_string(ro.affinity),
-                 b.retry_after());
+                 std::max<std::int64_t>(b.retry_after(), dispatch_cost_ns_));
         }
         is_probe = half_open; // allow() passed in half_open: this IS the probe
     }
@@ -493,9 +497,13 @@ bool server::reconcile() {
                 aurora::obs::emit_now(aurora::obs::stage::expired, 0, r->serial,
                                       0, 0);
                 break;
-            default: // failed
+            default: { // failed
                 r->ph = phase::failed;
-                r->error = "request failed on node " + std::to_string(on);
+                // Carry the executor's root cause so request::get() rethrows
+                // it, matching the diagnostics of the non-serving wait_all().
+                const std::string& why = exec_.error_of(r->tid);
+                r->error = "request failed on node " + std::to_string(on) +
+                           (why.empty() ? "" : ": " + why);
                 ++s.failed;
                 ++stats_.failed;
                 s.met->failed->add(1);
@@ -503,6 +511,7 @@ bool server::reconcile() {
                     b->record_failure();
                 }
                 break;
+            }
         }
         it = inflight_.erase(it);
         progress = true;

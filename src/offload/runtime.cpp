@@ -28,7 +28,7 @@ thread_local runtime* runtime::current_ = nullptr;
 /// arena turns it into a clean oom_error); a dead or mid-recovery target
 /// supplies nothing.
 struct runtime::target_arena_source final : aurora::mem::region_source {
-    explicit target_arena_source(target_state& t) : t(t) {}
+    explicit target_arena_source(target_state& ts) : t(ts) {}
 
     std::uint64_t alloc_region(std::uint64_t bytes) override {
         if (t.be == nullptr || t.health == target_health::failed ||

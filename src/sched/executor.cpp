@@ -132,8 +132,21 @@ task_id executor::submit_serialized(std::vector<std::byte> msg,
         AURORA_CHECK_MSG(d < id, "task dependency " << d
                                                     << " is not an earlier task");
         detail::task_rec& dep = tasks_[d];
-        if (dep.state == task_state::done || dep.state == task_state::failed) {
-            continue; // already settled, nothing to wait for
+        if (dep.state == task_state::done || dep.state == task_state::failed ||
+            dep.state == task_state::expired) {
+            // Already settled: nothing to wait for, but finish_task has
+            // already walked this dep's successor list, so the outcome must
+            // propagate here — otherwise a failed/expired dep linked after
+            // the fact would leave the task blocked forever (unmet never
+            // reaches zero) or execute despite a failed dependency.
+            if (dep.state == task_state::failed && !rec.dep_failed) {
+                rec.dep_failed = true;
+                rec.error = "dependency task " + std::to_string(d) +
+                            " failed: " + dep.error;
+            }
+            rec.dep_expired =
+                rec.dep_expired || dep.state == task_state::expired;
+            continue;
         }
         dep.succs.push_back(id);
         ++rec.unmet;
@@ -247,8 +260,10 @@ void executor::release_ready(task_id id) {
     if (failed_ || rec.dep_failed) {
         // A prior failure poisons everything not yet dispatched (fail_fast) or
         // just this dependency chain: settle the task as failed and cascade to
-        // its successors so wait_all terminates.
-        finish_task(id, task_state::failed, rec.home);
+        // its successors so wait_all terminates. A dep-cascade cause is
+        // already recorded on rec.error; finish_task keeps it.
+        finish_task(id, task_state::failed, rec.home,
+                    "skipped after earlier failure: " + first_error_);
         return;
     }
     if (rec.home != 0 &&
@@ -257,15 +272,18 @@ void executor::release_ready(task_id id) {
         // merely recovering home keeps its queue — the task waits for the
         // respawn and dispatches during probation.)
         if (rec.opts.pinned) {
-            note_failure("pinned task " + std::to_string(id) +
-                         " lost its target: " + rt_.failure_reason(rec.home));
-            finish_task(id, task_state::failed, rec.home);
+            std::string why = "pinned task " + std::to_string(id) +
+                              " lost its target: " +
+                              rt_.failure_reason(rec.home);
+            note_failure(why);
+            finish_task(id, task_state::failed, rec.home, std::move(why));
             return;
         }
         const std::size_t h = next_healthy();
         if (h == num_targets_) {
             note_failure("no healthy offload targets left");
-            finish_task(id, task_state::failed, rec.home);
+            finish_task(id, task_state::failed, rec.home,
+                        "no healthy offload targets left");
             return;
         }
         rec.home = node_of(h);
@@ -281,7 +299,8 @@ void executor::release_ready(task_id id) {
     }
 }
 
-void executor::finish_task(task_id id, task_state outcome, node_t executed_on) {
+void executor::finish_task(task_id id, task_state outcome, node_t executed_on,
+                           std::string error) {
     detail::task_rec& rec = tasks_[id];
     rec.state = outcome;
     rec.record.executed_on = executed_on;
@@ -293,10 +312,17 @@ void executor::finish_task(task_id id, task_state outcome, node_t executed_on) {
         trace_.push_back(rec.record);
     } else if (outcome == task_state::failed) {
         ++stats_.tasks_failed;
+        if (rec.error.empty()) { // keep a dep-cascade cause recorded earlier
+            rec.error = std::move(error);
+        }
     }
     for (const task_id s : rec.succs) {
         detail::task_rec& succ = tasks_[s];
-        succ.dep_failed = succ.dep_failed || outcome == task_state::failed;
+        if (outcome == task_state::failed && !succ.dep_failed) {
+            succ.dep_failed = true;
+            succ.error = "dependency task " + std::to_string(id) +
+                         " failed: " + rec.error;
+        }
         succ.dep_expired = succ.dep_expired || outcome == task_state::expired;
         AURORA_CHECK(succ.unmet > 0);
         if (--succ.unmet == 0) {
@@ -352,14 +378,17 @@ void executor::run_host_task(task_id id) {
     std::byte result[sizeof(ham::offload::protocol::result_header)];
     std::size_t result_size = 0;
     bool ok = true;
+    std::string err;
     try {
         ham::execute_message(rt_.host_registry(), rec.msg.data(), result,
                              sizeof(result), &result_size);
     } catch (const std::exception& e) {
         ok = false;
-        note_failure(std::string("host task failed: ") + e.what());
+        err = std::string("host task failed: ") + e.what();
+        note_failure(err);
     }
-    finish_task(id, ok ? task_state::done : task_state::failed, 0);
+    finish_task(id, ok ? task_state::done : task_state::failed, 0,
+                std::move(err));
 }
 
 bool executor::harvest_target(std::size_t t) {
@@ -387,6 +416,7 @@ bool executor::harvest_target(std::size_t t) {
 void executor::retire_flight(std::size_t t, flight& f) {
     AURORA_TRACE_SPAN("sched", "complete");
     bool ok = true;
+    std::string err;
     try {
         f.fut.get();
     } catch (const ham::offload::target_failed_error& e) {
@@ -397,10 +427,12 @@ void executor::retire_flight(std::size_t t, flight& f) {
             return;
         }
         ok = false;
-        note_failure(e.what());
+        err = e.what();
+        note_failure(err);
     } catch (const ham::offload::offload_error& e) {
         ok = false;
-        note_failure(e.what());
+        err = e.what();
+        note_failure(err);
     }
     AURORA_TRACE_COUNTER("sched", "tasks_completed", f.tasks.size());
     met_.tasks_completed->add(f.tasks.size());
@@ -413,7 +445,8 @@ void executor::retire_flight(std::size_t t, flight& f) {
                 ++load.tasks_stolen_in;
             }
         }
-        finish_task(id, ok ? task_state::done : task_state::failed, node_of(t));
+        finish_task(id, ok ? task_state::done : task_state::failed, node_of(t),
+                    err);
     }
 }
 
@@ -654,16 +687,18 @@ void executor::evacuate(std::size_t dead) {
     for (const task_id id : orphans) {
         detail::task_rec& rec = tasks_[id];
         if (rec.opts.pinned) {
-            note_failure("pinned task " + std::to_string(id) +
-                         " lost its target: " +
-                         rt_.failure_reason(node_of(dead)));
-            finish_task(id, task_state::failed, rec.home);
+            std::string why = "pinned task " + std::to_string(id) +
+                              " lost its target: " +
+                              rt_.failure_reason(node_of(dead));
+            note_failure(why);
+            finish_task(id, task_state::failed, rec.home, std::move(why));
             continue;
         }
         const std::size_t h = next_healthy();
         if (h == num_targets_) {
             note_failure("no healthy offload targets left");
-            finish_task(id, task_state::failed, rec.home);
+            finish_task(id, task_state::failed, rec.home,
+                        "no healthy offload targets left");
             continue;
         }
         rec.home = node_of(h);
@@ -690,10 +725,11 @@ bool executor::reroute_flight(std::size_t dead, flight& f) {
     for (const task_id id : f.tasks) {
         detail::task_rec& rec = tasks_[id];
         if (rec.opts.pinned) {
-            note_failure("pinned task " + std::to_string(id) +
-                         " lost its target: " +
-                         rt_.failure_reason(node_of(dead)));
-            finish_task(id, task_state::failed, node_of(dead));
+            std::string why = "pinned task " + std::to_string(id) +
+                              " lost its target: " +
+                              rt_.failure_reason(node_of(dead));
+            note_failure(why);
+            finish_task(id, task_state::failed, node_of(dead), std::move(why));
             continue;
         }
         const std::size_t h = next_healthy();

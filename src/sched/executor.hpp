@@ -120,6 +120,13 @@ public:
         return tasks_[id].record;
     }
 
+    /// Why a task settled as task_state::failed (empty for any other state) —
+    /// the root cause aurora::admit copies into the request's error so
+    /// request::get() rethrows it instead of a generic message.
+    [[nodiscard]] const std::string& error_of(task_id id) const {
+        return tasks_[id].error;
+    }
+
 private:
     struct flight {
         ham::offload::future<void> fut;
@@ -139,7 +146,8 @@ private:
     }
 
     void release_ready(task_id id);
-    void finish_task(task_id id, task_state outcome, node_t executed_on);
+    void finish_task(task_id id, task_state outcome, node_t executed_on,
+                     std::string error = {});
     /// Deadline set and already in the past?
     [[nodiscard]] bool past_deadline(task_id id) const;
     /// Cancel an undispatched task whose deadline passed (counted, cascades).

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "offload/types.hpp"
@@ -87,6 +88,9 @@ struct task_rec {
     /// Virtual time the task entered a ready queue — the start of its
     /// queue_wait stage in the aurora::obs request timeline.
     std::uint64_t ready_at_ns = 0;
+    /// Why the task settled as failed (empty otherwise) — the root cause a
+    /// serving front end copies into its per-request error.
+    std::string error;
     completion_record record;
 };
 

@@ -143,6 +143,43 @@ TEST(SchedExecutor, SubmitAgainstFinishedDependencies) {
     });
 }
 
+TEST(SchedExecutor, SubmitAgainstExpiredDependencyDoesNotWedge) {
+    run_sched(1, [] {
+        std::uint64_t ran = 0;
+        executor ex;
+        aurora::sim::advance(1'000);
+        // Dead on arrival: the deadline already passed at submit.
+        const task_id doa = ex.submit(ham::f2f<&sk::bump>(&ran),
+                                      {.deadline_ns = 1});
+        EXPECT_EQ(ex.state_of(doa), task_state::expired);
+        // Linking against the already-settled expired dep must propagate the
+        // outcome (cascade-expire), not leave the successor blocked forever.
+        const task_id succ = ex.submit(ham::f2f<&sk::bump>(&ran), {doa});
+        ex.wait_all(); // regression: used to crash "executor stalled"
+        EXPECT_EQ(ex.state_of(succ), task_state::expired);
+        EXPECT_EQ(ran, 0u);
+    });
+}
+
+TEST(SchedExecutor, SubmitAfterDependencyFailedCascadesInServingMode) {
+    run_sched(1, [] {
+        std::uint64_t ran = 0;
+        executor ex{{.fail_fast = false}};
+        const task_id bad = ex.submit(ham::f2f<&sk::boom>());
+        ex.wait_all(); // serving mode: the failure settles, no rethrow
+        ASSERT_EQ(ex.state_of(bad), task_state::failed);
+        // Cascade semantics must not depend on submission order: a successor
+        // linked after the dep failed fails too, exactly as one linked before.
+        const task_id succ = ex.submit(ham::f2f<&sk::bump>(&ran), {bad});
+        ex.wait_all();
+        EXPECT_EQ(ex.state_of(succ), task_state::failed);
+        EXPECT_EQ(ran, 0u);
+        // The per-task root cause survives the cascade.
+        EXPECT_NE(ex.error_of(bad).find("task exploded"), std::string::npos);
+        EXPECT_NE(ex.error_of(succ).find("task exploded"), std::string::npos);
+    });
+}
+
 TEST(SchedExecutor, WindowClampedToMessageSlots) {
     run_sched(1, [] {
         std::vector<std::uint64_t> counters(40, 0);
